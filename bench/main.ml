@@ -1,0 +1,146 @@
+(* Benchmark and reproduction harness.
+
+   Part 1 prints, for every table AND figure in the paper's evaluation,
+   the series/rows this implementation produces (side by side with the
+   published numbers where the paper prints them).
+
+   Part 2 times the computational contributions with Bechamel: one
+   Test.make per paper table/figure (the cost of regenerating it), plus an
+   ablation of Algorithm 1 vs Algorithm 2 vs brute-force enumeration
+   across switch sizes — the complexity claims of paper Section 5.
+
+     dune exec bench/main.exe            # reproduction + timings
+     dune exec bench/main.exe -- --fast  # reproduction only *)
+
+open Bechamel
+module Paper = Crossbar_workloads.Paper
+module Report = Crossbar_workloads.Report
+
+let line title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* ---------- part 1: reproduction ---------- *)
+
+let reproduce () =
+  line "Reproduction of every figure and table (measured | paper)";
+  Report.print_all Format.std_formatter;
+  Format.print_flush ()
+
+(* ---------- part 2: Bechamel timing ---------- *)
+
+let whole_figure ?(sizes = Paper.sizes) series () =
+  List.iter
+    (fun s ->
+      List.iter
+        (fun n ->
+          ignore (Crossbar.Solver.solve (s.Paper.model_of_size n)))
+        sizes)
+    series
+
+let whole_table2 () =
+  List.iter
+    (fun set ->
+      List.iter
+        (fun n -> ignore (Crossbar.Solver.solve (Paper.table2_model set n)))
+        Paper.table2_sizes)
+    Paper.table2_sets
+
+let solve_with algorithm model () =
+  ignore (Crossbar.Solver.solve ~algorithm model)
+
+let tests =
+  let reproduction =
+    Test.make_grouped ~name:"reproduce"
+      [
+        Test.make ~name:"figure1" (Staged.stage (whole_figure Paper.figure1));
+        Test.make ~name:"figure2" (Staged.stage (whole_figure Paper.figure2));
+        Test.make ~name:"figure3" (Staged.stage (whole_figure Paper.figure3));
+        Test.make ~name:"figure4"
+          (Staged.stage (whole_figure ~sizes:Paper.figure4_sizes Paper.figure4));
+        Test.make ~name:"table2" (Staged.stage whole_table2);
+      ]
+  in
+  let algorithms =
+    (* The Section 5 ablation: both recurrences are O(N1 N2 R); the brute
+       force is exponential and only feasible at toy sizes. *)
+    let mixed n =
+      Crossbar.Model.square ~size:n
+        ~classes:
+          [
+            Crossbar.Traffic.poisson ~name:"p" ~bandwidth:1 ~rate:0.01
+              ~service_rate:1.0 ();
+            Crossbar.Traffic.pascal ~name:"q" ~bandwidth:2 ~alpha:0.01
+              ~beta:0.004 ~service_rate:1.0 ();
+          ]
+    in
+    Test.make_grouped ~name:"algorithms"
+      ([
+         Test.make ~name:"brute N=8"
+           (Staged.stage (solve_with Crossbar.Solver.Brute_force (mixed 8)));
+       ]
+      @ List.concat_map
+          (fun n ->
+            [
+              Test.make
+                ~name:(Printf.sprintf "algorithm1 N=%d" n)
+                (Staged.stage (solve_with Crossbar.Solver.Convolution (mixed n)));
+              Test.make
+                ~name:(Printf.sprintf "algorithm2 N=%d" n)
+                (Staged.stage (solve_with Crossbar.Solver.Mean_value (mixed n)));
+            ])
+          [ 16; 64; 128 ])
+  in
+  let multistage =
+    (* Cost of the multi-stage extension's fixed points (analysis only;
+       the simulator referee is exercised in the reproduction section). *)
+    let topology = Crossbar_network.Topology.create ~ports:256 ~fanout:4 in
+    Test.make_grouped ~name:"multistage"
+      [
+        Test.make ~name:"link fixed point N=256"
+          (Staged.stage (fun () ->
+               ignore
+                 (Crossbar_network.Analysis.link_fixed_point topology
+                    ~offered:0.2 ~service_rate:1.)));
+        Test.make ~name:"switch markov N=256"
+          (Staged.stage (fun () ->
+               ignore
+                 (Crossbar_network.Analysis.switch_markov topology
+                    ~offered:0.2 ~service_rate:1.)));
+      ]
+  in
+  Test.make_grouped ~name:"crossbar" [ reproduction; algorithms; multistage ]
+
+let benchmark () =
+  line "Bechamel timings (monotonic clock, OLS fit)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols (List.hd instances) raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  Printf.printf "%-40s %s\n" "benchmark" "time per run";
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ nanoseconds ] ->
+          let pretty =
+            if nanoseconds > 1e9 then Printf.sprintf "%.3f s" (nanoseconds /. 1e9)
+            else if nanoseconds > 1e6 then
+              Printf.sprintf "%.3f ms" (nanoseconds /. 1e6)
+            else if nanoseconds > 1e3 then
+              Printf.sprintf "%.3f us" (nanoseconds /. 1e3)
+            else Printf.sprintf "%.0f ns" nanoseconds
+          in
+          Printf.printf "%-40s %s\n" name pretty
+      | _ -> Printf.printf "%-40s (no estimate)\n" name)
+    rows
+
+let () =
+  let fast = Array.exists (String.equal "--fast") Sys.argv in
+  reproduce ();
+  if not fast then benchmark ()

@@ -1,0 +1,79 @@
+(* Command-line traffic-class specifications, shared by the CLIs.
+
+   Syntax (comma-separated key=value pairs):
+     name=voice,kind=poisson,a=1,alpha=0.3,mu=1.0
+     name=video,kind=pascal,a=2,alpha=0.2,beta=0.1,mu=0.5
+     name=data,kind=bernoulli,a=1,sources=10,rate=0.05,mu=2.0 *)
+
+let parse_fields spec =
+  let fields = String.split_on_char ',' spec in
+  List.fold_left
+    (fun acc field ->
+      Result.bind acc (fun table ->
+          match String.index_opt field '=' with
+          | None -> Error (Printf.sprintf "field %S is not key=value" field)
+          | Some i ->
+              let key = String.sub field 0 i
+              and value =
+                String.sub field (i + 1) (String.length field - i - 1)
+              in
+              Ok ((String.trim key, String.trim value) :: table)))
+    (Ok []) fields
+
+let lookup table key = List.assoc_opt key table
+
+let float_field table key =
+  match lookup table key with
+  | None -> Error (Printf.sprintf "missing field %S" key)
+  | Some v -> (
+      match float_of_string_opt v with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "field %S: not a number (%S)" key v))
+
+let int_field table key ~default =
+  match lookup table key with
+  | None -> Ok default
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "field %S: not an integer (%S)" key v))
+
+let parse spec =
+  let ( let* ) = Result.bind in
+  let* table = parse_fields spec in
+  let name = Option.value ~default:"traffic" (lookup table "name") in
+  let kind = Option.value ~default:"poisson" (lookup table "kind") in
+  let* bandwidth = int_field table "a" ~default:1 in
+  let* mu = float_field table "mu" in
+  try
+    match String.lowercase_ascii kind with
+    | "poisson" ->
+        let* rate =
+          match float_field table "alpha" with
+          | Ok _ as ok -> ok
+          | Error _ -> float_field table "rate"
+        in
+        Ok (Crossbar.Traffic.poisson ~name ~bandwidth ~rate ~service_rate:mu ())
+    | "pascal" ->
+        let* alpha = float_field table "alpha" in
+        let* beta = float_field table "beta" in
+        Ok (Crossbar.Traffic.pascal ~name ~bandwidth ~alpha ~beta ~service_rate:mu ())
+    | "bernoulli" ->
+        let* sources = int_field table "sources" ~default:0 in
+        let* rate = float_field table "rate" in
+        Ok
+          (Crossbar.Traffic.bernoulli ~name ~bandwidth ~sources
+             ~per_source_rate:rate ~service_rate:mu ())
+    | "bpp" ->
+        let* alpha = float_field table "alpha" in
+        let* beta = float_field table "beta" in
+        Ok (Crossbar.Traffic.create ~name ~bandwidth ~alpha ~beta ~service_rate:mu ())
+    | other -> Error (Printf.sprintf "unknown kind %S" other)
+  with Invalid_argument message -> Error message
+
+let converter =
+  let parser s =
+    match parse s with Ok t -> Ok t | Error e -> Error (`Msg e)
+  in
+  let printer ppf t = Crossbar.Traffic.pp ppf t in
+  Cmdliner.Arg.conv (parser, printer)

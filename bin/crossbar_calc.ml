@@ -1,0 +1,110 @@
+(* Analytic calculator for the asynchronous multi-rate crossbar.
+
+   Example:
+     crossbar_calc --inputs 32 --outputs 32 \
+       --class name=voice,kind=poisson,a=1,alpha=0.02,mu=1 \
+       --class name=video,kind=pascal,a=2,alpha=1e-4,beta=2e-5,mu=0.25 \
+       --algorithm mva --weights 1.0,0.2 *)
+
+open Cmdliner
+
+let print_occupancy model =
+  let distribution = Crossbar.Occupancy.load_distribution model in
+  Format.printf "busy-port distribution:@.";
+  Array.iteri
+    (fun j p -> if p > 1e-9 then Format.printf "  P(load = %d) = %.6g@." j p)
+    distribution;
+  Format.printf "99%% busy-port quantile: %d@."
+    (Crossbar.Occupancy.load_quantile model ~probability:0.99)
+
+let solve inputs outputs classes algorithm weights occupancy verbose =
+  if classes = [] then `Error (false, "at least one --class is required")
+  else
+    match
+      (try Ok (Crossbar.Model.create ~inputs ~outputs ~classes)
+       with Invalid_argument m -> Error m)
+    with
+    | Error m -> `Error (false, m)
+    | Ok model -> (
+        if verbose then Format.printf "%a@." Crossbar.Model.pp model;
+        let measures = Crossbar.Solver.solve ?algorithm model in
+        Format.printf "%a@." Crossbar.Measures.pp measures;
+        if occupancy then print_occupancy model;
+        match weights with
+        | [] -> `Ok ()
+        | w when List.length w = List.length classes ->
+            let weights = Array.of_list w in
+            Format.printf "W(N) = %.8g@."
+              (Crossbar.Measures.revenue measures ~weights);
+            Array.iteri
+              (fun r _ ->
+                if Crossbar.Model.is_poisson model r then
+                  Format.printf "dW/drho_%d = %.8g@." (r + 1)
+                    (Crossbar.Revenue.gradient_rho model ~weights
+                       ~class_index:r)
+                else
+                  Format.printf "dW/d(beta_%d/mu_%d) = %.8g@." (r + 1) (r + 1)
+                    (Crossbar.Revenue.gradient_beta_numeric model ~weights
+                       ~class_index:r))
+              weights;
+            `Ok ()
+        | _ -> `Error (false, "--weights must match the number of classes"))
+
+let inputs_arg =
+  Arg.(value & opt int 16 & info [ "inputs"; "n1" ] ~doc:"Input port count N1.")
+
+let outputs_arg =
+  Arg.(
+    value & opt int 16 & info [ "outputs"; "n2" ] ~doc:"Output port count N2.")
+
+let classes_arg =
+  Arg.(
+    value
+    & opt_all Class_spec.converter []
+    & info [ "class"; "c" ]
+        ~doc:
+          "Traffic class, e.g. \
+           name=voice,kind=poisson,a=1,alpha=0.02,mu=1.  Kinds: poisson, \
+           pascal, bernoulli, bpp.  Repeatable.")
+
+let algorithm_conv =
+  Arg.conv
+    ( (fun s ->
+        match Crossbar.Solver.algorithm_of_string s with
+        | Ok a -> Ok a
+        | Error e -> Error (`Msg e)),
+      fun ppf a ->
+        Format.pp_print_string ppf (Crossbar.Solver.algorithm_to_string a) )
+
+let algorithm_arg =
+  Arg.(
+    value
+    & opt (some algorithm_conv) None
+    & info [ "algorithm" ]
+        ~doc:"brute | convolution (Algorithm 1) | mva (Algorithm 2).")
+
+let weights_arg =
+  Arg.(
+    value
+    & opt (list float) []
+    & info [ "weights" ]
+        ~doc:"Revenue weights w_r (comma separated, one per class).")
+
+let occupancy_arg =
+  Arg.(
+    value & flag
+    & info [ "occupancy" ] ~doc:"Also print the busy-port distribution.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print the model first.")
+
+let cmd =
+  let doc = "exact performance analysis of an asynchronous multi-rate crossbar" in
+  Cmd.v
+    (Cmd.info "crossbar_calc" ~doc)
+    Term.(
+      ret
+        (const solve $ inputs_arg $ outputs_arg $ classes_arg $ algorithm_arg
+        $ weights_arg $ occupancy_arg $ verbose_arg))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,78 @@
+(* Discrete-event simulation of the crossbar, compared in-line against the
+   analytical solution.
+
+     crossbar_simulate --size 8 \
+       --class name=p,kind=poisson,a=1,alpha=0.5,mu=1 \
+       --horizon 5e4 --service deterministic --seed 7 *)
+
+open Cmdliner
+module Sim = Crossbar_sim.Simulator
+module Service = Crossbar_sim.Service
+
+let run size classes horizon warmup service seed batches =
+  if classes = [] then `Error (false, "at least one --class is required")
+  else
+    match
+      (try Ok (Crossbar.Model.square ~size ~classes)
+       with Invalid_argument m -> Error m)
+    with
+    | Error m -> `Error (false, m)
+    | Ok model -> (
+        match Service.of_string service with
+        | Error m -> `Error (false, m)
+        | Ok shape ->
+            let analytic = Crossbar.Solver.solve model in
+            Format.printf "analytic:@.%a@.@." Crossbar.Measures.pp analytic;
+            let config =
+              {
+                (Sim.default_config model) with
+                horizon;
+                warmup;
+                seed;
+                batches;
+                service = (fun _ -> shape);
+              }
+            in
+            let result = Sim.run config in
+            Format.printf "simulated (%s service, seed %d):@.%a@."
+              (Service.to_string shape) seed Sim.pp_result result;
+            `Ok ())
+
+let size_arg =
+  Arg.(value & opt int 8 & info [ "size" ] ~doc:"Square switch size N.")
+
+let classes_arg =
+  Arg.(
+    value
+    & opt_all Class_spec.converter []
+    & info [ "class"; "c" ] ~doc:"Traffic class (see crossbar_calc).")
+
+let horizon_arg =
+  Arg.(value & opt float 5e4 & info [ "horizon" ] ~doc:"Measured simulated time.")
+
+let warmup_arg =
+  Arg.(value & opt float 1e3 & info [ "warmup" ] ~doc:"Discarded warmup time.")
+
+let service_arg =
+  Arg.(
+    value & opt string "exponential"
+    & info [ "service" ]
+        ~doc:
+          "Holding-time shape: exponential | deterministic | erlang-<k> | \
+           hyperexponential-<scv>.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.")
+
+let batches_arg =
+  Arg.(value & opt int 20 & info [ "batches" ] ~doc:"Batch-means batches.")
+
+let cmd =
+  let doc = "simulate the asynchronous crossbar and compare with analysis" in
+  Cmd.v
+    (Cmd.info "crossbar_simulate" ~doc)
+    Term.(
+      ret
+        (const run $ size_arg $ classes_arg $ horizon_arg $ warmup_arg
+       $ service_arg $ seed_arg $ batches_arg))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,65 @@
+(* Regenerates every figure and table of Stirpe & Pinsky (SIGCOMM '92) as
+   TSV on stdout.
+
+     crossbar_tables figure1          # one figure/table
+     crossbar_tables all              # everything *)
+
+open Cmdliner
+module Paper = Crossbar_workloads.Paper
+module Report = Crossbar_workloads.Report
+
+let targets =
+  let ppf = Format.std_formatter in
+  [
+    ( "figure1",
+      fun () -> Report.print_figure ppf ~name:"Figure 1 (smooth traffic)" Paper.figure1 );
+    ( "figure2",
+      fun () -> Report.print_figure ppf ~name:"Figure 2 (peaky traffic)" Paper.figure2 );
+    ( "figure3",
+      fun () ->
+        Report.print_figure ppf ~name:"Figure 3 (two classes vs one)"
+          Paper.figure3 );
+    ( "figure4",
+      fun () ->
+        Report.print_figure ~sizes:Paper.figure4_sizes ppf
+          ~name:"Figure 4 (multi-rate, Table 1 loads)" Paper.figure4 );
+    ("table1", fun () -> Report.print_table1 ppf);
+    ("table2", fun () -> Report.print_table2 ppf);
+    ("forensics", fun () -> Report.print_forensics ppf);
+    ("simulation", fun () -> Report.print_simulation_check ppf);
+    ("baselines", fun () -> Report.print_baselines ppf);
+    ("multistage", fun () -> Report.print_multistage ppf);
+    ("hotspot", fun () -> Report.print_hotspot ppf);
+  ]
+
+let run what =
+  match what with
+  | "all" ->
+      Crossbar_workloads.Report.print_all Format.std_formatter;
+      `Ok ()
+  | name -> (
+      match List.assoc_opt name targets with
+      | Some emit ->
+          emit ();
+          `Ok ()
+      | None ->
+          `Error
+            ( false,
+              Printf.sprintf
+                "unknown target %S (figure1..4, table1, table2, forensics, \
+                 simulation, baselines, all)"
+                name ))
+
+let what_arg =
+  Arg.(
+    value & pos 0 string "all"
+    & info [] ~docv:"TARGET"
+        ~doc:
+          "figure1 | figure2 | figure3 | figure4 | table1 | table2 | \
+           forensics | simulation | baselines | all")
+
+let cmd =
+  let doc = "regenerate the paper's figures and tables" in
+  Cmd.v (Cmd.info "crossbar_tables" ~doc) Term.(ret (const run $ what_arg))
+
+let () = exit (Cmd.eval cmd)

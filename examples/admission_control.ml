@@ -1,0 +1,69 @@
+(* Admission control on the asynchronous crossbar: can trunk reservation
+   buy back the multi-rate penalty of Figure 4?
+
+   Controlled chains lose the product form; this example solves the exact
+   guarded Markov chain and cross-checks one policy in simulation.
+
+     dune exec examples/admission_control.exe *)
+
+module Admission = Crossbar.Admission
+module Measures = Crossbar.Measures
+
+let () =
+  let model =
+    Crossbar.Model.square ~size:8
+      ~classes:
+        [
+          Crossbar.Traffic.poisson ~name:"thin" ~bandwidth:1 ~rate:2.0
+            ~service_rate:1.0 ();
+          Crossbar.Traffic.poisson ~name:"wide" ~bandwidth:2 ~rate:1.0
+            ~service_rate:1.0 ();
+        ]
+  in
+  Printf.printf "%-28s %-12s %-12s %-12s %s\n" "policy" "thin block"
+    "wide block" "busy ports" "throughput";
+  let show policy =
+    let m = Admission.solve model ~policy in
+    Printf.printf "%-28s %-12.4f %-12.4f %-12.3f %.4f\n"
+      (Admission.describe policy)
+      (Measures.class_named m "thin").Measures.blocking
+      (Measures.class_named m "wide").Measures.blocking
+      m.Measures.busy_ports
+      (Measures.total_throughput m)
+  in
+  show Admission.unrestricted;
+  List.iter
+    (fun threshold ->
+      show (Admission.trunk_reservation ~thresholds:[| threshold; 8 |]))
+    [ 6; 5; 4; 3 ];
+  show
+    (Admission.custom ~describe:"wide-priority (thin if load<2)"
+       (fun ~class_index ~load ~bandwidth:_ -> class_index = 1 || load < 2));
+  print_endline
+    "\nFinding: unlike trunked telephone links, where reservation is very\n\
+     effective, load thresholds barely help the wideband class here.  Its\n\
+     blocking is dominated by collisions on the *specific* ports a request\n\
+     draws (P ~ (1-u)^4), not by running out of total capacity, so only\n\
+     policies that actually depress utilization move it — and they pay\n\
+     for it in thin-class blocking and total throughput.";
+  (* Cross-check one controlled configuration in simulation. *)
+  let policy = Admission.trunk_reservation ~thresholds:[| 4; 8 |] in
+  let exact = Admission.solve model ~policy in
+  let sim =
+    Crossbar_sim.Simulator.run
+      {
+        (Crossbar_sim.Simulator.default_config model) with
+        admission = policy;
+        horizon = 5e4;
+      }
+  in
+  Printf.printf
+    "\nsimulation check (thin, thresholds [4;8]): exact %.4f vs simulated \
+     %.4f ± %.4f\n"
+    (Measures.class_named exact "thin").Measures.blocking
+    sim.Crossbar_sim.Simulator.per_class.(0)
+      .Crossbar_sim.Simulator.time_congestion
+      .Crossbar_sim.Simulator.point
+    sim.Crossbar_sim.Simulator.per_class.(0)
+      .Crossbar_sim.Simulator.time_congestion
+      .Crossbar_sim.Simulator.halfwidth

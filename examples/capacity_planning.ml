@@ -1,0 +1,68 @@
+(* Capacity planning: invert the blocking curves instead of eyeballing
+   them.  Finds (a) how much load a given switch admits under a blocking
+   objective, and (b) how large a switch a given demand needs.
+
+     dune exec examples/capacity_planning.exe *)
+
+let () =
+  let target = 0.005 (* the paper's "acceptable operating point" *) in
+
+  (* (a) Load headroom of a 64x64 switch at 0.5% blocking. *)
+  let base =
+    Crossbar.Model.square ~size:64
+      ~classes:
+        [
+          Crossbar.Traffic.poisson ~name:"traffic" ~bandwidth:1 ~rate:0.001
+            ~service_rate:1.0 ();
+        ]
+  in
+  let multiplier =
+    Crossbar.Capacity.load_multiplier_for_blocking base ~class_index:0
+      ~target
+  in
+  Printf.printf
+    "64x64 switch, %.1f%% blocking objective:\n\
+    \  admissible aggregate load alpha~ = %.6f (%.2fx the probe load)\n"
+    (100. *. target)
+    (0.001 *. multiplier)
+    multiplier;
+  let admitted =
+    Crossbar.Model.map_class base 0 (fun t ->
+        Crossbar.Traffic.scale_load t multiplier)
+  in
+  let m = Crossbar.Solver.solve admitted in
+  Printf.printf "  check: blocking at that load = %.4f%%, carrying %.2f calls\n\n"
+    (100. *. m.Crossbar.Measures.per_class.(0).Crossbar.Measures.blocking)
+    m.Crossbar.Measures.per_class.(0).Crossbar.Measures.concurrency;
+
+  (* (b) Dimensioning: smallest switch for a demand of ~3 concurrent
+     calls plus a bursty class, at 2% blocking. *)
+  let demand n =
+    let nf = float_of_int n in
+    [
+      Crossbar.Traffic.poisson ~name:"calls" ~bandwidth:1 ~rate:(3. /. nf)
+        ~service_rate:1.0 ();
+      Crossbar.Traffic.pascal ~name:"bursts" ~bandwidth:1 ~alpha:(0.5 /. nf)
+        ~beta:(0.2 /. nf) ~service_rate:1.0 ();
+    ]
+  in
+  (match
+     Crossbar.Capacity.smallest_square_switch ~classes:demand ~target:0.02
+       ~max_size:512 ()
+   with
+  | Some n ->
+      Printf.printf "Smallest square switch for the demand at 2%%: %dx%d\n" n n;
+      let m = Crossbar.Solver.solve (Crossbar.Model.square ~size:n ~classes:(demand n)) in
+      Array.iter
+        (fun (c : Crossbar.Measures.per_class) ->
+          Printf.printf "  %-8s blocking %.3f%%\n" c.Crossbar.Measures.name
+            (100. *. c.Crossbar.Measures.blocking))
+        m.Crossbar.Measures.per_class
+  | None -> print_endline "no switch up to 512x512 satisfies the demand");
+
+  (* (c) The classical anchor for comparison: how many Erlang-B servers
+     carry 3 erlangs at the same objective? *)
+  Printf.printf
+    "\n(Erlang-B reference: %d full-access servers carry 3 erlangs at 2%%.)\n"
+    (Crossbar_baselines.Erlang.servers_for_blocking ~offered_load:3.
+       ~target:0.02)

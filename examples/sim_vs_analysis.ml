@@ -1,0 +1,54 @@
+(* Simulation vs analysis — the validation the paper lists as future
+   work.  Runs the port-level discrete-event simulator against the
+   product-form solution, demonstrates service-time insensitivity, and
+   shows the call- vs time-congestion split for non-Poisson arrivals.
+
+     dune exec examples/sim_vs_analysis.exe *)
+
+module Sim = Crossbar_sim.Simulator
+module Service = Crossbar_sim.Service
+
+let () =
+  let model =
+    Crossbar.Model.square ~size:8
+      ~classes:
+        [
+          Crossbar.Traffic.poisson ~name:"poisson" ~bandwidth:1 ~rate:0.8
+            ~service_rate:1.0 ();
+          Crossbar.Traffic.pascal ~name:"pascal" ~bandwidth:2 ~alpha:0.5
+            ~beta:0.3 ~service_rate:1.0 ();
+          Crossbar.Traffic.bernoulli ~name:"engset" ~bandwidth:1 ~sources:6
+            ~per_source_rate:0.1 ~service_rate:1.0 ();
+        ]
+  in
+  let analytic = Crossbar.Solver.solve model in
+  Format.printf "analytic (product form):@.%a@.@." Crossbar.Measures.pp
+    analytic;
+
+  let run shape =
+    Sim.run
+      {
+        (Sim.default_config model) with
+        horizon = 1e5;
+        warmup = 1e3;
+        service = (fun _ -> shape);
+      }
+  in
+  List.iter
+    (fun shape ->
+      let result = run shape in
+      Format.printf "simulated, %s holding times:@.%a@.@."
+        (Service.to_string shape)
+        Sim.pp_result result)
+    [ Service.Exponential; Service.Deterministic; Service.Hyperexponential 4. ];
+
+  print_endline
+    "Observations:\n\
+    \  * time congestion matches the analytical blocking for every\n\
+    \    holding-time distribution (insensitivity, paper Section 2);\n\
+    \  * the Poisson class's call congestion equals its time congestion\n\
+    \    (PASTA);\n\
+    \  * the Bernoulli class is blocked *less* often than the time\n\
+    \    average suggests, the Pascal class *more* — the Engset effect\n\
+    \    for state-dependent arrivals.  The analytical B_r of the paper\n\
+    \    is the time congestion."

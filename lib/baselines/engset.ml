@@ -1,0 +1,31 @@
+(* p(k) ∝ C(sources, k) a^k for k = 0..servers, a = idle_rate/service_rate.
+   Computed by a ratio recursion to avoid large binomials. *)
+let occupancy_tail ~servers ~sources ~ratio =
+  if servers < 0 then invalid_arg "Engset: servers < 0";
+  if sources < 0 then invalid_arg "Engset: sources < 0";
+  let top = min servers sources in
+  let term = ref 1. and total = ref 1. and last = ref 1. in
+  for k = 1 to top do
+    term :=
+      !term *. ratio
+      *. (float_of_int (sources - k + 1) /. float_of_int k);
+    total := !total +. !term;
+    last := !term
+  done;
+  if sources < servers then 0. (* the group can never fill *)
+  else !last /. !total
+
+let validate ~idle_rate ~service_rate =
+  if not (idle_rate > 0.) then invalid_arg "Engset: idle_rate <= 0";
+  if not (service_rate > 0.) then invalid_arg "Engset: service_rate <= 0"
+
+let time_congestion ~servers ~sources ~idle_rate ~service_rate =
+  validate ~idle_rate ~service_rate;
+  occupancy_tail ~servers ~sources ~ratio:(idle_rate /. service_rate)
+
+let call_congestion ~servers ~sources ~idle_rate ~service_rate =
+  validate ~idle_rate ~service_rate;
+  (* Arriving-customer distribution = time distribution with one fewer
+     source. *)
+  occupancy_tail ~servers ~sources:(sources - 1)
+    ~ratio:(idle_rate /. service_rate)

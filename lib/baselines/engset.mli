@@ -1,0 +1,24 @@
+(** Engset loss formulas: finite-source (smooth) traffic on a full-access
+    server group.
+
+    This is the single-resource analogue of the paper's Bernoulli class
+    and exhibits the same distinction the crossbar simulator measures:
+    {e time congestion} (fraction of time all servers busy) differs from
+    {e call congestion} (fraction of attempts blocked) because arrivals
+    from fewer idle sources are less frequent exactly when the group is
+    full. *)
+
+val time_congestion : servers:int -> sources:int -> idle_rate:float ->
+  service_rate:float -> float
+(** Stationary probability that all [servers] are busy, with [sources]
+    independent sources each requesting at [idle_rate] while idle and
+    holding for mean [1/service_rate].
+    @raise Invalid_argument on non-positive rates, [servers < 0] or
+    [sources < servers] making the formula degenerate ([sources] may be
+    at most exhausted: if [sources <= servers] blocking is 0). *)
+
+val call_congestion : servers:int -> sources:int -> idle_rate:float ->
+  service_rate:float -> float
+(** Probability an {e attempt} finds all servers busy; equals the time
+    congestion of the system with one source removed (arriving customer's
+    view). *)

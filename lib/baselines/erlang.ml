@@ -1,0 +1,27 @@
+let erlang_b ~servers ~offered_load =
+  if servers < 0 then invalid_arg "Erlang.erlang_b: servers < 0";
+  if offered_load < 0. then invalid_arg "Erlang.erlang_b: offered_load < 0";
+  let b = ref 1. in
+  for n = 1 to servers do
+    b := offered_load *. !b /. (float_of_int n +. (offered_load *. !b))
+  done;
+  !b
+
+let erlang_c ~servers ~offered_load =
+  if offered_load >= float_of_int servers then
+    invalid_arg "Erlang.erlang_c: offered load >= servers (unstable)";
+  let b = erlang_b ~servers ~offered_load in
+  let c = float_of_int servers in
+  c *. b /. (c -. (offered_load *. (1. -. b)))
+
+let servers_for_blocking ~offered_load ~target =
+  if not (target > 0. && target < 1.) then
+    invalid_arg "Erlang.servers_for_blocking: target outside (0,1)";
+  let rec search n b =
+    if b <= target then n
+    else
+      let n = n + 1 in
+      let b = offered_load *. b /. (float_of_int n +. (offered_load *. b)) in
+      search n b
+  in
+  search 0 1.

@@ -1,0 +1,20 @@
+(** Erlang loss formulas — the classical single-resource anchors.
+
+    A crossbar input (or output) port group behaves like an Erlang loss
+    group in limiting regimes; these formulas provide sanity bounds and
+    the classic capacity-planning vocabulary the paper's model
+    generalises. *)
+
+val erlang_b : servers:int -> offered_load:float -> float
+(** Blocking probability of M/M/c/c (Erlang B), by the numerically stable
+    recursion [B(0) = 1], [B(n) = rho B(n-1) / (n + rho B(n-1))].
+    @raise Invalid_argument if [servers < 0] or [offered_load < 0]. *)
+
+val erlang_c : servers:int -> offered_load:float -> float
+(** Probability of waiting in M/M/c (Erlang C); requires
+    [offered_load < servers] for stability.
+    @raise Invalid_argument when unstable. *)
+
+val servers_for_blocking : offered_load:float -> target:float -> int
+(** Smallest [c] with [erlang_b ~servers:c <= target].
+    @raise Invalid_argument if [target] is outside (0, 1). *)

@@ -1,0 +1,31 @@
+let stages ~switch_size ~fanout =
+  if fanout < 2 then invalid_arg "Multistage: fanout < 2";
+  if switch_size < fanout then invalid_arg "Multistage: switch too small";
+  let rec count size acc =
+    if size = 1 then acc
+    else if size mod fanout <> 0 then
+      invalid_arg "Multistage: size not a power of fanout"
+    else count (size / fanout) (acc + 1)
+  in
+  count switch_size 0
+
+let throughput ~switch_size ~fanout ~request_probability =
+  if not (request_probability >= 0. && request_probability <= 1.) then
+    invalid_arg "Multistage: request probability outside [0,1]";
+  let num_stages = stages ~switch_size ~fanout in
+  let k = float_of_int fanout in
+  let p = ref request_probability in
+  for _ = 1 to num_stages do
+    p := 1. -. Float.pow (1. -. (!p /. k)) k
+  done;
+  !p
+
+let acceptance_probability ~switch_size ~fanout ~request_probability =
+  if request_probability = 0. then 1.
+  else
+    throughput ~switch_size ~fanout ~request_probability
+    /. request_probability
+
+let crosspoint_complexity ~switch_size ~fanout =
+  let num_stages = stages ~switch_size ~fanout in
+  switch_size / fanout * num_stages * fanout * fanout

@@ -1,0 +1,23 @@
+(** Multistage interconnection network (delta/banyan) throughput — the
+    [O(N log N)] alternative the paper's introduction motivates the
+    crossbar against.
+
+    An [N x N] delta network built from [k x k] unbuffered crossbars has
+    [log_k N] stages; a request surviving stage [i] reaches stage [i+1].
+    Patel's recurrence propagates the per-link request probability
+    [p_{i+1} = 1 - (1 - p_i / k)^k]. *)
+
+val stages : switch_size:int -> fanout:int -> int
+(** [log_k N].
+    @raise Invalid_argument unless [switch_size] is an exact power of
+    [fanout >= 2]. *)
+
+val throughput : switch_size:int -> fanout:int -> request_probability:float -> float
+(** Per-port accepted probability after all stages. *)
+
+val acceptance_probability : switch_size:int -> fanout:int -> request_probability:float -> float
+(** [throughput / p] (1 when [p = 0]). *)
+
+val crosspoint_complexity : switch_size:int -> fanout:int -> int
+(** Total crosspoints: [(N / k) log_k N * k^2] — the [O(N log N)] cost to
+    compare against the crossbar's [N^2]. *)

@@ -1,0 +1,24 @@
+let validate ~inputs ~outputs ~request_probability =
+  if inputs < 1 || outputs < 1 then
+    invalid_arg "Sync_crossbar: dimensions must be >= 1";
+  if not (request_probability >= 0. && request_probability <= 1.) then
+    invalid_arg "Sync_crossbar: request probability outside [0,1]"
+
+let accepted_per_output ~inputs ~outputs ~request_probability =
+  validate ~inputs ~outputs ~request_probability;
+  let miss = 1. -. (request_probability /. float_of_int outputs) in
+  1. -. Float.pow miss (float_of_int inputs)
+
+let throughput ~inputs ~outputs ~request_probability =
+  accepted_per_output ~inputs ~outputs ~request_probability
+  *. float_of_int outputs /. float_of_int inputs
+
+let acceptance_probability ~inputs ~outputs ~request_probability =
+  if request_probability = 0. then begin
+    validate ~inputs ~outputs ~request_probability;
+    1.
+  end
+  else throughput ~inputs ~outputs ~request_probability /. request_probability
+
+let saturation_throughput ~size =
+  throughput ~inputs:size ~outputs:size ~request_probability:1.

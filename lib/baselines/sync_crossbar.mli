@@ -1,0 +1,25 @@
+(** Patel's synchronous (slotted) crossbar — the baseline design the
+    paper's introduction contrasts with the asynchronous switch.
+
+    [N1] inputs each issue a request with probability [p] per slot,
+    addressed to a uniformly random one of [N2] outputs; each output
+    grants one request, the rest are dropped (input buffers ignored, the
+    classical memoryless analysis of Patel 1981). *)
+
+val accepted_per_output : inputs:int -> outputs:int -> request_probability:float -> float
+(** Expected grants per output per slot: [1 - (1 - p/N2)^N1].
+    @raise Invalid_argument if [p] is outside [0, 1] or a dimension is
+    [< 1]. *)
+
+val throughput : inputs:int -> outputs:int -> request_probability:float -> float
+(** Expected grants per {e input} per slot:
+    [(N2/N1) (1 - (1 - p/N2)^N1)]. *)
+
+val acceptance_probability : inputs:int -> outputs:int -> request_probability:float -> float
+(** Probability a given request is granted ([throughput / p]); 1 when
+    [p = 0]. *)
+
+val saturation_throughput : size:int -> float
+(** Per-port throughput at [p = 1] on a square [size x size] switch;
+    tends to [1 - 1/e ~ 0.632] as the switch grows — the classical
+    head-of-line-free slotted crossbar limit. *)

@@ -1,0 +1,162 @@
+module Special = Crossbar_numerics.Special
+module State_space = Crossbar_markov.State_space
+module Ctmc = Crossbar_markov.Ctmc
+
+type t = {
+  describe : string;
+  admits : class_index:int -> load:int -> bandwidth:int -> bool;
+}
+
+let unrestricted =
+  {
+    describe = "unrestricted";
+    admits = (fun ~class_index:_ ~load:_ ~bandwidth:_ -> true);
+  }
+
+let trunk_reservation ~thresholds =
+  Array.iter
+    (fun threshold ->
+      if threshold < 0 then
+        invalid_arg "Admission.trunk_reservation: negative threshold")
+    thresholds;
+  let thresholds = Array.copy thresholds in
+  {
+    describe =
+      Printf.sprintf "trunk-reservation [%s]"
+        (String.concat "; "
+           (Array.to_list (Array.map string_of_int thresholds)));
+    admits =
+      (fun ~class_index ~load ~bandwidth ->
+        if class_index >= Array.length thresholds then
+          invalid_arg "Admission.trunk_reservation: class index out of range";
+        load + bandwidth <= thresholds.(class_index));
+  }
+
+let custom ~describe admits = { describe; admits }
+let admits t = t.admits
+let describe t = t.describe
+
+let check_class_count model policy =
+  (* Probe every class once so length mismatches surface eagerly. *)
+  for r = 0 to Model.num_classes model - 1 do
+    ignore
+      (policy.admits ~class_index:r ~load:0
+         ~bandwidth:(Model.bandwidth model r))
+  done
+
+(* Reachable states under the policy (closed under departures, so BFS over
+   admissible births from the empty state suffices). *)
+let reachable_states model policy =
+  let space = Model.state_space model in
+  let capacity = Model.capacity model in
+  let reachable = Array.make (State_space.size space) false in
+  let queue = Queue.create () in
+  let start = State_space.index space (Array.make (Model.num_classes model) 0) in
+  reachable.(start) <- true;
+  Queue.add start queue;
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    let k = State_space.state space i in
+    let load = State_space.load space i in
+    for r = 0 to Model.num_classes model - 1 do
+      let a = Model.bandwidth model r in
+      if
+        load + a <= capacity
+        && policy.admits ~class_index:r ~load ~bandwidth:a
+        && Model.arrival_rate model ~class_index:r ~concurrent:k.(r) > 0.
+      then begin
+        let target = Array.copy k in
+        target.(r) <- target.(r) + 1;
+        let j = State_space.index space target in
+        if not reachable.(j) then begin
+          reachable.(j) <- true;
+          Queue.add j queue
+        end
+      end
+    done
+  done;
+  let members = ref [] in
+  Array.iteri (fun i r -> if r then members := i :: !members) reachable;
+  Array.of_list (List.rev !members)
+
+let chain model ~policy =
+  check_class_count model policy;
+  let space = Model.state_space model in
+  if State_space.size space > 20_000 then
+    failwith "Admission.chain: state space too large for exact solve";
+  let members = reachable_states model policy in
+  let dense_of_space = Hashtbl.create (Array.length members) in
+  Array.iteri (fun dense i -> Hashtbl.replace dense_of_space i dense) members;
+  let n1 = Model.inputs model and n2 = Model.outputs model in
+  let ctmc =
+    Ctmc.build ~states:(Array.length members) ~f:(fun dense ->
+        let i = members.(dense) in
+        let k = State_space.state space i in
+        let load = State_space.load space i in
+        let transitions = ref [] in
+        for r = 0 to Model.num_classes model - 1 do
+          let a = Model.bandwidth model r in
+          (* Guarded birth. *)
+          if
+            load + a <= Model.capacity model
+            && policy.admits ~class_index:r ~load ~bandwidth:a
+          then begin
+            let rate =
+              Special.permutations (n1 - load) a
+              *. Special.permutations (n2 - load) a
+              *. Model.arrival_rate model ~class_index:r ~concurrent:k.(r)
+            in
+            if rate > 0. then begin
+              let target = Array.copy k in
+              target.(r) <- target.(r) + 1;
+              transitions :=
+                ( Hashtbl.find dense_of_space (State_space.index space target),
+                  rate )
+                :: !transitions
+            end
+          end;
+          (* Death. *)
+          if k.(r) > 0 then begin
+            let target = Array.copy k in
+            target.(r) <- target.(r) - 1;
+            transitions :=
+              ( Hashtbl.find dense_of_space (State_space.index space target),
+                float_of_int k.(r) *. Model.service_rate model r )
+              :: !transitions
+          end
+        done;
+        !transitions)
+  in
+  (ctmc, members)
+
+let solve model ~policy =
+  let ctmc, members = chain model ~policy in
+  let pi = Ctmc.solve_gth ctmc in
+  let space = Model.state_space model in
+  let n1 = Model.inputs model and n2 = Model.outputs model in
+  let num_classes = Model.num_classes model in
+  let concurrency = Array.make num_classes 0. in
+  let non_blocking = Array.make num_classes 0. in
+  Array.iteri
+    (fun dense i ->
+      let k = State_space.state space i in
+      let load = State_space.load space i in
+      for r = 0 to num_classes - 1 do
+        concurrency.(r) <-
+          concurrency.(r) +. (float_of_int k.(r) *. pi.(dense));
+        let a = Model.bandwidth model r in
+        if
+          load + a <= Model.capacity model
+          && policy.admits ~class_index:r ~load ~bandwidth:a
+        then
+          (* Probability a uniformly chosen port set is free and the
+             policy says yes. *)
+          non_blocking.(r) <-
+            non_blocking.(r)
+            +. pi.(dense)
+               *. (Special.permutations (n1 - load) a
+                  *. Special.permutations (n2 - load) a
+                  /. (Special.permutations n1 a *. Special.permutations n2 a))
+      done)
+    members;
+  Measures.of_concurrencies ~model ~non_blocking ~concurrency

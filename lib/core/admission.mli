@@ -1,0 +1,44 @@
+(** Admission control on top of the crossbar model.
+
+    Figure 4 of the paper shows wideband ([a_r > 1]) traffic suffering
+    disproportionate blocking; the classical remedy in circuit switching
+    is {e trunk reservation}: refuse narrowband connections once the load
+    crosses a threshold, keeping headroom for wide ones.  Controlled
+    chains lose the product form, so this module solves the {e exact}
+    guarded Markov chain (GTH on the reachable state set) — feasible for
+    the small-to-moderate switches where admission policy design happens —
+    and the simulator applies the same policies at any size. *)
+
+type t
+(** An admission policy: a predicate on (class, current load). *)
+
+val unrestricted : t
+(** Admit whenever the ports are available — the paper's model. *)
+
+val trunk_reservation : thresholds:int array -> t
+(** [trunk_reservation ~thresholds] admits a class-[r] connection only if
+    the load {e after} acceptance stays within [thresholds.(r)] busy
+    ports.  Setting a class's threshold to the switch capacity leaves it
+    unrestricted; lower thresholds reserve the remaining ports for the
+    other classes.
+    @raise Invalid_argument on negative thresholds. *)
+
+val custom : describe:string -> (class_index:int -> load:int -> bandwidth:int -> bool) -> t
+(** Arbitrary predicate: [load] is the current number of busy input
+    (= output) ports, [bandwidth] the requesting class's [a_r]. *)
+
+val admits : t -> class_index:int -> load:int -> bandwidth:int -> bool
+val describe : t -> string
+
+val chain : Model.t -> policy:t -> Crossbar_markov.Ctmc.t * int array
+(** The guarded chain restricted to the states reachable from empty,
+    together with the map from its state indices to the indices of
+    [Model.state_space].
+    @raise Invalid_argument if [thresholds] length mismatches the model.
+    @raise Failure if the state space is too large for an exact solve. *)
+
+val solve : Model.t -> policy:t -> Measures.t
+(** Exact measures of the controlled switch.  [non_blocking] is the
+    stationary probability that a class-[r] request is {e admitted and}
+    finds its ports free (for Poisson classes, by PASTA, exactly the
+    per-request acceptance probability). *)

@@ -1,0 +1,22 @@
+(* Thin adapter: the enumeration engine lives in General; this module
+   binds it to the BPP Model conventions. *)
+
+let max_states = General.max_states
+
+let log_weight model ~inputs ~outputs k =
+  General.log_state_weight ~inputs ~outputs ~classes:(General.of_model model) k
+
+let log_g model ~inputs ~outputs =
+  General.log_g ~inputs ~outputs ~classes:(General.of_model model)
+
+let distribution model =
+  General.distribution ~inputs:(Model.inputs model)
+    ~outputs:(Model.outputs model) ~classes:(General.of_model model)
+
+let solve model =
+  let result =
+    General.solve ~inputs:(Model.inputs model) ~outputs:(Model.outputs model)
+      ~classes:(General.of_model model)
+  in
+  Measures.of_concurrencies ~model ~non_blocking:result.General.non_blocking
+    ~concurrency:result.General.concurrency

@@ -1,0 +1,28 @@
+(** Brute-force evaluation of the product form by state-space enumeration.
+
+    Computes [G(N)] and every measure directly from the definition
+    (paper equations 2–3), entirely in log space.  Exponential in the
+    number of classes and switch size, so only practical for validation —
+    this module is the oracle against which {!Convolution} (Algorithm 1)
+    and {!Mva} (Algorithm 2) are tested. *)
+
+val max_states : int
+(** Safety bound on the enumerated state count (2_000_000). *)
+
+val log_weight : Model.t -> inputs:int -> outputs:int -> int array -> float
+(** [log_weight model ~inputs ~outputs k] is
+    [log (Psi(k) * prod_r Phi_r(k_r))] evaluated with the model's
+    per-pair parameters but the {e given} switch dimensions —
+    [neg_infinity] for infeasible states. *)
+
+val log_g : Model.t -> inputs:int -> outputs:int -> float
+(** [log G(n1, n2)]: the normalisation function at possibly reduced
+    dimensions (needed for [B_r = G(N - a_r I)/G(N)]).
+    @raise Failure if the state space exceeds {!max_states}. *)
+
+val distribution : Model.t -> Crossbar_markov.State_space.t * float array
+(** The explicit stationary distribution [pi(k)] over [Gamma(N)], indexed
+    by the returned state space. *)
+
+val solve : Model.t -> Measures.t
+(** All performance measures by direct summation. *)

@@ -1,0 +1,27 @@
+let blocking ?algorithm model ~class_index =
+  let measures = Solver.solve ?algorithm model in
+  measures.Measures.per_class.(class_index).Measures.blocking
+
+let load_multiplier_for_blocking ?algorithm model ~class_index ~target =
+  if not (target > 0. && target < 1.) then
+    invalid_arg "Capacity.load_multiplier_for_blocking: target outside (0,1)";
+  let blocking_at c =
+    let scaled =
+      Model.map_class model class_index (fun t -> Traffic.scale_load t c)
+    in
+    blocking ?algorithm scaled ~class_index
+  in
+  Crossbar_numerics.Roots.invert_monotone ~tolerance:1e-10 ~f:blocking_at
+    ~target ~lo:0. ()
+
+let smallest_square_switch ?algorithm ~classes ~target ~max_size () =
+  if max_size < 1 then invalid_arg "Capacity.smallest_square_switch: max_size";
+  let fits n =
+    let model = Model.square ~size:n ~classes:(classes n) in
+    let measures = Solver.solve ?algorithm model in
+    Array.for_all
+      (fun c -> c.Measures.blocking <= target)
+      measures.Measures.per_class
+  in
+  let rec search n = if n > max_size then None else if fits n then Some n else search (n + 1) in
+  search 1

@@ -1,0 +1,29 @@
+(** Capacity planning on top of the analytic solvers.
+
+    Answers the two dimensioning questions a switch designer asks of this
+    model: how much load fits under a blocking objective, and how large a
+    crossbar a given traffic mix needs.  (The paper's figures are drawn at
+    the "acceptable operating point" of 0.5% blocking; these routines find
+    such operating points instead of eyeballing them.) *)
+
+val blocking : ?algorithm:Solver.algorithm -> Model.t -> class_index:int -> float
+(** Convenience accessor: the blocking probability [1 - B_r]. *)
+
+val load_multiplier_for_blocking :
+  ?algorithm:Solver.algorithm -> Model.t -> class_index:int ->
+  target:float -> float
+(** The factor [c] such that scaling class [class_index]'s arrival
+    parameters ([alpha], [beta]) by [c] drives that class's blocking
+    probability to [target].  Blocking is increasing in the class's own
+    load, so the answer is unique.
+    @raise Failure if [target] is below the blocking caused by the other
+    classes alone, or above what any finite load can reach. *)
+
+val smallest_square_switch :
+  ?algorithm:Solver.algorithm -> classes:(int -> Traffic.t list) ->
+  target:float -> max_size:int -> unit -> int option
+(** The smallest [N] (testing [1 .. max_size]) such that every class of
+    [classes N] sees blocking at most [target] on an [N x N] crossbar;
+    [None] if even [max_size] does not suffice.  [classes] receives the
+    candidate size so that size-dependent loads (e.g. the paper's
+    constant total load [tau / C(N, a)]) can be expressed. *)

@@ -1,0 +1,79 @@
+module Special = Crossbar_numerics.Special
+module State_space = Crossbar_markov.State_space
+module Ctmc = Crossbar_markov.Ctmc
+
+let max_exact_states = 20_000
+
+let check_size space =
+  if State_space.size space > max_exact_states then
+    failwith
+      (Printf.sprintf "Chain: state space too large for exact solve (%d)"
+         (State_space.size space))
+
+(* Common structure: per-state successor list with class-specific birth
+   rates supplied by [birth] and death rates by [death]. *)
+let build model ~birth ~death =
+  let space = Model.state_space model in
+  check_size space;
+  let n1 = Model.inputs model and n2 = Model.outputs model in
+  let num_classes = Model.num_classes model in
+  Ctmc.build ~states:(State_space.size space) ~f:(fun i ->
+      let k = State_space.state space i in
+      let load = State_space.load space i in
+      let transitions = ref [] in
+      for r = 0 to num_classes - 1 do
+        let a = Model.bandwidth model r in
+        (* Birth: a_r free inputs and outputs must exist. *)
+        if load + a <= min n1 n2 then begin
+          let rate =
+            Special.permutations (n1 - load) a
+            *. Special.permutations (n2 - load) a
+            *. birth ~class_index:r ~concurrent:k.(r)
+          in
+          if rate > 0. then begin
+            let target = Array.copy k in
+            target.(r) <- target.(r) + 1;
+            transitions := (State_space.index space target, rate) :: !transitions
+          end
+        end;
+        (* Death. *)
+        if k.(r) > 0 then begin
+          let rate = death ~class_index:r ~concurrent:k.(r) in
+          if rate > 0. then begin
+            let target = Array.copy k in
+            target.(r) <- target.(r) - 1;
+            transitions := (State_space.index space target, rate) :: !transitions
+          end
+        end
+      done;
+      !transitions)
+
+let arrival_chain model =
+  build model
+    ~birth:(fun ~class_index ~concurrent ->
+      Model.arrival_rate model ~class_index ~concurrent)
+    ~death:(fun ~class_index ~concurrent ->
+      float_of_int concurrent *. Model.service_rate model class_index)
+
+let service_view_chain model =
+  (* v_r = alpha_r - beta_r, delta_r = beta_r gives
+     mu_r(k) = k mu_r / (v_r + delta_r k), matching the BPP chain. *)
+  let v r = Model.alpha model r -. Model.beta model r in
+  let delta r = Model.beta model r in
+  for r = 0 to Model.num_classes model - 1 do
+    let max_k = Model.capacity model / Model.bandwidth model r in
+    for k = 1 to max_k do
+      if v r +. (delta r *. float_of_int k) <= 0. then
+        invalid_arg
+          "Chain.service_view_chain: v_r + delta_r k <= 0 in the state space"
+    done
+  done;
+  build model
+    ~birth:(fun ~class_index:_ ~concurrent:_ -> 1.)
+    ~death:(fun ~class_index ~concurrent ->
+      let k = float_of_int concurrent in
+      k
+      *. Model.service_rate model class_index
+      /. (v class_index +. (delta class_index *. k)))
+
+let stationary model = Ctmc.solve_gth (arrival_chain model)

@@ -1,0 +1,26 @@
+(** The crossbar model as an explicit continuous-time Markov chain.
+
+    Builds the {e actual} chain of paper Section 2 over [Gamma(N)] —
+    acceptance intensity
+    [q(k, k + 1_r) = P(N1 - kA, a_r) P(N2 - kA, a_r) lambda_r(k_r)],
+    completion intensity [q(k, k - 1_r) = k_r mu_r] — so that the
+    product-form solution can be validated against a numerically exact
+    solve with no product-form assumption, and reversibility can be
+    checked directly. *)
+
+val arrival_chain : Model.t -> Crossbar_markov.Ctmc.t
+(** The chain with BPP state-dependent arrivals and exponential service,
+    states indexed by [Model.state_space].
+    @raise Failure if the state space is too large to solve exactly. *)
+
+val service_view_chain : Model.t -> Crossbar_markov.Ctmc.t
+(** The paper's equivalent formulation: unit-rate Poisson arrivals and
+    state-dependent service [mu_r(k) = k mu_r / (v_r + delta_r k)] with
+    [v_r = alpha_r - beta_r], [delta_r = beta_r].  Shares its stationary
+    distribution with {!arrival_chain}.
+    @raise Invalid_argument if some [v_r + delta_r k <= 0] inside the
+    state space (the equivalence needs positive service rates). *)
+
+val stationary : Model.t -> float array
+(** GTH solve of {!arrival_chain}, indexed like [Model.state_space] —
+    the reference distribution for the product-form tests. *)

@@ -1,0 +1,153 @@
+module Special = Crossbar_numerics.Special
+
+type t = {
+  model : Model.t;
+  stored : float array array; (* G(n1,n2) * exp log_omega *)
+  log_omega : float;
+  rescales : int;
+  measures : Measures.t;
+}
+
+(* Values above this trigger an adaptive rescale of the whole lattice. *)
+let rescale_threshold = 1e250
+let rescale_factor = 0x1.0p-830 (* 2^-830 ~ 1.4e-250 *)
+
+let get lattice n1 n2 = if n1 < 0 || n2 < 0 then 0. else lattice.(n1).(n2)
+
+(* Unified concurrency chain: walks the class-r diagonal from the deepest
+   feasible point up to (N1, N2), applying
+   E_r(p) = P(n1,a) P(n2,a) B_r(p) (rho_r + (beta_r/mu_r) E_r(p - a I)).
+   For Poisson classes the recursion degenerates to
+   E_r = rho_r P(N1,a) P(N2,a) B_r. *)
+let concurrency_of_lattice model stored r =
+  let a = Model.bandwidth model r in
+  let rho = Model.rho model r in
+  let b_over_mu = Model.beta_over_mu model r in
+  let n1 = Model.inputs model and n2 = Model.outputs model in
+  let depth = min n1 n2 / a in
+  let e = ref 0. in
+  for m = depth downto 0 do
+    let p1 = n1 - (m * a) and p2 = n2 - (m * a) in
+    let here = get stored p1 p2 and down = get stored (p1 - a) (p2 - a) in
+    if here > 0. && Float.is_finite here && Float.is_finite down then begin
+      let non_blocking = down /. here in
+      e :=
+        Special.permutations p1 a *. Special.permutations p2 a
+        *. non_blocking
+        *. (rho +. (b_over_mu *. !e))
+    end
+    else
+      (* A rescale flushed this deep entry; its contribution to the chain
+         is damped by (beta/mu)^m and is negligible at this depth. *)
+      e := 0.
+  done;
+  !e
+
+let solve model =
+  let n1_max = Model.inputs model and n2_max = Model.outputs model in
+  let num_classes = Model.num_classes model in
+  let stored = Array.make_matrix (n1_max + 1) (n2_max + 1) 0. in
+  let bursty =
+    (* Class indices of the paper's group R2 (beta <> 0). *)
+    List.filter
+      (fun r -> not (Model.is_poisson model r))
+      (List.init num_classes Fun.id)
+  in
+  let v = List.map (fun r -> (r, Array.make_matrix (n1_max + 1) (n2_max + 1) 0.)) bursty in
+  let log_omega = ref 0. and rescales = ref 0 in
+  let rescale_all () =
+    incr rescales;
+    log_omega := !log_omega +. log rescale_factor;
+    let scale lattice =
+      Array.iter
+        (fun row -> Array.iteri (fun j x -> row.(j) <- x *. rescale_factor) row)
+        lattice
+    in
+    scale stored;
+    List.iter (fun (_, lattice) -> scale lattice) v
+  in
+  for n1 = 0 to n1_max do
+    for n2 = 0 to n2_max do
+      (* V(p) first: it only references the diagonal predecessor. *)
+      List.iter
+        (fun (r, v_lattice) ->
+          let a = Model.bandwidth model r in
+          let scale =
+            Special.permutations n1 a *. Special.permutations n2 a
+          in
+          if scale > 0. then
+            v_lattice.(n1).(n2) <-
+              scale
+              *. (get stored (n1 - a) (n2 - a)
+                 +. (Model.beta_over_mu model r *. get v_lattice (n1 - a) (n2 - a))
+                 ))
+        v;
+      let value =
+        if n1 = 0 && n2 = 0 then 1.
+        else if n1 = 0 then get stored 0 (n2 - 1) (* all class terms vanish *)
+        else begin
+          (* Direction i = 1 of the paper's recurrence, in scaled form:
+             stored(p) = stored(n1-1,n2)
+                       + [ sum_{R1} a r rho_r P(n1,a) P(n2,a) stored(p-aI)
+                         + sum_{R2} a_r rho_r V~(p) ] / n1. *)
+          let class_terms = ref 0. in
+          for r = 0 to num_classes - 1 do
+            let a = Model.bandwidth model r in
+            let rho = Model.rho model r in
+            if Model.is_poisson model r then begin
+              let scale =
+                Special.permutations n1 a *. Special.permutations n2 a
+              in
+              class_terms :=
+                !class_terms
+                +. (float_of_int a *. rho *. scale *. get stored (n1 - a) (n2 - a))
+            end
+            else begin
+              let v_lattice = List.assoc r v in
+              class_terms :=
+                !class_terms +. (float_of_int a *. rho *. v_lattice.(n1).(n2))
+            end
+          done;
+          get stored (n1 - 1) n2 +. (!class_terms /. float_of_int n1)
+        end
+      in
+      stored.(n1).(n2) <- value;
+      if not (Float.is_finite value) then
+        failwith
+          "Convolution.solve: overflow within a single recurrence step; \
+           use Mva.solve for this parameter regime";
+      let v_magnitude =
+        List.fold_left
+          (fun acc (_, lattice) -> Float.max acc (Float.abs lattice.(n1).(n2)))
+          0. v
+      in
+      if Float.max value v_magnitude > rescale_threshold then rescale_all ()
+    done
+  done;
+  let non_blocking =
+    Array.init num_classes (fun r ->
+        let a = Model.bandwidth model r in
+        if n1_max < a || n2_max < a then 0.
+        else get stored (n1_max - a) (n2_max - a) /. get stored n1_max n2_max)
+  in
+  let concurrency =
+    Array.init num_classes (fun r -> concurrency_of_lattice model stored r)
+  in
+  let measures = Measures.of_concurrencies ~model ~non_blocking ~concurrency in
+  { model; stored; log_omega = !log_omega; rescales = !rescales; measures }
+
+let model t = t.model
+let measures t = t.measures
+
+let log_g t ~inputs ~outputs =
+  if
+    inputs < 0 || outputs < 0
+    || inputs > Model.inputs t.model
+    || outputs > Model.outputs t.model
+  then invalid_arg "Convolution.log_g: outside lattice";
+  log t.stored.(inputs).(outputs) -. t.log_omega
+
+let log_normalization t =
+  log_g t ~inputs:(Model.inputs t.model) ~outputs:(Model.outputs t.model)
+
+let rescale_count t = t.rescales

@@ -1,0 +1,40 @@
+(** Algorithm 1: the convolution recurrence on the normalisation function
+    (paper Section 5, with the dynamic scaling of Section 6).
+
+    The paper's recurrence acts on [Q(N) = G(N)/(N1! N2!)], whose values
+    span more orders of magnitude than a double.  We therefore store the
+    lattice in the pre-scaled form [G(n1, n2) * omega] — equivalent to the
+    paper's scaled [omega Q] with a deterministic factorial component folded
+    in — and apply the adaptive power-of-two rescale of Section 6 whenever
+    an entry threatens the representable range.  Performance measures are
+    ratios, so the scale cancels (paper Section 6).
+
+    Complexity [O(N1 N2 (R1 + R2))] time, [O(N1 N2 (1 + R2))] space. *)
+
+type t
+(** A solved lattice. *)
+
+val solve : Model.t -> t
+(** Runs the recurrence over the full [(N1+1) x (N2+1)] lattice and
+    derives all measures.
+    @raise Failure if a single recurrence step overflows even after
+    rescaling (pathological bandwidths); use {!Mva} in that regime. *)
+
+val model : t -> Model.t
+
+val measures : t -> Measures.t
+(** Measures from Step 3 of Algorithm 1 (with the corrected [E_r]
+    prefactor — see DESIGN.md). *)
+
+val log_g : t -> inputs:int -> outputs:int -> float
+(** [log G(n1, n2)] read off the lattice.  Entries many rescales older
+    than the final corner may have been flushed to zero (returned as
+    [neg_infinity]); entries near the corner — the ones measures use —
+    are always exact.
+    @raise Invalid_argument outside the lattice. *)
+
+val log_normalization : t -> float
+(** [log G(N1, N2)]. *)
+
+val rescale_count : t -> int
+(** Number of adaptive rescale events (0 for all workloads in the paper). *)

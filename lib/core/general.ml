@@ -1,0 +1,183 @@
+module Special = Crossbar_numerics.Special
+module Logspace = Crossbar_numerics.Logspace
+module State_space = Crossbar_markov.State_space
+
+type spec = {
+  name : string;
+  bandwidth : int;
+  arrival_rate : int -> float;
+  service_rate : float;
+}
+
+type result = {
+  non_blocking : float array;
+  concurrency : float array;
+  log_normalization : float;
+}
+
+let max_states = 2_000_000
+
+let validate classes =
+  if classes = [] then invalid_arg "General: no classes";
+  List.iter
+    (fun spec ->
+      if spec.bandwidth < 1 then invalid_arg "General: bandwidth < 1";
+      if not (spec.service_rate > 0.) then
+        invalid_arg "General: service_rate <= 0")
+    classes
+
+(* log Phi tables up to the capacity bound, one per class. *)
+let phi_tables ~capacity classes =
+  Array.of_list
+    (List.map
+       (fun spec ->
+         let max_k = capacity / spec.bandwidth in
+         let table = Array.make (max_k + 1) neg_infinity in
+         table.(0) <- 0.;
+         let exhausted = ref false in
+         for l = 1 to max_k do
+           if not !exhausted then begin
+             let rate = spec.arrival_rate (l - 1) in
+             if rate > 0. then
+               table.(l) <-
+                 table.(l - 1) +. log rate
+                 -. log (float_of_int l *. spec.service_rate)
+             else exhausted := true
+           end
+         done;
+         table)
+       classes)
+
+let space_of ~capacity classes =
+  let weights = Array.of_list (List.map (fun s -> s.bandwidth) classes) in
+  let space = State_space.create ~weights ~capacity in
+  if State_space.size space > max_states then
+    failwith
+      (Printf.sprintf "General: state space too large (%d states)"
+         (State_space.size space));
+  space
+
+let log_weight ~tables ~weights ~inputs ~outputs k =
+  let load = ref 0 in
+  Array.iteri (fun r count -> load := !load + (count * weights.(r))) k;
+  let psi =
+    Special.log_permutations inputs !load
+    +. Special.log_permutations outputs !load
+  in
+  if psi = neg_infinity then neg_infinity
+  else begin
+    let phi = ref 0. in
+    (try
+       Array.iteri
+         (fun r count ->
+           let contribution = tables.(r).(count) in
+           if contribution = neg_infinity then raise Exit;
+           phi := !phi +. contribution)
+         k
+     with Exit -> phi := neg_infinity);
+    if !phi = neg_infinity then neg_infinity else psi +. !phi
+  end
+
+let log_terms ~space ~tables ~weights ~inputs ~outputs =
+  let terms = Array.make (State_space.size space) neg_infinity in
+  State_space.iter space (fun i k ->
+      terms.(i) <- log_weight ~tables ~weights ~inputs ~outputs k);
+  terms
+
+let log_sum terms =
+  Logspace.to_log (Logspace.sum (Array.map Logspace.of_log terms))
+
+let log_g ~inputs ~outputs ~classes =
+  validate classes;
+  let capacity = min inputs outputs in
+  let space = space_of ~capacity classes in
+  let tables = phi_tables ~capacity classes in
+  let weights = State_space.weights space in
+  log_sum (log_terms ~space ~tables ~weights ~inputs ~outputs)
+
+let solve ~inputs ~outputs ~classes =
+  validate classes;
+  let capacity = min inputs outputs in
+  let space = space_of ~capacity classes in
+  let tables = phi_tables ~capacity classes in
+  let weights = State_space.weights space in
+  let terms = log_terms ~space ~tables ~weights ~inputs ~outputs in
+  let log_normalization = log_sum terms in
+  let num_classes = List.length classes in
+  let concurrency = Array.make num_classes 0. in
+  let accumulators =
+    Array.init num_classes (fun _ -> Crossbar_numerics.Kahan.create ())
+  in
+  State_space.iter space (fun i k ->
+      let weight = exp (terms.(i) -. log_normalization) in
+      Array.iteri
+        (fun r count ->
+          Crossbar_numerics.Kahan.add accumulators.(r)
+            (float_of_int count *. weight))
+        k);
+  Array.iteri
+    (fun r acc -> concurrency.(r) <- Crossbar_numerics.Kahan.total acc)
+    accumulators;
+  let non_blocking =
+    Array.of_list
+      (List.map
+         (fun spec ->
+           let inputs' = inputs - spec.bandwidth
+           and outputs' = outputs - spec.bandwidth in
+           if inputs' < 0 || outputs' < 0 then 0.
+           else
+             exp
+               (log_sum
+                  (log_terms ~space ~tables ~weights ~inputs:inputs'
+                     ~outputs:outputs')
+               -. log_normalization))
+         classes)
+  in
+  { non_blocking; concurrency; log_normalization }
+
+let log_state_weight ~inputs ~outputs ~classes k =
+  validate classes;
+  if Array.length k <> List.length classes then
+    invalid_arg "General.log_state_weight: state length mismatch";
+  let capacity =
+    (* Tables must cover the given occupancies even beyond min(n1,n2);
+       infeasible states fall out through Psi = 0. *)
+    List.fold_left2
+      (fun acc spec count -> max acc (count * spec.bandwidth))
+      (min inputs outputs) classes (Array.to_list k)
+  in
+  let tables = phi_tables ~capacity classes in
+  let weights = Array.of_list (List.map (fun s -> s.bandwidth) classes) in
+  log_weight ~tables ~weights ~inputs ~outputs k
+
+let distribution ~inputs ~outputs ~classes =
+  validate classes;
+  let capacity = min inputs outputs in
+  let space = space_of ~capacity classes in
+  let tables = phi_tables ~capacity classes in
+  let weights = State_space.weights space in
+  let terms = log_terms ~space ~tables ~weights ~inputs ~outputs in
+  let log_normalization = log_sum terms in
+  (space, Array.map (fun lw -> exp (lw -. log_normalization)) terms)
+
+let load_distribution ~inputs ~outputs ~classes =
+  let space, pi = distribution ~inputs ~outputs ~classes in
+  let histogram = Array.make (min inputs outputs + 1) 0. in
+  State_space.iter space (fun i _ ->
+      let load = State_space.load space i in
+      histogram.(load) <- histogram.(load) +. pi.(i));
+  histogram
+
+let of_model model =
+  Array.to_list
+    (Array.mapi
+       (fun r (c : Traffic.t) ->
+         {
+           name = c.Traffic.name;
+           bandwidth = c.Traffic.bandwidth;
+           arrival_rate =
+             (fun concurrent ->
+               Model.arrival_rate model ~class_index:r ~concurrent);
+           service_rate = c.Traffic.service_rate;
+         })
+       (Model.classes model))

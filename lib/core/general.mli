@@ -1,0 +1,60 @@
+(** Product-form evaluation for {e arbitrary} state-dependent arrival
+    rates.
+
+    The reversibility argument of paper Section 2 does not actually need
+    the BPP (affine) form of [lambda_r(k)] — any non-negative
+    state-dependent rate yields the product form
+    [pi(k) ∝ Psi(k) prod_r prod_l lambda_r(l-1)/(l mu_r)].  This module
+    evaluates that general model by log-domain enumeration.  Algorithms 1
+    and 2 specifically exploit affinity and stay in {!Convolution} /
+    {!Mva}; use this for non-BPP rates (e.g. MMPP-like staircases,
+    truncated overflow streams, or the shifted-[beta] variant used in the
+    Table 2 forensics of EXPERIMENTS.md). *)
+
+type spec = {
+  name : string;
+  bandwidth : int; (* a_r *)
+  arrival_rate : int -> float;
+      (* per-pair lambda_r(k), k = current class-r connections; must be
+         >= 0 and is treated as 0 once it first returns a non-positive
+         value *)
+  service_rate : float; (* mu_r *)
+}
+
+type result = {
+  non_blocking : float array;
+  concurrency : float array;
+  log_normalization : float; (* log G(N1, N2) *)
+}
+
+val max_states : int
+(** Safety bound on the enumerated state count (2_000_000). *)
+
+val solve : inputs:int -> outputs:int -> classes:spec list -> result
+(** Direct evaluation over [Gamma(N)].
+    @raise Invalid_argument on malformed specs.
+    @raise Failure if the state space exceeds {!max_states}. *)
+
+val distribution :
+  inputs:int -> outputs:int -> classes:spec list ->
+  Crossbar_markov.State_space.t * float array
+(** The explicit stationary distribution over [Gamma(N)]. *)
+
+val load_distribution :
+  inputs:int -> outputs:int -> classes:spec list -> float array
+(** [P(k . A = j)] for [j = 0 .. min(inputs, outputs)]: the stationary
+    distribution of the number of busy input (= output) ports — the
+    occupancy histogram behind the scalar measures. *)
+
+val log_g : inputs:int -> outputs:int -> classes:spec list -> float
+(** [log G(n1, n2)] for the given dimensions (states still enumerated up
+    to [min] of the given dimensions). *)
+
+val log_state_weight :
+  inputs:int -> outputs:int -> classes:spec list -> int array -> float
+(** [log (Psi(k) prod_r Phi_r(k_r))] of one state ([neg_infinity] when
+    infeasible) — the unnormalised stationary weight. *)
+
+val of_model : Model.t -> spec list
+(** The BPP special case: specs whose [arrival_rate] is the model's
+    per-pair [lambda_r(k) = alpha_r + beta_r k]. *)

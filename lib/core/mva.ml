@@ -1,0 +1,173 @@
+module Special = Crossbar_numerics.Special
+
+type t = {
+  model : Model.t;
+  f1 : float array array;
+  f2 : float array array;
+  measures : Measures.t;
+}
+
+(* L_{1r}(p): the product of F-steps along the lattice path from p - a_r I
+   to p, excluding the final F_1(p) step — i.e. Q(n1-a, n2-a)/Q(n1-1, n2).
+   Zero when the class does not fit at p. *)
+let path_excluding_last ~f1 ~f2 ~a n1 n2 =
+  if n1 < a || n2 < a then 0.
+  else begin
+    let product = ref 1. in
+    for m = 1 to a do
+      product := !product *. f2.(n1 - a).(n2 - a + m)
+    done;
+    for m = 1 to a - 1 do
+      product := !product *. f1.(n1 - a + m).(n2)
+    done;
+    !product
+  end
+
+(* H_r(p) = Q(p - a_r I)/Q(p): full path product. *)
+let h_ratio ~f1 ~f2 ~a n1 n2 =
+  if n1 < a || n2 < a then 0.
+  else begin
+    let product = ref 1. in
+    for m = 1 to a do
+      product := !product *. f1.(n1 - a + m).(n2 - a)
+    done;
+    for m = 1 to a do
+      product := !product *. f2.(n1).(n2 - a + m)
+    done;
+    !product
+  end
+
+type d_recurrence = Corrected | As_printed
+
+let solve ?(d_recurrence = Corrected) model =
+  let n1_max = Model.inputs model and n2_max = Model.outputs model in
+  let num_classes = Model.num_classes model in
+  let f1 = Array.make_matrix (n1_max + 1) (n2_max + 1) 0. in
+  let f2 = Array.make_matrix (n1_max + 1) (n2_max + 1) 0. in
+  let bursty =
+    List.filter
+      (fun r -> not (Model.is_poisson model r))
+      (List.init num_classes Fun.id)
+  in
+  (* D_r(p) = sum_m (beta_r/mu_r)^m Q(p - m a_r I)/Q(p); base value 1.
+     In [As_printed] mode we instead run the recurrence exactly as typeset
+     in the paper's equation (19), D_r(p) = H_r(p) + (beta/mu) D_r(p-aI)
+     with D_r(0) = 0 and the Step-1 special case at the origin — this is
+     dimensionally inconsistent (see DESIGN.md) but reproduces the paper's
+     printed Table 2, pinning down the provenance of its numbers. *)
+  let d_default = match d_recurrence with Corrected -> 1. | As_printed -> 0. in
+  let d =
+    List.map
+      (fun r -> (r, Array.make_matrix (n1_max + 1) (n2_max + 1) d_default))
+      bursty
+  in
+  let d_at r n1 n2 =
+    match d_recurrence with
+    | Corrected -> if n1 < 0 || n2 < 0 then 1. else (List.assoc r d).(n1).(n2)
+    | As_printed ->
+        (* The paper's Step 1 initialises F_i(1) with the full class sum,
+           which is equivalent to D_r(0,0) = 1 at that one point. *)
+        if n1 = 0 && n2 = 0 then 1.
+        else if n1 < 0 || n2 < 0 then 0.
+        else (List.assoc r d).(n1).(n2)
+  in
+  for n1 = 0 to n1_max do
+    for n2 = 0 to n2_max do
+      if n1 = 0 && n2 = 0 then ()
+      else if n1 = 0 then f2.(0).(n2) <- float_of_int n2
+      else if n2 = 0 then f1.(n1).(0) <- float_of_int n1
+      else begin
+        (* Equation (18) solved for F_1 at the new point. *)
+        let denominator = ref 1. in
+        for r = 0 to num_classes - 1 do
+          let a = Model.bandwidth model r in
+          let rho = Model.rho model r in
+          let l = path_excluding_last ~f1 ~f2 ~a n1 n2 in
+          if l > 0. then begin
+            let d_term =
+              if Model.is_poisson model r then 1.
+              else d_at r (n1 - a) (n2 - a)
+            in
+            denominator :=
+              !denominator +. (float_of_int a *. rho *. l *. d_term)
+          end
+        done;
+        f1.(n1).(n2) <- float_of_int n1 /. !denominator;
+        (* Exact cross-ratio propagation (see interface). *)
+        f2.(n1).(n2) <- f1.(n1).(n2) *. f2.(n1 - 1).(n2) /. f1.(n1).(n2 - 1)
+      end;
+      (* Update the D lattices once both ratios at p are known. *)
+      List.iter
+        (fun (r, d_lattice) ->
+          let a = Model.bandwidth model r in
+          let h = h_ratio ~f1 ~f2 ~a n1 n2 in
+          if h > 0. then
+            d_lattice.(n1).(n2) <-
+              (match d_recurrence with
+              | Corrected ->
+                  1.
+                  +. Model.beta_over_mu model r *. h
+                     *. d_at r (n1 - a) (n2 - a)
+              | As_printed ->
+                  h
+                  +. Model.beta_over_mu model r
+                     *. (if n1 - a < 0 || n2 - a < 0 then 0.
+                         else (List.assoc r d).(n1 - a).(n2 - a))))
+        d
+    done
+  done;
+  let non_blocking =
+    Array.init num_classes (fun r ->
+        let a = Model.bandwidth model r in
+        h_ratio ~f1 ~f2 ~a n1_max n2_max
+        /. (Special.permutations n1_max a *. Special.permutations n2_max a))
+  in
+  let concurrency =
+    Array.init num_classes (fun r ->
+        let a = Model.bandwidth model r in
+        let rho = Model.rho model r in
+        let b_over_mu = Model.beta_over_mu model r in
+        let depth = min n1_max n2_max / a in
+        (* E_r(p) = H_r(p) (rho_r + (beta_r/mu_r) E_r(p - a_r I)) up the
+           class diagonal. *)
+        let e = ref 0. in
+        for m = depth downto 0 do
+          let p1 = n1_max - (m * a) and p2 = n2_max - (m * a) in
+          let h = h_ratio ~f1 ~f2 ~a p1 p2 in
+          e := h *. (rho +. (b_over_mu *. !e))
+        done;
+        !e)
+  in
+  let measures = Measures.of_concurrencies ~model ~non_blocking ~concurrency in
+  { model; f1; f2; measures }
+
+let model t = t.model
+let measures t = t.measures
+
+let check_bounds t ~inputs ~outputs =
+  if
+    inputs < 0 || outputs < 0
+    || inputs > Model.inputs t.model
+    || outputs > Model.outputs t.model
+  then invalid_arg "Mva: outside lattice"
+
+let f1 t ~inputs ~outputs =
+  check_bounds t ~inputs ~outputs;
+  t.f1.(inputs).(outputs)
+
+let f2 t ~inputs ~outputs =
+  check_bounds t ~inputs ~outputs;
+  t.f2.(inputs).(outputs)
+
+(* log Q(N) = - sum of log F steps along a path from the origin; then
+   log G = log Q + log N1! + log N2!. *)
+let log_normalization t =
+  let n1_max = Model.inputs t.model and n2_max = Model.outputs t.model in
+  let log_q = ref 0. in
+  for n1 = 1 to n1_max do
+    log_q := !log_q -. log t.f1.(n1).(0)
+  done;
+  for n2 = 1 to n2_max do
+    log_q := !log_q -. log t.f2.(n1_max).(n2)
+  done;
+  !log_q +. Special.log_factorial n1_max +. Special.log_factorial n2_max

@@ -1,0 +1,59 @@
+(** Algorithm 2: the mean-value recurrence on normalisation-constant
+    ratios (paper Section 5.1).
+
+    Works directly with [F_i(n) = Q(n - 1_i)/Q(n)], which stay within a
+    factor of [max(N1, N2)] of unity, so no scaling is ever needed — the
+    numerical-stability advantage the paper claims for this algorithm.
+
+    The printed Algorithm 2 boundary conditions are garbled (see
+    DESIGN.md); this implementation re-derives the lattice propagation
+    from equations (12)–(20):
+
+    - solve for [F_i] at a new point from equation (18) written as
+      [n_i = F_i(p) (1 + sum_r a_r rho_r L_ir(p) D_r(p - a_r I))] with the
+      path products [L_ir] taken over already-computed [F] values;
+    - propagate the cross ratio by the exact identity
+      [F_2(p) = F_1(p) F_2(p - 1_1) / F_1(p - 1_2)];
+    - accumulate [D_r(p) = 1 + (beta_r/mu_r) H_r(p) D_r(p - a_r I)]
+      (the paper's equation (19) corrected — see DESIGN.md).
+
+    Complexity [O(N1 N2 (R1 + R2) max_r a_r)] time and
+    [O(N1 N2 (2 + R2))] space — the space/robustness trade-off the paper
+    describes. *)
+
+type t
+(** A solved ratio lattice. *)
+
+type d_recurrence =
+  | Corrected
+      (** [D_r(p) = 1 + (beta_r/mu_r) H_r(p) D_r(p - a_r I)] — the
+          recurrence that follows from the definition (17); matches brute
+          force and Algorithm 1 exactly. *)
+  | As_printed
+      (** The recurrence exactly as typeset in the paper's equation (19),
+          [D_r(p) = H_r(p) + (beta_r/mu_r) D_r(p - a_r I)] with
+          [D_r(0) = 0].  [H_r] is a Q-ratio of magnitude ~[N1 N2], so this
+          is dimensionally inconsistent and diverges from the exact values
+          rapidly — kept as an executable demonstration that equation (19)
+          as printed cannot be what the authors ran (see EXPERIMENTS.md
+          for the forensic analysis of Table 2). *)
+
+val solve : ?d_recurrence:d_recurrence -> Model.t -> t
+(** Default [d_recurrence] is [Corrected]. *)
+
+val model : t -> Model.t
+
+val measures : t -> Measures.t
+(** Measures from Step 3 of Algorithm 2. *)
+
+val f1 : t -> inputs:int -> outputs:int -> float
+(** The ratio [F_1(n1, n2) = Q(n1 - 1, n2)/Q(n1, n2)] (0 when [n1 = 0]).
+    @raise Invalid_argument outside the lattice. *)
+
+val f2 : t -> inputs:int -> outputs:int -> float
+(** The ratio [F_2(n1, n2) = Q(n1, n2 - 1)/Q(n1, n2)] (0 when [n2 = 0]). *)
+
+val log_normalization : t -> float
+(** [log G(N1, N2)] recovered by summing ratio logarithms along a lattice
+    path from the origin — used to cross-check against {!Convolution} and
+    {!Brute}. *)

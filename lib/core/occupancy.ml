@@ -1,0 +1,118 @@
+module Special = Crossbar_numerics.Special
+module Logspace = Crossbar_numerics.Logspace
+
+(* log Phi_r(m) for m = 0 .. capacity / a_r. *)
+let phi_series model r =
+  let capacity = Model.capacity model in
+  let a = Model.bandwidth model r in
+  let mu = Model.service_rate model r in
+  let max_m = capacity / a in
+  let series = Array.make (max_m + 1) neg_infinity in
+  series.(0) <- 0.;
+  let exhausted = ref false in
+  for m = 1 to max_m do
+    if not !exhausted then begin
+      let rate = Model.arrival_rate model ~class_index:r ~concurrent:(m - 1) in
+      if rate > 0. then
+        series.(m) <- series.(m - 1) +. log rate -. log (float_of_int m *. mu)
+      else exhausted := true
+    end
+  done;
+  series
+
+(* Knapsack convolution: log S.(j) = log sum over class counts with total
+   load j of the product of Phi series, optionally excluding one class. *)
+let load_series ?exclude model =
+  let capacity = Model.capacity model in
+  let accumulated = Array.make (capacity + 1) neg_infinity in
+  accumulated.(0) <- 0.;
+  for r = 0 to Model.num_classes model - 1 do
+    if exclude <> Some r then begin
+      let a = Model.bandwidth model r in
+      let series = phi_series model r in
+      let updated = Array.make (capacity + 1) neg_infinity in
+      for j = 0 to capacity do
+        let terms = ref [] in
+        let m = ref 0 in
+        while (!m * a <= j) && !m < Array.length series do
+          let remaining = j - (!m * a) in
+          let combined = series.(!m) +. accumulated.(remaining) in
+          if combined > neg_infinity then
+            terms := Logspace.of_log combined :: !terms;
+          incr m
+        done;
+        updated.(j) <- Logspace.to_log (Logspace.sum (Array.of_list !terms))
+      done;
+      Array.blit updated 0 accumulated 0 (capacity + 1)
+    end
+  done;
+  accumulated
+
+let normalise log_weights =
+  let total = Logspace.sum (Array.map Logspace.of_log log_weights) in
+  Array.map
+    (fun lw -> Logspace.ratio (Logspace.of_log lw) total)
+    log_weights
+
+let load_distribution model =
+  let n1 = Model.inputs model and n2 = Model.outputs model in
+  let series = load_series model in
+  normalise
+    (Array.mapi
+       (fun j s ->
+         Special.log_permutations n1 j +. Special.log_permutations n2 j +. s)
+       series)
+
+let class_distribution model ~class_index =
+  if class_index < 0 || class_index >= Model.num_classes model then
+    invalid_arg "Occupancy.class_distribution: class index";
+  let n1 = Model.inputs model and n2 = Model.outputs model in
+  let capacity = Model.capacity model in
+  let a = Model.bandwidth model class_index in
+  let own = phi_series model class_index in
+  let others = load_series ~exclude:class_index model in
+  (* P(k_r = m) ∝ Phi_r(m) * sum_j Psi(m a + j) S^(others)_j. *)
+  let log_weights =
+    Array.mapi
+      (fun m phi ->
+        if phi = neg_infinity then neg_infinity
+        else begin
+          let terms = ref [] in
+          for j = 0 to capacity - (m * a) do
+            let load = (m * a) + j in
+            let combined =
+              Special.log_permutations n1 load
+              +. Special.log_permutations n2 load
+              +. others.(j)
+            in
+            if combined > neg_infinity then
+              terms := Logspace.of_log combined :: !terms
+          done;
+          phi +. Logspace.to_log (Logspace.sum (Array.of_list !terms))
+        end)
+      own
+  in
+  normalise log_weights
+
+let mean_load model =
+  let distribution = load_distribution model in
+  let mean = ref 0. in
+  Array.iteri (fun j p -> mean := !mean +. (float_of_int j *. p)) distribution;
+  !mean
+
+let load_quantile model ~probability =
+  if not (probability > 0. && probability <= 1.) then
+    invalid_arg "Occupancy.load_quantile: probability outside (0, 1]";
+  let distribution = load_distribution model in
+  let cumulative = ref 0. and result = ref (Array.length distribution - 1) in
+  (try
+     Array.iteri
+       (fun j p ->
+         cumulative := !cumulative +. p;
+         if !cumulative >= probability then begin
+           result := j;
+           raise Exit
+         end)
+       distribution
+   with Exit -> ());
+  !result

@@ -1,0 +1,30 @@
+(** Exact occupancy distributions, scalable to large switches.
+
+    The scalar measures (Section 3) summarise the stationary law; this
+    module computes the law itself.  The trick: the state weight factors
+    as [Psi(k) * prod Phi_r(k_r)] where [Psi] depends on [k] only through
+    the load [j = k . A], so
+
+    [P(k . A = j) ∝ P(N1,j) P(N2,j) * S_j],
+
+    with [S_j = sum_(k.A = j) prod_r Phi_r(k_r)] a knapsack convolution of
+    the per-class weight series — computable in
+    [O(R * capacity^2 / min a_r)] time and log space, with no state
+    enumeration.  Cross-validated against {!General.load_distribution}. *)
+
+val load_distribution : Model.t -> float array
+(** [P(k . A = j)] for [j = 0 .. capacity]: the stationary law of the
+    number of busy input (= output) ports. *)
+
+val class_distribution : Model.t -> class_index:int -> float array
+(** [P(k_r = m)] for [m = 0 .. capacity / a_r]: the stationary law of one
+    class's concurrency. *)
+
+val load_quantile : Model.t -> probability:float -> int
+(** Smallest [j] with [P(k . A <= j) >= probability] — e.g. the busy-port
+    level exceeded only 1% of the time.
+    @raise Invalid_argument if [probability] is outside (0, 1]. *)
+
+val mean_load : Model.t -> float
+(** [E(k . A)] from the distribution (equals
+    [Measures.busy_ports]; used as a consistency check). *)

@@ -1,0 +1,79 @@
+module Special = Crossbar_numerics.Special
+
+let total ?algorithm model ~weights =
+  Measures.revenue (Solver.solve ?algorithm model) ~weights
+
+let reduced_model model ~ports =
+  let inputs = Model.inputs model - ports
+  and outputs = Model.outputs model - ports in
+  if inputs < 1 || outputs < 1 then
+    invalid_arg "Revenue.reduced_model: reduction empties the switch";
+  let rescale (c : Traffic.t) =
+    let ratio =
+      Special.binomial outputs c.Traffic.bandwidth
+      /. Special.binomial (Model.outputs model) c.Traffic.bandwidth
+    in
+    Traffic.with_beta
+      (Traffic.with_alpha c (c.Traffic.alpha *. ratio))
+      (c.Traffic.beta *. ratio)
+  in
+  Model.create ~inputs ~outputs
+    ~classes:(List.map rescale (Array.to_list (Model.classes model)))
+
+let shadow_cost ?algorithm model ~weights ~class_index =
+  let a = Model.bandwidth model class_index in
+  let here = total ?algorithm model ~weights in
+  if Model.inputs model - a < 1 || Model.outputs model - a < 1 then here
+  else here -. total ?algorithm (reduced_model model ~ports:a) ~weights
+
+let gradient_rho ?algorithm model ~weights ~class_index =
+  if not (Model.is_poisson model class_index) then
+    invalid_arg "Revenue.gradient_rho: closed form requires a Poisson class";
+  let a = Model.bandwidth model class_index in
+  let measures = Solver.solve ?algorithm model in
+  let non_blocking = measures.Measures.per_class.(class_index).Measures.non_blocking in
+  let delta = shadow_cost ?algorithm model ~weights ~class_index in
+  Special.permutations (Model.inputs model) a
+  *. Special.permutations (Model.outputs model) a
+  *. non_blocking
+  *. (weights.(class_index) -. delta)
+
+(* Rebuild the model with the per-pair rho_r of one class set to [value]
+   (holding mu and therefore alpha's scaling fixed). *)
+let with_per_pair_rho model ~class_index value =
+  let a = Model.bandwidth model class_index in
+  let mu = Model.service_rate model class_index in
+  let aggregate = value *. mu *. Special.binomial (Model.outputs model) a in
+  Model.map_class model class_index (fun c -> Traffic.with_alpha c aggregate)
+
+let with_per_pair_beta_over_mu model ~class_index value =
+  let a = Model.bandwidth model class_index in
+  let mu = Model.service_rate model class_index in
+  let aggregate = value *. mu *. Special.binomial (Model.outputs model) a in
+  Model.map_class model class_index (fun c -> Traffic.with_beta c aggregate)
+
+(* The loads perturbed here are minuscule (rho ~ 1e-5), so the step must be
+   relative to the coordinate, not to 1. *)
+let relative_step x = 1e-4 *. Float.max (Float.abs x) 1e-9
+
+let gradient_rho_numeric ?algorithm ?step model ~weights ~class_index =
+  let rho = Model.rho model class_index in
+  let step = match step with Some s -> s | None -> relative_step rho in
+  let w value =
+    total ?algorithm (with_per_pair_rho model ~class_index value) ~weights
+  in
+  Crossbar_numerics.Derivative.central ~step ~f:w rho
+
+let gradient_beta_numeric ?algorithm ?step model ~weights ~class_index =
+  if Model.is_poisson model class_index then
+    invalid_arg "Revenue.gradient_beta_numeric: class is Poisson";
+  let coordinate = Model.beta_over_mu model class_index in
+  let step =
+    match step with Some s -> s | None -> relative_step coordinate
+  in
+  let w value =
+    total ?algorithm
+      (with_per_pair_beta_over_mu model ~class_index value)
+      ~weights
+  in
+  Crossbar_numerics.Derivative.forward ~step ~f:w coordinate

@@ -1,0 +1,45 @@
+(** Revenue-oriented performance analysis (paper Section 4).
+
+    An accepted class-[r] connection earns revenue [w_r]; the average
+    return [W(N) = sum_r w_r E_r(N)] is the weighted throughput (with
+    [w_r = gamma_r mu_r]).  The gradient of [W] with respect to a class's
+    offered load decides whether admitting more of that class pays:
+    a request is accepted with probability [B_r(N)], earns [w_r], and
+    displaces [Delta W = W(N) - W(N - a_r I)] — the {e shadow cost}. *)
+
+val total : ?algorithm:Solver.algorithm -> Model.t -> weights:float array -> float
+(** The average return [W(N)]. *)
+
+val reduced_model : Model.t -> ports:int -> Model.t
+(** The model on an [(N1 - ports) x (N2 - ports)] switch with the {e same
+    per-pair} parameters — the "[N - a_r I]" system of the shadow-cost
+    formula.  (Aggregate parameters are rescaled by
+    [C(N2 - ports, a) / C(N2, a)] so the per-pair ones stay put.)
+    @raise Invalid_argument if the reduction empties the switch. *)
+
+val shadow_cost :
+  ?algorithm:Solver.algorithm -> Model.t -> weights:float array ->
+  class_index:int -> float
+(** [Delta W(N) = W(N) - W(N - a_r I)]. *)
+
+val gradient_rho :
+  ?algorithm:Solver.algorithm -> Model.t -> weights:float array ->
+  class_index:int -> float
+(** Closed-form gradient of [W] w.r.t. the per-pair Poisson load [rho_r]:
+    [P(N1,a_r) P(N2,a_r) B_r(N) (w_r - Delta W(N))] (the paper prints the
+    [a_r = 1] case, [N1 N2 B_r (w_r - Delta W)]).
+    @raise Invalid_argument if class [r] is not Poisson (the paper found
+    no closed form for bursty classes — use {!gradient_beta_numeric}). *)
+
+val gradient_rho_numeric :
+  ?algorithm:Solver.algorithm -> ?step:float -> Model.t ->
+  weights:float array -> class_index:int -> float
+(** Central-difference gradient w.r.t. the per-pair [rho_r] (any class);
+    used to validate {!gradient_rho}. *)
+
+val gradient_beta_numeric :
+  ?algorithm:Solver.algorithm -> ?step:float -> Model.t ->
+  weights:float array -> class_index:int -> float
+(** Forward-difference gradient w.r.t. the per-pair bursty load
+    [beta_r / mu_r] — exactly the paper's numerical scheme for Table 2.
+    @raise Invalid_argument if class [r] is Poisson. *)

@@ -1,0 +1,36 @@
+type algorithm = Brute_force | Convolution | Mean_value
+
+let algorithm_of_string s =
+  match String.lowercase_ascii s with
+  | "brute" | "brute-force" | "enumeration" -> Ok Brute_force
+  | "convolution" | "algorithm1" | "alg1" -> Ok Convolution
+  | "mva" | "mean-value" | "algorithm2" | "alg2" -> Ok Mean_value
+  | _ -> Error (Printf.sprintf "unknown algorithm %S" s)
+
+let algorithm_to_string = function
+  | Brute_force -> "brute-force"
+  | Convolution -> "convolution"
+  | Mean_value -> "mean-value"
+
+let recommended model =
+  if Model.capacity model <= 32 then Convolution else Mean_value
+
+let solve ?algorithm model =
+  let algorithm =
+    match algorithm with Some a -> a | None -> recommended model
+  in
+  match algorithm with
+  | Brute_force -> Brute.solve model
+  | Convolution -> Convolution.measures (Convolution.solve model)
+  | Mean_value -> Mva.measures (Mva.solve model)
+
+let log_normalization ?algorithm model =
+  let algorithm =
+    match algorithm with Some a -> a | None -> recommended model
+  in
+  match algorithm with
+  | Brute_force ->
+      Brute.log_g model ~inputs:(Model.inputs model)
+        ~outputs:(Model.outputs model)
+  | Convolution -> Convolution.log_normalization (Convolution.solve model)
+  | Mean_value -> Mva.log_normalization (Mva.solve model)

@@ -1,0 +1,20 @@
+(** Uniform front-end over the three evaluation engines. *)
+
+type algorithm =
+  | Brute_force  (** direct enumeration of [Gamma(N)] — validation only *)
+  | Convolution  (** the paper's Algorithm 1 (with dynamic scaling) *)
+  | Mean_value  (** the paper's Algorithm 2 (ratio recurrences) *)
+
+val algorithm_of_string : string -> (algorithm, string) result
+val algorithm_to_string : algorithm -> string
+
+val recommended : Model.t -> algorithm
+(** The paper's guidance: Algorithm 1 for small crossbars
+    ([min(N1,N2) <= 32]), Algorithm 2 for larger ones. *)
+
+val solve : ?algorithm:algorithm -> Model.t -> Measures.t
+(** Evaluate the model; default algorithm is {!recommended}. *)
+
+val log_normalization : ?algorithm:algorithm -> Model.t -> float
+(** [log G(N)] — brute force is excluded from the default choice here
+    only by the state-space guard it applies itself. *)

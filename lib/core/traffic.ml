@@ -1,0 +1,89 @@
+type t = {
+  name : string;
+  bandwidth : int;
+  alpha : float;
+  beta : float;
+  service_rate : float;
+}
+
+type statistics = Smooth | Regular | Peaky
+
+let create ?(name = "traffic") ~bandwidth ~alpha ~beta ~service_rate () =
+  if bandwidth < 1 then invalid_arg "Traffic.create: bandwidth < 1";
+  if Float.is_nan alpha || alpha < 0. then
+    invalid_arg "Traffic.create: alpha < 0";
+  if Float.is_nan beta then invalid_arg "Traffic.create: beta is NaN";
+  if not (service_rate > 0.) then
+    invalid_arg "Traffic.create: service_rate <= 0";
+  { name; bandwidth; alpha; beta; service_rate }
+
+let poisson ?name ~bandwidth ~rate ~service_rate () =
+  create ?name ~bandwidth ~alpha:rate ~beta:0. ~service_rate ()
+
+let pascal ?name ~bandwidth ~alpha ~beta ~service_rate () =
+  if not (beta > 0.) then invalid_arg "Traffic.pascal: beta <= 0";
+  create ?name ~bandwidth ~alpha ~beta ~service_rate ()
+
+let bernoulli ?name ~bandwidth ~sources ~per_source_rate ~service_rate () =
+  if sources < 1 then invalid_arg "Traffic.bernoulli: sources < 1";
+  if not (per_source_rate > 0.) then
+    invalid_arg "Traffic.bernoulli: per_source_rate <= 0";
+  create ?name ~bandwidth
+    ~alpha:(float_of_int sources *. per_source_rate)
+    ~beta:(-.per_source_rate) ~service_rate ()
+
+let statistics t =
+  if t.beta < 0. then Smooth else if t.beta = 0. then Regular else Peaky
+
+let is_poisson t = t.beta = 0.
+let offered_load t = t.alpha /. t.service_rate
+
+let sources t =
+  if t.beta >= 0. then None
+  else begin
+    let s = t.alpha /. -.t.beta in
+    let rounded = Float.round s in
+    if Float.abs (s -. rounded) < 1e-9 *. Float.max 1. s then
+      Some (int_of_float rounded)
+    else None
+  end
+
+let with_alpha t alpha =
+  create ~name:t.name ~bandwidth:t.bandwidth ~alpha ~beta:t.beta
+    ~service_rate:t.service_rate ()
+
+let with_beta t beta =
+  create ~name:t.name ~bandwidth:t.bandwidth ~alpha:t.alpha ~beta
+    ~service_rate:t.service_rate ()
+
+let scale_load t c =
+  if not (c >= 0.) then invalid_arg "Traffic.scale_load: negative factor";
+  create ~name:t.name ~bandwidth:t.bandwidth ~alpha:(t.alpha *. c)
+    ~beta:(t.beta *. c) ~service_rate:t.service_rate ()
+
+let infinite_server_mean ~alpha ~beta ~service_rate =
+  if not (beta < service_rate) then
+    invalid_arg "Traffic.infinite_server_mean: beta >= mu (unstable)";
+  alpha /. (service_rate -. beta)
+
+let infinite_server_variance ~alpha ~beta ~service_rate =
+  if not (beta < service_rate) then
+    invalid_arg "Traffic.infinite_server_variance: beta >= mu (unstable)";
+  let scaled = beta /. service_rate in
+  alpha /. service_rate /. ((1. -. scaled) *. (1. -. scaled))
+
+let peakedness ~beta ~service_rate =
+  if not (beta < service_rate) then
+    invalid_arg "Traffic.peakedness: beta >= mu (unstable)";
+  1. /. (1. -. (beta /. service_rate))
+
+let pp ppf t =
+  let kind =
+    match statistics t with
+    | Smooth -> "bernoulli"
+    | Regular -> "poisson"
+    | Peaky -> "pascal"
+  in
+  Format.fprintf ppf
+    "@[<h>%s: %s a=%d alpha~=%g beta~=%g mu=%g@]" t.name kind t.bandwidth
+    t.alpha t.beta t.service_rate

@@ -1,0 +1,90 @@
+(** Traffic classes with Bernoulli–Poisson–Pascal (BPP) arrival statistics.
+
+    A class [r] describes one stream of connection requests:
+
+    - [bandwidth] ([a_r] in the paper): the number of crossbar inputs {e
+      and} outputs one connection occupies (multi-rate traffic);
+    - [alpha], [beta]: the {e aggregate} ("tilde") BPP parameters — class
+      [r] requests for one particular set of [a_r] inputs (and {e any}
+      outputs) arrive at rate [alpha + beta * k_r] when [k_r] connections
+      are up.  The per-(input-set, output-set) parameters used by the
+      product form are obtained by dividing by [C(N2, a_r)], which is done
+      by {!Model} because it depends on the switch;
+    - [service_rate] ([mu_r]): reciprocal of the mean holding time.  The
+      stationary distribution is insensitive to the holding-time
+      distribution beyond its mean.
+
+    The sign of [beta] selects the arrival statistics: [beta < 0] is
+    Bernoulli (smooth, finite-source), [beta = 0] Poisson (regular),
+    [0 < beta] Pascal (peaky). *)
+
+type t = private {
+  name : string;
+  bandwidth : int;
+  alpha : float; (* aggregate state-independent arrival rate, >= 0 *)
+  beta : float; (* aggregate state-dependent arrival increment *)
+  service_rate : float; (* mu_r > 0 *)
+}
+
+type statistics = Smooth | Regular | Peaky
+(** Bernoulli / Poisson / Pascal, following the paper's Z-factor naming. *)
+
+val create :
+  ?name:string -> bandwidth:int -> alpha:float -> beta:float ->
+  service_rate:float -> unit -> t
+(** General BPP class.
+    @raise Invalid_argument if [bandwidth < 1], [alpha < 0] or
+    [service_rate <= 0]. *)
+
+val poisson :
+  ?name:string -> bandwidth:int -> rate:float -> service_rate:float ->
+  unit -> t
+(** Poisson class ([beta = 0]) with aggregate arrival rate [rate]. *)
+
+val pascal :
+  ?name:string -> bandwidth:int -> alpha:float -> beta:float ->
+  service_rate:float -> unit -> t
+(** Peaky class.
+    @raise Invalid_argument unless [beta > 0]. *)
+
+val bernoulli :
+  ?name:string -> bandwidth:int -> sources:int -> per_source_rate:float ->
+  service_rate:float -> unit -> t
+(** Smooth finite-source class: [sources] independent sources each idle →
+    requesting at rate [per_source_rate], i.e. [alpha = sources * rate],
+    [beta = -rate].
+    @raise Invalid_argument if [sources < 1] or [per_source_rate <= 0]. *)
+
+val statistics : t -> statistics
+(** Classification by the sign of [beta]. *)
+
+val is_poisson : t -> bool
+
+val offered_load : t -> float
+(** Aggregate offered load [rho~ = alpha / mu] (per input-set). *)
+
+val sources : t -> int option
+(** For a Bernoulli class with [alpha / (-beta)] integral, the equivalent
+    number of sources; [None] otherwise. *)
+
+val with_alpha : t -> float -> t
+(** Copy with a new aggregate [alpha] (same validation as {!create}). *)
+
+val with_beta : t -> float -> t
+
+val scale_load : t -> float -> t
+(** [scale_load t c] multiplies both [alpha] and [beta] by [c], scaling the
+    offered load while preserving peakedness structure. *)
+
+val infinite_server_mean : alpha:float -> beta:float -> service_rate:float -> float
+(** Mean [M = alpha / (mu (1 - beta/mu))] of the number of busy servers
+    when this BPP stream feeds an infinite server group — the paper's [M]
+    with [alpha, beta] already divided by [mu].  Requires [beta < mu]. *)
+
+val infinite_server_variance : alpha:float -> beta:float -> service_rate:float -> float
+
+val peakedness : beta:float -> service_rate:float -> float
+(** The Z-factor [Z = V/M = 1/(1 - beta/mu)]: [Z > 1] peaky, [Z = 1]
+    regular, [Z < 1] smooth. *)
+
+val pp : Format.formatter -> t -> unit

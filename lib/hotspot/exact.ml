@@ -1,0 +1,236 @@
+module Logspace = Crossbar_numerics.Logspace
+module Special = Crossbar_numerics.Special
+
+(* All formulas below are sums over the connection count s of terms
+   s! rho^s e_s(u) e_s(w) (and deleted/shifted variants), where e_s are
+   elementary symmetric polynomials of the input weights u and output
+   weights w — see docs/THEORY.md §7. *)
+
+type t = {
+  input_weights : float array;
+  output_weights : float array;
+  rho : float; (* base per-pair offered load, rate / mu *)
+  service_rate : float;
+  capacity : int;
+  log_e_in : float array; (* log e_s(u), s = 0 .. capacity + 1 *)
+  log_e_out : float array;
+  log_g : float;
+  deleted_in : (int, float array) Hashtbl.t;
+  deleted_out : (int, float array) Hashtbl.t;
+  representative_in : int array;
+  representative_out : int array;
+}
+
+let log_add a b =
+  Logspace.to_log (Logspace.add (Logspace.of_log a) (Logspace.of_log b))
+
+let elementary ~top ?skip weights =
+  let log_e = Array.make (top + 1) neg_infinity in
+  log_e.(0) <- 0.;
+  Array.iteri
+    (fun j w ->
+      if Some j <> skip && w > 0. then begin
+        let log_w = log w in
+        for s = top downto 1 do
+          log_e.(s) <- log_add log_e.(s) (log_w +. log_e.(s - 1))
+        done
+      end)
+    weights;
+  log_e
+
+let representatives weights =
+  Array.mapi
+    (fun j w ->
+      let first = ref j in
+      (try
+         for j' = 0 to j - 1 do
+           if weights.(j') = w then begin
+             first := j';
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      !first)
+    weights
+
+let log_sum terms = Logspace.to_log (Logspace.sum (Array.map Logspace.of_log terms))
+
+(* log of s! rho^s. *)
+let log_prefactor t s =
+  Special.log_factorial s +. (float_of_int s *. log t.rho)
+
+let solve_bipartite ~rate ~input_weights ~output_weights ~service_rate =
+  if Array.length input_weights < 1 then
+    invalid_arg "Hotspot.solve_bipartite: no inputs";
+  if Array.length output_weights < 1 then
+    invalid_arg "Hotspot.solve_bipartite: no outputs";
+  if not (rate >= 0.) then invalid_arg "Hotspot.solve_bipartite: rate < 0";
+  if not (service_rate > 0.) then
+    invalid_arg "Hotspot.solve_bipartite: service_rate <= 0";
+  let check = Array.iter (fun w -> if not (w >= 0.) then invalid_arg "Hotspot: negative weight") in
+  check input_weights;
+  check output_weights;
+  let input_weights = Array.copy input_weights
+  and output_weights = Array.copy output_weights in
+  let capacity = min (Array.length input_weights) (Array.length output_weights) in
+  let top = capacity + 1 in
+  let rho = if rate = 0. then 0. else rate /. service_rate in
+  let partial =
+    {
+      input_weights;
+      output_weights;
+      rho;
+      service_rate;
+      capacity;
+      log_e_in = elementary ~top input_weights;
+      log_e_out = elementary ~top output_weights;
+      log_g = 0.;
+      deleted_in = Hashtbl.create 4;
+      deleted_out = Hashtbl.create 4;
+      representative_in = representatives input_weights;
+      representative_out = representatives output_weights;
+    }
+  in
+  let log_g =
+    if rho = 0. then 0.
+    else
+      log_sum
+        (Array.init (capacity + 1) (fun s ->
+             log_prefactor partial s
+             +. partial.log_e_in.(s)
+             +. partial.log_e_out.(s)))
+  in
+  { partial with log_g }
+
+let solve ~inputs ~rate ~weights ~service_rate =
+  if inputs < 1 then invalid_arg "Hotspot.solve: inputs < 1";
+  solve_bipartite ~rate ~input_weights:(Array.make inputs 1.)
+    ~output_weights:weights ~service_rate
+
+let hotspot ~inputs ~outputs ~rate ~hot_multiplier ~service_rate =
+  if outputs < 1 then invalid_arg "Hotspot.hotspot: outputs < 1";
+  if not (hot_multiplier >= 0.) then
+    invalid_arg "Hotspot.hotspot: negative multiplier";
+  let weights = Array.make outputs 1. in
+  weights.(0) <- hot_multiplier;
+  solve ~inputs ~rate ~weights ~service_rate
+
+let log_normalization t = t.log_g
+
+type side = Input | Output
+
+let side_weights t = function
+  | Input -> t.input_weights
+  | Output -> t.output_weights
+
+let side_elementary t = function
+  | Input -> t.log_e_in
+  | Output -> t.log_e_out
+
+(* log e_s of one side with index j removed (cached per distinct weight). *)
+let deleted_elementary t side j =
+  let cache, key =
+    match side with
+    | Input -> (t.deleted_in, t.representative_in.(j))
+    | Output -> (t.deleted_out, t.representative_out.(j))
+  in
+  match Hashtbl.find_opt cache key with
+  | Some log_e -> log_e
+  | None ->
+      let log_e =
+        elementary ~top:(t.capacity + 1) ~skip:key (side_weights t side)
+      in
+      Hashtbl.replace cache key log_e;
+      log_e
+
+let check_index t side j =
+  if j < 0 || j >= Array.length (side_weights t side) then
+    invalid_arg "Hotspot: port index out of range"
+
+let mean_busy t =
+  if t.rho = 0. then 0.
+  else begin
+    let mean = ref 0. in
+    for s = 1 to t.capacity do
+      mean :=
+        !mean
+        +. float_of_int s
+           *. exp
+                (log_prefactor t s +. t.log_e_in.(s) +. t.log_e_out.(s)
+               -. t.log_g)
+    done;
+    !mean
+  end
+
+(* P(port j of [side] busy) = (1/G) sum_s s! rho^s w_j e_(s-1)(side - j)
+   e_s(other side). *)
+let utilization t side j =
+  check_index t side j;
+  let w = (side_weights t side).(j) in
+  if t.rho = 0. || w = 0. then 0.
+  else begin
+    let log_e_deleted = deleted_elementary t side j in
+    let other = side_elementary t (match side with Input -> Output | Output -> Input) in
+    let terms =
+      Array.init t.capacity (fun s' ->
+          let s = s' + 1 in
+          Logspace.of_log
+            (log_prefactor t s +. log w +. log_e_deleted.(s - 1) +. other.(s)))
+    in
+    Logspace.ratio (Logspace.sum terms) (Logspace.of_log t.log_g)
+  end
+
+(* Sum over the free ports of a side, weighted by popularity:
+   sum_(j free) w_j over matchings of size s contributes
+   (s+1) e_(s+1)(w) — used for the acceptance formulas. *)
+let non_blocking t side j =
+  check_index t side j;
+  if t.rho = 0. then 1.
+  else begin
+    let log_e_deleted = deleted_elementary t side j in
+    let other_side = match side with Input -> Output | Output -> Input in
+    let other = side_elementary t other_side in
+    let other_total =
+      Array.fold_left ( +. ) 0. (side_weights t other_side)
+    in
+    let terms =
+      Array.init (t.capacity + 1) (fun s ->
+          Logspace.of_log
+            (log_prefactor t s +. log_e_deleted.(s)
+            +. log (float_of_int (s + 1))
+            +. other.(s + 1)))
+    in
+    Logspace.ratio (Logspace.sum terms)
+      (Logspace.of_log (t.log_g +. log other_total))
+  end
+
+let output_utilization t j = utilization t Output j
+let output_non_blocking t j = non_blocking t Output j
+let output_blocking t j = 1. -. output_non_blocking t j
+let input_utilization t i = utilization t Input i
+let input_non_blocking t i = non_blocking t Input i
+
+let overall_blocking t =
+  if t.rho = 0. then 0.
+  else begin
+    (* P(random request accepted)
+       = (1/(G U W)) sum_s s! rho^s (s+1)^2 e_(s+1)(u) e_(s+1)(w). *)
+    let input_total = Array.fold_left ( +. ) 0. t.input_weights in
+    let output_total = Array.fold_left ( +. ) 0. t.output_weights in
+    if input_total = 0. || output_total = 0. then 0.
+    else begin
+      let terms =
+        Array.init (t.capacity + 1) (fun s ->
+            Logspace.of_log
+              (log_prefactor t s
+              +. (2. *. log (float_of_int (s + 1)))
+              +. t.log_e_in.(s + 1)
+              +. t.log_e_out.(s + 1)))
+      in
+      1.
+      -. Logspace.ratio (Logspace.sum terms)
+           (Logspace.of_log (t.log_g +. log input_total +. log output_total))
+    end
+  end
+
+let throughput t = mean_busy t *. t.service_rate

@@ -1,0 +1,79 @@
+(** Exact analysis of the asynchronous crossbar under {e non-uniform}
+    (hot-spot) output traffic — the companion study the paper cites as
+    its predecessor (Pinsky & Stirpe, ICPP '91) and generalises away by
+    assuming uniformity.
+
+    Model: single-rate ([a = 1]) circuit traffic where requests for the
+    (input [i], output [j]) pair arrive at rate [rate * weight.(j)] —
+    every output has its own popularity weight — with exponential holding
+    times of rate [service_rate] and blocked-calls-cleared.  The
+    port-level state is the partial matching [M] of busy (input, output)
+    pairs, and detailed balance gives the product form
+
+    [pi(M) ∝ prod_((i,j) in M) (rate * weight.(j) / service_rate)].
+
+    Summing over the matchings with output set [S] collapses to
+    elementary symmetric polynomials of the weights:
+
+    [G = sum_s P(N1, s) * rho^s * e_s(weights)],
+
+    computed here by a log-domain DP in [O(N2 * capacity)] — exact
+    hot-spot blocking at any switch size, no state enumeration.  The
+    uniform case [weight = 1] reduces to the paper's model (a regression
+    test pins this). *)
+
+type t
+(** A solved non-uniform crossbar. *)
+
+val solve :
+  inputs:int -> rate:float -> weights:float array -> service_rate:float -> t
+(** [solve ~inputs ~rate ~weights ~service_rate]: [weights.(j)] is output
+    [j]'s popularity multiplier ([Array.length weights] is the output
+    count).
+    @raise Invalid_argument for non-positive dimensions/rates or negative
+    weights. *)
+
+val hotspot :
+  inputs:int -> outputs:int -> rate:float -> hot_multiplier:float ->
+  service_rate:float -> t
+(** The classical single-hot-spot pattern: output 0 is [hot_multiplier]
+    times as popular as each of the other outputs. *)
+
+val solve_bipartite :
+  rate:float -> input_weights:float array -> output_weights:float array ->
+  service_rate:float -> t
+(** Full generality: pair [(i, j)] sees rate
+    [rate * input_weights.(i) * output_weights.(j)] — non-uniform sources
+    {e and} destinations.  The normalisation becomes
+    [G = sum_s s! rho^s e_s(u) e_s(w)].  {!solve} is the special case
+    [input_weights = 1]; per-input measures are exposed through
+    {!input_utilization} / {!input_non_blocking}. *)
+
+val input_utilization : t -> int -> float
+(** Probability input [i] is busy. *)
+
+val input_non_blocking : t -> int -> float
+(** Probability that a request {e from} input [i] (to an output drawn by
+    weight) is accepted. *)
+
+val log_normalization : t -> float
+
+val mean_busy : t -> float
+(** Expected number of connections in progress. *)
+
+val output_utilization : t -> int -> float
+(** Probability output [j] is busy. *)
+
+val output_non_blocking : t -> int -> float
+(** Probability that a request addressed to output [j] is accepted: the
+    stationary mean of [(free inputs)/N1 * 1(output j free)] — by PASTA
+    (arrivals are Poisson) also the per-request acceptance. *)
+
+val output_blocking : t -> int -> float
+
+val overall_blocking : t -> float
+(** Blocking experienced by the aggregate request stream (outputs drawn
+    with probability proportional to their weights). *)
+
+val throughput : t -> float
+(** Accepted connections per unit time. *)

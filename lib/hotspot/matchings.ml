@@ -1,0 +1,132 @@
+module Ctmc = Crossbar_markov.Ctmc
+
+let count_matchings ~inputs ~outputs =
+  if inputs < 1 || outputs < 1 then
+    invalid_arg "Matchings.count_matchings: dimensions";
+  let total = ref 0. in
+  for s = 0 to min inputs outputs do
+    total :=
+      !total
+      +. Crossbar_numerics.Special.binomial inputs s
+         *. Crossbar_numerics.Special.permutations outputs s
+  done;
+  int_of_float (Float.round !total)
+
+type result = {
+  states : int;
+  mean_busy : float;
+  output_utilization : float array;
+  output_non_blocking : float array;
+  detailed_balance_violation : float;
+}
+
+(* A matching is an array: input -> matched output or -1. *)
+let enumerate ~inputs ~outputs =
+  let matchings = ref [] in
+  let current = Array.make inputs (-1) in
+  let output_used = Array.make outputs false in
+  let rec visit input =
+    if input = inputs then matchings := Array.copy current :: !matchings
+    else begin
+      (* input left idle *)
+      current.(input) <- -1;
+      visit (input + 1);
+      for output = 0 to outputs - 1 do
+        if not output_used.(output) then begin
+          current.(input) <- output;
+          output_used.(output) <- true;
+          visit (input + 1);
+          output_used.(output) <- false;
+          current.(input) <- -1
+        end
+      done
+    end
+  in
+  visit 0;
+  Array.of_list !matchings
+
+let solve ?input_weights ~inputs ~rate ~weights ~service_rate () =
+  let outputs = Array.length weights in
+  let input_weights =
+    match input_weights with
+    | Some u ->
+        if Array.length u <> inputs then
+          invalid_arg "Matchings.solve: input weight count";
+        u
+    | None -> Array.make inputs 1.
+  in
+  let pair_rate i j = rate *. input_weights.(i) *. weights.(j) in
+  if count_matchings ~inputs ~outputs > 200_000 then
+    failwith "Matchings.solve: too many matchings";
+  (* Matchings using a never-requested port are unreachable; keep the
+     chain irreducible by dropping them. *)
+  let matchings =
+    Array.of_list
+      (List.filter
+         (fun m ->
+           let ok = ref true in
+           Array.iteri
+             (fun i j -> if j >= 0 && not (pair_rate i j > 0.) then ok := false)
+             m;
+           !ok)
+         (Array.to_list (enumerate ~inputs ~outputs)))
+  in
+  let states = Array.length matchings in
+  let index = Hashtbl.create states in
+  Array.iteri (fun i m -> Hashtbl.replace index m i) matchings;
+  let chain =
+    Ctmc.build ~states ~f:(fun i ->
+        let m = matchings.(i) in
+        let output_busy = Array.make outputs false in
+        Array.iter (fun j -> if j >= 0 then output_busy.(j) <- true) m;
+        let transitions = ref [] in
+        Array.iteri
+          (fun input j ->
+            if j >= 0 then begin
+              (* departure *)
+              let target = Array.copy m in
+              target.(input) <- -1;
+              transitions :=
+                (Hashtbl.find index target, service_rate) :: !transitions
+            end
+            else
+              for output = 0 to outputs - 1 do
+                if (not output_busy.(output)) && pair_rate input output > 0.
+                then begin
+                  let target = Array.copy m in
+                  target.(input) <- output;
+                  transitions :=
+                    (Hashtbl.find index target, pair_rate input output)
+                    :: !transitions
+                end
+              done)
+          m;
+        !transitions)
+  in
+  let pi = Ctmc.solve_gth chain in
+  let mean_busy = ref 0. in
+  let output_utilization = Array.make outputs 0. in
+  let output_non_blocking = Array.make outputs 0. in
+  Array.iteri
+    (fun i m ->
+      let busy = Array.fold_left (fun acc j -> if j >= 0 then acc + 1 else acc) 0 m in
+      mean_busy := !mean_busy +. (float_of_int busy *. pi.(i));
+      let output_busy = Array.make outputs false in
+      Array.iter (fun j -> if j >= 0 then output_busy.(j) <- true) m;
+      let free_inputs = float_of_int (inputs - busy) /. float_of_int inputs in
+      for output = 0 to outputs - 1 do
+        if output_busy.(output) then
+          output_utilization.(output) <-
+            output_utilization.(output) +. pi.(i)
+        else
+          output_non_blocking.(output) <-
+            output_non_blocking.(output) +. (pi.(i) *. free_inputs)
+      done)
+    matchings;
+  {
+    states;
+    mean_busy = !mean_busy;
+    output_utilization;
+    output_non_blocking;
+    detailed_balance_violation = Ctmc.detailed_balance_violation chain ~pi;
+  }

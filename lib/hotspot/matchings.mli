@@ -1,0 +1,33 @@
+(** Brute-force validation layer for {!Exact}: the crossbar state as an
+    explicit partial matching of inputs to outputs.
+
+    Enumerates every partial matching of the [N1 x N2] bipartite port
+    graph, builds the port-level CTMC (births [rate * weight.(j)] on free
+    pairs, deaths [service_rate] per connection), and computes measures
+    either from the product form over edges or from a GTH solve.  Only
+    feasible for toy switches — that is the point: it validates both the
+    symmetric-polynomial collapse of {!Exact} and, with uniform weights,
+    the aggregation step of the paper's model (which tracks only
+    occupancy counts). *)
+
+val count_matchings : inputs:int -> outputs:int -> int
+(** Number of partial matchings, [sum_s C(N1,s) C(N2,s) s!].
+    @raise Invalid_argument for non-positive dimensions. *)
+
+type result = {
+  states : int;
+  mean_busy : float;
+  output_utilization : float array;
+  output_non_blocking : float array;
+  detailed_balance_violation : float;
+      (** of the GTH solution w.r.t. the port-level chain — ~0 certifies
+          the product form over edges *)
+}
+
+val solve :
+  ?input_weights:float array -> inputs:int -> rate:float ->
+  weights:float array -> service_rate:float -> unit -> result
+(** Exact enumeration + GTH solve; pair [(i, j)] arrives at rate
+    [rate * input_weights.(i) * weights.(j)] (input weights default to
+    1 — the {!Exact.solve} case).
+    @raise Failure if the matching count exceeds 200_000. *)

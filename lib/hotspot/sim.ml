@@ -1,0 +1,189 @@
+module Rng = Crossbar_prng.Rng
+module Variates = Crossbar_prng.Variates
+module Event_heap = Crossbar_sim.Event_heap
+module Stats = Crossbar_sim.Stats
+
+type config = {
+  inputs : int;
+  rate : float;
+  weights : float array;
+  service_rate : float;
+  warmup : float;
+  horizon : float;
+  batches : int;
+  confidence : float;
+  seed : int;
+}
+
+let default_config ~inputs ~rate ~weights =
+  {
+    inputs;
+    rate;
+    weights;
+    service_rate = 1.0;
+    warmup = 500.;
+    horizon = 2e4;
+    batches = 20;
+    confidence = 0.95;
+    seed = 42;
+  }
+
+type result = {
+  offered : int;
+  accepted : int;
+  overall_blocking : float;
+  overall_halfwidth : float;
+  per_output_blocking : float array;
+  mean_busy : float;
+  events : int;
+}
+
+let run config =
+  if config.inputs < 1 then invalid_arg "Hotspot_sim.run: inputs < 1";
+  if Array.length config.weights < 1 then invalid_arg "Hotspot_sim.run: outputs";
+  if not (config.rate >= 0.) then invalid_arg "Hotspot_sim.run: rate < 0";
+  if not (config.service_rate > 0.) then
+    invalid_arg "Hotspot_sim.run: service_rate <= 0";
+  if not (config.horizon > 0.) then invalid_arg "Hotspot_sim.run: horizon";
+  if config.batches < 2 then invalid_arg "Hotspot_sim.run: batches < 2";
+  let outputs = Array.length config.weights in
+  let cumulative = Array.make outputs 0. in
+  let running = ref 0. in
+  Array.iteri
+    (fun j w ->
+      if not (w >= 0.) then invalid_arg "Hotspot_sim.run: negative weight";
+      running := !running +. w;
+      cumulative.(j) <- !running)
+    config.weights;
+  let total_weight = !running in
+  let total_rate = config.rate *. float_of_int config.inputs *. total_weight in
+  let rng = Rng.create ~seed:config.seed in
+  let input_busy = Array.make config.inputs false in
+  let output_busy = Array.make outputs false in
+  let busy = ref 0 in
+  let departures = Event_heap.create () in
+  let pick_output () =
+    (* Inverse-CDF over the cumulative weights (linear scan: output counts
+       in the hundreds at most, and the hot output is first). *)
+    let u = Rng.float rng *. total_weight in
+    let j = ref 0 in
+    while cumulative.(!j) <= u && !j < outputs - 1 do
+      incr j
+    done;
+    !j
+  in
+  let busy_integral = Stats.Time_weighted.create ~start:0. ~value:0. in
+  let blocking_batches = ref [] and busy_batches = ref [] in
+  let batch_offered = ref 0 and batch_blocked = ref 0 in
+  let per_output_offered = Array.make outputs 0 in
+  let per_output_blocked = Array.make outputs 0 in
+  let total_offered = ref 0 and total_accepted = ref 0 in
+  let close_batch ~upto =
+    let fraction =
+      if !batch_offered = 0 then 0.
+      else float_of_int !batch_blocked /. float_of_int !batch_offered
+    in
+    blocking_batches := fraction :: !blocking_batches;
+    busy_batches := Stats.Time_weighted.average busy_integral ~upto :: !busy_batches;
+    Stats.Time_weighted.reset busy_integral ~time:upto;
+    batch_offered := 0;
+    batch_blocked := 0
+  in
+  let finish_time = config.warmup +. config.horizon in
+  let batch_length = config.horizon /. float_of_int config.batches in
+  let batch_start = ref config.warmup in
+  let measuring = ref false in
+  let now = ref 0. in
+  let next_arrival =
+    ref
+      (if total_rate > 0. then Variates.exponential rng ~rate:total_rate
+       else infinity)
+  in
+  let events = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let departure_time =
+      match Event_heap.peek departures with Some (t, _) -> t | None -> infinity
+    in
+    let event_time = Float.min departure_time !next_arrival in
+    if event_time >= finish_time then begin
+      if !measuring then close_batch ~upto:finish_time;
+      now := finish_time;
+      continue := false
+    end
+    else begin
+      now := event_time;
+      incr events;
+      if (not !measuring) && !now >= config.warmup then begin
+        measuring := true;
+        Stats.Time_weighted.reset busy_integral ~time:config.warmup;
+        batch_offered := 0;
+        batch_blocked := 0;
+        Array.fill per_output_offered 0 outputs 0;
+        Array.fill per_output_blocked 0 outputs 0;
+        batch_start := config.warmup
+      end;
+      while !measuring && !now >= !batch_start +. batch_length do
+        close_batch ~upto:(!batch_start +. batch_length);
+        batch_start := !batch_start +. batch_length
+      done;
+      if departure_time <= !next_arrival then begin
+        match Event_heap.pop departures with
+        | None -> assert false
+        | Some (_, (input, output)) ->
+            input_busy.(input) <- false;
+            output_busy.(output) <- false;
+            decr busy;
+            Stats.Time_weighted.update busy_integral ~time:!now
+              ~value:(float_of_int !busy)
+      end
+      else begin
+        incr total_offered;
+        if !measuring then incr batch_offered;
+        let input = Rng.int rng ~bound:config.inputs in
+        let output = pick_output () in
+        if !measuring then
+          per_output_offered.(output) <- per_output_offered.(output) + 1;
+        if input_busy.(input) || output_busy.(output) then begin
+          if !measuring then begin
+            incr batch_blocked;
+            per_output_blocked.(output) <- per_output_blocked.(output) + 1
+          end
+        end
+        else begin
+          incr total_accepted;
+          input_busy.(input) <- true;
+          output_busy.(output) <- true;
+          incr busy;
+          Stats.Time_weighted.update busy_integral ~time:!now
+            ~value:(float_of_int !busy);
+          Event_heap.add departures
+            ~time:(!now +. Variates.exponential rng ~rate:config.service_rate)
+            (input, output)
+        end;
+        next_arrival := !now +. Variates.exponential rng ~rate:total_rate
+      end
+    end
+  done;
+  let overall_blocking, overall_halfwidth =
+    Stats.confidence_interval ~confidence:config.confidence
+      (Array.of_list !blocking_batches)
+  in
+  let mean_busy, _ =
+    Stats.confidence_interval ~confidence:config.confidence
+      (Array.of_list !busy_batches)
+  in
+  {
+    offered = !total_offered;
+    accepted = !total_accepted;
+    overall_blocking;
+    overall_halfwidth;
+    per_output_blocking =
+      Array.init outputs (fun j ->
+          if per_output_offered.(j) = 0 then 0.
+          else
+            float_of_int per_output_blocked.(j)
+            /. float_of_int per_output_offered.(j));
+    mean_busy;
+    events = !events;
+  }

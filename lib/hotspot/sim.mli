@@ -1,0 +1,39 @@
+(** Event-driven port-level simulation of the crossbar under non-uniform
+    output traffic — the referee for {!Exact} at sizes where {!Matchings}
+    cannot enumerate.
+
+    Requests for pair [(i, j)] arrive as independent Poisson streams of
+    rate [rate * weights.(j)]; a request is accepted iff input [i] and
+    output [j] are both idle (blocked-calls-cleared), and holds both for
+    an exponential time of rate [service_rate].  Since arrivals are
+    Poisson, call and time congestion coincide (PASTA). *)
+
+type config = {
+  inputs : int;
+  rate : float;
+  weights : float array;
+  service_rate : float;
+  warmup : float;
+  horizon : float;
+  batches : int;
+  confidence : float;
+  seed : int;
+}
+
+val default_config :
+  inputs:int -> rate:float -> weights:float array -> config
+(** Unit service rate, warmup 500, horizon 2e4, 20 batches, 95%, seed 42. *)
+
+type result = {
+  offered : int;
+  accepted : int;
+  overall_blocking : float;
+  overall_halfwidth : float;
+  per_output_blocking : float array; (* point estimates from counts *)
+  mean_busy : float;
+  events : int;
+}
+
+val run : config -> result
+(** Deterministic in [config.seed].
+    @raise Invalid_argument on malformed configs. *)

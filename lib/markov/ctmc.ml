@@ -1,0 +1,190 @@
+type t = {
+  num_states : int;
+  outgoing : (int * float) array array; (* state -> (destination, rate) *)
+  exit_rates : float array;
+}
+
+let of_adjacency outgoing =
+  let num_states = Array.length outgoing in
+  let exit_rates =
+    Array.map
+      (fun successors ->
+        Array.fold_left (fun acc (_, rate) -> acc +. rate) 0. successors)
+      outgoing
+  in
+  { num_states; outgoing; exit_rates }
+
+let create ~states ~transitions =
+  if states <= 0 then invalid_arg "Ctmc.create: states <= 0";
+  let merged = Array.make states [] in
+  List.iter
+    (fun (src, dst, rate) ->
+      if src < 0 || src >= states || dst < 0 || dst >= states then
+        invalid_arg "Ctmc.create: state out of range";
+      if src = dst then invalid_arg "Ctmc.create: self-loop";
+      if not (rate > 0.) then invalid_arg "Ctmc.create: non-positive rate";
+      merged.(src) <- (dst, rate) :: merged.(src))
+    transitions;
+  let outgoing =
+    Array.map
+      (fun successors ->
+        (* Sum duplicate (src, dst) rates. *)
+        let table = Hashtbl.create 8 in
+        List.iter
+          (fun (dst, rate) ->
+            let current =
+              Option.value ~default:0. (Hashtbl.find_opt table dst)
+            in
+            Hashtbl.replace table dst (current +. rate))
+          successors;
+        let pairs = Hashtbl.fold (fun dst rate acc -> (dst, rate) :: acc) table [] in
+        Array.of_list (List.sort compare pairs))
+      merged
+  in
+  of_adjacency outgoing
+
+let build ~states ~f =
+  let transitions = ref [] in
+  for src = 0 to states - 1 do
+    List.iter
+      (fun (dst, rate) ->
+        if rate > 0. then transitions := (src, dst, rate) :: !transitions)
+      (f src)
+  done;
+  create ~states ~transitions:!transitions
+
+let num_states t = t.num_states
+let transitions_from t i = Array.to_list t.outgoing.(i)
+let exit_rate t i = t.exit_rates.(i)
+
+let dense_rates t =
+  let n = t.num_states in
+  let rates = Array.make_matrix n n 0. in
+  Array.iteri
+    (fun src successors ->
+      Array.iter (fun (dst, rate) -> rates.(src).(dst) <- rates.(src).(dst) +. rate)
+      successors)
+    t.outgoing;
+  rates
+
+(* Grassmann–Taksar–Heyman elimination: no subtractions, so the result is
+   accurate to near machine precision regardless of rate magnitudes. *)
+let solve_gth t =
+  let n = t.num_states in
+  if n = 1 then [| 1. |]
+  else begin
+    let rates = dense_rates t in
+    let eliminated_exit = Array.make n 0. in
+    for k = n - 1 downto 1 do
+      let total = ref 0. in
+      for j = 0 to k - 1 do
+        total := !total +. rates.(k).(j)
+      done;
+      if not (!total > 0.) then
+        failwith "Ctmc.solve_gth: reducible chain (no path down from a state)";
+      eliminated_exit.(k) <- !total;
+      for i = 0 to k - 1 do
+        let rate_ik = rates.(i).(k) in
+        if rate_ik > 0. then begin
+          let scale = rate_ik /. !total in
+          for j = 0 to k - 1 do
+            if j <> i then rates.(i).(j) <- rates.(i).(j) +. (scale *. rates.(k).(j))
+          done
+        end
+      done
+    done;
+    let pi = Array.make n 0. in
+    pi.(0) <- 1.;
+    for k = 1 to n - 1 do
+      let inflow = ref 0. in
+      for i = 0 to k - 1 do
+        inflow := !inflow +. (pi.(i) *. rates.(i).(k))
+      done;
+      pi.(k) <- !inflow /. eliminated_exit.(k)
+    done;
+    let total = Crossbar_numerics.Kahan.sum pi in
+    Array.map (fun p -> p /. total) pi
+  end
+
+let normalise pi =
+  let total = Crossbar_numerics.Kahan.sum pi in
+  Array.iteri (fun i p -> pi.(i) <- p /. total) pi
+
+let max_exit_rate t = Array.fold_left Float.max 0. t.exit_rates
+
+let solve_power ?(tolerance = 1e-13) ?(max_iterations = 1_000_000) t =
+  let n = t.num_states in
+  (* Uniformisation: P = I + Q / lambda with lambda > max exit rate. *)
+  let lambda = max_exit_rate t *. 1.05 +. 1e-9 in
+  let pi = Array.make n (1. /. float_of_int n) in
+  let next = Array.make n 0. in
+  let iteration = ref 0 in
+  let delta = ref infinity in
+  while !delta > tolerance && !iteration < max_iterations do
+    Array.fill next 0 n 0.;
+    for src = 0 to n - 1 do
+      let stay = 1. -. (t.exit_rates.(src) /. lambda) in
+      next.(src) <- next.(src) +. (pi.(src) *. stay);
+      Array.iter
+        (fun (dst, rate) -> next.(dst) <- next.(dst) +. (pi.(src) *. rate /. lambda))
+        t.outgoing.(src)
+    done;
+    normalise next;
+    delta := 0.;
+    for i = 0 to n - 1 do
+      delta := Float.max !delta (Float.abs (next.(i) -. pi.(i)));
+      pi.(i) <- next.(i)
+    done;
+    incr iteration
+  done;
+  if !delta > tolerance then failwith "Ctmc.solve_power: did not converge";
+  pi
+
+let solve_gauss_seidel ?(tolerance = 1e-13) ?(max_iterations = 100_000) t =
+  let n = t.num_states in
+  (* Incoming adjacency for the balance equations
+     pi_j = sum_i pi_i q(i,j) / exit_j. *)
+  let incoming = Array.make n [] in
+  Array.iteri
+    (fun src successors ->
+      Array.iter
+        (fun (dst, rate) -> incoming.(dst) <- (src, rate) :: incoming.(dst))
+        successors)
+    t.outgoing;
+  let pi = Array.make n (1. /. float_of_int n) in
+  let iteration = ref 0 in
+  let delta = ref infinity in
+  while !delta > tolerance && !iteration < max_iterations do
+    delta := 0.;
+    for j = 0 to n - 1 do
+      if t.exit_rates.(j) > 0. then begin
+        let inflow =
+          List.fold_left
+            (fun acc (src, rate) -> acc +. (pi.(src) *. rate))
+            0. incoming.(j)
+        in
+        let updated = inflow /. t.exit_rates.(j) in
+        delta := Float.max !delta (Float.abs (updated -. pi.(j)));
+        pi.(j) <- updated
+      end
+    done;
+    normalise pi;
+    incr iteration
+  done;
+  if !delta > tolerance then failwith "Ctmc.solve_gauss_seidel: did not converge";
+  pi
+
+let detailed_balance_violation t ~pi =
+  let rates = dense_rates t in
+  let n = t.num_states in
+  let worst = ref 0. in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let forward = pi.(i) *. rates.(i).(j)
+      and backward = pi.(j) *. rates.(j).(i) in
+      let scale = Float.max forward backward in
+      if scale > 0. then
+        worst := Float.max !worst (Float.abs (forward -. backward) /. scale)
+    done
+  done;
+  !worst

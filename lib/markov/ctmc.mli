@@ -1,0 +1,48 @@
+(** Sparse continuous-time Markov chains and exact steady-state solvers.
+
+    The crossbar model is solved analytically via its product form; this
+    module solves the {e same} chain numerically, with no product-form
+    assumption, so the two can be cross-checked (the paper's central
+    soundness claim). *)
+
+type t
+(** A finite CTMC given by its off-diagonal transition rates. *)
+
+val create : states:int -> transitions:(int * int * float) list -> t
+(** [create ~states ~transitions] builds a chain on states
+    [0 .. states-1] from [(source, destination, rate)] triples.  Rates for
+    repeated [(source, destination)] pairs are summed; self-loops and
+    non-positive rates are rejected.
+    @raise Invalid_argument on malformed input. *)
+
+val build : states:int -> f:(int -> (int * float) list) -> t
+(** [build ~states ~f] constructs the chain from a per-state successor
+    function. *)
+
+val num_states : t -> int
+
+val transitions_from : t -> int -> (int * float) list
+(** Outgoing [(destination, rate)] pairs of a state. *)
+
+val exit_rate : t -> int -> float
+(** Total outgoing rate of a state. *)
+
+val solve_gth : t -> float array
+(** Exact stationary distribution by Grassmann–Taksar–Heyman state
+    elimination: subtraction-free, numerically impeccable, [O(n^3)] time
+    and [O(n^2)] space.  Requires an irreducible chain.
+    @raise Failure if the chain is reducible. *)
+
+val solve_power : ?tolerance:float -> ?max_iterations:int -> t -> float array
+(** Stationary distribution by power iteration on the uniformised chain.
+    @raise Failure if the iteration does not converge. *)
+
+val solve_gauss_seidel :
+  ?tolerance:float -> ?max_iterations:int -> t -> float array
+(** Stationary distribution by Gauss–Seidel sweeps on the balance
+    equations.
+    @raise Failure if the iteration does not converge. *)
+
+val detailed_balance_violation : t -> pi:float array -> float
+(** Maximum relative violation of [pi_i q(i,j) = pi_j q(j,i)] over all
+    transition pairs; ~0 iff the chain is reversible w.r.t. [pi]. *)

@@ -1,0 +1,74 @@
+type t = {
+  weights : int array;
+  capacity : int;
+  states : int array array; (* dense index -> state vector *)
+  indices : (int array, int) Hashtbl.t; (* state vector -> dense index *)
+  loads : int array; (* dense index -> occupied ports *)
+}
+
+let enumerate ~weights ~capacity =
+  let r = Array.length weights in
+  let states = ref [] in
+  let count = ref 0 in
+  let current = Array.make r 0 in
+  (* Depth-first enumeration class by class; states come out in
+     lexicographic order of (k_1, ..., k_R). *)
+  let rec visit class_index remaining =
+    if class_index = r then begin
+      states := Array.copy current :: !states;
+      incr count
+    end
+    else begin
+      let weight = weights.(class_index) in
+      let max_count = remaining / weight in
+      for k = 0 to max_count do
+        current.(class_index) <- k;
+        visit (class_index + 1) (remaining - (k * weight))
+      done;
+      current.(class_index) <- 0
+    end
+  in
+  visit 0 capacity;
+  Array.of_list (List.rev !states)
+
+let create ~weights ~capacity =
+  if capacity < 0 then invalid_arg "State_space.create: negative capacity";
+  Array.iter
+    (fun w -> if w <= 0 then invalid_arg "State_space.create: weight <= 0")
+    weights;
+  let weights = Array.copy weights in
+  let states = enumerate ~weights ~capacity in
+  let indices = Hashtbl.create (Array.length states) in
+  Array.iteri (fun i k -> Hashtbl.replace indices k i) states;
+  let loads =
+    Array.map
+      (fun k ->
+        let total = ref 0 in
+        Array.iteri (fun r count -> total := !total + (count * weights.(r))) k;
+        !total)
+      states
+  in
+  { weights; capacity; states; indices; loads }
+
+let size t = Array.length t.states
+let dimension t = Array.length t.weights
+let weights t = Array.copy t.weights
+let capacity t = t.capacity
+
+let state t i =
+  if i < 0 || i >= size t then invalid_arg "State_space.state: out of range";
+  Array.copy t.states.(i)
+
+let index t k =
+  match Hashtbl.find_opt t.indices k with
+  | Some i -> i
+  | None -> raise Not_found
+
+let mem t k = Hashtbl.mem t.indices k
+let load t i = t.loads.(i)
+let iter t f = Array.iteri (fun i k -> f i k) t.states
+
+let fold t ~init ~f =
+  let acc = ref init in
+  Array.iteri (fun i k -> acc := f !acc i k) t.states;
+  !acc

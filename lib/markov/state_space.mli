@@ -1,0 +1,45 @@
+(** Finite lattice state spaces of the form
+    [{ k in N^R | sum_r k_r * w_r <= capacity }].
+
+    This is exactly the paper's [Gamma(N)] — occupancy vectors of [R]
+    traffic classes where class [r] consumes [w_r = a_r] ports out of
+    [min(N1, N2)].  States are enumerated once and given dense indices so
+    that Markov-chain vectors can be stored in flat arrays. *)
+
+type t
+
+val create : weights:int array -> capacity:int -> t
+(** [create ~weights ~capacity] enumerates all vectors [k] with
+    [sum k.(r) * weights.(r) <= capacity].
+    @raise Invalid_argument if a weight is [<= 0] or capacity is negative. *)
+
+val size : t -> int
+(** Number of states. *)
+
+val dimension : t -> int
+(** Number of classes [R]. *)
+
+val weights : t -> int array
+(** A copy of the weight vector. *)
+
+val capacity : t -> int
+
+val state : t -> int -> int array
+(** [state t i] is a copy of the state with index [i].
+    @raise Invalid_argument if [i] is out of range. *)
+
+val index : t -> int array -> int
+(** Dense index of a state vector.
+    @raise Not_found if the vector is not in the space. *)
+
+val mem : t -> int array -> bool
+
+val load : t -> int -> int
+(** [load t i] is [sum_r k_r * w_r] for state [i] — the number of busy
+    input (equivalently output) ports. *)
+
+val iter : t -> (int -> int array -> unit) -> unit
+(** [iter t f] calls [f index state] for every state.  The state array is
+    shared across calls — copy it if retained. *)
+
+val fold : t -> init:'a -> f:('a -> int -> int array -> 'a) -> 'a

@@ -1,0 +1,98 @@
+let validate_initial chain initial =
+  if Array.length initial <> Ctmc.num_states chain then
+    invalid_arg "Transient: initial length mismatch";
+  let total = ref 0. in
+  Array.iter
+    (fun p ->
+      if p < -1e-12 then invalid_arg "Transient: negative initial mass";
+      total := !total +. p)
+    initial;
+  if Float.abs (!total -. 1.) > 1e-9 then
+    invalid_arg "Transient: initial mass must be 1"
+
+(* One step of the uniformised chain: v' = v P with
+   P = I + Q / lambda. *)
+let dtmc_step chain ~lambda v =
+  let n = Ctmc.num_states chain in
+  let next = Array.make n 0. in
+  for src = 0 to n - 1 do
+    if v.(src) > 0. then begin
+      let stay = 1. -. (Ctmc.exit_rate chain src /. lambda) in
+      next.(src) <- next.(src) +. (v.(src) *. stay);
+      List.iter
+        (fun (dst, rate) ->
+          next.(dst) <- next.(dst) +. (v.(src) *. rate /. lambda))
+        (Ctmc.transitions_from chain src)
+    end
+  done;
+  next
+
+let distribution ?(tolerance = 1e-12) chain ~initial ~time =
+  if time < 0. then invalid_arg "Transient.distribution: negative time";
+  validate_initial chain initial;
+  if time = 0. then Array.copy initial
+  else begin
+    let n = Ctmc.num_states chain in
+    let lambda =
+      let max_exit = ref 0. in
+      for i = 0 to n - 1 do
+        max_exit := Float.max !max_exit (Ctmc.exit_rate chain i)
+      done;
+      (!max_exit *. 1.05) +. 1e-9
+    in
+    let mean = lambda *. time in
+    (* Poisson(m; mean) weights via logs (robust for large mean). *)
+    let log_weight m =
+      (float_of_int m *. log mean)
+      -. mean
+      -. Crossbar_numerics.Special.log_factorial m
+    in
+    let result = Array.make n 0. in
+    let v = ref (Array.copy initial) in
+    let covered = ref 0. in
+    let m = ref 0 in
+    let cap =
+      int_of_float (mean +. (20. *. sqrt (mean +. 1.)) +. 200.)
+    in
+    while 1. -. !covered > tolerance && !m <= cap do
+      let weight = exp (log_weight !m) in
+      if weight > 0. then begin
+        covered := !covered +. weight;
+        Array.iteri
+          (fun i p -> result.(i) <- result.(i) +. (weight *. p))
+          !v
+      end;
+      v := dtmc_step chain ~lambda !v;
+      incr m
+    done;
+    (* Renormalise away the truncated tail. *)
+    let total = Crossbar_numerics.Kahan.sum result in
+    Array.map (fun p -> p /. total) result
+  end
+
+let expected_reward ?tolerance chain ~initial ~time ~reward =
+  if Array.length reward <> Ctmc.num_states chain then
+    invalid_arg "Transient.expected_reward: reward length mismatch";
+  let pi = distribution ?tolerance chain ~initial ~time in
+  Crossbar_numerics.Kahan.dot pi reward
+
+let total_variation a b =
+  let distance = ref 0. in
+  Array.iteri (fun i p -> distance := !distance +. Float.abs (p -. b.(i))) a;
+  0.5 *. !distance
+
+let time_to_stationarity ?tolerance ?(distance = 1e-3) chain ~initial =
+  validate_initial chain initial;
+  let stationary = Ctmc.solve_gth chain in
+  if total_variation initial stationary <= distance then 0.
+  else begin
+    let t = ref 1e-3 in
+    while
+      total_variation (distribution ?tolerance chain ~initial ~time:!t) stationary
+      > distance
+      && !t < 1e9
+    do
+      t := !t *. 2.
+    done;
+    !t
+  end

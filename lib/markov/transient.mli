@@ -1,0 +1,29 @@
+(** Transient analysis of a CTMC by uniformisation.
+
+    The paper analyses the steady state only; this module answers the
+    follow-on engineering question — how quickly the switch {e reaches}
+    that steady state after a load change — by computing
+    [pi(t) = pi(0) e^(Q t)] as a Poisson-weighted sum of DTMC powers
+    (Jensen's method), which is numerically benign (all terms are
+    non-negative). *)
+
+val distribution :
+  ?tolerance:float -> Ctmc.t -> initial:float array -> time:float ->
+  float array
+(** State distribution at [time], starting from [initial] at time 0.
+    [tolerance] bounds the truncated Poisson tail mass (default 1e-12).
+    @raise Invalid_argument if [time < 0] or [initial] is not a
+    distribution over the chain's states. *)
+
+val expected_reward :
+  ?tolerance:float -> Ctmc.t -> initial:float array -> time:float ->
+  reward:float array -> float
+(** [sum_i pi_i(t) reward.(i)] — e.g. the instantaneous non-blocking
+    probability [t] after start-up. *)
+
+val time_to_stationarity :
+  ?tolerance:float -> ?distance:float -> Ctmc.t -> initial:float array ->
+  float
+(** Smallest [t] (by doubling search, resolution a factor of 2) at which
+    the total-variation distance between [pi(t)] and the stationary
+    distribution drops below [distance] (default 1e-3). *)

@@ -1,0 +1,102 @@
+type result = {
+  end_to_end_blocking : float;
+  link_occupancy : float;
+  iterations : int;
+}
+
+let validate ~offered ~service_rate =
+  if not (offered >= 0.) then invalid_arg "Analysis: offered < 0";
+  if not (service_rate > 0.) then invalid_arg "Analysis: service_rate <= 0"
+
+let link_fixed_point ?(tolerance = 1e-12) topology ~offered ~service_rate =
+  validate ~offered ~service_rate;
+  let s = Topology.stages topology in
+  let erlangs = offered /. service_rate in
+  (* b = rho (1-b)^s / (1 + rho (1-b)^s): the right side is decreasing in
+     b, so the fixed point is unique; bisection is unconditionally
+     convergent. *)
+  let residual b =
+    let reduced = erlangs *. ((1. -. b) ** float_of_int s) in
+    b -. (reduced /. (1. +. reduced))
+  in
+  let iterations = ref 0 in
+  let lo = ref 0. and hi = ref 1. in
+  while !hi -. !lo > tolerance do
+    incr iterations;
+    let mid = 0.5 *. (!lo +. !hi) in
+    if residual mid < 0. then lo := mid else hi := mid
+  done;
+  let b = 0.5 *. (!lo +. !hi) in
+  {
+    end_to_end_blocking = 1. -. ((1. -. b) ** float_of_int (s + 1));
+    link_occupancy = b;
+    iterations = !iterations;
+  }
+
+(* One k x k crossbar under per-input-link aggregate rate [x]: the paper's
+   single-stage model gives the joint pair availability and the port
+   occupancy. *)
+let stage_measures topology ~rate ~service_rate =
+  let k = Topology.fanout topology in
+  let model =
+    Crossbar.Model.square ~size:k
+      ~classes:
+        [
+          Crossbar.Traffic.poisson ~name:"stage" ~bandwidth:1 ~rate
+            ~service_rate ();
+        ]
+  in
+  let measures = Crossbar.Solver.solve model in
+  let pair_free =
+    measures.Crossbar.Measures.per_class.(0).Crossbar.Measures.non_blocking
+  in
+  let port_busy =
+    measures.Crossbar.Measures.busy_ports /. float_of_int k
+  in
+  (pair_free, port_busy)
+
+let acceptance ~stages ~pair_free ~port_free =
+  (* Markov chain along the route's links. *)
+  if port_free <= 0. then 0.
+  else
+    (pair_free ** float_of_int stages)
+    /. (port_free ** float_of_int (stages - 1))
+
+let switch_markov ?(tolerance = 1e-10) ?(max_iterations = 10_000) topology
+    ~offered ~service_rate =
+  validate ~offered ~service_rate;
+  let s = Topology.stages topology in
+  (* Thinned per-link offered rate x: a circuit loads a given switch only
+     if the rest of its route (acceptance / this switch's own pair
+     availability) admits it. *)
+  let damping = 0.5 in
+  let x = ref offered and converged = ref false and iterations = ref 0 in
+  let last_pair = ref 1. and last_port_busy = ref 0. in
+  while (not !converged) && !iterations < max_iterations do
+    incr iterations;
+    let pair_free, port_busy =
+      stage_measures topology ~rate:!x ~service_rate
+    in
+    last_pair := pair_free;
+    last_port_busy := port_busy;
+    let rest_of_route =
+      if s = 1 then 1.
+      else
+        let port_free = 1. -. port_busy in
+        (pair_free /. port_free) ** float_of_int (s - 1)
+    in
+    let updated = offered *. rest_of_route in
+    if Float.abs (updated -. !x) <= tolerance *. Float.max 1e-12 offered then
+      converged := true;
+    x := (damping *. updated) +. ((1. -. damping) *. !x)
+  done;
+  if not !converged then failwith "Analysis.switch_markov: no convergence";
+  let accept =
+    acceptance ~stages:s ~pair_free:!last_pair
+      ~port_free:(1. -. !last_port_busy)
+  in
+  {
+    end_to_end_blocking = 1. -. accept;
+    link_occupancy = !last_port_busy;
+    iterations = !iterations;
+  }

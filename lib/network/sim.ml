@@ -1,0 +1,170 @@
+module Rng = Crossbar_prng.Rng
+module Variates = Crossbar_prng.Variates
+module Service = Crossbar_sim.Service
+module Event_heap = Crossbar_sim.Event_heap
+module Stats = Crossbar_sim.Stats
+
+type config = {
+  topology : Topology.t;
+  offered : float;
+  service_rate : float;
+  service : Service.t;
+  warmup : float;
+  horizon : float;
+  batches : int;
+  confidence : float;
+  seed : int;
+}
+
+let default_config topology ~offered =
+  {
+    topology;
+    offered;
+    service_rate = 1.0;
+    service = Service.Exponential;
+    warmup = 500.;
+    horizon = 2e4;
+    batches = 20;
+    confidence = 0.95;
+    seed = 42;
+  }
+
+type result = {
+  offered_count : int;
+  accepted_count : int;
+  blocking : float;
+  blocking_halfwidth : float;
+  link_occupancy : float;
+  events : int;
+}
+
+let run config =
+  if not (config.horizon > 0.) then invalid_arg "Sim.run: horizon <= 0";
+  if not (config.warmup >= 0.) then invalid_arg "Sim.run: warmup < 0";
+  if config.batches < 2 then invalid_arg "Sim.run: batches < 2";
+  if not (config.offered >= 0.) then invalid_arg "Sim.run: offered < 0";
+  Service.validate config.service;
+  let topology = config.topology in
+  let ports = Topology.ports topology in
+  let levels = Topology.stages topology + 1 in
+  let rng = Rng.create ~seed:config.seed in
+  let service_rng = Rng.split rng in
+  (* busy.(level * ports + link) *)
+  let busy = Array.make (levels * ports) false in
+  let busy_count = ref 0 in
+  let departures = Event_heap.create () in
+  let total_rate = config.offered *. float_of_int ports in
+  let mean_holding = 1. /. config.service_rate in
+  let occupancy =
+    Stats.Time_weighted.create ~start:0. ~value:0.
+  in
+  let batch_offered = ref 0 and batch_blocked = ref 0 in
+  let blocking_batches = ref [] and occupancy_batches = ref [] in
+  let record_occupancy ~now =
+    Stats.Time_weighted.update occupancy ~time:now
+      ~value:(float_of_int !busy_count /. float_of_int (levels * ports))
+  in
+  let close_batch ~upto =
+    let fraction =
+      if !batch_offered = 0 then 0.
+      else float_of_int !batch_blocked /. float_of_int !batch_offered
+    in
+    blocking_batches := fraction :: !blocking_batches;
+    occupancy_batches :=
+      Stats.Time_weighted.average occupancy ~upto :: !occupancy_batches;
+    Stats.Time_weighted.reset occupancy ~time:upto;
+    batch_offered := 0;
+    batch_blocked := 0
+  in
+  let finish_time = config.warmup +. config.horizon in
+  let batch_length = config.horizon /. float_of_int config.batches in
+  let batch_start = ref config.warmup in
+  let measuring = ref false in
+  let now = ref 0. in
+  let next_arrival =
+    ref (if total_rate > 0. then Variates.exponential rng ~rate:total_rate else infinity)
+  in
+  let events = ref 0 in
+  let total_offered = ref 0 and total_accepted = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let departure_time =
+      match Event_heap.peek departures with Some (t, _) -> t | None -> infinity
+    in
+    let event_time = Float.min departure_time !next_arrival in
+    if event_time >= finish_time then begin
+      if !measuring then close_batch ~upto:finish_time;
+      now := finish_time;
+      continue := false
+    end
+    else begin
+      now := event_time;
+      incr events;
+      if (not !measuring) && !now >= config.warmup then begin
+        measuring := true;
+        Stats.Time_weighted.reset occupancy ~time:config.warmup;
+        batch_offered := 0;
+        batch_blocked := 0;
+        batch_start := config.warmup
+      end;
+      while !measuring && !now >= !batch_start +. batch_length do
+        close_batch ~upto:(!batch_start +. batch_length);
+        batch_start := !batch_start +. batch_length
+      done;
+      if departure_time <= !next_arrival then begin
+        match Event_heap.pop departures with
+        | None -> assert false
+        | Some (_, route) ->
+            Array.iteri
+              (fun level link -> busy.((level * ports) + link) <- false)
+              route;
+            busy_count := !busy_count - Array.length route;
+            record_occupancy ~now:!now
+      end
+      else begin
+        incr total_offered;
+        if !measuring then incr batch_offered;
+        let input = Rng.int rng ~bound:ports in
+        let output = Rng.int rng ~bound:ports in
+        let route = Topology.route topology ~input ~output in
+        let clear =
+          let ok = ref true in
+          Array.iteri
+            (fun level link ->
+              if busy.((level * ports) + link) then ok := false)
+            route;
+          !ok
+        in
+        if clear then begin
+          incr total_accepted;
+          Array.iteri
+            (fun level link -> busy.((level * ports) + link) <- true)
+            route;
+          busy_count := !busy_count + Array.length route;
+          let holding =
+            Service.sample config.service service_rng ~mean:mean_holding
+          in
+          Event_heap.add departures ~time:(!now +. holding) route;
+          record_occupancy ~now:!now
+        end
+        else if !measuring then incr batch_blocked;
+        next_arrival := !now +. Variates.exponential rng ~rate:total_rate
+      end
+    end
+  done;
+  let blocking, blocking_halfwidth =
+    Stats.confidence_interval ~confidence:config.confidence
+      (Array.of_list !blocking_batches)
+  in
+  let link_occupancy, _ =
+    Stats.confidence_interval ~confidence:config.confidence
+      (Array.of_list !occupancy_batches)
+  in
+  {
+    offered_count = !total_offered;
+    accepted_count = !total_accepted;
+    blocking;
+    blocking_halfwidth;
+    link_occupancy;
+    events = !events;
+  }

@@ -1,0 +1,51 @@
+type t = { ports : int; fanout : int; stages : int; power : int array }
+(* power.(j) = fanout^j, j = 0..stages *)
+
+let create ~ports ~fanout =
+  if fanout < 2 then invalid_arg "Topology.create: fanout < 2";
+  if ports < fanout then invalid_arg "Topology.create: ports < fanout";
+  let rec count size acc =
+    if size = 1 then acc
+    else if size mod fanout <> 0 then
+      invalid_arg "Topology.create: ports not a power of fanout"
+    else count (size / fanout) (acc + 1)
+  in
+  let stages = count ports 0 in
+  let power = Array.make (stages + 1) 1 in
+  for j = 1 to stages do
+    power.(j) <- power.(j - 1) * fanout
+  done;
+  { ports; fanout; stages; power }
+
+let ports t = t.ports
+let fanout t = t.fanout
+let stages t = t.stages
+let links_per_level t = t.ports
+let switches_per_stage t = t.ports / t.fanout
+
+let check_port t label port =
+  if port < 0 || port >= t.ports then
+    invalid_arg (Printf.sprintf "Topology: %s out of range" label)
+
+(* Level-t link label: first t digits of the output, last (s - t) digits
+   of the input. *)
+let link_at t ~input ~output ~level =
+  let tail = t.power.(t.stages - level) in
+  (output / tail * tail) + (input mod tail)
+
+let route t ~input ~output =
+  check_port t "input" input;
+  check_port t "output" output;
+  Array.init (t.stages + 1) (fun level -> link_at t ~input ~output ~level)
+
+let switch_of_link t ~level ~link =
+  if level < 1 || level > t.stages then
+    invalid_arg "Topology.switch_of_link: level outside stages";
+  check_port t "link" link;
+  (* A stage-[level] switch joins the k level-[level] links sharing all
+     digits except digit [level] (1-based, most significant first). *)
+  let tail = t.power.(t.stages - level) in
+  let prefix = link / (tail * t.fanout) in
+  (prefix * tail) + (link mod tail)
+
+let crosspoints t = switches_per_stage t * t.stages * t.fanout * t.fanout

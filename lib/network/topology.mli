@@ -1,0 +1,49 @@
+(** Delta-network topology: [N = k^s] ports interconnected by [s] stages
+    of [k x k] asynchronous crossbars.
+
+    The paper's conclusion names "extending this analysis to asynchronous
+    all-optical multi-stage networks" as future work; this module provides
+    the combinatorial substrate.  A circuit from input [i] to output [o]
+    traverses [s + 1] {e links} (levels 0..s): level 0 is the network
+    input port, level [s] the output port, intermediate levels the
+    inter-stage links.  Writing [o]'s base-[k] digits as
+    [d_1 ... d_s] (most significant first), the level-[t] link of the
+    route is labelled by the first [t] digits of [o] and the last [s - t]
+    digits of [i] — the self-routing property of delta networks. *)
+
+type t
+
+val create : ports:int -> fanout:int -> t
+(** [create ~ports ~fanout] describes an [N = ports] network of
+    [fanout x fanout] crossbars.
+    @raise Invalid_argument unless [ports] is a positive power of
+    [fanout >= 2]. *)
+
+val ports : t -> int
+val fanout : t -> int
+
+val stages : t -> int
+(** [s = log_k N]. *)
+
+val links_per_level : t -> int
+(** [N] at every level. *)
+
+val switches_per_stage : t -> int
+(** [N / k]. *)
+
+val route : t -> input:int -> output:int -> int array
+(** The route's link label at each level, [s + 1] entries;
+    [route.(0) = input] and [route.(stages) = output].
+    @raise Invalid_argument for out-of-range ports. *)
+
+val switch_of_link : t -> level:int -> link:int -> int
+(** The stage-[level] switch (numbered within its stage) whose {e input}
+    side carries the given level-[level - 1]... more precisely: the switch
+    of stage [level] (1-based) that joins level [level - 1] links to
+    level [level] links containing [link] on its output side.  Used by
+    tests to verify that routes sharing a switch also share its port
+    semantics.
+    @raise Invalid_argument for [level] outside [1, stages]. *)
+
+val crosspoints : t -> int
+(** Total crosspoint count, [(N / k) * s * k^2]. *)

@@ -1,0 +1,29 @@
+let default_step x =
+  let scale = Float.max 1. (Float.abs x) in
+  Float.cbrt epsilon_float *. scale
+
+let forward ?step ~f x =
+  let h = match step with Some h -> h | None -> default_step x in
+  (f (x +. h) -. f x) /. h
+
+let central ?step ~f x =
+  let h = match step with Some h -> h | None -> default_step x in
+  (f (x +. h) -. f (x -. h)) /. (2. *. h)
+
+let richardson ?step ?(levels = 4) ~f x =
+  if levels < 1 then invalid_arg "Derivative.richardson: levels < 1";
+  let h0 = match step with Some h -> h | None -> default_step x *. 8. in
+  (* Neville tableau on central differences with step halving: entry (i,0)
+     uses step h0/2^i; extrapolation removes the O(h^2) error terms. *)
+  let tableau = Array.make_matrix levels levels 0. in
+  for i = 0 to levels - 1 do
+    let h = h0 /. Float.pow 2. (float_of_int i) in
+    tableau.(i).(0) <- (f (x +. h) -. f (x -. h)) /. (2. *. h);
+    for j = 1 to i do
+      let factor = Float.pow 4. (float_of_int j) in
+      tableau.(i).(j) <-
+        ((factor *. tableau.(i).(j - 1)) -. tableau.(i - 1).(j - 1))
+        /. (factor -. 1.)
+    done
+  done;
+  tableau.(levels - 1).(levels - 1)

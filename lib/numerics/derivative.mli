@@ -1,0 +1,22 @@
+(** Numerical differentiation.
+
+    The paper approximates the revenue gradient with respect to the bursty
+    load [beta_r/mu_r] "via a forward difference" (Section 4); this module
+    provides that scheme plus higher-order alternatives used to bound its
+    error in the test suite. *)
+
+val default_step : float -> float
+(** [default_step x] is a step size balancing truncation and rounding error
+    for central differences around [x] ([~ cbrt eps * max 1 |x|]). *)
+
+val forward : ?step:float -> f:(float -> float) -> float -> float
+(** First-order forward difference [(f (x+h) - f x) / h] — the scheme the
+    paper uses for [dW/d(beta_r/mu_r)]. *)
+
+val central : ?step:float -> f:(float -> float) -> float -> float
+(** Second-order central difference [(f (x+h) - f (x-h)) / 2h]. *)
+
+val richardson : ?step:float -> ?levels:int -> f:(float -> float) -> float -> float
+(** Richardson extrapolation of the central difference; [levels] halvings
+    of the step (default 4).  Accurate to near machine precision for smooth
+    [f]. *)

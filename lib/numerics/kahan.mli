@@ -1,0 +1,27 @@
+(** Compensated (Neumaier) floating-point summation.
+
+    Accumulates long series of terms of mixed magnitude — simulation
+    statistics, convolution sums — with error independent of the number of
+    terms. *)
+
+type t
+(** A mutable compensated accumulator. *)
+
+val create : unit -> t
+(** A fresh accumulator holding 0. *)
+
+val add : t -> float -> unit
+(** [add acc x] adds [x] to the running sum. *)
+
+val total : t -> float
+(** Current compensated total. *)
+
+val reset : t -> unit
+(** Resets the accumulator to 0. *)
+
+val sum : float array -> float
+(** One-shot compensated sum of an array. *)
+
+val dot : float array -> float array -> float
+(** Compensated dot product.
+    @raise Invalid_argument on length mismatch. *)

@@ -1,0 +1,90 @@
+type matrix = float array array
+
+let dimensions m =
+  let rows = Array.length m in
+  let cols = if rows = 0 then 0 else Array.length m.(0) in
+  Array.iter
+    (fun row ->
+      if Array.length row <> cols then
+        invalid_arg "Linalg: ragged matrix")
+    m;
+  (rows, cols)
+
+let identity n =
+  Array.init n (fun i -> Array.init n (fun j -> if i = j then 1. else 0.))
+
+let copy m = Array.map Array.copy m
+
+let mat_vec m v =
+  let rows, cols = dimensions m in
+  if cols <> Array.length v then invalid_arg "Linalg.mat_vec: dimensions";
+  Array.init rows (fun i -> Kahan.dot m.(i) v)
+
+let transpose m =
+  let rows, cols = dimensions m in
+  Array.init cols (fun j -> Array.init rows (fun i -> m.(i).(j)))
+
+(* In-place LU with partial pivoting on a copy; returns the factored matrix,
+   the permutation, and the permutation sign. *)
+let lu_factor m =
+  let rows, cols = dimensions m in
+  if rows <> cols then invalid_arg "Linalg: square matrix required";
+  let a = copy m in
+  let n = rows in
+  let perm = Array.init n Fun.id in
+  let sign = ref 1. in
+  for col = 0 to n - 1 do
+    (* Partial pivot: largest magnitude in this column at or below row. *)
+    let pivot_row = ref col in
+    for row = col + 1 to n - 1 do
+      if Float.abs a.(row).(col) > Float.abs a.(!pivot_row).(col) then
+        pivot_row := row
+    done;
+    if !pivot_row <> col then begin
+      let tmp = a.(col) in
+      a.(col) <- a.(!pivot_row);
+      a.(!pivot_row) <- tmp;
+      let tmp = perm.(col) in
+      perm.(col) <- perm.(!pivot_row);
+      perm.(!pivot_row) <- tmp;
+      sign := -. !sign
+    end;
+    let pivot = a.(col).(col) in
+    if Float.abs pivot < 1e-300 then failwith "Linalg: singular matrix";
+    for row = col + 1 to n - 1 do
+      let factor = a.(row).(col) /. pivot in
+      a.(row).(col) <- factor;
+      for k = col + 1 to n - 1 do
+        a.(row).(k) <- a.(row).(k) -. (factor *. a.(col).(k))
+      done
+    done
+  done;
+  (a, perm, !sign)
+
+let solve m b =
+  let n = Array.length m in
+  if Array.length b <> n then invalid_arg "Linalg.solve: dimensions";
+  let lu, perm, _ = lu_factor m in
+  let x = Array.init n (fun i -> b.(perm.(i))) in
+  (* Forward substitution (unit lower triangle). *)
+  for i = 1 to n - 1 do
+    for j = 0 to i - 1 do
+      x.(i) <- x.(i) -. (lu.(i).(j) *. x.(j))
+    done
+  done;
+  (* Back substitution. *)
+  for i = n - 1 downto 0 do
+    for j = i + 1 to n - 1 do
+      x.(i) <- x.(i) -. (lu.(i).(j) *. x.(j))
+    done;
+    x.(i) <- x.(i) /. lu.(i).(i)
+  done;
+  x
+
+let determinant m =
+  match lu_factor m with
+  | lu, _, sign ->
+      let product = ref sign in
+      Array.iteri (fun i row -> product := !product *. row.(i)) lu;
+      !product
+  | exception Failure _ -> 0.

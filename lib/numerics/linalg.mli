@@ -1,0 +1,26 @@
+(** Dense linear algebra: Gaussian elimination with partial pivoting.
+
+    Sized for the exact Markov-chain validation solves (state spaces up to a
+    few thousand states); no external BLAS. *)
+
+type matrix = float array array
+(** Row-major dense matrix; all rows must share a length. *)
+
+val identity : int -> matrix
+
+val copy : matrix -> matrix
+
+val mat_vec : matrix -> float array -> float array
+(** Matrix-vector product.
+    @raise Invalid_argument on dimension mismatch. *)
+
+val transpose : matrix -> matrix
+
+val solve : matrix -> float array -> float array
+(** [solve a b] solves [a x = b] by LU with partial pivoting.  [a] and [b]
+    are not modified.
+    @raise Failure if [a] is (numerically) singular.
+    @raise Invalid_argument on dimension mismatch. *)
+
+val determinant : matrix -> float
+(** Determinant via the same factorisation. *)

@@ -1,0 +1,64 @@
+type t = float (* natural log of the represented non-negative real *)
+
+let zero = neg_infinity
+let one = 0.
+
+let of_float x =
+  if Float.is_nan x || x < 0. then
+    invalid_arg "Logspace.of_float: negative or NaN"
+  else log x
+
+let of_log l = l
+let to_float l = exp l
+let to_log l = l
+let is_zero l = l = neg_infinity
+
+let mul a b =
+  (* neg_infinity + infinity would be NaN; zero absorbs. *)
+  if a = neg_infinity || b = neg_infinity then neg_infinity else a +. b
+
+let div a b =
+  if b = neg_infinity then raise Division_by_zero
+  else if a = neg_infinity then neg_infinity
+  else a -. b
+
+let add a b =
+  if a = neg_infinity then b
+  else if b = neg_infinity then a
+  else
+    let hi = Float.max a b and lo = Float.min a b in
+    hi +. Float.log1p (exp (lo -. hi))
+
+(* Relative slack (in log domain) below which a slightly negative
+   difference is attributed to rounding and clamped to zero. *)
+let sub_tolerance = 1e-12
+
+let sub a b =
+  if b = neg_infinity then a
+  else if a = neg_infinity then
+    invalid_arg "Logspace.sub: negative result (0 - positive)"
+  else if a > b then a +. Float.log1p (-.exp (b -. a))
+  else if b -. a <= sub_tolerance then neg_infinity
+  else invalid_arg "Logspace.sub: negative result"
+
+let sum values =
+  let hi = Array.fold_left Float.max neg_infinity values in
+  if hi = neg_infinity then neg_infinity
+  else begin
+    (* Compensated accumulation of the shifted exponentials. *)
+    let total = ref 0. and comp = ref 0. in
+    Array.iter
+      (fun v ->
+        let term = exp (v -. hi) in
+        let t = !total +. term in
+        if Float.abs !total >= Float.abs term then
+          comp := !comp +. (!total -. t +. term)
+        else comp := !comp +. (term -. t +. !total);
+        total := t)
+      values;
+    hi +. log (!total +. !comp)
+  end
+
+let ratio a b = to_float (div a b)
+let compare = Float.compare
+let pp ppf l = Format.fprintf ppf "exp(%g)" l

@@ -1,0 +1,60 @@
+(** Arithmetic on non-negative reals represented by their natural logarithm.
+
+    Normalisation constants of product-form networks span hundreds of orders
+    of magnitude ([P(256,k)^2] terms); this module provides exact-model
+    computations that never leave the representable range.  The value [0] is
+    represented by [neg_infinity]. *)
+
+type t
+(** A non-negative real number stored as its natural logarithm. *)
+
+val zero : t
+(** The number 0 (log representation: [neg_infinity]). *)
+
+val one : t
+(** The number 1 (log representation: [0.]). *)
+
+val of_float : float -> t
+(** [of_float x] represents the non-negative real [x].
+    @raise Invalid_argument if [x < 0] or [x] is NaN. *)
+
+val of_log : float -> t
+(** [of_log l] represents [exp l] without evaluating the exponential. *)
+
+val to_float : t -> float
+(** [to_float v] is the represented real; may overflow to [infinity] or
+    underflow to [0.] if the value leaves the double range. *)
+
+val to_log : t -> float
+(** [to_log v] is the natural logarithm of the represented value
+    ([neg_infinity] for zero). *)
+
+val is_zero : t -> bool
+
+val mul : t -> t -> t
+(** Product of the represented values (log-domain addition). *)
+
+val div : t -> t -> t
+(** Quotient of the represented values.
+    @raise Division_by_zero if the divisor is zero. *)
+
+val add : t -> t -> t
+(** Sum of the represented values (log-sum-exp, stable). *)
+
+val sub : t -> t -> t
+(** Difference of the represented values.
+    @raise Invalid_argument if the result would be negative beyond a small
+    relative tolerance (in which case it is clamped to {!zero}). *)
+
+val sum : t array -> t
+(** Stable sum of an array: shifts by the maximum exponent before summing
+    with compensated accumulation. *)
+
+val ratio : t -> t -> float
+(** [ratio a b = to_float (div a b)], the common case for performance
+    measures expressed as ratios of normalisation constants. *)
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [exp(<log value>)]. *)

@@ -1,0 +1,128 @@
+let normal_cdf x = 0.5 *. Special.erfc (-.x /. sqrt 2.)
+
+(* Acklam's rational approximation to the normal quantile. *)
+let normal_quantile p =
+  if not (p > 0. && p < 1.) then
+    invalid_arg "Prob.normal_quantile: p outside (0,1)";
+  let a =
+    [| -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+       1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00 |]
+  and b =
+    [| -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+       6.680131188771972e+01; -1.328068155288572e+01 |]
+  and c =
+    [| -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+       -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00 |]
+  and d =
+    [| 7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+       3.754408661907416e+00 |]
+  in
+  let p_low = 0.02425 in
+  let rational_tail q =
+    (((((c.(0) *. q) +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4))
+    *. q
+    +. c.(5)
+  and tail_denominator q =
+    ((((d.(0) *. q) +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.
+  in
+  if p < p_low then
+    let q = sqrt (-2. *. log p) in
+    rational_tail q /. tail_denominator q
+  else if p <= 1. -. p_low then begin
+    let q = p -. 0.5 in
+    let r = q *. q in
+    let numerator =
+      (((((a.(0) *. r) +. a.(1)) *. r +. a.(2)) *. r +. a.(3)) *. r +. a.(4))
+      *. r
+      +. a.(5)
+    and denominator =
+      ((((((b.(0) *. r) +. b.(1)) *. r +. b.(2)) *. r +. b.(3)) *. r) +. b.(4))
+      *. r
+      +. 1.
+    in
+    numerator *. q /. denominator
+  end
+  else
+    let q = sqrt (-2. *. log (1. -. p)) in
+    -.(rational_tail q /. tail_denominator q)
+
+let log_beta a b = Special.lgamma a +. Special.lgamma b -. Special.lgamma (a +. b)
+
+(* Continued fraction for the incomplete beta function (Lentz's method). *)
+let beta_continued_fraction ~a ~b x =
+  let tiny = 1e-300 and epsilon = 1e-15 and max_iterations = 300 in
+  let qab = a +. b and qap = a +. 1. and qam = a -. 1. in
+  let c = ref 1. in
+  let d = ref (1. -. (qab *. x /. qap)) in
+  if Float.abs !d < tiny then d := tiny;
+  d := 1. /. !d;
+  let h = ref !d in
+  let m = ref 1 in
+  let converged = ref false in
+  while (not !converged) && !m <= max_iterations do
+    let mf = float_of_int !m in
+    let m2 = 2. *. mf in
+    (* Even step. *)
+    let numerator = mf *. (b -. mf) *. x /. ((qam +. m2) *. (a +. m2)) in
+    d := 1. +. (numerator *. !d);
+    if Float.abs !d < tiny then d := tiny;
+    c := 1. +. (numerator /. !c);
+    if Float.abs !c < tiny then c := tiny;
+    d := 1. /. !d;
+    h := !h *. !d *. !c;
+    (* Odd step. *)
+    let numerator =
+      -.(a +. mf) *. (qab +. mf) *. x /. ((a +. m2) *. (qap +. m2))
+    in
+    d := 1. +. (numerator *. !d);
+    if Float.abs !d < tiny then d := tiny;
+    c := 1. +. (numerator /. !c);
+    if Float.abs !c < tiny then c := tiny;
+    d := 1. /. !d;
+    let delta = !d *. !c in
+    h := !h *. delta;
+    if Float.abs (delta -. 1.) < epsilon then converged := true;
+    incr m
+  done;
+  !h
+
+let incomplete_beta ~a ~b x =
+  if not (a > 0. && b > 0.) then
+    invalid_arg "Prob.incomplete_beta: a, b must be positive";
+  if x < 0. || x > 1. then invalid_arg "Prob.incomplete_beta: x outside [0,1]";
+  if x = 0. then 0.
+  else if x = 1. then 1.
+  else begin
+    let front =
+      exp
+        ((a *. log x) +. (b *. log (1. -. x)) -. log_beta a b)
+    in
+    (* Use the symmetry relation to keep the continued fraction convergent. *)
+    if x < (a +. 1.) /. (a +. b +. 2.) then
+      front *. beta_continued_fraction ~a ~b x /. a
+    else 1. -. (front *. beta_continued_fraction ~a:b ~b:a (1. -. x) /. b)
+  end
+
+let student_t_cdf ~df t =
+  if df < 1 then invalid_arg "Prob.student_t_cdf: df < 1";
+  let dff = float_of_int df in
+  let x = dff /. (dff +. (t *. t)) in
+  let tail = 0.5 *. incomplete_beta ~a:(dff /. 2.) ~b:0.5 x in
+  if t > 0. then 1. -. tail else tail
+
+let student_t_critical ~confidence ~df =
+  if not (confidence > 0. && confidence < 1.) then
+    invalid_arg "Prob.student_t_critical: confidence outside (0,1)";
+  if df < 1 then invalid_arg "Prob.student_t_critical: df < 1";
+  let target = 0.5 +. (confidence /. 2.) in
+  (* The CDF is monotone; bisect on [0, hi] with an expanding bracket. *)
+  let hi = ref 2. in
+  while student_t_cdf ~df !hi < target && !hi < 1e8 do
+    hi := !hi *. 2.
+  done;
+  let lo = ref 0. and hi = ref !hi in
+  for _ = 1 to 200 do
+    let mid = 0.5 *. (!lo +. !hi) in
+    if student_t_cdf ~df mid < target then lo := mid else hi := mid
+  done;
+  0.5 *. (!lo +. !hi)

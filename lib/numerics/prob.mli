@@ -1,0 +1,31 @@
+(** Probability special functions: normal and Student-t distributions and the
+    regularised incomplete beta function.
+
+    Used by the simulation statistics layer to produce confidence intervals
+    without any external numeric dependency. *)
+
+val normal_cdf : float -> float
+(** Standard normal cumulative distribution function. *)
+
+val normal_quantile : float -> float
+(** Inverse of {!normal_cdf} (Acklam's rational approximation, relative
+    error below 1.15e-9).
+    @raise Invalid_argument outside (0, 1). *)
+
+val log_beta : float -> float -> float
+(** [log_beta a b = log (Gamma a * Gamma b / Gamma (a+b))]. *)
+
+val incomplete_beta : a:float -> b:float -> float -> float
+(** [incomplete_beta ~a ~b x] is the regularised incomplete beta function
+    [I_x(a, b)], computed by the Lentz continued fraction.
+    @raise Invalid_argument if [x] is outside [0, 1] or [a], [b] are not
+    positive. *)
+
+val student_t_cdf : df:int -> float -> float
+(** CDF of Student's t distribution with [df] degrees of freedom. *)
+
+val student_t_critical : confidence:float -> df:int -> float
+(** Two-sided critical value [t_c] such that
+    [P(|T| <= t_c) = confidence] for [T ~ t(df)].  E.g.
+    [student_t_critical ~confidence:0.95 ~df:29 ≈ 2.045].
+    @raise Invalid_argument if [confidence] is outside (0, 1) or [df < 1]. *)

@@ -1,0 +1,104 @@
+let sign x = if x > 0. then 1 else if x < 0. then -1 else 0
+
+let bisection ?(tolerance = 1e-12) ?(max_iterations = 200) ~f ~lo ~hi () =
+  let flo = f lo and fhi = f hi in
+  if sign flo * sign fhi > 0 then
+    invalid_arg "Roots.bisection: root not bracketed";
+  if flo = 0. then lo
+  else if fhi = 0. then hi
+  else begin
+    let lo = ref lo and hi = ref hi and flo = ref flo in
+    let iterations = ref 0 in
+    while !hi -. !lo > tolerance *. Float.max 1. (Float.abs !lo)
+          && !iterations < max_iterations do
+      let mid = 0.5 *. (!lo +. !hi) in
+      let fmid = f mid in
+      if sign fmid = sign !flo then begin
+        lo := mid;
+        flo := fmid
+      end
+      else hi := mid;
+      incr iterations
+    done;
+    0.5 *. (!lo +. !hi)
+  end
+
+let brent ?(tolerance = 1e-12) ?(max_iterations = 200) ~f ~lo ~hi () =
+  let a = ref lo and b = ref hi in
+  let fa = ref (f !a) and fb = ref (f !b) in
+  if sign !fa * sign !fb > 0 then invalid_arg "Roots.brent: root not bracketed";
+  (* Keep |f b| <= |f a|: b is the best estimate. *)
+  if Float.abs !fa < Float.abs !fb then begin
+    let t = !a in
+    a := !b;
+    b := t;
+    let t = !fa in
+    fa := !fb;
+    fb := t
+  end;
+  let c = ref !a and fc = ref !fa in
+  let d = ref (!b -. !a) in
+  let bisected = ref true in
+  let iterations = ref 0 in
+  while !fb <> 0.
+        && Float.abs (!b -. !a) > tolerance *. Float.max 1. (Float.abs !b)
+        && !iterations < max_iterations do
+    let s =
+      if !fa <> !fc && !fb <> !fc then
+        (* Inverse quadratic interpolation. *)
+        (!a *. !fb *. !fc /. ((!fa -. !fb) *. (!fa -. !fc)))
+        +. (!b *. !fa *. !fc /. ((!fb -. !fa) *. (!fb -. !fc)))
+        +. (!c *. !fa *. !fb /. ((!fc -. !fa) *. (!fc -. !fb)))
+      else
+        (* Secant. *)
+        !b -. (!fb *. (!b -. !a) /. (!fb -. !fa))
+    in
+    let lower = ((3. *. !a) +. !b) /. 4. and upper = !b in
+    let lower, upper = if lower <= upper then (lower, upper) else (upper, lower) in
+    let use_bisection =
+      s < lower || s > upper
+      || (!bisected && Float.abs (s -. !b) >= Float.abs (!b -. !c) /. 2.)
+      || ((not !bisected) && Float.abs (s -. !b) >= Float.abs (!c -. !d) /. 2.)
+    in
+    let s = if use_bisection then 0.5 *. (!a +. !b) else s in
+    bisected := use_bisection;
+    let fs = f s in
+    d := !c;
+    c := !b;
+    fc := !fb;
+    if sign !fa * sign fs < 0 then begin
+      b := s;
+      fb := fs
+    end
+    else begin
+      a := s;
+      fa := fs
+    end;
+    if Float.abs !fa < Float.abs !fb then begin
+      let t = !a in
+      a := !b;
+      b := t;
+      let t = !fa in
+      fa := !fb;
+      fb := t
+    end;
+    incr iterations
+  done;
+  !b
+
+let invert_monotone ?(tolerance = 1e-12) ~f ~target ~lo () =
+  let g x = f x -. target in
+  let glo = g lo in
+  if glo = 0. then lo
+  else if glo > 0. then
+    failwith "Roots.invert_monotone: target below f(lo) for increasing f"
+  else begin
+    let hi = ref (Float.max (2. *. Float.abs lo) 1.) in
+    let attempts = ref 0 in
+    while g !hi < 0. && !attempts < 200 do
+      hi := !hi *. 2.;
+      incr attempts
+    done;
+    if g !hi < 0. then failwith "Roots.invert_monotone: no upper bracket found";
+    brent ~tolerance ~f:g ~lo ~hi:!hi ()
+  end

@@ -1,0 +1,26 @@
+(** Scalar root finding and monotone inversion.
+
+    Capacity planning ("what offered load gives 0.5% blocking?",
+    "how many ports for this load?") reduces to inverting monotone blocking
+    curves; these solvers do that without derivatives. *)
+
+val bisection :
+  ?tolerance:float -> ?max_iterations:int -> f:(float -> float) ->
+  lo:float -> hi:float -> unit -> float
+(** Root of [f] in [lo, hi] by bisection.
+    @raise Invalid_argument if [f lo] and [f hi] have the same strict sign. *)
+
+val brent :
+  ?tolerance:float -> ?max_iterations:int -> f:(float -> float) ->
+  lo:float -> hi:float -> unit -> float
+(** Brent's method (inverse quadratic interpolation with bisection
+    safeguard); superlinear on smooth functions.
+    @raise Invalid_argument if the root is not bracketed. *)
+
+val invert_monotone :
+  ?tolerance:float -> f:(float -> float) -> target:float -> lo:float ->
+  unit -> float
+(** [invert_monotone ~f ~target ~lo ()] finds [x >= lo] with
+    [f x = target] for increasing [f], expanding the bracket upward from
+    [lo] as needed.
+    @raise Failure if no bracket is found within a huge range. *)

@@ -1,0 +1,41 @@
+(** Special functions: log-gamma, factorials, binomial coefficients and
+    falling factorials (permutation counts).
+
+    The crossbar normalisation constant is built from
+    [P(N, k) = N!/(N-k)!] and [C(N, k)] terms with [N] up to several
+    hundred; everything here is exact in log space. *)
+
+val lgamma : float -> float
+(** [lgamma x] is [log (Gamma x)] for [x > 0] (Lanczos approximation,
+    relative error below 1e-13 on the positive axis).
+    @raise Invalid_argument for [x <= 0]. *)
+
+val log_factorial : int -> float
+(** [log_factorial n = log n!]; table-backed for small [n].
+    @raise Invalid_argument for [n < 0]. *)
+
+val log_permutations : int -> int -> float
+(** [log_permutations n k = log (n!/(n-k)!)], the number of ordered
+    selections of [k] items from [n].  Returns [neg_infinity] when
+    [k > n]; @raise Invalid_argument for negative arguments. *)
+
+val permutations : int -> int -> float
+(** [permutations n k = n!/(n-k)!] as a float (may overflow for large
+    arguments — use {!log_permutations} in that regime). *)
+
+val log_binomial : int -> int -> float
+(** [log_binomial n k = log (n choose k)]; [neg_infinity] when [k > n]. *)
+
+val binomial : int -> int -> float
+(** [binomial n k = n choose k] as a float, computed by a stable product. *)
+
+val log_rising_factorial : float -> int -> float
+(** [log_rising_factorial c k = log (c (c+1) ... (c+k-1))] for [c > 0];
+    used for the Pascal-class weight [C(c-1+k, k) = rising(c,k)/k!]. *)
+
+val erf : float -> float
+(** Error function, absolute error below 1.3e-7 (Abramowitz & Stegun
+    7.1.26 with symmetry). *)
+
+val erfc : float -> float
+(** Complementary error function, [1 - erf x]. *)

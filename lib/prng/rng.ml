@@ -1,0 +1,95 @@
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+  mutable splits : int; (* distinguishes successive splits of one parent *)
+}
+
+(* splitmix64: expands a 64-bit seed into independent-looking 64-bit
+   values; the recommended seeder for xoshiro. *)
+let splitmix64_next state =
+  state := Int64.add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64_next state in
+  let s1 = splitmix64_next state in
+  let s2 = splitmix64_next state in
+  let s3 = splitmix64_next state in
+  { s0; s1; s2; s3; splits = 0 }
+
+let copy t = { t with s0 = t.s0 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let uint64 t =
+  let result = Int64.add (rotl (Int64.add t.s0 t.s3) 23) t.s0 in
+  let shifted = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 shifted;
+  t.s3 <- rotl t.s3 45;
+  result
+
+(* Published jump polynomial for xoshiro256++ (advances 2^128 steps). *)
+let jump_constants =
+  [| 0x180EC6D33CFD0ABAL; 0xD5A61266F0C9392CL; 0xA9582618E03FC9AAL;
+     0x39ABDC4529B1661CL |]
+
+let jump t =
+  let s0 = ref 0L and s1 = ref 0L and s2 = ref 0L and s3 = ref 0L in
+  Array.iter
+    (fun constant ->
+      for bit = 0 to 63 do
+        if Int64.logand constant (Int64.shift_left 1L bit) <> 0L then begin
+          s0 := Int64.logxor !s0 t.s0;
+          s1 := Int64.logxor !s1 t.s1;
+          s2 := Int64.logxor !s2 t.s2;
+          s3 := Int64.logxor !s3 t.s3
+        end;
+        ignore (uint64 t)
+      done)
+    jump_constants;
+  t.s0 <- !s0;
+  t.s1 <- !s1;
+  t.s2 <- !s2;
+  t.s3 <- !s3
+
+let split t =
+  (* Jump a private copy (1 + splits) times so each successive split of the
+     same parent lands in a distinct 2^128-wide stream. *)
+  let child = copy t in
+  for _ = 0 to t.splits do
+    jump child
+  done;
+  t.splits <- t.splits + 1;
+  child.splits <- 0;
+  child
+
+let float t =
+  (* Top 53 bits scaled to [0, 1). *)
+  let bits = Int64.shift_right_logical (uint64 t) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  let bound64 = Int64.of_int bound in
+  (* Rejection sampling over the largest multiple of [bound] below 2^63
+     (we use 63 bits so all values are non-negative as OCaml ints). *)
+  let limit = Int64.sub (Int64.div Int64.max_int bound64) 1L in
+  let limit = Int64.mul limit bound64 in
+  let rec draw () =
+    let raw = Int64.shift_right_logical (uint64 t) 1 in
+    if raw >= limit then draw () else Int64.to_int (Int64.rem raw bound64)
+  in
+  draw ()
+
+let bool t = Int64.logand (uint64 t) 1L = 1L

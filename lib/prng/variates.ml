@@ -1,0 +1,56 @@
+let exponential rng ~rate =
+  if not (rate > 0.) then invalid_arg "Variates.exponential: rate <= 0";
+  (* 1 - u avoids log 0 since Rng.float is in [0, 1). *)
+  -.Float.log1p (-.Rng.float rng) /. rate
+
+let erlang rng ~shape ~rate =
+  if shape <= 0 then invalid_arg "Variates.erlang: shape <= 0";
+  let total = ref 0. in
+  for _ = 1 to shape do
+    total := !total +. exponential rng ~rate
+  done;
+  !total
+
+let hyperexponential rng ~branches =
+  let total_probability =
+    Array.fold_left (fun acc (p, _) -> acc +. p) 0. branches
+  in
+  if Float.abs (total_probability -. 1.) > 1e-9 then
+    invalid_arg "Variates.hyperexponential: probabilities must sum to 1";
+  Array.iter
+    (fun (p, rate) ->
+      if p < 0. || not (rate > 0.) then
+        invalid_arg "Variates.hyperexponential: bad branch")
+    branches;
+  let u = Rng.float rng in
+  let rec pick i cumulative =
+    if i = Array.length branches - 1 then branches.(i)
+    else
+      let p, _ = branches.(i) in
+      if u < cumulative +. p then branches.(i) else pick (i + 1) (cumulative +. p)
+  in
+  let _, rate = pick 0 0. in
+  exponential rng ~rate
+
+let uniform rng ~lo ~hi =
+  if hi < lo then invalid_arg "Variates.uniform: hi < lo";
+  lo +. ((hi -. lo) *. Rng.float rng)
+
+let pareto rng ~shape ~scale =
+  if not (shape > 0. && scale > 0.) then invalid_arg "Variates.pareto: bad params";
+  scale /. Float.pow (1. -. Rng.float rng) (1. /. shape)
+
+let distinct_ints rng ~bound ~count =
+  if count < 0 || bound < 0 || count > bound then
+    invalid_arg "Variates.distinct_ints: count > bound";
+  (* Floyd's algorithm: for j = bound-count .. bound-1, insert a random
+     element of [0, j]; on collision insert j itself. *)
+  let chosen = Hashtbl.create (2 * count) in
+  let result = ref [] in
+  for j = bound - count to bound - 1 do
+    let candidate = Rng.int rng ~bound:(j + 1) in
+    let value = if Hashtbl.mem chosen candidate then j else candidate in
+    Hashtbl.replace chosen value ();
+    result := value :: !result
+  done;
+  Array.of_list !result

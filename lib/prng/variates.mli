@@ -1,0 +1,30 @@
+(** Random variates over an {!Rng.t} source.
+
+    Provides the holding-time distributions used to exercise the model's
+    insensitivity property (the steady state depends on service
+    distributions only through their means — paper Section 2, citing
+    Burman–Lehoczky–Lim). *)
+
+val exponential : Rng.t -> rate:float -> float
+(** Exponential with rate [rate] (mean [1/rate]).
+    @raise Invalid_argument if [rate <= 0]. *)
+
+val erlang : Rng.t -> shape:int -> rate:float -> float
+(** Sum of [shape] exponentials of rate [rate] (mean [shape/rate]). *)
+
+val hyperexponential : Rng.t -> branches:(float * float) array -> float
+(** Mixture of exponentials: [(probability, rate)] branches.
+    @raise Invalid_argument if probabilities do not sum to ~1 or a rate is
+    non-positive. *)
+
+val uniform : Rng.t -> lo:float -> hi:float -> float
+
+val pareto : Rng.t -> shape:float -> scale:float -> float
+(** Pareto with minimum [scale] and tail index [shape]
+    (mean [shape*scale/(shape-1)] for [shape > 1]). *)
+
+val distinct_ints : Rng.t -> bound:int -> count:int -> int array
+(** [count] distinct uniform integers from [0, bound) — the random port
+    set of a multi-rate connection request.  Uses Floyd's algorithm:
+    [O(count)] expected time, no [O(bound)] allocation.
+    @raise Invalid_argument if [count > bound] or either is negative. *)

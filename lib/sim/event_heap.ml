@@ -1,0 +1,77 @@
+type 'a entry = { time : float; sequence : int; payload : 'a }
+
+type 'a t = {
+  mutable entries : 'a entry array; (* implicit binary heap in [0, size) *)
+  mutable size : int;
+  mutable next_sequence : int;
+}
+
+let create () = { entries = [||]; size = 0; next_sequence = 0 }
+
+let earlier a b =
+  a.time < b.time || (a.time = b.time && a.sequence < b.sequence)
+
+let grow heap =
+  let capacity = max 16 (2 * Array.length heap.entries) in
+  if capacity > Array.length heap.entries then begin
+    let fresh = Array.make capacity heap.entries.(0) in
+    Array.blit heap.entries 0 fresh 0 heap.size;
+    heap.entries <- fresh
+  end
+
+let rec sift_up heap i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if earlier heap.entries.(i) heap.entries.(parent) then begin
+      let tmp = heap.entries.(i) in
+      heap.entries.(i) <- heap.entries.(parent);
+      heap.entries.(parent) <- tmp;
+      sift_up heap parent
+    end
+  end
+
+let rec sift_down heap i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < heap.size && earlier heap.entries.(left) heap.entries.(!smallest)
+  then smallest := left;
+  if right < heap.size && earlier heap.entries.(right) heap.entries.(!smallest)
+  then smallest := right;
+  if !smallest <> i then begin
+    let tmp = heap.entries.(i) in
+    heap.entries.(i) <- heap.entries.(!smallest);
+    heap.entries.(!smallest) <- tmp;
+    sift_down heap !smallest
+  end
+
+let add heap ~time payload =
+  if Float.is_nan time then invalid_arg "Event_heap.add: NaN time";
+  let entry = { time; sequence = heap.next_sequence; payload } in
+  heap.next_sequence <- heap.next_sequence + 1;
+  if heap.size = 0 && Array.length heap.entries = 0 then
+    heap.entries <- Array.make 16 entry;
+  if heap.size = Array.length heap.entries then grow heap;
+  heap.entries.(heap.size) <- entry;
+  heap.size <- heap.size + 1;
+  sift_up heap (heap.size - 1)
+
+let peek heap =
+  if heap.size = 0 then None
+  else
+    let e = heap.entries.(0) in
+    Some (e.time, e.payload)
+
+let pop heap =
+  if heap.size = 0 then None
+  else begin
+    let e = heap.entries.(0) in
+    heap.size <- heap.size - 1;
+    if heap.size > 0 then begin
+      heap.entries.(0) <- heap.entries.(heap.size);
+      sift_down heap 0
+    end;
+    Some (e.time, e.payload)
+  end
+
+let size heap = heap.size
+let is_empty heap = heap.size = 0

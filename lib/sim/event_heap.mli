@@ -1,0 +1,21 @@
+(** Binary min-heap of timestamped events — the simulator's future event
+    list.
+
+    Ties are broken by insertion order, so runs are deterministic given a
+    seed. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val add : 'a t -> time:float -> 'a -> unit
+(** Schedule an event.  @raise Invalid_argument for NaN times. *)
+
+val peek : 'a t -> (float * 'a) option
+(** Earliest event without removing it. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event. *)
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool

@@ -1,0 +1,64 @@
+module Variates = Crossbar_prng.Variates
+module Special = Crossbar_numerics.Special
+
+type t = {
+  input_busy : bool array;
+  output_busy : bool array;
+  mutable busy_count : int; (* busy inputs = busy outputs in this model *)
+}
+
+type connection = {
+  input_ports : int array;
+  output_ports : int array;
+  mutable live : bool;
+}
+
+let create ~inputs ~outputs =
+  if inputs < 1 || outputs < 1 then invalid_arg "Fabric.create: dimensions";
+  {
+    input_busy = Array.make inputs false;
+    output_busy = Array.make outputs false;
+    busy_count = 0;
+  }
+
+let inputs t = Array.length t.input_busy
+let outputs t = Array.length t.output_busy
+let busy_inputs t = t.busy_count
+
+let try_connect t rng ~bandwidth =
+  if bandwidth < 1 then invalid_arg "Fabric.try_connect: bandwidth < 1";
+  if bandwidth > inputs t || bandwidth > outputs t then None
+  else begin
+    let input_ports =
+      Variates.distinct_ints rng ~bound:(inputs t) ~count:bandwidth
+    in
+    let output_ports =
+      Variates.distinct_ints rng ~bound:(outputs t) ~count:bandwidth
+    in
+    let clear =
+      Array.for_all (fun p -> not t.input_busy.(p)) input_ports
+      && Array.for_all (fun p -> not t.output_busy.(p)) output_ports
+    in
+    if not clear then None
+    else begin
+      Array.iter (fun p -> t.input_busy.(p) <- true) input_ports;
+      Array.iter (fun p -> t.output_busy.(p) <- true) output_ports;
+      t.busy_count <- t.busy_count + bandwidth;
+      Some { input_ports; output_ports; live = true }
+    end
+  end
+
+let release t connection =
+  if not connection.live then invalid_arg "Fabric.release: already released";
+  connection.live <- false;
+  Array.iter (fun p -> t.input_busy.(p) <- false) connection.input_ports;
+  Array.iter (fun p -> t.output_busy.(p) <- false) connection.output_ports;
+  t.busy_count <- t.busy_count - Array.length connection.input_ports
+
+let availability t ~bandwidth =
+  let free_in = inputs t - t.busy_count
+  and free_out = outputs t - t.busy_count in
+  Special.binomial free_in bandwidth
+  *. Special.binomial free_out bandwidth
+  /. (Special.binomial (inputs t) bandwidth
+     *. Special.binomial (outputs t) bandwidth)

@@ -1,0 +1,36 @@
+(** Port-level crossbar fabric state.
+
+    Tracks which of the [N1] input and [N2] output ports are held by live
+    connections, accepts or blocks arriving port-set requests, and
+    exposes the exact conditional availability used for low-variance
+    (Rao–Blackwellised) time-congestion estimation. *)
+
+type t
+
+type connection
+(** The ports held by one accepted connection. *)
+
+val create : inputs:int -> outputs:int -> t
+
+val inputs : t -> int
+val outputs : t -> int
+
+val busy_inputs : t -> int
+(** Currently held input ports (equals busy outputs for this model). *)
+
+val try_connect :
+  t -> Crossbar_prng.Rng.t -> bandwidth:int -> connection option
+(** A request for [bandwidth] inputs and outputs chooses its specific port
+    sets uniformly at random (the model's uniform traffic pattern) and is
+    accepted iff every chosen port is idle — blocked-calls-cleared
+    otherwise. *)
+
+val release : t -> connection -> unit
+(** Frees the ports of an accepted connection.
+    @raise Invalid_argument if the connection was already released. *)
+
+val availability : t -> bandwidth:int -> float
+(** Exact probability that a uniformly chosen port-set request of the
+    given bandwidth would be accepted in the current state:
+    [C(N1-b,a) C(N2-b,a) / (C(N1,a) C(N2,a))] with [b] busy ports.  Its
+    time average is the paper's non-blocking probability [B_r]. *)

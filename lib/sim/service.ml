@@ -1,0 +1,58 @@
+module Rng = Crossbar_prng.Rng
+module Variates = Crossbar_prng.Variates
+
+type t =
+  | Exponential
+  | Deterministic
+  | Erlang of int
+  | Hyperexponential of float
+
+let validate = function
+  | Exponential | Deterministic -> ()
+  | Erlang k -> if k < 1 then invalid_arg "Service: Erlang shape < 1"
+  | Hyperexponential scv ->
+      if not (scv > 1.) then invalid_arg "Service: hyperexponential scv <= 1"
+
+(* Balanced two-branch hyperexponential matching a given mean and scv:
+   p1 = (1 + sqrt((c2-1)/(c2+1)))/2, rate_i = 2 p_i / mean. *)
+let hyper_branches ~scv ~mean =
+  let p1 = 0.5 *. (1. +. sqrt ((scv -. 1.) /. (scv +. 1.))) in
+  let p2 = 1. -. p1 in
+  [| (p1, 2. *. p1 /. mean); (p2, 2. *. p2 /. mean) |]
+
+let sample t rng ~mean =
+  validate t;
+  if not (mean > 0.) then invalid_arg "Service.sample: mean <= 0";
+  match t with
+  | Exponential -> Variates.exponential rng ~rate:(1. /. mean)
+  | Deterministic -> mean
+  | Erlang k ->
+      Variates.erlang rng ~shape:k ~rate:(float_of_int k /. mean)
+  | Hyperexponential scv ->
+      Variates.hyperexponential rng ~branches:(hyper_branches ~scv ~mean)
+
+let scv = function
+  | Exponential -> 1.
+  | Deterministic -> 0.
+  | Erlang k -> 1. /. float_of_int k
+  | Hyperexponential scv -> scv
+
+let to_string = function
+  | Exponential -> "exponential"
+  | Deterministic -> "deterministic"
+  | Erlang k -> Printf.sprintf "erlang-%d" k
+  | Hyperexponential scv -> Printf.sprintf "hyperexponential-%g" scv
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "exponential" | "exp" | "m" -> Ok Exponential
+  | "deterministic" | "det" | "d" -> Ok Deterministic
+  | s when String.length s > 7 && String.sub s 0 7 = "erlang-" -> (
+      match int_of_string_opt (String.sub s 7 (String.length s - 7)) with
+      | Some k when k >= 1 -> Ok (Erlang k)
+      | _ -> Error "erlang-<k> with k >= 1 expected")
+  | s when String.length s > 17 && String.sub s 0 17 = "hyperexponential-" -> (
+      match float_of_string_opt (String.sub s 17 (String.length s - 17)) with
+      | Some scv when scv > 1. -> Ok (Hyperexponential scv)
+      | _ -> Error "hyperexponential-<scv> with scv > 1 expected")
+  | other -> Error (Printf.sprintf "unknown service distribution %S" other)

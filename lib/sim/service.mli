@@ -1,0 +1,26 @@
+(** Holding-time distributions, parameterised by their mean.
+
+    The product form is insensitive to the holding-time distribution
+    (paper Section 2, citing Burman–Lehoczky–Lim); the simulator accepts
+    any of these to demonstrate that property empirically. *)
+
+type t =
+  | Exponential  (** squared coefficient of variation 1 — the base model *)
+  | Deterministic  (** scv 0 — smooth holding times *)
+  | Erlang of int  (** sum of [k] exponential phases, scv [1/k] *)
+  | Hyperexponential of float
+      (** two balanced exponential branches with the given scv ([> 1]) *)
+
+val validate : t -> unit
+(** @raise Invalid_argument for [Erlang k] with [k < 1] or
+    [Hyperexponential scv] with [scv <= 1]. *)
+
+val sample : t -> Crossbar_prng.Rng.t -> mean:float -> float
+(** A holding time with the given mean.
+    @raise Invalid_argument if [mean <= 0] or the shape is invalid. *)
+
+val scv : t -> float
+(** Squared coefficient of variation (variance / mean^2). *)
+
+val to_string : t -> string
+val of_string : string -> (t, string) result

@@ -1,0 +1,394 @@
+module Model = Crossbar.Model
+module Rng = Crossbar_prng.Rng
+module Variates = Crossbar_prng.Variates
+module Special = Crossbar_numerics.Special
+
+type retry_policy = {
+  probability : float;
+  mean_delay : float;
+  max_attempts : int;
+}
+
+type config = {
+  model : Model.t;
+  service : int -> Service.t;
+  retry : retry_policy option;
+  admission : Crossbar.Admission.t;
+  warmup : float;
+  horizon : float;
+  batches : int;
+  confidence : float;
+  seed : int;
+}
+
+let default_config model =
+  {
+    model;
+    service = (fun _ -> Service.Exponential);
+    retry = None;
+    admission = Crossbar.Admission.unrestricted;
+    warmup = 1e3;
+    horizon = 1e5;
+    batches = 20;
+    confidence = 0.95;
+    seed = 42;
+  }
+
+type estimate = { point : float; halfwidth : float }
+
+type class_result = {
+  class_name : string;
+  offered : int;
+  accepted : int;
+  retry_attempts : int;
+  retry_successes : int;
+  abandoned : int;
+  time_congestion : estimate;
+  call_congestion : estimate;
+  concurrency : estimate;
+}
+
+type result = {
+  per_class : class_result array;
+  busy_ports : estimate;
+  events : int;
+  final_time : float;
+}
+
+(* Per-class mutable simulation state. *)
+type class_state = {
+  index : int;
+  bandwidth : int;
+  tuple_count : float; (* P(N1,a) P(N2,a): ordered port-tuple pairs *)
+  service_shape : Service.t;
+  mean_holding : float;
+  mutable concurrent : int;
+  mutable next_arrival : float;
+  (* batch accumulators *)
+  availability_integral : Stats.Time_weighted.t;
+  concurrency_integral : Stats.Time_weighted.t;
+  mutable batch_offered : int;
+  mutable batch_blocked : int;
+  (* whole-run batch records *)
+  availability_batches : float list ref;
+  concurrency_batches : float list ref;
+  call_blocking_batches : float list ref;
+  mutable total_offered : int;
+  mutable total_accepted : int;
+  mutable retry_attempts : int;
+  mutable retry_successes : int;
+  mutable abandoned : int;
+}
+
+(* Future events: connection teardowns and (optionally) retries of
+   previously blocked requests. *)
+type event =
+  | Departure of int * Fabric.connection
+  | Retry of { class_index : int; attempts_left : int }
+
+let request_rate model state =
+  (* Total request-stream rate in the current state: per-pair lambda times
+     the number of ordered (input-tuple, output-tuple) combinations. *)
+  state.tuple_count
+  *. Model.arrival_rate model ~class_index:state.index
+       ~concurrent:state.concurrent
+
+let schedule_arrival model rng state ~now =
+  let rate = request_rate model state in
+  state.next_arrival <-
+    (if rate > 0. then now +. Variates.exponential rng ~rate else infinity)
+
+let run config =
+  if not (config.horizon > 0.) then invalid_arg "Simulator.run: horizon <= 0";
+  if not (config.warmup >= 0.) then invalid_arg "Simulator.run: warmup < 0";
+  if config.batches < 2 then invalid_arg "Simulator.run: batches < 2";
+  (match config.retry with
+  | None -> ()
+  | Some { probability; mean_delay; max_attempts } ->
+      if not (probability >= 0. && probability <= 1.) then
+        invalid_arg "Simulator.run: retry probability outside [0,1]";
+      if not (mean_delay > 0.) then
+        invalid_arg "Simulator.run: retry mean_delay <= 0";
+      if max_attempts < 0 then
+        invalid_arg "Simulator.run: negative retry attempts");
+  let model = config.model in
+  let rng = Rng.create ~seed:config.seed in
+  let service_rng = Rng.split rng in
+  let fabric =
+    Fabric.create ~inputs:(Model.inputs model) ~outputs:(Model.outputs model)
+  in
+  let num_classes = Model.num_classes model in
+  let states =
+    Array.init num_classes (fun r ->
+        let a = Model.bandwidth model r in
+        {
+          index = r;
+          bandwidth = a;
+          tuple_count =
+            Special.permutations (Model.inputs model) a
+            *. Special.permutations (Model.outputs model) a;
+          service_shape = config.service r;
+          mean_holding = 1. /. Model.service_rate model r;
+          concurrent = 0;
+          next_arrival = 0.;
+          availability_integral =
+            Stats.Time_weighted.create ~start:0. ~value:1.;
+          concurrency_integral = Stats.Time_weighted.create ~start:0. ~value:0.;
+          batch_offered = 0;
+          batch_blocked = 0;
+          availability_batches = ref [];
+          concurrency_batches = ref [];
+          call_blocking_batches = ref [];
+          total_offered = 0;
+          total_accepted = 0;
+          retry_attempts = 0;
+          retry_successes = 0;
+          abandoned = 0;
+        })
+  in
+  Array.iter (fun s -> Service.validate s.service_shape) states;
+  let busy_integral = Stats.Time_weighted.create ~start:0. ~value:0. in
+  let busy_batches = ref [] in
+  let departures = Event_heap.create () in
+  Array.iter (fun s -> schedule_arrival model rng s ~now:0.) states;
+  let events = ref 0 in
+  (* Availability is a function of the busy-port count only; refresh every
+     class's integrand when it changes. *)
+  let record_state_change ~now =
+    Array.iter
+      (fun s ->
+        (* Policy-aware availability: a state where the policy refuses the
+           class contributes nothing, matching Admission.solve. *)
+        let admissible =
+          Crossbar.Admission.admits config.admission ~class_index:s.index
+            ~load:(Fabric.busy_inputs fabric) ~bandwidth:s.bandwidth
+        in
+        Stats.Time_weighted.update s.availability_integral ~time:now
+          ~value:
+            (if admissible then Fabric.availability fabric ~bandwidth:s.bandwidth
+             else 0.);
+        Stats.Time_weighted.update s.concurrency_integral ~time:now
+          ~value:(float_of_int s.concurrent))
+      states;
+    Stats.Time_weighted.update busy_integral ~time:now
+      ~value:(float_of_int (Fabric.busy_inputs fabric))
+  in
+  let measuring = ref false in
+  let batch_start = ref config.warmup in
+  let batch_length = config.horizon /. float_of_int config.batches in
+  let close_batch ~upto =
+    Array.iter
+      (fun s ->
+        s.availability_batches :=
+          Stats.Time_weighted.average s.availability_integral ~upto
+          :: !(s.availability_batches);
+        s.concurrency_batches :=
+          Stats.Time_weighted.average s.concurrency_integral ~upto
+          :: !(s.concurrency_batches);
+        let blocked_fraction =
+          if s.batch_offered = 0 then 0.
+          else float_of_int s.batch_blocked /. float_of_int s.batch_offered
+        in
+        s.call_blocking_batches :=
+          blocked_fraction :: !(s.call_blocking_batches);
+        s.batch_offered <- 0;
+        s.batch_blocked <- 0;
+        Stats.Time_weighted.reset s.availability_integral ~time:upto;
+        Stats.Time_weighted.reset s.concurrency_integral ~time:upto)
+      states;
+    busy_batches := Stats.Time_weighted.average busy_integral ~upto :: !busy_batches;
+    Stats.Time_weighted.reset busy_integral ~time:upto
+  in
+  let finish_time = config.warmup +. config.horizon in
+  let now = ref 0. in
+  let continue = ref true in
+  while !continue do
+    (* Next event: earliest departure or class arrival. *)
+    let next_departure = Event_heap.peek departures in
+    let arrival_class = ref (-1) and arrival_time = ref infinity in
+    Array.iter
+      (fun s ->
+        if s.next_arrival < !arrival_time then begin
+          arrival_time := s.next_arrival;
+          arrival_class := s.index
+        end)
+      states;
+    let departure_time =
+      match next_departure with Some (t, _) -> t | None -> infinity
+    in
+    let event_time = Float.min departure_time !arrival_time in
+    if event_time >= finish_time then begin
+      (* Close the last batch at the horizon and stop. *)
+      now := finish_time;
+      if !measuring then close_batch ~upto:finish_time;
+      continue := false
+    end
+    else begin
+      now := event_time;
+      incr events;
+      (* Warmup -> measurement transition and batch boundaries. *)
+      if (not !measuring) && !now >= config.warmup then begin
+        measuring := true;
+        Array.iter
+          (fun s ->
+            Stats.Time_weighted.reset s.availability_integral
+              ~time:config.warmup;
+            Stats.Time_weighted.reset s.concurrency_integral
+              ~time:config.warmup;
+            s.batch_offered <- 0;
+            s.batch_blocked <- 0)
+          states;
+        Stats.Time_weighted.reset busy_integral ~time:config.warmup;
+        batch_start := config.warmup
+      end;
+      while !measuring && !now >= !batch_start +. batch_length do
+        close_batch ~upto:(!batch_start +. batch_length);
+        batch_start := !batch_start +. batch_length
+      done;
+      (* Attempt to place a connection for class [s]; shared by fresh
+         arrivals and retries. *)
+      let admit s =
+        if
+          not
+            (Crossbar.Admission.admits config.admission ~class_index:s.index
+               ~load:(Fabric.busy_inputs fabric) ~bandwidth:s.bandwidth)
+        then false
+        else begin
+          match Fabric.try_connect fabric rng ~bandwidth:s.bandwidth with
+          | Some connection ->
+              s.concurrent <- s.concurrent + 1;
+              let holding =
+                Service.sample s.service_shape service_rng ~mean:s.mean_holding
+              in
+              Event_heap.add departures
+                ~time:(!now +. holding)
+                (Departure (s.index, connection));
+              (* The class arrival rate changed with k_r. *)
+              schedule_arrival model rng s ~now:!now;
+              record_state_change ~now:!now;
+              true
+          | None -> false
+        end
+      in
+      let maybe_retry s ~attempts_left =
+        match config.retry with
+        | Some policy when attempts_left > 0 && Rng.float rng < policy.probability
+          ->
+            Event_heap.add departures
+              ~time:
+                (!now +. Variates.exponential rng ~rate:(1. /. policy.mean_delay))
+              (Retry { class_index = s.index; attempts_left = attempts_left - 1 })
+        | Some _ -> s.abandoned <- s.abandoned + 1
+        | None -> ()
+      in
+      if departure_time <= !arrival_time then begin
+        match Event_heap.pop departures with
+        | None -> assert false
+        | Some (_, Departure (class_index, connection)) ->
+            let s = states.(class_index) in
+            Fabric.release fabric connection;
+            s.concurrent <- s.concurrent - 1;
+            schedule_arrival model rng s ~now:!now;
+            record_state_change ~now:!now
+        | Some (_, Retry { class_index; attempts_left }) ->
+            let s = states.(class_index) in
+            s.retry_attempts <- s.retry_attempts + 1;
+            if admit s then s.retry_successes <- s.retry_successes + 1
+            else maybe_retry s ~attempts_left
+      end
+      else begin
+        let s = states.(!arrival_class) in
+        if !measuring then s.batch_offered <- s.batch_offered + 1;
+        s.total_offered <- s.total_offered + 1;
+        if admit s then s.total_accepted <- s.total_accepted + 1
+        else begin
+          if !measuring then s.batch_blocked <- s.batch_blocked + 1;
+          let attempts_left =
+            match config.retry with Some p -> p.max_attempts | None -> 0
+          in
+          maybe_retry s ~attempts_left;
+          (* The fresh-arrival stream continues regardless. *)
+          schedule_arrival model rng s ~now:!now
+        end
+      end
+    end
+  done;
+  let interval values =
+    let point, halfwidth =
+      Stats.confidence_interval ~confidence:config.confidence
+        (Array.of_list values)
+    in
+    { point; halfwidth }
+  in
+  let per_class =
+    Array.map
+      (fun s ->
+        let availability = interval !(s.availability_batches) in
+        {
+          class_name = (Model.classes model).(s.index).Crossbar.Traffic.name;
+          offered = s.total_offered;
+          accepted = s.total_accepted;
+          retry_attempts = s.retry_attempts;
+          retry_successes = s.retry_successes;
+          abandoned = s.abandoned;
+          time_congestion =
+            {
+              point = 1. -. availability.point;
+              halfwidth = availability.halfwidth;
+            };
+          call_congestion = interval !(s.call_blocking_batches);
+          concurrency = interval !(s.concurrency_batches);
+        })
+      states
+  in
+  {
+    per_class;
+    busy_ports = interval !busy_batches;
+    events = !events;
+    final_time = !now;
+  }
+
+type replicated = {
+  replications : int;
+  rep_time_congestion : estimate array;
+  rep_call_congestion : estimate array;
+  rep_concurrency : estimate array;
+}
+
+let run_replications ~replications config =
+  if replications < 2 then
+    invalid_arg "Simulator.run_replications: replications < 2";
+  let runs =
+    Array.init replications (fun i -> run { config with seed = config.seed + i })
+  in
+  let combine select =
+    Array.init (Model.num_classes config.model) (fun r ->
+        let points =
+          Array.map (fun run -> (select run.per_class.(r)).point) runs
+        in
+        let point, halfwidth =
+          Stats.confidence_interval ~confidence:config.confidence points
+        in
+        { point; halfwidth })
+  in
+  {
+    replications;
+    rep_time_congestion = combine (fun c -> c.time_congestion);
+    rep_call_congestion = combine (fun c -> c.call_congestion);
+    rep_concurrency = combine (fun c -> c.concurrency);
+  }
+
+let pp_estimate ppf e =
+  Format.fprintf ppf "%.6g ± %.2g" e.point e.halfwidth
+
+let pp_result ppf r =
+  Format.fprintf ppf "@[<v>";
+  Array.iter
+    (fun c ->
+      Format.fprintf ppf
+        "%-12s offered=%-9d time-congestion=%a call-congestion=%a E=%a@,"
+        c.class_name c.offered pp_estimate c.time_congestion pp_estimate
+        c.call_congestion pp_estimate c.concurrency)
+    r.per_class;
+  Format.fprintf ppf "busy ports %a; %d events to t=%.4g@]" pp_estimate
+    r.busy_ports r.events r.final_time

@@ -1,0 +1,95 @@
+(** Discrete-event simulation of the asynchronous multi-rate crossbar.
+
+    Simulates the physical switch — per-port occupancy, uniformly chosen
+    port sets, asynchronous (unslotted) arrivals, blocked-calls-cleared —
+    under the model's BPP state-dependent request streams, with arbitrary
+    holding-time distributions.  This is the validation the paper lists
+    as future work.
+
+    Two congestion measures are reported, because they differ for
+    state-dependent (non-Poisson) arrivals:
+
+    - {e time congestion}: 1 minus the time-average probability that a
+      random port set is free — this is the quantity the analytical
+      [B_r] measures, estimated here in Rao–Blackwellised form;
+    - {e call congestion}: the fraction of offered requests that were
+      blocked — what a user of the switch experiences.  For Poisson
+      classes PASTA makes the two coincide; for Bernoulli (Pascal)
+      classes call congestion is lower (higher), exactly as in the
+      classical Engset model. *)
+
+type retry_policy = {
+  probability : float; (** chance a blocked request tries again *)
+  mean_delay : float; (** mean (exponential) pause before the retry *)
+  max_attempts : int; (** retries per request beyond the first attempt *)
+}
+(** Departure from the model's blocked-calls-cleared assumption: real
+    users redial.  Retries re-draw their port sets and add load, so
+    congestion rises above the analytical prediction — an ablation of the
+    modelling assumption (see the simulator tests). *)
+
+type config = {
+  model : Crossbar.Model.t;
+  service : int -> Service.t;
+      (** holding-time shape per class index (means come from the model) *)
+  retry : retry_policy option; (** [None] = the paper's lost-calls model *)
+  admission : Crossbar.Admission.t;
+      (** admission policy applied before port selection
+          ([Admission.unrestricted] = the paper's model) *)
+  warmup : float; (** simulated time discarded before measuring *)
+  horizon : float; (** measured simulated time *)
+  batches : int; (** batch count for confidence intervals (>= 2) *)
+  confidence : float; (** e.g. 0.95 *)
+  seed : int;
+}
+
+val default_config : Crossbar.Model.t -> config
+(** Exponential service, no retries, warmup [10^3], horizon [10^5], 20
+    batches, 95% confidence, seed 42. *)
+
+type estimate = {
+  point : float;
+  halfwidth : float; (** batch-means confidence halfwidth *)
+}
+
+type class_result = {
+  class_name : string;
+  offered : int; (** fresh requests generated (excluding retries) *)
+  accepted : int; (** fresh requests admitted on their first attempt *)
+  retry_attempts : int; (** retry attempts made (0 without a policy) *)
+  retry_successes : int;
+  abandoned : int;
+      (** blocked requests that gave up (only counted under a retry
+          policy) *)
+  time_congestion : estimate;
+  call_congestion : estimate;
+      (** first-attempt blocking fraction, batch-means interval *)
+  concurrency : estimate;
+}
+
+type result = {
+  per_class : class_result array;
+  busy_ports : estimate;
+  events : int;
+  final_time : float;
+}
+
+val run : config -> result
+(** Runs one replication.  Deterministic in [config.seed].
+    @raise Invalid_argument on nonsensical horizons or batch counts. *)
+
+type replicated = {
+  replications : int;
+  rep_time_congestion : estimate array; (* per class *)
+  rep_call_congestion : estimate array;
+  rep_concurrency : estimate array;
+}
+
+val run_replications : replications:int -> config -> replicated
+(** Independent-replications alternative to batch means: runs the
+    simulation [replications] times with seeds [seed, seed+1, ...] and
+    returns Student-t intervals over the replication estimates —
+    preferable when within-run correlation is suspected.
+    @raise Invalid_argument if [replications < 2]. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,64 @@
+module Welford = struct
+  type t = { mutable count : int; mutable mean : float; mutable m2 : float }
+
+  let create () = { count = 0; mean = 0.; m2 = 0. }
+
+  let add t x =
+    t.count <- t.count + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean))
+
+  let count t = t.count
+  let mean t = t.mean
+
+  let variance t =
+    if t.count < 2 then 0. else t.m2 /. float_of_int (t.count - 1)
+
+  let std t = sqrt (variance t)
+end
+
+module Time_weighted = struct
+  type t = {
+    mutable origin : float;
+    mutable last_time : float;
+    mutable value : float;
+    mutable integral : float;
+  }
+
+  let create ~start ~value =
+    { origin = start; last_time = start; value; integral = 0. }
+
+  let update t ~time ~value =
+    if time < t.last_time then
+      invalid_arg "Time_weighted.update: time moved backwards";
+    t.integral <- t.integral +. (t.value *. (time -. t.last_time));
+    t.last_time <- time;
+    t.value <- value
+
+  let average t ~upto =
+    if upto < t.last_time then
+      invalid_arg "Time_weighted.average: upto precedes last update";
+    let span = upto -. t.origin in
+    if span <= 0. then t.value
+    else (t.integral +. (t.value *. (upto -. t.last_time))) /. span
+
+  let reset t ~time =
+    if time < t.last_time then
+      invalid_arg "Time_weighted.reset: time moved backwards";
+    t.origin <- time;
+    t.last_time <- time;
+    t.integral <- 0.
+end
+
+let confidence_interval ~confidence batches =
+  let n = Array.length batches in
+  if n < 2 then invalid_arg "Stats.confidence_interval: need >= 2 batches";
+  let w = Welford.create () in
+  Array.iter (Welford.add w) batches;
+  let mean = Welford.mean w in
+  let standard_error = Welford.std w /. sqrt (float_of_int n) in
+  let critical =
+    Crossbar_numerics.Prob.student_t_critical ~confidence ~df:(n - 1)
+  in
+  (mean, critical *. standard_error)

@@ -1,0 +1,43 @@
+(** Simulation output analysis: running moments, time-weighted averages
+    and batch-means confidence intervals. *)
+
+module Welford : sig
+  (** Numerically stable running mean and variance. *)
+
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  (** Unbiased sample variance; 0 for fewer than two observations. *)
+
+  val std : t -> float
+end
+
+module Time_weighted : sig
+  (** Integral of a piecewise-constant signal — concurrency, availability
+      and similar state functions of a discrete-event simulation. *)
+
+  type t
+
+  val create : start:float -> value:float -> t
+  val update : t -> time:float -> value:float -> unit
+  (** Record that the signal changed to [value] at [time].
+      @raise Invalid_argument if [time] moves backwards. *)
+
+  val average : t -> upto:float -> float
+  (** Time average of the signal over [start, upto].
+      @raise Invalid_argument if [upto] precedes the last update. *)
+
+  val reset : t -> time:float -> unit
+  (** Restart integration at [time], keeping the current signal value
+      (used at batch boundaries). *)
+end
+
+val confidence_interval :
+  confidence:float -> float array -> float * float
+(** [(mean, halfwidth)] of a batch-means estimate: Student-t interval over
+    the batch averages.
+    @raise Invalid_argument with fewer than two batches. *)

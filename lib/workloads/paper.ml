@@ -1,0 +1,171 @@
+module Traffic = Crossbar.Traffic
+module Model = Crossbar.Model
+
+type series = { label : string; model_of_size : int -> Model.t }
+
+let sizes = [ 1; 2; 4; 8; 16; 32; 64; 128 ]
+let base_alpha = 0.0024
+
+let single_class_series ~label ~beta =
+  {
+    label;
+    model_of_size =
+      (fun n ->
+        Model.square ~size:n
+          ~classes:
+            [
+              Traffic.create ~name:"traffic" ~bandwidth:1 ~alpha:base_alpha
+                ~beta ~service_rate:1.0 ();
+            ]);
+  }
+
+let figure1 =
+  List.map
+    (fun beta ->
+      let label =
+        if beta = 0. then "poisson (beta~=0)"
+        else Printf.sprintf "bernoulli beta~=%g" beta
+      in
+      single_class_series ~label ~beta)
+    [ 0.; -1e-6; -2e-6; -4e-6 ]
+
+let figure2 =
+  List.map
+    (fun beta ->
+      let label =
+        if beta = 0. then "poisson (beta~=0)"
+        else Printf.sprintf "pascal beta~=%g" beta
+      in
+      single_class_series ~label ~beta)
+    [ 0.; 0.0006; 0.0012; 0.0024 ]
+
+let figure3 =
+  let two_class ~label ~rho1 ~rho2 ~beta2 =
+    {
+      label;
+      model_of_size =
+        (fun n ->
+          Model.square ~size:n
+            ~classes:
+              [
+                Traffic.poisson ~name:"poisson" ~bandwidth:1 ~rate:rho1
+                  ~service_rate:1.0 ();
+                Traffic.create ~name:"bursty" ~bandwidth:1 ~alpha:rho2
+                  ~beta:beta2 ~service_rate:1.0 ();
+              ]);
+    }
+  and one_class ~label ~rho ~beta =
+    {
+      label;
+      model_of_size =
+        (fun n ->
+          Model.square ~size:n
+            ~classes:
+              [
+                Traffic.create ~name:"bursty" ~bandwidth:1 ~alpha:rho
+                  ~beta ~service_rate:1.0 ();
+              ]);
+    }
+  in
+  [
+    one_class ~label:"R1=0,R2=1 rho~=.0012 beta~=.0012" ~rho:0.0012
+      ~beta:0.0012;
+    two_class ~label:"R1=1,R2=1 rho~1=.0012 rho~2=.0012 beta~2=.0012"
+      ~rho1:0.0012 ~rho2:0.0012 ~beta2:0.0012;
+    two_class ~label:"R1=1,R2=1 rho~1=.0012 rho~2=.0012 beta~2=.0036"
+      ~rho1:0.0012 ~rho2:0.0012 ~beta2:0.0036;
+  ]
+
+let total_load = 0.0048
+let table1_sizes = [ 4; 8; 16; 32; 64 ]
+
+let table1_loads n =
+  let nf = float_of_int n in
+  (* As printed in Table 1 (not the prose formula — see DESIGN.md). *)
+  let rho1 = total_load /. (2. *. nf) in
+  let rho2 = total_load /. (nf *. (nf -. 1.) /. 2.) in
+  (rho1, rho2)
+
+let figure4_sizes = table1_sizes @ [ 128 ]
+
+let figure4 =
+  [
+    {
+      label = "a=1 (one connection per arrival)";
+      model_of_size =
+        (fun n ->
+          let rho1, _ = table1_loads n in
+          Model.square ~size:n
+            ~classes:
+              [
+                Traffic.poisson ~name:"single" ~bandwidth:1 ~rate:rho1
+                  ~service_rate:1.0 ();
+              ]);
+    };
+    {
+      label = "a=2 (two connections per arrival)";
+      model_of_size =
+        (fun n ->
+          let _, rho2 = table1_loads n in
+          Model.square ~size:n
+            ~classes:
+              [
+                Traffic.poisson ~name:"double" ~bandwidth:2 ~rate:rho2
+                  ~service_rate:1.0 ();
+              ]);
+    };
+  ]
+
+type revenue_set = {
+  set_label : string;
+  rho1 : float;
+  rho2 : float;
+  beta2 : float;
+  weights : float array;
+}
+
+let table2_sets =
+  let weights = [| 1.0; 0.0001 |] in
+  [
+    {
+      set_label = "set 1: rho~1=.0012 rho~2=.0012 beta~2=.0012";
+      rho1 = 0.0012;
+      rho2 = 0.0012;
+      beta2 = 0.0012;
+      weights;
+    };
+    {
+      set_label = "set 2: beta~2 raised to .0036";
+      rho1 = 0.0012;
+      rho2 = 0.0012;
+      beta2 = 0.0036;
+      weights;
+    };
+    {
+      set_label = "set 3: rho~2 raised to .0036";
+      rho1 = 0.0012;
+      rho2 = 0.0036;
+      beta2 = 0.0012;
+      weights;
+    };
+  ]
+
+let table2_sizes = [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ]
+
+let table2_model set n =
+  Model.square ~size:n
+    ~classes:
+      [
+        Traffic.poisson ~name:"type1" ~bandwidth:1 ~rate:set.rho1
+          ~service_rate:1.0 ();
+        Traffic.create ~name:"type2" ~bandwidth:1 ~alpha:set.rho2
+          ~beta:set.beta2 ~service_rate:1.0 ();
+      ]
+
+let operating_point_model n =
+  Model.square ~size:n
+    ~classes:
+      [
+        Traffic.poisson ~name:"traffic" ~bandwidth:1 ~rate:base_alpha
+          ~service_rate:1.0 ();
+      ]

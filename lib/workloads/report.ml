@@ -1,0 +1,240 @@
+module Measures = Crossbar.Measures
+module Model = Crossbar.Model
+
+let blocking model =
+  let m = Crossbar.Solver.solve model in
+  m.Measures.per_class.(0).Measures.blocking
+
+let print_figure ?(sizes = Paper.sizes) ppf ~name series =
+  Format.fprintf ppf "# %s: blocking probability vs square switch size@." name;
+  Format.fprintf ppf "N";
+  List.iter (fun s -> Format.fprintf ppf "\t%s" s.Paper.label) series;
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun n ->
+      Format.fprintf ppf "%d" n;
+      List.iter
+        (fun s -> Format.fprintf ppf "\t%.8g" (blocking (s.Paper.model_of_size n)))
+        series;
+      Format.fprintf ppf "@.")
+    sizes
+
+let print_table1 ppf =
+  Format.fprintf ppf
+    "# Table 1: input loads for the multi-rate comparison (as printed)@.";
+  Format.fprintf ppf "N1\trho~1 (a=1)\trho~2 (a=2)@.";
+  List.iter
+    (fun n ->
+      let rho1, rho2 = Paper.table1_loads n in
+      Format.fprintf ppf "%d\t%.6g\t%.6g@." n rho1 rho2)
+    Paper.table1_sizes
+
+let table2_measured set n =
+  let model = Paper.table2_model set n in
+  let weights = set.Paper.weights in
+  let measures = Crossbar.Solver.solve model in
+  let revenue = Measures.revenue measures ~weights in
+  let blocking = measures.Measures.per_class.(0).Measures.blocking in
+  let gradient_rho1 =
+    Crossbar.Revenue.gradient_rho model ~weights ~class_index:0
+  in
+  let gradient_beta2 =
+    if n < 2 then nan
+    else Crossbar.Revenue.gradient_beta_numeric model ~weights ~class_index:1
+  in
+  (gradient_rho1, gradient_beta2, blocking, revenue)
+
+let print_table2 ppf =
+  Format.fprintf ppf
+    "# Table 2: revenue analysis — measured (exact model) | paper (printed)@.";
+  List.iter
+    (fun set ->
+      Format.fprintf ppf "## %s@." set.Paper.set_label;
+      Format.fprintf ppf
+        "N\tdW/drho1\tdW/d(b2/mu2)\tB(N)\tW(N)\t|\tdW/drho1\tdW/d(b2/mu2)\tB(N)\tW(N)@.";
+      List.iter
+        (fun (row : Printed.table2_row) ->
+          let n = row.Printed.size in
+          let g1, g2, b, w = table2_measured set n in
+          Format.fprintf ppf
+            "%d\t%.6g\t%.6g\t%.6g\t%.6g\t|\t%.6g\t%s\t%.6g\t%.6g@." n g1 g2 b w
+            row.Printed.gradient_rho1
+            (match row.Printed.gradient_beta2 with
+            | None -> "-"
+            | Some g -> Printf.sprintf "%.6g" g)
+            row.Printed.blocking row.Printed.revenue)
+        (Printed.table2_rows ~set_label:set.Paper.set_label))
+    Paper.table2_sets
+
+let print_forensics ppf =
+  Format.fprintf ppf
+    "# Table 2 forensics: printed vs exact vs shifted-beta variant (N = 1, 2)@.";
+  Format.fprintf ppf "set\tN\tprinted B\texact B\tshifted B@.";
+  List.iter
+    (fun set ->
+      List.iter
+        (fun (row : Printed.table2_row) ->
+          if row.Printed.size <= 2 then begin
+            let n = row.Printed.size in
+            let _, _, exact, _ = table2_measured set n in
+            let specs =
+              Scenarios.shifted_beta_specs ~rho1:set.Paper.rho1
+                ~rho2:set.Paper.rho2 ~beta2:set.Paper.beta2 ~size:n
+            in
+            let g_full =
+              Crossbar.General.log_g ~inputs:n ~outputs:n ~classes:specs
+            in
+            let g_reduced =
+              if n = 1 then 0.
+              else
+                Crossbar.General.log_g ~inputs:(n - 1) ~outputs:(n - 1)
+                  ~classes:specs
+            in
+            let shifted = 1. -. exp (g_reduced -. g_full) in
+            Format.fprintf ppf "%s\t%d\t%.6g\t%.8g\t%.8g@." set.Paper.set_label
+              n row.Printed.blocking exact shifted
+          end)
+        (Printed.table2_rows ~set_label:set.Paper.set_label))
+    Paper.table2_sets;
+  Format.fprintf ppf
+    "(shifted variant reproduces every printed N<=2 digit; the exact model@.";
+  Format.fprintf ppf
+    " does not and distinguishes sets 1 and 2 at N=2 — see EXPERIMENTS.md)@."
+
+let print_simulation_check ?(horizon = 2e4) ?(seed = 42) ppf =
+  let model =
+    Model.square ~size:8
+      ~classes:
+        [
+          Crossbar.Traffic.poisson ~name:"poisson" ~bandwidth:1 ~rate:0.4
+            ~service_rate:1.0 ();
+          Crossbar.Traffic.pascal ~name:"pascal" ~bandwidth:2 ~alpha:0.1
+            ~beta:0.05 ~service_rate:1.0 ();
+        ]
+  in
+  let analytic = Crossbar.Solver.solve model in
+  let result =
+    Crossbar_sim.Simulator.run
+      {
+        (Crossbar_sim.Simulator.default_config model) with
+        horizon;
+        warmup = horizon /. 20.;
+        seed;
+      }
+  in
+  Format.fprintf ppf
+    "# Simulation vs analysis (8x8 mixed workload, horizon %.3g, seed %d)@."
+    horizon seed;
+  Format.fprintf ppf
+    "class\tanalytic blocking\tsim time congestion (±)\tanalytic E\tsim E (±)@.";
+  Array.iteri
+    (fun r (c : Measures.per_class) ->
+      let sim = result.Crossbar_sim.Simulator.per_class.(r) in
+      Format.fprintf ppf "%s\t%.6g\t%.6g (%.2g)\t%.6g\t%.6g (%.2g)@."
+        c.Measures.name c.Measures.blocking
+        sim.Crossbar_sim.Simulator.time_congestion.point
+        sim.Crossbar_sim.Simulator.time_congestion.halfwidth
+        c.Measures.concurrency sim.Crossbar_sim.Simulator.concurrency.point
+        sim.Crossbar_sim.Simulator.concurrency.halfwidth)
+    analytic.Measures.per_class
+
+let print_baselines ppf =
+  Format.fprintf ppf
+    "# Baselines: saturation throughput per port and crosspoint cost@.";
+  Format.fprintf ppf "N\tslotted crossbar\tbanyan(2x2)\tbanyan crosspoints\tN^2@.";
+  List.iter
+    (fun n ->
+      Format.fprintf ppf "%d\t%.4f\t%.4f\t%d\t%d@." n
+        (Crossbar_baselines.Sync_crossbar.saturation_throughput ~size:n)
+        (Crossbar_baselines.Multistage.throughput ~switch_size:n ~fanout:2
+           ~request_probability:1.)
+        (Crossbar_baselines.Multistage.crosspoint_complexity ~switch_size:n
+           ~fanout:2)
+        (n * n))
+    [ 8; 16; 64; 256 ]
+
+let print_multistage ?(horizon = 2e4) ppf =
+  Format.fprintf ppf
+    "# Multi-stage extension: end-to-end blocking, simulation vs \
+     approximations@.";
+  Format.fprintf ppf
+    "network\toffered\tsimulated (±)\tswitch-markov\tlink-independence@.";
+  List.iter
+    (fun (ports, fanout, offered) ->
+      let topology = Crossbar_network.Topology.create ~ports ~fanout in
+      let sim =
+        Crossbar_network.Sim.run
+          {
+            (Crossbar_network.Sim.default_config topology ~offered) with
+            horizon;
+          }
+      in
+      let markov =
+        Crossbar_network.Analysis.switch_markov topology ~offered
+          ~service_rate:1.
+      in
+      let link =
+        Crossbar_network.Analysis.link_fixed_point topology ~offered
+          ~service_rate:1.
+      in
+      Format.fprintf ppf "%dx%d (s=%d)\t%.3g\t%.4f (%.4f)\t%.4f\t%.4f@." ports
+        fanout
+        (Crossbar_network.Topology.stages topology)
+        offered sim.Crossbar_network.Sim.blocking
+        sim.Crossbar_network.Sim.blocking_halfwidth
+        markov.Crossbar_network.Analysis.end_to_end_blocking
+        link.Crossbar_network.Analysis.end_to_end_blocking)
+    [ (16, 4, 0.2); (64, 4, 0.2); (64, 2, 0.2) ]
+
+let print_hotspot ?(horizon = 2e4) ppf =
+  Format.fprintf ppf
+    "# Hot-spot extension: exact non-uniform blocking vs simulation \
+     (32x32, hot output 8x)@.";
+  Format.fprintf ppf "hotness\thot B (exact)\tcold B (exact)\toverall exact\toverall sim (±)@.";
+  let inputs = 32 and outputs = 32 and rate = 0.01 in
+  List.iter
+    (fun hot_multiplier ->
+      let exact =
+        Crossbar_hotspot.Exact.hotspot ~inputs ~outputs ~rate ~hot_multiplier
+          ~service_rate:1.
+      in
+      let weights = Array.make outputs 1. in
+      weights.(0) <- hot_multiplier;
+      let sim =
+        Crossbar_hotspot.Sim.run
+          {
+            (Crossbar_hotspot.Sim.default_config ~inputs ~rate ~weights) with
+            horizon;
+          }
+      in
+      Format.fprintf ppf "%g\t%.4f\t%.4f\t%.4f\t%.4f (%.4f)@." hot_multiplier
+        (Crossbar_hotspot.Exact.output_blocking exact 0)
+        (Crossbar_hotspot.Exact.output_blocking exact (outputs - 1))
+        (Crossbar_hotspot.Exact.overall_blocking exact)
+        sim.Crossbar_hotspot.Sim.overall_blocking
+        sim.Crossbar_hotspot.Sim.overall_halfwidth)
+    [ 1.; 4.; 16. ]
+
+let print_all ppf =
+  print_figure ppf ~name:"Figure 1 (smooth traffic)" Paper.figure1;
+  Format.fprintf ppf "@.";
+  print_figure ppf ~name:"Figure 2 (peaky traffic)" Paper.figure2;
+  Format.fprintf ppf "@.";
+  print_figure ppf ~name:"Figure 3 (two classes vs one)" Paper.figure3;
+  Format.fprintf ppf "@.";
+  print_figure ~sizes:Paper.figure4_sizes ppf
+    ~name:"Figure 4 (multi-rate, Table 1 loads)" Paper.figure4;
+  Format.fprintf ppf "@.";
+  print_table1 ppf;
+  Format.fprintf ppf "@.";
+  print_table2 ppf;
+  Format.fprintf ppf "@.";
+  print_forensics ppf;
+  Format.fprintf ppf "@.";
+  print_simulation_check ppf;
+  Format.fprintf ppf "@.";
+  print_baselines ppf;
+  Format.fprintf ppf "@.";
+  print_multistage ppf;
+  Format.fprintf ppf "@.";
+  print_hotspot ppf

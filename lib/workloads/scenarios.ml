@@ -1,0 +1,90 @@
+module Traffic = Crossbar.Traffic
+module Model = Crossbar.Model
+module Special = Crossbar_numerics.Special
+
+(* With per-pair BPP parameters (alpha, beta) and P = P(N1,a) P(N2,a)
+   ordered tuple pairs, the unblocked occupancy is a linear birth-death
+   process with birth rate P(alpha + beta k) and death rate k mu, so
+   M = P alpha / (mu - P beta)  and  Z = 1 / (1 - P beta / mu).
+   These invert the scenario targets (mean streams, peakedness) into
+   aggregate traffic parameters. *)
+let aggregate_for_target ~inputs ~outputs ~bandwidth ~service_rate
+    ~mean_streams ~peakedness =
+  if not (peakedness > 0.) then invalid_arg "Scenarios: peakedness <= 0";
+  let tuple_pairs =
+    Special.permutations inputs bandwidth
+    *. Special.permutations outputs bandwidth
+  in
+  let beta_pp = service_rate *. (1. -. (1. /. peakedness)) /. tuple_pairs in
+  let alpha_pp =
+    mean_streams *. (service_rate -. (tuple_pairs *. beta_pp)) /. tuple_pairs
+  in
+  let scale = Special.binomial outputs bandwidth in
+  (alpha_pp *. scale, beta_pp *. scale)
+
+let integrated_services ~size ~utilization =
+  if size < 8 then invalid_arg "Scenarios.integrated_services: size < 8";
+  if not (utilization > 0. && utilization <= 1.5) then
+    invalid_arg "Scenarios.integrated_services: utilization outside (0, 1.5]";
+  let nf = float_of_int size in
+  (* Port budget: ~50% voice, ~35% video, ~15% data. *)
+  let voice_streams = 0.50 *. utilization *. nf in
+  let video_streams = 0.35 *. utilization *. nf /. 4. in
+  let data_streams = 0.15 *. utilization *. nf in
+  let voice_alpha, _ =
+    aggregate_for_target ~inputs:size ~outputs:size ~bandwidth:1
+      ~service_rate:1.0 ~mean_streams:voice_streams ~peakedness:1.0
+  in
+  let video_alpha, video_beta =
+    aggregate_for_target ~inputs:size ~outputs:size ~bandwidth:4
+      ~service_rate:0.1 ~mean_streams:video_streams ~peakedness:1.5
+  in
+  (* Data: finite population of 2N workstations (Engset-like smooth).
+     M = P S gamma / (mu + P gamma)  =>  gamma = mu M / (P (S - M)). *)
+  let sources = 2 * size in
+  let data_gamma_pp =
+    let tuple_pairs = nf *. nf in
+    0.5 *. data_streams
+    /. (tuple_pairs *. (float_of_int sources -. data_streams))
+  in
+  let classes =
+    [
+      Traffic.poisson ~name:"voice" ~bandwidth:1 ~rate:voice_alpha
+        ~service_rate:1.0 ();
+      Traffic.pascal ~name:"video" ~bandwidth:4 ~alpha:video_alpha
+        ~beta:video_beta ~service_rate:0.1 ();
+      Traffic.bernoulli ~name:"data" ~bandwidth:1 ~sources
+        ~per_source_rate:(data_gamma_pp *. nf)
+        ~service_rate:0.5 ();
+    ]
+  in
+  Model.square ~size ~classes
+
+let hotspot_pair ~size ~background ~hotspot =
+  Model.square ~size
+    ~classes:
+      [
+        Traffic.poisson ~name:"background" ~bandwidth:1 ~rate:background
+          ~service_rate:1.0 ();
+        Traffic.poisson ~name:"hotspot" ~bandwidth:1 ~rate:hotspot
+          ~service_rate:1.0 ();
+      ]
+
+let shifted_beta_specs ~rho1 ~rho2 ~beta2 ~size =
+  let nf = float_of_int size in
+  let alpha1 = rho1 /. nf and alpha2 = rho2 /. nf and beta2 = beta2 /. nf in
+  [
+    {
+      Crossbar.General.name = "type1";
+      bandwidth = 1;
+      arrival_rate = (fun _ -> alpha1);
+      service_rate = 1.0;
+    };
+    {
+      Crossbar.General.name = "type2";
+      bandwidth = 1;
+      arrival_rate =
+        (fun k -> alpha2 +. (beta2 *. float_of_int (max 0 (k - 1))));
+      service_rate = 1.0;
+    };
+  ]

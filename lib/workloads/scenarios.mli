@@ -1,0 +1,43 @@
+(** Integrated-services scenarios — the multi-rate traffic mixes the
+    paper's introduction motivates (voice, video, interactive data on one
+    all-optical switch). *)
+
+val aggregate_for_target :
+  inputs:int -> outputs:int -> bandwidth:int -> service_rate:float ->
+  mean_streams:float -> peakedness:float -> float * float
+(** [(alpha~, beta~)] such that, ignoring blocking, the class carries
+    [mean_streams] concurrent connections with the given peakedness
+    [Z = 1/(1 - P beta/mu)] on the given switch (the unblocked occupancy
+    is a linear birth-death process with mean [P alpha / (mu - P beta)],
+    [P = P(N1,a) P(N2,a)]).  [peakedness = 1] yields a Poisson class;
+    [< 1] smooth, [> 1] peaky.
+    @raise Invalid_argument if [peakedness <= 0]. *)
+
+val integrated_services : size:int -> utilization:float -> Crossbar.Model.t
+(** A three-class mix on an [size x size] switch:
+
+    - voice: [a = 1], Poisson, short holding times;
+    - video: [a = 4] (a connection bundle per stream), Pascal (peaky —
+      sessions arrive in bursts), long holding times;
+    - data: [a = 1], Bernoulli (a finite population of workstations),
+      medium holding times.
+
+    [utilization] (roughly the target fraction of busy ports, in (0, 1])
+    scales all three loads together.
+    @raise Invalid_argument if [size < 8] (the video bundle must fit
+    comfortably) or [utilization] is outside (0, 1.5]. *)
+
+val hotspot_pair : size:int -> background:float -> hotspot:float ->
+  Crossbar.Model.t
+(** Two Poisson classes modelling a favoured route alongside uniform
+    background traffic — a multi-class stand-in for the hot-spot analysis
+    of the authors' companion paper (ICPP '91).  [background] and
+    [hotspot] are aggregate offered loads. *)
+
+val shifted_beta_specs :
+  rho1:float -> rho2:float -> beta2:float -> size:int ->
+  Crossbar.General.spec list
+(** The Table 2 workload with the bursty class's state dependence delayed
+    by one occupancy level, [lambda_2(k) = alpha_2 + beta_2 max(0, k-1)] —
+    the variant that reproduces the paper's printed N = 1, 2 rows exactly
+    (EXPERIMENTS.md forensics).  Solvable only by {!Crossbar.General}. *)

@@ -1,0 +1,190 @@
+open Helpers
+module Model = Crossbar.Model
+module Admission = Crossbar.Admission
+module Measures = Crossbar.Measures
+module Simulator = Crossbar_sim.Simulator
+
+let test_unrestricted_equals_product_form () =
+  (* The guarded-chain solver with no guard must reproduce the product
+     form exactly — a strong cross-check of the non-product machinery. *)
+  List.iter
+    (fun (label, model) ->
+      let exact = Crossbar.Brute.solve model in
+      let controlled = Admission.solve model ~policy:Admission.unrestricted in
+      Array.iteri
+        (fun r (c : Measures.per_class) ->
+          check_close (label ^ ": B")
+            c.Measures.non_blocking
+            controlled.Measures.per_class.(r).Measures.non_blocking ~tol:1e-10;
+          check_close (label ^ ": E")
+            c.Measures.concurrency
+            controlled.Measures.per_class.(r).Measures.concurrency ~tol:1e-10)
+        exact.Measures.per_class)
+    (validation_models ())
+
+let test_full_thresholds_equal_unrestricted () =
+  let model = mixed_model ~inputs:5 ~outputs:5 in
+  let policy =
+    Admission.trunk_reservation ~thresholds:[| 5; 5; 5 |]
+  in
+  let a = Admission.solve model ~policy in
+  let b = Admission.solve model ~policy:Admission.unrestricted in
+  Array.iteri
+    (fun r (c : Measures.per_class) ->
+      check_close "same B" c.Measures.non_blocking
+        b.Measures.per_class.(r).Measures.non_blocking ~tol:1e-12)
+    a.Measures.per_class
+
+let protection_model =
+  lazy
+    (Model.square ~size:8
+       ~classes:
+         [
+           poisson ~name:"thin" 2.0;
+           poisson ~name:"wide" ~bandwidth:2 1.0;
+         ])
+
+let test_trunk_reservation_protects_wide_class () =
+  let model = Lazy.force protection_model in
+  let free = Admission.solve model ~policy:Admission.unrestricted in
+  (* Thin traffic may not push the load beyond 4 ports; wide unrestricted. *)
+  let policy = Admission.trunk_reservation ~thresholds:[| 4; 8 |] in
+  let reserved = Admission.solve model ~policy in
+  let blocking m name = (Measures.class_named m name).Measures.blocking in
+  check_bool "wide improves" true
+    (blocking reserved "wide" < blocking free "wide");
+  check_bool "thin pays" true
+    (blocking reserved "thin" > blocking free "thin");
+  (* A finding worth pinning: the improvement is real but *small* (<1
+     percentage point here), because unbuffered-crossbar blocking is
+     dominated by collisions on the randomly chosen port sets, not by
+     total-capacity exhaustion — load thresholds cannot buy back the
+     multi-rate penalty of Figure 4.  (Contrast with trunked links, where
+     reservation is very effective.) *)
+  let improvement = blocking free "wide" -. blocking reserved "wide" in
+  check_bool "improvement modest" true
+    (improvement > 1e-4 && improvement < 0.05)
+
+let test_reachability_restriction () =
+  let model = Lazy.force protection_model in
+  (* Nobody may exceed load 4: states above are unreachable. *)
+  let policy = Admission.trunk_reservation ~thresholds:[| 4; 4 |] in
+  let chain, members = Admission.chain model ~policy in
+  let space = Model.state_space model in
+  check_bool "restricted" true
+    (Array.length members < Crossbar_markov.State_space.size space);
+  Array.iter
+    (fun i ->
+      check_bool "within threshold" true
+        (Crossbar_markov.State_space.load space i <= 4))
+    members;
+  check_int "chain size matches" (Array.length members)
+    (Crossbar_markov.Ctmc.num_states chain)
+
+let test_controlled_chain_not_reversible () =
+  (* Trunk reservation breaks reversibility (hence the product form) —
+     demonstrate it. *)
+  let model = Lazy.force protection_model in
+  let policy = Admission.trunk_reservation ~thresholds:[| 5; 8 |] in
+  let chain, _ = Admission.chain model ~policy in
+  let pi = Crossbar_markov.Ctmc.solve_gth chain in
+  check_bool "detailed balance broken" true
+    (Crossbar_markov.Ctmc.detailed_balance_violation chain ~pi > 1e-6)
+
+let test_simulator_applies_policy () =
+  let model = Lazy.force protection_model in
+  let policy = Admission.trunk_reservation ~thresholds:[| 5; 8 |] in
+  let exact = Admission.solve model ~policy in
+  let result =
+    Simulator.run
+      {
+        (Simulator.default_config model) with
+        admission = policy;
+        horizon = 4e4;
+        warmup = 500.;
+      }
+  in
+  Array.iteri
+    (fun r (c : Measures.per_class) ->
+      let sim = result.Simulator.per_class.(r) in
+      check_abs
+        (c.Measures.name ^ ": controlled congestion")
+        c.Measures.blocking sim.Simulator.time_congestion.point
+        ~tol:(Float.max 0.012 (5. *. sim.Simulator.time_congestion.halfwidth));
+      check_abs
+        (c.Measures.name ^ ": controlled concurrency")
+        c.Measures.concurrency sim.Simulator.concurrency.point
+        ~tol:(Float.max 0.03 (5. *. sim.Simulator.concurrency.halfwidth)))
+    exact.Measures.per_class
+
+let test_custom_policy () =
+  (* Admit the bursty class only on an idle switch. *)
+  let model =
+    Model.square ~size:4
+      ~classes:[ poisson ~name:"base" 0.5; pascal ~name:"burst" ~alpha:0.4 ~beta:0.2 () ]
+  in
+  let policy =
+    Admission.custom ~describe:"bursty-on-idle"
+      (fun ~class_index ~load ~bandwidth:_ -> class_index = 0 || load = 0)
+  in
+  let controlled = Admission.solve model ~policy in
+  let free = Admission.solve model ~policy:Admission.unrestricted in
+  check_bool "bursty suppressed" true
+    ((Measures.class_named controlled "burst").Measures.concurrency
+    < (Measures.class_named free "burst").Measures.concurrency);
+  check_bool "describe" true
+    (String.equal (Admission.describe policy) "bursty-on-idle")
+
+let test_validation () =
+  check_raises_invalid "negative threshold" (fun () ->
+      ignore (Admission.trunk_reservation ~thresholds:[| -1 |]));
+  let model = mixed_model ~inputs:4 ~outputs:4 in
+  let short = Admission.trunk_reservation ~thresholds:[| 4 |] in
+  check_raises_invalid "threshold count" (fun () ->
+      ignore (Admission.solve model ~policy:short))
+
+let admission_props =
+  [
+    QCheck2.Test.make ~name:"unrestricted = product form (random models)"
+      ~count:60 Helpers.random_model_gen (fun model ->
+        let exact = Crossbar.Brute.solve model in
+        let controlled =
+          Admission.solve model ~policy:Admission.unrestricted
+        in
+        Array.for_all2
+          (fun (a : Measures.per_class) (b : Measures.per_class) ->
+            Float.abs (a.Measures.non_blocking -. b.Measures.non_blocking)
+            < 1e-9
+            && Float.abs (a.Measures.concurrency -. b.Measures.concurrency)
+               < 1e-9 *. Float.max 1. a.Measures.concurrency)
+          exact.Measures.per_class controlled.Measures.per_class);
+    QCheck2.Test.make ~name:"thresholds only reduce concurrency" ~count:60
+      QCheck2.Gen.(pair Helpers.random_model_gen (int_range 1 4))
+      (fun (model, threshold) ->
+        let free = Admission.solve model ~policy:Admission.unrestricted in
+        let policy =
+          Admission.trunk_reservation
+            ~thresholds:(Array.make (Crossbar.Model.num_classes model) threshold)
+        in
+        let restricted = Admission.solve model ~policy in
+        restricted.Measures.busy_ports
+        <= free.Measures.busy_ports +. 1e-9);
+  ]
+
+let () =
+  Alcotest.run "admission"
+    [
+      ("properties", List.map qcheck admission_props);
+      ( "admission",
+        [
+          case "unrestricted = product form" test_unrestricted_equals_product_form;
+          case "full thresholds" test_full_thresholds_equal_unrestricted;
+          case "reservation protects wide class"
+            test_trunk_reservation_protects_wide_class;
+          case "reachability" test_reachability_restriction;
+          case "reversibility broken" test_controlled_chain_not_reversible;
+          slow_case "simulator applies policy" test_simulator_applies_policy;
+          case "custom policy" test_custom_policy;
+          case "validation" test_validation;
+        ] );
+    ]

@@ -1,0 +1,222 @@
+open Helpers
+module Erlang = Crossbar_baselines.Erlang
+module Engset = Crossbar_baselines.Engset
+module Sync_crossbar = Crossbar_baselines.Sync_crossbar
+module Multistage = Crossbar_baselines.Multistage
+
+(* ---------- Erlang ---------- *)
+
+let test_erlang_b_known () =
+  check_close "B(0, rho) = 1" 1. (Erlang.erlang_b ~servers:0 ~offered_load:2.);
+  check_close "B(1, 1) = 1/2" 0.5 (Erlang.erlang_b ~servers:1 ~offered_load:1.);
+  check_close "B(2, 1) = 1/5" 0.2 (Erlang.erlang_b ~servers:2 ~offered_load:1.);
+  (* Direct formula check: B(c, rho) = (rho^c/c!) / sum rho^k/k!. *)
+  let direct c rho =
+    let term k =
+      exp
+        ((float_of_int k *. log rho)
+        -. Crossbar_numerics.Special.log_factorial k)
+    in
+    let total = ref 0. in
+    for k = 0 to c do
+      total := !total +. term k
+    done;
+    term c /. !total
+  in
+  List.iter
+    (fun (c, rho) ->
+      check_close
+        (Printf.sprintf "B(%d, %g)" c rho)
+        (direct c rho)
+        (Erlang.erlang_b ~servers:c ~offered_load:rho)
+        ~tol:1e-12)
+    [ (5, 3.); (10, 8.); (20, 12.); (50, 45.) ]
+
+let test_erlang_b_zero_load () =
+  check_close "no load no blocking" 0.
+    (Erlang.erlang_b ~servers:3 ~offered_load:0.)
+
+let test_erlang_c () =
+  (* Known value: C(2, 1) = 1/3. *)
+  check_close "C(2,1)" (1. /. 3.) (Erlang.erlang_c ~servers:2 ~offered_load:1.);
+  check_bool "C >= B" true
+    (Erlang.erlang_c ~servers:5 ~offered_load:3.
+    >= Erlang.erlang_b ~servers:5 ~offered_load:3.);
+  check_raises_invalid "unstable" (fun () ->
+      ignore (Erlang.erlang_c ~servers:2 ~offered_load:2.))
+
+let test_servers_for_blocking () =
+  let c = Erlang.servers_for_blocking ~offered_load:10. ~target:0.01 in
+  check_bool "meets target" true
+    (Erlang.erlang_b ~servers:c ~offered_load:10. <= 0.01);
+  check_bool "minimal" true
+    (Erlang.erlang_b ~servers:(c - 1) ~offered_load:10. > 0.01);
+  check_raises_invalid "target 1" (fun () ->
+      ignore (Erlang.servers_for_blocking ~offered_load:1. ~target:1.))
+
+(* ---------- Engset ---------- *)
+
+let engset_direct ~servers ~sources ~ratio =
+  (* Independent re-derivation via explicit binomial weights. *)
+  let weight k =
+    Crossbar_numerics.Special.binomial sources k *. (ratio ** float_of_int k)
+  in
+  let total = ref 0. in
+  for k = 0 to servers do
+    total := !total +. weight k
+  done;
+  if sources < servers then 0. else weight servers /. !total
+
+let test_engset_time_congestion () =
+  List.iter
+    (fun (servers, sources, rate) ->
+      check_close
+        (Printf.sprintf "E(%d servers, %d sources)" servers sources)
+        (engset_direct ~servers ~sources ~ratio:rate)
+        (Engset.time_congestion ~servers ~sources ~idle_rate:rate
+           ~service_rate:1.)
+        ~tol:1e-12)
+    [ (3, 10, 0.2); (5, 8, 0.5); (2, 20, 0.1); (4, 4, 1.0) ]
+
+let test_engset_call_congestion () =
+  (* Arriving-customer theorem: call congestion = time congestion with one
+     source removed. *)
+  check_close "one fewer source"
+    (Engset.time_congestion ~servers:3 ~sources:9 ~idle_rate:0.4
+       ~service_rate:1.)
+    (Engset.call_congestion ~servers:3 ~sources:10 ~idle_rate:0.4
+       ~service_rate:1.);
+  check_bool "call < time (smooth)" true
+    (Engset.call_congestion ~servers:3 ~sources:10 ~idle_rate:0.4
+       ~service_rate:1.
+    < Engset.time_congestion ~servers:3 ~sources:10 ~idle_rate:0.4
+        ~service_rate:1.)
+
+let test_engset_limits () =
+  (* Few sources: a group the sources cannot fill never blocks. *)
+  check_close "underfilled" 0.
+    (Engset.time_congestion ~servers:5 ~sources:3 ~idle_rate:1. ~service_rate:1.);
+  (* Many sources with per-source rate lambda/S approaches Erlang B. *)
+  let erlang = Erlang.erlang_b ~servers:4 ~offered_load:3. in
+  let engset sources =
+    Engset.time_congestion ~servers:4 ~sources
+      ~idle_rate:(3. /. float_of_int sources)
+      ~service_rate:1.
+  in
+  check_bool "converges upward" true
+    (Float.abs (engset 2000 -. erlang) < Float.abs (engset 20 -. erlang));
+  check_abs "close at 2000 sources" erlang (engset 2000) ~tol:2e-3
+
+(* ---------- synchronous crossbar ---------- *)
+
+let test_sync_crossbar_formulas () =
+  check_close "2x2 saturated" 0.75 (Sync_crossbar.saturation_throughput ~size:2);
+  check_abs "large switch -> 1 - 1/e"
+    (1. -. exp (-1.))
+    (Sync_crossbar.saturation_throughput ~size:4096)
+    ~tol:1e-4;
+  check_close "zero offered" 0.
+    (Sync_crossbar.throughput ~inputs:8 ~outputs:8 ~request_probability:0.);
+  check_close "accept at p=0" 1.
+    (Sync_crossbar.acceptance_probability ~inputs:8 ~outputs:8
+       ~request_probability:0.)
+
+let test_sync_crossbar_monotonicity () =
+  let accept p =
+    Sync_crossbar.acceptance_probability ~inputs:16 ~outputs:16
+      ~request_probability:p
+  in
+  let previous = ref (accept 0.05) in
+  List.iter
+    (fun p ->
+      let a = accept p in
+      check_bool "acceptance decreasing" true (a <= !previous);
+      check_bool "within [0,1]" true (a >= 0. && a <= 1.);
+      previous := a)
+    [ 0.1; 0.3; 0.5; 0.8; 1.0 ]
+
+let test_sync_crossbar_rectangular () =
+  (* More outputs than inputs: nearly everything is granted. *)
+  check_bool "fanout helps" true
+    (Sync_crossbar.acceptance_probability ~inputs:4 ~outputs:64
+       ~request_probability:1.
+    > Sync_crossbar.acceptance_probability ~inputs:4 ~outputs:4
+        ~request_probability:1.);
+  check_raises_invalid "bad p" (fun () ->
+      ignore
+        (Sync_crossbar.throughput ~inputs:4 ~outputs:4 ~request_probability:1.5))
+
+(* ---------- multistage ---------- *)
+
+let test_multistage_stages () =
+  check_int "64 = 2^6" 6 (Multistage.stages ~switch_size:64 ~fanout:2);
+  check_int "64 = 4^3" 3 (Multistage.stages ~switch_size:64 ~fanout:4);
+  check_raises_invalid "not a power" (fun () ->
+      ignore (Multistage.stages ~switch_size:48 ~fanout:4));
+  check_raises_invalid "fanout 1" (fun () ->
+      ignore (Multistage.stages ~switch_size:8 ~fanout:1))
+
+let test_multistage_single_stage_is_crossbar () =
+  (* One k x k stage: same formula as the slotted crossbar. *)
+  check_close "k=8, one stage"
+    (Sync_crossbar.throughput ~inputs:8 ~outputs:8 ~request_probability:0.7)
+    (Multistage.throughput ~switch_size:8 ~fanout:8 ~request_probability:0.7)
+
+let test_multistage_loses_to_crossbar () =
+  (* The motivation in the paper's introduction: a banyan of small
+     switches blocks internally; the crossbar does not. *)
+  List.iter
+    (fun size ->
+      check_bool
+        (Printf.sprintf "banyan < crossbar at N=%d" size)
+        true
+        (Multistage.throughput ~switch_size:size ~fanout:2
+           ~request_probability:1.
+        < Sync_crossbar.throughput ~inputs:size ~outputs:size
+            ~request_probability:1.))
+    [ 16; 64; 256 ]
+
+let test_multistage_degradation_with_depth () =
+  let t fanout = Multistage.throughput ~switch_size:64 ~fanout ~request_probability:1. in
+  (* Bigger building blocks = fewer stages = better throughput. *)
+  check_bool "4x4 blocks beat 2x2" true (t 4 > t 2);
+  check_bool "8x8 blocks beat 4x4" true (t 8 > t 4)
+
+let test_crosspoint_complexity () =
+  (* N log2 N vs N^2: 64 * 6 * 2 crosspoints for the banyan. *)
+  check_int "banyan 64 (k=2)" (32 * 6 * 4)
+    (Multistage.crosspoint_complexity ~switch_size:64 ~fanout:2);
+  check_bool "cheaper than crossbar" true
+    (Multistage.crosspoint_complexity ~switch_size:256 ~fanout:2 < 256 * 256)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "erlang",
+        [
+          case "known values" test_erlang_b_known;
+          case "zero load" test_erlang_b_zero_load;
+          case "erlang c" test_erlang_c;
+          case "dimensioning" test_servers_for_blocking;
+        ] );
+      ( "engset",
+        [
+          case "time congestion" test_engset_time_congestion;
+          case "call congestion" test_engset_call_congestion;
+          case "limits" test_engset_limits;
+        ] );
+      ( "sync-crossbar",
+        [
+          case "formulas" test_sync_crossbar_formulas;
+          case "monotonicity" test_sync_crossbar_monotonicity;
+          case "rectangular" test_sync_crossbar_rectangular;
+        ] );
+      ( "multistage",
+        [
+          case "stages" test_multistage_stages;
+          case "single stage" test_multistage_single_stage_is_crossbar;
+          case "loses to crossbar" test_multistage_loses_to_crossbar;
+          case "depth degradation" test_multistage_degradation_with_depth;
+          case "complexity" test_crosspoint_complexity;
+        ] );
+    ]

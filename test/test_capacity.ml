@@ -1,0 +1,109 @@
+open Helpers
+module Model = Crossbar.Model
+module Capacity = Crossbar.Capacity
+
+let test_blocking_accessor () =
+  let model = Model.square ~size:4 ~classes:[ poisson 0.5 ] in
+  let m = Crossbar.Solver.solve model in
+  check_close "accessor"
+    m.Crossbar.Measures.per_class.(0).Crossbar.Measures.blocking
+    (Capacity.blocking model ~class_index:0)
+
+let test_load_multiplier_inverts () =
+  let model = Model.square ~size:16 ~classes:[ poisson 0.01 ] in
+  let target = 0.005 in
+  let c =
+    Capacity.load_multiplier_for_blocking model ~class_index:0 ~target
+  in
+  check_bool "positive multiplier" true (c > 0.);
+  let scaled =
+    Model.map_class model 0 (fun t -> Crossbar.Traffic.scale_load t c)
+  in
+  check_close "achieves target" target
+    (Capacity.blocking scaled ~class_index:0)
+    ~tol:1e-6
+
+let test_load_multiplier_mixed_classes () =
+  let model =
+    Model.square ~size:8
+      ~classes:
+        [ poisson ~name:"bg" 0.05; pascal ~name:"fg" ~alpha:0.01 ~beta:0.005 () ]
+  in
+  (* The background class alone already causes ~10% blocking on this
+     switch; pick a target above that floor. *)
+  let target = 0.18 in
+  let c =
+    Capacity.load_multiplier_for_blocking model ~class_index:1 ~target
+  in
+  let scaled =
+    Model.map_class model 1 (fun t -> Crossbar.Traffic.scale_load t c)
+  in
+  check_close "bursty class at target" target
+    (Capacity.blocking scaled ~class_index:1)
+    ~tol:1e-6
+
+let test_load_multiplier_guards () =
+  let model = Model.square ~size:4 ~classes:[ poisson 0.5 ] in
+  check_raises_invalid "target 0" (fun () ->
+      ignore (Capacity.load_multiplier_for_blocking model ~class_index:0 ~target:0.))
+
+let test_unreachable_target_fails () =
+  (* Two heavy classes: class 0's blocking can't go below what class 1
+     already causes. *)
+  let model =
+    Model.square ~size:2
+      ~classes:[ poisson ~name:"t" 0.1; poisson ~name:"heavy" 50.0 ]
+  in
+  let floor = Capacity.blocking model ~class_index:0 in
+  check_bool "floor is high" true (floor > 0.5);
+  match
+    Capacity.load_multiplier_for_blocking model ~class_index:0 ~target:0.01
+  with
+  | exception Failure _ -> ()
+  | c -> Alcotest.failf "expected failure, got %g" c
+
+let test_smallest_square_switch () =
+  (* Constant *carried* load (tau/N per input set, as in Figure 4):
+     growing the switch dilutes contention, so some smallest adequate N
+     exists. *)
+  let classes n = [ poisson (0.5 /. float_of_int n) ] in
+  match
+    Capacity.smallest_square_switch ~classes ~target:0.02 ~max_size:64 ()
+  with
+  | None -> Alcotest.fail "should find a size"
+  | Some n ->
+      check_bool "adequate" true
+        (Capacity.blocking (Model.square ~size:n ~classes:(classes n))
+           ~class_index:0
+        <= 0.02);
+      if n > 1 then
+        check_bool "minimal" true
+          (Capacity.blocking
+             (Model.square ~size:(n - 1) ~classes:(classes (n - 1)))
+             ~class_index:0
+          > 0.02)
+
+let test_smallest_square_switch_unreachable () =
+  (* Per-pair load pinned to a constant: blocking never drops below ~2p,
+     so an aggressive target is unreachable. *)
+  let classes n = [ poisson (0.5 *. float_of_int n) ] in
+  check_bool "unreachable" true
+    (Capacity.smallest_square_switch ~classes ~target:1e-6 ~max_size:32 ()
+    = None);
+  check_raises_invalid "bad max size" (fun () ->
+      ignore (Capacity.smallest_square_switch ~classes ~target:0.1 ~max_size:0 ()))
+
+let () =
+  Alcotest.run "capacity"
+    [
+      ( "capacity",
+        [
+          case "blocking accessor" test_blocking_accessor;
+          case "load multiplier inverts" test_load_multiplier_inverts;
+          case "mixed classes" test_load_multiplier_mixed_classes;
+          case "guards" test_load_multiplier_guards;
+          case "unreachable target" test_unreachable_target_fails;
+          case "smallest switch" test_smallest_square_switch;
+          case "unreachable size target" test_smallest_square_switch_unreachable;
+        ] );
+    ]

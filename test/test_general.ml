@@ -1,0 +1,193 @@
+open Helpers
+module Model = Crossbar.Model
+module General = Crossbar.General
+module Brute = Crossbar.Brute
+module Measures = Crossbar.Measures
+module Ctmc = Crossbar_markov.Ctmc
+module State_space = Crossbar_markov.State_space
+module Special = Crossbar_numerics.Special
+
+let test_of_model_agrees_with_brute () =
+  List.iter
+    (fun (label, model) ->
+      let reference = Brute.solve model in
+      let result =
+        General.solve ~inputs:(Model.inputs model)
+          ~outputs:(Model.outputs model) ~classes:(General.of_model model)
+      in
+      Array.iteri
+        (fun r (c : Measures.per_class) ->
+          check_close (label ^ ": B") c.Measures.non_blocking
+            result.General.non_blocking.(r);
+          check_close (label ^ ": E") c.Measures.concurrency
+            result.General.concurrency.(r))
+        reference.Measures.per_class)
+    (validation_models ())
+
+(* A staircase (decidedly non-affine) arrival rate, validated against an
+   exact CTMC solve built independently here. *)
+let staircase k = if k < 2 then 0.8 else if k < 4 then 0.1 else 0.02
+
+let test_custom_rate_vs_ctmc () =
+  let inputs = 4 and outputs = 4 in
+  let spec =
+    {
+      General.name = "staircase";
+      bandwidth = 1;
+      arrival_rate = staircase;
+      service_rate = 1.0;
+    }
+  in
+  let result = General.solve ~inputs ~outputs ~classes:[ spec ] in
+  (* Independent chain: states k = 0..4, birth P(4-k,1)^2 staircase(k). *)
+  let chain =
+    Ctmc.build ~states:5 ~f:(fun k ->
+        let up =
+          if k < 4 then
+            [
+              ( k + 1,
+                Special.permutations (inputs - k) 1
+                *. Special.permutations (outputs - k) 1
+                *. staircase k );
+            ]
+          else []
+        in
+        let down = if k > 0 then [ (k - 1, float_of_int k) ] else [] in
+        up @ down)
+  in
+  let pi = Ctmc.solve_gth chain in
+  let e = ref 0. in
+  Array.iteri (fun k p -> e := !e +. (float_of_int k *. p)) pi;
+  check_close "concurrency" !e result.General.concurrency.(0) ~tol:1e-12;
+  (* Time-average availability of a specific port pair. *)
+  let b = ref 0. in
+  Array.iteri
+    (fun k p ->
+      b :=
+        !b
+        +. p
+           *. (float_of_int (inputs - k) /. float_of_int inputs)
+           *. (float_of_int (outputs - k) /. float_of_int outputs))
+    pi;
+  check_close "non-blocking" !b result.General.non_blocking.(0) ~tol:1e-12
+
+let test_distribution_matches_solve () =
+  let spec =
+    {
+      General.name = "geo";
+      bandwidth = 2;
+      arrival_rate = (fun k -> 0.5 /. float_of_int (k + 1));
+      service_rate = 2.0;
+    }
+  in
+  let space, pi = General.distribution ~inputs:6 ~outputs:5 ~classes:[ spec ] in
+  check_close "normalised" 1. (Array.fold_left ( +. ) 0. pi) ~tol:1e-12;
+  let result = General.solve ~inputs:6 ~outputs:5 ~classes:[ spec ] in
+  let e = ref 0. in
+  State_space.iter space (fun i k -> e := !e +. (float_of_int k.(0) *. pi.(i)));
+  check_close "consistent E" !e result.General.concurrency.(0) ~tol:1e-12
+
+let test_log_state_weight () =
+  let spec =
+    {
+      General.name = "p";
+      bandwidth = 1;
+      arrival_rate = (fun _ -> 0.5);
+      service_rate = 1.0;
+    }
+  in
+  (* Poisson: weight(k) = P(n1,k) P(n2,k) rho^k / k!. *)
+  let lw = General.log_state_weight ~inputs:4 ~outputs:3 ~classes:[ spec ] [| 2 |] in
+  let expected = log (12. *. 6. *. (0.25 /. 2.)) in
+  check_close "weight" expected lw ~tol:1e-12;
+  check_bool "infeasible" true
+    (General.log_state_weight ~inputs:2 ~outputs:9 ~classes:[ spec ] [| 3 |]
+    = neg_infinity)
+
+let test_load_distribution () =
+  let model = mixed_model ~inputs:5 ~outputs:4 in
+  let classes = General.of_model model in
+  let histogram = General.load_distribution ~inputs:5 ~outputs:4 ~classes in
+  check_int "support" 5 (Array.length histogram);
+  check_close "normalised" 1. (Array.fold_left ( +. ) 0. histogram) ~tol:1e-12;
+  Array.iter (fun p -> check_bool "non-negative" true (p >= 0.)) histogram;
+  (* The histogram mean must equal the busy-port measure. *)
+  let mean = ref 0. in
+  Array.iteri (fun j p -> mean := !mean +. (float_of_int j *. p)) histogram;
+  let measures = Brute.solve model in
+  check_close "mean = busy ports" measures.Measures.busy_ports !mean ~tol:1e-10
+
+let test_load_distribution_saturating () =
+  (* Overwhelming load concentrates the histogram at full occupancy. *)
+  let spec =
+    {
+      General.name = "hot";
+      bandwidth = 1;
+      arrival_rate = (fun _ -> 1e6);
+      service_rate = 1.0;
+    }
+  in
+  let histogram = General.load_distribution ~inputs:3 ~outputs:3 ~classes:[ spec ] in
+  check_abs "all mass at 3" 1. histogram.(3) ~tol:1e-4
+
+let test_g_symmetric_in_dimensions () =
+  (* With per-pair rates held fixed, G(n1, n2) = G(n2, n1): the product
+     form treats inputs and outputs symmetrically. *)
+  let spec =
+    {
+      General.name = "s";
+      bandwidth = 2;
+      arrival_rate = (fun k -> 0.2 +. (0.05 *. float_of_int k));
+      service_rate = 1.0;
+    }
+  in
+  check_close "G(4,7) = G(7,4)"
+    (General.log_g ~inputs:4 ~outputs:7 ~classes:[ spec ])
+    (General.log_g ~inputs:7 ~outputs:4 ~classes:[ spec ])
+    ~tol:1e-12
+
+let test_validation () =
+  let bad_bandwidth =
+    {
+      General.name = "x";
+      bandwidth = 0;
+      arrival_rate = (fun _ -> 1.);
+      service_rate = 1.;
+    }
+  in
+  check_raises_invalid "bandwidth" (fun () ->
+      ignore (General.solve ~inputs:2 ~outputs:2 ~classes:[ bad_bandwidth ]));
+  check_raises_invalid "empty" (fun () ->
+      ignore (General.solve ~inputs:2 ~outputs:2 ~classes:[]))
+
+let test_rate_truncation () =
+  (* Once the rate hits zero, higher occupancies carry no weight even if
+     the function would turn positive again. *)
+  let spec =
+    {
+      General.name = "gap";
+      bandwidth = 1;
+      arrival_rate = (fun k -> if k = 1 then 0. else 1.);
+      service_rate = 1.0;
+    }
+  in
+  let space, pi = General.distribution ~inputs:4 ~outputs:4 ~classes:[ spec ] in
+  State_space.iter space (fun i k ->
+      if k.(0) > 1 then check_close "no weight past gap" 0. pi.(i))
+
+let () =
+  Alcotest.run "general"
+    [
+      ( "general",
+        [
+          case "BPP special case = brute" test_of_model_agrees_with_brute;
+          case "staircase rate vs exact chain" test_custom_rate_vs_ctmc;
+          case "distribution consistency" test_distribution_matches_solve;
+          case "load distribution" test_load_distribution;
+          case "load distribution saturating" test_load_distribution_saturating;
+          case "G symmetric in dimensions" test_g_symmetric_in_dimensions;
+          case "log state weight" test_log_state_weight;
+          case "validation" test_validation;
+          case "rate truncation" test_rate_truncation;
+        ] );
+    ]

@@ -1,0 +1,294 @@
+open Helpers
+module Exact = Crossbar_hotspot.Exact
+module Matchings = Crossbar_hotspot.Matchings
+module Hotspot_sim = Crossbar_hotspot.Sim
+
+(* ---------- matching enumeration ---------- *)
+
+let test_matching_counts () =
+  check_int "3x3" 34 (Matchings.count_matchings ~inputs:3 ~outputs:3);
+  check_int "4x4" 209 (Matchings.count_matchings ~inputs:4 ~outputs:4);
+  check_int "2x5" 31 (Matchings.count_matchings ~inputs:2 ~outputs:5);
+  check_int "1x1" 2 (Matchings.count_matchings ~inputs:1 ~outputs:1);
+  check_raises_invalid "dimensions" (fun () ->
+      ignore (Matchings.count_matchings ~inputs:0 ~outputs:3))
+
+let test_matching_chain_reversible () =
+  (* The port-level chain has a product form over edges: detailed balance
+     must hold at machine precision even with wildly non-uniform rates. *)
+  let result =
+    Matchings.solve ~inputs:3 ~rate:0.4 ~weights:[| 9.; 1.; 0.25 |]
+      ~service_rate:2. ()
+  in
+  check_bool "reversible" true (result.Matchings.detailed_balance_violation < 1e-12)
+
+(* ---------- exact (symmetric polynomials) vs enumeration ---------- *)
+
+let test_exact_matches_matchings () =
+  List.iter
+    (fun (inputs, weights, rate, mu) ->
+      let exact = Exact.solve ~inputs ~rate ~weights ~service_rate:mu in
+      let brute = Matchings.solve ~inputs ~rate ~weights ~service_rate:mu () in
+      check_close "mean busy" brute.Matchings.mean_busy (Exact.mean_busy exact)
+        ~tol:1e-10;
+      Array.iteri
+        (fun j expected ->
+          check_close
+            (Printf.sprintf "B out%d" j)
+            expected
+            (Exact.output_non_blocking exact j)
+            ~tol:1e-10;
+          check_close
+            (Printf.sprintf "util out%d" j)
+            brute.Matchings.output_utilization.(j)
+            (Exact.output_utilization exact j)
+            ~tol:1e-10)
+        brute.Matchings.output_non_blocking)
+    [
+      (3, [| 5.; 1.; 1.; 0.5 |], 0.2, 1.3);
+      (4, [| 1.; 1.; 1. |], 0.5, 1.0);
+      (2, [| 3.; 0.; 1. |], 0.8, 0.7);
+      (4, [| 2.; 2.; 1.; 1. |], 0.05, 1.0);
+    ]
+
+let test_uniform_reduces_to_paper_model () =
+  (* weight = 1 everywhere must reproduce the paper's (uniform) model —
+     validating the count-only aggregation the paper relies on. *)
+  List.iter
+    (fun (n, per_pair_rate) ->
+      let exact =
+        Exact.solve ~inputs:n ~rate:per_pair_rate
+          ~weights:(Array.make n 1.) ~service_rate:1.0
+      in
+      let model =
+        Crossbar.Model.square ~size:n
+          ~classes:
+            [
+              Crossbar.Traffic.poisson ~name:"t" ~bandwidth:1
+                ~rate:(per_pair_rate *. float_of_int n)
+                ~service_rate:1.0 ();
+            ]
+      in
+      let paper = Crossbar.Solver.solve model in
+      let c = paper.Crossbar.Measures.per_class.(0) in
+      check_close "non-blocking" c.Crossbar.Measures.non_blocking
+        (Exact.output_non_blocking exact 0) ~tol:1e-10;
+      check_close "concurrency" c.Crossbar.Measures.concurrency
+        (Exact.mean_busy exact) ~tol:1e-10)
+    [ (4, 0.1); (16, 0.02); (64, 0.002) ]
+
+(* ---------- qualitative hot-spot behaviour ---------- *)
+
+let test_hot_output_suffers () =
+  let exact =
+    Exact.hotspot ~inputs:16 ~outputs:16 ~rate:0.02 ~hot_multiplier:8.
+      ~service_rate:1.
+  in
+  let hot = Exact.output_blocking exact 0 in
+  let cold = Exact.output_blocking exact 5 in
+  check_bool "hot blocks more" true (hot > cold +. 0.05);
+  check_bool "hot more utilised" true
+    (Exact.output_utilization exact 0 > Exact.output_utilization exact 5);
+  (* All cold outputs identical by symmetry. *)
+  check_close "cold symmetric" cold (Exact.output_blocking exact 15) ~tol:1e-12
+
+let test_blocking_monotone_in_hotness () =
+  let blocking multiplier =
+    let exact =
+      Exact.hotspot ~inputs:8 ~outputs:8 ~rate:0.05 ~hot_multiplier:multiplier
+        ~service_rate:1.
+    in
+    Exact.output_blocking exact 0
+  in
+  let previous = ref 0. in
+  List.iter
+    (fun m ->
+      let b = blocking m in
+      check_bool "monotone in hotness" true (b >= !previous);
+      previous := b)
+    [ 1.; 2.; 4.; 8.; 16. ]
+
+let test_hotspot_hurts_everyone () =
+  (* Even the cold outputs lose: the hot output's inputs-side congestion
+     spills over. *)
+  let uniform =
+    Exact.hotspot ~inputs:8 ~outputs:8 ~rate:0.05 ~hot_multiplier:1.
+      ~service_rate:1.
+  in
+  let skewed =
+    Exact.hotspot ~inputs:8 ~outputs:8 ~rate:0.05 ~hot_multiplier:10.
+      ~service_rate:1.
+  in
+  check_bool "overall worse" true
+    (Exact.overall_blocking skewed > Exact.overall_blocking uniform);
+  (* The crisp claim: at equal total offered rate, skew reduces carried
+     traffic. *)
+  let total_weight = 10. +. 7. in
+  let uniform_same_load =
+    Exact.solve ~inputs:8
+      ~rate:(0.05 *. total_weight /. 8.)
+      ~weights:(Array.make 8 1.) ~service_rate:1.
+  in
+  check_bool "skew reduces throughput" true
+    (Exact.throughput skewed < Exact.throughput uniform_same_load)
+
+let test_degenerate_cases () =
+  let exact = Exact.solve ~inputs:4 ~rate:0. ~weights:[| 1.; 1. |] ~service_rate:1. in
+  check_close "no load no blocking" 0. (Exact.output_blocking exact 0);
+  check_close "no load no busy" 0. (Exact.mean_busy exact);
+  (* A zero-weight output is never requested and never busy. *)
+  let exact = Exact.solve ~inputs:3 ~rate:0.5 ~weights:[| 1.; 0. |] ~service_rate:1. in
+  check_close "silent output idle" 0. (Exact.output_utilization exact 1);
+  check_raises_invalid "negative weight" (fun () ->
+      ignore (Exact.solve ~inputs:2 ~rate:1. ~weights:[| -1. |] ~service_rate:1.));
+  check_raises_invalid "output range" (fun () ->
+      ignore (Exact.output_blocking exact 7))
+
+(* ---------- bipartite generalisation ---------- *)
+
+let test_bipartite_matches_matchings () =
+  (* Non-uniform weights on BOTH sides against enumeration. *)
+  let input_weights = [| 2.; 1.; 0.5 |] in
+  let output_weights = [| 4.; 1.; 1.; 0.25 |] in
+  let exact =
+    Exact.solve_bipartite ~rate:0.3 ~input_weights ~output_weights
+      ~service_rate:1.1
+  in
+  let brute =
+    Matchings.solve ~input_weights ~inputs:3 ~rate:0.3
+      ~weights:output_weights ~service_rate:1.1 ()
+  in
+  check_close "mean busy" brute.Matchings.mean_busy (Exact.mean_busy exact)
+    ~tol:1e-10;
+  Array.iteri
+    (fun j expected ->
+      check_close
+        (Printf.sprintf "util out%d" j)
+        expected
+        (Exact.output_utilization exact j)
+        ~tol:1e-10)
+    brute.Matchings.output_utilization
+
+let test_bipartite_uniform_inputs_reduce () =
+  (* input_weights = 1 must reproduce the one-sided solver exactly. *)
+  let weights = [| 3.; 1.; 1. |] in
+  let one_sided = Exact.solve ~inputs:4 ~rate:0.2 ~weights ~service_rate:1. in
+  let two_sided =
+    Exact.solve_bipartite ~rate:0.2 ~input_weights:(Array.make 4 1.)
+      ~output_weights:weights ~service_rate:1.
+  in
+  check_close "same G" (Exact.log_normalization one_sided)
+    (Exact.log_normalization two_sided) ~tol:1e-12;
+  check_close "same hot blocking"
+    (Exact.output_blocking one_sided 0)
+    (Exact.output_blocking two_sided 0)
+    ~tol:1e-12
+
+let test_bipartite_consistency () =
+  (* Overall acceptance must equal the weighted average of per-output and
+     of per-input acceptances — three independent formulas. *)
+  let input_weights = [| 1.; 2.; 3. |] in
+  let output_weights = [| 5.; 1.; 1.; 1.; 0.5 |] in
+  let exact =
+    Exact.solve_bipartite ~rate:0.15 ~input_weights ~output_weights
+      ~service_rate:0.8
+  in
+  let weighted_average weights f =
+    let total = Array.fold_left ( +. ) 0. weights in
+    let acc = ref 0. in
+    Array.iteri (fun j w -> acc := !acc +. (w /. total *. f j)) weights;
+    !acc
+  in
+  let by_output =
+    weighted_average output_weights (Exact.output_non_blocking exact)
+  in
+  let by_input =
+    weighted_average input_weights (Exact.input_non_blocking exact)
+  in
+  check_close "output route" (1. -. Exact.overall_blocking exact) by_output
+    ~tol:1e-12;
+  check_close "input route" (1. -. Exact.overall_blocking exact) by_input
+    ~tol:1e-12;
+  (* Busy inputs = busy outputs = mean busy. *)
+  let total_in =
+    Array.mapi (fun i _ -> Exact.input_utilization exact i) input_weights
+    |> Array.fold_left ( +. ) 0.
+  in
+  let total_out =
+    Array.mapi (fun j _ -> Exact.output_utilization exact j) output_weights
+    |> Array.fold_left ( +. ) 0.
+  in
+  check_close "input side mass" (Exact.mean_busy exact) total_in ~tol:1e-12;
+  check_close "output side mass" (Exact.mean_busy exact) total_out ~tol:1e-12
+
+(* ---------- simulation referee ---------- *)
+
+let test_sim_matches_exact () =
+  let weights = Array.make 12 1. in
+  weights.(0) <- 6.;
+  let exact = Exact.solve ~inputs:12 ~rate:0.04 ~weights ~service_rate:1. in
+  let sim =
+    Hotspot_sim.run
+      {
+        (Hotspot_sim.default_config ~inputs:12 ~rate:0.04 ~weights) with
+        horizon = 4e4;
+        seed = 3;
+      }
+  in
+  check_abs "overall" (Exact.overall_blocking exact)
+    sim.Hotspot_sim.overall_blocking
+    ~tol:(Float.max 0.01 (5. *. sim.Hotspot_sim.overall_halfwidth));
+  check_abs "hot output" (Exact.output_blocking exact 0)
+    sim.Hotspot_sim.per_output_blocking.(0)
+    ~tol:0.02;
+  check_abs "mean busy" (Exact.mean_busy exact) sim.Hotspot_sim.mean_busy
+    ~tol:0.1
+
+let test_sim_mechanics () =
+  let weights = [| 2.; 1. |] in
+  let config =
+    { (Hotspot_sim.default_config ~inputs:2 ~rate:0.3 ~weights) with horizon = 3e3 }
+  in
+  let a = Hotspot_sim.run config and b = Hotspot_sim.run config in
+  check_int "deterministic" a.Hotspot_sim.events b.Hotspot_sim.events;
+  check_bool "accepted <= offered" true
+    (a.Hotspot_sim.accepted <= a.Hotspot_sim.offered);
+  check_raises_invalid "bad horizon" (fun () ->
+      ignore (Hotspot_sim.run { config with horizon = 0. }));
+  check_raises_invalid "bad weights" (fun () ->
+      ignore
+        (Hotspot_sim.run
+           (Hotspot_sim.default_config ~inputs:2 ~rate:0.3 ~weights:[| -1. |])))
+
+let () =
+  Alcotest.run "hotspot"
+    [
+      ( "matchings",
+        [
+          case "counts" test_matching_counts;
+          case "reversible" test_matching_chain_reversible;
+        ] );
+      ( "exact",
+        [
+          case "matches enumeration" test_exact_matches_matchings;
+          case "uniform = paper model" test_uniform_reduces_to_paper_model;
+          case "degenerate cases" test_degenerate_cases;
+        ] );
+      ( "behaviour",
+        [
+          case "hot output suffers" test_hot_output_suffers;
+          case "monotone in hotness" test_blocking_monotone_in_hotness;
+          case "skew hurts throughput" test_hotspot_hurts_everyone;
+        ] );
+      ( "bipartite",
+        [
+          case "matches enumeration" test_bipartite_matches_matchings;
+          case "uniform inputs reduce" test_bipartite_uniform_inputs_reduce;
+          case "consistency" test_bipartite_consistency;
+        ] );
+      ( "simulation",
+        [
+          slow_case "matches exact" test_sim_matches_exact;
+          case "mechanics" test_sim_mechanics;
+        ] );
+    ]

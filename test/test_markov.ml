@@ -1,0 +1,264 @@
+open Helpers
+module State_space = Crossbar_markov.State_space
+module Ctmc = Crossbar_markov.Ctmc
+
+(* ---------- State spaces ---------- *)
+
+let test_space_single_class () =
+  let space = State_space.create ~weights:[| 1 |] ~capacity:5 in
+  check_int "size" 6 (State_space.size space);
+  check_int "dimension" 1 (State_space.dimension space);
+  check_int "capacity" 5 (State_space.capacity space);
+  for k = 0 to 5 do
+    let i = State_space.index space [| k |] in
+    check_int "roundtrip" k (State_space.state space i).(0);
+    check_int "load" k (State_space.load space i)
+  done
+
+let test_space_weighted () =
+  (* weights (1,2), capacity 4: k1 + 2 k2 <= 4. *)
+  let space = State_space.create ~weights:[| 1; 2 |] ~capacity:4 in
+  (* k2=0: k1 in 0..4 (5); k2=1: k1 in 0..2 (3); k2=2: k1=0 (1). *)
+  check_int "size" 9 (State_space.size space);
+  check_bool "mem" true (State_space.mem space [| 2; 1 |]);
+  check_bool "not mem" false (State_space.mem space [| 3; 1 |]);
+  check_int "load" 4 (State_space.load space (State_space.index space [| 2; 1 |]))
+
+let test_space_roundtrip_all () =
+  let space = State_space.create ~weights:[| 1; 2; 3 |] ~capacity:7 in
+  State_space.iter space (fun i k ->
+      check_int "index(state(i)) = i" i (State_space.index space (Array.copy k)));
+  let counted = State_space.fold space ~init:0 ~f:(fun acc _ _ -> acc + 1) in
+  check_int "fold count" (State_space.size space) counted
+
+let test_space_errors () =
+  check_raises_invalid "zero weight" (fun () ->
+      ignore (State_space.create ~weights:[| 0 |] ~capacity:3));
+  check_raises_invalid "negative capacity" (fun () ->
+      ignore (State_space.create ~weights:[| 1 |] ~capacity:(-1)));
+  let space = State_space.create ~weights:[| 1 |] ~capacity:2 in
+  check_raises_invalid "state out of range" (fun () ->
+      ignore (State_space.state space 99));
+  (match State_space.index space [| 7 |] with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "index of absent state should raise Not_found")
+
+let test_space_capacity_zero () =
+  let space = State_space.create ~weights:[| 1; 1 |] ~capacity:0 in
+  check_int "only origin" 1 (State_space.size space)
+
+(* ---------- CTMC solvers ---------- *)
+
+(* M/M/1/K: birth lambda, death mu; pi(k) ∝ (lambda/mu)^k. *)
+let mm1k ~lambda ~mu ~k =
+  Ctmc.build ~states:(k + 1) ~f:(fun i ->
+      let up = if i < k then [ (i + 1, lambda) ] else [] in
+      let down = if i > 0 then [ (i - 1, float_of_int 1 *. mu) ] else [] in
+      up @ down)
+
+let mm1k_exact ~lambda ~mu ~k =
+  let rho = lambda /. mu in
+  let weights = Array.init (k + 1) (fun i -> Float.pow rho (float_of_int i)) in
+  let total = Array.fold_left ( +. ) 0. weights in
+  Array.map (fun w -> w /. total) weights
+
+let check_distribution ?(tol = 1e-10) label expected actual =
+  Array.iteri
+    (fun i p -> check_abs (Printf.sprintf "%s pi(%d)" label i) p actual.(i) ~tol)
+    expected
+
+let test_gth_mm1k () =
+  let chain = mm1k ~lambda:0.7 ~mu:1.3 ~k:10 in
+  check_distribution "gth" (mm1k_exact ~lambda:0.7 ~mu:1.3 ~k:10)
+    (Ctmc.solve_gth chain)
+
+let test_power_mm1k () =
+  let chain = mm1k ~lambda:0.7 ~mu:1.3 ~k:10 in
+  check_distribution "power" ~tol:1e-9
+    (mm1k_exact ~lambda:0.7 ~mu:1.3 ~k:10)
+    (Ctmc.solve_power chain)
+
+let test_gauss_seidel_mm1k () =
+  let chain = mm1k ~lambda:0.7 ~mu:1.3 ~k:10 in
+  check_distribution "gauss-seidel" ~tol:1e-9
+    (mm1k_exact ~lambda:0.7 ~mu:1.3 ~k:10)
+    (Ctmc.solve_gauss_seidel chain)
+
+let test_solvers_agree_random () =
+  (* A fixed pseudo-random strongly-connected chain. *)
+  let n = 12 in
+  let rate i j = 0.1 +. float_of_int (((i * 7) + (j * 13)) mod 17) /. 5. in
+  let chain =
+    Ctmc.build ~states:n ~f:(fun i ->
+        [ ((i + 1) mod n, rate i ((i + 1) mod n)); ((i + 5) mod n, rate i 5) ])
+  in
+  let gth = Ctmc.solve_gth chain in
+  let power = Ctmc.solve_power chain in
+  let gs = Ctmc.solve_gauss_seidel chain in
+  Array.iteri (fun i p -> check_abs "gth=power" p power.(i) ~tol:1e-9) gth;
+  Array.iteri (fun i p -> check_abs "gth=gs" p gs.(i) ~tol:1e-9) gth
+
+let test_two_state_exact () =
+  let chain = Ctmc.create ~states:2 ~transitions:[ (0, 1, 2.); (1, 0, 3.) ] in
+  let pi = Ctmc.solve_gth chain in
+  check_close "pi0" 0.6 pi.(0);
+  check_close "pi1" 0.4 pi.(1)
+
+let test_duplicate_transitions_merge () =
+  let a =
+    Ctmc.create ~states:2 ~transitions:[ (0, 1, 1.); (0, 1, 1.); (1, 0, 3.) ]
+  in
+  let b = Ctmc.create ~states:2 ~transitions:[ (0, 1, 2.); (1, 0, 3.) ] in
+  let pa = Ctmc.solve_gth a and pb = Ctmc.solve_gth b in
+  check_close "merged rates" pb.(0) pa.(0);
+  check_close "exit rate" 2. (Ctmc.exit_rate a 0)
+
+let test_reducible_fails () =
+  let chain = Ctmc.create ~states:3 ~transitions:[ (0, 1, 1.); (1, 0, 1.) ] in
+  check_raises_failure "gth reducible" (fun () -> ignore (Ctmc.solve_gth chain))
+
+let test_detailed_balance () =
+  (* Birth-death chains are reversible... *)
+  let chain = mm1k ~lambda:0.7 ~mu:1.3 ~k:6 in
+  let pi = Ctmc.solve_gth chain in
+  check_bool "birth-death reversible" true
+    (Ctmc.detailed_balance_violation chain ~pi < 1e-12);
+  (* ... a directed 3-cycle is not. *)
+  let cycle =
+    Ctmc.create ~states:3
+      ~transitions:[ (0, 1, 1.); (1, 2, 1.); (2, 0, 1.); (1, 0, 0.2);
+                     (2, 1, 0.2); (0, 2, 0.2) ]
+  in
+  let pi = Ctmc.solve_gth cycle in
+  check_bool "cycle not reversible" true
+    (Ctmc.detailed_balance_violation cycle ~pi > 0.1)
+
+let test_ctmc_validation () =
+  check_raises_invalid "self loop" (fun () ->
+      ignore (Ctmc.create ~states:2 ~transitions:[ (0, 0, 1.) ]));
+  check_raises_invalid "zero rate" (fun () ->
+      ignore (Ctmc.create ~states:2 ~transitions:[ (0, 1, 0.) ]));
+  check_raises_invalid "out of range" (fun () ->
+      ignore (Ctmc.create ~states:2 ~transitions:[ (0, 5, 1.) ]));
+  check_raises_invalid "no states" (fun () ->
+      ignore (Ctmc.create ~states:0 ~transitions:[]))
+
+let test_single_state () =
+  let chain = Ctmc.create ~states:1 ~transitions:[] in
+  let pi = Ctmc.solve_gth chain in
+  check_close "trivial" 1. pi.(0)
+
+(* ---------- transient analysis ---------- *)
+
+module Transient = Crossbar_markov.Transient
+
+let test_transient_two_state_exact () =
+  (* Two-state chain 0 -(a)-> 1, 1 -(b)-> 0 from state 0:
+     pi_0(t) = b/(a+b) + a/(a+b) e^(-(a+b)t). *)
+  let a = 2. and b = 3. in
+  let chain = Ctmc.create ~states:2 ~transitions:[ (0, 1, a); (1, 0, b) ] in
+  List.iter
+    (fun time ->
+      let pi = Transient.distribution chain ~initial:[| 1.; 0. |] ~time in
+      let expected =
+        (b /. (a +. b)) +. (a /. (a +. b) *. exp (-.(a +. b) *. time))
+      in
+      check_abs (Printf.sprintf "pi_0(%g)" time) expected pi.(0) ~tol:1e-10;
+      check_abs "mass" 1. (pi.(0) +. pi.(1)) ~tol:1e-12)
+    [ 0.; 0.1; 0.5; 1.; 5. ]
+
+let test_transient_converges_to_stationary () =
+  let chain = mm1k ~lambda:0.7 ~mu:1.3 ~k:6 in
+  let initial = Array.make 7 0. in
+  initial.(6) <- 1.;
+  let stationary = Ctmc.solve_gth chain in
+  let late = Transient.distribution chain ~initial ~time:200. in
+  Array.iteri
+    (fun i p -> check_abs "t -> infinity" p late.(i) ~tol:1e-9)
+    stationary;
+  (* ... monotone approach in total variation at a few checkpoints. *)
+  let tv t =
+    let pi = Transient.distribution chain ~initial ~time:t in
+    let d = ref 0. in
+    Array.iteri (fun i p -> d := !d +. Float.abs (p -. stationary.(i))) pi;
+    !d
+  in
+  check_bool "closer at 5 than 1" true (tv 5. < tv 1.);
+  check_bool "closer at 20 than 5" true (tv 20. < tv 5.)
+
+let test_transient_reward_and_guards () =
+  let chain = Ctmc.create ~states:2 ~transitions:[ (0, 1, 1.); (1, 0, 1.) ] in
+  let reward = [| 1.; 0. |] in
+  let at_zero =
+    Transient.expected_reward chain ~initial:[| 1.; 0. |] ~time:0. ~reward
+  in
+  check_close "reward at 0" 1. at_zero;
+  let late =
+    Transient.expected_reward chain ~initial:[| 1.; 0. |] ~time:50. ~reward
+  in
+  check_abs "reward at infinity" 0.5 late ~tol:1e-9;
+  check_raises_invalid "negative time" (fun () ->
+      ignore (Transient.distribution chain ~initial:[| 1.; 0. |] ~time:(-1.)));
+  check_raises_invalid "bad initial" (fun () ->
+      ignore (Transient.distribution chain ~initial:[| 0.7; 0.7 |] ~time:1.))
+
+let test_time_to_stationarity () =
+  let chain = Ctmc.create ~states:2 ~transitions:[ (0, 1, 5.); (1, 0, 5.) ] in
+  let t =
+    Transient.time_to_stationarity chain ~initial:[| 1.; 0. |] ~distance:1e-3
+  in
+  (* Mixing rate 10: tv(t) = 0.5 e^(-10 t) < 1e-3 around t = 0.62; the
+     doubling search returns the first power-of-two multiple past it. *)
+  check_bool "bracketed" true (t > 0.3 && t < 2.6);
+  check_close "already stationary" 0.
+    (Transient.time_to_stationarity chain ~initial:[| 0.5; 0.5 |])
+
+let space_props =
+  [
+    QCheck2.Test.make ~name:"state space size matches enumeration bound"
+      ~count:100
+      QCheck2.Gen.(pair (int_range 1 3) (int_range 0 10))
+      (fun (weight, capacity) ->
+        let space = State_space.create ~weights:[| weight |] ~capacity in
+        State_space.size space = (capacity / weight) + 1);
+    QCheck2.Test.make ~name:"loads never exceed capacity" ~count:50
+      QCheck2.Gen.(int_range 0 12)
+      (fun capacity ->
+        let space = State_space.create ~weights:[| 1; 2 |] ~capacity in
+        State_space.fold space ~init:true ~f:(fun acc i _ ->
+            acc && State_space.load space i <= capacity));
+  ]
+
+let () =
+  Alcotest.run "markov"
+    [
+      ( "state-space",
+        [
+          case "single class" test_space_single_class;
+          case "weighted" test_space_weighted;
+          case "roundtrip all" test_space_roundtrip_all;
+          case "errors" test_space_errors;
+          case "capacity zero" test_space_capacity_zero;
+        ]
+        @ List.map qcheck space_props );
+      ( "ctmc",
+        [
+          case "gth mm1k" test_gth_mm1k;
+          case "power mm1k" test_power_mm1k;
+          case "gauss-seidel mm1k" test_gauss_seidel_mm1k;
+          case "solvers agree" test_solvers_agree_random;
+          case "two-state exact" test_two_state_exact;
+          case "duplicate transitions merge" test_duplicate_transitions_merge;
+          case "reducible fails" test_reducible_fails;
+          case "detailed balance" test_detailed_balance;
+          case "validation" test_ctmc_validation;
+          case "single state" test_single_state;
+        ] );
+      ( "transient",
+        [
+          case "two-state exact" test_transient_two_state_exact;
+          case "converges to stationary" test_transient_converges_to_stationary;
+          case "rewards and guards" test_transient_reward_and_guards;
+          case "time to stationarity" test_time_to_stationarity;
+        ] );
+    ]

@@ -1,0 +1,197 @@
+open Helpers
+module Model = Crossbar.Model
+module Measures = Crossbar.Measures
+module Solver = Crossbar.Solver
+
+let solve = Solver.solve ~algorithm:Solver.Convolution
+
+let test_record_consistency () =
+  let model = mixed_model ~inputs:5 ~outputs:4 in
+  let m = solve model in
+  Array.iter
+    (fun (c : Measures.per_class) ->
+      check_close "blocking = 1 - B" (1. -. c.Measures.non_blocking)
+        c.Measures.blocking;
+      check_bool "B in [0,1]" true
+        (c.Measures.non_blocking >= 0. && c.Measures.non_blocking <= 1.))
+    m.Measures.per_class;
+  let busy =
+    Array.fold_left
+      (fun acc (c : Measures.per_class) ->
+        acc +. (float_of_int c.Measures.bandwidth *. c.Measures.concurrency))
+      0. m.Measures.per_class
+  in
+  check_close "busy ports" busy m.Measures.busy_ports;
+  check_close "input util" (busy /. 5.) m.Measures.input_utilization;
+  check_close "output util" (busy /. 4.) m.Measures.output_utilization
+
+let test_throughput_littles_law () =
+  (* X_r = E_r mu_r: completed connections per unit time. *)
+  let model = mixed_model ~inputs:5 ~outputs:5 in
+  let m = solve model in
+  Array.iteri
+    (fun r (c : Measures.per_class) ->
+      check_close "throughput"
+        (c.Measures.concurrency *. Model.service_rate model r)
+        c.Measures.throughput)
+    m.Measures.per_class;
+  check_close "total"
+    (Array.fold_left
+       (fun acc (c : Measures.per_class) -> acc +. c.Measures.throughput)
+       0. m.Measures.per_class)
+    (Measures.total_throughput m)
+
+let test_class_named () =
+  let m = solve (mixed_model ~inputs:4 ~outputs:4) in
+  let c = Measures.class_named m "pascal" in
+  check_int "bandwidth" 2 c.Measures.bandwidth;
+  match Measures.class_named m "nonexistent" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "missing class should raise Not_found"
+
+let test_revenue_weighting () =
+  let m = solve (mixed_model ~inputs:4 ~outputs:4) in
+  let weights = [| 2.; 0.5; 1. |] in
+  let expected =
+    (2. *. m.Measures.per_class.(0).Measures.concurrency)
+    +. (0.5 *. m.Measures.per_class.(1).Measures.concurrency)
+    +. m.Measures.per_class.(2).Measures.concurrency
+  in
+  check_close "weighted" expected (Measures.revenue m ~weights);
+  check_raises_invalid "weight mismatch" (fun () ->
+      ignore (Measures.revenue m ~weights:[| 1. |]))
+
+(* ---------- qualitative behaviour the paper reports ---------- *)
+
+let blocking_of model = (solve model).Measures.per_class.(0).Measures.blocking
+
+let test_blocking_monotone_in_load () =
+  let blocking rate =
+    blocking_of (Model.square ~size:8 ~classes:[ poisson rate ])
+  in
+  let previous = ref (blocking 0.01) in
+  List.iter
+    (fun rate ->
+      let b = blocking rate in
+      check_bool "monotone" true (b >= !previous);
+      previous := b)
+    [ 0.05; 0.1; 0.5; 1.0; 2.0; 5.0 ]
+
+let test_poisson_upper_bounds_smooth () =
+  (* Figure 1's claim: the degenerate Poisson case upper-bounds Bernoulli
+     (smooth) traffic of the same alpha~. *)
+  let blocking beta =
+    blocking_of
+      (Model.square ~size:64
+         ~classes:
+           [
+             Crossbar.Traffic.create ~bandwidth:1 ~alpha:0.0024 ~beta
+               ~service_rate:1. ();
+           ])
+  in
+  let poisson = blocking 0. in
+  List.iter
+    (fun beta ->
+      check_bool "smooth below poisson" true (blocking beta <= poisson))
+    [ -1e-6; -2e-6; -4e-6 ]
+
+let test_peaky_exceeds_poisson () =
+  (* Figure 2's claim: Pascal traffic has higher blocking. *)
+  let blocking beta =
+    blocking_of
+      (Model.square ~size:64
+         ~classes:
+           [
+             Crossbar.Traffic.create ~bandwidth:1 ~alpha:0.0024 ~beta
+               ~service_rate:1. ();
+           ])
+  in
+  let poisson = blocking 0. in
+  let previous = ref poisson in
+  List.iter
+    (fun beta ->
+      let b = blocking beta in
+      check_bool "peaky above poisson" true (b > poisson);
+      check_bool "increasing in beta" true (b >= !previous);
+      previous := b)
+    [ 0.0006; 0.0012; 0.0024 ]
+
+let test_multirate_penalty () =
+  (* Figure 4's claim: at equal total load, a=2 traffic blocks (much)
+     more than a=1 traffic. *)
+  List.iter
+    (fun n ->
+      let rho1, rho2 = Crossbar_workloads.Paper.table1_loads n in
+      let single =
+        blocking_of
+          (Model.square ~size:n ~classes:[ poisson ~name:"s" rho1 ])
+      in
+      let double =
+        blocking_of
+          (Model.square ~size:n
+             ~classes:[ poisson ~name:"d" ~bandwidth:2 rho2 ])
+      in
+      check_bool
+        (Printf.sprintf "a=2 blocks more at N=%d" n)
+        true (double > single))
+    [ 4; 8; 16; 32 ]
+
+let test_poisson_limit_of_bpp () =
+  (* beta -> 0 converges to the Poisson measures (the BPP unification). *)
+  let poisson_m =
+    solve (Model.square ~size:6 ~classes:[ poisson 0.4 ])
+  in
+  let bpp beta =
+    solve
+      (Model.square ~size:6
+         ~classes:
+           [
+             Crossbar.Traffic.create ~bandwidth:1 ~alpha:0.4 ~beta
+               ~service_rate:1. ();
+           ])
+  in
+  let gap beta =
+    Float.abs
+      ((bpp beta).Measures.per_class.(0).Measures.blocking
+      -. poisson_m.Measures.per_class.(0).Measures.blocking)
+  in
+  check_bool "converging" true (gap 1e-4 < gap 1e-2);
+  check_bool "tiny at beta=1e-8" true (gap 1e-8 < 1e-8)
+
+let test_bernoulli_class_never_exceeds_sources () =
+  let model =
+    Model.square ~size:8 ~classes:[ bernoulli ~sources:3 ~rate:5.0 () ]
+  in
+  let m = solve model in
+  check_bool "E <= sources" true
+    (m.Measures.per_class.(0).Measures.concurrency <= 3. +. 1e-12)
+
+let test_saturation_limit () =
+  (* Infinite load on a=1 single class: every port pair busy, E -> N. *)
+  let model = Model.square ~size:4 ~classes:[ poisson 1e7 ] in
+  let m = solve model in
+  check_abs "E ~ N" 4. m.Measures.per_class.(0).Measures.concurrency ~tol:1e-2;
+  check_abs "blocking ~ 1" 1. m.Measures.per_class.(0).Measures.blocking
+    ~tol:1e-2
+
+let () =
+  Alcotest.run "measures"
+    [
+      ( "records",
+        [
+          case "consistency" test_record_consistency;
+          case "throughput" test_throughput_littles_law;
+          case "class_named" test_class_named;
+          case "revenue weighting" test_revenue_weighting;
+        ] );
+      ( "qualitative",
+        [
+          case "monotone in load" test_blocking_monotone_in_load;
+          case "poisson bounds smooth (fig 1)" test_poisson_upper_bounds_smooth;
+          case "peaky exceeds poisson (fig 2)" test_peaky_exceeds_poisson;
+          case "multirate penalty (fig 4)" test_multirate_penalty;
+          case "poisson limit of BPP" test_poisson_limit_of_bpp;
+          case "finite source cap" test_bernoulli_class_never_exceeds_sources;
+          case "saturation" test_saturation_limit;
+        ] );
+    ]

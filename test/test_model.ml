@@ -1,0 +1,126 @@
+open Helpers
+module Model = Crossbar.Model
+module Traffic = Crossbar.Traffic
+module Special = Crossbar_numerics.Special
+
+let test_dimensions () =
+  let model = mixed_model ~inputs:6 ~outputs:4 in
+  check_int "inputs" 6 (Model.inputs model);
+  check_int "outputs" 4 (Model.outputs model);
+  check_int "capacity" 4 (Model.capacity model);
+  check_int "classes" 3 (Model.num_classes model)
+
+let test_per_pair_scaling () =
+  (* alpha_r = alpha~_r / C(N2, a_r). *)
+  let model =
+    Model.create ~inputs:8 ~outputs:6
+      ~classes:
+        [
+          poisson ~name:"one" ~bandwidth:1 0.6;
+          pascal ~name:"two" ~bandwidth:2 ~alpha:0.9 ~beta:0.3 ();
+        ]
+  in
+  check_close "a=1 alpha" (0.6 /. 6.) (Model.alpha model 0);
+  check_close "a=2 alpha" (0.9 /. Special.binomial 6 2) (Model.alpha model 1);
+  check_close "a=2 beta" (0.3 /. 15.) (Model.beta model 1);
+  check_close "rho" (0.6 /. 6.) (Model.rho model 0);
+  check_close "beta/mu" (0.3 /. 15.) (Model.beta_over_mu model 1)
+
+let test_arrival_rate () =
+  let model =
+    Model.square ~size:4 ~classes:[ bernoulli ~sources:3 ~rate:0.4 () ]
+  in
+  (* per-pair: alpha = 1.2/4 = 0.3, beta = -0.1. *)
+  check_close "k=0" 0.3 (Model.arrival_rate model ~class_index:0 ~concurrent:0);
+  check_close "k=2" 0.1 (Model.arrival_rate model ~class_index:0 ~concurrent:2);
+  check_close "k=3 exhausted" 0.
+    (Model.arrival_rate model ~class_index:0 ~concurrent:3);
+  check_close "k=5 clamped" 0.
+    (Model.arrival_rate model ~class_index:0 ~concurrent:5)
+
+let test_max_concurrent () =
+  let model =
+    Model.square ~size:9
+      ~classes:
+        [
+          poisson ~name:"wide" ~bandwidth:4 1.0;
+          bernoulli ~name:"few" ~sources:2 ~rate:0.1 ();
+        ]
+  in
+  check_int "by capacity" 2 (Model.max_concurrent model 0);
+  check_int "by sources" 2 (Model.max_concurrent model 1)
+
+let test_validation () =
+  check_raises_invalid "zero inputs" (fun () ->
+      ignore (Model.create ~inputs:0 ~outputs:2 ~classes:[ poisson 0.1 ]));
+  check_raises_invalid "duplicate names" (fun () ->
+      ignore
+        (Model.square ~size:2
+           ~classes:[ poisson ~name:"x" 0.1; poisson ~name:"x" 0.2 ]));
+  (* Bernoulli with non-integral sources reachable inside the space. *)
+  check_raises_invalid "non-integral bernoulli" (fun () ->
+      ignore
+        (Model.square ~size:8
+           ~classes:
+             [
+               Traffic.create ~bandwidth:1 ~alpha:0.8 ~beta:(-0.32)
+                 ~service_rate:1. ();
+             ]));
+  (* The same class is fine when the rate stays positive in-space: with
+     size 2 only k <= 2 is reachable and alpha + beta k > 0 there.  The
+     per-pair ratio alpha/beta is what matters; C(N2,1) scaling keeps it. *)
+  let small =
+    Model.square ~size:2
+      ~classes:
+        [
+          Traffic.create ~bandwidth:1 ~alpha:0.8 ~beta:(-0.32) ~service_rate:1. ();
+        ]
+  in
+  check_int "accepted" 1 (Model.num_classes small)
+
+let test_map_class () =
+  let model = Model.square ~size:3 ~classes:[ poisson ~name:"a" 0.3 ] in
+  let doubled = Model.map_class model 0 (fun c -> Traffic.scale_load c 2.) in
+  check_close "mapped" 2. (Model.alpha doubled 0 /. Model.alpha model 0);
+  check_raises_invalid "bad index" (fun () ->
+      ignore (Model.map_class model 5 Fun.id))
+
+let test_state_space () =
+  let model =
+    Model.square ~size:4
+      ~classes:[ poisson ~name:"a" 0.1; poisson ~name:"b" ~bandwidth:2 0.1 ]
+  in
+  let space = Model.state_space model in
+  (* k1 + 2 k2 <= 4: (5 + 3 + 1) states. *)
+  check_int "space size" 9 (Crossbar_markov.State_space.size space);
+  (* Cached: same physical space on second call. *)
+  check_bool "cached" true (Model.state_space model == space)
+
+let test_is_poisson_groups () =
+  let model = mixed_model ~inputs:4 ~outputs:4 in
+  check_bool "R1" true (Model.is_poisson model 0);
+  check_bool "R2 pascal" false (Model.is_poisson model 1);
+  check_bool "R2 bernoulli" false (Model.is_poisson model 2)
+
+let test_bandwidths () =
+  let model = mixed_model ~inputs:4 ~outputs:4 in
+  check_bool "bandwidths" true (Model.bandwidths model = [| 1; 2; 1 |]);
+  check_int "bandwidth 1" 2 (Model.bandwidth model 1);
+  check_close "service rate" 0.5 (Model.service_rate model 1)
+
+let () =
+  Alcotest.run "model"
+    [
+      ( "model",
+        [
+          case "dimensions" test_dimensions;
+          case "per-pair scaling" test_per_pair_scaling;
+          case "arrival rate" test_arrival_rate;
+          case "max concurrent" test_max_concurrent;
+          case "validation" test_validation;
+          case "map class" test_map_class;
+          case "state space" test_state_space;
+          case "R1/R2 groups" test_is_poisson_groups;
+          case "bandwidths" test_bandwidths;
+        ] );
+    ]

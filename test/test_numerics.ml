@@ -1,0 +1,327 @@
+open Helpers
+module L = Crossbar_numerics.Logspace
+module Special = Crossbar_numerics.Special
+module Prob = Crossbar_numerics.Prob
+module Kahan = Crossbar_numerics.Kahan
+module Derivative = Crossbar_numerics.Derivative
+module Linalg = Crossbar_numerics.Linalg
+module Roots = Crossbar_numerics.Roots
+
+(* ---------- Logspace ---------- *)
+
+let test_logspace_roundtrip () =
+  List.iter
+    (fun x -> check_close "roundtrip" x L.(to_float (of_float x)))
+    [ 0.5; 1.; 3.25; 1e-200; 1e200 ];
+  check_bool "zero" true (L.is_zero L.zero);
+  check_close "one" 1. (L.to_float L.one)
+
+let test_logspace_arithmetic () =
+  let a = L.of_float 3. and b = L.of_float 4. in
+  check_close "add" 7. L.(to_float (add a b));
+  check_close "mul" 12. L.(to_float (mul a b));
+  check_close "div" 0.75 L.(to_float (div a b));
+  check_close "sub" 1. L.(to_float (sub b a));
+  check_close "ratio" 0.75 (L.ratio a b);
+  check_close "add zero" 3. L.(to_float (add a zero));
+  check_close "mul zero" 0. L.(to_float (mul a zero));
+  check_bool "compare" true (L.compare a b < 0)
+
+let test_logspace_extreme () =
+  (* Values far outside the double range. *)
+  let huge = L.of_log 1000. and tiny = L.of_log (-1000.) in
+  check_close "huge*tiny" 1. L.(to_float (mul huge tiny));
+  let sum = L.sum [| huge; huge; huge |] in
+  check_close "sum log" (1000. +. log 3.) (L.to_log sum) ~tol:1e-12;
+  check_close "sum with zeros" (L.to_log huge)
+    (L.to_log (L.sum [| L.zero; huge; L.zero |]))
+
+let test_logspace_errors () =
+  check_raises_invalid "of_float neg" (fun () -> L.of_float (-1.));
+  check_raises_invalid "sub neg" (fun () -> L.(sub (of_float 1.) (of_float 2.)));
+  (match L.(div one zero) with
+  | exception Division_by_zero -> ()
+  | _ -> Alcotest.fail "div by zero should raise");
+  (* Tiny negative differences from rounding clamp to zero. *)
+  let a = L.of_float 1. in
+  check_bool "sub self is zero" true (L.is_zero (L.sub a a))
+
+let logspace_props =
+  let pos = QCheck2.Gen.map Float.abs (QCheck2.Gen.float_range 1e-6 1e6) in
+  [
+    QCheck2.Test.make ~name:"logspace add commutes" ~count:200
+      QCheck2.Gen.(pair pos pos)
+      (fun (x, y) ->
+        let open L in
+        Float.abs
+          (to_log (add (of_float x) (of_float y))
+          -. to_log (add (of_float y) (of_float x)))
+        < 1e-12);
+    QCheck2.Test.make ~name:"logspace add matches float" ~count:200
+      QCheck2.Gen.(pair pos pos)
+      (fun (x, y) ->
+        let got = L.(to_float (add (of_float x) (of_float y))) in
+        Float.abs (got -. (x +. y)) /. (x +. y) < 1e-12);
+    QCheck2.Test.make ~name:"logspace sub inverts add" ~count:200
+      QCheck2.Gen.(pair pos pos)
+      (fun (x, y) ->
+        let open L in
+        let back = to_float (sub (add (of_float x) (of_float y)) (of_float y)) in
+        Float.abs (back -. x) /. x < 1e-9);
+  ]
+
+(* ---------- Kahan ---------- *)
+
+let test_kahan_catastrophic () =
+  let acc = Kahan.create () in
+  Kahan.add acc 1e16;
+  Kahan.add acc 1.;
+  Kahan.add acc (-1e16);
+  check_close "compensated" 1. (Kahan.total acc);
+  Kahan.reset acc;
+  check_close "reset" 0. (Kahan.total acc)
+
+let test_kahan_sum_many () =
+  (* Summing n copies of 0.1 naively drifts; compensated must not. *)
+  let values = Array.make 1_000_000 0.1 in
+  check_close "sum 1e6 * 0.1" 100000. (Kahan.sum values) ~tol:1e-14
+
+let test_kahan_dot () =
+  check_close "dot" 32. (Kahan.dot [| 1.; 2.; 3. |] [| 4.; 5.; 6. |]);
+  check_raises_invalid "dot mismatch" (fun () ->
+      Kahan.dot [| 1. |] [| 1.; 2. |])
+
+(* ---------- Special functions ---------- *)
+
+let test_lgamma_known () =
+  check_abs "lgamma 1" 0. (Special.lgamma 1.) ~tol:1e-13;
+  check_abs "lgamma 2" 0. (Special.lgamma 2.) ~tol:1e-13;
+  check_close "lgamma 0.5" (0.5 *. log Float.pi) (Special.lgamma 0.5) ~tol:1e-12;
+  check_close "lgamma 5 = log 24" (log 24.) (Special.lgamma 5.) ~tol:1e-13;
+  check_close "lgamma 101 = log 100!" (Special.log_factorial 100)
+    (Special.lgamma 101.) ~tol:1e-12;
+  check_raises_invalid "lgamma 0" (fun () -> Special.lgamma 0.)
+
+let test_log_factorial () =
+  check_close "0!" 0. (Special.log_factorial 0);
+  check_close "5!" (log 120.) (Special.log_factorial 5) ~tol:1e-14;
+  (* Table/lgamma crossover must be seamless. *)
+  let step =
+    Special.log_factorial 1024 -. Special.log_factorial 1023
+  in
+  check_close "crossover step" (log 1024.) step ~tol:1e-10;
+  check_raises_invalid "negative" (fun () -> Special.log_factorial (-1))
+
+let test_permutations () =
+  check_close "P(5,2)" 20. (Special.permutations 5 2);
+  check_close "P(5,0)" 1. (Special.permutations 5 0);
+  check_close "P(5,5)" 120. (Special.permutations 5 5);
+  check_close "P(5,6)" 0. (Special.permutations 5 6);
+  check_close "log P(50,10)"
+    (Special.log_factorial 50 -. Special.log_factorial 40)
+    (Special.log_permutations 50 10) ~tol:1e-13;
+  check_bool "log P over" true (Special.log_permutations 3 4 = neg_infinity)
+
+let test_binomial () =
+  check_close "C(10,3)" 120. (Special.binomial 10 3);
+  check_close "C(10,7)" 120. (Special.binomial 10 7);
+  check_close "C(10,0)" 1. (Special.binomial 10 0);
+  check_close "C(10,11)" 0. (Special.binomial 10 11);
+  check_close "C(52,5)" 2598960. (Special.binomial 52 5);
+  check_close "log C(100,50)" (log (Special.binomial 100 50))
+    (Special.log_binomial 100 50) ~tol:1e-12
+
+let test_rising_factorial () =
+  (* rising(c, k) = c (c+1) ... (c+k-1) *)
+  check_close "rising(2,3)" (log (2. *. 3. *. 4.))
+    (Special.log_rising_factorial 2. 3) ~tol:1e-12;
+  check_close "rising(0.5,2)" (log 0.75)
+    (Special.log_rising_factorial 0.5 2) ~tol:1e-12;
+  check_close "rising(c,0)" 0. (Special.log_rising_factorial 3.7 0) ~tol:1e-12
+
+let test_erf () =
+  check_abs "erf 0" 0. (Special.erf 0.) ~tol:2e-7;
+  check_abs "erf 1" 0.8427007929 (Special.erf 1.) ~tol:2e-7;
+  check_abs "erf 2" 0.9953222650 (Special.erf 2.) ~tol:2e-7;
+  check_close "erf odd" (-.Special.erf 0.7) (Special.erf (-0.7)) ~tol:1e-12;
+  check_abs "erfc 1" (1. -. 0.8427007929) (Special.erfc 1.) ~tol:2e-7
+
+(* ---------- Prob ---------- *)
+
+let test_normal () =
+  check_abs "cdf 0" 0.5 (Prob.normal_cdf 0.) ~tol:1e-9;
+  check_abs "cdf 1.96" 0.975 (Prob.normal_cdf 1.96) ~tol:1e-4;
+  check_abs "cdf -1.96" 0.025 (Prob.normal_cdf (-1.96)) ~tol:1e-4;
+  check_abs "quantile .975" 1.959964 (Prob.normal_quantile 0.975) ~tol:1e-5;
+  check_abs "quantile .5" 0. (Prob.normal_quantile 0.5) ~tol:1e-9;
+  check_raises_invalid "quantile 0" (fun () -> Prob.normal_quantile 0.)
+
+let test_incomplete_beta () =
+  check_close "I_0" 0. (Prob.incomplete_beta ~a:2. ~b:3. 0.);
+  check_close "I_1" 1. (Prob.incomplete_beta ~a:2. ~b:3. 1.);
+  (* I_x(1, b) = 1 - (1-x)^b *)
+  check_close "I_x(1,4)"
+    (1. -. Float.pow 0.7 4.)
+    (Prob.incomplete_beta ~a:1. ~b:4. 0.3)
+    ~tol:1e-12;
+  (* Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a). *)
+  let a = 2.5 and b = 1.25 and x = 0.37 in
+  check_close "symmetry"
+    (1. -. Prob.incomplete_beta ~a:b ~b:a (1. -. x))
+    (Prob.incomplete_beta ~a ~b x)
+    ~tol:1e-12
+
+let test_student_t () =
+  check_abs "cdf 0" 0.5 (Prob.student_t_cdf ~df:7 0.) ~tol:1e-12;
+  (* Known two-sided critical values. *)
+  check_abs "t(1, .95)" 12.706 (Prob.student_t_critical ~confidence:0.95 ~df:1)
+    ~tol:2e-3;
+  check_abs "t(10, .95)" 2.228 (Prob.student_t_critical ~confidence:0.95 ~df:10)
+    ~tol:1e-3;
+  check_abs "t(30, .95)" 2.042 (Prob.student_t_critical ~confidence:0.95 ~df:30)
+    ~tol:1e-3;
+  check_abs "t(29, .99)" 2.756 (Prob.student_t_critical ~confidence:0.99 ~df:29)
+    ~tol:1e-3;
+  (* Large df approaches the normal quantile. *)
+  check_abs "t(10000) ~ z" 1.9600
+    (Prob.student_t_critical ~confidence:0.95 ~df:10000)
+    ~tol:1e-3;
+  check_raises_invalid "df 0" (fun () ->
+      ignore (Prob.student_t_critical ~confidence:0.95 ~df:0))
+
+(* ---------- Derivative ---------- *)
+
+let test_derivative_orders () =
+  let f = exp and x = 0.7 in
+  let truth = exp x in
+  let err scheme = Float.abs (scheme -. truth) /. truth in
+  let forward = err (Derivative.forward ~f x) in
+  let central = err (Derivative.central ~f x) in
+  let richardson = err (Derivative.richardson ~f x) in
+  check_bool "central beats forward" true (central < forward);
+  check_bool "richardson near machine" true (richardson < 1e-10)
+
+let test_derivative_trig () =
+  check_abs "d sin at pi/3" (cos (Float.pi /. 3.))
+    (Derivative.richardson ~f:sin (Float.pi /. 3.))
+    ~tol:1e-10;
+  check_abs "d x^3 at 2" 12. (Derivative.central ~f:(fun x -> x ** 3.) 2.)
+    ~tol:1e-5
+
+(* ---------- Linalg ---------- *)
+
+let test_linalg_solve () =
+  let a = [| [| 2.; 1. |]; [| 1.; 3. |] |] in
+  let x = Linalg.solve a [| 3.; 5. |] in
+  check_close "x0" 0.8 x.(0);
+  check_close "x1" 1.4 x.(1);
+  (* Pivoting: zero on the diagonal. *)
+  let b = [| [| 0.; 1. |]; [| 1.; 0. |] |] in
+  let y = Linalg.solve b [| 2.; 3. |] in
+  check_close "pivot x0" 3. y.(0);
+  check_close "pivot x1" 2. y.(1)
+
+let test_linalg_determinant () =
+  check_close "det identity" 1. (Linalg.determinant (Linalg.identity 4));
+  check_close "det 2x2" (-2.)
+    (Linalg.determinant [| [| 1.; 2. |]; [| 3.; 4. |] |]);
+  check_close "det singular" 0.
+    (Linalg.determinant [| [| 1.; 2. |]; [| 2.; 4. |] |])
+
+let test_linalg_errors () =
+  (match Linalg.solve [| [| 1.; 2. |]; [| 2.; 4. |] |] [| 1.; 1. |] with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "singular solve should fail");
+  check_raises_invalid "dim mismatch" (fun () ->
+      ignore (Linalg.solve (Linalg.identity 2) [| 1. |]));
+  check_raises_invalid "ragged" (fun () ->
+      ignore (Linalg.mat_vec [| [| 1.; 2. |]; [| 3. |] |] [| 1.; 1. |]))
+
+let linalg_props =
+  let gen =
+    QCheck2.Gen.(
+      array_size (return 4) (float_range (-10.) 10.))
+  in
+  [
+    QCheck2.Test.make ~name:"solve(A, A x) = x for dominant A" ~count:100 gen
+      (fun v ->
+        let n = 4 in
+        (* Diagonally dominant => well conditioned. *)
+        let a =
+          Array.init n (fun i ->
+              Array.init n (fun j ->
+                  if i = j then 20. +. Float.abs v.(i) else v.((i + j) mod n) /. 10.))
+        in
+        let x = Array.init n (fun i -> v.(i)) in
+        let b = Linalg.mat_vec a x in
+        let solved = Linalg.solve a b in
+        Array.for_all2 (fun u w -> Float.abs (u -. w) < 1e-9) x solved);
+  ]
+
+(* ---------- Roots ---------- *)
+
+let test_roots () =
+  let f x = cos x -. x in
+  let root = Roots.bisection ~f ~lo:0. ~hi:1. () in
+  check_abs "bisection dottie" 0.7390851332 root ~tol:1e-9;
+  let root = Roots.brent ~f ~lo:0. ~hi:1. () in
+  check_abs "brent dottie" 0.7390851332 root ~tol:1e-9;
+  let cube = Roots.brent ~f:(fun x -> (x *. x *. x) -. 8.) ~lo:0. ~hi:10. () in
+  check_abs "brent cube root" 2. cube ~tol:1e-9;
+  check_raises_invalid "not bracketed" (fun () ->
+      ignore (Roots.bisection ~f:(fun x -> x +. 10.) ~lo:0. ~hi:1. ()))
+
+let test_invert_monotone () =
+  let x = Roots.invert_monotone ~f:(fun x -> x *. x) ~target:9. ~lo:0. () in
+  check_abs "sqrt 9" 3. x ~tol:1e-9;
+  let x = Roots.invert_monotone ~f:(fun x -> x ** 3.) ~target:1e6 ~lo:0. () in
+  check_abs "cbrt 1e18" 100. x ~tol:1e-6
+
+let () =
+  Alcotest.run "numerics"
+    [
+      ( "logspace",
+        [
+          case "roundtrip" test_logspace_roundtrip;
+          case "arithmetic" test_logspace_arithmetic;
+          case "extreme magnitudes" test_logspace_extreme;
+          case "errors" test_logspace_errors;
+        ]
+        @ List.map qcheck logspace_props );
+      ( "kahan",
+        [
+          case "catastrophic cancellation" test_kahan_catastrophic;
+          case "long sum" test_kahan_sum_many;
+          case "dot" test_kahan_dot;
+        ] );
+      ( "special",
+        [
+          case "lgamma" test_lgamma_known;
+          case "log_factorial" test_log_factorial;
+          case "permutations" test_permutations;
+          case "binomial" test_binomial;
+          case "rising factorial" test_rising_factorial;
+          case "erf" test_erf;
+        ] );
+      ( "prob",
+        [
+          case "normal" test_normal;
+          case "incomplete beta" test_incomplete_beta;
+          case "student t" test_student_t;
+        ] );
+      ( "derivative",
+        [
+          case "error ordering" test_derivative_orders;
+          case "trig and poly" test_derivative_trig;
+        ] );
+      ( "linalg",
+        [
+          case "solve" test_linalg_solve;
+          case "determinant" test_linalg_determinant;
+          case "errors" test_linalg_errors;
+        ]
+        @ List.map qcheck linalg_props );
+      ( "roots",
+        [ case "brackets" test_roots; case "invert monotone" test_invert_monotone ]
+      );
+    ]

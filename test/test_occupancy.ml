@@ -1,0 +1,129 @@
+open Helpers
+module Model = Crossbar.Model
+module Occupancy = Crossbar.Occupancy
+module General = Crossbar.General
+module Brute = Crossbar.Brute
+module Measures = Crossbar.Measures
+module State_space = Crossbar_markov.State_space
+
+let test_matches_enumeration () =
+  (* The knapsack route must equal the enumerated histogram exactly. *)
+  List.iter
+    (fun (label, model) ->
+      let direct =
+        General.load_distribution ~inputs:(Model.inputs model)
+          ~outputs:(Model.outputs model) ~classes:(General.of_model model)
+      in
+      let knapsack = Occupancy.load_distribution model in
+      check_int (label ^ ": support") (Array.length direct)
+        (Array.length knapsack);
+      Array.iteri
+        (fun j p -> check_abs (label ^ ": P(load)") p knapsack.(j) ~tol:1e-12)
+        direct)
+    (validation_models ())
+
+let test_class_distribution_matches_enumeration () =
+  let model = mixed_model ~inputs:5 ~outputs:4 in
+  let space, pi = Brute.distribution model in
+  for r = 0 to Model.num_classes model - 1 do
+    let expected =
+      Array.make (Model.capacity model / Model.bandwidth model r + 1) 0.
+    in
+    State_space.iter space (fun i k ->
+        expected.(k.(r)) <- expected.(k.(r)) +. pi.(i));
+    let got = Occupancy.class_distribution model ~class_index:r in
+    check_int "support" (Array.length expected) (Array.length got);
+    Array.iteri
+      (fun m p -> check_abs (Printf.sprintf "P(k_%d = %d)" r m) p got.(m) ~tol:1e-12)
+      expected
+  done
+
+let test_moments_consistent () =
+  let model = mixed_model ~inputs:6 ~outputs:6 in
+  let measures = Crossbar.Solver.solve model in
+  check_close "mean load = busy ports" measures.Measures.busy_ports
+    (Occupancy.mean_load model) ~tol:1e-10;
+  (* Class-distribution means must equal the concurrencies. *)
+  Array.iteri
+    (fun r (c : Measures.per_class) ->
+      let distribution = Occupancy.class_distribution model ~class_index:r in
+      let mean = ref 0. in
+      Array.iteri
+        (fun m p -> mean := !mean +. (float_of_int m *. p))
+        distribution;
+      check_close ("E[k_" ^ c.Measures.name ^ "]") c.Measures.concurrency !mean
+        ~tol:1e-10)
+    measures.Measures.per_class
+
+let test_large_switch_scalability () =
+  (* No enumeration: a 256x256 switch is fine, and the distribution ties
+     back to the recurrence solvers. *)
+  let model = Crossbar_workloads.Paper.operating_point_model 256 in
+  let distribution = Occupancy.load_distribution model in
+  check_int "support" 257 (Array.length distribution);
+  check_close "normalised" 1. (Array.fold_left ( +. ) 0. distribution) ~tol:1e-9;
+  let measures = Crossbar.Solver.solve model in
+  check_close "mean ties to solver" measures.Measures.busy_ports
+    (Occupancy.mean_load model) ~tol:1e-8
+
+let test_quantiles () =
+  let model =
+    Model.square ~size:16 ~classes:[ poisson ~name:"t" 0.5 ]
+  in
+  let q50 = Occupancy.load_quantile model ~probability:0.5 in
+  let q99 = Occupancy.load_quantile model ~probability:0.99 in
+  check_bool "ordered" true (q50 <= q99);
+  check_bool "in range" true (q99 <= 16);
+  (* Cross-check against the cumulative histogram. *)
+  let distribution = Occupancy.load_distribution model in
+  let cumulative upto =
+    let total = ref 0. in
+    for j = 0 to upto do
+      total := !total +. distribution.(j)
+    done;
+    !total
+  in
+  check_bool "q99 reaches 0.99" true (cumulative q99 >= 0.99);
+  check_bool "q99 minimal" true (q99 = 0 || cumulative (q99 - 1) < 0.99);
+  check_raises_invalid "probability 0" (fun () ->
+      ignore (Occupancy.load_quantile model ~probability:0.))
+
+let test_zero_load_degenerate () =
+  let model = Model.square ~size:4 ~classes:[ poisson 0. ] in
+  let distribution = Occupancy.load_distribution model in
+  check_close "all idle" 1. distribution.(0) ~tol:1e-12
+
+let occupancy_props =
+  [
+    QCheck2.Test.make ~name:"knapsack = enumeration on random models"
+      ~count:80 Helpers.random_model_gen (fun model ->
+        let direct =
+          General.load_distribution ~inputs:(Model.inputs model)
+            ~outputs:(Model.outputs model) ~classes:(General.of_model model)
+        in
+        let knapsack = Occupancy.load_distribution model in
+        Array.for_all2
+          (fun a b -> Float.abs (a -. b) < 1e-10)
+          direct knapsack);
+    QCheck2.Test.make ~name:"mean load = busy ports on random models"
+      ~count:80 Helpers.random_model_gen (fun model ->
+        let measures = Crossbar.Solver.solve model in
+        Float.abs (Occupancy.mean_load model -. measures.Measures.busy_ports)
+        < 1e-9 *. Float.max 1. measures.Measures.busy_ports);
+  ]
+
+let () =
+  Alcotest.run "occupancy"
+    [
+      ( "occupancy",
+        [
+          case "load matches enumeration" test_matches_enumeration;
+          case "class matches enumeration"
+            test_class_distribution_matches_enumeration;
+          case "moments consistent" test_moments_consistent;
+          case "large switch" test_large_switch_scalability;
+          case "quantiles" test_quantiles;
+          case "zero load" test_zero_load_degenerate;
+        ]
+        @ List.map qcheck occupancy_props );
+    ]

@@ -1,0 +1,179 @@
+open Helpers
+module Rng = Crossbar_prng.Rng
+module Variates = Crossbar_prng.Variates
+
+let sample_floats rng n =
+  Array.init n (fun _ -> Rng.float rng)
+
+let mean xs = Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  let m = mean xs in
+  Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs
+  /. float_of_int (Array.length xs - 1)
+
+(* ---------- generator ---------- *)
+
+let test_determinism () =
+  let a = Rng.create ~seed:123 and b = Rng.create ~seed:123 in
+  for _ = 1 to 100 do
+    check_bool "same stream" true (Rng.uint64 a = Rng.uint64 b)
+  done;
+  let c = Rng.create ~seed:124 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.uint64 a <> Rng.uint64 c then differs := true
+  done;
+  check_bool "different seeds differ" true !differs
+
+let test_copy_independent () =
+  let a = Rng.create ~seed:9 in
+  ignore (Rng.uint64 a);
+  let b = Rng.copy a in
+  check_bool "copy continues identically" true (Rng.uint64 a = Rng.uint64 b);
+  ignore (Rng.uint64 a);
+  (* advancing a must not affect b's next draw *)
+  let a' = Rng.copy a in
+  check_bool "streams now diverged" true (Rng.uint64 a' = Rng.uint64 a)
+
+let test_float_range_and_moments () =
+  let rng = Rng.create ~seed:7 in
+  let xs = sample_floats rng 200_000 in
+  Array.iter (fun x -> check_bool "in [0,1)" true (x >= 0. && x < 1.)) xs;
+  check_abs "mean 1/2" 0.5 (mean xs) ~tol:5e-3;
+  check_abs "variance 1/12" (1. /. 12.) (variance xs) ~tol:5e-3
+
+let test_int_bounds () =
+  let rng = Rng.create ~seed:11 in
+  let counts = Array.make 7 0 in
+  for _ = 1 to 70_000 do
+    let v = Rng.int rng ~bound:7 in
+    check_bool "in range" true (v >= 0 && v < 7);
+    counts.(v) <- counts.(v) + 1
+  done;
+  (* Loose uniformity: every bucket within 10% of expectation. *)
+  Array.iter
+    (fun c -> check_abs "bucket" 10000. (float_of_int c) ~tol:1000.)
+    counts;
+  check_raises_invalid "bound 0" (fun () -> ignore (Rng.int rng ~bound:0))
+
+let test_bool_balance () =
+  let rng = Rng.create ~seed:13 in
+  let trues = ref 0 in
+  for _ = 1 to 100_000 do
+    if Rng.bool rng then incr trues
+  done;
+  check_abs "balanced" 50000. (float_of_int !trues) ~tol:1500.
+
+let test_split_streams () =
+  let parent = Rng.create ~seed:21 in
+  let child1 = Rng.split parent in
+  let child2 = Rng.split parent in
+  (* Children and parent must all produce distinct streams. *)
+  let a = Rng.uint64 parent
+  and b = Rng.uint64 child1
+  and c = Rng.uint64 child2 in
+  check_bool "parent <> child1" true (a <> b);
+  check_bool "parent <> child2" true (a <> c);
+  check_bool "child1 <> child2" true (b <> c);
+  (* Split is deterministic given the construction sequence. *)
+  let parent' = Rng.create ~seed:21 in
+  let child1' = Rng.split parent' in
+  check_bool "split deterministic" true (Rng.uint64 child1' = b)
+
+(* ---------- variates ---------- *)
+
+let test_exponential_moments () =
+  let rng = Rng.create ~seed:31 in
+  let xs = Array.init 200_000 (fun _ -> Variates.exponential rng ~rate:2.) in
+  check_abs "mean 1/2" 0.5 (mean xs) ~tol:5e-3;
+  check_abs "var 1/4" 0.25 (variance xs) ~tol:1e-2;
+  Array.iter (fun x -> check_bool "positive" true (x >= 0.)) xs;
+  check_raises_invalid "rate 0" (fun () ->
+      ignore (Variates.exponential rng ~rate:0.))
+
+let test_erlang_moments () =
+  let rng = Rng.create ~seed:37 in
+  let xs = Array.init 100_000 (fun _ -> Variates.erlang rng ~shape:4 ~rate:2.) in
+  check_abs "mean k/rate" 2. (mean xs) ~tol:2e-2;
+  check_abs "var k/rate^2" 1. (variance xs) ~tol:3e-2
+
+let test_hyperexponential_moments () =
+  let rng = Rng.create ~seed:41 in
+  let branches = [| (0.3, 3.); (0.7, 0.7) |] in
+  let expected_mean = (0.3 /. 3.) +. (0.7 /. 0.7) in
+  let xs =
+    Array.init 200_000 (fun _ -> Variates.hyperexponential rng ~branches)
+  in
+  check_abs "mixture mean" expected_mean (mean xs) ~tol:1e-2;
+  check_raises_invalid "bad probabilities" (fun () ->
+      ignore (Variates.hyperexponential rng ~branches:[| (0.5, 1.) |]))
+
+let test_uniform_pareto () =
+  let rng = Rng.create ~seed:43 in
+  let xs = Array.init 100_000 (fun _ -> Variates.uniform rng ~lo:2. ~hi:5.) in
+  Array.iter (fun x -> check_bool "in range" true (x >= 2. && x < 5.)) xs;
+  check_abs "uniform mean" 3.5 (mean xs) ~tol:2e-2;
+  let ps = Array.init 200_000 (fun _ -> Variates.pareto rng ~shape:3. ~scale:2.) in
+  Array.iter (fun x -> check_bool "above scale" true (x >= 2.)) ps;
+  check_abs "pareto mean" 3. (mean ps) ~tol:5e-2
+
+let test_distinct_ints () =
+  let rng = Rng.create ~seed:47 in
+  for _ = 1 to 1000 do
+    let xs = Variates.distinct_ints rng ~bound:10 ~count:4 in
+    check_int "count" 4 (Array.length xs);
+    let seen = Hashtbl.create 8 in
+    Array.iter
+      (fun x ->
+        check_bool "in range" true (x >= 0 && x < 10);
+        check_bool "distinct" false (Hashtbl.mem seen x);
+        Hashtbl.replace seen x ())
+      xs
+  done;
+  (* Full-range draw is a permutation of 0..n-1. *)
+  let all = Variates.distinct_ints rng ~bound:6 ~count:6 in
+  let sorted = Array.copy all in
+  Array.sort compare sorted;
+  check_bool "permutation" true (sorted = [| 0; 1; 2; 3; 4; 5 |]);
+  check_int "empty" 0 (Array.length (Variates.distinct_ints rng ~bound:5 ~count:0));
+  check_raises_invalid "count > bound" (fun () ->
+      ignore (Variates.distinct_ints rng ~bound:3 ~count:4))
+
+let test_distinct_ints_uniform () =
+  (* Every element should be chosen ~ count/bound of the time. *)
+  let rng = Rng.create ~seed:53 in
+  let hits = Array.make 8 0 in
+  let trials = 40_000 in
+  for _ = 1 to trials do
+    Array.iter
+      (fun x -> hits.(x) <- hits.(x) + 1)
+      (Variates.distinct_ints rng ~bound:8 ~count:2)
+  done;
+  let expected = float_of_int trials *. 2. /. 8. in
+  Array.iter
+    (fun h -> check_abs "marginal uniform" expected (float_of_int h) ~tol:(expected *. 0.05))
+    hits
+
+let () =
+  Alcotest.run "prng"
+    [
+      ( "generator",
+        [
+          case "determinism" test_determinism;
+          case "copy" test_copy_independent;
+          case "float moments" test_float_range_and_moments;
+          case "int bounds" test_int_bounds;
+          case "bool balance" test_bool_balance;
+          case "split streams" test_split_streams;
+        ] );
+      ( "variates",
+        [
+          case "exponential" test_exponential_moments;
+          case "erlang" test_erlang_moments;
+          case "hyperexponential" test_hyperexponential_moments;
+          case "uniform and pareto" test_uniform_pareto;
+          case "distinct ints" test_distinct_ints;
+          case "distinct ints marginals" test_distinct_ints_uniform;
+        ] );
+    ]

@@ -1,0 +1,144 @@
+open Helpers
+module Model = Crossbar.Model
+module Brute = Crossbar.Brute
+module Chain = Crossbar.Chain
+module Ctmc = Crossbar_markov.Ctmc
+module State_space = Crossbar_markov.State_space
+
+(* The central soundness claims of the paper, each verified with no
+   product-form assumption:
+   1. the product-form pi matches an exact numerical solve of the chain;
+   2. the chain is reversible (detailed balance holds);
+   3. the state-dependent-service formulation has the same steady state. *)
+
+let test_distribution_normalised () =
+  List.iter
+    (fun (label, model) ->
+      let _, pi = Brute.distribution model in
+      let total = Array.fold_left ( +. ) 0. pi in
+      check_close (label ^ ": sums to 1") 1. total ~tol:1e-12;
+      Array.iter
+        (fun p -> check_bool (label ^ ": non-negative") true (p >= 0.))
+        pi)
+    (validation_models ())
+
+let test_product_form_vs_gth () =
+  List.iter
+    (fun (label, model) ->
+      let _, pi = Brute.distribution model in
+      let pi_gth = Chain.stationary model in
+      Array.iteri
+        (fun i p -> check_abs (label ^ ": pi component") p pi_gth.(i) ~tol:1e-12)
+        pi)
+    (validation_models ())
+
+let test_reversibility () =
+  List.iter
+    (fun (label, model) ->
+      let chain = Chain.arrival_chain model in
+      let pi = Chain.stationary model in
+      check_bool
+        (label ^ ": detailed balance")
+        true
+        (Ctmc.detailed_balance_violation chain ~pi < 1e-12))
+    (validation_models ())
+
+let test_service_view_equivalence () =
+  (* The alternative formulation with unit Poisson arrivals and
+     state-dependent service mu(k) = k mu / (v + delta k) must share the
+     stationary distribution (paper Section 2). *)
+  let model =
+    Crossbar.Model.square ~size:4
+      ~classes:
+        [
+          pascal ~name:"peaky" ~alpha:0.4 ~beta:0.2 ();
+          pascal ~name:"wide" ~bandwidth:2 ~alpha:0.5 ~beta:0.1 ();
+        ]
+  in
+  let pi_arrival = Ctmc.solve_gth (Chain.arrival_chain model) in
+  let pi_service = Ctmc.solve_gth (Chain.service_view_chain model) in
+  Array.iteri
+    (fun i p -> check_abs "same stationary" p pi_service.(i) ~tol:1e-12)
+    pi_arrival
+
+let test_service_view_guard () =
+  (* v_r + delta_r k = alpha_r + beta_r (k - 1) hits zero inside the state
+     space for a finite-source class whose sources can be exhausted; the
+     equivalent service rate would be infinite/negative there. *)
+  let model =
+    Crossbar.Model.square ~size:6
+      ~classes:[ bernoulli ~sources:2 ~rate:0.5 () ]
+  in
+  check_raises_invalid "exhausted source rate" (fun () ->
+      ignore (Chain.service_view_chain model))
+
+let test_log_weight_consistency () =
+  (* pi(k) recomputed from individual weights must match distribution. *)
+  let model = mixed_model ~inputs:4 ~outputs:5 in
+  let space, pi = Brute.distribution model in
+  let log_g =
+    Brute.log_g model ~inputs:(Model.inputs model)
+      ~outputs:(Model.outputs model)
+  in
+  State_space.iter space (fun i k ->
+      let lw =
+        Brute.log_weight model ~inputs:4 ~outputs:5 (Array.copy k)
+      in
+      check_close "pi from weight" pi.(i) (exp (lw -. log_g)) ~tol:1e-10)
+
+let test_empty_load_degenerate () =
+  (* Zero arrival rate: all mass on the empty state. *)
+  let model = Model.square ~size:3 ~classes:[ poisson 0. ] in
+  let space, pi = Brute.distribution model in
+  State_space.iter space (fun i k ->
+      if k.(0) = 0 then check_close "empty state" 1. pi.(i)
+      else check_close "loaded state" 0. pi.(i))
+
+let test_finite_source_truncation () =
+  (* A Bernoulli class with S sources puts zero mass above k = S. *)
+  let model =
+    Model.square ~size:6 ~classes:[ bernoulli ~sources:2 ~rate:0.5 () ]
+  in
+  let space, pi = Brute.distribution model in
+  State_space.iter space (fun i k ->
+      if k.(0) > 2 then check_close "beyond sources" 0. pi.(i))
+
+let test_rectangular_min_constraint () =
+  (* Gamma(N) is capped by min(N1, N2): a 2x9 switch holds at most 2
+     single-bandwidth connections. *)
+  let model =
+    Model.create ~inputs:2 ~outputs:9 ~classes:[ poisson ~name:"t" 5.0 ]
+  in
+  let space, _ = Brute.distribution model in
+  check_int "capacity-limited states" 3 (State_space.size space)
+
+let test_gamma_shape_multirate () =
+  let model =
+    Model.square ~size:5
+      ~classes:[ poisson ~name:"a1" 0.1; poisson ~name:"a2" ~bandwidth:2 0.1 ]
+  in
+  let space = Model.state_space model in
+  (* k1 + 2 k2 <= 5: k2=0 -> 6, k2=1 -> 4, k2=2 -> 2. *)
+  check_int "Gamma(N) size" 12 (State_space.size space)
+
+let () =
+  Alcotest.run "product-form"
+    [
+      ( "soundness",
+        [
+          case "distribution normalised" test_distribution_normalised;
+          case "product form = exact chain solve" test_product_form_vs_gth;
+          case "reversibility" test_reversibility;
+          case "state-dependent-service equivalence"
+            test_service_view_equivalence;
+          case "service view guard" test_service_view_guard;
+          case "log weight consistency" test_log_weight_consistency;
+        ] );
+      ( "structure",
+        [
+          case "zero load degenerate" test_empty_load_degenerate;
+          case "finite source truncation" test_finite_source_truncation;
+          case "rectangular min constraint" test_rectangular_min_constraint;
+          case "multirate Gamma shape" test_gamma_shape_multirate;
+        ] );
+    ]

@@ -1,0 +1,145 @@
+open Helpers
+module Model = Crossbar.Model
+module Revenue = Crossbar.Revenue
+module Measures = Crossbar.Measures
+module Solver = Crossbar.Solver
+
+let two_class ~size ~rho1 ~rho2 ~beta2 =
+  Model.square ~size
+    ~classes:
+      [
+        poisson ~name:"one" rho1;
+        Crossbar.Traffic.create ~name:"two" ~bandwidth:1 ~alpha:rho2
+          ~beta:beta2 ~service_rate:1. ();
+      ]
+
+let weights = [| 1.0; 0.0001 |]
+
+let test_total_is_weighted_concurrency () =
+  let model = two_class ~size:8 ~rho1:0.3 ~rho2:0.2 ~beta2:0.1 in
+  let m = Solver.solve model in
+  check_close "W = sum w E" (Measures.revenue m ~weights)
+    (Revenue.total model ~weights)
+
+let test_reduced_model_preserves_per_pair () =
+  let model = two_class ~size:8 ~rho1:0.3 ~rho2:0.2 ~beta2:0.1 in
+  let reduced = Revenue.reduced_model model ~ports:1 in
+  check_int "smaller" 7 (Model.inputs reduced);
+  for r = 0 to 1 do
+    check_close "per-pair alpha kept" (Model.alpha model r)
+      (Model.alpha reduced r);
+    check_close "per-pair beta kept" (Model.beta model r) (Model.beta reduced r)
+  done;
+  check_raises_invalid "reduce to nothing" (fun () ->
+      ignore (Revenue.reduced_model model ~ports:8))
+
+let test_shadow_cost_positive_here () =
+  (* For these increasing-in-N workloads the marginal switch is worth
+     something: W(N) > W(N-1). *)
+  let model = two_class ~size:8 ~rho1:0.3 ~rho2:0.2 ~beta2:0.1 in
+  let delta = Revenue.shadow_cost model ~weights ~class_index:0 in
+  check_bool "positive shadow cost" true (delta > 0.);
+  let w = Revenue.total model ~weights in
+  let w' =
+    Revenue.total (Revenue.reduced_model model ~ports:1) ~weights
+  in
+  check_close "delta = W - W'" (w -. w') delta
+
+let test_closed_form_matches_numeric_poisson_only () =
+  (* The paper's stated setting: R2 = 0. *)
+  let model =
+    Model.square ~size:6
+      ~classes:[ poisson ~name:"one" 0.4; poisson ~name:"two" 0.7 ]
+  in
+  let weights = [| 1.0; 0.3 |] in
+  List.iter
+    (fun class_index ->
+      check_close "closed = numeric"
+        (Revenue.gradient_rho_numeric model ~weights ~class_index)
+        (Revenue.gradient_rho model ~weights ~class_index)
+        ~tol:1e-5)
+    [ 0; 1 ]
+
+let test_closed_form_matches_numeric_mixed () =
+  (* The closed form continues to hold for the Poisson class even with a
+     bursty class present (Table 2 uses it this way). *)
+  let model = two_class ~size:8 ~rho1:0.3 ~rho2:0.2 ~beta2:0.1 in
+  check_close "closed = numeric (mixed)"
+    (Revenue.gradient_rho_numeric model ~weights ~class_index:0)
+    (Revenue.gradient_rho model ~weights ~class_index:0)
+    ~tol:1e-5
+
+let test_closed_form_multirate () =
+  (* And for a_r = 2 with the P(N1,a)P(N2,a) prefactor. *)
+  let model =
+    Model.square ~size:6
+      ~classes:[ poisson ~name:"one" 0.2; poisson ~name:"wide" ~bandwidth:2 0.4 ]
+  in
+  let weights = [| 1.0; 0.7 |] in
+  check_close "closed = numeric (a=2)"
+    (Revenue.gradient_rho_numeric model ~weights ~class_index:1)
+    (Revenue.gradient_rho model ~weights ~class_index:1)
+    ~tol:1e-5
+
+let test_gradient_class_kind_guards () =
+  let model = two_class ~size:4 ~rho1:0.3 ~rho2:0.2 ~beta2:0.1 in
+  check_raises_invalid "closed form needs poisson" (fun () ->
+      ignore (Revenue.gradient_rho model ~weights ~class_index:1));
+  check_raises_invalid "beta gradient needs bursty" (fun () ->
+      ignore (Revenue.gradient_beta_numeric model ~weights ~class_index:0))
+
+let test_beta_gradient_sign () =
+  (* Increasing burstiness of the cheap class displaces the valuable
+     class: revenue falls (Table 2's conclusion) at meaningful sizes. *)
+  let model = two_class ~size:32 ~rho1:0.0012 ~rho2:0.0012 ~beta2:0.0012 in
+  let g = Revenue.gradient_beta_numeric model ~weights ~class_index:1 in
+  check_bool "negative gradient" true (g < 0.)
+
+let test_economic_interpretation () =
+  (* When w_r exceeds the shadow cost the gradient is positive, and vice
+     versa: engineered by giving the class a huge / tiny weight. *)
+  let model =
+    Model.square ~size:4
+      ~classes:[ poisson ~name:"one" 0.5; poisson ~name:"two" 0.5 ]
+  in
+  let generous = [| 10.0; 1.0 |] in
+  check_bool "worth admitting" true
+    (Revenue.gradient_rho model ~weights:generous ~class_index:0 > 0.);
+  (* Class 1 nearly worthless but it displaces valuable class 0. *)
+  let stingy = [| 10.0; 1e-6 |] in
+  let model_loaded =
+    Model.square ~size:4
+      ~classes:[ poisson ~name:"one" 3.0; poisson ~name:"two" 3.0 ]
+  in
+  check_bool "not worth admitting" true
+    (Revenue.gradient_rho model_loaded ~weights:stingy ~class_index:1 < 0.)
+
+let test_gradient_via_all_algorithms () =
+  let model = two_class ~size:8 ~rho1:0.3 ~rho2:0.2 ~beta2:0.1 in
+  let g_conv =
+    Revenue.gradient_rho ~algorithm:Solver.Convolution model ~weights
+      ~class_index:0
+  in
+  let g_mva =
+    Revenue.gradient_rho ~algorithm:Solver.Mean_value model ~weights
+      ~class_index:0
+  in
+  check_close "algorithms agree on gradient" g_conv g_mva ~tol:1e-9
+
+let () =
+  Alcotest.run "revenue"
+    [
+      ( "revenue",
+        [
+          case "total" test_total_is_weighted_concurrency;
+          case "reduced model" test_reduced_model_preserves_per_pair;
+          case "shadow cost" test_shadow_cost_positive_here;
+          case "closed form (R2=0)" test_closed_form_matches_numeric_poisson_only;
+          case "closed form (mixed)" test_closed_form_matches_numeric_mixed;
+          case "closed form (a=2)" test_closed_form_multirate;
+          case "kind guards" test_gradient_class_kind_guards;
+          case "beta gradient sign" test_beta_gradient_sign;
+          case "economic interpretation" test_economic_interpretation;
+          case "algorithm independence" test_gradient_via_all_algorithms;
+        ] );
+    ]

@@ -1,0 +1,242 @@
+open Helpers
+module Event_heap = Crossbar_sim.Event_heap
+module Stats = Crossbar_sim.Stats
+module Service = Crossbar_sim.Service
+module Fabric = Crossbar_sim.Fabric
+module Rng = Crossbar_prng.Rng
+
+(* ---------- event heap ---------- *)
+
+let test_heap_ordering () =
+  let heap = Event_heap.create () in
+  let rng = Rng.create ~seed:3 in
+  let times = Array.init 500 (fun _ -> Rng.float rng) in
+  Array.iteri (fun i t -> Event_heap.add heap ~time:t i) times;
+  check_int "size" 500 (Event_heap.size heap);
+  let last = ref neg_infinity in
+  let popped = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Event_heap.pop heap with
+    | None -> continue := false
+    | Some (t, _) ->
+        check_bool "non-decreasing" true (t >= !last);
+        last := t;
+        incr popped
+  done;
+  check_int "all popped" 500 !popped;
+  check_bool "empty" true (Event_heap.is_empty heap)
+
+let test_heap_fifo_ties () =
+  let heap = Event_heap.create () in
+  Event_heap.add heap ~time:1. "first";
+  Event_heap.add heap ~time:1. "second";
+  Event_heap.add heap ~time:0.5 "early";
+  (match Event_heap.pop heap with
+  | Some (_, "early") -> ()
+  | _ -> Alcotest.fail "early event first");
+  (match Event_heap.pop heap with
+  | Some (_, "first") -> ()
+  | _ -> Alcotest.fail "ties are FIFO");
+  (match Event_heap.peek heap with
+  | Some (1., "second") -> ()
+  | _ -> Alcotest.fail "peek leaves element");
+  check_int "one left" 1 (Event_heap.size heap)
+
+let test_heap_nan () =
+  let heap = Event_heap.create () in
+  check_raises_invalid "nan time" (fun () ->
+      Event_heap.add heap ~time:Float.nan ())
+
+(* ---------- stats ---------- *)
+
+let test_welford () =
+  let w = Stats.Welford.create () in
+  List.iter (Stats.Welford.add w) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  check_int "count" 8 (Stats.Welford.count w);
+  check_close "mean" 5. (Stats.Welford.mean w);
+  (* Sample variance of that classic set is 32/7. *)
+  check_close "variance" (32. /. 7.) (Stats.Welford.variance w);
+  check_close "std" (sqrt (32. /. 7.)) (Stats.Welford.std w)
+
+let test_welford_short () =
+  let w = Stats.Welford.create () in
+  check_close "empty variance" 0. (Stats.Welford.variance w);
+  Stats.Welford.add w 42.;
+  check_close "single variance" 0. (Stats.Welford.variance w);
+  check_close "single mean" 42. (Stats.Welford.mean w)
+
+let test_time_weighted () =
+  let tw = Stats.Time_weighted.create ~start:0. ~value:1. in
+  Stats.Time_weighted.update tw ~time:2. ~value:3.;
+  Stats.Time_weighted.update tw ~time:5. ~value:0.;
+  (* integral = 1*2 + 3*3 + 0*5 over [0,10] => 11/10 *)
+  check_close "average" 1.1 (Stats.Time_weighted.average tw ~upto:10.);
+  Stats.Time_weighted.reset tw ~time:10.;
+  check_close "after reset" 0. (Stats.Time_weighted.average tw ~upto:20.);
+  check_raises_invalid "backwards" (fun () ->
+      Stats.Time_weighted.update tw ~time:5. ~value:1.)
+
+let test_confidence_interval () =
+  let batches = [| 10.; 12.; 11.; 9.; 13. |] in
+  let mean, halfwidth = Stats.confidence_interval ~confidence:0.95 batches in
+  check_close "mean" 11. mean;
+  (* s = sqrt(2.5), se = s/sqrt 5, t(4,.95) = 2.776 *)
+  check_abs "halfwidth" (2.776 *. sqrt 2.5 /. sqrt 5.) halfwidth ~tol:2e-3;
+  check_raises_invalid "one batch" (fun () ->
+      ignore (Stats.confidence_interval ~confidence:0.95 [| 1. |]))
+
+(* ---------- service distributions ---------- *)
+
+let sample_mean shape ~mean n =
+  let rng = Rng.create ~seed:61 in
+  let total = ref 0. in
+  for _ = 1 to n do
+    total := !total +. Service.sample shape rng ~mean
+  done;
+  !total /. float_of_int n
+
+let test_service_means () =
+  List.iter
+    (fun shape ->
+      check_abs
+        (Printf.sprintf "mean of %s" (Service.to_string shape))
+        2.5
+        (sample_mean shape ~mean:2.5 100_000)
+        ~tol:0.05)
+    [
+      Service.Exponential;
+      Service.Deterministic;
+      Service.Erlang 3;
+      Service.Hyperexponential 4.;
+    ]
+
+let test_service_scv () =
+  check_close "exp scv" 1. (Service.scv Service.Exponential);
+  check_close "det scv" 0. (Service.scv Service.Deterministic);
+  check_close "erlang scv" 0.25 (Service.scv (Service.Erlang 4));
+  check_close "hyper scv" 4. (Service.scv (Service.Hyperexponential 4.));
+  (* Empirical scv of the hyperexponential. *)
+  let rng = Rng.create ~seed:67 in
+  let xs =
+    Array.init 400_000 (fun _ ->
+        Service.sample (Service.Hyperexponential 4.) rng ~mean:1.)
+  in
+  let mean = Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs) in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs
+    /. float_of_int (Array.length xs - 1)
+  in
+  check_abs "empirical scv" 4. (var /. (mean *. mean)) ~tol:0.15
+
+let test_service_strings () =
+  List.iter
+    (fun shape ->
+      match Service.of_string (Service.to_string shape) with
+      | Ok parsed -> check_bool "roundtrip" true (parsed = shape)
+      | Error e -> Alcotest.fail e)
+    [
+      Service.Exponential;
+      Service.Deterministic;
+      Service.Erlang 5;
+      Service.Hyperexponential 2.5;
+    ];
+  (match Service.of_string "nonsense" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "nonsense should not parse");
+  check_raises_invalid "bad erlang" (fun () ->
+      ignore (Service.sample (Service.Erlang 0) (Rng.create ~seed:1) ~mean:1.));
+  check_raises_invalid "bad mean" (fun () ->
+      ignore (Service.sample Service.Exponential (Rng.create ~seed:1) ~mean:0.))
+
+(* ---------- fabric ---------- *)
+
+let test_fabric_lifecycle () =
+  let fabric = Fabric.create ~inputs:4 ~outputs:3 in
+  let rng = Rng.create ~seed:71 in
+  check_int "idle" 0 (Fabric.busy_inputs fabric);
+  check_close "full availability" 1. (Fabric.availability fabric ~bandwidth:1);
+  match Fabric.try_connect fabric rng ~bandwidth:2 with
+  | None -> Alcotest.fail "empty fabric must accept"
+  | Some connection ->
+      check_int "busy" 2 (Fabric.busy_inputs fabric);
+      check_close "availability after" (2. /. 4. *. (1. /. 3.))
+        (Fabric.availability fabric ~bandwidth:1);
+      Fabric.release fabric connection;
+      check_int "freed" 0 (Fabric.busy_inputs fabric);
+      check_raises_invalid "double release" (fun () ->
+          Fabric.release fabric connection)
+
+let test_fabric_saturation () =
+  let fabric = Fabric.create ~inputs:2 ~outputs:2 in
+  let rng = Rng.create ~seed:73 in
+  let c1 = Fabric.try_connect fabric rng ~bandwidth:2 in
+  check_bool "fits" true (Option.is_some c1);
+  check_bool "full" true (Fabric.try_connect fabric rng ~bandwidth:1 = None);
+  check_close "no availability" 0. (Fabric.availability fabric ~bandwidth:1);
+  Fabric.release fabric (Option.get c1);
+  check_bool "accepts again" true
+    (Fabric.try_connect fabric rng ~bandwidth:1 <> None)
+
+let test_fabric_oversize () =
+  let fabric = Fabric.create ~inputs:2 ~outputs:5 in
+  let rng = Rng.create ~seed:79 in
+  check_bool "too wide" true (Fabric.try_connect fabric rng ~bandwidth:3 = None)
+
+let test_fabric_blocking_rate () =
+  (* With b busy ports out of N, a bandwidth-1 request must be accepted
+     with probability ((N-b)/N)^2; verify empirically. *)
+  let fabric = Fabric.create ~inputs:10 ~outputs:10 in
+  let rng = Rng.create ~seed:83 in
+  (* Occupy 4 inputs and 4 outputs via 4 bandwidth-1 connections. *)
+  let held = ref [] in
+  while List.length !held < 4 do
+    match Fabric.try_connect fabric rng ~bandwidth:1 with
+    | Some c -> held := c :: !held
+    | None -> ()
+  done;
+  let accepted = ref 0 and trials = 20_000 in
+  for _ = 1 to trials do
+    match Fabric.try_connect fabric rng ~bandwidth:1 with
+    | Some c ->
+        incr accepted;
+        Fabric.release fabric c
+    | None -> ()
+  done;
+  let expected = 0.6 *. 0.6 in
+  check_abs "acceptance fraction" expected
+    (float_of_int !accepted /. float_of_int trials)
+    ~tol:0.01;
+  check_close "availability formula" expected
+    (Fabric.availability fabric ~bandwidth:1)
+
+let () =
+  Alcotest.run "sim-support"
+    [
+      ( "event-heap",
+        [
+          case "ordering" test_heap_ordering;
+          case "fifo ties" test_heap_fifo_ties;
+          case "nan rejected" test_heap_nan;
+        ] );
+      ( "stats",
+        [
+          case "welford" test_welford;
+          case "welford short" test_welford_short;
+          case "time weighted" test_time_weighted;
+          case "confidence interval" test_confidence_interval;
+        ] );
+      ( "service",
+        [
+          case "means" test_service_means;
+          case "scv" test_service_scv;
+          case "string roundtrip" test_service_strings;
+        ] );
+      ( "fabric",
+        [
+          case "lifecycle" test_fabric_lifecycle;
+          case "saturation" test_fabric_saturation;
+          case "oversize" test_fabric_oversize;
+          case "acceptance fraction" test_fabric_blocking_rate;
+        ] );
+    ]

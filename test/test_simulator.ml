@@ -1,0 +1,294 @@
+open Helpers
+module Model = Crossbar.Model
+module Measures = Crossbar.Measures
+module Simulator = Crossbar_sim.Simulator
+module Service = Crossbar_sim.Service
+
+(* Statistical tests: fixed seeds, tolerances set to ~4-5 x the typical
+   confidence halfwidth so spurious failures are vanishingly rare while
+   real disagreement (a wrong factor anywhere) still trips them. *)
+
+let sim_config ?(horizon = 4e4) ?(seed = 42) model =
+  { (Simulator.default_config model) with horizon; warmup = 500.; seed }
+
+let find_class (result : Simulator.result) name =
+  match
+    Array.find_opt
+      (fun (c : Simulator.class_result) -> String.equal c.class_name name)
+      result.Simulator.per_class
+  with
+  | Some c -> c
+  | None -> Alcotest.failf "class %s missing from simulation" name
+
+let test_matches_analysis_mixed () =
+  let model = mixed_model ~inputs:4 ~outputs:4 in
+  let analytic = Crossbar.Solver.solve model in
+  let result = Simulator.run (sim_config model) in
+  Array.iter
+    (fun (c : Measures.per_class) ->
+      let sim = find_class result c.Measures.name in
+      check_abs
+        (c.Measures.name ^ ": time congestion")
+        c.Measures.blocking sim.Simulator.time_congestion.point
+        ~tol:(Float.max 0.01 (5. *. sim.Simulator.time_congestion.halfwidth));
+      check_abs
+        (c.Measures.name ^ ": concurrency")
+        c.Measures.concurrency sim.Simulator.concurrency.point
+        ~tol:(Float.max 0.02 (5. *. sim.Simulator.concurrency.halfwidth)))
+    analytic.Measures.per_class;
+  check_abs "busy ports" analytic.Measures.busy_ports
+    result.Simulator.busy_ports.point
+    ~tol:(Float.max 0.03 (5. *. result.Simulator.busy_ports.halfwidth))
+
+let test_pasta_poisson () =
+  (* For a Poisson class, call congestion = time congestion (PASTA). *)
+  let model = Model.square ~size:3 ~classes:[ poisson ~name:"p" 1.0 ] in
+  let result = Simulator.run (sim_config ~horizon:6e4 model) in
+  let c = find_class result "p" in
+  check_abs "PASTA" c.Simulator.time_congestion.point
+    c.Simulator.call_congestion.point
+    ~tol:
+      (Float.max 0.008
+         (4.
+         *. (c.Simulator.time_congestion.halfwidth
+            +. c.Simulator.call_congestion.halfwidth)))
+
+let test_engset_effect_smooth () =
+  (* Bernoulli class: busy sources generate no arrivals, so attempts see a
+     less congested switch: call congestion < time congestion. *)
+  let model =
+    Model.square ~size:2 ~classes:[ bernoulli ~name:"b" ~sources:3 ~rate:1.0 () ]
+  in
+  let result = Simulator.run (sim_config ~horizon:6e4 model) in
+  let c = find_class result "b" in
+  check_bool "call < time for smooth" true
+    (c.Simulator.call_congestion.point
+    < c.Simulator.time_congestion.point -. 2. *. c.Simulator.call_congestion.halfwidth)
+
+let test_engset_effect_peaky () =
+  (* Pascal class: arrivals cluster when the switch is already loaded, so
+     attempts fare worse than the time average. *)
+  let model =
+    Model.square ~size:3 ~classes:[ pascal ~name:"q" ~alpha:0.5 ~beta:0.6 () ]
+  in
+  let result = Simulator.run (sim_config ~horizon:6e4 model) in
+  let c = find_class result "q" in
+  check_bool "call > time for peaky" true
+    (c.Simulator.call_congestion.point
+    > c.Simulator.time_congestion.point +. 2. *. c.Simulator.call_congestion.halfwidth)
+
+let test_insensitivity () =
+  (* Same model under exponential / deterministic / hyperexponential /
+     Erlang holding times: the time-congestion estimates must agree with
+     the (insensitive) analytical value. *)
+  let model =
+    Model.square ~size:3
+      ~classes:[ poisson ~name:"p" 0.8; pascal ~name:"q" ~alpha:0.3 ~beta:0.2 () ]
+  in
+  let analytic = Crossbar.Solver.solve model in
+  List.iter
+    (fun shape ->
+      let config =
+        { (sim_config ~horizon:5e4 model) with service = (fun _ -> shape) }
+      in
+      let result = Simulator.run config in
+      Array.iter
+        (fun (c : Measures.per_class) ->
+          let sim = find_class result c.Measures.name in
+          check_abs
+            (Printf.sprintf "%s under %s" c.Measures.name
+               (Service.to_string shape))
+            c.Measures.blocking sim.Simulator.time_congestion.point
+            ~tol:
+              (Float.max 0.012 (5. *. sim.Simulator.time_congestion.halfwidth)))
+        analytic.Measures.per_class)
+    [
+      Service.Exponential;
+      Service.Deterministic;
+      Service.Erlang 4;
+      Service.Hyperexponential 3.;
+    ]
+
+let test_multirate_simulation () =
+  (* Bandwidth-2 connections must hold 2 ports and match analysis. *)
+  let model =
+    Model.square ~size:5
+      ~classes:[ poisson ~name:"thin" 0.4; poisson ~name:"wide" ~bandwidth:2 0.5 ]
+  in
+  let analytic = Crossbar.Solver.solve model in
+  let result = Simulator.run (sim_config model) in
+  let wide = find_class result "wide" in
+  let wide_analytic = Measures.class_named analytic "wide" in
+  check_abs "wide time congestion" wide_analytic.Measures.blocking
+    wide.Simulator.time_congestion.point
+    ~tol:(Float.max 0.012 (5. *. wide.Simulator.time_congestion.halfwidth));
+  check_abs "wide concurrency" wide_analytic.Measures.concurrency
+    wide.Simulator.concurrency.point
+    ~tol:(Float.max 0.02 (5. *. wide.Simulator.concurrency.halfwidth))
+
+let test_determinism () =
+  let model = mixed_model ~inputs:3 ~outputs:3 in
+  let run () = Simulator.run (sim_config ~horizon:5e3 model) in
+  let a = run () and b = run () in
+  check_int "same events" a.Simulator.events b.Simulator.events;
+  Array.iteri
+    (fun i (c : Simulator.class_result) ->
+      check_int "same offered" c.Simulator.offered
+        b.Simulator.per_class.(i).Simulator.offered;
+      check_close "same estimate" c.Simulator.time_congestion.point
+        b.Simulator.per_class.(i).Simulator.time_congestion.point)
+    a.Simulator.per_class;
+  let c = Simulator.run (sim_config ~horizon:5e3 ~seed:43 model) in
+  check_bool "different seed differs" true
+    (c.Simulator.events <> a.Simulator.events
+    || c.Simulator.per_class.(0).Simulator.offered
+       <> a.Simulator.per_class.(0).Simulator.offered)
+
+let test_acceptance_bookkeeping () =
+  let model = Model.square ~size:2 ~classes:[ poisson ~name:"p" 2.0 ] in
+  let result = Simulator.run (sim_config ~horizon:5e3 model) in
+  let c = find_class result "p" in
+  check_bool "accepted <= offered" true
+    (c.Simulator.accepted <= c.Simulator.offered);
+  check_bool "some blocked" true (c.Simulator.accepted < c.Simulator.offered);
+  check_bool "some accepted" true (c.Simulator.accepted > 0)
+
+let test_config_validation () =
+  let model = Model.square ~size:2 ~classes:[ poisson 0.1 ] in
+  check_raises_invalid "bad horizon" (fun () ->
+      ignore (Simulator.run { (Simulator.default_config model) with horizon = 0. }));
+  check_raises_invalid "bad batches" (fun () ->
+      ignore (Simulator.run { (Simulator.default_config model) with batches = 1 }));
+  check_raises_invalid "bad warmup" (fun () ->
+      ignore
+        (Simulator.run { (Simulator.default_config model) with warmup = -1. }))
+
+let test_retry_increases_congestion () =
+  (* Retries add load: time congestion must rise above the lost-calls
+     model, and the bookkeeping must balance. *)
+  let model = Model.square ~size:3 ~classes:[ poisson ~name:"p" 1.5 ] in
+  let base = sim_config ~horizon:3e4 model in
+  let without = Simulator.run base in
+  let with_retry =
+    Simulator.run
+      {
+        base with
+        retry =
+          Some
+            {
+              Simulator.probability = 0.9;
+              mean_delay = 0.2;
+              max_attempts = 5;
+            };
+      }
+  in
+  let c0 = find_class without "p" and c1 = find_class with_retry "p" in
+  check_bool "congestion rises" true
+    (c1.Simulator.time_congestion.point
+    > c0.Simulator.time_congestion.point
+      +. (3. *. c1.Simulator.time_congestion.halfwidth));
+  check_bool "retries happened" true (c1.Simulator.retry_attempts > 0);
+  check_bool "some retries succeed" true (c1.Simulator.retry_successes > 0);
+  check_bool "successes bounded" true
+    (c1.Simulator.retry_successes <= c1.Simulator.retry_attempts);
+  check_bool "some abandoned" true (c1.Simulator.abandoned > 0);
+  (* Without a policy the retry counters stay silent. *)
+  check_int "no retries" 0 c0.Simulator.retry_attempts;
+  check_int "no abandonment" 0 c0.Simulator.abandoned
+
+let test_retry_zero_probability_is_lost_calls () =
+  let model = Model.square ~size:2 ~classes:[ poisson ~name:"p" 1.0 ] in
+  let base = sim_config ~horizon:5e3 model in
+  let lost = Simulator.run base in
+  let zero_retry =
+    Simulator.run
+      {
+        base with
+        retry =
+          Some
+            { Simulator.probability = 0.; mean_delay = 1.; max_attempts = 3 };
+      }
+  in
+  let c0 = find_class lost "p" and c1 = find_class zero_retry "p" in
+  (* Same random draws are not guaranteed (the policy consumes randomness)
+     but the estimates must agree statistically, and no retry may fire. *)
+  check_int "no retry attempts" 0 c1.Simulator.retry_attempts;
+  check_abs "same congestion" c0.Simulator.time_congestion.point
+    c1.Simulator.time_congestion.point
+    ~tol:
+      (Float.max 0.02
+         (5.
+         *. (c0.Simulator.time_congestion.halfwidth
+            +. c1.Simulator.time_congestion.halfwidth)))
+
+let test_retry_validation () =
+  let model = Model.square ~size:2 ~classes:[ poisson 0.1 ] in
+  let bad policy =
+    { (Simulator.default_config model) with retry = Some policy }
+  in
+  check_raises_invalid "probability" (fun () ->
+      ignore
+        (Simulator.run
+           (bad { Simulator.probability = 1.5; mean_delay = 1.; max_attempts = 1 })));
+  check_raises_invalid "delay" (fun () ->
+      ignore
+        (Simulator.run
+           (bad { Simulator.probability = 0.5; mean_delay = 0.; max_attempts = 1 })));
+  check_raises_invalid "attempts" (fun () ->
+      ignore
+        (Simulator.run
+           (bad { Simulator.probability = 0.5; mean_delay = 1.; max_attempts = -1 })))
+
+let test_replications () =
+  let model = Model.square ~size:3 ~classes:[ poisson ~name:"p" 0.8 ] in
+  let config = sim_config ~horizon:8e3 model in
+  let combined = Simulator.run_replications ~replications:5 config in
+  check_int "replication count" 5 combined.Simulator.replications;
+  let analytic = Crossbar.Solver.solve model in
+  let estimate = combined.Simulator.rep_time_congestion.(0) in
+  check_bool "positive halfwidth" true (estimate.Simulator.halfwidth > 0.);
+  check_abs "matches analysis"
+    analytic.Measures.per_class.(0).Measures.blocking
+    estimate.Simulator.point
+    ~tol:(Float.max 0.01 (5. *. estimate.Simulator.halfwidth));
+  check_raises_invalid "too few" (fun () ->
+      ignore (Simulator.run_replications ~replications:1 config))
+
+let test_zero_rate_class () =
+  (* A silent class must produce no arrivals and zero congestion effect. *)
+  let model =
+    Model.square ~size:2
+      ~classes:[ poisson ~name:"live" 0.5; poisson ~name:"silent" 0. ]
+  in
+  let result = Simulator.run (sim_config ~horizon:5e3 model) in
+  let silent = find_class result "silent" in
+  check_int "no offers" 0 silent.Simulator.offered;
+  check_close "no concurrency" 0. silent.Simulator.concurrency.point
+
+let () =
+  Alcotest.run "simulator"
+    [
+      ( "validation",
+        [
+          slow_case "matches analysis (mixed)" test_matches_analysis_mixed;
+          slow_case "PASTA for poisson" test_pasta_poisson;
+          slow_case "engset effect (smooth)" test_engset_effect_smooth;
+          slow_case "engset effect (peaky)" test_engset_effect_peaky;
+          slow_case "insensitivity" test_insensitivity;
+          slow_case "multi-rate" test_multirate_simulation;
+        ] );
+      ( "mechanics",
+        [
+          case "determinism" test_determinism;
+          case "bookkeeping" test_acceptance_bookkeeping;
+          case "config validation" test_config_validation;
+          case "zero-rate class" test_zero_rate_class;
+        ] );
+      ( "extensions",
+        [
+          slow_case "retries raise congestion" test_retry_increases_congestion;
+          case "zero-probability retries" test_retry_zero_probability_is_lost_calls;
+          case "retry validation" test_retry_validation;
+          slow_case "independent replications" test_replications;
+        ] );
+    ]

@@ -1,0 +1,114 @@
+open Helpers
+module Traffic = Crossbar.Traffic
+
+let test_constructors () =
+  let p = Traffic.poisson ~name:"p" ~bandwidth:2 ~rate:0.5 ~service_rate:2. () in
+  check_bool "poisson" true (Traffic.is_poisson p);
+  check_close "offered load" 0.25 (Traffic.offered_load p);
+  let q = Traffic.pascal ~name:"q" ~bandwidth:1 ~alpha:0.2 ~beta:0.1 ~service_rate:1. () in
+  check_bool "pascal not poisson" false (Traffic.is_poisson q);
+  let b =
+    Traffic.bernoulli ~name:"b" ~bandwidth:1 ~sources:10 ~per_source_rate:0.3
+      ~service_rate:1. ()
+  in
+  check_close "bernoulli alpha" 3. b.Traffic.alpha;
+  check_close "bernoulli beta" (-0.3) b.Traffic.beta
+
+let test_validation () =
+  check_raises_invalid "bandwidth 0" (fun () ->
+      ignore (Traffic.create ~bandwidth:0 ~alpha:1. ~beta:0. ~service_rate:1. ()));
+  check_raises_invalid "negative alpha" (fun () ->
+      ignore (Traffic.create ~bandwidth:1 ~alpha:(-1.) ~beta:0. ~service_rate:1. ()));
+  check_raises_invalid "zero mu" (fun () ->
+      ignore (Traffic.create ~bandwidth:1 ~alpha:1. ~beta:0. ~service_rate:0. ()));
+  check_raises_invalid "nan beta" (fun () ->
+      ignore (Traffic.create ~bandwidth:1 ~alpha:1. ~beta:Float.nan ~service_rate:1. ()));
+  check_raises_invalid "pascal beta 0" (fun () ->
+      ignore (Traffic.pascal ~bandwidth:1 ~alpha:1. ~beta:0. ~service_rate:1. ()));
+  check_raises_invalid "bernoulli no sources" (fun () ->
+      ignore
+        (Traffic.bernoulli ~bandwidth:1 ~sources:0 ~per_source_rate:1.
+           ~service_rate:1. ()))
+
+let test_statistics_classification () =
+  let stat ~beta =
+    Traffic.statistics (Traffic.create ~bandwidth:1 ~alpha:1. ~beta ~service_rate:1. ())
+  in
+  check_bool "smooth" true (stat ~beta:(-0.1) = Traffic.Smooth);
+  check_bool "regular" true (stat ~beta:0. = Traffic.Regular);
+  check_bool "peaky" true (stat ~beta:0.5 = Traffic.Peaky)
+
+let test_sources () =
+  let b =
+    Traffic.bernoulli ~bandwidth:1 ~sources:7 ~per_source_rate:0.4
+      ~service_rate:1. ()
+  in
+  check_bool "integral sources" true (Traffic.sources b = Some 7);
+  let odd = Traffic.create ~bandwidth:1 ~alpha:1. ~beta:(-0.3) ~service_rate:1. () in
+  check_bool "non-integral" true (Traffic.sources odd = None);
+  let p = Traffic.poisson ~bandwidth:1 ~rate:1. ~service_rate:1. () in
+  check_bool "poisson has none" true (Traffic.sources p = None)
+
+let test_updates () =
+  let t = Traffic.create ~name:"x" ~bandwidth:2 ~alpha:1. ~beta:0.5 ~service_rate:2. () in
+  let t' = Traffic.with_alpha t 3. in
+  check_close "alpha updated" 3. t'.Traffic.alpha;
+  check_close "beta kept" 0.5 t'.Traffic.beta;
+  let t'' = Traffic.with_beta t (-0.25) in
+  check_close "beta updated" (-0.25) t''.Traffic.beta;
+  let scaled = Traffic.scale_load t 2. in
+  check_close "alpha scaled" 2. scaled.Traffic.alpha;
+  check_close "beta scaled" 1. scaled.Traffic.beta;
+  check_raises_invalid "negative scale" (fun () ->
+      ignore (Traffic.scale_load t (-1.)));
+  check_raises_invalid "with_alpha negative" (fun () ->
+      ignore (Traffic.with_alpha t (-2.)))
+
+let test_bpp_statistics () =
+  (* Paper's M, V, Z formulas (with mu = 1): M = a/(1-b), V = a/(1-b)^2. *)
+  let alpha = 2. and beta = 0.5 and mu = 1. in
+  check_close "mean" 4.
+    (Traffic.infinite_server_mean ~alpha ~beta ~service_rate:mu);
+  check_close "variance" 8.
+    (Traffic.infinite_server_variance ~alpha ~beta ~service_rate:mu);
+  check_close "peakedness" 2. (Traffic.peakedness ~beta ~service_rate:mu);
+  check_close "Z = V/M" 2.
+    (Traffic.infinite_server_variance ~alpha ~beta ~service_rate:mu
+    /. Traffic.infinite_server_mean ~alpha ~beta ~service_rate:mu);
+  (* Smooth traffic: Z < 1; regular: Z = 1. *)
+  check_bool "smooth Z<1" true
+    (Traffic.peakedness ~beta:(-0.5) ~service_rate:1. < 1.);
+  check_close "regular Z=1" 1. (Traffic.peakedness ~beta:0. ~service_rate:1.);
+  check_raises_invalid "unstable" (fun () ->
+      ignore (Traffic.infinite_server_mean ~alpha:1. ~beta:2. ~service_rate:1.))
+
+let traffic_props =
+  [
+    QCheck2.Test.make ~name:"scale_load scales offered load linearly" ~count:100
+      QCheck2.Gen.(pair (float_range 0.01 10.) (float_range 0. 5.))
+      (fun (alpha, factor) ->
+        let t = Traffic.create ~bandwidth:1 ~alpha ~beta:0. ~service_rate:2. () in
+        let scaled = Traffic.scale_load t factor in
+        Float.abs (Traffic.offered_load scaled -. (factor *. Traffic.offered_load t))
+        < 1e-12 *. Float.max 1. (factor *. alpha));
+    QCheck2.Test.make ~name:"peakedness sign matches classification" ~count:100
+      QCheck2.Gen.(float_range (-0.9) 0.9)
+      (fun beta ->
+        let z = Traffic.peakedness ~beta ~service_rate:1. in
+        if beta > 0. then z > 1. else if beta < 0. then z < 1. else z = 1.);
+  ]
+
+let () =
+  Alcotest.run "traffic"
+    [
+      ( "classes",
+        [
+          case "constructors" test_constructors;
+          case "validation" test_validation;
+          case "classification" test_statistics_classification;
+          case "sources" test_sources;
+          case "updates" test_updates;
+          case "bpp statistics" test_bpp_statistics;
+        ]
+        @ List.map qcheck traffic_props );
+    ]

@@ -1,0 +1,172 @@
+open Helpers
+module Paper = Crossbar_workloads.Paper
+module Printed = Crossbar_workloads.Printed
+module Scenarios = Crossbar_workloads.Scenarios
+module Model = Crossbar.Model
+module Measures = Crossbar.Measures
+
+let test_table1_printed_values () =
+  (* The rho~ inputs exactly as printed in Table 1. *)
+  let expected =
+    [
+      (4, 0.000600, 0.000800);
+      (8, 0.000300, 0.000171);
+      (16, 0.000150, 0.0000400);
+      (32, 0.0000750, 0.00000967);
+      (64, 0.0000375, 0.00000238);
+    ]
+  in
+  List.iter
+    (fun (n, rho1, rho2) ->
+      let got1, got2 = Paper.table1_loads n in
+      (* Table 1 prints three significant figures. *)
+      check_close (Printf.sprintf "rho1(%d)" n) rho1 got1 ~tol:5e-3;
+      check_close (Printf.sprintf "rho2(%d)" n) rho2 got2 ~tol:5e-3)
+    expected;
+  check_bool "sizes" true (Paper.table1_sizes = [ 4; 8; 16; 32; 64 ])
+
+let test_series_build_models () =
+  let check_series sizes series =
+    List.iter
+      (fun s ->
+        List.iter
+          (fun n ->
+            let model = s.Paper.model_of_size n in
+            check_int "square" (Model.inputs model) (Model.outputs model);
+            check_int "size" n (Model.inputs model))
+          sizes)
+      series
+  in
+  check_series Paper.sizes (Paper.figure1 @ Paper.figure2 @ Paper.figure3);
+  check_series Paper.figure4_sizes Paper.figure4
+
+let test_series_labels_distinct () =
+  List.iter
+    (fun series_list ->
+      let labels = List.map (fun s -> s.Paper.label) series_list in
+      check_int "distinct labels"
+        (List.length labels)
+        (List.length (List.sort_uniq compare labels)))
+    [ Paper.figure1; Paper.figure2; Paper.figure3; Paper.figure4 ]
+
+let test_figure1_poisson_bound_is_first () =
+  match Paper.figure1 with
+  | first :: _ ->
+      let model = first.Paper.model_of_size 8 in
+      check_bool "first series poisson" true (Model.is_poisson model 0)
+  | [] -> Alcotest.fail "figure1 empty"
+
+let test_operating_point () =
+  (* The headline claim: alpha~ = .0024 gives ~0.5% blocking across
+     sizes. *)
+  List.iter
+    (fun n ->
+      let model = Paper.operating_point_model n in
+      let m = Crossbar.Solver.solve model in
+      check_abs
+        (Printf.sprintf "~0.5%% at N=%d" n)
+        0.005
+        m.Measures.per_class.(0).Measures.blocking
+        ~tol:0.0015)
+    [ 16; 32; 64; 128 ]
+
+let test_table2_models () =
+  List.iter
+    (fun set ->
+      let model = Paper.table2_model set 16 in
+      check_int "two classes" 2 (Model.num_classes model);
+      check_bool "class 1 poisson" true (Model.is_poisson model 0);
+      check_bool "class 2 bursty" false (Model.is_poisson model 1);
+      check_int "weights" 2 (Array.length set.Paper.weights))
+    Paper.table2_sets
+
+let test_printed_tables_well_formed () =
+  List.iter
+    (fun set ->
+      let rows = Printed.table2_rows ~set_label:set.Paper.set_label in
+      check_int "all sizes present" (List.length Paper.table2_sizes)
+        (List.length rows);
+      List.iter2
+        (fun n (row : Printed.table2_row) ->
+          check_int "row order" n row.Printed.size;
+          check_bool "gradient present beyond N=1" true
+            (row.Printed.gradient_beta2 <> None || n = 1))
+        Paper.table2_sizes rows)
+    Paper.table2_sets;
+  match Printed.table2_rows ~set_label:"nope" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "unknown label should raise"
+
+let test_integrated_services () =
+  let model = Scenarios.integrated_services ~size:16 ~utilization:0.3 in
+  check_int "three classes" 3 (Model.num_classes model);
+  let m = Crossbar.Solver.solve model in
+  (* The wide video class must see strictly more blocking than voice. *)
+  let voice = Measures.class_named m "voice"
+  and video = Measures.class_named m "video" in
+  check_bool "video blocks more" true
+    (video.Measures.blocking > voice.Measures.blocking);
+  check_raises_invalid "too small" (fun () ->
+      ignore (Scenarios.integrated_services ~size:4 ~utilization:0.3));
+  check_raises_invalid "bad utilization" (fun () ->
+      ignore (Scenarios.integrated_services ~size:16 ~utilization:0.))
+
+let test_integrated_services_calibration () =
+  (* The calibration ignores blocking, and this switch blocks ~2u even at
+     low utilization (a specific input AND output must be free), with the
+     4-port video bundle hit hardest — so the realised occupancy lands
+     somewhat below the configured budget but must be in its vicinity. *)
+  let utilization = 0.05 in
+  let model = Scenarios.integrated_services ~size:32 ~utilization in
+  let m = Crossbar.Solver.solve model in
+  let budget = utilization *. 32. in
+  check_bool "within budget vicinity" true
+    (m.Measures.busy_ports > 0.6 *. budget
+    && m.Measures.busy_ports <= 1.05 *. budget)
+
+let test_hotspot_pair () =
+  let model = Scenarios.hotspot_pair ~size:8 ~background:0.1 ~hotspot:0.4 in
+  let m = Crossbar.Solver.solve model in
+  let bg = Measures.class_named m "background"
+  and hot = Measures.class_named m "hotspot" in
+  (* Same bandwidth: identical blocking; concurrency scales with load. *)
+  check_close "same B" bg.Measures.blocking hot.Measures.blocking;
+  check_close "4x concurrency" 4.
+    (hot.Measures.concurrency /. bg.Measures.concurrency)
+    ~tol:1e-6
+
+let test_shifted_beta_specs () =
+  let specs =
+    Scenarios.shifted_beta_specs ~rho1:0.0012 ~rho2:0.0012 ~beta2:0.0012
+      ~size:4
+  in
+  check_int "two specs" 2 (List.length specs);
+  let type2 = List.nth specs 1 in
+  (* lambda(0) = lambda(1) = alpha; beta kicks in at k = 2. *)
+  check_close "lambda(0)" (0.0012 /. 4.) (type2.Crossbar.General.arrival_rate 0);
+  check_close "lambda(1)" (0.0012 /. 4.) (type2.Crossbar.General.arrival_rate 1);
+  check_close "lambda(2)"
+    ((0.0012 +. 0.0012) /. 4.)
+    (type2.Crossbar.General.arrival_rate 2)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "paper",
+        [
+          case "table 1 printed values" test_table1_printed_values;
+          case "series build" test_series_build_models;
+          case "labels distinct" test_series_labels_distinct;
+          case "figure 1 bound first" test_figure1_poisson_bound_is_first;
+          case "operating point ~0.5%" test_operating_point;
+          case "table 2 models" test_table2_models;
+          case "printed tables" test_printed_tables_well_formed;
+        ] );
+      ( "scenarios",
+        [
+          case "integrated services" test_integrated_services;
+          case "calibration" test_integrated_services_calibration;
+          case "hotspot pair" test_hotspot_pair;
+          case "shifted beta specs" test_shifted_beta_specs;
+        ] );
+    ]
