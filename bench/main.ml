@@ -2,28 +2,37 @@
 
    Part 1 prints, for every table AND figure in the paper's evaluation,
    the series/rows this implementation produces (side by side with the
-   published numbers where the paper prints them).
+   published numbers where the paper prints them).  The figure and
+   Table 2 sweeps run through the parallel sweep engine
+   (Crossbar_engine), which also collects per-solve telemetry.
 
    Part 2 times the computational contributions with Bechamel: one
    Test.make per paper table/figure (the cost of regenerating it), plus an
    ablation of Algorithm 1 vs Algorithm 2 vs brute-force enumeration
    across switch sizes — the complexity claims of paper Section 5.
 
-     dune exec bench/main.exe            # reproduction + timings
-     dune exec bench/main.exe -- --fast  # reproduction only *)
+     dune exec bench/main.exe                         # reproduction + timings
+     dune exec bench/main.exe -- --fast               # reproduction only
+     dune exec bench/main.exe -- --fast --json b.json # + telemetry snapshot
+
+   --json PATH writes a machine-readable perf snapshot (schema
+   "crossbar-bench/1", documented in DESIGN.md) and re-parses the file
+   before exiting, failing loudly if it is malformed. *)
 
 open Bechamel
 module Paper = Crossbar_workloads.Paper
 module Report = Crossbar_workloads.Report
+module Engine = Crossbar_engine
+module Json = Crossbar_engine.Json
 
 let line title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
 (* ---------- part 1: reproduction ---------- *)
 
-let reproduce () =
+let reproduce ?telemetry () =
   line "Reproduction of every figure and table (measured | paper)";
-  Report.print_all Format.std_formatter;
+  Report.print_all ?telemetry Format.std_formatter;
   Format.print_flush ()
 
 (* ---------- part 2: Bechamel timing ---------- *)
@@ -110,6 +119,7 @@ let tests =
   in
   Test.make_grouped ~name:"crossbar" [ reproduction; algorithms; multistage ]
 
+(* Runs the Bechamel suite; returns (name, nanoseconds-per-run) rows. *)
 let benchmark () =
   line "Bechamel timings (monotonic clock, OLS fit)";
   let ols =
@@ -124,7 +134,7 @@ let benchmark () =
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
   let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
   Printf.printf "%-40s %s\n" "benchmark" "time per run";
-  List.iter
+  List.filter_map
     (fun (name, ols) ->
       match Analyze.OLS.estimates ols with
       | Some [ nanoseconds ] ->
@@ -136,11 +146,122 @@ let benchmark () =
               Printf.sprintf "%.3f us" (nanoseconds /. 1e3)
             else Printf.sprintf "%.0f ns" nanoseconds
           in
-          Printf.printf "%-40s %s\n" name pretty
-      | _ -> Printf.printf "%-40s (no estimate)\n" name)
+          Printf.printf "%-40s %s\n" name pretty;
+          Some (name, nanoseconds)
+      | _ ->
+          Printf.printf "%-40s (no estimate)\n" name;
+          None)
     rows
+
+(* ---------- JSON perf snapshot ---------- *)
+
+let snapshot ~fast ~telemetry ~timings =
+  let solves = Engine.Telemetry.solves telemetry in
+  let cache_hits =
+    List.length (List.filter (fun s -> s.Engine.Telemetry.from_cache) solves)
+  in
+  let cache_misses = List.length solves - cache_hits in
+  let hit_rate =
+    if solves = [] then 0.
+    else float_of_int cache_hits /. float_of_int (List.length solves)
+  in
+  Json.Assoc
+    [
+      ("schema", Json.String "crossbar-bench/1");
+      ("generated_at_epoch_seconds", Json.Float (Unix.time ()));
+      ("mode", Json.String (if fast then "fast" else "full"));
+      ("domains", Json.Int (Engine.Pool.recommended_domains ()));
+      ( "cache",
+        Json.Assoc
+          [
+            ("hits", Json.Int cache_hits);
+            ("misses", Json.Int cache_misses);
+            ("hit_rate", Json.Float hit_rate);
+          ] );
+      ("telemetry", Engine.Telemetry.to_json telemetry);
+      ( "timings",
+        Json.List
+          (List.map
+             (fun (name, nanoseconds) ->
+               Json.Assoc
+                 [
+                   ("name", Json.String name);
+                   ("nanoseconds_per_run", Json.Float nanoseconds);
+                 ])
+             timings) );
+    ]
+
+(* Re-read and re-parse the snapshot we just wrote; a malformed or
+   structurally incomplete file is a hard error, not a warning. *)
+let validate_snapshot path =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Json.of_string text with
+  | Error message ->
+      Printf.eprintf "FATAL: %s is not valid JSON: %s\n" path message;
+      exit 1
+  | Ok json ->
+      let required = [ "schema"; "mode"; "domains"; "cache"; "telemetry" ] in
+      List.iter
+        (fun field ->
+          if Json.member field json = None then begin
+            Printf.eprintf "FATAL: %s is missing field %S\n" path field;
+            exit 1
+          end)
+        required;
+      (match Json.member "schema" json with
+      | Some (Json.String "crossbar-bench/1") -> ()
+      | _ ->
+          Printf.eprintf "FATAL: %s has an unexpected schema tag\n" path;
+          exit 1);
+      json
+
+let write_snapshot path json =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let ppf = Format.formatter_of_out_channel oc in
+      Format.fprintf ppf "%a@." Json.pp json)
+
+(* ---------- driver ---------- *)
+
+let parse_json_path argv =
+  let n = Array.length argv in
+  let rec scan i =
+    if i >= n then None
+    else if String.equal argv.(i) "--json" then
+      if i + 1 < n then Some argv.(i + 1)
+      else begin
+        prerr_endline "FATAL: --json requires a path argument";
+        exit 1
+      end
+    else scan (i + 1)
+  in
+  scan 1
 
 let () =
   let fast = Array.exists (String.equal "--fast") Sys.argv in
-  reproduce ();
-  if not fast then benchmark ()
+  let json_path = parse_json_path Sys.argv in
+  let telemetry = Engine.Telemetry.create () in
+  reproduce ~telemetry ();
+  let timings = if fast then [] else benchmark () in
+  match json_path with
+  | None -> ()
+  | Some path ->
+      write_snapshot path (snapshot ~fast ~telemetry ~timings);
+      let json = validate_snapshot path in
+      let solve_count =
+        match Json.member "telemetry" json with
+        | Some telemetry_json -> (
+            match Json.member "solves" telemetry_json with
+            | Some (Json.Int n) -> n
+            | _ -> 0)
+        | None -> 0
+      in
+      Printf.printf "\nwrote %s (%d engine solve(s), validated)\n" path
+        solve_count

@@ -2,29 +2,36 @@
    TSV on stdout.
 
      crossbar_tables figure1          # one figure/table
-     crossbar_tables all              # everything *)
+     crossbar_tables all              # everything
+     crossbar_tables -j 4 all         # sweep figures on 4 domains
+     crossbar_tables --telemetry all  # solve/cache summary on stderr *)
 
 open Cmdliner
 module Paper = Crossbar_workloads.Paper
 module Report = Crossbar_workloads.Report
+module Engine = Crossbar_engine
 
-let targets =
+let targets ?domains ?telemetry () =
   let ppf = Format.std_formatter in
   [
     ( "figure1",
-      fun () -> Report.print_figure ppf ~name:"Figure 1 (smooth traffic)" Paper.figure1 );
+      fun () ->
+        Report.print_figure ?domains ?telemetry ppf
+          ~name:"Figure 1 (smooth traffic)" Paper.figure1 );
     ( "figure2",
-      fun () -> Report.print_figure ppf ~name:"Figure 2 (peaky traffic)" Paper.figure2 );
+      fun () ->
+        Report.print_figure ?domains ?telemetry ppf
+          ~name:"Figure 2 (peaky traffic)" Paper.figure2 );
     ( "figure3",
       fun () ->
-        Report.print_figure ppf ~name:"Figure 3 (two classes vs one)"
-          Paper.figure3 );
+        Report.print_figure ?domains ?telemetry ppf
+          ~name:"Figure 3 (two classes vs one)" Paper.figure3 );
     ( "figure4",
       fun () ->
-        Report.print_figure ~sizes:Paper.figure4_sizes ppf
+        Report.print_figure ~sizes:Paper.figure4_sizes ?domains ?telemetry ppf
           ~name:"Figure 4 (multi-rate, Table 1 loads)" Paper.figure4 );
     ("table1", fun () -> Report.print_table1 ppf);
-    ("table2", fun () -> Report.print_table2 ppf);
+    ("table2", fun () -> Report.print_table2 ?domains ?telemetry ppf);
     ("forensics", fun () -> Report.print_forensics ppf);
     ("simulation", fun () -> Report.print_simulation_check ppf);
     ("baselines", fun () -> Report.print_baselines ppf);
@@ -32,16 +39,34 @@ let targets =
     ("hotspot", fun () -> Report.print_hotspot ppf);
   ]
 
-let run what =
+let print_telemetry_summary telemetry =
+  Printf.eprintf
+    "telemetry: %d solve(s), %.3fs total solver wall time, %d domain(s)\n"
+    (Engine.Telemetry.count telemetry)
+    (Engine.Telemetry.total_wall_seconds telemetry)
+    (Engine.Pool.recommended_domains ())
+
+let run what domains with_telemetry =
+  match domains with
+  | Some d when d < 1 ->
+      `Error (false, Printf.sprintf "-j/--domains must be >= 1 (got %d)" d)
+  | _ ->
+  let telemetry =
+    if with_telemetry then Some (Engine.Telemetry.create ()) else None
+  in
+  let finish result =
+    Option.iter print_telemetry_summary telemetry;
+    result
+  in
   match what with
   | "all" ->
-      Crossbar_workloads.Report.print_all Format.std_formatter;
-      `Ok ()
+      Report.print_all ?domains ?telemetry Format.std_formatter;
+      finish (`Ok ())
   | name -> (
-      match List.assoc_opt name targets with
+      match List.assoc_opt name (targets ?domains ?telemetry ()) with
       | Some emit ->
           emit ();
-          `Ok ()
+          finish (`Ok ())
       | None ->
           `Error
             ( false,
@@ -58,8 +83,26 @@ let what_arg =
           "figure1 | figure2 | figure3 | figure4 | table1 | table2 | \
            forensics | simulation | baselines | all")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "domains" ] ~docv:"N"
+        ~doc:
+          "Domains for the figure/table sweeps (default: the engine's \
+           recommended pool width; 1 forces the sequential path). Output \
+           is identical for every value.")
+
+let telemetry_arg =
+  Arg.(
+    value & flag
+    & info [ "telemetry" ]
+        ~doc:"Print a solve/cache telemetry summary to stderr when done.")
+
 let cmd =
   let doc = "regenerate the paper's figures and tables" in
-  Cmd.v (Cmd.info "crossbar_tables" ~doc) Term.(ret (const run $ what_arg))
+  Cmd.v
+    (Cmd.info "crossbar_tables" ~doc)
+    Term.(ret (const run $ what_arg $ domains_arg $ telemetry_arg))
 
 let () = exit (Cmd.eval cmd)

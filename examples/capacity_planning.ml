@@ -65,4 +65,53 @@ let () =
   Printf.printf
     "\n(Erlang-B reference: %d full-access servers carry 3 erlangs at 2%%.)\n"
     (Crossbar_baselines.Erlang.servers_for_blocking ~offered_load:3.
-       ~target:0.02)
+       ~target:0.02);
+
+  (* (d) The planning surface itself, as a parallel engine sweep: blocking
+     across a (switch size x load multiplier) grid in one batched call.
+     Results are deterministic — identical for any domain count — so the
+     table below never depends on how many cores ran it. *)
+  let module Sweep = Crossbar_engine.Sweep in
+  let module Telemetry = Crossbar_engine.Telemetry in
+  let sizes = [ 16; 32; 64; 128 ] and multipliers = [ 1.; 4.; 16.; 64. ] in
+  let points =
+    List.concat_map
+      (fun n ->
+        List.map
+          (fun m ->
+            let model =
+              Crossbar.Model.square ~size:n
+                ~classes:
+                  [
+                    Crossbar.Traffic.poisson ~name:"traffic" ~bandwidth:1
+                      ~rate:(0.001 *. m) ~service_rate:1.0 ();
+                  ]
+            in
+            Sweep.point ~label:(Printf.sprintf "N=%d m=%g" n m) model)
+          multipliers)
+      sizes
+  in
+  let telemetry = Telemetry.create () in
+  let domains = Crossbar_engine.Pool.recommended_domains () in
+  let outcomes = Sweep.run ~domains ~telemetry points in
+  Printf.printf
+    "\nPlanning surface (blocking %%, %d points swept on %d domain(s)):\n\
+     N \\ load x" (List.length points) domains;
+  List.iter (fun m -> Printf.printf "\t%g" m) multipliers;
+  print_newline ();
+  List.iteri
+    (fun row n ->
+      Printf.printf "%d" n;
+      List.iteri
+        (fun col _ ->
+          let outcome = outcomes.((row * List.length multipliers) + col) in
+          Printf.printf "\t%.4f%%"
+            (100.
+            *. (Sweep.measures outcome).Crossbar.Measures.per_class.(0)
+                 .Crossbar.Measures.blocking))
+        multipliers;
+      print_newline ())
+    sizes;
+  Printf.printf "(engine: %d solve(s), %.3fs solver wall time)\n"
+    (Telemetry.count telemetry)
+    (Telemetry.total_wall_seconds telemetry)

@@ -145,7 +145,23 @@ let log_g t ~inputs ~outputs =
     || inputs > Model.inputs t.model
     || outputs > Model.outputs t.model
   then invalid_arg "Convolution.log_g: outside lattice";
-  log t.stored.(inputs).(outputs) -. t.log_omega
+  let stored = t.stored.(inputs).(outputs) in
+  (* G(n1, n2) >= 1 for every feasible lattice point (the empty state
+     always contributes), so a stored zero can only mean the entry was
+     flushed by dynamic rescaling: it sits so many orders of magnitude
+     below the corner that [stored * omega] underflowed.  Propagating
+     [log 0. = -inf] here silently corrupts downstream blocking and
+     revenue arithmetic, so refuse instead. *)
+  if stored = 0. then
+    failwith
+      (Printf.sprintf
+         "Convolution.log_g: lattice entry (%d, %d) was flushed to zero by \
+          %d dynamic rescale(s); it lies too far below G(%d, %d) to \
+          represent.  Solve a model of that size directly, or use \
+          Mva.log_normalization"
+         inputs outputs t.rescales (Model.inputs t.model)
+         (Model.outputs t.model));
+  log stored -. t.log_omega
 
 let log_normalization t =
   log_g t ~inputs:(Model.inputs t.model) ~outputs:(Model.outputs t.model)

@@ -27,11 +27,13 @@ val measures : t -> Measures.t
     prefactor — see DESIGN.md). *)
 
 val log_g : t -> inputs:int -> outputs:int -> float
-(** [log G(n1, n2)] read off the lattice.  Entries many rescales older
-    than the final corner may have been flushed to zero (returned as
-    [neg_infinity]); entries near the corner — the ones measures use —
-    are always exact.
-    @raise Invalid_argument outside the lattice. *)
+(** [log G(n1, n2)] read off the lattice.  Entries near the corner — the
+    ones measures use — are always exact.
+    @raise Invalid_argument outside the lattice.
+    @raise Failure if dynamic rescaling flushed the requested entry to
+    zero (it lies hundreds of orders of magnitude below the corner); the
+    sentinel [neg_infinity] is never returned, so downstream arithmetic
+    cannot be corrupted silently. *)
 
 val log_normalization : t -> float
 (** [log G(N1, N2)]. *)

@@ -15,6 +15,48 @@ let algorithm_to_string = function
 let recommended model =
   if Model.capacity model <= 32 then Convolution else Mean_value
 
+type solution = {
+  algorithm : algorithm;
+  measures : Measures.t;
+  log_normalization : float;
+  lattice_cells : int;
+  rescales : int;
+}
+
+let solve_full ?algorithm model =
+  let algorithm =
+    match algorithm with Some a -> a | None -> recommended model
+  in
+  let inputs = Model.inputs model and outputs = Model.outputs model in
+  let lattice_cells = (inputs + 1) * (outputs + 1) in
+  match algorithm with
+  | Brute_force ->
+      {
+        algorithm;
+        measures = Brute.solve model;
+        log_normalization = Brute.log_g model ~inputs ~outputs;
+        lattice_cells = 0;
+        rescales = 0;
+      }
+  | Convolution ->
+      let solved = Convolution.solve model in
+      {
+        algorithm;
+        measures = Convolution.measures solved;
+        log_normalization = Convolution.log_normalization solved;
+        lattice_cells;
+        rescales = Convolution.rescale_count solved;
+      }
+  | Mean_value ->
+      let solved = Mva.solve model in
+      {
+        algorithm;
+        measures = Mva.measures solved;
+        log_normalization = Mva.log_normalization solved;
+        lattice_cells;
+        rescales = 0;
+      }
+
 let solve ?algorithm model =
   let algorithm =
     match algorithm with Some a -> a | None -> recommended model

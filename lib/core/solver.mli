@@ -12,6 +12,24 @@ val recommended : Model.t -> algorithm
 (** The paper's guidance: Algorithm 1 for small crossbars
     ([min(N1,N2) <= 32]), Algorithm 2 for larger ones. *)
 
+type solution = {
+  algorithm : algorithm;  (** the algorithm that actually ran *)
+  measures : Measures.t;
+  log_normalization : float;  (** [log G(N1, N2)] from the same solve *)
+  lattice_cells : int;
+      (** lattice points computed: [(N1+1)(N2+1)] for the two
+          recurrence algorithms, [0] for enumeration *)
+  rescales : int;
+      (** {!Convolution} dynamic-rescale events; [0] for the others *)
+}
+
+val solve_full : ?algorithm:algorithm -> Model.t -> solution
+(** Evaluate the model once and return both the performance measures and
+    the log-normalisation constant, plus solve metadata.  Callers that
+    need measures {e and} [log G] (sweep engines, caches) must use this
+    instead of pairing {!solve} with {!log_normalization}, which would
+    run the recurrence twice. *)
+
 val solve : ?algorithm:algorithm -> Model.t -> Measures.t
 (** Evaluate the model; default algorithm is {!recommended}. *)
 

@@ -1,0 +1,63 @@
+module Model = Crossbar.Model
+module Traffic = Crossbar.Traffic
+module Solver = Crossbar.Solver
+
+type key = string
+
+let key_of_model ?algorithm model =
+  let algorithm =
+    match algorithm with Some a -> a | None -> Solver.recommended model
+  in
+  let b = Buffer.create 96 in
+  Buffer.add_string b
+    (Printf.sprintf "%dx%d|%s" (Model.inputs model) (Model.outputs model)
+       (Solver.algorithm_to_string algorithm));
+  Array.iter
+    (fun (c : Traffic.t) ->
+      (* Length-prefix the name so no class name can alias the separators;
+         %h prints the exact bit pattern of each rate. *)
+      Buffer.add_string b
+        (Printf.sprintf "|%d:%s;%d;%h;%h;%h"
+           (String.length c.Traffic.name)
+           c.Traffic.name c.Traffic.bandwidth c.Traffic.alpha c.Traffic.beta
+           c.Traffic.service_rate))
+    (Model.classes model);
+  Buffer.contents b
+
+type t = {
+  mutex : Mutex.t;
+  table : (key, Solver.solution) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () =
+  { mutex = Mutex.create (); table = Hashtbl.create 64; hits = 0; misses = 0 }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let find_or_solve t ?algorithm model =
+  let key = key_of_model ?algorithm model in
+  match locked t (fun () -> Hashtbl.find_opt t.table key) with
+  | Some solution ->
+      locked t (fun () -> t.hits <- t.hits + 1);
+      (solution, true)
+  | None ->
+      (* Solve outside the lock: misses on distinct keys stay parallel. *)
+      let solution = Solver.solve_full ?algorithm model in
+      locked t (fun () ->
+          t.misses <- t.misses + 1;
+          if not (Hashtbl.mem t.table key) then
+            Hashtbl.add t.table key solution);
+      (solution, false)
+
+let hits t = locked t (fun () -> t.hits)
+let misses t = locked t (fun () -> t.misses)
+let size t = locked t (fun () -> Hashtbl.length t.table)
+
+let hit_rate t =
+  locked t (fun () ->
+      let total = t.hits + t.misses in
+      if total = 0 then 0. else float_of_int t.hits /. float_of_int total)

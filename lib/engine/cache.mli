@@ -1,0 +1,48 @@
+(** Keyed cache of solved models.
+
+    The sweep engine evaluates thousands of closely related models —
+    figure series share sizes, revenue gradients re-solve perturbed
+    copies — so solved results are memoised under a fingerprint of the
+    exact model parameters and the algorithm that would run.  The cached
+    value is a full {!Crossbar.Solver.solution} (measures {e and}
+    normalisation from one solve), so a sweep never solves the same
+    model twice for any reason.
+
+    The cache is domain-safe: lookups and insertions are serialised by a
+    mutex, while solves on a miss run outside the lock so concurrent
+    misses on different keys still proceed in parallel.  Two domains
+    racing on the {e same} key may both solve it; the solvers are
+    deterministic, so whichever insertion wins stores the identical
+    value and determinism is preserved. *)
+
+type key = string
+(** Model fingerprint: switch dimensions, resolved algorithm, and every
+    class's name, bandwidth and exact (hex-printed) rate parameters.
+    Structurally equal models produce equal keys; any parameter
+    perturbation, however small, produces a distinct key. *)
+
+val key_of_model :
+  ?algorithm:Crossbar.Solver.algorithm -> Crossbar.Model.t -> key
+(** The fingerprint under which [find_or_solve] would file the model.
+    When [algorithm] is omitted the {!Crossbar.Solver.recommended}
+    choice is baked into the key, since it alone determines which
+    recurrence runs. *)
+
+type t
+
+val create : unit -> t
+
+val find_or_solve :
+  t ->
+  ?algorithm:Crossbar.Solver.algorithm ->
+  Crossbar.Model.t ->
+  Crossbar.Solver.solution * bool
+(** The cached or freshly computed solution, and whether it was a cache
+    hit.  Counters update accordingly. *)
+
+val hits : t -> int
+val misses : t -> int
+val size : t -> int
+
+val hit_rate : t -> float
+(** [hits / (hits + misses)]; [0.] before any lookup. *)

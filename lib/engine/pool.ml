@@ -1,0 +1,45 @@
+let recommended_domains () =
+  let hardware = min 8 (Domain.recommended_domain_count ()) in
+  match Sys.getenv_opt "CROSSBAR_DOMAINS" with
+  | None -> hardware
+  | Some text -> (
+      match int_of_string_opt (String.trim text) with
+      | Some d -> max 1 d
+      | None -> hardware)
+
+let run ?domains ~tasks f =
+  if tasks < 0 then invalid_arg "Pool.run: negative task count";
+  let domains =
+    match domains with
+    | None -> recommended_domains ()
+    | Some d when d < 1 -> invalid_arg "Pool.run: domains < 1"
+    | Some d -> d
+  in
+  let workers = min domains tasks in
+  if workers <= 1 then Array.init tasks f
+  else begin
+    let results = Array.make tasks None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < tasks && Atomic.get failure = None then begin
+          (match f i with
+          | value -> results.(i) <- Some value
+          | exception e ->
+              ignore (Atomic.compare_and_set failure None (Some e)));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    (* The calling domain is worker zero; spawn the rest. *)
+    let spawned = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    (match Atomic.get failure with Some e -> raise e | None -> ());
+    Array.map
+      (function Some value -> value | None -> assert false)
+      results
+  end

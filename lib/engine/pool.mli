@@ -1,0 +1,24 @@
+(** Fixed-size domain pool for deterministic fan-out.
+
+    [run] evaluates a pure task function over indices [0 .. tasks-1] on a
+    fixed-size pool of OCaml 5 domains and returns the results in index
+    order, so the output is bit-identical regardless of how many domains
+    execute it (work stealing only changes {e which} domain computes an
+    index, never what is computed).  When only one worker is available —
+    [Domain.recommended_domain_count () = 1], an explicit [~domains:1],
+    or a single task — no domain is spawned and the tasks run
+    sequentially in the calling domain. *)
+
+val recommended_domains : unit -> int
+(** Pool width used when [?domains] is omitted:
+    [Domain.recommended_domain_count ()] capped at 8 (solver sweeps are
+    memory-bandwidth-bound well before that), overridable with the
+    [CROSSBAR_DOMAINS] environment variable (values [< 1] mean 1). *)
+
+val run : ?domains:int -> tasks:int -> (int -> 'a) -> 'a array
+(** [run ~tasks f] returns [[| f 0; ...; f (tasks-1) |]].  [f] must be
+    safe to call from multiple domains (the solver layers are pure).  If
+    any task raises, the first exception observed is re-raised in the
+    caller after all domains join, and remaining un-started tasks are
+    abandoned.
+    @raise Invalid_argument if [tasks < 0] or [domains < 1]. *)

@@ -1,0 +1,72 @@
+module Model = Crossbar.Model
+module Solver = Crossbar.Solver
+
+type point = {
+  label : string;
+  model : Model.t;
+  algorithm : Solver.algorithm option;
+}
+
+let point ?algorithm ?label model =
+  let label =
+    match label with
+    | Some l -> l
+    | None ->
+        Printf.sprintf "%dx%d" (Model.inputs model) (Model.outputs model)
+  in
+  { label; model; algorithm }
+
+type outcome = {
+  point : point;
+  solution : Solver.solution;
+  wall_seconds : float;
+  from_cache : bool;
+}
+
+let measures outcome = outcome.solution.Solver.measures
+let log_normalization outcome = outcome.solution.Solver.log_normalization
+
+let solve_point cache p =
+  let started = Unix.gettimeofday () in
+  let solution, from_cache =
+    Cache.find_or_solve cache ?algorithm:p.algorithm p.model
+  in
+  {
+    point = p;
+    solution;
+    wall_seconds = Unix.gettimeofday () -. started;
+    from_cache;
+  }
+
+let record_outcome telemetry outcome =
+  match telemetry with
+  | None -> ()
+  | Some t ->
+      Telemetry.record t
+        {
+          Telemetry.label = outcome.point.label;
+          algorithm =
+            Solver.algorithm_to_string outcome.solution.Solver.algorithm;
+          wall_seconds = outcome.wall_seconds;
+          lattice_cells = outcome.solution.Solver.lattice_cells;
+          rescales = outcome.solution.Solver.rescales;
+          from_cache = outcome.from_cache;
+        }
+
+let run ?domains ?cache ?telemetry points =
+  let cache = match cache with Some c -> c | None -> Cache.create () in
+  let points = Array.of_list points in
+  let outcomes =
+    Pool.run ?domains ~tasks:(Array.length points) (fun i ->
+        solve_point cache points.(i))
+  in
+  (* Record after the pool joins so the telemetry stream is in point
+     order no matter which domain solved what. *)
+  Array.iter (record_outcome telemetry) outcomes;
+  outcomes
+
+let solve_model ?cache ?telemetry ?algorithm ?label model =
+  let cache = match cache with Some c -> c | None -> Cache.create () in
+  let outcome = solve_point cache (point ?algorithm ?label model) in
+  record_outcome telemetry outcome;
+  outcome.solution

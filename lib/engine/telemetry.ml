@@ -1,0 +1,71 @@
+type solve = {
+  label : string;
+  algorithm : string;
+  wall_seconds : float;
+  lattice_cells : int;
+  rescales : int;
+  from_cache : bool;
+}
+
+type t = { mutex : Mutex.t; mutable rev_solves : solve list }
+
+let create () = { mutex = Mutex.create (); rev_solves = [] }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let record t solve = locked t (fun () -> t.rev_solves <- solve :: t.rev_solves)
+let solves t = locked t (fun () -> List.rev t.rev_solves)
+let count t = locked t (fun () -> List.length t.rev_solves)
+
+let total_wall_seconds t =
+  locked t (fun () ->
+      List.fold_left (fun acc s -> acc +. s.wall_seconds) 0. t.rev_solves)
+
+let solve_to_json s =
+  Json.Assoc
+    [
+      ("label", Json.String s.label);
+      ("algorithm", Json.String s.algorithm);
+      ("wall_seconds", Json.Float s.wall_seconds);
+      ("lattice_cells", Json.Int s.lattice_cells);
+      ("rescales", Json.Int s.rescales);
+      ("from_cache", Json.Bool s.from_cache);
+    ]
+
+let to_json ?cache ?domains t =
+  let solves = solves t in
+  let base =
+    [
+      ("solves", Json.Int (List.length solves));
+      ( "wall_seconds",
+        Json.Float
+          (List.fold_left (fun acc s -> acc +. s.wall_seconds) 0. solves) );
+      ( "lattice_cells",
+        Json.Int (List.fold_left (fun acc s -> acc + s.lattice_cells) 0 solves)
+      );
+      ("rescales", Json.Int (List.fold_left (fun acc s -> acc + s.rescales) 0 solves));
+    ]
+  in
+  let pool =
+    match domains with None -> [] | Some d -> [ ("domains", Json.Int d) ]
+  in
+  let cache_fields =
+    match cache with
+    | None -> []
+    | Some c ->
+        [
+          ( "cache",
+            Json.Assoc
+              [
+                ("hits", Json.Int (Cache.hits c));
+                ("misses", Json.Int (Cache.misses c));
+                ("entries", Json.Int (Cache.size c));
+                ("hit_rate", Json.Float (Cache.hit_rate c));
+              ] );
+        ]
+  in
+  Json.Assoc
+    (base @ pool @ cache_fields
+    @ [ ("records", Json.List (List.map solve_to_json solves)) ])

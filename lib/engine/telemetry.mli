@@ -1,0 +1,40 @@
+(** Per-solve telemetry collected by the sweep engine.
+
+    Every solve the engine performs is recorded: what ran, how long it
+    took on the wall clock, how much lattice work it implied, how many
+    dynamic rescales the convolution needed, and whether the result came
+    from the cache.  Records render to the JSON schema documented in
+    DESIGN.md ("Telemetry schema") and consumed by
+    [bench/main.exe --json]. *)
+
+type solve = {
+  label : string;  (** caller-supplied point label *)
+  algorithm : string;  (** {!Crossbar.Solver.algorithm_to_string} *)
+  wall_seconds : float;
+      (** wall time of this [find_or_solve] call; near zero on hits *)
+  lattice_cells : int;
+  rescales : int;
+  from_cache : bool;
+}
+
+type t
+
+val create : unit -> t
+
+val record : t -> solve -> unit
+(** Append a record (domain-safe). *)
+
+val solves : t -> solve list
+(** Records in the order they were appended. *)
+
+val count : t -> int
+
+val total_wall_seconds : t -> float
+(** Sum of [wall_seconds] over all records. *)
+
+val solve_to_json : solve -> Json.t
+
+val to_json : ?cache:Cache.t -> ?domains:int -> t -> Json.t
+(** The full collector as one JSON object: aggregate counters, optional
+    cache hit/miss statistics and pool width, then the per-solve record
+    list. *)

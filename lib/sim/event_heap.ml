@@ -68,8 +68,16 @@ let pop heap =
     heap.size <- heap.size - 1;
     if heap.size > 0 then begin
       heap.entries.(0) <- heap.entries.(heap.size);
+      (* Alias the vacated slot to a live entry so the popped payload is
+         not retained until a future [add] happens to overwrite it — a
+         space leak over long simulation horizons. *)
+      heap.entries.(heap.size) <- heap.entries.(0);
       sift_down heap 0
-    end;
+    end
+    else
+      (* Heap drained: drop the backing store entirely rather than leave
+         the last payload pinned at index 0. *)
+      heap.entries <- [||];
     Some (e.time, e.payload)
   end
 

@@ -1,20 +1,40 @@
 module Measures = Crossbar.Measures
 module Model = Crossbar.Model
+module Sweep = Crossbar_engine.Sweep
+module Cache = Crossbar_engine.Cache
 
-let blocking model =
-  let m = Crossbar.Solver.solve model in
-  m.Measures.per_class.(0).Measures.blocking
+let blocking_of_outcome outcome =
+  (Sweep.measures outcome).Measures.per_class.(0).Measures.blocking
 
-let print_figure ?(sizes = Paper.sizes) ppf ~name series =
+let print_figure ?(sizes = Paper.sizes) ?domains ?cache ?telemetry ppf ~name
+    series =
+  (* One engine sweep over the whole (size x series) grid, in row-major
+     print order; results come back in the same order regardless of how
+     many domains solved them. *)
+  let points =
+    List.concat_map
+      (fun n ->
+        List.map
+          (fun s ->
+            Sweep.point
+              ~label:(Printf.sprintf "%s N=%d" s.Paper.label n)
+              (s.Paper.model_of_size n))
+          series)
+      sizes
+  in
+  let outcomes = Sweep.run ?domains ?cache ?telemetry points in
+  let width = List.length series in
   Format.fprintf ppf "# %s: blocking probability vs square switch size@." name;
   Format.fprintf ppf "N";
   List.iter (fun s -> Format.fprintf ppf "\t%s" s.Paper.label) series;
   Format.fprintf ppf "@.";
-  List.iter
-    (fun n ->
+  List.iteri
+    (fun row n ->
       Format.fprintf ppf "%d" n;
-      List.iter
-        (fun s -> Format.fprintf ppf "\t%.8g" (blocking (s.Paper.model_of_size n)))
+      List.iteri
+        (fun col _ ->
+          Format.fprintf ppf "\t%.8g"
+            (blocking_of_outcome outcomes.((row * width) + col)))
         series;
       Format.fprintf ppf "@.")
     sizes
@@ -29,10 +49,14 @@ let print_table1 ppf =
       Format.fprintf ppf "%d\t%.6g\t%.6g@." n rho1 rho2)
     Paper.table1_sizes
 
-let table2_measured set n =
+let table2_measured ?cache set n =
   let model = Paper.table2_model set n in
   let weights = set.Paper.weights in
-  let measures = Crossbar.Solver.solve model in
+  let measures =
+    match cache with
+    | Some cache -> (fst (Cache.find_or_solve cache model)).Crossbar.Solver.measures
+    | None -> Crossbar.Solver.solve model
+  in
   let revenue = Measures.revenue measures ~weights in
   let blocking = measures.Measures.per_class.(0).Measures.blocking in
   let gradient_rho1 =
@@ -44,7 +68,24 @@ let table2_measured set n =
   in
   (gradient_rho1, gradient_beta2, blocking, revenue)
 
-let print_table2 ppf =
+let print_table2 ?domains ?cache ?telemetry ppf =
+  (* Warm the cache for every (set, size) base model in parallel; the
+     sequential printing loop below then hits the cache for each row
+     (the revenue gradients re-solve perturbed models internally and are
+     left on the direct path). *)
+  let cache = match cache with Some c -> c | None -> Cache.create () in
+  let points =
+    List.concat_map
+      (fun set ->
+        List.map
+          (fun n ->
+            Sweep.point
+              ~label:(Printf.sprintf "table2 %s N=%d" set.Paper.set_label n)
+              (Paper.table2_model set n))
+          Paper.table2_sizes)
+      Paper.table2_sets
+  in
+  ignore (Sweep.run ?domains ~cache ?telemetry points : Sweep.outcome array);
   Format.fprintf ppf
     "# Table 2: revenue analysis — measured (exact model) | paper (printed)@.";
   List.iter
@@ -55,7 +96,7 @@ let print_table2 ppf =
       List.iter
         (fun (row : Printed.table2_row) ->
           let n = row.Printed.size in
-          let g1, g2, b, w = table2_measured set n in
+          let g1, g2, b, w = table2_measured ~cache set n in
           Format.fprintf ppf
             "%d\t%.6g\t%.6g\t%.6g\t%.6g\t|\t%.6g\t%s\t%.6g\t%.6g@." n g1 g2 b w
             row.Printed.gradient_rho1
@@ -215,19 +256,25 @@ let print_hotspot ?(horizon = 2e4) ppf =
         sim.Crossbar_hotspot.Sim.overall_halfwidth)
     [ 1.; 4.; 16. ]
 
-let print_all ppf =
-  print_figure ppf ~name:"Figure 1 (smooth traffic)" Paper.figure1;
+let print_all ?domains ?telemetry ppf =
+  (* One cache for the whole report: figure series and tables share
+     operating points, so later sections reuse earlier solves. *)
+  let cache = Cache.create () in
+  print_figure ?domains ~cache ?telemetry ppf
+    ~name:"Figure 1 (smooth traffic)" Paper.figure1;
   Format.fprintf ppf "@.";
-  print_figure ppf ~name:"Figure 2 (peaky traffic)" Paper.figure2;
+  print_figure ?domains ~cache ?telemetry ppf
+    ~name:"Figure 2 (peaky traffic)" Paper.figure2;
   Format.fprintf ppf "@.";
-  print_figure ppf ~name:"Figure 3 (two classes vs one)" Paper.figure3;
+  print_figure ?domains ~cache ?telemetry ppf
+    ~name:"Figure 3 (two classes vs one)" Paper.figure3;
   Format.fprintf ppf "@.";
-  print_figure ~sizes:Paper.figure4_sizes ppf
+  print_figure ~sizes:Paper.figure4_sizes ?domains ~cache ?telemetry ppf
     ~name:"Figure 4 (multi-rate, Table 1 loads)" Paper.figure4;
   Format.fprintf ppf "@.";
   print_table1 ppf;
   Format.fprintf ppf "@.";
-  print_table2 ppf;
+  print_table2 ?domains ~cache ?telemetry ppf;
   Format.fprintf ppf "@.";
   print_forensics ppf;
   Format.fprintf ppf "@.";

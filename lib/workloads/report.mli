@@ -3,16 +3,35 @@
 
     Each [print_*] writes a self-describing TSV block: the series the
     corresponding paper figure plots, or the table rows with this
-    implementation's values side by side with the published ones. *)
+    implementation's values side by side with the published ones.
+
+    The figure and Table 2 sweeps run through
+    {!Crossbar_engine.Sweep}: pass [?domains] to control the pool width
+    (default {!Crossbar_engine.Pool.recommended_domains}), [?cache] to
+    share solved models across sections, and [?telemetry] to collect
+    per-solve records.  Output is byte-identical for every domain
+    count. *)
 
 val print_figure :
-  ?sizes:int list -> Format.formatter -> name:string -> Paper.series list ->
+  ?sizes:int list ->
+  ?domains:int ->
+  ?cache:Crossbar_engine.Cache.t ->
+  ?telemetry:Crossbar_engine.Telemetry.t ->
+  Format.formatter ->
+  name:string ->
+  Paper.series list ->
   unit
 (** Blocking probability of the first class of each series, for every
     size in [sizes] (default {!Paper.sizes}). *)
 
 val print_table1 : Format.formatter -> unit
-val print_table2 : Format.formatter -> unit
+
+val print_table2 :
+  ?domains:int ->
+  ?cache:Crossbar_engine.Cache.t ->
+  ?telemetry:Crossbar_engine.Telemetry.t ->
+  Format.formatter ->
+  unit
 
 val print_forensics : Format.formatter -> unit
 (** The Table 2 provenance analysis: printed values vs the exact model vs
@@ -36,5 +55,10 @@ val print_hotspot : ?horizon:float -> Format.formatter -> unit
 (** The companion-study extension: exact hot-spot blocking (symmetric
     polynomials) vs port-level simulation. *)
 
-val print_all : Format.formatter -> unit
-(** Every section above, in paper order (uses short simulations). *)
+val print_all :
+  ?domains:int ->
+  ?telemetry:Crossbar_engine.Telemetry.t ->
+  Format.formatter ->
+  unit
+(** Every section above, in paper order (uses short simulations), with
+    one shared solution cache across sections. *)

@@ -140,6 +140,26 @@ let test_dynamic_scaling_fires_and_stays_correct () =
   check_measures_equal ~tol:1e-8 "scaled vs mva" (Convolution.measures conv)
     (Mva.measures (Mva.solve model))
 
+let test_flushed_entry_detected () =
+  (* Extreme load on a large switch forces repeated rescales; entries near
+     the origin underflow to zero.  log_g must refuse them loudly instead
+     of returning -inf into downstream blocking/revenue arithmetic. *)
+  let model = Model.square ~size:64 ~classes:[ poisson ~name:"hot" 1e12 ] in
+  let solved = Convolution.solve model in
+  check_bool "multiple rescales fired" true
+    (Convolution.rescale_count solved >= 2);
+  check_raises_failure "flushed origin refused" (fun () ->
+      ignore (Convolution.log_g solved ~inputs:0 ~outputs:0));
+  (* The corner — and therefore every measure — stays exact and finite. *)
+  check_bool "corner finite" true
+    (Float.is_finite (Convolution.log_normalization solved));
+  Array.iter
+    (fun (c : Measures.per_class) ->
+      check_bool "finite blocking" true (Float.is_finite c.Measures.blocking);
+      check_bool "finite concurrency" true
+        (Float.is_finite c.Measures.concurrency))
+    (Convolution.measures solved).Measures.per_class
+
 (* ---------- special cases with closed forms ---------- *)
 
 let test_single_row_is_erlang () =
@@ -240,6 +260,7 @@ let () =
           case "no rescale at paper sizes" test_no_rescale_at_paper_sizes;
           slow_case "dynamic scaling correctness"
             test_dynamic_scaling_fires_and_stays_correct;
+          case "flushed entry detected" test_flushed_entry_detected;
         ] );
       ( "mva",
         [

@@ -1,0 +1,314 @@
+open Helpers
+module Pool = Crossbar_engine.Pool
+module Cache = Crossbar_engine.Cache
+module Sweep = Crossbar_engine.Sweep
+module Telemetry = Crossbar_engine.Telemetry
+module Json = Crossbar_engine.Json
+module Model = Crossbar.Model
+module Solver = Crossbar.Solver
+module Measures = Crossbar.Measures
+
+(* ---------- pool ---------- *)
+
+let test_pool_orders_results () =
+  let sequential = Pool.run ~domains:1 ~tasks:200 (fun i -> i * i) in
+  let parallel = Pool.run ~domains:4 ~tasks:200 (fun i -> i * i) in
+  check_bool "same results" true (sequential = parallel);
+  check_int "length" 200 (Array.length parallel);
+  Array.iteri (fun i v -> check_int "in index order" (i * i) v) parallel
+
+let test_pool_empty_and_single () =
+  check_int "no tasks" 0 (Array.length (Pool.run ~domains:4 ~tasks:0 Fun.id));
+  check_bool "single task" true
+    (Pool.run ~domains:4 ~tasks:1 (fun i -> 10 * i) = [| 0 |])
+
+let test_pool_propagates_exception () =
+  match
+    Pool.run ~domains:3 ~tasks:50 (fun i ->
+        if i = 25 then failwith "task 25 exploded" else i)
+  with
+  | _ -> Alcotest.fail "expected the task exception to propagate"
+  | exception Failure message ->
+      check_bool "message preserved" true
+        (String.equal message "task 25 exploded")
+
+let test_pool_rejects_bad_arguments () =
+  check_raises_invalid "domains < 1" (fun () ->
+      ignore (Pool.run ~domains:0 ~tasks:4 Fun.id));
+  check_raises_invalid "tasks < 0" (fun () ->
+      ignore (Pool.run ~domains:2 ~tasks:(-1) Fun.id))
+
+(* ---------- cache keying ---------- *)
+
+let two_class_model () =
+  Model.square ~size:6
+    ~classes:
+      [ poisson ~name:"p" 0.4; pascal ~name:"q" ~alpha:0.3 ~beta:0.1 () ]
+
+let test_cache_structural_hit () =
+  let cache = Cache.create () in
+  (* Two structurally equal models built independently share the key. *)
+  let a = two_class_model () and b = two_class_model () in
+  check_bool "equal keys" true
+    (String.equal (Cache.key_of_model a) (Cache.key_of_model b));
+  let solution_a, hit_a = Cache.find_or_solve cache a in
+  let solution_b, hit_b = Cache.find_or_solve cache b in
+  check_bool "first is a miss" false hit_a;
+  check_bool "second is a hit" true hit_b;
+  check_bool "same solution" true (solution_a == solution_b);
+  check_int "hits" 1 (Cache.hits cache);
+  check_int "misses" 1 (Cache.misses cache);
+  check_close "hit rate" 0.5 (Cache.hit_rate cache)
+
+let test_cache_perturbed_rate_misses () =
+  let cache = Cache.create () in
+  let base = two_class_model () in
+  let perturbed =
+    Model.map_class base 0 (fun c ->
+        Crossbar.Traffic.with_alpha c (c.Crossbar.Traffic.alpha *. (1. +. 1e-13)))
+  in
+  check_bool "distinct keys" false
+    (String.equal (Cache.key_of_model base) (Cache.key_of_model perturbed));
+  ignore (Cache.find_or_solve cache base);
+  let _, hit = Cache.find_or_solve cache perturbed in
+  check_bool "perturbed rate misses" false hit;
+  check_int "two entries" 2 (Cache.size cache)
+
+let test_cache_algorithm_in_key () =
+  let model = two_class_model () in
+  check_bool "algorithms key separately" false
+    (String.equal
+       (Cache.key_of_model ~algorithm:Solver.Convolution model)
+       (Cache.key_of_model ~algorithm:Solver.Mean_value model))
+
+(* ---------- sweep determinism ---------- *)
+
+let bits_equal label a b =
+  check_bool label true (Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
+
+let check_outcomes_bit_identical (seq : Sweep.outcome array)
+    (par : Sweep.outcome array) =
+  check_int "same count" (Array.length seq) (Array.length par);
+  Array.iteri
+    (fun i (a : Sweep.outcome) ->
+      let b = par.(i) in
+      bits_equal "log G" (Sweep.log_normalization a) (Sweep.log_normalization b);
+      let ma = Sweep.measures a and mb = Sweep.measures b in
+      bits_equal "busy ports" ma.Measures.busy_ports mb.Measures.busy_ports;
+      Array.iteri
+        (fun r (ca : Measures.per_class) ->
+          let cb = mb.Measures.per_class.(r) in
+          bits_equal "blocking" ca.Measures.blocking cb.Measures.blocking;
+          bits_equal "concurrency" ca.Measures.concurrency
+            cb.Measures.concurrency;
+          bits_equal "throughput" ca.Measures.throughput cb.Measures.throughput)
+        ma.Measures.per_class)
+    seq
+
+let sweep_determinism_prop =
+  QCheck2.Test.make
+    ~name:"sweep: domains:1 and domains:4 are bit-identical" ~count:30
+    (QCheck2.Gen.list_size (QCheck2.Gen.int_range 1 8) Helpers.random_model_gen)
+    (fun batch ->
+      let points =
+        List.mapi
+          (fun i model -> Sweep.point ~label:(string_of_int i) model)
+          batch
+      in
+      let seq = Sweep.run ~domains:1 points in
+      let par = Sweep.run ~domains:4 points in
+      check_outcomes_bit_identical seq par;
+      true)
+
+let test_sweep_warm_cache_identical () =
+  (* A duplicated batch through one shared cache: second pass must be all
+     hits and still bit-identical to the cold pass. *)
+  let cache = Cache.create () in
+  let points =
+    List.concat_map
+      (fun (label, model) -> [ Sweep.point ~label model ])
+      (validation_models ())
+  in
+  let cold = Sweep.run ~domains:2 ~cache points in
+  let warm = Sweep.run ~domains:2 ~cache points in
+  check_outcomes_bit_identical cold warm;
+  Array.iter
+    (fun (o : Sweep.outcome) -> check_bool "warm hit" true o.Sweep.from_cache)
+    warm
+
+let test_sweep_single_solve_per_model () =
+  (* The engine never solves the same model twice: measures and log G
+     come from one solve_full, and repeats within a batch hit the cache. *)
+  let cache = Cache.create () in
+  let telemetry = Telemetry.create () in
+  let model = two_class_model () in
+  let points = List.init 5 (fun i -> Sweep.point ~label:(string_of_int i) model) in
+  let outcomes = Sweep.run ~domains:1 ~cache ~telemetry points in
+  check_int "one miss" 1 (Cache.misses cache);
+  check_int "four hits" 4 (Cache.hits cache);
+  check_int "five records" 5 (Telemetry.count telemetry);
+  let solution = outcomes.(0).Sweep.solution in
+  let direct = Solver.solve_full model in
+  bits_equal "log G matches direct solve_full"
+    solution.Solver.log_normalization direct.Solver.log_normalization;
+  bits_equal "blocking matches Solver.solve"
+    (Solver.solve model).Measures.per_class.(0).Measures.blocking
+    solution.Solver.measures.Measures.per_class.(0).Measures.blocking
+
+(* ---------- solve_full consistency ---------- *)
+
+let test_solve_full_matches_components () =
+  List.iter
+    (fun (label, model) ->
+      List.iter
+        (fun algorithm ->
+          let full = Solver.solve_full ~algorithm model in
+          check_close
+            (label ^ ": log G in one solve")
+            (Solver.log_normalization ~algorithm model)
+            full.Solver.log_normalization ~tol:1e-12;
+          check_close
+            (label ^ ": blocking in one solve")
+            (Solver.solve ~algorithm model).Measures.per_class.(0)
+              .Measures.blocking
+            full.Solver.measures.Measures.per_class.(0).Measures.blocking
+            ~tol:1e-12)
+        [ Solver.Brute_force; Solver.Convolution; Solver.Mean_value ])
+    [ List.hd (validation_models ()); List.nth (validation_models ()) 3 ]
+
+(* ---------- telemetry ---------- *)
+
+let test_telemetry_records_in_point_order () =
+  let telemetry = Telemetry.create () in
+  let points =
+    List.map
+      (fun (label, model) -> Sweep.point ~label model)
+      (validation_models ())
+  in
+  ignore (Sweep.run ~domains:3 ~telemetry points);
+  let labels = List.map (fun s -> s.Telemetry.label) (Telemetry.solves telemetry) in
+  check_bool "labels in point order" true
+    (labels = List.map (fun p -> p.Sweep.label) points);
+  check_bool "wall time accumulates" true
+    (Telemetry.total_wall_seconds telemetry >= 0.);
+  List.iter
+    (fun s ->
+      check_bool "cells recorded" true (s.Telemetry.lattice_cells > 0);
+      check_int "no rescales at these sizes" 0 s.Telemetry.rescales)
+    (Telemetry.solves telemetry)
+
+(* ---------- json ---------- *)
+
+let sample_json =
+  Json.Assoc
+    [
+      ("schema", Json.String "crossbar-bench/1");
+      ("count", Json.Int 3);
+      ("rate", Json.Float 0.062992125984251968);
+      ("ok", Json.Bool true);
+      ("nothing", Json.Null);
+      ("names", Json.List [ Json.String "a\"b\\c"; Json.String "tab\there" ]);
+      ("nested", Json.Assoc [ ("empty_list", Json.List []); ("empty", Json.Assoc []) ]);
+    ]
+
+let test_json_roundtrip () =
+  (match Json.of_string (Json.to_string sample_json) with
+  | Ok parsed -> check_bool "compact roundtrip" true (parsed = sample_json)
+  | Error m -> Alcotest.failf "compact roundtrip failed: %s" m);
+  match Json.of_string (Format.asprintf "%a" Json.pp sample_json) with
+  | Ok parsed -> check_bool "pretty roundtrip" true (parsed = sample_json)
+  | Error m -> Alcotest.failf "pretty roundtrip failed: %s" m
+
+let test_json_float_fidelity () =
+  List.iter
+    (fun f ->
+      match Json.of_string (Json.to_string (Json.Float f)) with
+      | Ok (Json.Float g) ->
+          check_bool "float bits survive" true
+            (Int64.equal (Int64.bits_of_float f) (Int64.bits_of_float g))
+      | _ -> Alcotest.fail "float did not roundtrip")
+    [ 0.1; 1e-300; 6.02214076e23; -0.0024; Float.pi ];
+  (* Non-finite floats must degrade to null, never to invalid tokens. *)
+  check_bool "inf is null" true
+    (String.equal (Json.to_string (Json.Float Float.infinity)) "null");
+  check_bool "nan is null" true
+    (String.equal (Json.to_string (Json.Float Float.nan)) "null")
+
+let test_json_rejects_malformed () =
+  List.iter
+    (fun text ->
+      match Json.of_string text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed JSON %S" text)
+    [ "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; ""; "{\"a\" 1}"; "\"unterminated" ]
+
+let test_json_member () =
+  check_bool "member finds field" true
+    (Json.member "count" sample_json = Some (Json.Int 3));
+  check_bool "member misses absent" true (Json.member "absent" sample_json = None);
+  check_bool "member on non-object" true (Json.member "x" (Json.Int 1) = None)
+
+let test_telemetry_json_shape () =
+  let cache = Cache.create () in
+  let telemetry = Telemetry.create () in
+  let model = two_class_model () in
+  ignore
+    (Sweep.run ~domains:1 ~cache ~telemetry
+       [ Sweep.point ~label:"a" model; Sweep.point ~label:"b" model ]);
+  let json = Telemetry.to_json ~cache ~domains:1 telemetry in
+  (* The emitted document must re-parse and carry the schema fields the
+     bench snapshot consumer checks for. *)
+  (match Json.of_string (Json.to_string json) with
+  | Ok reparsed -> check_bool "reparses" true (reparsed = json)
+  | Error m -> Alcotest.failf "telemetry json malformed: %s" m);
+  check_bool "solve count" true (Json.member "solves" json = Some (Json.Int 2));
+  (match Json.member "cache" json with
+  | Some cache_json ->
+      check_bool "hits" true (Json.member "hits" cache_json = Some (Json.Int 1));
+      check_bool "misses" true
+        (Json.member "misses" cache_json = Some (Json.Int 1))
+  | None -> Alcotest.fail "cache stats missing");
+  match Json.member "records" json with
+  | Some (Json.List [ first; second ]) ->
+      check_bool "first label" true
+        (Json.member "label" first = Some (Json.String "a"));
+      check_bool "second from cache" true
+        (Json.member "from_cache" second = Some (Json.Bool true))
+  | _ -> Alcotest.fail "records list missing"
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "pool",
+        [
+          case "index order" test_pool_orders_results;
+          case "empty and single" test_pool_empty_and_single;
+          case "exception propagation" test_pool_propagates_exception;
+          case "bad arguments" test_pool_rejects_bad_arguments;
+        ] );
+      ( "cache",
+        [
+          case "structural hit" test_cache_structural_hit;
+          case "perturbed rate misses" test_cache_perturbed_rate_misses;
+          case "algorithm in key" test_cache_algorithm_in_key;
+        ] );
+      ( "sweep",
+        [
+          case "warm cache identical" test_sweep_warm_cache_identical;
+          case "single solve per model" test_sweep_single_solve_per_model;
+          case "solve_full consistency" test_solve_full_matches_components;
+        ] );
+      ("determinism", [ qcheck sweep_determinism_prop ]);
+      ( "telemetry",
+        [
+          case "records in point order" test_telemetry_records_in_point_order;
+          case "json shape" test_telemetry_json_shape;
+        ] );
+      ( "json",
+        [
+          case "roundtrip" test_json_roundtrip;
+          case "float fidelity" test_json_float_fidelity;
+          case "rejects malformed" test_json_rejects_malformed;
+          case "member" test_json_member;
+        ] );
+    ]

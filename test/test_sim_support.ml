@@ -48,6 +48,50 @@ let test_heap_nan () =
   check_raises_invalid "nan time" (fun () ->
       Event_heap.add heap ~time:Float.nan ())
 
+let test_heap_pop_then_grow () =
+  (* Pops vacate slots beyond [size]; a later growth spurt must neither
+     resurface stale entries nor disturb ordering. *)
+  let heap = Event_heap.create () in
+  for i = 0 to 19 do
+    Event_heap.add heap ~time:(float_of_int i) i
+  done;
+  for _ = 1 to 15 do
+    ignore (Event_heap.pop heap)
+  done;
+  check_int "size after pops" 5 (Event_heap.size heap);
+  for i = 20 to 99 do
+    Event_heap.add heap ~time:(float_of_int i) i
+  done;
+  let expected = ref 15 in
+  let continue = ref true in
+  while !continue do
+    match Event_heap.pop heap with
+    | None -> continue := false
+    | Some (t, payload) ->
+        check_int "payload order" !expected payload;
+        check_close "time order" (float_of_int !expected) t;
+        incr expected
+  done;
+  check_int "drained completely" 100 !expected
+
+let test_heap_drain_then_reuse () =
+  (* Draining to empty drops the backing store (so the last payload is
+     not pinned); the heap must keep working afterwards. *)
+  let heap = Event_heap.create () in
+  Event_heap.add heap ~time:1. "a";
+  (match Event_heap.pop heap with
+  | Some (_, "a") -> ()
+  | _ -> Alcotest.fail "expected a");
+  check_bool "empty" true (Event_heap.is_empty heap);
+  Event_heap.add heap ~time:2. "b";
+  Event_heap.add heap ~time:1.5 "c";
+  (match Event_heap.pop heap with
+  | Some (_, "c") -> ()
+  | _ -> Alcotest.fail "expected c");
+  match Event_heap.pop heap with
+  | Some (_, "b") -> ()
+  | _ -> Alcotest.fail "expected b"
+
 (* ---------- stats ---------- *)
 
 let test_welford () =
@@ -218,6 +262,8 @@ let () =
           case "ordering" test_heap_ordering;
           case "fifo ties" test_heap_fifo_ties;
           case "nan rejected" test_heap_nan;
+          case "pop then grow" test_heap_pop_then_grow;
+          case "drain then reuse" test_heap_drain_then_reuse;
         ] );
       ( "stats",
         [
