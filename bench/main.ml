@@ -139,11 +139,13 @@ let benchmark () =
       match Analyze.OLS.estimates ols with
       | Some [ nanoseconds ] ->
           let pretty =
-            if nanoseconds > 1e9 then Printf.sprintf "%.3f s" (nanoseconds /. 1e9)
-            else if nanoseconds > 1e6 then
-              Printf.sprintf "%.3f ms" (nanoseconds /. 1e6)
-            else if nanoseconds > 1e3 then
-              Printf.sprintf "%.3f us" (nanoseconds /. 1e3)
+            let second = 1e9 and millisecond = 1e6 and microsecond = 1e3 in
+            if nanoseconds > second then
+              Printf.sprintf "%.3f s" (nanoseconds /. second)
+            else if nanoseconds > millisecond then
+              Printf.sprintf "%.3f ms" (nanoseconds /. millisecond)
+            else if nanoseconds > microsecond then
+              Printf.sprintf "%.3f us" (nanoseconds /. microsecond)
             else Printf.sprintf "%.0f ns" nanoseconds
           in
           Printf.printf "%-40s %s\n" name pretty;

@@ -8,11 +8,15 @@
 
 open Cmdliner
 
+(* Probabilities below this are noise at the printed precision. *)
+let display_floor = 1e-9
+
 let print_occupancy model =
   let distribution = Crossbar.Occupancy.load_distribution model in
   Format.printf "busy-port distribution:@.";
   Array.iteri
-    (fun j p -> if p > 1e-9 then Format.printf "  P(load = %d) = %.6g@." j p)
+    (fun j p ->
+      if p > display_floor then Format.printf "  P(load = %d) = %.6g@." j p)
     distribution;
   Format.printf "99%% busy-port quantile: %d@."
     (Crossbar.Occupancy.load_quantile model ~probability:0.99)

@@ -1,0 +1,103 @@
+(* crossbar-lint: static-analysis pass over the crossbar sources.
+
+   Exit codes: 0 clean, 1 findings reported, 2 usage or I/O error. *)
+
+module Lint = Crossbar_lint
+module Json = Crossbar_engine.Json
+
+let usage =
+  "usage: crossbar_lint [options] [PATH ...]\n\
+   \n\
+   Parses every .ml/.mli under the given paths (default: lib bin bench\n\
+   examples) with compiler-libs and enforces the R1-R6 invariants\n\
+   documented in docs/LINT.md.\n\
+   \n\
+   options:\n\
+   \  --json -        write the findings report as JSON to stdout\n\
+   \  --json FILE     write the findings report as JSON to FILE\n\
+   \  --rules LIST    comma-separated rule subset to run (e.g. R1,R5)\n\
+   \  --list-rules    print the rule table and exit\n\
+   \  --help          show this message\n"
+
+let default_paths = [ "lib"; "bin"; "bench"; "examples" ]
+
+let die message =
+  prerr_string message;
+  prerr_newline ();
+  exit 2
+
+let list_rules () =
+  List.iter
+    (fun rule ->
+      Printf.printf "%s  %s\n    %s\n" (Lint.Rule.to_string rule)
+        (Lint.Rule.title rule) (Lint.Rule.rationale rule))
+    Lint.Rule.all
+
+let parse_rules text =
+  let ids =
+    String.split_on_char ',' text
+    |> List.filter (fun s -> String.trim s <> "")
+    |> List.map (fun s ->
+           match Lint.Rule.of_string s with
+           | Some rule -> rule
+           | None -> die (Printf.sprintf "crossbar_lint: unknown rule %S" s))
+  in
+  if ids = [] then die "crossbar_lint: --rules needs at least one rule id";
+  ids
+
+let () =
+  let json_target = ref None in
+  let rules = ref None in
+  let paths = ref [] in
+  let arguments = Array.to_list Sys.argv |> List.tl in
+  let rec parse = function
+    | [] -> ()
+    | "--help" :: _ | "-h" :: _ ->
+        print_string usage;
+        exit 0
+    | "--list-rules" :: _ ->
+        list_rules ();
+        exit 0
+    | "--json" :: target :: rest ->
+        json_target := Some target;
+        parse rest
+    | [ "--json" ] -> die "crossbar_lint: --json needs a target (- or FILE)"
+    | "--rules" :: spec :: rest ->
+        rules := Some (parse_rules spec);
+        parse rest
+    | [ "--rules" ] -> die "crossbar_lint: --rules needs a rule list"
+    | flag :: _ when String.length flag > 1 && flag.[0] = '-' && flag <> "-" ->
+        die (Printf.sprintf "crossbar_lint: unknown option %s\n%s" flag usage)
+    | path :: rest ->
+        paths := path :: !paths;
+        parse rest
+  in
+  parse arguments;
+  let paths =
+    match List.rev !paths with [] -> default_paths | paths -> paths
+  in
+  List.iter
+    (fun path ->
+      if not (Sys.file_exists path) then
+        die (Printf.sprintf "crossbar_lint: no such path %s" path))
+    paths;
+  let config =
+    match !rules with
+    | None -> Lint.Config.default
+    | Some rules -> { Lint.Config.default with Lint.Config.rules }
+  in
+  let findings = Lint.Driver.lint ~config paths in
+  (match !json_target with
+  | Some "-" ->
+      print_string (Json.to_string (Lint.Finding.report_to_json findings));
+      print_newline ()
+  | Some file ->
+      let oc = open_out file in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc
+            (Json.to_string (Lint.Finding.report_to_json findings));
+          output_char oc '\n')
+  | None -> Lint.Driver.pp_report Format.std_formatter findings);
+  exit (if findings = [] then 0 else 1)

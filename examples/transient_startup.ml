@@ -55,8 +55,10 @@ let () =
   (* Where does the steady state actually live?  The exact occupancy law. *)
   let distribution = Crossbar.Occupancy.load_distribution model in
   Printf.printf "\nsteady-state busy-port distribution:\n";
+  let display_floor = 5e-4 in
   Array.iteri
-    (fun j p -> if p > 5e-4 then Printf.printf "  P(load = %d) = %.4f\n" j p)
+    (fun j p ->
+      if p > display_floor then Printf.printf "  P(load = %d) = %.4f\n" j p)
     distribution;
   Printf.printf "busy ports exceeded only 1%% of the time: %d of %d\n"
     (Crossbar.Occupancy.load_quantile model ~probability:0.99)

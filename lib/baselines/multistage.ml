@@ -21,7 +21,7 @@ let throughput ~switch_size ~fanout ~request_probability =
   !p
 
 let acceptance_probability ~switch_size ~fanout ~request_probability =
-  if request_probability = 0. then 1.
+  if Crossbar_numerics.Prob.is_zero request_probability then 1.
   else
     throughput ~switch_size ~fanout ~request_probability
     /. request_probability

@@ -14,7 +14,7 @@ let throughput ~inputs ~outputs ~request_probability =
   *. float_of_int outputs /. float_of_int inputs
 
 let acceptance_probability ~inputs ~outputs ~request_probability =
-  if request_probability = 0. then begin
+  if Crossbar_numerics.Prob.is_zero request_probability then begin
     validate ~inputs ~outputs ~request_probability;
     1.
   end

@@ -1,4 +1,6 @@
 module Special = Crossbar_numerics.Special
+module Logspace = Crossbar_numerics.Logspace
+module Prob = Crossbar_numerics.Prob
 
 type t = {
   model : Model.t;
@@ -57,7 +59,7 @@ let solve model =
   let log_omega = ref 0. and rescales = ref 0 in
   let rescale_all () =
     incr rescales;
-    log_omega := !log_omega +. log rescale_factor;
+    log_omega := !log_omega +. Logspace.log_checked rescale_factor;
     let scale lattice =
       Array.iter
         (fun row -> Array.iteri (fun j x -> row.(j) <- x *. rescale_factor) row)
@@ -152,7 +154,7 @@ let log_g t ~inputs ~outputs =
      below the corner that [stored * omega] underflowed.  Propagating
      [log 0. = -inf] here silently corrupts downstream blocking and
      revenue arithmetic, so refuse instead. *)
-  if stored = 0. then
+  if Prob.is_zero stored then
     failwith
       (Printf.sprintf
          "Convolution.log_g: lattice entry (%d, %d) was flushed to zero by \
@@ -161,7 +163,7 @@ let log_g t ~inputs ~outputs =
           Mva.log_normalization"
          inputs outputs t.rescales (Model.inputs t.model)
          (Model.outputs t.model));
-  log stored -. t.log_omega
+  Logspace.log_checked stored -. t.log_omega
 
 let log_normalization t =
   log_g t ~inputs:(Model.inputs t.model) ~outputs:(Model.outputs t.model)

@@ -40,8 +40,9 @@ let phi_tables ~capacity classes =
              let rate = spec.arrival_rate (l - 1) in
              if rate > 0. then
                table.(l) <-
-                 table.(l - 1) +. log rate
-                 -. log (float_of_int l *. spec.service_rate)
+                 table.(l - 1)
+                 +. Logspace.log_checked rate
+                 -. Logspace.log_checked (float_of_int l *. spec.service_rate)
              else exhausted := true
            end
          done;
@@ -109,7 +110,7 @@ let solve ~inputs ~outputs ~classes =
     Array.init num_classes (fun _ -> Crossbar_numerics.Kahan.create ())
   in
   State_space.iter space (fun i k ->
-      let weight = exp (terms.(i) -. log_normalization) in
+      let weight = Logspace.exp_log (terms.(i) -. log_normalization) in
       Array.iteri
         (fun r count ->
           Crossbar_numerics.Kahan.add accumulators.(r)
@@ -126,7 +127,7 @@ let solve ~inputs ~outputs ~classes =
            and outputs' = outputs - spec.bandwidth in
            if inputs' < 0 || outputs' < 0 then 0.
            else
-             exp
+             Logspace.exp_log
                (log_sum
                   (log_terms ~space ~tables ~weights ~inputs:inputs'
                      ~outputs:outputs')
@@ -158,7 +159,7 @@ let distribution ~inputs ~outputs ~classes =
   let weights = State_space.weights space in
   let terms = log_terms ~space ~tables ~weights ~inputs ~outputs in
   let log_normalization = log_sum terms in
-  (space, Array.map (fun lw -> exp (lw -. log_normalization)) terms)
+  (space, Array.map (fun lw -> Logspace.exp_log (lw -. log_normalization)) terms)
 
 let load_distribution ~inputs ~outputs ~classes =
   let space, pi = distribution ~inputs ~outputs ~classes in

@@ -82,7 +82,7 @@ let max_concurrent t r =
   | Some s -> min by_capacity s
   | None -> by_capacity
 
-let is_poisson t r = t.per_pair_beta.(r) = 0.
+let is_poisson t r = Crossbar_numerics.Prob.is_zero t.per_pair_beta.(r)
 
 let map_class t r f =
   if r < 0 || r >= num_classes t then invalid_arg "Model.map_class: index";

@@ -1,4 +1,5 @@
 module Special = Crossbar_numerics.Special
+module Logspace = Crossbar_numerics.Logspace
 
 type t = {
   model : Model.t;
@@ -165,9 +166,9 @@ let log_normalization t =
   let n1_max = Model.inputs t.model and n2_max = Model.outputs t.model in
   let log_q = ref 0. in
   for n1 = 1 to n1_max do
-    log_q := !log_q -. log t.f1.(n1).(0)
+    log_q := !log_q -. Logspace.log_checked t.f1.(n1).(0)
   done;
   for n2 = 1 to n2_max do
-    log_q := !log_q -. log t.f2.(n1_max).(n2)
+    log_q := !log_q -. Logspace.log_checked t.f2.(n1_max).(n2)
   done;
   !log_q +. Special.log_factorial n1_max +. Special.log_factorial n2_max

@@ -14,7 +14,10 @@ let phi_series model r =
     if not !exhausted then begin
       let rate = Model.arrival_rate model ~class_index:r ~concurrent:(m - 1) in
       if rate > 0. then
-        series.(m) <- series.(m - 1) +. log rate -. log (float_of_int m *. mu)
+        series.(m) <-
+          series.(m - 1)
+          +. Logspace.log_checked rate
+          -. Logspace.log_checked (float_of_int m *. mu)
       else exhausted := true
     end
   done;

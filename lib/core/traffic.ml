@@ -33,9 +33,11 @@ let bernoulli ?name ~bandwidth ~sources ~per_source_rate ~service_rate () =
     ~beta:(-.per_source_rate) ~service_rate ()
 
 let statistics t =
-  if t.beta < 0. then Smooth else if t.beta = 0. then Regular else Peaky
+  if t.beta < 0. then Smooth
+  else if Crossbar_numerics.Prob.is_zero t.beta then Regular
+  else Peaky
 
-let is_poisson t = t.beta = 0.
+let is_poisson t = Crossbar_numerics.Prob.is_zero t.beta
 let offered_load t = t.alpha /. t.service_rate
 
 let sources t =

@@ -40,12 +40,22 @@ let locked t f =
 
 let find_or_solve t ?algorithm model =
   let key = key_of_model ?algorithm model in
-  match locked t (fun () -> Hashtbl.find_opt t.table key) with
-  | Some solution ->
-      locked t (fun () -> t.hits <- t.hits + 1);
-      (solution, true)
+  (* Lookup and hit-count under one lock acquisition so a concurrent reader
+     never observes a hit whose counter has not landed yet. *)
+  let cached =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some solution ->
+            t.hits <- t.hits + 1;
+            Some solution
+        | None -> None)
+  in
+  match cached with
+  | Some solution -> (solution, true)
   | None ->
-      (* Solve outside the lock: misses on distinct keys stay parallel. *)
+      (* Solve outside the lock: misses on distinct keys stay parallel.
+         Two domains racing on the same key both solve (deterministically,
+         bit-identically) and the first insert wins. *)
       let solution = Solver.solve_full ?algorithm model in
       locked t (fun () ->
           t.misses <- t.misses + 1;

@@ -145,8 +145,10 @@ let of_string text =
               if !pos + 4 >= n then fail "truncated \\u escape";
               let hex = String.sub text (!pos + 1) 4 in
               let code =
-                try int_of_string ("0x" ^ hex)
-                with _ -> fail "invalid \\u escape %S" hex
+                match int_of_string ("0x" ^ hex) with
+                | code -> code
+                | exception Failure _ ->
+                    fail "invalid \\u escape %S at offset %d" hex !pos
               in
               (* Pass BMP code points through as UTF-8. *)
               if code < 0x80 then Buffer.add_char b (Char.chr code)

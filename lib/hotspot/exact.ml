@@ -1,5 +1,6 @@
 module Logspace = Crossbar_numerics.Logspace
 module Special = Crossbar_numerics.Special
+module Prob = Crossbar_numerics.Prob
 
 (* All formulas below are sums over the connection count s of terms
    s! rho^s e_s(u) e_s(w) (and deleted/shifted variants), where e_s are
@@ -74,7 +75,7 @@ let solve_bipartite ~rate ~input_weights ~output_weights ~service_rate =
   and output_weights = Array.copy output_weights in
   let capacity = min (Array.length input_weights) (Array.length output_weights) in
   let top = capacity + 1 in
-  let rho = if rate = 0. then 0. else rate /. service_rate in
+  let rho = if Prob.is_zero rate then 0. else rate /. service_rate in
   let partial =
     {
       input_weights;
@@ -92,7 +93,7 @@ let solve_bipartite ~rate ~input_weights ~output_weights ~service_rate =
     }
   in
   let log_g =
-    if rho = 0. then 0.
+    if Prob.is_zero rho then 0.
     else
       log_sum
         (Array.init (capacity + 1) (fun s ->
@@ -148,7 +149,7 @@ let check_index t side j =
     invalid_arg "Hotspot: port index out of range"
 
 let mean_busy t =
-  if t.rho = 0. then 0.
+  if Prob.is_zero t.rho then 0.
   else begin
     let mean = ref 0. in
     for s = 1 to t.capacity do
@@ -167,7 +168,7 @@ let mean_busy t =
 let utilization t side j =
   check_index t side j;
   let w = (side_weights t side).(j) in
-  if t.rho = 0. || w = 0. then 0.
+  if Prob.is_zero t.rho || Prob.is_zero w then 0.
   else begin
     let log_e_deleted = deleted_elementary t side j in
     let other = side_elementary t (match side with Input -> Output | Output -> Input) in
@@ -185,7 +186,7 @@ let utilization t side j =
    (s+1) e_(s+1)(w) — used for the acceptance formulas. *)
 let non_blocking t side j =
   check_index t side j;
-  if t.rho = 0. then 1.
+  if Prob.is_zero t.rho then 1.
   else begin
     let log_e_deleted = deleted_elementary t side j in
     let other_side = match side with Input -> Output | Output -> Input in
@@ -211,13 +212,13 @@ let input_utilization t i = utilization t Input i
 let input_non_blocking t i = non_blocking t Input i
 
 let overall_blocking t =
-  if t.rho = 0. then 0.
+  if Prob.is_zero t.rho then 0.
   else begin
     (* P(random request accepted)
        = (1/(G U W)) sum_s s! rho^s (s+1)^2 e_(s+1)(u) e_(s+1)(w). *)
     let input_total = Array.fold_left ( +. ) 0. t.input_weights in
     let output_total = Array.fold_left ( +. ) 0. t.output_weights in
-    if input_total = 0. || output_total = 0. then 0.
+    if Prob.is_zero input_total || Prob.is_zero output_total then 0.
     else begin
       let terms =
         Array.init (t.capacity + 1) (fun s ->

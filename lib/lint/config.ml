@@ -1,0 +1,69 @@
+type r3_scope = Reachable_from of string list | Paths of string list
+
+type t = {
+  rules : Rule.id list;
+  numerics_prefixes : string list;
+  ordering_literals : float list;
+  r2_prefixes : string list;
+  r2_allowlist : string list;
+  r2_banned : string list;
+  r3_scope : r3_scope;
+  mutable_makers : string list;
+  r4_prefixes : string list;
+  stdout_names : string list;
+  r6_prefixes : string list;
+}
+
+let default =
+  {
+    rules = Rule.all;
+    numerics_prefixes = [ "lib/numerics" ];
+    ordering_literals = [ 0.; 1.; -1. ];
+    r2_prefixes = [ "lib/core"; "lib/markov" ];
+    r2_allowlist = [];
+    r2_banned =
+      [
+        "exp"; "log"; "log1p"; "expm1";
+        "Float.exp"; "Float.log"; "Float.log1p"; "Float.expm1";
+        "Stdlib.exp"; "Stdlib.log"; "Stdlib.log1p"; "Stdlib.expm1";
+      ];
+    r3_scope = Reachable_from [ "lib/engine" ];
+    mutable_makers =
+      [
+        "ref"; "Hashtbl.create"; "Queue.create"; "Stack.create";
+        "Buffer.create"; "Bytes.create"; "Bytes.make"; "Weak.create";
+        "Stdlib.ref"; "Random.self_init";
+      ];
+    r4_prefixes = [ "lib" ];
+    stdout_names =
+      [
+        "print_char"; "print_string"; "print_bytes"; "print_int";
+        "print_float"; "print_endline"; "print_newline"; "stdout";
+        "Printf.printf"; "Format.printf"; "Format.print_string";
+        "Format.print_int"; "Format.print_float"; "Format.print_newline";
+        "Format.print_space"; "Format.print_cut"; "Format.print_flush";
+        "Format.std_formatter"; "Stdlib.stdout"; "Stdlib.print_string";
+        "Stdlib.print_endline"; "Stdlib.print_newline"; "Stdlib.print_int";
+        "Stdlib.print_float"; "Stdlib.print_char";
+      ];
+    r6_prefixes = [ "lib" ];
+  }
+
+let enabled t rule = rule = Rule.Syntax || List.mem rule t.rules
+
+let normalize path =
+  let path =
+    if String.length path > 2 && String.sub path 0 2 = "./" then
+      String.sub path 2 (String.length path - 2)
+    else path
+  in
+  String.concat "/" (String.split_on_char '/' path |> List.filter (( <> ) ""))
+
+let matches path prefixes =
+  let path = normalize path in
+  List.exists
+    (fun prefix ->
+      let prefix = normalize prefix in
+      String.equal path prefix
+      || String.starts_with ~prefix:(prefix ^ "/") path)
+    prefixes

@@ -1,0 +1,42 @@
+(** Linter configuration: which rules run, where each rule applies, and the
+    allowlists that make the rule set practical.  Paths are matched by
+    directory-prefix (["lib/core"] covers ["lib/core/model.ml"] but not
+    ["lib/core_ext/x.ml"]). *)
+
+type r3_scope =
+  | Reachable_from of string list
+      (** R3 applies to every compilation unit transitively referenced from
+          the files under these prefixes (the Domain-pool workers). *)
+  | Paths of string list  (** R3 applies to files under these prefixes. *)
+
+type t = {
+  rules : Rule.id list;  (** Enabled rules; [Rule.Syntax] always runs. *)
+  numerics_prefixes : string list;  (** Exempt from R1 (e.g. lib/numerics). *)
+  ordering_literals : float list;
+      (** Float literals allowed as ordering-comparison operands everywhere
+          (domain guards against 0., 1., -1. are exact in IEEE 754). *)
+  r2_prefixes : string list;  (** Directories where R2 applies. *)
+  r2_allowlist : string list;  (** Paths exempt from R2 despite the above. *)
+  r2_banned : string list;  (** Dotted names R2 forbids (exp, Float.log, ...). *)
+  r3_scope : r3_scope;
+  mutable_makers : string list;
+      (** Dotted names whose top-level application creates shared mutable
+          state ([ref], [Hashtbl.create], ...).  [Atomic.make] and [Mutex.t]
+          wrapped state are deliberately absent: they are the sanctioned
+          escape hatches. *)
+  r4_prefixes : string list;  (** Directories where R4 applies. *)
+  stdout_names : string list;  (** Dotted names R4 forbids. *)
+  r6_prefixes : string list;  (** Directories where R6 applies. *)
+}
+
+val default : t
+(** The repository policy described in docs/LINT.md. *)
+
+val enabled : t -> Rule.id -> bool
+
+val normalize : string -> string
+(** Strips ["./"] and duplicate separators. *)
+
+val matches : string -> string list -> bool
+(** [matches path prefixes] is true when [path] lies under one of
+    [prefixes] (component-wise, after {!normalize}). *)

@@ -1,0 +1,159 @@
+let is_module_name name =
+  String.length name > 0 && name.[0] >= 'A' && name.[0] <= 'Z'
+
+(* Module components referenced by a long identifier: every prefix component
+   is a module access; the final component only in module position (handled
+   by callers passing ~whole:true). *)
+let components ?(whole = false) acc lid =
+  let parts = Rules.flatten lid in
+  let rec take acc = function
+    | [] -> acc
+    | [ last ] -> if whole && is_module_name last then last :: acc else acc
+    | head :: rest ->
+        take (if is_module_name head then head :: acc else acc) rest
+  in
+  take acc parts
+
+let refs structure =
+  let seen = Hashtbl.create 32 in
+  let found = ref [] in
+  let note ?whole lid =
+    List.iter
+      (fun name ->
+        if not (Hashtbl.mem seen name) then begin
+          Hashtbl.add seen name ();
+          found := name :: !found
+        end)
+      (components ?whole [] lid)
+  in
+  let open Parsetree in
+  let expr_iter (it : Ast_iterator.iterator) e =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; _ }
+    | Pexp_construct ({ txt; _ }, _)
+    | Pexp_field (_, { txt; _ })
+    | Pexp_setfield (_, { txt; _ }, _) ->
+        note txt
+    | Pexp_record (fields, _) ->
+        List.iter (fun ({ Location.txt; _ }, _) -> note txt) fields
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let pat_iter (it : Ast_iterator.iterator) p =
+    (match p.ppat_desc with
+    | Ppat_construct ({ txt; _ }, _) -> note txt
+    | Ppat_record (fields, _) ->
+        List.iter (fun ({ Location.txt; _ }, _) -> note txt) fields
+    | _ -> ());
+    Ast_iterator.default_iterator.pat it p
+  in
+  let typ_iter (it : Ast_iterator.iterator) t =
+    (match t.ptyp_desc with
+    | Ptyp_constr ({ txt; _ }, _) | Ptyp_class ({ txt; _ }, _) -> note txt
+    | _ -> ());
+    Ast_iterator.default_iterator.typ it t
+  in
+  let module_expr_iter (it : Ast_iterator.iterator) me =
+    (match me.pmod_desc with
+    | Pmod_ident { txt; _ } -> note ~whole:true txt
+    | _ -> ());
+    Ast_iterator.default_iterator.module_expr it me
+  in
+  let iterator =
+    {
+      Ast_iterator.default_iterator with
+      expr = expr_iter;
+      pat = pat_iter;
+      typ = typ_iter;
+      module_expr = module_expr_iter;
+    }
+  in
+  iterator.structure iterator structure;
+  List.rev !found
+
+let unit_name path =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
+
+(* Extract "(name foo)" from a dune file without an s-expression library:
+   find the atom following a "(name" token. *)
+let library_name_of_dune text =
+  let tokens =
+    String.split_on_char '\n' text
+    |> List.concat_map (String.split_on_char ' ')
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (( <> ) "")
+  in
+  let rec scan = function
+    | "(name" :: value :: _ ->
+        let value =
+          String.to_seq value
+          |> Seq.filter (fun c -> c <> '(' && c <> ')')
+          |> String.of_seq
+        in
+        Some value
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan tokens
+
+type graph = {
+  by_dir_unit : (string * string, string) Hashtbl.t;
+      (* (dir, unit name) -> path *)
+  by_wrapper : (string, string list) Hashtbl.t; (* wrapper module -> paths *)
+  refs_of : (string, string list) Hashtbl.t; (* path -> referenced modules *)
+}
+
+let build ~read_dune files_with_refs =
+  let by_dir_unit = Hashtbl.create 64 in
+  let by_wrapper = Hashtbl.create 16 in
+  let refs_of = Hashtbl.create 64 in
+  let wrapper_of_dir = Hashtbl.create 16 in
+  List.iter
+    (fun (path, refs) ->
+      let dir = Filename.dirname path in
+      Hashtbl.replace by_dir_unit (dir, unit_name path) path;
+      Hashtbl.replace refs_of path refs;
+      if not (Hashtbl.mem wrapper_of_dir dir) then
+        Hashtbl.replace wrapper_of_dir dir
+          (Option.bind (read_dune (Filename.concat dir "dune"))
+             library_name_of_dune
+          |> Option.map String.capitalize_ascii))
+    files_with_refs;
+  Hashtbl.iter
+    (fun dir wrapper ->
+      match wrapper with
+      | None -> ()
+      | Some wrapper ->
+          let members =
+            List.filter_map
+              (fun (path, _) ->
+                if String.equal (Filename.dirname path) dir then Some path
+                else None)
+              files_with_refs
+          in
+          let existing =
+            Option.value ~default:[] (Hashtbl.find_opt by_wrapper wrapper)
+          in
+          Hashtbl.replace by_wrapper wrapper (members @ existing))
+    wrapper_of_dir;
+  { by_dir_unit; by_wrapper; refs_of }
+
+let reachable graph ~roots =
+  let visited = Hashtbl.create 64 in
+  let rec visit path =
+    if not (Hashtbl.mem visited path) then begin
+      Hashtbl.add visited path ();
+      let dir = Filename.dirname path in
+      List.iter
+        (fun name ->
+          (match Hashtbl.find_opt graph.by_dir_unit (dir, name) with
+          | Some sibling -> visit sibling
+          | None -> ());
+          match Hashtbl.find_opt graph.by_wrapper name with
+          | Some members -> List.iter visit members
+          | None -> ())
+        (Option.value ~default:[] (Hashtbl.find_opt graph.refs_of path))
+    end
+  in
+  List.iter visit roots;
+  fun path -> Hashtbl.mem visited path

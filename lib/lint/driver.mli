@@ -1,0 +1,19 @@
+(** Orchestrates a lint run: discovers [.ml]/[.mli] files under the given
+    paths, parses them with compiler-libs, computes the R3 reachability set
+    over the whole file set, applies the per-file rules, honours suppression
+    comments, and appends the R6 interface check. *)
+
+val discover : string -> string list
+(** Recursively lists [.ml]/[.mli] files under a path (a single file is
+    returned as-is); skips dot-directories and [_build].  Results are
+    normalized and deterministically ordered. *)
+
+val lint : config:Config.t -> string list -> Finding.t list
+(** [lint ~config paths] runs every enabled rule over the files/directories
+    in [paths] and returns the surviving findings sorted by position.
+    Syntax errors surface as [Rule.Syntax] findings rather than exceptions;
+    filesystem errors (unreadable path) do raise [Sys_error]. *)
+
+val pp_report : Format.formatter -> Finding.t list -> unit
+(** Human-readable rendering: one [file:line:col: [Rn] message] line per
+    finding plus a trailing summary line. *)

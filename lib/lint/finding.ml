@@ -1,0 +1,89 @@
+module Json = Crossbar_engine.Json
+
+type t = {
+  rule : Rule.id;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let make ~rule ~file ~line ~col message = { rule; file; line; col; message }
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = Rule.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.message b.message
+
+let pp ppf t =
+  Format.fprintf ppf "%s:%d:%d: [%s] %s" t.file t.line t.col
+    (Rule.to_string t.rule) t.message
+
+let to_json t =
+  Json.Assoc
+    [
+      ("rule", Json.String (Rule.to_string t.rule));
+      ("file", Json.String t.file);
+      ("line", Json.Int t.line);
+      ("col", Json.Int t.col);
+      ("message", Json.String t.message);
+    ]
+
+let of_json json =
+  let str key =
+    match Json.member key json with
+    | Some (Json.String s) -> Ok s
+    | _ -> Error (Printf.sprintf "finding: missing string field %S" key)
+  in
+  let int key =
+    match Json.member key json with
+    | Some (Json.Int i) -> Ok i
+    | _ -> Error (Printf.sprintf "finding: missing int field %S" key)
+  in
+  let ( let* ) = Result.bind in
+  let* rule_text = str "rule" in
+  let* rule =
+    match Rule.of_string rule_text with
+    | Some rule -> Ok rule
+    | None -> Error (Printf.sprintf "finding: unknown rule %S" rule_text)
+  in
+  let* file = str "file" in
+  let* line = int "line" in
+  let* col = int "col" in
+  let* message = str "message" in
+  Ok { rule; file; line; col; message }
+
+let schema = "crossbar-lint/1"
+
+let report_to_json findings =
+  Json.Assoc
+    [
+      ("schema", Json.String schema);
+      ("count", Json.Int (List.length findings));
+      ("findings", Json.List (List.map to_json findings));
+    ]
+
+let report_of_json json =
+  match Json.member "schema" json with
+  | Some (Json.String s) when String.equal s schema -> (
+      match Json.member "findings" json with
+      | Some (Json.List items) ->
+          List.fold_left
+            (fun acc item ->
+              match (acc, of_json item) with
+              | Error _, _ -> acc
+              | Ok _, Error e -> Error e
+              | Ok done_, Ok f -> Ok (f :: done_))
+            (Ok []) items
+          |> Result.map List.rev
+      | _ -> Error "report: missing findings list"
+  )
+  | _ -> Error (Printf.sprintf "report: missing schema %S" schema)

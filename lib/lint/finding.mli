@@ -1,0 +1,31 @@
+(** A single lint finding: rule, position and message, plus conversions to
+    and from the engine's JSON tree so tooling can consume `--json` output
+    and round-trip it losslessly. *)
+
+type t = {
+  rule : Rule.id;
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, as printed by the compiler *)
+  message : string;
+}
+
+val make : rule:Rule.id -> file:string -> line:int -> col:int -> string -> t
+
+val compare : t -> t -> int
+(** Orders by file, then line, column, rule, message. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders ["file:line:col: [Rn] message"]. *)
+
+val to_json : t -> Crossbar_engine.Json.t
+val of_json : Crossbar_engine.Json.t -> (t, string) result
+
+val schema : string
+(** Identifier embedded in report documents, ["crossbar-lint/1"]. *)
+
+val report_to_json : t list -> Crossbar_engine.Json.t
+(** Wraps findings as [{schema; count; findings}]. *)
+
+val report_of_json : Crossbar_engine.Json.t -> (t list, string) result
+(** Inverse of {!report_to_json}; fails on schema or shape mismatch. *)

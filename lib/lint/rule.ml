@@ -1,0 +1,56 @@
+type id = Syntax | R1 | R2 | R3 | R4 | R5 | R6
+
+let all = [ R1; R2; R3; R4; R5; R6 ]
+
+let to_string = function
+  | Syntax -> "R0"
+  | R1 -> "R1"
+  | R2 -> "R2"
+  | R3 -> "R3"
+  | R4 -> "R4"
+  | R5 -> "R5"
+  | R6 -> "R6"
+
+let of_string text =
+  match String.uppercase_ascii (String.trim text) with
+  | "R0" | "SYNTAX" -> Some Syntax
+  | "R1" -> Some R1
+  | "R2" -> Some R2
+  | "R3" -> Some R3
+  | "R4" -> Some R4
+  | "R5" -> Some R5
+  | "R6" -> Some R6
+  | _ -> None
+
+let title = function
+  | Syntax -> "source file must parse"
+  | R1 -> "no float equality or magic-literal ordering outside lib/numerics"
+  | R2 -> "exp/log in core numerical code must go through Logspace/Prob"
+  | R3 -> "no top-level mutable state on code reachable from Engine.Pool workers"
+  | R4 -> "library code must not print to stdout"
+  | R5 -> "no exception-swallowing catch-all handlers"
+  | R6 -> "every library implementation has a matching interface"
+
+let rationale = function
+  | Syntax -> "a file the compiler cannot parse cannot be audited at all"
+  | R1 ->
+      "the product-form recurrences (Algorithms 1 and 2) are only correct \
+       under tolerance/ULP comparison discipline; raw literal comparisons \
+       hide rounding bugs"
+  | R2 ->
+      "raw exp/log silently under/overflows on the dynamic ranges the \
+       normalisation constants span; the Logspace/Prob wrappers are guarded"
+  | R3 ->
+      "the Domain pool runs library code from several domains; unsynchronized \
+       top-level state is a data race"
+  | R4 ->
+      "libraries must return data or take an explicit formatter so callers \
+       (CLI, bench, tests) control the channel"
+  | R5 ->
+      "a wildcard handler swallows Out_of_memory, Stack_overflow and every \
+       programming error; match the exceptions you mean and carry context"
+  | R6 ->
+      "an .mli is the audited surface of a module; without one every helper \
+       leaks and the invariants above cannot be enforced at the boundary"
+
+let compare = Stdlib.compare

@@ -1,0 +1,19 @@
+(** Identifiers, one-line titles and rationales for the crossbar-lint rule
+    set.  [Syntax] (rendered "R0") is the pseudo-rule reported when a file
+    does not parse; it cannot be disabled or suppressed. *)
+
+type id = Syntax | R1 | R2 | R3 | R4 | R5 | R6
+
+val all : id list
+(** The real rules R1..R6, in order ([Syntax] excluded). *)
+
+val to_string : id -> string
+val of_string : string -> id option
+
+val title : id -> string
+(** One-line statement of the invariant. *)
+
+val rationale : id -> string
+(** Why the invariant matters for this codebase. *)
+
+val compare : id -> id -> int

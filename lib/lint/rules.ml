@@ -1,0 +1,177 @@
+open Parsetree
+
+let line_col (loc : Location.t) =
+  let p = loc.Location.loc_start in
+  (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol)
+
+let rec flatten = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (prefix, s) -> flatten prefix @ [ s ]
+  | Longident.Lapply (f, _) -> flatten f
+
+let dotted lid = String.concat "." (flatten lid)
+
+let equality_ops = [ "="; "<>"; "=="; "!=" ]
+let ordering_ops = [ "<"; ">"; "<="; ">=" ]
+
+(* The parser folds unary minus into the literal, but handle an explicit
+   application of [~-.] as well so [x = -. 1.] does not slip through. *)
+let float_literal expr =
+  match expr.pexp_desc with
+  | Pexp_constant (Pconst_float (text, None)) -> float_of_string_opt text
+  | Pexp_apply
+      ( { pexp_desc = Pexp_ident { txt = Lident ("~-." | "~-"); _ }; _ },
+        [ (Nolabel, { pexp_desc = Pexp_constant (Pconst_float (text, None)); _ }) ] )
+    ->
+      Option.map Float.neg (float_of_string_opt text)
+  | _ -> None
+
+let check ~(config : Config.t) ~path ~r3_applies structure =
+  let findings = ref [] in
+  let add rule loc message =
+    let line, col = line_col loc in
+    findings := Finding.make ~rule ~file:path ~line ~col message :: !findings
+  in
+  let enabled rule = Config.enabled config rule in
+  let in_numerics = Config.matches path config.numerics_prefixes in
+  let r1_applies = enabled Rule.R1 && not in_numerics in
+  let r2_applies =
+    enabled Rule.R2
+    && Config.matches path config.r2_prefixes
+    && not (Config.matches path config.r2_allowlist)
+  in
+  let r4_applies = enabled Rule.R4 && Config.matches path config.r4_prefixes in
+
+  let check_comparison op loc lhs rhs =
+    let literal =
+      match float_literal lhs with
+      | Some v -> Some v
+      | None -> float_literal rhs
+    in
+    match literal with
+    | None -> ()
+    | Some v ->
+        if List.mem op equality_ops then
+          add Rule.R1 loc
+            (Printf.sprintf
+               "float %s against literal %g; use \
+                Crossbar_numerics.Prob.{is_zero,approx_eq,ulp_equal} or a \
+                named tolerance"
+               op v)
+        else if
+          not (List.exists (fun a -> Float.equal a v) config.ordering_literals)
+        then
+          add Rule.R1 loc
+            (Printf.sprintf
+               "ordering %s against magic float literal %g; bind it to a \
+                named constant"
+               op v)
+  in
+
+  let wildcard_handler (case : case) =
+    match case.pc_lhs.ppat_desc with
+    | Ppat_any -> Some case.pc_lhs.ppat_loc
+    | Ppat_exception { ppat_desc = Ppat_any; ppat_loc; _ } -> Some ppat_loc
+    | _ -> None
+  in
+
+  let expr_iter (iterator : Ast_iterator.iterator) expr =
+    (match expr.pexp_desc with
+    | Pexp_apply
+        ( { pexp_desc = Pexp_ident { txt = Lident op; _ }; _ },
+          [ (Nolabel, lhs); (Nolabel, rhs) ] )
+      when r1_applies && (List.mem op equality_ops || List.mem op ordering_ops)
+      ->
+        check_comparison op expr.pexp_loc lhs rhs
+    | Pexp_ident { txt; loc }
+      when r2_applies && List.mem (dotted txt) config.r2_banned ->
+        add Rule.R2 loc
+          (Printf.sprintf
+             "raw %s under/overflows on product-form dynamic ranges; route \
+              through Crossbar_numerics.Logspace or Prob"
+             (dotted txt))
+    | Pexp_ident { txt; loc }
+      when r4_applies && List.mem (dotted txt) config.stdout_names ->
+        add Rule.R4 loc
+          (Printf.sprintf
+             "%s writes to stdout from library code; return data or take a \
+              Format.formatter argument"
+             (dotted txt))
+    | Pexp_try (_, cases) when enabled Rule.R5 ->
+        List.iter
+          (fun case ->
+            match wildcard_handler case with
+            | Some loc ->
+                add Rule.R5 loc
+                  "catch-all handler swallows every exception (including \
+                   Out_of_memory); match specific exceptions and carry \
+                   context in the failure message"
+            | None -> ())
+          cases
+    | Pexp_match (_, cases) when enabled Rule.R5 ->
+        List.iter
+          (fun case ->
+            match case.pc_lhs.ppat_desc with
+            | Ppat_exception { ppat_desc = Ppat_any; ppat_loc; _ } ->
+                add Rule.R5 ppat_loc
+                  "catch-all exception case swallows every exception; match \
+                   specific exceptions and carry context"
+            | _ -> ())
+          cases
+    | _ -> ());
+    Ast_iterator.default_iterator.expr iterator expr
+  in
+  let iterator = { Ast_iterator.default_iterator with expr = expr_iter } in
+  iterator.structure iterator structure;
+
+  (* R3 walks structure items only: mutable state created inside a function
+     body is fresh per call and therefore domain-safe. *)
+  if enabled Rule.R3 && r3_applies then begin
+    let rec creates_mutable expr =
+      match expr.pexp_desc with
+      | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+          List.mem (dotted txt) config.mutable_makers
+      | Pexp_let (_, _, body)
+      | Pexp_sequence (_, body)
+      | Pexp_constraint (body, _)
+      | Pexp_open (_, body) ->
+          creates_mutable body
+      | Pexp_tuple items -> List.exists creates_mutable items
+      | Pexp_record (fields, extends) ->
+          List.exists (fun (_, value) -> creates_mutable value) fields
+          || (match extends with
+             | Some base -> creates_mutable base
+             | None -> false)
+      | Pexp_ifthenelse (_, then_, else_) ->
+          creates_mutable then_
+          || (match else_ with Some e -> creates_mutable e | None -> false)
+      | _ -> false
+    in
+    let rec walk_items items =
+      List.iter
+        (fun item ->
+          match item.pstr_desc with
+          | Pstr_value (_, bindings) ->
+              List.iter
+                (fun binding ->
+                  if creates_mutable binding.pvb_expr then
+                    add Rule.R3 binding.pvb_loc
+                      "top-level mutable state is shared across pool domains; \
+                       use Atomic/Mutex or annotate (* lint: domain-safe — \
+                       reason *)")
+                bindings
+          | Pstr_module { pmb_expr; _ } -> walk_module pmb_expr
+          | Pstr_recmodule bindings ->
+              List.iter (fun mb -> walk_module mb.pmb_expr) bindings
+          | Pstr_include { pincl_mod; _ } -> walk_module pincl_mod
+          | _ -> ())
+        items
+    and walk_module mexpr =
+      match mexpr.pmod_desc with
+      | Pmod_structure items -> walk_items items
+      | Pmod_constraint (inner, _) -> walk_module inner
+      | _ -> ()
+    in
+    walk_items structure
+  end;
+  List.rev !findings

@@ -1,0 +1,23 @@
+(** Lexical scan for in-source suppression comments.
+
+    Recognised directives, anywhere inside a comment containing the
+    ["lint:"] marker:
+
+    - [(* lint: disable=R1,R5 — reason *)] suppresses the named rules on
+      the directive's own line and on the following line (so the comment
+      can trail the offending expression or sit just above it);
+    - [(* lint: disable-file=R4 — reason *)] suppresses for the whole file;
+    - [(* lint: domain-safe — reason *)] is shorthand for [disable=R3].
+
+    The free-form reason is not parsed but is required by convention; the
+    [Syntax] pseudo-rule can never be suppressed. *)
+
+type t
+
+val empty : unit -> t
+
+val scan : string -> t
+(** [scan source_text] collects every directive with its line number. *)
+
+val active : t -> rule:Rule.id -> line:int -> bool
+(** Whether findings for [rule] at [line] are suppressed. *)

@@ -1,13 +1,23 @@
+module Logspace = Crossbar_numerics.Logspace
+module Prob = Crossbar_numerics.Prob
+
+(* How far below zero an entry of the initial vector may sit before it is a
+   caller error rather than rounding, and how far the total mass may drift
+   from 1. *)
+let negative_mass_tolerance = 1e-12
+let total_mass_tolerance = 1e-9
+
 let validate_initial chain initial =
   if Array.length initial <> Ctmc.num_states chain then
     invalid_arg "Transient: initial length mismatch";
   let total = ref 0. in
   Array.iter
     (fun p ->
-      if p < -1e-12 then invalid_arg "Transient: negative initial mass";
+      if p < -.negative_mass_tolerance then
+        invalid_arg "Transient: negative initial mass";
       total := !total +. p)
     initial;
-  if Float.abs (!total -. 1.) > 1e-9 then
+  if not (Prob.approx_eq ~rel:0. ~abs:total_mass_tolerance !total 1.) then
     invalid_arg "Transient: initial mass must be 1"
 
 (* One step of the uniformised chain: v' = v P with
@@ -30,7 +40,7 @@ let dtmc_step chain ~lambda v =
 let distribution ?(tolerance = 1e-12) chain ~initial ~time =
   if time < 0. then invalid_arg "Transient.distribution: negative time";
   validate_initial chain initial;
-  if time = 0. then Array.copy initial
+  if Prob.is_zero time then Array.copy initial
   else begin
     let n = Ctmc.num_states chain in
     let lambda =
@@ -42,8 +52,9 @@ let distribution ?(tolerance = 1e-12) chain ~initial ~time =
     in
     let mean = lambda *. time in
     (* Poisson(m; mean) weights via logs (robust for large mean). *)
+    let log_mean = Logspace.log_checked mean in
     let log_weight m =
-      (float_of_int m *. log mean)
+      (float_of_int m *. log_mean)
       -. mean
       -. Crossbar_numerics.Special.log_factorial m
     in
@@ -55,7 +66,7 @@ let distribution ?(tolerance = 1e-12) chain ~initial ~time =
       int_of_float (mean +. (20. *. sqrt (mean +. 1.)) +. 200.)
     in
     while 1. -. !covered > tolerance && !m <= cap do
-      let weight = exp (log_weight !m) in
+      let weight = Logspace.exp_log (log_weight !m) in
       if weight > 0. then begin
         covered := !covered +. weight;
         Array.iteri
@@ -86,11 +97,12 @@ let time_to_stationarity ?tolerance ?(distance = 1e-3) chain ~initial =
   let stationary = Ctmc.solve_gth chain in
   if total_variation initial stationary <= distance then 0.
   else begin
+    let search_ceiling = 1e9 in
     let t = ref 1e-3 in
     while
       total_variation (distribution ?tolerance chain ~initial ~time:!t) stationary
       > distance
-      && !t < 1e9
+      && !t < search_ceiling
     do
       t := !t *. 2.
     done;

@@ -60,5 +60,11 @@ let sum values =
   end
 
 let ratio a b = to_float (div a b)
+
+(* Guarded scalar entry points: the raw [log]/[exp] primitives silently
+   produce NaN (log of a negative) or lose the domain check; these are the
+   forms lint rule R2 steers callers in lib/core and lib/markov towards. *)
+let log_checked x = to_log (of_float x)
+let exp_log l = to_float (of_log l)
 let compare = Float.compare
 let pp ppf l = Format.fprintf ppf "exp(%g)" l

@@ -54,6 +54,17 @@ val ratio : t -> t -> float
 (** [ratio a b = to_float (div a b)], the common case for performance
     measures expressed as ratios of normalisation constants. *)
 
+val log_checked : float -> float
+(** [log_checked x = to_log (of_float x)]: natural log with the domain
+    check, the sanctioned replacement for raw [log] in algorithmic code
+    (lint rule R2).
+    @raise Invalid_argument if [x < 0] or [x] is NaN. *)
+
+val exp_log : float -> float
+(** [exp_log l = to_float (of_log l)]: exponential of a log-domain value,
+    the sanctioned replacement for raw [exp] (lint rule R2); underflows to
+    [0.] and overflows to [infinity] like {!to_float}. *)
+
 val compare : t -> t -> int
 
 val pp : Format.formatter -> t -> unit

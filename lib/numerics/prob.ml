@@ -1,3 +1,36 @@
+(* ---------- float comparison helpers ----------
+   The only sanctioned comparison points for float equality outside
+   lib/numerics (lint rule R1): callers state which notion of "equal" they
+   mean instead of writing a raw [= literal]. *)
+
+let is_zero ?(eps = 0.) x = Float.abs x <= eps
+
+let approx_eq ?(rel = 1e-12) ?(abs = 1e-12) a b =
+  if Float.is_nan a || Float.is_nan b then false
+  else if a = b then true (* covers equal infinities *)
+  else
+    let diff = Float.abs (a -. b) in
+    diff <= abs || diff <= rel *. Float.max (Float.abs a) (Float.abs b)
+
+(* Map the IEEE 754 bit pattern to a number line where adjacent floats
+   differ by one: non-negative floats keep their bits, negative floats are
+   reflected below zero. *)
+let ulp_index x =
+  let bits = Int64.bits_of_float x in
+  if Int64.compare bits 0L >= 0 then bits else Int64.sub Int64.min_int bits
+
+let ulp_distance a b =
+  if Float.is_nan a || Float.is_nan b then max_int
+  else begin
+    let d = Int64.sub (ulp_index a) (ulp_index b) in
+    let d = if Int64.compare d 0L < 0 then Int64.neg d else d in
+    if Int64.compare d (Int64.of_int max_int) >= 0 || Int64.compare d 0L < 0
+    then max_int (* Int64.neg min_int overflows back to min_int *)
+    else Int64.to_int d
+  end
+
+let ulp_equal ?(ulps = 4) a b = ulp_distance a b <= ulps
+
 let normal_cdf x = 0.5 *. Special.erfc (-.x /. sqrt 2.)
 
 (* Acklam's rational approximation to the normal quantile. *)

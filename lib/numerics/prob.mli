@@ -4,6 +4,27 @@
     Used by the simulation statistics layer to produce confidence intervals
     without any external numeric dependency. *)
 
+val is_zero : ?eps:float -> float -> bool
+(** [is_zero x] is an {e intentional} test against zero: exact by default
+    ([eps = 0.], matching structural zeros such as "class has no burst
+    component"), tolerance-based when [eps] is given.  NaN is never zero.
+    This and the two helpers below are the sanctioned replacements for raw
+    float comparisons against literals (lint rule R1). *)
+
+val approx_eq : ?rel:float -> ?abs:float -> float -> float -> bool
+(** [approx_eq a b] holds when [|a - b|] is within [abs] (default 1e-12)
+    absolutely or within [rel] (default 1e-12) of the larger magnitude.
+    Equal infinities compare equal; NaN compares equal to nothing. *)
+
+val ulp_distance : float -> float -> int
+(** Number of representable doubles strictly between the two arguments,
+    plus one when they differ ([0] iff bit-identical up to [-0. = 0.]);
+    [max_int] when either argument is NaN or the distance overflows. *)
+
+val ulp_equal : ?ulps:int -> float -> float -> bool
+(** [ulp_equal a b] holds when {!ulp_distance}[ a b <= ulps] (default 4) —
+    scale-free "same value up to a few rounding steps" equality. *)
+
 val normal_cdf : float -> float
 (** Standard normal cumulative distribution function. *)
 

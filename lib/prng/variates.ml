@@ -11,11 +11,14 @@ let erlang rng ~shape ~rate =
   done;
   !total
 
+(* Slack allowed when checking that branch probabilities sum to 1. *)
+let probability_sum_tolerance = 1e-9
+
 let hyperexponential rng ~branches =
   let total_probability =
     Array.fold_left (fun acc (p, _) -> acc +. p) 0. branches
   in
-  if Float.abs (total_probability -. 1.) > 1e-9 then
+  if Float.abs (total_probability -. 1.) > probability_sum_tolerance then
     invalid_arg "Variates.hyperexponential: probabilities must sum to 1";
   Array.iter
     (fun (p, rate) ->

@@ -13,7 +13,11 @@ module Welford = struct
   let mean t = t.mean
 
   let variance t =
-    if t.count < 2 then 0. else t.m2 /. float_of_int (t.count - 1)
+    if t.count < 2 then 0.
+    else
+      (* Welford keeps m2 >= 0 analytically; clamp the tiny negative values
+         cancellation can leave so [std] never returns NaN. *)
+      Float.max 0. (t.m2 /. float_of_int (t.count - 1))
 
   let std t = sqrt (variance t)
 end
@@ -40,7 +44,9 @@ module Time_weighted = struct
     if upto < t.last_time then
       invalid_arg "Time_weighted.average: upto precedes last update";
     let span = upto -. t.origin in
-    if span <= 0. then t.value
+    (* upto >= last_time >= origin, so span is non-negative; an exactly
+       empty window has no integral and the current value is the average. *)
+    if Crossbar_numerics.Prob.is_zero span then t.value
     else (t.integral +. (t.value *. (upto -. t.last_time))) /. span
 
   let reset t ~time =

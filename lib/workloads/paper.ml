@@ -23,7 +23,7 @@ let figure1 =
   List.map
     (fun beta ->
       let label =
-        if beta = 0. then "poisson (beta~=0)"
+        if Crossbar_numerics.Prob.is_zero beta then "poisson (beta~=0)"
         else Printf.sprintf "bernoulli beta~=%g" beta
       in
       single_class_series ~label ~beta)
@@ -33,7 +33,7 @@ let figure2 =
   List.map
     (fun beta ->
       let label =
-        if beta = 0. then "poisson (beta~=0)"
+        if Crossbar_numerics.Prob.is_zero beta then "poisson (beta~=0)"
         else Printf.sprintf "pascal beta~=%g" beta
       in
       single_class_series ~label ~beta)

@@ -22,9 +22,13 @@ let aggregate_for_target ~inputs ~outputs ~bandwidth ~service_rate
   let scale = Special.binomial outputs bandwidth in
   (alpha_pp *. scale, beta_pp *. scale)
 
+(* Deliberate headroom above nominal load so overload studies can push
+   the fabric past capacity. *)
+let max_utilization = 1.5
+
 let integrated_services ~size ~utilization =
   if size < 8 then invalid_arg "Scenarios.integrated_services: size < 8";
-  if not (utilization > 0. && utilization <= 1.5) then
+  if not (utilization > 0. && utilization <= max_utilization) then
     invalid_arg "Scenarios.integrated_services: utilization outside (0, 1.5]";
   let nf = float_of_int size in
   (* Port budget: ~50% voice, ~35% video, ~15% data. *)

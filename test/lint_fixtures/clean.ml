@@ -1,0 +1,5 @@
+(* Fixture: violates none of R1-R6 under the fixture config. *)
+
+let add a b = a +. b
+let positive x = x > 0.
+let guarded f = try f () with Not_found -> 0.

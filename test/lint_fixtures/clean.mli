@@ -1,0 +1,3 @@
+val add : float -> float -> float
+val positive : float -> bool
+val guarded : (unit -> float) -> float

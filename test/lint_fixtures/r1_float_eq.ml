@@ -1,0 +1,6 @@
+(* Fixture: three R1 violations, one legal exact-zero guard. *)
+
+let exactly_pi x = x = 3.14
+let not_half x = x <> 0.5
+let above_threshold x = x > 0.75
+let legal_guard x = x > 0.

@@ -1,0 +1,6 @@
+(* Fixture: three raw transcendental calls that must go through Logspace. *)
+
+let a x = exp x
+let b x = log x
+let c x = Float.log1p x
+let fine x = sqrt x

@@ -1,0 +1,15 @@
+(* Fixture: two top-level mutable cells, one annotated as domain-safe. *)
+
+let counter = ref 0
+let table : (string, int) Hashtbl.t = Hashtbl.create 16
+
+(* lint: domain-safe — fixture: guarded by an external mutex in the harness *)
+let sanctioned = ref 0
+
+let bump () = incr counter
+let remember k v = Hashtbl.replace table k v
+let sanctioned_bump () = incr sanctioned
+let local_state_is_fine () =
+  let scratch = ref 0 in
+  incr scratch;
+  !scratch

@@ -1,0 +1,5 @@
+(* Fixture: two stdout writes from library code. *)
+
+let hello () = print_endline "hello"
+let report n = Printf.printf "n = %d\n" n
+let to_buffer b n = Printf.bprintf b "n = %d" n

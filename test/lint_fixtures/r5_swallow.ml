@@ -1,0 +1,10 @@
+(* Fixture: two exception-swallowing handlers, one precise one. *)
+
+let swallow_try f = try f () with _ -> 0
+
+let swallow_match f =
+  match f () with
+  | x -> x
+  | exception _ -> 0
+
+let precise f = try f () with Not_found -> 0

@@ -1,0 +1,3 @@
+(* Fixture: a library module with no matching .mli. *)
+
+let answer = 42

@@ -74,6 +74,43 @@ let test_cache_perturbed_rate_misses () =
   check_bool "perturbed rate misses" false hit;
   check_int "two entries" 2 (Cache.size cache)
 
+let cache_hammer_prop =
+  (* Many domains hammering one cache on a handful of distinct models: the
+     counters must balance, the table must hold exactly the distinct keys,
+     and every returned solution must be bit-identical to a direct solve. *)
+  QCheck2.Test.make ~name:"cache: domains:4 hammer stays consistent" ~count:10
+    (QCheck2.Gen.list_size (QCheck2.Gen.int_range 2 5) Helpers.random_model_gen)
+    (fun models ->
+      let models = Array.of_list models in
+      let n = Array.length models in
+      let direct = Array.map Solver.solve_full models in
+      let distinct =
+        List.length
+          (List.sort_uniq String.compare
+             (Array.to_list (Array.map Cache.key_of_model models)))
+      in
+      let cache = Cache.create () in
+      let tasks = 64 in
+      let results =
+        Pool.run ~domains:4 ~tasks (fun i ->
+            let which = i mod n in
+            let solution, _hit = Cache.find_or_solve cache models.(which) in
+            (which, solution))
+      in
+      check_int "hits + misses = tasks" tasks
+        (Cache.hits cache + Cache.misses cache);
+      check_int "size = distinct models" distinct (Cache.size cache);
+      check_bool "at least one miss per distinct model" true
+        (Cache.misses cache >= distinct);
+      Array.iter
+        (fun (which, (solution : Solver.solution)) ->
+          check_bool "log G bit-identical to direct solve" true
+            (Int64.equal
+               (Int64.bits_of_float solution.Solver.log_normalization)
+               (Int64.bits_of_float direct.(which).Solver.log_normalization)))
+        results;
+      true)
+
 let test_cache_algorithm_in_key () =
   let model = two_class_model () in
   check_bool "algorithms key separately" false
@@ -291,6 +328,7 @@ let () =
           case "structural hit" test_cache_structural_hit;
           case "perturbed rate misses" test_cache_perturbed_rate_misses;
           case "algorithm in key" test_cache_algorithm_in_key;
+          qcheck cache_hammer_prop;
         ] );
       ( "sweep",
         [

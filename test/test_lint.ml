@@ -1,0 +1,154 @@
+open Helpers
+module Rule = Crossbar_lint.Rule
+module Config = Crossbar_lint.Config
+module Finding = Crossbar_lint.Finding
+module Driver = Crossbar_lint.Driver
+module Json = Crossbar_engine.Json
+
+(* The fixtures live under test/lint_fixtures; the production prefixes in
+   Config.default are remapped onto that tree so each rule can be exercised
+   in isolation with known violation counts. *)
+let fixture_config rules =
+  {
+    Config.default with
+    rules;
+    numerics_prefixes = [];
+    r2_prefixes = [ "lint_fixtures" ];
+    r3_scope = Config.Paths [ "lint_fixtures" ];
+    r4_prefixes = [ "lint_fixtures" ];
+    r6_prefixes = [ "lint_fixtures/r6" ];
+  }
+
+let lint_rule rule paths = Driver.lint ~config:(fixture_config [ rule ]) paths
+
+let check_findings label expected findings =
+  check_int (label ^ ": count") (List.length expected) (List.length findings);
+  List.iter2
+    (fun (rule, line) (f : Finding.t) ->
+      check_bool
+        (Printf.sprintf "%s: rule at line %d" label line)
+        true
+        (Rule.compare rule f.Finding.rule = 0);
+      check_int (label ^ ": line") line f.Finding.line)
+    expected findings
+
+let test_r1_float_comparisons () =
+  check_findings "r1"
+    [ (Rule.R1, 3); (Rule.R1, 4); (Rule.R1, 5) ]
+    (lint_rule Rule.R1 [ "lint_fixtures/r1_float_eq.ml" ])
+
+let test_r1_suppression () =
+  check_findings "r1 suppressed" []
+    (lint_rule Rule.R1 [ "lint_fixtures/r1_suppressed.ml" ])
+
+let test_r2_raw_transcendentals () =
+  check_findings "r2"
+    [ (Rule.R2, 3); (Rule.R2, 4); (Rule.R2, 5) ]
+    (lint_rule Rule.R2 [ "lint_fixtures/r2_raw_exp.ml" ])
+
+let test_r3_toplevel_mutable_state () =
+  (* Two bare cells flagged; the domain-safe-annotated one and the
+     function-local ref are not. *)
+  check_findings "r3"
+    [ (Rule.R3, 3); (Rule.R3, 4) ]
+    (lint_rule Rule.R3 [ "lint_fixtures/r3_mutable_state.ml" ])
+
+let test_r4_stdout_writes () =
+  check_findings "r4"
+    [ (Rule.R4, 3); (Rule.R4, 4) ]
+    (lint_rule Rule.R4 [ "lint_fixtures/r4_stdout.ml" ])
+
+let test_r5_swallowed_exceptions () =
+  check_findings "r5"
+    [ (Rule.R5, 3); (Rule.R5, 8) ]
+    (lint_rule Rule.R5 [ "lint_fixtures/r5_swallow.ml" ])
+
+let test_r6_missing_interface () =
+  let findings = lint_rule Rule.R6 [ "lint_fixtures" ] in
+  check_findings "r6" [ (Rule.R6, 1) ] findings;
+  let f = List.hd findings in
+  check_bool "r6: names the module" true
+    (String.equal f.Finding.file "lint_fixtures/r6/no_interface.ml")
+
+let test_clean_file_has_no_findings () =
+  let config =
+    { (fixture_config Rule.all) with Config.r6_prefixes = [ "lint_fixtures" ] }
+  in
+  check_findings "clean" []
+    (Driver.lint ~config
+       [ "lint_fixtures/clean.ml"; "lint_fixtures/clean.mli" ])
+
+let fixture_tree_findings () =
+  Driver.lint ~config:(fixture_config Rule.all) [ "lint_fixtures" ]
+
+let test_whole_tree_totals () =
+  let findings = fixture_tree_findings () in
+  (* 3 R1 + 3 R2 + 2 R3 + 2 R4 + 2 R5 + 1 R6. *)
+  check_int "total" 13 (List.length findings);
+  List.iter
+    (fun rule ->
+      let expected =
+        match rule with
+        | Rule.R1 | Rule.R2 -> 3
+        | Rule.R3 | Rule.R4 | Rule.R5 -> 2
+        | Rule.R6 -> 1
+        | Rule.Syntax -> 0
+      in
+      check_int
+        (Printf.sprintf "count for %s" (Rule.to_string rule))
+        expected
+        (List.length
+           (List.filter
+              (fun (f : Finding.t) -> Rule.compare f.Finding.rule rule = 0)
+              findings)))
+    Rule.all
+
+let test_json_report_roundtrip () =
+  let findings = fixture_tree_findings () in
+  let text = Json.to_string (Finding.report_to_json findings) in
+  match Json.of_string text with
+  | Error m -> Alcotest.failf "report does not re-parse: %s" m
+  | Ok json -> (
+      check_bool "schema present" true
+        (Json.member "schema" json = Some (Json.String Finding.schema));
+      check_bool "count present" true
+        (Json.member "count" json = Some (Json.Int (List.length findings)));
+      match Finding.report_of_json json with
+      | Error m -> Alcotest.failf "report_of_json failed: %s" m
+      | Ok decoded ->
+          check_bool "lossless roundtrip" true (decoded = findings))
+
+let test_json_report_rejects_wrong_schema () =
+  let doc =
+    Json.Assoc
+      [
+        ("schema", Json.String "not-a-lint-report/9");
+        ("count", Json.Int 0);
+        ("findings", Json.List []);
+      ]
+  in
+  match Finding.report_of_json doc with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted a report with the wrong schema"
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          case "R1 float comparisons" test_r1_float_comparisons;
+          case "R1 suppression comment" test_r1_suppression;
+          case "R2 raw transcendentals" test_r2_raw_transcendentals;
+          case "R3 top-level mutable state" test_r3_toplevel_mutable_state;
+          case "R4 stdout writes" test_r4_stdout_writes;
+          case "R5 swallowed exceptions" test_r5_swallowed_exceptions;
+          case "R6 missing interface" test_r6_missing_interface;
+          case "clean file" test_clean_file_has_no_findings;
+          case "whole-tree totals" test_whole_tree_totals;
+        ] );
+      ( "json",
+        [
+          case "report roundtrip" test_json_report_roundtrip;
+          case "rejects wrong schema" test_json_report_rejects_wrong_schema;
+        ] );
+    ]
