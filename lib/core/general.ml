@@ -65,18 +65,19 @@ let log_weight ~tables ~weights ~inputs ~outputs k =
     Special.log_permutations inputs !load
     +. Special.log_permutations outputs !load
   in
-  if psi = neg_infinity then neg_infinity
+  let log_zero l = Logspace.is_zero (Logspace.of_log l) in
+  if log_zero psi then neg_infinity
   else begin
     let phi = ref 0. in
     (try
        Array.iteri
          (fun r count ->
            let contribution = tables.(r).(count) in
-           if contribution = neg_infinity then raise Exit;
+           if log_zero contribution then raise Exit;
            phi := !phi +. contribution)
          k
      with Exit -> phi := neg_infinity);
-    if !phi = neg_infinity then neg_infinity else psi +. !phi
+    if log_zero !phi then neg_infinity else psi +. !phi
   end
 
 let log_terms ~space ~tables ~weights ~inputs ~outputs =

@@ -78,7 +78,7 @@ let class_distribution model ~class_index =
   let log_weights =
     Array.mapi
       (fun m phi ->
-        if phi = neg_infinity then neg_infinity
+        if Logspace.is_zero (Logspace.of_log phi) then neg_infinity
         else begin
           let terms = ref [] in
           for j = 0 to capacity - (m * a) do

@@ -4,6 +4,59 @@ module Solver = Crossbar.Solver
 
 type key = string
 
+module Memo = struct
+  type 'a t = {
+    mutex : Mutex.t;
+    table : (key, 'a) Hashtbl.t;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let create () =
+    {
+      mutex = Mutex.create ();
+      table = Hashtbl.create 64;
+      hits = 0;
+      misses = 0;
+    }
+
+  let locked t f =
+    Mutex.lock t.mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+  let find_or_compute t key f =
+    (* Lookup and hit-count under one lock acquisition so a concurrent
+       reader never observes a hit whose counter has not landed yet. *)
+    let cached =
+      locked t (fun () ->
+          match Hashtbl.find_opt t.table key with
+          | Some value ->
+              t.hits <- t.hits + 1;
+              Some value
+          | None -> None)
+    in
+    match cached with
+    | Some value -> (value, true)
+    | None ->
+        (* Compute outside the lock: misses on distinct keys stay parallel.
+           Two domains racing on the same key both compute (callers supply
+           deterministic functions) and the first insert wins. *)
+        let value = f () in
+        locked t (fun () ->
+            t.misses <- t.misses + 1;
+            if not (Hashtbl.mem t.table key) then Hashtbl.add t.table key value);
+        (value, false)
+
+  let hits t = locked t (fun () -> t.hits)
+  let misses t = locked t (fun () -> t.misses)
+  let size t = locked t (fun () -> Hashtbl.length t.table)
+
+  let hit_rate t =
+    locked t (fun () ->
+        let total = t.hits + t.misses in
+        if total = 0 then 0. else float_of_int t.hits /. float_of_int total)
+end
+
 let key_of_model ?algorithm model =
   let algorithm =
     match algorithm with Some a -> a | None -> Solver.recommended model
@@ -24,50 +77,15 @@ let key_of_model ?algorithm model =
     (Model.classes model);
   Buffer.contents b
 
-type t = {
-  mutex : Mutex.t;
-  table : (key, Solver.solution) Hashtbl.t;
-  mutable hits : int;
-  mutable misses : int;
-}
+type t = Solver.solution Memo.t
 
-let create () =
-  { mutex = Mutex.create (); table = Hashtbl.create 64; hits = 0; misses = 0 }
-
-let locked t f =
-  Mutex.lock t.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+let create () = Memo.create ()
 
 let find_or_solve t ?algorithm model =
   let key = key_of_model ?algorithm model in
-  (* Lookup and hit-count under one lock acquisition so a concurrent reader
-     never observes a hit whose counter has not landed yet. *)
-  let cached =
-    locked t (fun () ->
-        match Hashtbl.find_opt t.table key with
-        | Some solution ->
-            t.hits <- t.hits + 1;
-            Some solution
-        | None -> None)
-  in
-  match cached with
-  | Some solution -> (solution, true)
-  | None ->
-      (* Solve outside the lock: misses on distinct keys stay parallel.
-         Two domains racing on the same key both solve (deterministically,
-         bit-identically) and the first insert wins. *)
-      let solution = Solver.solve_full ?algorithm model in
-      locked t (fun () ->
-          t.misses <- t.misses + 1;
-          if not (Hashtbl.mem t.table key) then
-            Hashtbl.add t.table key solution);
-      (solution, false)
+  Memo.find_or_compute t key (fun () -> Solver.solve_full ?algorithm model)
 
-let hits t = locked t (fun () -> t.hits)
-let misses t = locked t (fun () -> t.misses)
-let size t = locked t (fun () -> Hashtbl.length t.table)
-
-let hit_rate t =
-  locked t (fun () ->
-      let total = t.hits + t.misses in
-      if total = 0 then 0. else float_of_int t.hits /. float_of_int total)
+let hits = Memo.hits
+let misses = Memo.misses
+let size = Memo.size
+let hit_rate = Memo.hit_rate

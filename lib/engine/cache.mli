@@ -1,4 +1,5 @@
-(** Keyed cache of solved models.
+(** Keyed caches: a generic domain-safe memo table plus the solved-model
+    cache the sweep engine runs on.
 
     The sweep engine evaluates thousands of closely related models —
     figure series share sizes, revenue gradients re-solve perturbed
@@ -8,27 +9,50 @@
     normalisation from one solve), so a sweep never solves the same
     model twice for any reason.
 
-    The cache is domain-safe: lookups and insertions are serialised by a
-    mutex, while solves on a miss run outside the lock so concurrent
-    misses on different keys still proceed in parallel.  Two domains
-    racing on the {e same} key may both solve it; the solvers are
-    deterministic, so whichever insertion wins stores the identical
-    value and determinism is preserved. *)
+    Both layers are domain-safe: lookups and insertions are serialised by
+    a mutex, while computations on a miss run outside the lock so
+    concurrent misses on different keys still proceed in parallel.  Two
+    domains racing on the {e same} key may both compute it; callers
+    supply deterministic functions, so whichever insertion wins stores
+    the identical value and determinism is preserved. *)
 
 type key = string
-(** Model fingerprint: switch dimensions, resolved algorithm, and every
-    class's name, bandwidth and exact (hex-printed) rate parameters.
-    Structurally equal models produce equal keys; any parameter
-    perturbation, however small, produces a distinct key. *)
+(** Cache keys are opaque fingerprints; equal keys must mean equal
+    results.  For models, see {!key_of_model}. *)
+
+(** Generic string-keyed memo table.  The solver cache below is one
+    instantiation; the incremental lint driver
+    ([Crossbar_lint_typed.Driver]) is another, memoising per-file typed
+    analyses under a source+artifact digest. *)
+module Memo : sig
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val find_or_compute : 'a t -> key -> (unit -> 'a) -> 'a * bool
+  (** The cached or freshly computed value, and whether it was a cache
+      hit.  Counters update accordingly; the computation runs outside
+      the lock. *)
+
+  val hits : 'a t -> int
+  val misses : 'a t -> int
+  val size : 'a t -> int
+
+  val hit_rate : 'a t -> float
+  (** [hits / (hits + misses)]; [0.] before any lookup. *)
+end
 
 val key_of_model :
   ?algorithm:Crossbar.Solver.algorithm -> Crossbar.Model.t -> key
-(** The fingerprint under which [find_or_solve] would file the model.
-    When [algorithm] is omitted the {!Crossbar.Solver.recommended}
-    choice is baked into the key, since it alone determines which
-    recurrence runs. *)
+(** The fingerprint under which [find_or_solve] would file the model:
+    switch dimensions, resolved algorithm, and every class's name,
+    bandwidth and exact (hex-printed) rate parameters.  Structurally
+    equal models produce equal keys; any parameter perturbation, however
+    small, produces a distinct key.  When [algorithm] is omitted the
+    {!Crossbar.Solver.recommended} choice is baked into the key, since
+    it alone determines which recurrence runs. *)
 
-type t
+type t = Crossbar.Solver.solution Memo.t
 
 val create : unit -> t
 

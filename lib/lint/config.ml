@@ -1,3 +1,5 @@
+module Json = Crossbar_engine.Json
+
 type r3_scope = Reachable_from of string list | Paths of string list
 
 type t = {
@@ -12,6 +14,10 @@ type t = {
   r4_prefixes : string list;
   stdout_names : string list;
   r6_prefixes : string list;
+  r8_sanctioned_types : string list;
+  r8_mutable_types : string list;
+  r9_roots : string list;
+  r9_lock_wrappers : string list;
 }
 
 let default =
@@ -47,6 +53,25 @@ let default =
         "Stdlib.print_float"; "Stdlib.print_char";
       ];
     r6_prefixes = [ "lib" ];
+    r8_sanctioned_types =
+      [
+        "Stdlib.Atomic.t"; "Stdlib__Atomic.t"; "Atomic.t";
+        "Stdlib.Mutex.t"; "Stdlib__Mutex.t"; "Mutex.t";
+        "Stdlib.Condition.t"; "Stdlib__Condition.t"; "Condition.t";
+        "Stdlib.Semaphore.Counting.t"; "Stdlib__Semaphore.Counting.t";
+        "Stdlib.Domain.DLS.key"; "Stdlib__Domain.DLS.key"; "Domain.DLS.key";
+      ];
+    r8_mutable_types =
+      [
+        "Stdlib.Hashtbl.t"; "Stdlib__Hashtbl.t"; "Hashtbl.t";
+        "Stdlib.Queue.t"; "Stdlib__Queue.t"; "Queue.t";
+        "Stdlib.Stack.t"; "Stdlib__Stack.t"; "Stack.t";
+        "Stdlib.Buffer.t"; "Stdlib__Buffer.t"; "Buffer.t";
+        "Stdlib.Weak.t"; "Stdlib__Weak.t"; "Weak.t";
+        "Stdlib.Random.State.t"; "Stdlib__Random.State.t"; "Random.State.t";
+      ];
+    r9_roots = [ "lib/engine" ];
+    r9_lock_wrappers = [ "Mutex.protect"; "Stdlib.Mutex.protect"; "locked" ];
   }
 
 let enabled t rule = rule = Rule.Syntax || List.mem rule t.rules
@@ -67,3 +92,173 @@ let matches path prefixes =
       String.equal path prefix
       || String.starts_with ~prefix:(prefix ^ "/") path)
     prefixes
+
+(* ---------- JSON (de)serialisation ---------- *)
+
+let strings items = Json.List (List.map (fun s -> Json.String s) items)
+
+let to_json t =
+  let scope_kind, scope_prefixes =
+    match t.r3_scope with
+    | Reachable_from prefixes -> ("reachable_from", prefixes)
+    | Paths prefixes -> ("paths", prefixes)
+  in
+  Json.Assoc
+    [
+      ("schema", Json.String "crossbar-lint-config/1");
+      ( "rules",
+        Json.List
+          (List.map (fun r -> Json.String (Rule.to_string r)) t.rules) );
+      ("numerics_prefixes", strings t.numerics_prefixes);
+      ( "ordering_literals",
+        Json.List (List.map (fun v -> Json.Float v) t.ordering_literals) );
+      ("r2_prefixes", strings t.r2_prefixes);
+      ("r2_allowlist", strings t.r2_allowlist);
+      ("r2_banned", strings t.r2_banned);
+      ( "r3_scope",
+        Json.Assoc
+          [
+            ("kind", Json.String scope_kind);
+            ("prefixes", strings scope_prefixes);
+          ] );
+      ("mutable_makers", strings t.mutable_makers);
+      ("r4_prefixes", strings t.r4_prefixes);
+      ("stdout_names", strings t.stdout_names);
+      ("r6_prefixes", strings t.r6_prefixes);
+      ("r8_sanctioned_types", strings t.r8_sanctioned_types);
+      ("r8_mutable_types", strings t.r8_mutable_types);
+      ("r9_roots", strings t.r9_roots);
+      ("r9_lock_wrappers", strings t.r9_lock_wrappers);
+    ]
+
+let of_json json =
+  let ( let* ) = Result.bind in
+  let field key =
+    match Json.member key json with
+    | Some value -> Ok value
+    | None -> Error (Printf.sprintf "config: missing field %S" key)
+  in
+  let string_list key =
+    let* value = field key in
+    match value with
+    | Json.List items ->
+        List.fold_left
+          (fun acc item ->
+            let* acc = acc in
+            match item with
+            | Json.String s -> Ok (s :: acc)
+            | _ -> Error (Printf.sprintf "config: %S must hold strings" key))
+          (Ok []) items
+        |> Result.map List.rev
+    | _ -> Error (Printf.sprintf "config: %S must be a list" key)
+  in
+  let* schema = field "schema" in
+  let* () =
+    match schema with
+    | Json.String "crossbar-lint-config/1" -> Ok ()
+    | _ -> Error "config: missing schema \"crossbar-lint-config/1\""
+  in
+  let* rule_names = string_list "rules" in
+  let* rules =
+    List.fold_left
+      (fun acc name ->
+        let* acc = acc in
+        match Rule.of_string name with
+        | Some rule -> Ok (rule :: acc)
+        | None -> Error (Printf.sprintf "config: unknown rule id %S" name))
+      (Ok []) rule_names
+    |> Result.map List.rev
+  in
+  let* numerics_prefixes = string_list "numerics_prefixes" in
+  let* ordering_literals =
+    let* value = field "ordering_literals" in
+    match value with
+    | Json.List items ->
+        List.fold_left
+          (fun acc item ->
+            let* acc = acc in
+            match item with
+            | Json.Float v -> Ok (v :: acc)
+            | Json.Int v -> Ok (float_of_int v :: acc)
+            | _ -> Error "config: \"ordering_literals\" must hold numbers")
+          (Ok []) items
+        |> Result.map List.rev
+    | _ -> Error "config: \"ordering_literals\" must be a list"
+  in
+  let* r2_prefixes = string_list "r2_prefixes" in
+  let* r2_allowlist = string_list "r2_allowlist" in
+  let* r2_banned = string_list "r2_banned" in
+  let* r3_scope =
+    let* value = field "r3_scope" in
+    let* kind =
+      match Json.member "kind" value with
+      | Some (Json.String kind) -> Ok kind
+      | _ -> Error "config: \"r3_scope\" needs a string \"kind\""
+    in
+    let* prefixes =
+      match Json.member "prefixes" value with
+      | Some (Json.List items) ->
+          List.fold_left
+            (fun acc item ->
+              let* acc = acc in
+              match item with
+              | Json.String s -> Ok (s :: acc)
+              | _ -> Error "config: \"r3_scope\" prefixes must be strings")
+            (Ok []) items
+          |> Result.map List.rev
+      | _ -> Error "config: \"r3_scope\" needs a \"prefixes\" list"
+    in
+    match kind with
+    | "reachable_from" -> Ok (Reachable_from prefixes)
+    | "paths" -> Ok (Paths prefixes)
+    | other ->
+        Error
+          (Printf.sprintf
+             "config: \"r3_scope\" kind %S is neither \"reachable_from\" nor \
+              \"paths\""
+             other)
+  in
+  let* mutable_makers = string_list "mutable_makers" in
+  let* r4_prefixes = string_list "r4_prefixes" in
+  let* stdout_names = string_list "stdout_names" in
+  let* r6_prefixes = string_list "r6_prefixes" in
+  let* r8_sanctioned_types = string_list "r8_sanctioned_types" in
+  let* r8_mutable_types = string_list "r8_mutable_types" in
+  let* r9_roots = string_list "r9_roots" in
+  let* r9_lock_wrappers = string_list "r9_lock_wrappers" in
+  Ok
+    {
+      rules;
+      numerics_prefixes;
+      ordering_literals;
+      r2_prefixes;
+      r2_allowlist;
+      r2_banned;
+      r3_scope;
+      mutable_makers;
+      r4_prefixes;
+      stdout_names;
+      r6_prefixes;
+      r8_sanctioned_types;
+      r8_mutable_types;
+      r9_roots;
+      r9_lock_wrappers;
+    }
+
+let hash t = Digest.to_hex (Digest.string (Json.to_string (to_json t)))
+
+let load_file path =
+  if not (Sys.file_exists path) then Ok default
+  else
+    let ic = open_in_bin path in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Json.of_string text with
+    | Error message -> Error (Printf.sprintf "%s: %s" path message)
+    | Ok json -> (
+        match of_json json with
+        | Error message -> Error (Printf.sprintf "%s: %s" path message)
+        | Ok config -> Ok config)

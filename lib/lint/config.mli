@@ -1,24 +1,30 @@
 (** Linter configuration: which rules run, where each rule applies, and the
     allowlists that make the rule set practical.  Paths are matched by
     directory-prefix (["lib/core"] covers ["lib/core/model.ml"] but not
-    ["lib/core_ext/x.ml"]). *)
+    ["lib/core_ext/x.ml"]).
+
+    The whole policy round-trips through the engine's JSON tree so it can
+    live in a checked-in [lint.json] (schema ["crossbar-lint-config/1"])
+    instead of being compiled in; {!load_file} falls back to {!default}
+    when the file does not exist and errors loudly when it is malformed. *)
 
 type r3_scope =
   | Reachable_from of string list
-      (** R3 applies to every compilation unit transitively referenced from
+      (** R3/R8 apply to every compilation unit transitively referenced from
           the files under these prefixes (the Domain-pool workers). *)
-  | Paths of string list  (** R3 applies to files under these prefixes. *)
+  | Paths of string list  (** R3/R8 apply to files under these prefixes. *)
 
 type t = {
   rules : Rule.id list;  (** Enabled rules; [Rule.Syntax] always runs. *)
-  numerics_prefixes : string list;  (** Exempt from R1 (e.g. lib/numerics). *)
+  numerics_prefixes : string list;
+      (** Exempt from R1 and R7 (e.g. lib/numerics). *)
   ordering_literals : float list;
       (** Float literals allowed as ordering-comparison operands everywhere
           (domain guards against 0., 1., -1. are exact in IEEE 754). *)
   r2_prefixes : string list;  (** Directories where R2 applies. *)
   r2_allowlist : string list;  (** Paths exempt from R2 despite the above. *)
   r2_banned : string list;  (** Dotted names R2 forbids (exp, Float.log, ...). *)
-  r3_scope : r3_scope;
+  r3_scope : r3_scope;  (** Shared by R3 (untyped) and R8 (typed). *)
   mutable_makers : string list;
       (** Dotted names whose top-level application creates shared mutable
           state ([ref], [Hashtbl.create], ...).  [Atomic.make] and [Mutex.t]
@@ -27,6 +33,21 @@ type t = {
   r4_prefixes : string list;  (** Directories where R4 applies. *)
   stdout_names : string list;  (** Dotted names R4 forbids. *)
   r6_prefixes : string list;  (** Directories where R6 applies. *)
+  r8_sanctioned_types : string list;
+      (** Type-constructor paths R8 never flags and never recurses into
+          ([Atomic.t], [Mutex.t], ...): the sanctioned synchronisation
+          primitives. *)
+  r8_mutable_types : string list;
+      (** Abstract type-constructor paths R8 treats as mutable
+          ([Hashtbl.t], [Buffer.t], ...); arrays, [bytes], refs and records
+          with [mutable] fields are detected structurally. *)
+  r9_roots : string list;
+      (** Files whose top-level functions seed the R9 typed call graph (the
+          Domain-pool entry points). *)
+  r9_lock_wrappers : string list;
+      (** Functions whose function-literal arguments run under a lock
+          ([Mutex.protect] and repo-local helpers such as [locked]); a
+          bare name matches any path ending in that component. *)
 }
 
 val default : t
@@ -40,3 +61,17 @@ val normalize : string -> string
 val matches : string -> string list -> bool
 (** [matches path prefixes] is true when [path] lies under one of
     [prefixes] (component-wise, after {!normalize}). *)
+
+val to_json : t -> Crossbar_engine.Json.t
+val of_json : Crossbar_engine.Json.t -> (t, string) result
+(** Inverse of {!to_json}; fails with a message naming the offending field
+    on schema or shape mismatch. *)
+
+val hash : t -> string
+(** Hex digest of the canonical JSON rendering; keys the incremental lint
+    cache so any policy change invalidates every cached entry. *)
+
+val load_file : string -> (t, string) result
+(** [load_file path] is {!default} when [path] does not exist, the parsed
+    config when it holds a valid document, and an error mentioning [path]
+    otherwise. *)

@@ -72,7 +72,18 @@ let missing_interface_findings ~config sources =
       else None)
     sources
 
-let r3_membership ~config sources =
+let load_sources paths =
+  let files = List.concat_map discover paths in
+  let sources, syntax_findings =
+    List.fold_left
+      (fun (sources, findings) path ->
+        let source, syntax = parse_source path in
+        (source :: sources, Option.to_list syntax @ findings))
+      ([], []) files
+  in
+  (List.rev sources, syntax_findings)
+
+let scope_membership ~config sources =
   match config.Config.r3_scope with
   | Config.Paths prefixes -> fun path -> Config.matches path prefixes
   | Config.Reachable_from root_prefixes ->
@@ -99,16 +110,8 @@ let r3_membership ~config sources =
       Deps.reachable graph ~roots
 
 let lint ~config paths =
-  let files = List.concat_map discover paths in
-  let sources, syntax_findings =
-    List.fold_left
-      (fun (sources, findings) path ->
-        let source, syntax = parse_source path in
-        (source :: sources, Option.to_list syntax @ findings))
-      ([], []) files
-  in
-  let sources = List.rev sources in
-  let r3_applies = r3_membership ~config sources in
+  let sources, syntax_findings = load_sources paths in
+  let r3_applies = scope_membership ~config sources in
   let rule_findings =
     List.concat_map
       (fun source ->

@@ -1,6 +1,7 @@
-type id = Syntax | R1 | R2 | R3 | R4 | R5 | R6
+type id = Syntax | R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9
 
-let all = [ R1; R2; R3; R4; R5; R6 ]
+let all = [ R1; R2; R3; R4; R5; R6; R7; R8; R9 ]
+let typed = function R7 | R8 | R9 -> true | _ -> false
 
 let to_string = function
   | Syntax -> "R0"
@@ -10,6 +11,9 @@ let to_string = function
   | R4 -> "R4"
   | R5 -> "R5"
   | R6 -> "R6"
+  | R7 -> "R7"
+  | R8 -> "R8"
+  | R9 -> "R9"
 
 let of_string text =
   match String.uppercase_ascii (String.trim text) with
@@ -20,7 +24,39 @@ let of_string text =
   | "R4" -> Some R4
   | "R5" -> Some R5
   | "R6" -> Some R6
+  | "R7" -> Some R7
+  | "R8" -> Some R8
+  | "R9" -> Some R9
   | _ -> None
+
+let valid_ids () = String.concat ", " (List.map to_string all)
+
+let parse_list text =
+  let ( let* ) = Result.bind in
+  let* ids =
+    List.fold_left
+      (fun acc piece ->
+        let* acc = acc in
+        let piece = String.trim piece in
+        if String.equal piece "" then
+          Error
+            (Printf.sprintf
+               "empty rule id in %S; expected a comma-separated list such as \
+                R1,R5"
+               text)
+        else
+          match of_string piece with
+          | Some rule -> Ok (rule :: acc)
+          | None ->
+              Error
+                (Printf.sprintf "unknown rule id %S (valid ids: %s)" piece
+                   (valid_ids ())))
+      (Ok [])
+      (String.split_on_char ',' text)
+  in
+  match ids with
+  | [] -> Error "empty rule list; expected at least one rule id"
+  | ids -> Ok (List.rev ids)
 
 let title = function
   | Syntax -> "source file must parse"
@@ -30,6 +66,9 @@ let title = function
   | R4 -> "library code must not print to stdout"
   | R5 -> "no exception-swallowing catch-all handlers"
   | R6 -> "every library implementation has a matching interface"
+  | R7 -> "no float equality through Float.equal/compare or polymorphic =/compare (typed)"
+  | R8 -> "no top-level value whose inferred type is mutable on pool-reachable code (typed)"
+  | R9 -> "no unlocked writes to top-level mutable state reachable from Pool workers (typed)"
 
 let rationale = function
   | Syntax -> "a file the compiler cannot parse cannot be audited at all"
@@ -52,5 +91,17 @@ let rationale = function
   | R6 ->
       "an .mli is the audited surface of a module; without one every helper \
        leaks and the invariants above cannot be enforced at the boundary"
+  | R7 ->
+      "Float.equal/Float.compare and polymorphic = on floats are exact \
+       bit-pattern comparisons the Parsetree pass cannot see through \
+       aliases; typing closes R1's blind spot"
+  | R8 ->
+      "a top-level array, Bytes, ref or mutable-field record is shared \
+       across pool domains whatever expression created it; the value's \
+       inferred type, not the creator's name, is the ground truth"
+  | R9 ->
+      "a function reachable from Engine.Pool workers that writes sanctioned \
+       top-level mutable state outside a lock-wrapped region races; the \
+       typed call graph over-approximates reachability in the safe direction"
 
 let compare = Stdlib.compare

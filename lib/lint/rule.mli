@@ -1,14 +1,26 @@
 (** Identifiers, one-line titles and rationales for the crossbar-lint rule
     set.  [Syntax] (rendered "R0") is the pseudo-rule reported when a file
-    does not parse; it cannot be disabled or suppressed. *)
+    does not parse; it cannot be disabled or suppressed.  R1-R6 run on the
+    Parsetree (untyped, fast); R7-R9 need the Typedtree stage driven from
+    dune-produced [.cmt] artifacts. *)
 
-type id = Syntax | R1 | R2 | R3 | R4 | R5 | R6
+type id = Syntax | R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9
 
 val all : id list
-(** The real rules R1..R6, in order ([Syntax] excluded). *)
+(** The real rules R1..R9, in order ([Syntax] excluded). *)
+
+val typed : id -> bool
+(** Whether the rule needs the Typedtree stage (R7, R8, R9). *)
 
 val to_string : id -> string
 val of_string : string -> id option
+
+val parse_list : string -> (id list, string) result
+(** Parses a comma-separated rule list ("R1,R5").  Unlike {!of_string}
+    folded over the pieces, this fails loudly: an unknown id is an error
+    naming the offending token and the valid ids, and empty pieces
+    ("R1,,R2", a trailing comma, or an empty list) are syntax errors
+    rather than silently dropped. *)
 
 val title : id -> string
 (** One-line statement of the invariant. *)

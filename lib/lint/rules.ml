@@ -14,6 +14,15 @@ let dotted lid = String.concat "." (flatten lid)
 let equality_ops = [ "="; "<>"; "=="; "!=" ]
 let ordering_ops = [ "<"; ">"; "<="; ">=" ]
 
+(* R1 also covers the functional spellings applied to a bare literal; the
+   typed pass (R7) closes the remaining gap where both operands are
+   expressions. *)
+let float_equality_fns =
+  [
+    "Float.equal"; "Float.compare";
+    "Stdlib.Float.equal"; "Stdlib.Float.compare";
+  ]
+
 (* The parser folds unary minus into the literal, but handle an explicit
    application of [~-.] as well so [x = -. 1.] does not slip through. *)
 let float_literal expr =
@@ -59,6 +68,7 @@ let check ~(config : Config.t) ~path ~r3_applies structure =
                 named tolerance"
                op v)
         else if
+          (* lint: disable=R7 — configured literals match by exact bits *)
           not (List.exists (fun a -> Float.equal a v) config.ordering_literals)
         then
           add Rule.R1 loc
@@ -83,6 +93,23 @@ let check ~(config : Config.t) ~path ~r3_applies structure =
       when r1_applies && (List.mem op equality_ops || List.mem op ordering_ops)
       ->
         check_comparison op expr.pexp_loc lhs rhs
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+      when r1_applies
+           && List.mem (dotted txt) float_equality_fns
+           && List.exists
+                (fun (label, arg) ->
+                  label = Asttypes.Nolabel && float_literal arg <> None)
+                args ->
+        let literal =
+          List.find_map (fun (_, arg) -> float_literal arg) args
+        in
+        add Rule.R1 expr.pexp_loc
+          (Printf.sprintf
+             "%s against literal %g is an exact bit comparison; use \
+              Crossbar_numerics.Prob.{is_zero,approx_eq,ulp_equal} or a \
+              named tolerance"
+             (dotted txt)
+             (Option.value ~default:Float.nan literal))
     | Pexp_ident { txt; loc }
       when r2_applies && List.mem (dotted txt) config.r2_banned ->
         add Rule.R2 loc

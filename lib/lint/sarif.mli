@@ -1,0 +1,16 @@
+(** Static Analysis Results Interchange Format (SARIF 2.1.0) rendering of a
+    findings list, so CI can annotate pull requests from the lint run.  The
+    document is built on the engine's JSON tree and therefore re-parses
+    with [Crossbar_engine.Json.of_string] — the schema smoke test in
+    [test/test_lint_typed.ml] relies on exactly that round trip. *)
+
+val version : string
+(** ["2.1.0"]. *)
+
+val to_json : Finding.t list -> Crossbar_engine.Json.t
+(** One SARIF [run] for the "crossbar-lint" driver: a [rules] table for
+    every rule that fired and one error-level [result] per finding
+    (1-based line and column). *)
+
+val to_string : Finding.t list -> string
+(** Compact rendering of {!to_json}. *)

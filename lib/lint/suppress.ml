@@ -44,7 +44,7 @@ let directives_of_line line =
                  (`Line
                    (parse_ids (String.sub word 8 (String.length word - 8))))
              else if String.equal word "domain-safe" then
-               Some (`Line [ Rule.R3 ])
+               Some (`Line [ Rule.R3; Rule.R8; Rule.R9 ])
              else None)
 
 let scan text =

@@ -7,7 +7,9 @@
       the directive's own line and on the following line (so the comment
       can trail the offending expression or sit just above it);
     - [(* lint: disable-file=R4 — reason *)] suppresses for the whole file;
-    - [(* lint: domain-safe — reason *)] is shorthand for [disable=R3].
+    - [(* lint: domain-safe — reason *)] is shorthand for
+      [disable=R3,R8,R9] — one annotation covers the untyped and typed
+      shared-state rules alike.
 
     The free-form reason is not parsed but is required by convention; the
     [Syntax] pseudo-rule can never be suppressed. *)

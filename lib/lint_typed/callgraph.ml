@@ -1,0 +1,116 @@
+module Lint = Crossbar_lint
+module Finding = Lint.Finding
+module Rule = Lint.Rule
+
+(* The unit name "Crossbar__Solver" is addressed from other units as
+   "Solver"; same trailing-segment convention as {!Cmt_index}. *)
+let short_modname modname =
+  let rec last_start from acc =
+    match String.index_from_opt modname from '_' with
+    | Some i when i + 1 < String.length modname && modname.[i + 1] = '_' ->
+        let rest = i + 2 in
+        if rest < String.length modname then last_start rest rest else acc
+    | Some i -> last_start (i + 1) acc
+    | None -> acc
+  in
+  let start = last_start 0 0 in
+  String.sub modname start (String.length modname - start)
+
+type node = { file : Summary.file; func : Summary.func }
+
+let split_call call =
+  match String.index_opt call '.' with
+  | None -> (None, call)
+  | Some i ->
+      let modname = String.sub call 0 i in
+      let rest = String.sub call (i + 1) (String.length call - i - 1) in
+      let value =
+        match String.rindex_opt rest '.' with
+        | Some j -> String.sub rest (j + 1) (String.length rest - j - 1)
+        | None -> rest
+      in
+      (Some modname, value)
+
+let findings ~(config : Lint.Config.t) files =
+  (* Two resolution tables: (short module name, value) for cross-module
+     references and (file path, value) for same-module ones.  First
+     definition wins, matching link order for duplicate unit names. *)
+  let by_module = Hashtbl.create 64 in
+  let by_file = Hashtbl.create 64 in
+  List.iter
+    (fun (file : Summary.file) ->
+      let short = short_modname file.Summary.modname in
+      List.iter
+        (fun (func : Summary.func) ->
+          let node = { file; func } in
+          let mkey = (short, func.Summary.f_name) in
+          if not (Hashtbl.mem by_module mkey) then
+            Hashtbl.add by_module mkey node;
+          let fkey = (file.Summary.path, func.Summary.f_name) in
+          if not (Hashtbl.mem by_file fkey) then Hashtbl.add by_file fkey node)
+        file.Summary.funcs)
+    files;
+  let resolve (caller : Summary.file) call =
+    match split_call call with
+    | Some modname, value -> Hashtbl.find_opt by_module (modname, value)
+    | None, value -> Hashtbl.find_opt by_file (caller.Summary.path, value)
+  in
+
+  (* BFS over resolved calls from every function defined under an R9 root
+     directory.  [via] records one witness path step for the message. *)
+  let reachable : (string * string, string) Hashtbl.t = Hashtbl.create 64 in
+  let key (node : node) =
+    (node.file.Summary.path, node.func.Summary.f_name)
+  in
+  let queue = Queue.create () in
+  List.iter
+    (fun (file : Summary.file) ->
+      if Lint.Config.matches file.Summary.path config.Lint.Config.r9_roots
+      then
+        List.iter
+          (fun (func : Summary.func) ->
+            let node = { file; func } in
+            if not (Hashtbl.mem reachable (key node)) then begin
+              Hashtbl.add reachable (key node) func.Summary.f_name;
+              Queue.add node queue
+            end)
+          file.Summary.funcs)
+    files;
+  while not (Queue.is_empty queue) do
+    let node = Queue.pop queue in
+    let root = Hashtbl.find reachable (key node) in
+    List.iter
+      (fun call ->
+        match resolve node.file call with
+        | Some next when not (Hashtbl.mem reachable (key next)) ->
+            Hashtbl.add reachable (key next) root;
+            Queue.add next queue
+        | _ -> ())
+      node.func.Summary.calls
+  done;
+
+  let out = ref [] in
+  List.iter
+    (fun (file : Summary.file) ->
+      List.iter
+        (fun (func : Summary.func) ->
+          match Hashtbl.find_opt reachable (file.Summary.path, func.f_name) with
+          | None -> ()
+          | Some root ->
+              List.iter
+                (fun (m : Summary.mutation) ->
+                  if not m.Summary.locked then
+                    out :=
+                      Finding.make ~rule:Rule.R9 ~file:file.Summary.path
+                        ~line:m.Summary.m_line ~col:m.Summary.m_col
+                        (Printf.sprintf
+                           "%s writes top-level state %s outside a \
+                            lock-wrapped region and is reachable from engine \
+                            entry point %s; wrap the write in Mutex.protect \
+                            or a configured lock wrapper"
+                           func.Summary.f_name m.Summary.target root)
+                      :: !out)
+                func.Summary.mutations)
+        file.Summary.funcs)
+    files;
+  List.rev !out

@@ -1,0 +1,21 @@
+(** Interprocedural R9 over per-file summaries.
+
+    Builds a typed call graph by resolving each summary's referenced
+    value paths against the functions every other summary defines, walks
+    it breadth-first from the functions defined under the configured
+    [r9_roots] directories, and flags every unlocked write to top-level
+    mutable state inside a reachable function.
+
+    This is the cheap, always-recomputed half of R9: summaries come from
+    the incremental cache, so the graph walk costs one pass over data
+    already in memory.  Resolution is over-approximate in the safe
+    direction — an unresolvable call edge drops reachability (missed
+    edges are reported by R9 firing on the callee's own root instead),
+    while lock context travels with each write, not each call site. *)
+
+val findings :
+  config:Crossbar_lint.Config.t ->
+  Summary.file list ->
+  Crossbar_lint.Finding.t list
+(** Unsuppressed R9 findings for the whole program described by the given
+    summaries, in file/line order of discovery. *)

@@ -1,0 +1,33 @@
+(** Orchestrates the typed (stage-two) lint pass.
+
+    For every implementation file stage one discovered under the given
+    paths, looks up its [.cmt] artifact, consults the persistent
+    {!Store} under the file's source and artifact digests, analyses only
+    the misses through {!Typed_rules}, then recomputes the global R9
+    reachability over the full summary set — cached and fresh alike —
+    and filters everything through the shared suppression directives.
+
+    The caller owns the store: load it before, save it after, and the
+    warm-run property (only modified files re-analysed) follows from the
+    digests alone. *)
+
+type stats = {
+  files : int;  (** implementation files considered *)
+  hits : int;  (** files served from the persistent store *)
+  misses : int;  (** files actually re-analysed this run *)
+  missing_cmt : string list;
+      (** sources with no artifact in the index — stale build tree *)
+  errors : (string * string) list;
+      (** [(path, reason)] for artifacts that failed to analyse *)
+}
+
+val run :
+  config:Crossbar_lint.Config.t ->
+  store:Store.t ->
+  cmt_index:Cmt_index.t ->
+  cmt_root:string ->
+  string list ->
+  Crossbar_lint.Finding.t list * stats
+(** Findings are sorted by position and already suppression-filtered;
+    [stats] reports the cache economy so callers (and tests) can assert
+    incrementality. *)

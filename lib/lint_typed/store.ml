@@ -1,0 +1,132 @@
+module Json = Crossbar_engine.Json
+module Finding = Crossbar_lint.Finding
+
+let schema = "crossbar-lint-cache/1"
+
+type entry = {
+  source_digest : string;
+  cmt_digest : string;
+  findings : Finding.t list;
+  summary : Summary.file;
+}
+
+type t = { config_hash : string; entries : (string, entry) Hashtbl.t }
+
+let create ~config_hash = { config_hash; entries = Hashtbl.create 64 }
+
+let lookup t ~path ~source_digest ~cmt_digest =
+  match Hashtbl.find_opt t.entries path with
+  | Some entry
+    when String.equal entry.source_digest source_digest
+         && String.equal entry.cmt_digest cmt_digest ->
+      Some (entry.findings, entry.summary)
+  | _ -> None
+
+let store t ~path ~source_digest ~cmt_digest ~findings ~summary =
+  Hashtbl.replace t.entries path { source_digest; cmt_digest; findings; summary }
+
+let size t = Hashtbl.length t.entries
+
+(* ---------- persistence ---------- *)
+
+let entry_to_json path entry =
+  Json.Assoc
+    [
+      ("path", Json.String path);
+      ("source_digest", Json.String entry.source_digest);
+      ("cmt_digest", Json.String entry.cmt_digest);
+      ("findings", Json.List (List.map Finding.to_json entry.findings));
+      ("summary", Summary.to_json entry.summary);
+    ]
+
+let to_json t =
+  let entries =
+    Hashtbl.fold (fun path entry acc -> (path, entry) :: acc) t.entries []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (path, entry) -> entry_to_json path entry)
+  in
+  Json.Assoc
+    [
+      ("schema", Json.String schema);
+      ("config_hash", Json.String t.config_hash);
+      ("entries", Json.List entries);
+    ]
+
+let ( let* ) = Result.bind
+
+let str key json =
+  match Json.member key json with
+  | Some (Json.String s) -> Ok s
+  | _ -> Error (Printf.sprintf "cache: missing string field %S" key)
+
+let entry_of_json json =
+  let* path = str "path" json in
+  let* source_digest = str "source_digest" json in
+  let* cmt_digest = str "cmt_digest" json in
+  let* finding_items =
+    match Json.member "findings" json with
+    | Some (Json.List items) -> Ok items
+    | _ -> Error "cache: missing list field \"findings\""
+  in
+  let* findings =
+    List.fold_left
+      (fun acc item ->
+        let* acc = acc in
+        let* f = Finding.of_json item in
+        Ok (f :: acc))
+      (Ok []) finding_items
+    |> Result.map List.rev
+  in
+  let* summary =
+    match Json.member "summary" json with
+    | Some s -> Summary.of_json s
+    | None -> Error "cache: missing field \"summary\""
+  in
+  Ok (path, { source_digest; cmt_digest; findings; summary })
+
+let of_json ~config_hash json =
+  let* s = str "schema" json in
+  let* () =
+    if String.equal s schema then Ok ()
+    else Error (Printf.sprintf "cache: unsupported schema %S" s)
+  in
+  let* stored_hash = str "config_hash" json in
+  let t = create ~config_hash in
+  if not (String.equal stored_hash config_hash) then
+    (* A config change invalidates every entry; starting empty is exactly
+       the cold-run behaviour, so no special casing downstream. *)
+    Ok t
+  else
+    let* items =
+      match Json.member "entries" json with
+      | Some (Json.List items) -> Ok items
+      | _ -> Error "cache: missing list field \"entries\""
+    in
+    let* () =
+      List.fold_left
+        (fun acc item ->
+          let* () = acc in
+          let* path, entry = entry_of_json item in
+          Hashtbl.replace t.entries path entry;
+          Ok ())
+        (Ok ()) items
+    in
+    Ok t
+
+let load ~config_hash file =
+  if not (Sys.file_exists file) then Ok (create ~config_hash)
+  else
+    match In_channel.with_open_bin file In_channel.input_all with
+    | text -> (
+        match Json.of_string text with
+        | Ok json -> of_json ~config_hash json
+        | Error m -> Error (Printf.sprintf "%s: %s" file m))
+    | exception Sys_error m -> Error m
+
+let save t file =
+  match
+    Out_channel.with_open_bin file (fun oc ->
+        Out_channel.output_string oc (Json.to_string (to_json t)))
+  with
+  | () -> Ok ()
+  | exception Sys_error m -> Error m

@@ -1,0 +1,45 @@
+(** Persistent cross-run cache for the typed analysis.
+
+    Each entry keys one source file's stage-two results (unsuppressed
+    R7/R8 findings plus its R9 {!Summary.file}) by the digests of the
+    source text and its [.cmt] artifact; the whole document additionally
+    carries the {!Crossbar_lint.Config.hash} it was produced under, so a
+    config change silently invalidates everything.  Serialized as the
+    ["crossbar-lint-cache/1"] JSON schema. *)
+
+type t
+
+val schema : string
+
+val create : config_hash:string -> t
+
+val lookup :
+  t ->
+  path:string ->
+  source_digest:string ->
+  cmt_digest:string ->
+  (Crossbar_lint.Finding.t list * Summary.file) option
+(** Hit only when both digests match the stored entry. *)
+
+val store :
+  t ->
+  path:string ->
+  source_digest:string ->
+  cmt_digest:string ->
+  findings:Crossbar_lint.Finding.t list ->
+  summary:Summary.file ->
+  unit
+
+val size : t -> int
+
+val to_json : t -> Crossbar_engine.Json.t
+
+val of_json :
+  config_hash:string -> Crossbar_engine.Json.t -> (t, string) result
+(** Parses a document; a mismatched [config_hash] yields an empty cache
+    rather than an error.  Malformed documents are errors. *)
+
+val load : config_hash:string -> string -> (t, string) result
+(** Reads a cache file; a missing file yields an empty cache. *)
+
+val save : t -> string -> (unit, string) result

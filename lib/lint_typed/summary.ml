@@ -1,0 +1,105 @@
+module Json = Crossbar_engine.Json
+
+type mutation = {
+  m_line : int;
+  m_col : int;
+  target : string;
+  locked : bool;
+}
+
+type func = {
+  f_name : string;
+  f_line : int;
+  f_col : int;
+  calls : string list;
+  mutations : mutation list;
+}
+
+type file = { path : string; modname : string; funcs : func list }
+
+let mutation_to_json m =
+  Json.Assoc
+    [
+      ("line", Json.Int m.m_line);
+      ("col", Json.Int m.m_col);
+      ("target", Json.String m.target);
+      ("locked", Json.Bool m.locked);
+    ]
+
+let func_to_json f =
+  Json.Assoc
+    [
+      ("name", Json.String f.f_name);
+      ("line", Json.Int f.f_line);
+      ("col", Json.Int f.f_col);
+      ("calls", Json.List (List.map (fun c -> Json.String c) f.calls));
+      ("mutations", Json.List (List.map mutation_to_json f.mutations));
+    ]
+
+let to_json t =
+  Json.Assoc
+    [
+      ("path", Json.String t.path);
+      ("modname", Json.String t.modname);
+      ("funcs", Json.List (List.map func_to_json t.funcs));
+    ]
+
+let ( let* ) = Result.bind
+
+let str key json =
+  match Json.member key json with
+  | Some (Json.String s) -> Ok s
+  | _ -> Error (Printf.sprintf "summary: missing string field %S" key)
+
+let int key json =
+  match Json.member key json with
+  | Some (Json.Int i) -> Ok i
+  | _ -> Error (Printf.sprintf "summary: missing int field %S" key)
+
+let list key json =
+  match Json.member key json with
+  | Some (Json.List items) -> Ok items
+  | _ -> Error (Printf.sprintf "summary: missing list field %S" key)
+
+let collect f items =
+  List.fold_left
+    (fun acc item ->
+      let* acc = acc in
+      let* value = f item in
+      Ok (value :: acc))
+    (Ok []) items
+  |> Result.map List.rev
+
+let mutation_of_json json =
+  let* m_line = int "line" json in
+  let* m_col = int "col" json in
+  let* target = str "target" json in
+  let* locked =
+    match Json.member "locked" json with
+    | Some (Json.Bool b) -> Ok b
+    | _ -> Error "summary: missing bool field \"locked\""
+  in
+  Ok { m_line; m_col; target; locked }
+
+let func_of_json json =
+  let* f_name = str "name" json in
+  let* f_line = int "line" json in
+  let* f_col = int "col" json in
+  let* call_items = list "calls" json in
+  let* calls =
+    collect
+      (function
+        | Json.String s -> Ok s
+        | _ -> Error "summary: calls must hold strings")
+      call_items
+  in
+  let* mutation_items = list "mutations" json in
+  let* mutations = collect mutation_of_json mutation_items in
+  Ok { f_name; f_line; f_col; calls; mutations }
+
+let of_json json =
+  let* path = str "path" json in
+  let* modname = str "modname" json in
+  let* func_items = list "funcs" json in
+  let* funcs = collect func_of_json func_items in
+  Ok { path; modname; funcs }

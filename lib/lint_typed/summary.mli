@@ -1,0 +1,36 @@
+(** Per-file interprocedural summary for R9: the top-level functions a
+    compilation unit defines, the (unresolved) value paths each one
+    references, and every write it performs against top-level mutable
+    state, with the lock context the write happened under.
+
+    Summaries are the cacheable half of the R9 analysis: extracting one
+    means reading and walking the unit's [.cmt], which is the expensive
+    step, while the global reachability fixpoint over all summaries is a
+    cheap graph walk recomputed on every run.  They therefore round-trip
+    through the engine's JSON tree as part of the persistent
+    ["crossbar-lint-cache/1"] document. *)
+
+type mutation = {
+  m_line : int;
+  m_col : int;
+  target : string;  (** printable path of the mutated top-level value *)
+  locked : bool;
+      (** whether the write sits inside a function literal passed to a
+          configured lock wrapper ([Mutex.protect], [locked], ...) *)
+}
+
+type func = {
+  f_name : string;
+  f_line : int;
+  f_col : int;
+  calls : string list;
+      (** dotted value paths referenced by the body, as resolved by the
+          typechecker (e.g. ["Solver.solve_full"], ["locked"]); resolution
+          to concrete functions happens in {!Callgraph} *)
+  mutations : mutation list;
+}
+
+type file = { path : string; modname : string; funcs : func list }
+
+val to_json : file -> Crossbar_engine.Json.t
+val of_json : Crossbar_engine.Json.t -> (file, string) result

@@ -1,0 +1,392 @@
+module Lint = Crossbar_lint
+module Finding = Lint.Finding
+module Rule = Lint.Rule
+
+type session = { mutable loadpath : string list }
+
+let session () = { loadpath = [] }
+
+let line_col (loc : Location.t) =
+  let p = loc.Location.loc_start in
+  (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol)
+
+(* ---------- name tables ---------- *)
+
+(* [Path.name] renders typechecker-resolved paths, so aliases and [open]s
+   are already seen through; both the source ("Stdlib.Float.equal") and
+   the mangled-unit ("Stdlib__Float.equal") spellings occur depending on
+   how the value was reached. *)
+let float_eq_names =
+  [
+    "Stdlib.Float.equal"; "Stdlib.Float.compare";
+    "Stdlib__Float.equal"; "Stdlib__Float.compare";
+    "Float.equal"; "Float.compare";
+  ]
+
+let poly_eq_names =
+  [ "Stdlib.="; "Stdlib.<>"; "Stdlib.=="; "Stdlib.!="; "Stdlib.compare" ]
+
+let mutator_names =
+  [
+    "Stdlib.:="; "Stdlib.incr"; "Stdlib.decr";
+    "Stdlib.Array.set"; "Stdlib.Array.unsafe_set"; "Stdlib.Array.fill";
+    "Stdlib.Array.blit";
+    "Stdlib.Bytes.set"; "Stdlib.Bytes.unsafe_set"; "Stdlib.Bytes.fill";
+    "Stdlib.Bytes.blit";
+    "Stdlib.Hashtbl.add"; "Stdlib.Hashtbl.replace"; "Stdlib.Hashtbl.remove";
+    "Stdlib.Hashtbl.reset"; "Stdlib.Hashtbl.clear";
+    "Stdlib.Hashtbl.filter_map_inplace";
+    "Stdlib.Queue.add"; "Stdlib.Queue.push"; "Stdlib.Queue.pop";
+    "Stdlib.Queue.take"; "Stdlib.Queue.clear"; "Stdlib.Queue.transfer";
+    "Stdlib.Stack.push"; "Stdlib.Stack.pop"; "Stdlib.Stack.clear";
+    "Stdlib.Buffer.add_char"; "Stdlib.Buffer.add_string";
+    "Stdlib.Buffer.add_bytes"; "Stdlib.Buffer.add_substring";
+    "Stdlib.Buffer.add_buffer"; "Stdlib.Buffer.clear"; "Stdlib.Buffer.reset";
+  ]
+
+let last_component name =
+  match String.rindex_opt name '.' with
+  | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+  | None -> name
+
+let lock_wrapper ~(config : Lint.Config.t) name =
+  List.exists
+    (fun wrapper ->
+      String.equal wrapper name || String.equal wrapper (last_component name))
+    config.Lint.Config.r9_lock_wrappers
+
+(* ---------- environment reconstruction ---------- *)
+
+(* [.cmt] files store environments as summaries; rebuilding them needs the
+   load path the unit was compiled with.  Re-initialising the global load
+   path and the persistent-structure caches is only done when the path
+   set actually changes (units of one library share it), which is what
+   keeps a full-tree run fast. *)
+let prepare_env ~session ~cmt_root (cmt : Cmt_format.cmt_infos) =
+  let dirs =
+    List.map
+      (fun dir ->
+        if String.equal dir "" then cmt_root
+        else if Filename.is_relative dir then Filename.concat cmt_root dir
+        else dir)
+      cmt.Cmt_format.cmt_loadpath
+  in
+  let dirs =
+    if List.mem Config.standard_library dirs then dirs
+    else dirs @ [ Config.standard_library ]
+  in
+  if dirs <> session.loadpath then begin
+    session.loadpath <- dirs;
+    Load_path.init ~auto_include:Load_path.no_auto_include dirs;
+    Env.reset_cache ();
+    Envaux.reset_cache ()
+  end
+
+let env_of node_env =
+  match Envaux.env_of_only_summary node_env with
+  | env -> env
+  | exception (Envaux.Error _ | Env.Error _ | Not_found) -> node_env
+
+let expand env ty =
+  match Ctype.expand_head env ty with
+  | ty -> ty
+  | exception (Env.Error _ | Not_found) -> ty
+
+let is_float env ty =
+  match Types.get_desc (expand env ty) with
+  | Types.Tconstr (p, [], _) -> Path.same p Predef.path_float
+  | _ -> false
+
+(* ---------- R8: is this type mutable? ---------- *)
+
+let rec mutable_reason ~(config : Lint.Config.t) ~depth env ty =
+  if depth > 8 then None
+  else
+    match Types.get_desc (expand env ty) with
+    | Types.Tconstr (p, _, _) ->
+        let name = Path.name p in
+        if Path.same p Predef.path_array || Path.same p Predef.path_floatarray
+        then Some "an array"
+        else if Path.same p Predef.path_bytes then Some "a Bytes buffer"
+        else if List.mem name config.Lint.Config.r8_sanctioned_types then None
+        else if List.mem name config.Lint.Config.r8_mutable_types then
+          Some (Printf.sprintf "a mutable %s" name)
+        else begin
+          match Env.find_type p env with
+          | decl -> (
+              match decl.Types.type_kind with
+              | Types.Type_record (labels, _) -> (
+                  match
+                    List.find_opt
+                      (fun (l : Types.label_declaration) ->
+                        l.Types.ld_mutable = Asttypes.Mutable)
+                      labels
+                  with
+                  | Some l ->
+                      Some
+                        (Printf.sprintf "a record with mutable field %s"
+                           (Ident.name l.Types.ld_id))
+                  | None ->
+                      (* An immutable record can still wrap a mutable
+                         component type. *)
+                      List.find_map
+                        (fun (l : Types.label_declaration) ->
+                          mutable_reason ~config ~depth:(depth + 1) env
+                            l.Types.ld_type)
+                        labels)
+              | _ ->
+                  (* Abstract or variant: trust the abstraction boundary
+                     unless configured otherwise. *)
+                  None)
+          | exception Not_found -> None
+        end
+    | Types.Ttuple items ->
+        List.find_map (mutable_reason ~config ~depth:(depth + 1) env) items
+    | _ -> None
+
+(* ---------- per-file analysis ---------- *)
+
+let read_cmt cmt_path =
+  match Cmt_format.read_cmt cmt_path with
+  | cmt -> Ok cmt
+  | exception Cmt_format.Error (Cmt_format.Not_a_typedtree m) ->
+      Error (Printf.sprintf "%s: not a typedtree (%s)" cmt_path m)
+  | exception Cmi_format.Error _ ->
+      Error (Printf.sprintf "%s: not a .cmt artifact" cmt_path)
+  | exception Sys_error m -> Error m
+  | exception (End_of_file | Failure _) ->
+      Error (Printf.sprintf "%s: truncated or corrupt .cmt" cmt_path)
+
+open Typedtree
+
+let ident_path e =
+  match e.exp_desc with Texp_ident (p, _, _) -> Some p | _ -> None
+
+(* A mutation target counts as top-level when it resolves to a module
+   component ([Pdot]: some unit's export) or to one of this unit's own
+   top-level values; anything else is call-frame-local and fresh per
+   invocation.  Shadowing a top-level name with a local produces a false
+   positive — the over-approximate (safe) direction, and suppressible. *)
+let rec global_target ~toplevel e =
+  match e.exp_desc with
+  | Texp_ident ((Path.Pdot _ as p), _, _) -> Some (Path.name p)
+  | Texp_ident (Path.Pident id, _, _) when Hashtbl.mem toplevel (Ident.name id)
+    ->
+      Some (Ident.name id)
+  | Texp_field (inner, _, label) ->
+      Option.map
+        (fun base -> base ^ "." ^ label.Types.lbl_name)
+        (global_target ~toplevel inner)
+  | _ -> None
+
+let analyse ~(config : Lint.Config.t) ~path ~r8_applies ~session ~cmt_root
+    ~cmt_path =
+  Result.bind (read_cmt cmt_path) @@ fun cmt ->
+  match cmt.Cmt_format.cmt_annots with
+  | Cmt_format.Implementation structure ->
+      prepare_env ~session ~cmt_root cmt;
+      let findings = ref [] in
+      let funcs = ref [] in
+      let in_numerics =
+        Lint.Config.matches path config.Lint.Config.numerics_prefixes
+      in
+      let enabled rule = Lint.Config.enabled config rule in
+      let r7_applies = enabled Rule.R7 && not in_numerics in
+      let add rule loc message =
+        let line, col = line_col loc in
+        findings :=
+          Finding.make ~rule ~file:path ~line ~col message :: !findings
+      in
+
+      (* Every top-level value name of the unit, for mutation-target
+         resolution (collected up front so forward references count). *)
+      let toplevel = Hashtbl.create 32 in
+      let rec collect_names items =
+        List.iter
+          (fun item ->
+            match item.str_desc with
+            | Tstr_value (_, bindings) ->
+                List.iter
+                  (fun vb ->
+                    match vb.vb_pat.pat_desc with
+                    | Tpat_var (id, _) ->
+                        Hashtbl.replace toplevel (Ident.name id) ()
+                    | _ -> ())
+                  bindings
+            | Tstr_module { mb_expr = { mod_desc = Tmod_structure s; _ }; _ }
+              ->
+                collect_names s.str_items
+            | _ -> ())
+          items
+      in
+      collect_names structure.str_items;
+
+      (* One iterator pass per top-level binding body serves both R7 (float
+         comparisons) and the R9 summary (referenced paths + writes to
+         top-level state, with lock context). *)
+      let calls = ref [] in
+      let mutations = ref [] in
+      let lock_depth = ref 0 in
+      let record_mutation loc target =
+        let line, col = line_col loc in
+        mutations :=
+          {
+            Summary.m_line = line;
+            m_col = col;
+            target;
+            locked = !lock_depth > 0;
+          }
+          :: !mutations
+      in
+      let note_ident loc p =
+        let name = Path.name p in
+        if r7_applies && List.mem name float_eq_names then
+          add Rule.R7 loc
+            (Printf.sprintf
+               "%s is an exact float comparison; use \
+                Crossbar_numerics.Prob.{is_zero,approx_eq,ulp_equal} or a \
+                named tolerance"
+               name)
+        else if
+          (not (String.starts_with ~prefix:"Stdlib" name))
+          && not (String.starts_with ~prefix:"CamlinternalFormat" name)
+        then calls := name :: !calls
+      in
+      let check_apply loc fn args =
+        match ident_path fn with
+        | None -> ()
+        | Some p -> (
+            let name = Path.name p in
+            (if r7_applies && List.mem name poly_eq_names then
+               let on_float =
+                 List.exists
+                   (fun (_, arg) ->
+                     match arg with
+                     | Some (a : expression) ->
+                         is_float (env_of a.exp_env) a.exp_type
+                     | None -> false)
+                   args
+               in
+               if on_float then
+                 add Rule.R7 loc
+                   (Printf.sprintf
+                      "polymorphic %s applied to float operands compares bit \
+                       patterns; use \
+                       Crossbar_numerics.Prob.{is_zero,approx_eq,ulp_equal} \
+                       or a named tolerance"
+                      (last_component name)));
+            if List.mem name mutator_names then
+              match
+                List.find_map
+                  (fun (_, arg) -> Option.bind arg (global_target ~toplevel))
+                  args
+              with
+              | Some target ->
+                  record_mutation loc
+                    (Printf.sprintf "%s (via %s)" target (last_component name))
+              | None -> ())
+      in
+      let visit iterator e =
+        match e.exp_desc with
+        | Texp_ident (p, _, _) -> note_ident e.exp_loc p
+        | Texp_apply (fn, args) -> (
+            check_apply e.exp_loc fn args;
+            match ident_path fn with
+            | Some p when lock_wrapper ~config (Path.name p) ->
+                (* The wrapper's non-function arguments (the mutex, the
+                   state handle) are evaluated unlocked; only function
+                   literals run under the lock. *)
+                iterator.Tast_iterator.expr iterator fn;
+                List.iter
+                  (fun (_, arg) ->
+                    match arg with
+                    | Some (a : expression) -> (
+                        match a.exp_desc with
+                        | Texp_function _ ->
+                            incr lock_depth;
+                            Fun.protect
+                              ~finally:(fun () -> decr lock_depth)
+                              (fun () ->
+                                iterator.Tast_iterator.expr iterator a)
+                        | _ -> iterator.Tast_iterator.expr iterator a)
+                    | None -> ())
+                  args
+            | _ -> Tast_iterator.default_iterator.expr iterator e)
+        | Texp_setfield (target, _, label, _) ->
+            (match global_target ~toplevel target with
+            | Some base ->
+                record_mutation e.exp_loc
+                  (base ^ "." ^ label.Types.lbl_name ^ " <- ...")
+            | None -> ());
+            Tast_iterator.default_iterator.expr iterator e
+        | _ -> Tast_iterator.default_iterator.expr iterator e
+      in
+      let iterator = { Tast_iterator.default_iterator with expr = visit } in
+      let analyse_body vb =
+        calls := [];
+        mutations := [];
+        lock_depth := 0;
+        iterator.Tast_iterator.expr iterator vb.vb_expr;
+        (List.rev !calls, List.rev !mutations)
+      in
+
+      let rec walk_items items =
+        List.iter
+          (fun item ->
+            match item.str_desc with
+            | Tstr_value (_, bindings) ->
+                List.iter
+                  (fun vb ->
+                    (if r8_applies && enabled Rule.R8 then
+                       let env = env_of vb.vb_expr.exp_env in
+                       match
+                         mutable_reason ~config ~depth:0 env vb.vb_expr.exp_type
+                       with
+                       | Some reason ->
+                           add Rule.R8 vb.vb_loc
+                             (Printf.sprintf
+                                "top-level value's inferred type is %s, \
+                                 shared across pool domains; use Atomic/Mutex \
+                                 or annotate (* lint: domain-safe — reason *)"
+                                reason)
+                       | None -> ());
+                    match vb.vb_pat.pat_desc with
+                    | Tpat_var (id, _) ->
+                        let line, col = line_col vb.vb_loc in
+                        let calls, mutations = analyse_body vb in
+                        funcs :=
+                          {
+                            Summary.f_name = Ident.name id;
+                            f_line = line;
+                            f_col = col;
+                            calls;
+                            mutations;
+                          }
+                          :: !funcs
+                    | _ ->
+                        (* [let () = ...] load-time blocks: R7 still
+                           applies; no function summary to record. *)
+                        ignore (analyse_body vb))
+                  bindings
+            | Tstr_module { mb_expr; _ } -> walk_module mb_expr
+            | Tstr_recmodule bindings ->
+                List.iter (fun mb -> walk_module mb.mb_expr) bindings
+            | Tstr_include { incl_mod; _ } -> walk_module incl_mod
+            | _ -> ())
+          items
+      and walk_module mexpr =
+        match mexpr.mod_desc with
+        | Tmod_structure s -> walk_items s.str_items
+        | Tmod_constraint (inner, _, _, _) -> walk_module inner
+        | _ -> ()
+      in
+      walk_items structure.str_items;
+
+      Ok
+        ( List.rev !findings,
+          {
+            Summary.path;
+            modname = cmt.Cmt_format.cmt_modname;
+            funcs = List.rev !funcs;
+          } )
+  | _ -> Error (Printf.sprintf "%s: no implementation typedtree" cmt_path)

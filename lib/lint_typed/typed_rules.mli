@@ -1,0 +1,32 @@
+(** Typedtree-level rules (stage two of the linter).
+
+    Where the Parsetree rules in [Crossbar_lint.Rules] see only syntax,
+    these see the typechecker's output: resolved value paths, inferred
+    types, and desugared applications.  One pass over a unit's [.cmt]
+    yields both the R7/R8 findings for that file and the {!Summary.file}
+    record that feeds the interprocedural R9 analysis in {!Callgraph}. *)
+
+type session
+(** Mutable compiler-libs state (load path, persistent-structure caches)
+    shared across the files of one run.  Reconstruction of typing
+    environments from [.cmt] summaries goes through global compiler-libs
+    state; a [session] re-initialises it only when a unit was compiled
+    with a different load path than its predecessor. *)
+
+val session : unit -> session
+
+val analyse :
+  config:Crossbar_lint.Config.t ->
+  path:string ->
+  r8_applies:bool ->
+  session:session ->
+  cmt_root:string ->
+  cmt_path:string ->
+  (Crossbar_lint.Finding.t list * Summary.file, string) result
+(** [analyse] reads [cmt_path] (relative load-path entries inside it are
+    resolved against [cmt_root]) and returns the file's R7/R8 findings —
+    unfiltered by suppressions, which the driver applies — plus its R9
+    summary.  [path] is the source path used in findings and summaries;
+    [r8_applies] says whether the file sits in the configured R8 scope
+    (shared-state rules only apply where pool workers can reach).
+    Errors are soft: a missing or non-typedtree [.cmt] reports why. *)

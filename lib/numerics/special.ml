@@ -1,6 +1,7 @@
 (* Lanczos approximation with g = 7, n = 9 (Godfrey coefficients). *)
 let lanczos_g = 7.
 
+(* lint: domain-safe — written once at load time, read-only thereafter *)
 let lanczos_coefficients =
   [| 0.99999999999980993; 676.5203681218851; -1259.1392167224028;
      771.32342877765313; -176.61502916214059; 12.507343278686905;

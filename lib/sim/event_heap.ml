@@ -9,6 +9,7 @@ type 'a t = {
 let create () = { entries = [||]; size = 0; next_sequence = 0 }
 
 let earlier a b =
+  (* lint: disable=R7 — exact tie feeds the sequence-number tie-break *)
   a.time < b.time || (a.time = b.time && a.sequence < b.sequence)
 
 let grow heap =

@@ -1,0 +1,10 @@
+(* Fixture: the pool entry points the R9 call graph starts from.  [run]
+   reaches [R9_state.bump] through a local helper and [R9_state.touch]
+   directly; [R9_state.reset] is deliberately not referenced. *)
+
+let helper () = R9_state.bump ()
+
+let run n =
+  helper ();
+  R9_state.touch n;
+  R9_state.bump_locked ()

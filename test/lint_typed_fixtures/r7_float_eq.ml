@@ -1,0 +1,9 @@
+(* Fixture: five R7 violations; integer and string comparisons are legal. *)
+
+let counter = Float.equal
+let order = Float.compare
+let same x y = x = y +. 0.0
+let diff (x : float) y = x <> y
+let cmp (x : float) y = compare x y
+let ok_int (x : int) y = x = y
+let ok_string x y = String.equal x y

@@ -1,0 +1,16 @@
+(* Fixture: six R8 violations; sanctioned wrappers, immutable data and an
+   annotated cell are legal. *)
+
+let table = Array.make 4 0
+let literal = [| 1.0; 2.0 |]
+let buf = Bytes.create 8
+
+type counter = { mutable count : int }
+
+let shared = { count = 0 }
+let names : (string, int) Hashtbl.t = Hashtbl.create 8
+let cell = ref 0
+let safe = Atomic.make 0
+let lock = Mutex.create ()
+let pure = (1, "two")
+let annotated = ref 0 (* lint: domain-safe — fixture exercises suppression *)

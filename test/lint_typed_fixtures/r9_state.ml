@@ -1,0 +1,14 @@
+(* Fixture: shared state mutated by four functions.  [bump] and [touch]
+   are reached from the engine entry points without a lock (two R9
+   findings); [bump_locked] writes under Mutex.protect and [reset] is
+   never called from an entry point, so both are legal. *)
+
+type stats = { mutable total : int }
+
+let lock = Mutex.create ()
+let stats = { total = 0 }
+let hits = ref 0
+let bump () = incr hits
+let touch n = stats.total <- n
+let bump_locked () = Mutex.protect lock (fun () -> incr hits)
+let reset () = hits := 0

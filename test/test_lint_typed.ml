@@ -1,0 +1,352 @@
+open Helpers
+module Rule = Crossbar_lint.Rule
+module Config = Crossbar_lint.Config
+module Finding = Crossbar_lint.Finding
+module Sarif = Crossbar_lint.Sarif
+module Typed = Crossbar_lint_typed
+module Json = Crossbar_engine.Json
+
+(* The typed stage needs real .cmt artifacts, so each suite compiles the
+   fixtures with `ocamlc -bin-annot` into a scratch directory under the
+   test's working directory (paths must stay relative: Config.normalize
+   treats them as repo-relative). *)
+
+let fixture_files =
+  [ "r7_float_eq.ml"; "r8_mutable.ml"; "r9_state.ml"; "engine/r9_entry.ml" ]
+
+let sh cmd =
+  if Sys.command cmd <> 0 then Alcotest.failf "command failed: %s" cmd
+
+let compile dir file =
+  sh (Printf.sprintf "ocamlc -bin-annot -I %s -c %s/%s 2>/dev/null" dir dir file)
+
+let setup dir =
+  sh (Printf.sprintf "rm -rf %s" dir);
+  sh (Printf.sprintf "mkdir -p %s/engine" dir);
+  List.iter
+    (fun file ->
+      sh (Printf.sprintf "cp lint_typed_fixtures/%s %s/%s" file dir file);
+      compile dir file)
+    fixture_files
+
+let typed_config ~dir rules =
+  {
+    Config.default with
+    rules;
+    numerics_prefixes = [];
+    r3_scope = Config.Paths [ dir ];
+    r9_roots = [ dir ^ "/engine" ];
+  }
+
+let index dir =
+  Typed.Cmt_index.of_pairs
+    (List.map
+       (fun file ->
+         let base = Filename.remove_extension file in
+         (dir ^ "/" ^ file, dir ^ "/" ^ base ^ ".cmt"))
+       fixture_files)
+
+let run ~dir ?store rules paths =
+  let config = typed_config ~dir rules in
+  let store =
+    match store with
+    | Some store -> store
+    | None -> Typed.Store.create ~config_hash:(Config.hash config)
+  in
+  Typed.Driver.run ~config ~store ~cmt_index:(index dir) ~cmt_root:"." paths
+
+let count rule findings =
+  List.length
+    (List.filter
+       (fun (f : Finding.t) -> Rule.compare f.Finding.rule rule = 0)
+       findings)
+
+(* ---------- per-rule fixtures ---------- *)
+
+let test_r7_exact_count () =
+  let dir = "typed_scratch_rules" in
+  setup dir;
+  let findings, stats =
+    run ~dir [ Rule.R7 ] [ dir ^ "/r7_float_eq.ml" ]
+  in
+  check_int "r7: analysed" 1 stats.Typed.Driver.files;
+  check_bool "r7: no missing cmt" true (stats.Typed.Driver.missing_cmt = []);
+  check_bool "r7: no errors" true (stats.Typed.Driver.errors = []);
+  check_int "r7: count" 5 (List.length findings);
+  check_int "r7: all R7" 5 (count Rule.R7 findings)
+
+let test_r8_exact_count () =
+  let dir = "typed_scratch_rules" in
+  let findings, _ = run ~dir [ Rule.R8 ] [ dir ^ "/r8_mutable.ml" ] in
+  check_int "r8: count" 6 (List.length findings);
+  check_int "r8: all R8" 6 (count Rule.R8 findings)
+
+let test_r9_exact_count () =
+  let dir = "typed_scratch_rules" in
+  let findings, _ =
+    run ~dir [ Rule.R9 ]
+      [ dir ^ "/r9_state.ml"; dir ^ "/engine/r9_entry.ml" ]
+  in
+  check_int "r9: count" 2 (List.length findings);
+  check_int "r9: all R9" 2 (count Rule.R9 findings);
+  List.iter
+    (fun (f : Finding.t) ->
+      check_bool "r9: lands on the file holding the write" true
+        (String.equal f.Finding.file (dir ^ "/r9_state.ml")))
+    findings;
+  let mentions needle =
+    List.exists
+      (fun (f : Finding.t) ->
+        let message = f.Finding.message in
+        let rec search from =
+          from + String.length needle <= String.length message
+          && (String.equal (String.sub message from (String.length needle))
+                needle
+             || search (from + 1))
+        in
+        search 0)
+      findings
+  in
+  check_bool "r9: names the ref write" true (mentions "hits");
+  check_bool "r9: names the record field write" true (mentions "stats.total")
+
+(* ---------- incremental cache ---------- *)
+
+let test_cache_hits_and_invalidation () =
+  let dir = "typed_scratch_cache" in
+  setup dir;
+  let config = typed_config ~dir [ Rule.R7 ] in
+  let config_hash = Config.hash config in
+  let store = Typed.Store.create ~config_hash in
+  let run_with store =
+    Typed.Driver.run ~config ~store ~cmt_index:(index dir) ~cmt_root:"." [ dir ]
+  in
+  let findings1, stats1 = run_with store in
+  check_int "cold: files" 4 stats1.Typed.Driver.files;
+  check_int "cold: hits" 0 stats1.Typed.Driver.hits;
+  check_int "cold: misses" 4 stats1.Typed.Driver.misses;
+  check_int "cold: r7 findings" 5 (List.length findings1);
+
+  let findings2, stats2 = run_with store in
+  check_int "warm: hits" 4 stats2.Typed.Driver.hits;
+  check_int "warm: misses" 0 stats2.Typed.Driver.misses;
+  check_bool "warm: identical findings" true (findings1 = findings2);
+
+  (* Persistence: the store round-trips through its JSON document. *)
+  let cache_file = "typed_scratch_cache.json" in
+  (match Typed.Store.save store cache_file with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "save failed: %s" m);
+  let reloaded =
+    match Typed.Store.load ~config_hash cache_file with
+    | Ok store -> store
+    | Error m -> Alcotest.failf "load failed: %s" m
+  in
+  check_int "reloaded: size" 4 (Typed.Store.size reloaded);
+  let _, stats3 = run_with reloaded in
+  check_int "reloaded: hits" 4 stats3.Typed.Driver.hits;
+
+  (* Editing one fixture evicts exactly that entry. *)
+  let target = dir ^ "/r7_float_eq.ml" in
+  let oc = open_out_gen [ Open_append ] 0o644 target in
+  output_string oc "let extra = Float.equal\n";
+  close_out oc;
+  compile dir "r7_float_eq.ml";
+  let findings4, stats4 = run_with reloaded in
+  check_int "edited: hits" 3 stats4.Typed.Driver.hits;
+  check_int "edited: misses" 1 stats4.Typed.Driver.misses;
+  check_int "edited: r7 findings" 6 (List.length findings4);
+
+  (* A config change invalidates the whole persisted document. *)
+  let other_hash = Config.hash (typed_config ~dir [ Rule.R8 ]) in
+  (match Typed.Store.load ~config_hash:other_hash cache_file with
+  | Ok store -> check_int "other config: empty" 0 (Typed.Store.size store)
+  | Error m -> Alcotest.failf "load under other config failed: %s" m);
+  Sys.remove cache_file
+
+(* ---------- SARIF ---------- *)
+
+let sample_findings =
+  [
+    Finding.make ~rule:Rule.R1 ~file:"lib/core/solver.ml" ~line:10 ~col:4
+      "float = against literal";
+    Finding.make ~rule:Rule.R7 ~file:"lib/sim/event_heap.ml" ~line:3 ~col:0
+      "exact float comparison";
+  ]
+
+let test_sarif_document_shape () =
+  match Json.of_string (Sarif.to_string sample_findings) with
+  | Error m -> Alcotest.failf "SARIF does not re-parse: %s" m
+  | Ok json -> (
+      check_bool "version" true
+        (Json.member "version" json = Some (Json.String "2.1.0"));
+      match Json.member "runs" json with
+      | Some (Json.List [ run ]) -> (
+          (match Json.member "tool" run with
+          | Some tool -> (
+              match Json.member "driver" tool with
+              | Some driver ->
+                  check_bool "driver name" true
+                    (Json.member "name" driver
+                    = Some (Json.String "crossbar-lint"))
+              | None -> Alcotest.fail "missing tool.driver")
+          | None -> Alcotest.fail "missing tool");
+          match Json.member "results" run with
+          | Some (Json.List results) ->
+              check_int "one result per finding" 2 (List.length results);
+              List.iter2
+                (fun (f : Finding.t) result ->
+                  check_bool "ruleId" true
+                    (Json.member "ruleId" result
+                    = Some (Json.String (Rule.to_string f.Finding.rule))))
+                sample_findings results
+          | _ -> Alcotest.fail "missing results")
+      | _ -> Alcotest.fail "expected exactly one run")
+
+let test_sarif_empty_report () =
+  match Json.of_string (Sarif.to_string []) with
+  | Error m -> Alcotest.failf "empty SARIF does not re-parse: %s" m
+  | Ok json -> (
+      match Json.member "runs" json with
+      | Some (Json.List [ run ]) ->
+          check_bool "empty results" true
+            (Json.member "results" run = Some (Json.List []))
+      | _ -> Alcotest.fail "expected exactly one run")
+
+(* ---------- config round-trip ---------- *)
+
+let config_gen =
+  let open QCheck2.Gen in
+  let word = string_size ~gen:(char_range 'a' 'z') (int_range 1 8) in
+  let words = list_size (int_range 0 4) word in
+  let* mask = list_repeat (List.length Rule.all) bool in
+  let rules =
+    List.concat
+      (List.map2 (fun keep rule -> if keep then [ rule ] else []) mask
+         Rule.all)
+  in
+  let* ordering_literals = list_size (int_range 0 3) (float_range (-4.) 4.) in
+  let* scope_is_paths = bool in
+  let* scope_prefixes = words in
+  let* numerics_prefixes = words in
+  let* r2_prefixes = words in
+  let* r9_roots = words in
+  let* r9_lock_wrappers = words in
+  let* r8_mutable_types = words in
+  return
+    {
+      Config.default with
+      rules;
+      ordering_literals;
+      numerics_prefixes;
+      r2_prefixes;
+      r3_scope =
+        (if scope_is_paths then Config.Paths scope_prefixes
+         else Config.Reachable_from scope_prefixes);
+      r9_roots;
+      r9_lock_wrappers;
+      r8_mutable_types;
+    }
+
+let config_roundtrip =
+  QCheck2.Test.make ~name:"config JSON roundtrip" ~count:200 config_gen
+    (fun config ->
+      match Config.of_json (Config.to_json config) with
+      | Ok decoded ->
+          decoded = config
+          && String.equal (Config.hash decoded) (Config.hash config)
+      | Error m -> QCheck2.Test.fail_reportf "of_json failed: %s" m)
+
+let test_config_load_missing_file () =
+  match Config.load_file "no/such/lint.json" with
+  | Ok config -> check_bool "missing file is default" true (config = Config.default)
+  | Error m -> Alcotest.failf "missing file should not error: %s" m
+
+let test_config_load_malformed () =
+  let file = "malformed_lint.json" in
+  let oc = open_out file in
+  output_string oc "{ not json";
+  close_out oc;
+  (match Config.load_file file with
+  | Ok _ -> Alcotest.fail "malformed config accepted"
+  | Error _ -> ());
+  Sys.remove file
+
+(* ---------- rule list parsing and CLI exit codes ---------- *)
+
+let test_parse_list () =
+  (match Rule.parse_list "R1,R9" with
+  | Ok [ Rule.R1; Rule.R9 ] -> ()
+  | Ok _ -> Alcotest.fail "parse_list R1,R9: wrong rules"
+  | Error m -> Alcotest.failf "parse_list R1,R9 failed: %s" m);
+  (match Rule.parse_list " R2 , R3 " with
+  | Ok [ Rule.R2; Rule.R3 ] -> ()
+  | _ -> Alcotest.fail "parse_list tolerates spaces");
+  (match Rule.parse_list "R1,R99" with
+  | Error m ->
+      check_bool "unknown rule named" true
+        (String.length m > 0
+        && List.exists
+             (fun i ->
+               i + 3 <= String.length m && String.equal (String.sub m i 3) "R99")
+             (List.init (String.length m - 2) Fun.id))
+  | Ok _ -> Alcotest.fail "parse_list accepted R99");
+  (match Rule.parse_list "R1,,R2" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "parse_list accepted an empty piece");
+  match Rule.parse_list "" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "parse_list accepted an empty list"
+
+let lint_exe = "../bin/crossbar_lint.exe"
+
+let cli_status args =
+  Sys.command (Printf.sprintf "%s %s >/dev/null 2>cli_err.txt" lint_exe args)
+
+let cli_stderr () = In_channel.with_open_bin "cli_err.txt" In_channel.input_all
+
+let test_cli_unknown_rule_exits_2 () =
+  check_int "exit code" 2 (cli_status "--rules R1,R99");
+  let err = cli_stderr () in
+  check_bool "stderr names R99" true
+    (List.exists
+       (fun i ->
+         i + 3 <= String.length err && String.equal (String.sub err i 3) "R99")
+       (List.init (max 0 (String.length err - 2)) Fun.id));
+  Sys.remove "cli_err.txt"
+
+let test_cli_malformed_rules_exits_2 () =
+  check_int "empty piece" 2 (cli_status "--rules R1,,R2");
+  check_int "empty list" 2 (cli_status "--rules ''");
+  check_int "missing argument" 2 (cli_status "--rules");
+  Sys.remove "cli_err.txt"
+
+let () =
+  Alcotest.run "lint_typed"
+    [
+      ( "typed rules",
+        [
+          case "R7 float comparisons" test_r7_exact_count;
+          case "R8 top-level mutable state" test_r8_exact_count;
+          case "R9 unlocked reachable writes" test_r9_exact_count;
+        ] );
+      ( "incremental cache",
+        [ case "hits, persistence, invalidation" test_cache_hits_and_invalidation ] );
+      ( "sarif",
+        [
+          case "document shape" test_sarif_document_shape;
+          case "empty report" test_sarif_empty_report;
+        ] );
+      ( "config",
+        [
+          qcheck config_roundtrip;
+          case "missing file falls back to default" test_config_load_missing_file;
+          case "malformed file errors" test_config_load_malformed;
+        ] );
+      ( "rules flag",
+        [
+          case "parse_list" test_parse_list;
+          case "CLI exits 2 on unknown rule" test_cli_unknown_rule_exits_2;
+          case "CLI exits 2 on malformed list" test_cli_malformed_rules_exits_2;
+        ] );
+    ]
