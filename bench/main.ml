@@ -6,14 +6,21 @@
    Table 2 sweeps run through the parallel sweep engine
    (Crossbar_engine), which also collects per-solve telemetry.
 
-   Part 2 times the computational contributions with Bechamel: one
+   Part 2 measures the sweep engine's incremental convolution path
+   against the full-solve path on single-class load sweeps (the paper's
+   Figures 2-5 regime) at R in {2, 4, 8} classes, plus simulator
+   replication throughput across domains.  Full and incremental solves
+   are required to agree within 1 ulp on every measure — any wider gap
+   is a hard failure (exit 1), which CI relies on.
+
+   Part 3 times the computational contributions with Bechamel: one
    Test.make per paper table/figure (the cost of regenerating it), plus an
    ablation of Algorithm 1 vs Algorithm 2 vs brute-force enumeration
    across switch sizes — the complexity claims of paper Section 5.
 
-     dune exec bench/main.exe                         # reproduction + timings
-     dune exec bench/main.exe -- --fast               # reproduction only
-     dune exec bench/main.exe -- --fast --json b.json # + telemetry snapshot
+     dune exec bench/main.exe                         # everything
+     dune exec bench/main.exe -- --fast               # skip Bechamel
+     dune exec bench/main.exe -- --smoke --json b.json # CI: sweeps + gate only
 
    --json PATH writes a machine-readable perf snapshot (schema
    "crossbar-bench/1", documented in DESIGN.md) and re-parses the file
@@ -24,6 +31,9 @@ module Paper = Crossbar_workloads.Paper
 module Report = Crossbar_workloads.Report
 module Engine = Crossbar_engine
 module Json = Crossbar_engine.Json
+module Sim = Crossbar_sim.Simulator
+module Measures = Crossbar.Measures
+module Prob = Crossbar_numerics.Prob
 
 let line title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -35,7 +45,202 @@ let reproduce ?telemetry () =
   Report.print_all ?telemetry Format.std_formatter;
   Format.print_flush ()
 
-(* ---------- part 2: Bechamel timing ---------- *)
+(* ---------- part 2: incremental sweep + replication benchmarks ---------- *)
+
+(* Single-class load sweep at R classes: R-1 fixed background classes
+   (mixed Poisson/Pascal, mixed bandwidths) and a swept Poisson class
+   LAST, so the incremental path re-convolves exactly one factor and
+   reuses the R-1 prefix products. *)
+let sweep_model ~classes ~size load =
+  let background =
+    List.init (classes - 1) (fun i ->
+        let name = Printf.sprintf "bg%d" i in
+        if i mod 3 = 1 then
+          Crossbar.Traffic.pascal ~name ~bandwidth:2 ~alpha:0.04 ~beta:0.01
+            ~service_rate:1.0 ()
+        else
+          Crossbar.Traffic.poisson ~name
+            ~bandwidth:((i mod 2) + 1)
+            ~rate:0.06 ~service_rate:1.0 ())
+  in
+  let swept =
+    Crossbar.Traffic.poisson ~name:"swept" ~bandwidth:1 ~rate:load
+      ~service_rate:1.0 ()
+  in
+  Crossbar.Model.square ~size ~classes:(background @ [ swept ])
+
+let sweep_points ~classes ~size ~count =
+  List.init count (fun i ->
+      let load = 0.05 +. (0.01 *. float_of_int i) in
+      Engine.Sweep.point ~algorithm:Crossbar.Solver.Convolution
+        ~label:(Printf.sprintf "R=%d load=%.2f" classes load)
+        (sweep_model ~classes ~size load))
+
+(* Wall time of one sweep over [points], best of [iters] runs with a
+   fresh cache each time (a shared cache would turn every re-run into
+   pure hits).  [~domains:1] pins both paths to one domain so the
+   comparison isolates the solve algorithm, not pool scheduling. *)
+let time_sweep ~incremental ~iters points =
+  let best = ref Float.infinity in
+  for _ = 1 to iters do
+    let cache = Engine.Cache.create () in
+    let started = Unix.gettimeofday () in
+    ignore
+      (Engine.Sweep.run ~domains:1 ~cache ~incremental points
+        : Engine.Sweep.outcome array);
+    let elapsed = Unix.gettimeofday () -. started in
+    if elapsed < !best then best := elapsed
+  done;
+  !best
+
+(* Largest ulp distance between the two outcome arrays across every
+   reported measure and log G.  The incremental path is constructed to
+   be bit-identical, so this should always come back 0; CI fails the
+   job above 1. *)
+let sweep_ulp_gap full inc =
+  let worst = ref 0 in
+  let note a b =
+    let d = Prob.ulp_distance a b in
+    if d > !worst then worst := d
+  in
+  Array.iter2
+    (fun (a : Engine.Sweep.outcome) (b : Engine.Sweep.outcome) ->
+      note a.Engine.Sweep.solution.Crossbar.Solver.log_normalization
+        b.Engine.Sweep.solution.Crossbar.Solver.log_normalization;
+      let ma = Engine.Sweep.measures a and mb = Engine.Sweep.measures b in
+      note ma.Measures.busy_ports mb.Measures.busy_ports;
+      note ma.Measures.input_utilization mb.Measures.input_utilization;
+      note ma.Measures.output_utilization mb.Measures.output_utilization;
+      Array.iter2
+        (fun (ca : Measures.per_class) (cb : Measures.per_class) ->
+          note ca.Measures.offered_load cb.Measures.offered_load;
+          note ca.Measures.non_blocking cb.Measures.non_blocking;
+          note ca.Measures.blocking cb.Measures.blocking;
+          note ca.Measures.concurrency cb.Measures.concurrency;
+          note ca.Measures.throughput cb.Measures.throughput)
+        ma.Measures.per_class mb.Measures.per_class)
+    full inc;
+  !worst
+
+let sweep_bench ~smoke ~telemetry ~classes =
+  let size = 48 and count = 50 in
+  let iters = if smoke then 3 else 10 in
+  let points = sweep_points ~classes ~size ~count in
+  let full =
+    Engine.Sweep.run ~domains:1 ~cache:(Engine.Cache.create ()) ~telemetry
+      points
+  in
+  let inc =
+    Engine.Sweep.run ~domains:1
+      ~cache:(Engine.Cache.create ())
+      ~telemetry ~incremental:true points
+  in
+  let incremental_solves =
+    Array.fold_left
+      (fun acc o -> if o.Engine.Sweep.from_incremental then acc + 1 else acc)
+      0 inc
+  in
+  let max_ulp = sweep_ulp_gap full inc in
+  let full_seconds = time_sweep ~incremental:false ~iters points in
+  let incremental_seconds = time_sweep ~incremental:true ~iters points in
+  let speedup = full_seconds /. incremental_seconds in
+  Printf.printf
+    "R=%d size=%d points=%d  full %.5fs  incremental %.5fs  speedup %.2fx  \
+     (%d/%d incremental solves, max ulp gap %d)\n"
+    classes size count full_seconds incremental_seconds speedup
+    incremental_solves count max_ulp;
+  let json =
+    Json.Assoc
+      [
+        ("classes", Json.Int classes);
+        ("size", Json.Int size);
+        ("points", Json.Int count);
+        ("iterations", Json.Int iters);
+        ("full_seconds", Json.Float full_seconds);
+        ("incremental_seconds", Json.Float incremental_seconds);
+        ("speedup", Json.Float speedup);
+        ("incremental_solves", Json.Int incremental_solves);
+        ("max_ulp", Json.Int max_ulp);
+      ]
+  in
+  (json, max_ulp)
+
+let sweep_benches ~smoke ~telemetry =
+  line "Sweep engine: full vs incremental single-class load sweeps";
+  let results =
+    List.map (fun classes -> sweep_bench ~smoke ~telemetry ~classes) [ 2; 4; 8 ]
+  in
+  (Json.List (List.map fst results),
+   List.fold_left (fun acc (_, ulp) -> max acc ulp) 0 results)
+
+let replication_bench ~smoke =
+  line "Simulator: replication throughput across domains";
+  let model =
+    Crossbar.Model.square ~size:6
+      ~classes:
+        [
+          Crossbar.Traffic.poisson ~name:"p" ~bandwidth:1 ~rate:0.4
+            ~service_rate:1.0 ();
+          Crossbar.Traffic.pascal ~name:"q" ~bandwidth:2 ~alpha:0.1 ~beta:0.05
+            ~service_rate:1.0 ();
+        ]
+  in
+  let horizon = if smoke then 2e3 else 2e4 in
+  let config =
+    { (Sim.default_config model) with horizon; warmup = horizon /. 20.;
+      batches = 5 }
+  in
+  let replications = 8 in
+  let time domains =
+    let started = Unix.gettimeofday () in
+    let result = Sim.run_replications ~domains ~replications config in
+    (Unix.gettimeofday () -. started, result)
+  in
+  let sequential_seconds, sequential = time 1 in
+  let domains = Engine.Pool.recommended_domains () in
+  let parallel_seconds, parallel = time domains in
+  (* Domain-count independence is part of the CI gate: per-seed results
+     must be bit-identical however the replications were scheduled. *)
+  let max_ulp = ref 0 in
+  let note (a : Sim.estimate array) (b : Sim.estimate array) =
+    Array.iter2
+      (fun (x : Sim.estimate) (y : Sim.estimate) ->
+        let d =
+          max
+            (Prob.ulp_distance x.Sim.point y.Sim.point)
+            (Prob.ulp_distance x.Sim.halfwidth y.Sim.halfwidth)
+        in
+        if d > !max_ulp then max_ulp := d)
+      a b
+  in
+  note sequential.Sim.rep_time_congestion parallel.Sim.rep_time_congestion;
+  note sequential.Sim.rep_call_congestion parallel.Sim.rep_call_congestion;
+  note sequential.Sim.rep_concurrency parallel.Sim.rep_concurrency;
+  let per_second seconds = float_of_int replications /. seconds in
+  Printf.printf
+    "%d replications, horizon %g: 1 domain %.3fs (%.1f rep/s), %d domains \
+     %.3fs (%.1f rep/s), max ulp gap %d\n"
+    replications horizon sequential_seconds
+    (per_second sequential_seconds)
+    domains parallel_seconds
+    (per_second parallel_seconds)
+    !max_ulp;
+  let json =
+    Json.Assoc
+      [
+        ("replications", Json.Int replications);
+        ("horizon", Json.Float horizon);
+        ("sequential_seconds", Json.Float sequential_seconds);
+        ("parallel_seconds", Json.Float parallel_seconds);
+        ("domains", Json.Int domains);
+        ("sequential_reps_per_second", Json.Float (per_second sequential_seconds));
+        ("parallel_reps_per_second", Json.Float (per_second parallel_seconds));
+        ("max_ulp", Json.Int !max_ulp);
+      ]
+  in
+  (json, !max_ulp)
+
+(* ---------- part 3: Bechamel timing ---------- *)
 
 let whole_figure ?(sizes = Paper.sizes) series () =
   List.iter
@@ -157,7 +362,7 @@ let benchmark () =
 
 (* ---------- JSON perf snapshot ---------- *)
 
-let snapshot ~fast ~telemetry ~timings =
+let snapshot ~mode ~telemetry ~sweeps ~replications ~timings =
   let solves = Engine.Telemetry.solves telemetry in
   let cache_hits =
     List.length (List.filter (fun s -> s.Engine.Telemetry.from_cache) solves)
@@ -171,8 +376,10 @@ let snapshot ~fast ~telemetry ~timings =
     [
       ("schema", Json.String "crossbar-bench/1");
       ("generated_at_epoch_seconds", Json.Float (Unix.time ()));
-      ("mode", Json.String (if fast then "fast" else "full"));
+      ("mode", Json.String mode);
       ("domains", Json.Int (Engine.Pool.recommended_domains ()));
+      ("sweeps", sweeps);
+      ("replications", replications);
       ( "cache",
         Json.Assoc
           [
@@ -207,7 +414,12 @@ let validate_snapshot path =
       Printf.eprintf "FATAL: %s is not valid JSON: %s\n" path message;
       exit 1
   | Ok json ->
-      let required = [ "schema"; "mode"; "domains"; "cache"; "telemetry" ] in
+      let required =
+        [
+          "schema"; "mode"; "domains"; "cache"; "telemetry"; "sweeps";
+          "replications";
+        ]
+      in
       List.iter
         (fun field ->
           if Json.member field json = None then begin
@@ -248,14 +460,20 @@ let parse_json_path argv =
 
 let () =
   let fast = Array.exists (String.equal "--fast") Sys.argv in
+  let smoke = Array.exists (String.equal "--smoke") Sys.argv in
   let json_path = parse_json_path Sys.argv in
+  let mode = if smoke then "smoke" else if fast then "fast" else "full" in
   let telemetry = Engine.Telemetry.create () in
-  reproduce ~telemetry ();
-  let timings = if fast then [] else benchmark () in
-  match json_path with
+  if not smoke then reproduce ~telemetry ();
+  let sweeps, sweep_ulp = sweep_benches ~smoke ~telemetry in
+  let replications, replication_ulp = replication_bench ~smoke in
+  let worst_ulp = max sweep_ulp replication_ulp in
+  let timings = if fast || smoke then [] else benchmark () in
+  (match json_path with
   | None -> ()
   | Some path ->
-      write_snapshot path (snapshot ~fast ~telemetry ~timings);
+      write_snapshot path
+        (snapshot ~mode ~telemetry ~sweeps ~replications ~timings);
       let json = validate_snapshot path in
       let solve_count =
         match Json.member "telemetry" json with
@@ -266,4 +484,13 @@ let () =
         | None -> 0
       in
       Printf.printf "\nwrote %s (%d engine solve(s), validated)\n" path
-        solve_count
+        solve_count);
+  (* The accuracy gate CI depends on: incremental solves and multi-domain
+     replications must match their reference paths within 1 ulp. *)
+  if worst_ulp > 1 then begin
+    Printf.eprintf
+      "FATAL: incremental/parallel results diverge from the reference path \
+       by %d ulp (limit 1)\n"
+      worst_ulp;
+    exit 1
+  end

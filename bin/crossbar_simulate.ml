@@ -3,13 +3,30 @@
 
      crossbar_simulate --size 8 \
        --class name=p,kind=poisson,a=1,alpha=0.5,mu=1 \
-       --horizon 5e4 --service deterministic --seed 7 *)
+       --horizon 5e4 --service deterministic --seed 7
+     crossbar_simulate --size 8 --class ... --replications 16 -j 8 *)
 
 open Cmdliner
 module Sim = Crossbar_sim.Simulator
 module Service = Crossbar_sim.Service
 
-let run size classes horizon warmup service seed batches =
+let pp_replicated model (rep : Sim.replicated) =
+  let classes = Crossbar.Model.classes model in
+  Format.printf "replications: %d@." rep.Sim.replications;
+  Array.iteri
+    (fun r (c : Crossbar.Traffic.t) ->
+      let e (est : Sim.estimate) =
+        Printf.sprintf "%.6g Â± %.2g" est.Sim.point est.Sim.halfwidth
+      in
+      Format.printf
+        "%-12s time-congestion=%s call-congestion=%s E=%s@."
+        c.Crossbar.Traffic.name
+        (e rep.Sim.rep_time_congestion.(r))
+        (e rep.Sim.rep_call_congestion.(r))
+        (e rep.Sim.rep_concurrency.(r)))
+    classes
+
+let run size classes horizon warmup service seed batches replications domains =
   if classes = [] then `Error (false, "at least one --class is required")
   else
     match
@@ -33,9 +50,19 @@ let run size classes horizon warmup service seed batches =
                 service = (fun _ -> shape);
               }
             in
-            let result = Sim.run config in
-            Format.printf "simulated (%s service, seed %d):@.%a@."
-              (Service.to_string shape) seed Sim.pp_result result;
+            (match replications with
+            | None ->
+                let result = Sim.run config in
+                Format.printf "simulated (%s service, seed %d):@.%a@."
+                  (Service.to_string shape) seed Sim.pp_result result
+            | Some n ->
+                let rep = Sim.run_replications ?domains ~replications:n config in
+                Format.printf
+                  "simulated (%s service, seeds %d..%d, independent \
+                   replications):@."
+                  (Service.to_string shape) seed
+                  (seed + n - 1);
+                pp_replicated model rep);
             `Ok ())
 
 let size_arg =
@@ -66,6 +93,25 @@ let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.")
 let batches_arg =
   Arg.(value & opt int 20 & info [ "batches" ] ~doc:"Batch-means batches.")
 
+let replications_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "replications" ] ~docv:"N"
+        ~doc:
+          "Run N independent replications (seeds seed..seed+N-1) and \
+           report Student-t intervals over them instead of one \
+           batch-means run. Requires N >= 2.")
+
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "domains" ] ~docv:"D"
+        ~doc:
+          "Domains for --replications (default: the engine's recommended \
+           pool width). Results are bit-identical for every value.")
+
 let cmd =
   let doc = "simulate the asynchronous crossbar and compare with analysis" in
   Cmd.v
@@ -73,6 +119,7 @@ let cmd =
     Term.(
       ret
         (const run $ size_arg $ classes_arg $ horizon_arg $ warmup_arg
-       $ service_arg $ seed_arg $ batches_arg))
+       $ service_arg $ seed_arg $ batches_arg $ replications_arg
+       $ domains_arg))
 
 let () = exit (Cmd.eval cmd)

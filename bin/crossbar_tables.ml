@@ -4,6 +4,7 @@
      crossbar_tables figure1          # one figure/table
      crossbar_tables all              # everything
      crossbar_tables -j 4 all         # sweep figures on 4 domains
+     crossbar_tables --incremental all # chain single-class deltas
      crossbar_tables --telemetry all  # solve/cache summary on stderr *)
 
 open Cmdliner
@@ -11,27 +12,29 @@ module Paper = Crossbar_workloads.Paper
 module Report = Crossbar_workloads.Report
 module Engine = Crossbar_engine
 
-let targets ?domains ?telemetry () =
+let targets ?domains ?telemetry ?incremental () =
   let ppf = Format.std_formatter in
   [
     ( "figure1",
       fun () ->
-        Report.print_figure ?domains ?telemetry ppf
+        Report.print_figure ?domains ?telemetry ?incremental ppf
           ~name:"Figure 1 (smooth traffic)" Paper.figure1 );
     ( "figure2",
       fun () ->
-        Report.print_figure ?domains ?telemetry ppf
+        Report.print_figure ?domains ?telemetry ?incremental ppf
           ~name:"Figure 2 (peaky traffic)" Paper.figure2 );
     ( "figure3",
       fun () ->
-        Report.print_figure ?domains ?telemetry ppf
+        Report.print_figure ?domains ?telemetry ?incremental ppf
           ~name:"Figure 3 (two classes vs one)" Paper.figure3 );
     ( "figure4",
       fun () ->
-        Report.print_figure ~sizes:Paper.figure4_sizes ?domains ?telemetry ppf
-          ~name:"Figure 4 (multi-rate, Table 1 loads)" Paper.figure4 );
+        Report.print_figure ~sizes:Paper.figure4_sizes ?domains ?telemetry
+          ?incremental ppf ~name:"Figure 4 (multi-rate, Table 1 loads)"
+          Paper.figure4 );
     ("table1", fun () -> Report.print_table1 ppf);
-    ("table2", fun () -> Report.print_table2 ?domains ?telemetry ppf);
+    ( "table2",
+      fun () -> Report.print_table2 ?domains ?telemetry ?incremental ppf );
     ("forensics", fun () -> Report.print_forensics ppf);
     ("simulation", fun () -> Report.print_simulation_check ppf);
     ("baselines", fun () -> Report.print_baselines ppf);
@@ -46,7 +49,7 @@ let print_telemetry_summary telemetry =
     (Engine.Telemetry.total_wall_seconds telemetry)
     (Engine.Pool.recommended_domains ())
 
-let run what domains with_telemetry =
+let run what domains with_telemetry incremental =
   match domains with
   | Some d when d < 1 ->
       `Error (false, Printf.sprintf "-j/--domains must be >= 1 (got %d)" d)
@@ -58,12 +61,15 @@ let run what domains with_telemetry =
     Option.iter print_telemetry_summary telemetry;
     result
   in
+  let incremental = if incremental then Some true else None in
   match what with
   | "all" ->
-      Report.print_all ?domains ?telemetry Format.std_formatter;
+      Report.print_all ?domains ?telemetry ?incremental Format.std_formatter;
       finish (`Ok ())
   | name -> (
-      match List.assoc_opt name (targets ?domains ?telemetry ()) with
+      match
+        List.assoc_opt name (targets ?domains ?telemetry ?incremental ())
+      with
       | Some emit ->
           emit ();
           finish (`Ok ())
@@ -93,6 +99,16 @@ let domains_arg =
            recommended pool width; 1 forces the sequential path). Output \
            is identical for every value.")
 
+let incremental_arg =
+  Arg.(
+    value & flag
+    & info [ "incremental" ]
+        ~doc:
+          "Chain sweep points that differ in a single traffic class \
+           through the incremental convolution path (prefix-product \
+           reuse). Output is byte-identical with and without this flag; \
+           only the work per solve changes.")
+
 let telemetry_arg =
   Arg.(
     value & flag
@@ -103,6 +119,7 @@ let cmd =
   let doc = "regenerate the paper's figures and tables" in
   Cmd.v
     (Cmd.info "crossbar_tables" ~doc)
-    Term.(ret (const run $ what_arg $ domains_arg $ telemetry_arg))
+    Term.(
+      ret (const run $ what_arg $ domains_arg $ telemetry_arg $ incremental_arg))
 
 let () = exit (Cmd.eval cmd)

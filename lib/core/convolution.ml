@@ -1,40 +1,217 @@
 module Special = Crossbar_numerics.Special
 module Logspace = Crossbar_numerics.Logspace
-module Prob = Crossbar_numerics.Prob
+
+(* The recurrence of Algorithm 1 factors per class (see DESIGN.md,
+   "Class-factored convolution").  Writing Q(n1,n2) = G(n1,n2)/(n1! n2!)
+   and matching coefficients in the paper's direction-1 recurrence shows
+
+     G(n1, n2) = sum_u H(u) P(n1, u) P(n2, u),      P(n, u) = n!/(n-u)!
+
+   where H = h_1 * ... * h_R is the 1-D convolution over used bandwidth
+   [u] of per-class generating sequences h_r: for a class of bandwidth
+   [a], per-pair intensity [rho] and burst ratio [theta = beta/mu],
+
+     h_r(k a) = rho (rho + theta) ... (rho + (k-1) theta) / k!
+
+   (Poisson classes are theta = 0, i.e. rho^k/k!; Bernoulli classes have
+   theta < 0 and truncate at the source count).  We store each factor in
+   corner-tilted form C_r(u) = h_r(u) P(N1,u) P(N2,u) so that every
+   entry is bounded by the corner normalisation G(N1,N2) and the
+   Section 6 dynamic rescale applies per partial product; tilted factors
+   combine with the precomputed weights
+
+     w_i(u, v) = P(N_i, u+v) / (P(N_i, u) P(N_i, v))
+               = prod_{j<u} (N_i - j - v)/(N_i - j)   in (0, 1].
+
+   A full solve is a left fold over the factors; an incremental re-solve
+   of one class reuses the shared prefix products and refolds from the
+   changed class with the identical operation sequence, so full and
+   incremental results are bit-identical. *)
+
+type context = {
+  n1 : int;
+  n2 : int;
+  cap : int; (* min n1 n2: used bandwidth never exceeds either side *)
+  w1 : Lattice.Grid.t;
+  w2 : Lattice.Grid.t;
+}
 
 type t = {
   model : Model.t;
-  stored : float array array; (* G(n1,n2) * exp log_omega *)
-  log_omega : float;
-  rescales : int;
+  ctx : context;
+  factors : Lattice.t array; (* tilted per-class sequences C_r *)
+  prefixes : Lattice.t array; (* prefixes.(k) = C_1 * ... * C_k *)
+  diag : Lattice.t; (* diag.(j) = scaled G(N1 - j, N2 - j) *)
+  log_omega : float; (* stored H = true H * exp log_omega *)
   measures : Measures.t;
 }
 
-(* Values above this trigger an adaptive rescale of the whole lattice. *)
-let rescale_threshold = 1e250
-let rescale_factor = 0x1.0p-830 (* 2^-830 ~ 1.4e-250 *)
+let weight_grid ~ports ~cap =
+  let g = Lattice.Grid.create ~rows:(cap + 1) ~cols:(cap + 1) in
+  for v = 0 to cap do
+    Lattice.Grid.set g 0 v 1.;
+    for u = 1 to cap - v do
+      let j = u - 1 in
+      Lattice.Grid.set g u v
+        (Lattice.Grid.get g j v
+        *. (float_of_int (ports - j - v) /. float_of_int (ports - j)))
+    done
+  done;
+  g
 
-let get lattice n1 n2 = if n1 < 0 || n2 < 0 then 0. else lattice.(n1).(n2)
+let context_of ~inputs ~outputs =
+  let cap = min inputs outputs in
+  {
+    n1 = inputs;
+    n2 = outputs;
+    cap;
+    w1 = weight_grid ~ports:inputs ~cap;
+    w2 = weight_grid ~ports:outputs ~cap;
+  }
+
+let unit_profile cap =
+  let l = Lattice.create ~capacity:cap () in
+  Lattice.set l 0 1.;
+  l
+
+(* Tilted per-class sequence via the chain
+     v_k = step_k (C(u - a) + theta v_{k-1}),   C(u) = rho v_k / k
+   at u = k a, with step_k = P(N1-(k-1)a, a) P(N2-(k-1)a, a) carrying
+   the corner tilt along so magnitudes track G rather than h alone. *)
+let class_factor ctx model r =
+  let a = Model.bandwidth model r in
+  let rho = Model.rho model r in
+  let theta = Model.beta_over_mu model r in
+  let seq = Lattice.create ~stride:a ~capacity:ctx.cap () in
+  Lattice.set seq 0 1.;
+  let v = ref 0. in
+  for k = 1 to ctx.cap / a do
+    let u = k * a in
+    let step =
+      Special.permutations (ctx.n1 - ((k - 1) * a)) a
+      *. Special.permutations (ctx.n2 - ((k - 1) * a)) a
+    in
+    v := step *. (Lattice.get seq (u - a) +. (theta *. !v));
+    let value = rho *. !v /. float_of_int k in
+    if not (Float.is_finite value && Float.is_finite !v) then
+      failwith
+        "Convolution.solve: overflow within a single recurrence step; \
+         use Mva.solve for this parameter regime";
+    Lattice.set seq u value;
+    if Float.max (Float.abs value) (Float.abs !v) > Lattice.rescale_threshold
+    then begin
+      Lattice.rescale seq;
+      v := !v *. Lattice.rescale_factor
+    end
+  done;
+  seq
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+(* Applies [chunks] rescale chunks one multiplication at a time:
+   rescale_factor^2 already underflows to zero, so the chunks cannot be
+   collapsed into a single factor. *)
+let apply_chunks value chunks =
+  let x = ref value in
+  for _ = 1 to chunks do
+    x := !x *. Lattice.rescale_factor
+  done;
+  !x
+
+(* Tilted convolution (A * B)(u+v) = sum A(u) B(v) w1(u,v) w2(u,v).
+   Never mutates its operands — prefixes are shared with incremental
+   re-solves — so any pre-scaling needed to keep products representable
+   is applied virtually, per side, while the terms are formed; the
+   borrowed chunks are credited back to the result's scale.  The
+   summation order (increasing v) is fixed, so refolding the same
+   operands is bit-identical no matter which solve path runs. *)
+let combine ctx a b =
+  let cap = ctx.cap in
+  let sa = Lattice.stride a and sb = Lattice.stride b in
+  let result = Lattice.create ~stride:(gcd sa sb) ~capacity:cap () in
+  let ka = ref 0 and kb = ref 0 in
+  let ma = ref (Lattice.max_abs a) and mb = ref (Lattice.max_abs b) in
+  while !ma *. !mb > Lattice.rescale_threshold do
+    if !ma >= !mb then begin
+      incr ka;
+      ma := !ma *. Lattice.rescale_factor
+    end
+    else begin
+      incr kb;
+      mb := !mb *. Lattice.rescale_factor
+    end
+  done;
+  for total = 0 to cap do
+    let sum = ref 0. in
+    let v = ref 0 in
+    while !v <= total do
+      let u = total - !v in
+      if u mod sa = 0 then begin
+        (* Group each operand with its own weight: the weights lie in
+           (0, 1], so neither partial product can overflow, and their
+           product w1*w2 is never formed alone (it can underflow). *)
+        let left = apply_chunks (Lattice.get a u) !ka in
+        let right = apply_chunks (Lattice.get b !v) !kb in
+        sum :=
+          !sum
+          +. (left *. Lattice.Grid.get ctx.w1 u !v)
+             *. (right *. Lattice.Grid.get ctx.w2 u !v)
+      end;
+      v := !v + sb
+    done;
+    Lattice.set result total !sum
+  done;
+  Lattice.add_scale result (Lattice.scale a + Lattice.scale b + !ka + !kb);
+  Lattice.normalize result;
+  result
+
+let refold ctx factors prefixes ~from =
+  for i = from to Array.length factors - 1 do
+    prefixes.(i + 1) <- combine ctx prefixes.(i) factors.(i)
+  done
+
+(* One shared diagonal pass serves every class's measures:
+     diag.(j) = scaled G(N1-j, N2-j) = sum_u H(u) ratio_j(u),
+     ratio_j(u) = prod_{i<u} ((N1-j-i)(N2-j-i)) / ((N1-i)(N2-i)). *)
+let diagonal ctx h =
+  let diag = Lattice.create ~capacity:ctx.cap () in
+  Lattice.add_scale diag (Lattice.scale h);
+  for j = 0 to ctx.cap do
+    let sum = ref (Lattice.get h 0) in
+    let ratio = ref 1. in
+    for u = 1 to ctx.cap - j do
+      let i = u - 1 in
+      ratio :=
+        !ratio
+        *. (float_of_int (ctx.n1 - j - i) /. float_of_int (ctx.n1 - i))
+        *. (float_of_int (ctx.n2 - j - i) /. float_of_int (ctx.n2 - i));
+      sum := !sum +. (Lattice.get h u *. !ratio)
+    done;
+    Lattice.set diag j !sum
+  done;
+  diag
 
 (* Unified concurrency chain: walks the class-r diagonal from the deepest
    feasible point up to (N1, N2), applying
    E_r(p) = P(n1,a) P(n2,a) B_r(p) (rho_r + (beta_r/mu_r) E_r(p - a I)).
    For Poisson classes the recursion degenerates to
    E_r = rho_r P(N1,a) P(N2,a) B_r. *)
-let concurrency_of_lattice model stored r =
+let concurrency_of_diag model diag r =
   let a = Model.bandwidth model r in
   let rho = Model.rho model r in
   let b_over_mu = Model.beta_over_mu model r in
   let n1 = Model.inputs model and n2 = Model.outputs model in
-  let depth = min n1 n2 / a in
+  let cap = min n1 n2 in
   let e = ref 0. in
-  for m = depth downto 0 do
-    let p1 = n1 - (m * a) and p2 = n2 - (m * a) in
-    let here = get stored p1 p2 and down = get stored (p1 - a) (p2 - a) in
+  for m = cap / a downto 0 do
+    let j = m * a in
+    let here = Lattice.get diag j in
+    let down = if j + a > cap then 0. else Lattice.get diag (j + a) in
     if here > 0. && Float.is_finite here && Float.is_finite down then begin
       let non_blocking = down /. here in
       e :=
-        Special.permutations p1 a *. Special.permutations p2 a
+        Special.permutations (n1 - j) a
+        *. Special.permutations (n2 - j) a
         *. non_blocking
         *. (rho +. (b_over_mu *. !e))
     end
@@ -45,98 +222,64 @@ let concurrency_of_lattice model stored r =
   done;
   !e
 
-let solve model =
-  let n1_max = Model.inputs model and n2_max = Model.outputs model in
+let finalize model ctx factors prefixes =
+  let h = prefixes.(Array.length factors) in
+  let diag = diagonal ctx h in
   let num_classes = Model.num_classes model in
-  let stored = Array.make_matrix (n1_max + 1) (n2_max + 1) 0. in
-  let bursty =
-    (* Class indices of the paper's group R2 (beta <> 0). *)
-    List.filter
-      (fun r -> not (Model.is_poisson model r))
-      (List.init num_classes Fun.id)
-  in
-  let v = List.map (fun r -> (r, Array.make_matrix (n1_max + 1) (n2_max + 1) 0.)) bursty in
-  let log_omega = ref 0. and rescales = ref 0 in
-  let rescale_all () =
-    incr rescales;
-    log_omega := !log_omega +. Logspace.log_checked rescale_factor;
-    let scale lattice =
-      Array.iter
-        (fun row -> Array.iteri (fun j x -> row.(j) <- x *. rescale_factor) row)
-        lattice
-    in
-    scale stored;
-    List.iter (fun (_, lattice) -> scale lattice) v
-  in
-  for n1 = 0 to n1_max do
-    for n2 = 0 to n2_max do
-      (* V(p) first: it only references the diagonal predecessor. *)
-      List.iter
-        (fun (r, v_lattice) ->
-          let a = Model.bandwidth model r in
-          let scale =
-            Special.permutations n1 a *. Special.permutations n2 a
-          in
-          if scale > 0. then
-            v_lattice.(n1).(n2) <-
-              scale
-              *. (get stored (n1 - a) (n2 - a)
-                 +. (Model.beta_over_mu model r *. get v_lattice (n1 - a) (n2 - a))
-                 ))
-        v;
-      let value =
-        if n1 = 0 && n2 = 0 then 1.
-        else if n1 = 0 then get stored 0 (n2 - 1) (* all class terms vanish *)
-        else begin
-          (* Direction i = 1 of the paper's recurrence, in scaled form:
-             stored(p) = stored(n1-1,n2)
-                       + [ sum_{R1} a r rho_r P(n1,a) P(n2,a) stored(p-aI)
-                         + sum_{R2} a_r rho_r V~(p) ] / n1. *)
-          let class_terms = ref 0. in
-          for r = 0 to num_classes - 1 do
-            let a = Model.bandwidth model r in
-            let rho = Model.rho model r in
-            if Model.is_poisson model r then begin
-              let scale =
-                Special.permutations n1 a *. Special.permutations n2 a
-              in
-              class_terms :=
-                !class_terms
-                +. (float_of_int a *. rho *. scale *. get stored (n1 - a) (n2 - a))
-            end
-            else begin
-              let v_lattice = List.assoc r v in
-              class_terms :=
-                !class_terms +. (float_of_int a *. rho *. v_lattice.(n1).(n2))
-            end
-          done;
-          get stored (n1 - 1) n2 +. (!class_terms /. float_of_int n1)
-        end
-      in
-      stored.(n1).(n2) <- value;
-      if not (Float.is_finite value) then
-        failwith
-          "Convolution.solve: overflow within a single recurrence step; \
-           use Mva.solve for this parameter regime";
-      let v_magnitude =
-        List.fold_left
-          (fun acc (_, lattice) -> Float.max acc (Float.abs lattice.(n1).(n2)))
-          0. v
-      in
-      if Float.max value v_magnitude > rescale_threshold then rescale_all ()
-    done
-  done;
+  let corner = Lattice.get diag 0 in
   let non_blocking =
     Array.init num_classes (fun r ->
         let a = Model.bandwidth model r in
-        if n1_max < a || n2_max < a then 0.
-        else get stored (n1_max - a) (n2_max - a) /. get stored n1_max n2_max)
+        if Model.inputs model < a || Model.outputs model < a then 0.
+        else Lattice.get diag a /. corner)
   in
   let concurrency =
-    Array.init num_classes (fun r -> concurrency_of_lattice model stored r)
+    Array.init num_classes (fun r -> concurrency_of_diag model diag r)
   in
   let measures = Measures.of_concurrencies ~model ~non_blocking ~concurrency in
-  { model; stored; log_omega = !log_omega; rescales = !rescales; measures }
+  { model; ctx; factors; prefixes; diag; log_omega = Lattice.log_scale h; measures }
+
+let solve model =
+  let ctx =
+    context_of ~inputs:(Model.inputs model) ~outputs:(Model.outputs model)
+  in
+  let num_classes = Model.num_classes model in
+  let factors = Array.init num_classes (fun r -> class_factor ctx model r) in
+  let prefixes = Array.make (num_classes + 1) (unit_profile ctx.cap) in
+  refold ctx factors prefixes ~from:0;
+  finalize model ctx factors prefixes
+
+let solve_incremental ~previous ~class_index model =
+  let num_classes = Model.num_classes model in
+  if
+    Model.inputs model <> Model.inputs previous.model
+    || Model.outputs model <> Model.outputs previous.model
+  then invalid_arg "Convolution.solve_incremental: switch dimensions differ";
+  if num_classes <> Model.num_classes previous.model then
+    invalid_arg "Convolution.solve_incremental: class count differs";
+  if class_index < 0 || class_index >= num_classes then
+    invalid_arg "Convolution.solve_incremental: class index out of range";
+  let old_classes = Model.classes previous.model
+  and new_classes = Model.classes model in
+  for r = 0 to num_classes - 1 do
+    if r <> class_index && not (Traffic.equal old_classes.(r) new_classes.(r))
+    then
+      invalid_arg
+        (Printf.sprintf
+           "Convolution.solve_incremental: class %d also differs from the \
+            previous solve (only class %d may change)"
+           r class_index)
+  done;
+  let ctx = previous.ctx in
+  let factors = Array.copy previous.factors in
+  factors.(class_index) <- class_factor ctx model class_index;
+  (* Prefix products up to the changed class are shared with [previous]
+     (combine never mutates them); everything after is refolded with the
+     same left-fold order a full solve uses, so the results match it
+     bit for bit. *)
+  let prefixes = Array.copy previous.prefixes in
+  refold ctx factors prefixes ~from:class_index;
+  finalize model ctx factors prefixes
 
 let model t = t.model
 let measures t = t.measures
@@ -147,25 +290,35 @@ let log_g t ~inputs ~outputs =
     || inputs > Model.inputs t.model
     || outputs > Model.outputs t.model
   then invalid_arg "Convolution.log_g: outside lattice";
-  let stored = t.stored.(inputs).(outputs) in
+  let h = t.prefixes.(Array.length t.factors) in
+  let sum = ref (Lattice.get h 0) in
+  let ratio = ref 1. in
+  for u = 1 to min inputs outputs do
+    let i = u - 1 in
+    ratio :=
+      !ratio
+      *. (float_of_int (inputs - i) /. float_of_int (t.ctx.n1 - i))
+      *. (float_of_int (outputs - i) /. float_of_int (t.ctx.n2 - i));
+    sum := !sum +. (Lattice.get h u *. !ratio)
+  done;
   (* G(n1, n2) >= 1 for every feasible lattice point (the empty state
-     always contributes), so a stored zero can only mean the entry was
-     flushed by dynamic rescaling: it sits so many orders of magnitude
-     below the corner that [stored * omega] underflowed.  Propagating
-     [log 0. = -inf] here silently corrupts downstream blocking and
-     revenue arithmetic, so refuse instead. *)
-  if Prob.is_zero stored then
+     always contributes), so a non-positive scaled value can only mean
+     dynamic rescaling flushed the contributing entries: the point sits
+     so many orders of magnitude below the corner that [G * omega]
+     underflowed.  Propagating [log 0. = -inf] here silently corrupts
+     downstream blocking and revenue arithmetic, so refuse instead. *)
+  if not (!sum > 0.) then
     failwith
       (Printf.sprintf
          "Convolution.log_g: lattice entry (%d, %d) was flushed to zero by \
           %d dynamic rescale(s); it lies too far below G(%d, %d) to \
           represent.  Solve a model of that size directly, or use \
           Mva.log_normalization"
-         inputs outputs t.rescales (Model.inputs t.model)
+         inputs outputs (Lattice.scale h) (Model.inputs t.model)
          (Model.outputs t.model));
-  Logspace.log_checked stored -. t.log_omega
+  Logspace.log_checked !sum -. t.log_omega
 
 let log_normalization t =
   log_g t ~inputs:(Model.inputs t.model) ~outputs:(Model.outputs t.model)
 
-let rescale_count t = t.rescales
+let rescale_count t = Lattice.scale t.diag

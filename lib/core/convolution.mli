@@ -1,24 +1,47 @@
-(** Algorithm 1: the convolution recurrence on the normalisation function
-    (paper Section 5, with the dynamic scaling of Section 6).
+(** Algorithm 1: the convolution solution of the normalisation function
+    (paper Section 5, with the dynamic scaling of Section 6), in
+    class-factored form.
 
-    The paper's recurrence acts on [Q(N) = G(N)/(N1! N2!)], whose values
-    span more orders of magnitude than a double.  We therefore store the
-    lattice in the pre-scaled form [G(n1, n2) * omega] — equivalent to the
-    paper's scaled [omega Q] with a deterministic factorial component folded
-    in — and apply the adaptive power-of-two rescale of Section 6 whenever
-    an entry threatens the representable range.  Performance measures are
-    ratios, so the scale cancels (paper Section 6).
+    The paper's recurrence acts on [Q(N) = G(N)/(N1! N2!)].  Matching
+    coefficients shows [G] factors per class:
+    [G(n1,n2) = sum_u H(u) P(n1,u) P(n2,u)] with
+    [H = h_1 * ... * h_R] a one-dimensional convolution over used
+    bandwidth of per-class generating sequences (DESIGN.md,
+    "Class-factored convolution").  Each factor is held corner-tilted
+    in a flat {!Lattice} profile with its own Section 6 rescale
+    exponent; a full solve left-folds the factors, and
+    {!solve_incremental} reuses the prefix products up to the one
+    changed class — the same operation sequence, hence bit-identical
+    results on every measure and [log G].
 
-    Complexity [O(N1 N2 (R1 + R2))] time, [O(N1 N2 (1 + R2))] space. *)
+    Complexity: [O(cap^2 R)] time for a full solve with
+    [cap = min N1 N2], [O(cap^2)] for an incremental re-solve of the
+    last class, [O(cap R)] space. *)
 
 type t
-(** A solved lattice. *)
+(** A solved model: tilted factors, prefix products, and the measure
+    diagonal. *)
 
 val solve : Model.t -> t
-(** Runs the recurrence over the full [(N1+1) x (N2+1)] lattice and
-    derives all measures.
+(** Builds every class factor and folds them into [H], then derives all
+    measures from one shared diagonal pass.
     @raise Failure if a single recurrence step overflows even after
     rescaling (pathological bandwidths); use {!Mva} in that regime. *)
+
+val solve_incremental : previous:t -> class_index:int -> Model.t -> t
+(** [solve_incremental ~previous ~class_index model] re-solves [model],
+    which must differ from [previous]'s model in at most the class
+    [class_index], by rebuilding only that class's factor and refolding
+    from it; prefix products before the changed class are shared with
+    [previous].  The result is bit-identical to [solve model] — same
+    measures, same [log_g] on every lattice point, same
+    {!rescale_count}.  The saving is largest when the changed class is
+    last (one combine instead of [R]), the layout the sweep engine
+    arranges for single-class load sweeps.
+    @raise Invalid_argument if the switch dimensions or class count
+    differ, [class_index] is out of range, or any {e other} class
+    differs from [previous]'s model (exact, bit-level comparison).
+    @raise Failure as {!solve}. *)
 
 val model : t -> Model.t
 
@@ -27,8 +50,8 @@ val measures : t -> Measures.t
     prefactor — see DESIGN.md). *)
 
 val log_g : t -> inputs:int -> outputs:int -> float
-(** [log G(n1, n2)] read off the lattice.  Entries near the corner — the
-    ones measures use — are always exact.
+(** [log G(n1, n2)], evaluated from the factored form in [O(cap)].
+    Entries near the corner — the ones measures use — are always exact.
     @raise Invalid_argument outside the lattice.
     @raise Failure if dynamic rescaling flushed the requested entry to
     zero (it lies hundreds of orders of magnitude below the corner); the
@@ -39,4 +62,5 @@ val log_normalization : t -> float
 (** [log G(N1, N2)]. *)
 
 val rescale_count : t -> int
-(** Number of adaptive rescale events (0 for all workloads in the paper). *)
+(** Number of adaptive rescale chunks folded into [H] across all partial
+    products (0 for all workloads in the paper). *)

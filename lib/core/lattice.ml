@@ -1,0 +1,70 @@
+module Logspace = Crossbar_numerics.Logspace
+
+(* Values above this trigger an adaptive rescale (paper Section 6). *)
+let rescale_threshold = 1e250
+let rescale_factor = 0x1.0p-830 (* 2^-830 ~ 1.4e-250 *)
+let log_rescale_factor = Logspace.log_checked rescale_factor
+
+type t = {
+  values : floatarray;
+  capacity : int;
+  stride : int;
+  mutable scale : int;
+}
+
+let create ?(stride = 1) ~capacity () =
+  if capacity < 0 then invalid_arg "Lattice.create: negative capacity";
+  if stride < 1 then invalid_arg "Lattice.create: stride < 1";
+  { values = Float.Array.make (capacity + 1) 0.; capacity; stride; scale = 0 }
+
+let capacity t = t.capacity
+let stride t = t.stride
+let scale t = t.scale
+let get t u = Float.Array.get t.values u
+let set t u x = Float.Array.set t.values u x
+
+let max_abs t =
+  let m = ref 0. in
+  for u = 0 to t.capacity do
+    let x = Float.abs (Float.Array.get t.values u) in
+    if x > !m then m := x
+  done;
+  !m
+
+let add_scale t k =
+  if k < 0 then invalid_arg "Lattice.add_scale: negative chunk count";
+  t.scale <- t.scale + k
+
+let rescale t =
+  for u = 0 to t.capacity do
+    Float.Array.set t.values u (Float.Array.get t.values u *. rescale_factor)
+  done;
+  t.scale <- t.scale + 1
+
+let normalize t =
+  while max_abs t > rescale_threshold do
+    rescale t
+  done
+
+let log_scale t = float_of_int t.scale *. log_rescale_factor
+
+module Grid = struct
+  type t = { data : floatarray; rows : int; cols : int }
+
+  let create ~rows ~cols =
+    if rows < 1 || cols < 1 then invalid_arg "Lattice.Grid.create: empty";
+    { data = Float.Array.make (rows * cols) 0.; rows; cols }
+
+  let rows t = t.rows
+  let cols t = t.cols
+
+  let get t i j =
+    if i < 0 || i >= t.rows || j < 0 || j >= t.cols then
+      invalid_arg "Lattice.Grid.get: out of bounds";
+    Float.Array.get t.data ((i * t.cols) + j)
+
+  let set t i j x =
+    if i < 0 || i >= t.rows || j < 0 || j >= t.cols then
+      invalid_arg "Lattice.Grid.set: out of bounds";
+    Float.Array.set t.data ((i * t.cols) + j) x
+end

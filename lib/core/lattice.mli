@@ -1,0 +1,79 @@
+(** Flat [floatarray] storage for the convolution solver's scaled
+    sequences (paper Section 6 dynamic rescaling, tracked per partial
+    product).
+
+    The class-factored form of Algorithm 1 (see DESIGN.md,
+    "Class-factored convolution") works on one-dimensional profiles over
+    used bandwidth [u = 0 .. capacity] rather than the full
+    [(N1+1) x (N2+1)] lattice.  Each profile carries
+
+    - a flat unboxed [floatarray] of values (no per-row indirection,
+      cache-friendly for the combine inner loop);
+    - a [stride]: entries are guaranteed zero except at multiples of it
+      (a class of bandwidth [a] only populates multiples of [a]), which
+      combine loops exploit;
+    - an integer [scale]: the stored values are the true values times
+      [rescale_factor ^ scale].  Scales add when two profiles are
+      convolved, so the Section 6 rescale is tracked per partial product
+      and cancelled only when a measure ratio is formed. *)
+
+type t
+
+val rescale_threshold : float
+(** Magnitudes above this trigger an adaptive rescale ([1e250]). *)
+
+val rescale_factor : float
+(** One rescale chunk, [2^-830] — a power of two, so rescaling is exact
+    in the significand and only the exponent moves. *)
+
+val create : ?stride:int -> capacity:int -> unit -> t
+(** All-zero profile over [0 .. capacity] with [scale = 0].  [stride]
+    defaults to 1.
+    @raise Invalid_argument if [capacity < 0] or [stride < 1]. *)
+
+val capacity : t -> int
+val stride : t -> int
+
+val scale : t -> int
+(** Number of [rescale_factor] chunks folded into the stored values. *)
+
+val get : t -> int -> float
+val set : t -> int -> float -> unit
+
+val max_abs : t -> float
+(** Largest absolute entry (0. for the all-zero profile). *)
+
+val add_scale : t -> int -> unit
+(** Bookkeeping only: credits [k] chunks to [scale] without touching the
+    values (used when a combine pre-applied chunks to its operands).
+    @raise Invalid_argument if [k < 0]. *)
+
+val rescale : t -> unit
+(** Multiplies every entry by {!rescale_factor} once and increments
+    [scale]. *)
+
+val normalize : t -> unit
+(** Rescales until [max_abs t <= rescale_threshold]. *)
+
+val log_scale : t -> float
+(** [scale * log rescale_factor] — the log of the factor by which stored
+    values exceed true values (non-positive). *)
+
+(** Flat two-dimensional float table (row-major [floatarray]); backs the
+    precomputed combine-weight tables. *)
+module Grid : sig
+  type t
+
+  val create : rows:int -> cols:int -> t
+  (** All-zero [rows x cols] table.
+      @raise Invalid_argument if either dimension is [< 1]. *)
+
+  val rows : t -> int
+  val cols : t -> int
+
+  val get : t -> int -> int -> float
+  (** @raise Invalid_argument out of bounds. *)
+
+  val set : t -> int -> int -> float -> unit
+  (** @raise Invalid_argument out of bounds. *)
+end

@@ -91,6 +91,23 @@ let map_class t r f =
   in
   create ~inputs:t.inputs ~outputs:t.outputs ~classes
 
+let single_class_delta a b =
+  if
+    a.inputs <> b.inputs || a.outputs <> b.outputs
+    || Array.length a.classes <> Array.length b.classes
+  then None
+  else begin
+    let delta = ref None and multiple = ref false in
+    Array.iteri
+      (fun r c ->
+        if not (Traffic.equal c b.classes.(r)) then
+          match !delta with
+          | None -> delta := Some r
+          | Some _ -> multiple := true)
+      a.classes;
+    if !multiple then None else !delta
+  end
+
 let state_space t =
   match t.space with
   | Some space -> space

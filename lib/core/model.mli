@@ -69,6 +69,14 @@ val map_class : t -> int -> (Traffic.t -> Traffic.t) -> t
 (** [map_class t r f] rebuilds the model with class [r] replaced by
     [f (classes t).(r)] — used for numeric gradients and load sweeps. *)
 
+val single_class_delta : t -> t -> int option
+(** [single_class_delta a b] is [Some r] when the two models share switch
+    dimensions and class count and differ ({!Traffic.equal}, i.e. exact
+    bit-level comparison of rates) in exactly the one class [r]; [None]
+    otherwise — including when the models are structurally identical.
+    The sweep engine uses this to route consecutive points of a
+    single-class load sweep to {!Convolution.solve_incremental}. *)
+
 val state_space : t -> Crossbar_markov.State_space.t
 (** The paper's [Gamma(N)]: all occupancy vectors with
     [k . A <= capacity].  Built lazily and cached. *)

@@ -23,6 +23,16 @@ type solution = {
   rescales : int;
 }
 
+let solution_of_convolution solved =
+  let model = Convolution.model solved in
+  {
+    algorithm = Convolution;
+    measures = Convolution.measures solved;
+    log_normalization = Convolution.log_normalization solved;
+    lattice_cells = (Model.inputs model + 1) * (Model.outputs model + 1);
+    rescales = Convolution.rescale_count solved;
+  }
+
 let solve_full ?algorithm model =
   let algorithm =
     match algorithm with Some a -> a | None -> recommended model
@@ -38,15 +48,7 @@ let solve_full ?algorithm model =
         lattice_cells = 0;
         rescales = 0;
       }
-  | Convolution ->
-      let solved = Convolution.solve model in
-      {
-        algorithm;
-        measures = Convolution.measures solved;
-        log_normalization = Convolution.log_normalization solved;
-        lattice_cells;
-        rescales = Convolution.rescale_count solved;
-      }
+  | Convolution -> solution_of_convolution (Convolution.solve model)
   | Mean_value ->
       let solved = Mva.solve model in
       {

@@ -23,6 +23,11 @@ type solution = {
       (** {!Convolution} dynamic-rescale events; [0] for the others *)
 }
 
+val solution_of_convolution : Convolution.t -> solution
+(** Packages an already-solved convolution lattice (e.g. one produced by
+    {!Convolution.solve_incremental}) as a {!solution}, without
+    re-running anything. *)
+
 val solve_full : ?algorithm:algorithm -> Model.t -> solution
 (** Evaluate the model once and return both the performance measures and
     the log-normalisation constant, plus solve metadata.  Callers that

@@ -50,6 +50,19 @@ let sources t =
     else None
   end
 
+(* Exact structural equality: rates compare by bit pattern, so a class
+   rebuilt from the same parameters is equal and any perturbation,
+   however small, is not (mirroring the sweep cache's model keys). *)
+let float_bits_equal a b =
+  Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let equal a b =
+  String.equal a.name b.name
+  && Int.equal a.bandwidth b.bandwidth
+  && float_bits_equal a.alpha b.alpha
+  && float_bits_equal a.beta b.beta
+  && float_bits_equal a.service_rate b.service_rate
+
 let with_alpha t alpha =
   create ~name:t.name ~bandwidth:t.bandwidth ~alpha ~beta:t.beta
     ~service_rate:t.service_rate ()

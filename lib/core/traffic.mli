@@ -67,6 +67,12 @@ val sources : t -> int option
 (** For a Bernoulli class with [alpha / (-beta)] integral, the equivalent
     number of sources; [None] otherwise. *)
 
+val equal : t -> t -> bool
+(** Exact structural equality: name, bandwidth, and bit-pattern equality
+    of the three rate parameters.  Two classes built from the same
+    parameters are equal; any perturbation, however small, is not —
+    the comparison the incremental solver and sweep cache key on. *)
+
 val with_alpha : t -> float -> t
 (** Copy with a new aggregate [alpha] (same validation as {!create}). *)
 

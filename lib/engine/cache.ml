@@ -81,9 +81,12 @@ type t = Solver.solution Memo.t
 
 let create () = Memo.create ()
 
+let find_or_compute t ?algorithm model f =
+  Memo.find_or_compute t (key_of_model ?algorithm model) f
+
 let find_or_solve t ?algorithm model =
-  let key = key_of_model ?algorithm model in
-  Memo.find_or_compute t key (fun () -> Solver.solve_full ?algorithm model)
+  find_or_compute t ?algorithm model (fun () ->
+      Solver.solve_full ?algorithm model)
 
 let hits = Memo.hits
 let misses = Memo.misses

@@ -56,6 +56,19 @@ type t = Crossbar.Solver.solution Memo.t
 
 val create : unit -> t
 
+val find_or_compute :
+  t ->
+  ?algorithm:Crossbar.Solver.algorithm ->
+  Crossbar.Model.t ->
+  (unit -> Crossbar.Solver.solution) ->
+  Crossbar.Solver.solution * bool
+(** [find_or_compute t model f] files [f ()] under {!key_of_model} —
+    the entry point for callers that produce the solution some other
+    way than {!Crossbar.Solver.solve_full} (the sweep engine's
+    incremental path).  [f] must return exactly what a fresh
+    [solve_full] would (bit-identical), since hits and misses must be
+    indistinguishable. *)
+
 val find_or_solve :
   t ->
   ?algorithm:Crossbar.Solver.algorithm ->

@@ -1,5 +1,6 @@
 module Model = Crossbar.Model
 module Solver = Crossbar.Solver
+module Convolution = Crossbar.Convolution
 
 type point = {
   label : string;
@@ -21,21 +22,58 @@ type outcome = {
   solution : Solver.solution;
   wall_seconds : float;
   from_cache : bool;
+  from_incremental : bool;
 }
 
 let measures outcome = outcome.solution.Solver.measures
 let log_normalization outcome = outcome.solution.Solver.log_normalization
 
-let solve_point cache p =
+let is_convolution p =
+  match
+    match p.algorithm with Some a -> a | None -> Solver.recommended p.model
+  with
+  | Solver.Convolution -> true
+  | Solver.Brute_force | Solver.Mean_value -> false
+
+(* Mutable per-chain state: the last convolution lattice computed on this
+   chain.  A chain is only ever walked by one domain, so no locking. *)
+type chain = { mutable lattice : Convolution.t option }
+
+let solve_point ?chain cache p =
   let started = Unix.gettimeofday () in
+  let from_incremental = ref false in
+  let compute () =
+    match chain with
+    | Some c when is_convolution p ->
+        let solved =
+          match c.lattice with
+          | Some previous -> (
+              (* Delta against the last lattice actually computed on this
+                 chain (cache hits in between do not advance it): any
+                 single-class base gives the same bits, so chains survive
+                 warm-cache gaps. *)
+              match
+                Model.single_class_delta (Convolution.model previous) p.model
+              with
+              | Some class_index ->
+                  from_incremental := true;
+                  Convolution.solve_incremental ~previous ~class_index p.model
+              | None -> Convolution.solve p.model)
+          | None -> Convolution.solve p.model
+        in
+        c.lattice <- Some solved;
+        Solver.solution_of_convolution solved
+    | _ -> Solver.solve_full ?algorithm:p.algorithm p.model
+  in
   let solution, from_cache =
-    Cache.find_or_solve cache ?algorithm:p.algorithm p.model
+    Cache.find_or_compute cache ?algorithm:p.algorithm p.model compute
   in
   {
     point = p;
     solution;
     wall_seconds = Unix.gettimeofday () -. started;
     from_cache;
+    from_incremental = !from_incremental;
   }
 
 let record_outcome telemetry outcome =
@@ -51,14 +89,48 @@ let record_outcome telemetry outcome =
           lattice_cells = outcome.solution.Solver.lattice_cells;
           rescales = outcome.solution.Solver.rescales;
           from_cache = outcome.from_cache;
+          from_incremental = outcome.from_incremental;
         }
 
-let run ?domains ?cache ?telemetry points =
+let run ?domains ?cache ?telemetry ?(incremental = false) points =
   let cache = match cache with Some c -> c | None -> Cache.create () in
   let points = Array.of_list points in
+  let n = Array.length points in
   let outcomes =
-    Pool.run ?domains ~tasks:(Array.length points) (fun i ->
-        solve_point cache points.(i))
+    if not incremental then
+      Pool.run ?domains ~tasks:n (fun i -> solve_point cache points.(i))
+    else begin
+      (* Group consecutive points whose models differ in exactly one
+         class (and that both resolve to the convolution solver) into
+         chains.  Chains fan out across the pool; within a chain, points
+         run sequentially so each can re-solve incrementally from its
+         predecessor's partial products.  Incremental solves are
+         bit-identical to full solves, so outcomes do not depend on
+         where the chain boundaries fall. *)
+      let chainable =
+        Array.init n (fun i ->
+            i > 0
+            && is_convolution points.(i - 1)
+            && is_convolution points.(i)
+            && Option.is_some
+                 (Model.single_class_delta points.(i - 1).model
+                    points.(i).model))
+      in
+      let starts =
+        Array.of_list
+          (List.filter (fun i -> not chainable.(i)) (List.init n Fun.id))
+      in
+      let segments = Array.length starts in
+      let bound s = if s + 1 < segments then starts.(s + 1) else n in
+      let chunks =
+        Pool.run ?domains ~tasks:segments (fun s ->
+            let chain = { lattice = None } in
+            Array.init
+              (bound s - starts.(s))
+              (fun j -> solve_point ~chain cache points.(starts.(s) + j)))
+      in
+      Array.concat (Array.to_list chunks)
+    end
   in
   (* Record after the pool joins so the telemetry stream is in point
      order no matter which domain solved what. *)

@@ -29,6 +29,10 @@ type outcome = {
   solution : Crossbar.Solver.solution;
   wall_seconds : float;
   from_cache : bool;
+  from_incremental : bool;
+      (** solved via {!Crossbar.Convolution.solve_incremental}, reusing
+          the previous chain point's partial products (identical bits,
+          less work) *)
 }
 
 val measures : outcome -> Crossbar.Measures.t
@@ -38,6 +42,7 @@ val run :
   ?domains:int ->
   ?cache:Cache.t ->
   ?telemetry:Telemetry.t ->
+  ?incremental:bool ->
   point list ->
   outcome array
 (** Solve every point; [run points] returns outcomes in the same order
@@ -45,7 +50,17 @@ val run :
     pass an existing [cache] to share memoised solutions across sweeps
     (a fresh private cache is used otherwise).  When [telemetry] is
     given, one record per point is appended in point order after the
-    pool joins, so the record stream is deterministic too. *)
+    pool joins, so the record stream is deterministic too.
+
+    [incremental] (default [false]) groups consecutive points that
+    differ in exactly one traffic class (and resolve to the convolution
+    solver) into chains; each chain point after the first re-solves via
+    {!Crossbar.Convolution.solve_incremental}, reusing its
+    predecessor's per-class partial products — one combine instead of a
+    full refold on the paper's single-class load sweeps.  Chains run
+    sequentially; distinct chains still fan out across the pool.
+    Results are bit-identical with and without the flag (and for every
+    domain count); only [from_incremental] and wall time change. *)
 
 val solve_model :
   ?cache:Cache.t ->

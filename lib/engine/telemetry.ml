@@ -5,6 +5,7 @@ type solve = {
   lattice_cells : int;
   rescales : int;
   from_cache : bool;
+  from_incremental : bool;
 }
 
 type t = { mutex : Mutex.t; mutable rev_solves : solve list }
@@ -32,6 +33,7 @@ let solve_to_json s =
       ("lattice_cells", Json.Int s.lattice_cells);
       ("rescales", Json.Int s.rescales);
       ("from_cache", Json.Bool s.from_cache);
+      ("from_incremental", Json.Bool s.from_incremental);
     ]
 
 let to_json ?cache ?domains t =
@@ -46,6 +48,9 @@ let to_json ?cache ?domains t =
         Json.Int (List.fold_left (fun acc s -> acc + s.lattice_cells) 0 solves)
       );
       ("rescales", Json.Int (List.fold_left (fun acc s -> acc + s.rescales) 0 solves));
+      ( "incremental_solves",
+        Json.Int
+          (List.length (List.filter (fun s -> s.from_incremental) solves)) );
     ]
   in
   let pool =

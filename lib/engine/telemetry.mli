@@ -15,6 +15,9 @@ type solve = {
   lattice_cells : int;
   rescales : int;
   from_cache : bool;
+  from_incremental : bool;
+      (** the solve reused prefix products from the previous sweep point
+          ({!Crossbar.Convolution.solve_incremental}) *)
 }
 
 type t

@@ -355,11 +355,16 @@ type replicated = {
   rep_concurrency : estimate array;
 }
 
-let run_replications ~replications config =
+let run_replications ?domains ~replications config =
   if replications < 2 then
     invalid_arg "Simulator.run_replications: replications < 2";
+  (* Replications are independent and each [run] is deterministic in its
+     seed, so fanning them across pool domains returns the exact array a
+     sequential loop would: Pool.run only redistributes which domain
+     computes which index. *)
   let runs =
-    Array.init replications (fun i -> run { config with seed = config.seed + i })
+    Crossbar_engine.Pool.run ?domains ~tasks:replications (fun i ->
+        run { config with seed = config.seed + i })
   in
   let combine select =
     Array.init (Model.num_classes config.model) (fun r ->

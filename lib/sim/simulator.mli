@@ -85,11 +85,16 @@ type replicated = {
   rep_concurrency : estimate array;
 }
 
-val run_replications : replications:int -> config -> replicated
+val run_replications : ?domains:int -> replications:int -> config -> replicated
 (** Independent-replications alternative to batch means: runs the
     simulation [replications] times with seeds [seed, seed+1, ...] and
     returns Student-t intervals over the replication estimates —
     preferable when within-run correlation is suspected.
+
+    Replications fan out across [domains] OCaml domains (default
+    {!Crossbar_engine.Pool.recommended_domains}); each replication is
+    deterministic in its seed, so the result is bit-identical for every
+    domain count, [~domains:1] included.
     @raise Invalid_argument if [replications < 2]. *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -6,8 +6,8 @@ module Cache = Crossbar_engine.Cache
 let blocking_of_outcome outcome =
   (Sweep.measures outcome).Measures.per_class.(0).Measures.blocking
 
-let print_figure ?(sizes = Paper.sizes) ?domains ?cache ?telemetry ppf ~name
-    series =
+let print_figure ?(sizes = Paper.sizes) ?domains ?cache ?telemetry
+    ?incremental ppf ~name series =
   (* One engine sweep over the whole (size x series) grid, in row-major
      print order; results come back in the same order regardless of how
      many domains solved them. *)
@@ -22,7 +22,7 @@ let print_figure ?(sizes = Paper.sizes) ?domains ?cache ?telemetry ppf ~name
           series)
       sizes
   in
-  let outcomes = Sweep.run ?domains ?cache ?telemetry points in
+  let outcomes = Sweep.run ?domains ?cache ?telemetry ?incremental points in
   let width = List.length series in
   Format.fprintf ppf "# %s: blocking probability vs square switch size@." name;
   Format.fprintf ppf "N";
@@ -68,7 +68,7 @@ let table2_measured ?cache set n =
   in
   (gradient_rho1, gradient_beta2, blocking, revenue)
 
-let print_table2 ?domains ?cache ?telemetry ppf =
+let print_table2 ?domains ?cache ?telemetry ?incremental ppf =
   (* Warm the cache for every (set, size) base model in parallel; the
      sequential printing loop below then hits the cache for each row
      (the revenue gradients re-solve perturbed models internally and are
@@ -85,7 +85,9 @@ let print_table2 ?domains ?cache ?telemetry ppf =
           Paper.table2_sizes)
       Paper.table2_sets
   in
-  ignore (Sweep.run ?domains ~cache ?telemetry points : Sweep.outcome array);
+  ignore
+    (Sweep.run ?domains ~cache ?telemetry ?incremental points
+      : Sweep.outcome array);
   Format.fprintf ppf
     "# Table 2: revenue analysis — measured (exact model) | paper (printed)@.";
   List.iter
@@ -256,25 +258,25 @@ let print_hotspot ?(horizon = 2e4) ppf =
         sim.Crossbar_hotspot.Sim.overall_halfwidth)
     [ 1.; 4.; 16. ]
 
-let print_all ?domains ?telemetry ppf =
+let print_all ?domains ?telemetry ?incremental ppf =
   (* One cache for the whole report: figure series and tables share
      operating points, so later sections reuse earlier solves. *)
   let cache = Cache.create () in
-  print_figure ?domains ~cache ?telemetry ppf
+  print_figure ?domains ~cache ?telemetry ?incremental ppf
     ~name:"Figure 1 (smooth traffic)" Paper.figure1;
   Format.fprintf ppf "@.";
-  print_figure ?domains ~cache ?telemetry ppf
+  print_figure ?domains ~cache ?telemetry ?incremental ppf
     ~name:"Figure 2 (peaky traffic)" Paper.figure2;
   Format.fprintf ppf "@.";
-  print_figure ?domains ~cache ?telemetry ppf
+  print_figure ?domains ~cache ?telemetry ?incremental ppf
     ~name:"Figure 3 (two classes vs one)" Paper.figure3;
   Format.fprintf ppf "@.";
-  print_figure ~sizes:Paper.figure4_sizes ?domains ~cache ?telemetry ppf
-    ~name:"Figure 4 (multi-rate, Table 1 loads)" Paper.figure4;
+  print_figure ~sizes:Paper.figure4_sizes ?domains ~cache ?telemetry
+    ?incremental ppf ~name:"Figure 4 (multi-rate, Table 1 loads)" Paper.figure4;
   Format.fprintf ppf "@.";
   print_table1 ppf;
   Format.fprintf ppf "@.";
-  print_table2 ?domains ~cache ?telemetry ppf;
+  print_table2 ?domains ~cache ?telemetry ?incremental ppf;
   Format.fprintf ppf "@.";
   print_forensics ppf;
   Format.fprintf ppf "@.";

@@ -10,13 +10,19 @@
     (default {!Crossbar_engine.Pool.recommended_domains}), [?cache] to
     share solved models across sections, and [?telemetry] to collect
     per-solve records.  Output is byte-identical for every domain
-    count. *)
+    count.
+
+    [?incremental] forwards to {!Crossbar_engine.Sweep.run}: points of a
+    figure series that differ in a single class chain through the
+    incremental convolution path.  Output is byte-identical either
+    way. *)
 
 val print_figure :
   ?sizes:int list ->
   ?domains:int ->
   ?cache:Crossbar_engine.Cache.t ->
   ?telemetry:Crossbar_engine.Telemetry.t ->
+  ?incremental:bool ->
   Format.formatter ->
   name:string ->
   Paper.series list ->
@@ -30,6 +36,7 @@ val print_table2 :
   ?domains:int ->
   ?cache:Crossbar_engine.Cache.t ->
   ?telemetry:Crossbar_engine.Telemetry.t ->
+  ?incremental:bool ->
   Format.formatter ->
   unit
 
@@ -58,6 +65,7 @@ val print_hotspot : ?horizon:float -> Format.formatter -> unit
 val print_all :
   ?domains:int ->
   ?telemetry:Crossbar_engine.Telemetry.t ->
+  ?incremental:bool ->
   Format.formatter ->
   unit
 (** Every section above, in paper order (uses short simulations), with
