@@ -240,6 +240,217 @@ let replication_bench ~smoke =
   in
   (json, !max_ulp)
 
+(* ---------- part 2b: factor-tree benchmarks ---------- *)
+
+(* R-class mixed model for the all-classes gradient: distinct loads per
+   class and bandwidths cycling 1-3 so several distinct reduced switches
+   exist for the per-class re-solve path to pay for. *)
+let gradient_model ~classes ~size =
+  let members =
+    List.init classes (fun i ->
+        let name = Printf.sprintf "g%d" i in
+        if i mod 3 = 1 then
+          Crossbar.Traffic.pascal ~name ~bandwidth:2 ~alpha:0.05 ~beta:0.01
+            ~service_rate:1.0 ()
+        else
+          Crossbar.Traffic.poisson ~name
+            ~bandwidth:((i mod 3) + 1)
+            ~rate:(0.04 +. (0.01 *. float_of_int i))
+            ~service_rate:1.0 ())
+  in
+  Crossbar.Model.square ~size ~classes:members
+
+(* The historical path: one full solve for W(N) plus one reduced-switch
+   solve per distinct bandwidth — up to R+1 independent solves
+   (deduplicated by bandwidth here, which only narrows the measured
+   gap in the tree path's favour being understated, never overstated). *)
+let shadow_costs_by_resolve model ~weights =
+  let total m =
+    Measures.revenue
+      (Crossbar.Solver.solve ~algorithm:Crossbar.Solver.Convolution m)
+      ~weights
+  in
+  let w0 = total model in
+  let memo = Hashtbl.create 4 in
+  Array.init (Crossbar.Model.num_classes model) (fun r ->
+      let a = Crossbar.Model.bandwidth model r in
+      if
+        Crossbar.Model.inputs model - a < 1
+        || Crossbar.Model.outputs model - a < 1
+      then w0
+      else
+        let reduced =
+          match Hashtbl.find_opt memo a with
+          | Some v -> v
+          | None ->
+              let v = total (Crossbar.Revenue.reduced_model model ~ports:a) in
+              Hashtbl.add memo a v;
+              v
+        in
+        w0 -. reduced)
+
+let time_best ~iters f =
+  let best = ref Float.infinity in
+  for _ = 1 to iters do
+    let started = Unix.gettimeofday () in
+    ignore (f () : float array);
+    let elapsed = Unix.gettimeofday () -. started in
+    if elapsed < !best then best := elapsed
+  done;
+  !best
+
+(* All-classes revenue gradient: R+1 independent solves versus one
+   factor-tree solve whose diagonal already holds every reduced switch
+   (Revenue.shadow_costs).  The two paths compute the same quantity
+   through different roundings, so they are compared with a relative
+   tolerance, not ulp. *)
+let gradient_bench ~smoke ~classes =
+  let size = 32 in
+  (* Individual runs are tens of microseconds; a generous best-of count
+     costs nothing and keeps the speedup ratio stable on noisy CI
+     runners (the 2x acceptance floor is gated in smoke mode). *)
+  let iters = if smoke then 15 else 30 in
+  let model = gradient_model ~classes ~size in
+  let weights = Array.init classes (fun r -> 1.0 /. float_of_int (r + 1)) in
+  let resolve = shadow_costs_by_resolve model ~weights in
+  let tree = Crossbar.Revenue.shadow_costs model ~weights in
+  let max_gap = ref 0. in
+  Array.iteri
+    (fun r d ->
+      let gap = Float.abs (d -. tree.(r)) in
+      if gap > !max_gap then max_gap := gap)
+    resolve;
+  let scale =
+    Array.fold_left (fun acc d -> Float.max acc (Float.abs d)) 1. resolve
+  in
+  let rel_gap = !max_gap /. scale in
+  let resolve_seconds =
+    time_best ~iters (fun () -> shadow_costs_by_resolve model ~weights)
+  in
+  let tree_seconds =
+    time_best ~iters (fun () -> Crossbar.Revenue.shadow_costs model ~weights)
+  in
+  let speedup = resolve_seconds /. tree_seconds in
+  Printf.printf
+    "R=%d size=%d  re-solve %.5fs  factor-tree %.5fs  speedup %.2fx  (max \
+     rel gap %.3g)\n"
+    classes size resolve_seconds tree_seconds speedup rel_gap;
+  let json =
+    Json.Assoc
+      [
+        ("classes", Json.Int classes);
+        ("size", Json.Int size);
+        ("iterations", Json.Int iters);
+        ("resolve_seconds", Json.Float resolve_seconds);
+        ("tree_seconds", Json.Float tree_seconds);
+        ("speedup", Json.Float speedup);
+        ("max_rel_gap", Json.Float rel_gap);
+      ]
+  in
+  (json, speedup, rel_gap)
+
+(* Multi-class delta sweep: classes 0 and 1 move jointly at every point,
+   which the pre-tree chains (consecutive single-class deltas only)
+   could not chain at all; the factor tree recombines the two changed
+   leaves' shared root path. *)
+let multi_delta_model ~classes ~size load =
+  let members =
+    List.init classes (fun i ->
+        let name = Printf.sprintf "md%d" i in
+        if i = 0 then
+          Crossbar.Traffic.poisson ~name ~bandwidth:1 ~rate:load
+            ~service_rate:1.0 ()
+        else if i = 1 then
+          Crossbar.Traffic.poisson ~name ~bandwidth:2 ~rate:(0.8 *. load)
+            ~service_rate:1.0 ()
+        else if i mod 3 = 1 then
+          Crossbar.Traffic.pascal ~name ~bandwidth:2 ~alpha:0.04 ~beta:0.01
+            ~service_rate:1.0 ()
+        else
+          Crossbar.Traffic.poisson ~name
+            ~bandwidth:((i mod 2) + 1)
+            ~rate:0.06 ~service_rate:1.0 ())
+  in
+  Crossbar.Model.square ~size ~classes:members
+
+let multi_delta_points ~classes ~size ~count =
+  List.init count (fun i ->
+      let load = 0.05 +. (0.01 *. float_of_int i) in
+      Engine.Sweep.point ~algorithm:Crossbar.Solver.Convolution
+        ~label:(Printf.sprintf "R=%d multi load=%.2f" classes load)
+        (multi_delta_model ~classes ~size load))
+
+let multi_delta_bench ~smoke ~telemetry ~classes =
+  let size = 48 and count = 50 in
+  let iters = if smoke then 3 else 10 in
+  let points = multi_delta_points ~classes ~size ~count in
+  let full =
+    Engine.Sweep.run ~domains:1 ~cache:(Engine.Cache.create ()) ~telemetry
+      points
+  in
+  let inc =
+    Engine.Sweep.run ~domains:1
+      ~cache:(Engine.Cache.create ())
+      ~telemetry ~incremental:true points
+  in
+  let incremental_solves =
+    Array.fold_left
+      (fun acc o -> if o.Engine.Sweep.from_incremental then acc + 1 else acc)
+      0 inc
+  in
+  let max_ulp = sweep_ulp_gap full inc in
+  let full_seconds = time_sweep ~incremental:false ~iters points in
+  let incremental_seconds = time_sweep ~incremental:true ~iters points in
+  let speedup = full_seconds /. incremental_seconds in
+  Printf.printf
+    "R=%d size=%d points=%d  full %.5fs  incremental %.5fs  speedup %.2fx  \
+     (%d/%d incremental solves, max ulp gap %d)\n"
+    classes size count full_seconds incremental_seconds speedup
+    incremental_solves count max_ulp;
+  let json =
+    Json.Assoc
+      [
+        ("classes", Json.Int classes);
+        ("size", Json.Int size);
+        ("points", Json.Int count);
+        ("iterations", Json.Int iters);
+        ("swept_classes", Json.List [ Json.Int 0; Json.Int 1 ]);
+        ("full_seconds", Json.Float full_seconds);
+        ("incremental_seconds", Json.Float incremental_seconds);
+        ("speedup", Json.Float speedup);
+        ("incremental_solves", Json.Int incremental_solves);
+        ("max_ulp", Json.Int max_ulp);
+      ]
+  in
+  (json, max_ulp)
+
+let factor_tree_benches ~smoke ~telemetry =
+  line "Factor tree: all-classes revenue gradient vs per-class re-solve";
+  let gradients = List.map (fun classes -> gradient_bench ~smoke ~classes) [ 2; 4; 8 ] in
+  line "Factor tree: multi-class delta sweeps (classes 0 and 1 jointly)";
+  let deltas =
+    List.map
+      (fun classes -> multi_delta_bench ~smoke ~telemetry ~classes)
+      [ 2; 4; 8 ]
+  in
+  let json =
+    Json.Assoc
+      [
+        ("gradient", Json.List (List.map (fun (j, _, _) -> j) gradients));
+        ("multi_delta", Json.List (List.map fst deltas));
+      ]
+  in
+  let worst_ulp = List.fold_left (fun acc (_, ulp) -> max acc ulp) 0 deltas in
+  let worst_rel_gap =
+    List.fold_left (fun acc (_, _, gap) -> Float.max acc gap) 0. gradients
+  in
+  let gradient8_speedup =
+    List.fold_left2
+      (fun acc classes (_, speedup, _) -> if classes = 8 then speedup else acc)
+      0. [ 2; 4; 8 ] gradients
+  in
+  (json, worst_ulp, worst_rel_gap, gradient8_speedup)
+
 (* ---------- part 3: Bechamel timing ---------- *)
 
 let whole_figure ?(sizes = Paper.sizes) series () =
@@ -362,7 +573,7 @@ let benchmark () =
 
 (* ---------- JSON perf snapshot ---------- *)
 
-let snapshot ~mode ~telemetry ~sweeps ~replications ~timings =
+let snapshot ~mode ~telemetry ~sweeps ~factor_tree ~replications ~timings =
   let solves = Engine.Telemetry.solves telemetry in
   let cache_hits =
     List.length (List.filter (fun s -> s.Engine.Telemetry.from_cache) solves)
@@ -379,6 +590,7 @@ let snapshot ~mode ~telemetry ~sweeps ~replications ~timings =
       ("mode", Json.String mode);
       ("domains", Json.Int (Engine.Pool.recommended_domains ()));
       ("sweeps", sweeps);
+      ("factor_tree", factor_tree);
       ("replications", replications);
       ( "cache",
         Json.Assoc
@@ -417,7 +629,7 @@ let validate_snapshot path =
       let required =
         [
           "schema"; "mode"; "domains"; "cache"; "telemetry"; "sweeps";
-          "replications";
+          "factor_tree"; "replications";
         ]
       in
       List.iter
@@ -444,36 +656,121 @@ let write_snapshot path json =
 
 (* ---------- driver ---------- *)
 
-let parse_json_path argv =
+let parse_path_flag flag argv =
   let n = Array.length argv in
   let rec scan i =
     if i >= n then None
-    else if String.equal argv.(i) "--json" then
+    else if String.equal argv.(i) flag then
       if i + 1 < n then Some argv.(i + 1)
       else begin
-        prerr_endline "FATAL: --json requires a path argument";
+        Printf.eprintf "FATAL: %s requires a path argument\n" flag;
         exit 1
       end
     else scan (i + 1)
   in
   scan 1
 
+let parse_json_path argv = parse_path_flag "--json" argv
+let parse_baseline_path argv = parse_path_flag "--baseline" argv
+
+(* ---------- baseline regression gate ---------- *)
+
+(* Wall times are machine-dependent, so the committed baseline is
+   compared on *speedup ratios* (dimensionless): the fresh run must keep
+   at least 80% of the baseline's recorded speedup for every factor-tree
+   section, else the run fails (the CI regression gate). *)
+let speedup_rows section json =
+  match Json.member "factor_tree" json with
+  | None -> []
+  | Some ft -> (
+      match Json.member section ft with
+      | Some (Json.List rows) ->
+          List.filter_map
+            (fun row ->
+              match (Json.member "classes" row, Json.member "speedup" row) with
+              | Some (Json.Int c), Some (Json.Float s) -> Some (c, s)
+              | Some (Json.Int c), Some (Json.Int s) ->
+                  Some (c, float_of_int s)
+              | _ -> None)
+            rows
+      | _ -> [])
+
+let compare_with_baseline ~fresh path =
+  let ic =
+    try open_in_bin path
+    with Sys_error message ->
+      Printf.eprintf "FATAL: cannot read baseline %s: %s\n" path message;
+      exit 1
+  in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let baseline =
+    match Json.of_string text with
+    | Ok json -> json
+    | Error message ->
+        Printf.eprintf "FATAL: baseline %s is not valid JSON: %s\n" path
+          message;
+        exit 1
+  in
+  line (Printf.sprintf "Baseline comparison against %s" path);
+  let fresh_wrapped = Json.Assoc [ ("factor_tree", fresh) ] in
+  let failures = ref 0 in
+  List.iter
+    (fun section ->
+      let base_rows = speedup_rows section baseline in
+      List.iter
+        (fun (classes, fresh_speedup) ->
+          match List.assoc_opt classes base_rows with
+          | None ->
+              Printf.printf "%s R=%d: %.2fx (no baseline entry)\n" section
+                classes fresh_speedup
+          | Some base_speedup ->
+              let floor = 0.8 *. base_speedup in
+              let ok = fresh_speedup >= floor in
+              Printf.printf "%s R=%d: %.2fx vs baseline %.2fx (floor %.2fx) %s\n"
+                section classes fresh_speedup base_speedup floor
+                (if ok then "ok" else "REGRESSION");
+              if not ok then incr failures)
+        (speedup_rows section fresh_wrapped))
+    [ "gradient"; "multi_delta" ];
+  if !failures > 0 then begin
+    Printf.eprintf
+      "FATAL: %d factor-tree speedup(s) regressed more than 20%% against %s\n"
+      !failures path;
+    exit 1
+  end
+
+(* Relative agreement required between the batched shadow costs and the
+   per-class re-solve path (same quantity, different rounding). *)
+let gradient_gap_limit = 1e-9
+
+(* Acceptance floor on the R=8 batched-gradient speedup, gated in smoke
+   mode where CI runs it. *)
+let gradient8_speedup_floor = 2.0
+
 let () =
   let fast = Array.exists (String.equal "--fast") Sys.argv in
   let smoke = Array.exists (String.equal "--smoke") Sys.argv in
   let json_path = parse_json_path Sys.argv in
+  let baseline_path = parse_baseline_path Sys.argv in
   let mode = if smoke then "smoke" else if fast then "fast" else "full" in
   let telemetry = Engine.Telemetry.create () in
   if not smoke then reproduce ~telemetry ();
   let sweeps, sweep_ulp = sweep_benches ~smoke ~telemetry in
+  let factor_tree, tree_ulp, gradient_gap, gradient8_speedup =
+    factor_tree_benches ~smoke ~telemetry
+  in
   let replications, replication_ulp = replication_bench ~smoke in
-  let worst_ulp = max sweep_ulp replication_ulp in
+  let worst_ulp = max (max sweep_ulp tree_ulp) replication_ulp in
   let timings = if fast || smoke then [] else benchmark () in
   (match json_path with
   | None -> ()
   | Some path ->
       write_snapshot path
-        (snapshot ~mode ~telemetry ~sweeps ~replications ~timings);
+        (snapshot ~mode ~telemetry ~sweeps ~factor_tree ~replications ~timings);
       let json = validate_snapshot path in
       let solve_count =
         match Json.member "telemetry" json with
@@ -485,6 +782,9 @@ let () =
       in
       Printf.printf "\nwrote %s (%d engine solve(s), validated)\n" path
         solve_count);
+  (match baseline_path with
+  | None -> ()
+  | Some path -> compare_with_baseline ~fresh:factor_tree path);
   (* The accuracy gate CI depends on: incremental solves and multi-domain
      replications must match their reference paths within 1 ulp. *)
   if worst_ulp > 1 then begin
@@ -492,5 +792,20 @@ let () =
       "FATAL: incremental/parallel results diverge from the reference path \
        by %d ulp (limit 1)\n"
       worst_ulp;
+    exit 1
+  end;
+  if gradient_gap > gradient_gap_limit then begin
+    Printf.eprintf
+      "FATAL: batched shadow costs diverge from the per-class re-solve path \
+       by %.3g relative (limit %.0e)\n"
+      gradient_gap gradient_gap_limit;
+    exit 1
+  end;
+  (* The acceptance floor for the batched gradient: at R=8 the single
+     factor-tree solve must beat the R+1 re-solve path. *)
+  if smoke && gradient8_speedup < gradient8_speedup_floor then begin
+    Printf.eprintf
+      "FATAL: factor-tree gradient speedup at R=8 is %.2fx (floor %.1fx)\n"
+      gradient8_speedup gradient8_speedup_floor;
     exit 1
   end

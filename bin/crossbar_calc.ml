@@ -21,7 +21,31 @@ let print_occupancy model =
   Format.printf "99%% busy-port quantile: %d@."
     (Crossbar.Occupancy.load_quantile model ~probability:0.99)
 
-let solve inputs outputs classes algorithm weights occupancy verbose =
+(* All R shadow costs and closed-form gradients from one factor-tree
+   solve (Revenue.shadow_costs reads every reduced switch off the solved
+   diagonal) — versus the R+1 independent solves of the per-class path. *)
+let print_shadow_costs model ~weights =
+  let solved = Crossbar.Convolution.solve model in
+  let w0 =
+    Crossbar.Measures.revenue (Crossbar.Convolution.measures solved) ~weights
+  in
+  let deltas = Crossbar.Revenue.shadow_costs ~solved model ~weights in
+  let gradients = Crossbar.Revenue.gradient ~solved model ~weights in
+  Format.printf "shadow costs (one solve, %d combines):@."
+    (Crossbar.Convolution.combine_count solved);
+  Format.printf "  W(N) = %.8g@." w0;
+  Array.iteri
+    (fun r delta ->
+      Format.printf "  DW_%d = W(N) - W(N - %d I) = %.8g" (r + 1)
+        (Crossbar.Model.bandwidth model r)
+        delta;
+      (match gradients.(r) with
+      | Some g -> Format.printf "   dW/drho_%d = %.8g" (r + 1) g
+      | None -> Format.printf "   (bursty: no closed-form gradient)");
+      Format.printf "@.")
+    deltas
+
+let solve inputs outputs classes algorithm weights occupancy shadow verbose =
   if classes = [] then `Error (false, "at least one --class is required")
   else
     match
@@ -35,22 +59,28 @@ let solve inputs outputs classes algorithm weights occupancy verbose =
         Format.printf "%a@." Crossbar.Measures.pp measures;
         if occupancy then print_occupancy model;
         match weights with
-        | [] -> `Ok ()
+        | [] ->
+            if shadow then
+              `Error (false, "--shadow-costs requires --weights")
+            else `Ok ()
         | w when List.length w = List.length classes ->
             let weights = Array.of_list w in
             Format.printf "W(N) = %.8g@."
               (Crossbar.Measures.revenue measures ~weights);
-            Array.iteri
-              (fun r _ ->
-                if Crossbar.Model.is_poisson model r then
-                  Format.printf "dW/drho_%d = %.8g@." (r + 1)
-                    (Crossbar.Revenue.gradient_rho model ~weights
-                       ~class_index:r)
-                else
-                  Format.printf "dW/d(beta_%d/mu_%d) = %.8g@." (r + 1) (r + 1)
-                    (Crossbar.Revenue.gradient_beta_numeric model ~weights
-                       ~class_index:r))
-              weights;
+            if shadow then print_shadow_costs model ~weights
+            else
+              Array.iteri
+                (fun r _ ->
+                  if Crossbar.Model.is_poisson model r then
+                    Format.printf "dW/drho_%d = %.8g@." (r + 1)
+                      (Crossbar.Revenue.gradient_rho model ~weights
+                         ~class_index:r)
+                  else
+                    Format.printf "dW/d(beta_%d/mu_%d) = %.8g@." (r + 1)
+                      (r + 1)
+                      (Crossbar.Revenue.gradient_beta_numeric model ~weights
+                         ~class_index:r))
+                weights;
             `Ok ()
         | _ -> `Error (false, "--weights must match the number of classes"))
 
@@ -99,6 +129,16 @@ let occupancy_arg =
     value & flag
     & info [ "occupancy" ] ~doc:"Also print the busy-port distribution.")
 
+let shadow_arg =
+  Arg.(
+    value & flag
+    & info [ "shadow-costs" ]
+        ~doc:
+          "Print every class's shadow cost $(b,\\\\Delta W = W(N) - W(N - a_r \
+           I)) and, for Poisson classes, the closed-form revenue gradient — \
+           all batched from a single factor-tree solve instead of one \
+           reduced-switch re-solve per class.  Requires $(b,--weights).")
+
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print the model first.")
 
@@ -109,6 +149,6 @@ let cmd =
     Term.(
       ret
         (const solve $ inputs_arg $ outputs_arg $ classes_arg $ algorithm_arg
-        $ weights_arg $ occupancy_arg $ verbose_arg))
+        $ weights_arg $ occupancy_arg $ shadow_arg $ verbose_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -4,7 +4,7 @@
      crossbar_tables figure1          # one figure/table
      crossbar_tables all              # everything
      crossbar_tables -j 4 all         # sweep figures on 4 domains
-     crossbar_tables --incremental all # chain single-class deltas
+     crossbar_tables --incremental all # chain per-class deltas
      crossbar_tables --telemetry all  # solve/cache summary on stderr *)
 
 open Cmdliner
@@ -104,10 +104,11 @@ let incremental_arg =
     value & flag
     & info [ "incremental" ]
         ~doc:
-          "Chain sweep points that differ in a single traffic class \
-           through the incremental convolution path (prefix-product \
-           reuse). Output is byte-identical with and without this flag; \
-           only the work per solve changes.")
+          "Chain sweep points that share switch dimensions and class count \
+           through the incremental convolution path (factor-tree updates: \
+           any subset of classes may change between neighbouring points). \
+           Output is byte-identical with and without this flag; only the \
+           work per solve changes.")
 
 let telemetry_arg =
   Arg.(

@@ -23,10 +23,18 @@ module Logspace = Crossbar_numerics.Logspace
      w_i(u, v) = P(N_i, u+v) / (P(N_i, u) P(N_i, v))
                = prod_{j<u} (N_i - j - v)/(N_i - j)   in (0, 1].
 
-   A full solve is a left fold over the factors; an incremental re-solve
-   of one class reuses the shared prefix products and refolds from the
-   changed class with the identical operation sequence, so full and
-   incremental results are bit-identical. *)
+   The combine is associative up to rounding, so the factors can be
+   multiplied in any tree shape; this module fixes one shape — a
+   balanced binary tree with leaves C_1 .. C_R in class order — and
+   makes it *the* solver.  Re-solving after changing any subset of the
+   classes recombines only the root paths of the changed leaves
+   (O(#changed log R) combines), and because the untouched nodes are
+   shared physically and [combine] is deterministic, the result is
+   bit-identical to a full rebuild.  The same tree yields every
+   leave-one-out complement H_{-r} = prod_{s<>r} C_s in one top-down
+   sweep of O(R) combines (the prefix x suffix identity; see
+   docs/THEORY.md), which batches per-class marginal distributions and
+   all R shadow costs out of a single solve. *)
 
 type context = {
   n1 : int;
@@ -34,16 +42,6 @@ type context = {
   cap : int; (* min n1 n2: used bandwidth never exceeds either side *)
   w1 : Lattice.Grid.t;
   w2 : Lattice.Grid.t;
-}
-
-type t = {
-  model : Model.t;
-  ctx : context;
-  factors : Lattice.t array; (* tilted per-class sequences C_r *)
-  prefixes : Lattice.t array; (* prefixes.(k) = C_1 * ... * C_k *)
-  diag : Lattice.t; (* diag.(j) = scaled G(N1 - j, N2 - j) *)
-  log_omega : float; (* stored H = true H * exp log_omega *)
-  measures : Measures.t;
 }
 
 let weight_grid ~ports ~cap =
@@ -118,17 +116,11 @@ let apply_chunks value chunks =
   done;
   !x
 
-(* Tilted convolution (A * B)(u+v) = sum A(u) B(v) w1(u,v) w2(u,v).
-   Never mutates its operands — prefixes are shared with incremental
-   re-solves — so any pre-scaling needed to keep products representable
-   is applied virtually, per side, while the terms are formed; the
-   borrowed chunks are credited back to the result's scale.  The
-   summation order (increasing v) is fixed, so refolding the same
-   operands is bit-identical no matter which solve path runs. *)
-let combine ctx a b =
-  let cap = ctx.cap in
-  let sa = Lattice.stride a and sb = Lattice.stride b in
-  let result = Lattice.create ~stride:(gcd sa sb) ~capacity:cap () in
+(* Virtual pre-scaling shared by [combine] and the marginal sweep: how
+   many rescale chunks to borrow from each operand so that the largest
+   product of entries stays representable.  The chunks are credited back
+   to the result's scale (or cancel in a normalised marginal). *)
+let prechunk a b =
   let ka = ref 0 and kb = ref 0 in
   let ma = ref (Lattice.max_abs a) and mb = ref (Lattice.max_abs b) in
   while !ma *. !mb > Lattice.rescale_threshold do
@@ -141,6 +133,20 @@ let combine ctx a b =
       mb := !mb *. Lattice.rescale_factor
     end
   done;
+  (!ka, !kb)
+
+(* Tilted convolution (A * B)(u+v) = sum A(u) B(v) w1(u,v) w2(u,v).
+   Never mutates its operands — tree nodes are shared across re-solves —
+   so any pre-scaling needed to keep products representable is applied
+   virtually, per side, while the terms are formed; the borrowed chunks
+   are credited back to the result's scale.  The summation order
+   (increasing v) is fixed, so recombining the same operands is
+   bit-identical no matter which solve path runs. *)
+let combine ctx a b =
+  let cap = ctx.cap in
+  let sa = Lattice.stride a and sb = Lattice.stride b in
+  let result = Lattice.create ~stride:(gcd sa sb) ~capacity:cap () in
+  let ka, kb = prechunk a b in
   for total = 0 to cap do
     let sum = ref 0. in
     let v = ref 0 in
@@ -150,8 +156,8 @@ let combine ctx a b =
         (* Group each operand with its own weight: the weights lie in
            (0, 1], so neither partial product can overflow, and their
            product w1*w2 is never formed alone (it can underflow). *)
-        let left = apply_chunks (Lattice.get a u) !ka in
-        let right = apply_chunks (Lattice.get b !v) !kb in
+        let left = apply_chunks (Lattice.get a u) ka in
+        let right = apply_chunks (Lattice.get b !v) kb in
         sum :=
           !sum
           +. (left *. Lattice.Grid.get ctx.w1 u !v)
@@ -161,14 +167,158 @@ let combine ctx a b =
     done;
     Lattice.set result total !sum
   done;
-  Lattice.add_scale result (Lattice.scale a + Lattice.scale b + !ka + !kb);
+  Lattice.add_scale result (Lattice.scale a + Lattice.scale b + ka + kb);
   Lattice.normalize result;
   result
 
-let refold ctx factors prefixes ~from =
-  for i = from to Array.length factors - 1 do
-    prefixes.(i + 1) <- combine ctx prefixes.(i) factors.(i)
-  done
+module Factor_tree = struct
+  (* [levels.(0)] holds the tilted leaves C_1 .. C_R in class order;
+     [levels.(k+1).(j)] is [combine levels.(k).(2j) levels.(k).(2j+1)],
+     except that a trailing odd node is carried up by physical sharing
+     (no dummy combine against the unit profile, so a solve costs
+     exactly R-1 combines).  The last level is [| H |].  A model with
+     zero classes stores the unit profile as its only node. *)
+  type nonrec t = {
+    model : Model.t;
+    ctx : context;
+    levels : Lattice.t array array;
+    combines : int; (* combines performed by the build/update that made [t] *)
+  }
+
+  let sequential_map f n = Array.init n f
+
+  let build_levels ~map ctx leaves =
+    let combines = ref 0 in
+    let acc = ref [ leaves ] in
+    let current = ref leaves in
+    while Array.length !current > 1 do
+      let level = !current in
+      let n = Array.length level in
+      let next =
+        map
+          (fun j ->
+            if (2 * j) + 1 < n then combine ctx level.(2 * j) level.((2 * j) + 1)
+            else level.(2 * j))
+          ((n + 1) / 2)
+      in
+      combines := !combines + (n / 2);
+      acc := next :: !acc;
+      current := next
+    done;
+    (Array.of_list (List.rev !acc), !combines)
+
+  let build ?(map = sequential_map) model =
+    let ctx =
+      context_of ~inputs:(Model.inputs model) ~outputs:(Model.outputs model)
+    in
+    let num = Model.num_classes model in
+    let leaves =
+      if num = 0 then [| unit_profile ctx.cap |]
+      else map (fun r -> class_factor ctx model r) num
+    in
+    let levels, combines = build_levels ~map ctx leaves in
+    { model; ctx; levels; combines }
+
+  let model t = t.model
+  let num_classes t = Model.num_classes t.model
+  let combines t = t.combines
+  let depth t = Array.length t.levels - 1
+
+  let root t =
+    let top = t.levels.(Array.length t.levels - 1) in
+    top.(0)
+
+  let leaf t r =
+    if r < 0 || r >= num_classes t then
+      invalid_arg "Convolution.Factor_tree.leaf: class index out of range";
+    t.levels.(0).(r)
+
+  (* Recombines only the root paths of the changed leaves.  Untouched
+     nodes are shared physically with [t], and [combine] is a
+     deterministic function of its operands, so the updated tree is
+     bit-identical to [build model] at every node. *)
+  let update t model =
+    if
+      Model.inputs model <> Model.inputs t.model
+      || Model.outputs model <> Model.outputs t.model
+    then invalid_arg "Convolution.Factor_tree.update: switch dimensions differ";
+    if Model.num_classes model <> Model.num_classes t.model then
+      invalid_arg "Convolution.Factor_tree.update: class count differs";
+    match Model.class_delta t.model model with
+    | None -> assert false (* dimensions and class count checked above *)
+    | Some [] -> { t with model; combines = 0 }
+    | Some changed ->
+        let levels = Array.map Array.copy t.levels in
+        List.iter
+          (fun r -> levels.(0).(r) <- class_factor t.ctx model r)
+          changed;
+        let combines = ref 0 in
+        let frontier = ref changed in
+        for k = 0 to Array.length levels - 2 do
+          let level = levels.(k) in
+          let n = Array.length level in
+          let parents =
+            List.sort_uniq compare (List.map (fun i -> i / 2) !frontier)
+          in
+          List.iter
+            (fun j ->
+              if (2 * j) + 1 < n then begin
+                levels.(k + 1).(j) <-
+                  combine t.ctx level.(2 * j) level.((2 * j) + 1);
+                incr combines
+              end
+              else levels.(k + 1).(j) <- level.(2 * j))
+            parents;
+          frontier := parents
+        done;
+        { model; ctx = t.ctx; levels; combines = !combines }
+
+  (* Prefix x suffix sweep: walking the tree top-down with
+       comp(root)        = (empty product)
+       comp(child)       = comp(parent) * (sibling of child)
+     gives at each leaf r the complement H_{-r} = prod_{s<>r} C_s in
+     2(R-1) - 2 combines total.  The empty product is represented as
+     [None] (combining with the unit profile is a bitwise no-op but
+     costs a full O(cap^2) pass), so the root's children receive their
+     sibling's value directly, shared physically. *)
+  let leave_one_out t =
+    let num = num_classes t in
+    if num = 0 then [||]
+    else if num = 1 then [| unit_profile t.ctx.cap |]
+    else begin
+      let comp = ref [| None |] in
+      for k = Array.length t.levels - 1 downto 1 do
+        let children = t.levels.(k - 1) in
+        let n = Array.length children in
+        let parent_comp = !comp in
+        comp :=
+          Array.init n (fun i ->
+              let above = parent_comp.(i / 2) in
+              let sibling =
+                if i land 1 = 0 then
+                  if i + 1 < n then Some children.(i + 1) else None
+                else Some children.(i - 1)
+              in
+              match (above, sibling) with
+              | None, None -> None
+              | None, Some s -> Some s
+              | Some c, None -> Some c
+              | Some c, Some s -> Some (combine t.ctx c s))
+      done;
+      Array.map
+        (function Some l -> l | None -> unit_profile t.ctx.cap)
+        !comp
+    end
+end
+
+type t = {
+  model : Model.t;
+  ctx : context;
+  tree : Factor_tree.t;
+  diag : Lattice.t; (* diag.(j) = scaled G(N1 - j, N2 - j) *)
+  log_omega : float; (* stored H = true H * exp log_omega *)
+  measures : Measures.t;
+}
 
 (* One shared diagonal pass serves every class's measures:
      diag.(j) = scaled G(N1-j, N2-j) = sum_u H(u) ratio_j(u),
@@ -191,27 +341,33 @@ let diagonal ctx h =
   done;
   diag
 
-(* Unified concurrency chain: walks the class-r diagonal from the deepest
-   feasible point up to (N1, N2), applying
-   E_r(p) = P(n1,a) P(n2,a) B_r(p) (rho_r + (beta_r/mu_r) E_r(p - a I)).
+(* Unified concurrency chain at reservation depth [d]: the diagonal entry
+   diag.(d + j) is the scaled G(N1-d-j, N2-d-j), i.e. the normalisation
+   of the same model with [d] ports removed from each side — reduced
+   models preserve the per-pair parameters (see Revenue.reduced_model),
+   so one diagonal serves every depth.  The chain walks from the deepest
+   feasible point up to (N1-d, N2-d), applying
+   E_r(p) = P(n1-d,a) P(n2-d,a) B_r(p) (rho_r + (beta_r/mu_r) E_r(p - a I)).
    For Poisson classes the recursion degenerates to
-   E_r = rho_r P(N1,a) P(N2,a) B_r. *)
-let concurrency_of_diag model diag r =
+   E_r = rho_r P(N1-d,a) P(N2-d,a) B_r.  [depth = 0] is the paper's
+   Step 3 measure; deeper values feed the batched shadow costs. *)
+let concurrency_at_depth model diag ~depth r =
   let a = Model.bandwidth model r in
   let rho = Model.rho model r in
   let b_over_mu = Model.beta_over_mu model r in
-  let n1 = Model.inputs model and n2 = Model.outputs model in
+  let n1 = Model.inputs model - depth and n2 = Model.outputs model - depth in
   let cap = min n1 n2 in
+  let budget = if cap < 0 then -1 else cap in
   let e = ref 0. in
-  for m = cap / a downto 0 do
-    let j = m * a in
+  for m = budget / a downto 0 do
+    let j = depth + (m * a) in
     let here = Lattice.get diag j in
-    let down = if j + a > cap then 0. else Lattice.get diag (j + a) in
+    let down = if (m + 1) * a > budget then 0. else Lattice.get diag (j + a) in
     if here > 0. && Float.is_finite here && Float.is_finite down then begin
       let non_blocking = down /. here in
       e :=
-        Special.permutations (n1 - j) a
-        *. Special.permutations (n2 - j) a
+        Special.permutations (n1 - (m * a)) a
+        *. Special.permutations (n2 - (m * a)) a
         *. non_blocking
         *. (rho +. (b_over_mu *. !e))
     end
@@ -222,8 +378,10 @@ let concurrency_of_diag model diag r =
   done;
   !e
 
-let finalize model ctx factors prefixes =
-  let h = prefixes.(Array.length factors) in
+let of_tree (tree : Factor_tree.t) =
+  let model = tree.Factor_tree.model in
+  let ctx = tree.Factor_tree.ctx in
+  let h = Factor_tree.root tree in
   let diag = diagonal ctx h in
   let num_classes = Model.num_classes model in
   let corner = Lattice.get diag 0 in
@@ -234,20 +392,14 @@ let finalize model ctx factors prefixes =
         else Lattice.get diag a /. corner)
   in
   let concurrency =
-    Array.init num_classes (fun r -> concurrency_of_diag model diag r)
+    Array.init num_classes (fun r ->
+        concurrency_at_depth model diag ~depth:0 r)
   in
   let measures = Measures.of_concurrencies ~model ~non_blocking ~concurrency in
-  { model; ctx; factors; prefixes; diag; log_omega = Lattice.log_scale h; measures }
+  { model; ctx; tree; diag; log_omega = Lattice.log_scale h; measures }
 
-let solve model =
-  let ctx =
-    context_of ~inputs:(Model.inputs model) ~outputs:(Model.outputs model)
-  in
-  let num_classes = Model.num_classes model in
-  let factors = Array.init num_classes (fun r -> class_factor ctx model r) in
-  let prefixes = Array.make (num_classes + 1) (unit_profile ctx.cap) in
-  refold ctx factors prefixes ~from:0;
-  finalize model ctx factors prefixes
+let solve ?map model = of_tree (Factor_tree.build ?map model)
+let solve_delta ~previous model = of_tree (Factor_tree.update previous.tree model)
 
 let solve_incremental ~previous ~class_index model =
   let num_classes = Model.num_classes model in
@@ -270,19 +422,53 @@ let solve_incremental ~previous ~class_index model =
             previous solve (only class %d may change)"
            r class_index)
   done;
-  let ctx = previous.ctx in
-  let factors = Array.copy previous.factors in
-  factors.(class_index) <- class_factor ctx model class_index;
-  (* Prefix products up to the changed class are shared with [previous]
-     (combine never mutates them); everything after is refolded with the
-     same left-fold order a full solve uses, so the results match it
-     bit for bit. *)
-  let prefixes = Array.copy previous.prefixes in
-  refold ctx factors prefixes ~from:class_index;
-  finalize model ctx factors prefixes
+  solve_delta ~previous model
 
 let model t = t.model
 let measures t = t.measures
+let tree t = t.tree
+let combine_count t = t.tree.Factor_tree.combines
+
+let concurrencies_at_depth t ~depth =
+  if depth < 0 || depth > t.ctx.cap then
+    invalid_arg "Convolution.concurrencies_at_depth: depth outside diagonal";
+  Array.init (Model.num_classes t.model) (fun r ->
+      concurrency_at_depth t.model t.diag ~depth r)
+
+(* Marginal weights for one class against its complement product: with
+   T = H_{-r} and C = C_r,
+     p(k_r = m) ∝ C(m a) sum_w T(w) w1(m a, w) w2(m a, w),
+   the same term grouping as [combine] restricted to one output row per
+   [m].  All scale exponents (leaf, complement, borrowed chunks) are
+   constant across [m], so they cancel in the normalisation. *)
+let marginal_weights ctx own comp =
+  let cap = ctx.cap in
+  let a = Lattice.stride own in
+  let sc = Lattice.stride comp in
+  let ka, kb = prechunk own comp in
+  Array.init ((cap / a) + 1) (fun m ->
+      let u = m * a in
+      let own_u = apply_chunks (Lattice.get own u) ka in
+      let sum = ref 0. in
+      let v = ref 0 in
+      while !v <= cap - u do
+        let other = apply_chunks (Lattice.get comp !v) kb in
+        sum :=
+          !sum
+          +. (own_u *. Lattice.Grid.get ctx.w1 u !v)
+             *. (other *. Lattice.Grid.get ctx.w2 u !v);
+        v := !v + sc
+      done;
+      !sum)
+
+let per_class_distributions t =
+  let complements = Factor_tree.leave_one_out t.tree in
+  Array.mapi
+    (fun r comp ->
+      let own = Factor_tree.leaf t.tree r in
+      let weights = marginal_weights t.ctx own comp in
+      Measures.distribution_of_weights ~model:t.model ~class_index:r ~weights)
+    complements
 
 let log_g t ~inputs ~outputs =
   if
@@ -290,7 +476,7 @@ let log_g t ~inputs ~outputs =
     || inputs > Model.inputs t.model
     || outputs > Model.outputs t.model
   then invalid_arg "Convolution.log_g: outside lattice";
-  let h = t.prefixes.(Array.length t.factors) in
+  let h = Factor_tree.root t.tree in
   let sum = ref (Lattice.get h 0) in
   let ratio = ref 1. in
   for u = 1 to min inputs outputs do

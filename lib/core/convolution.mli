@@ -1,6 +1,6 @@
 (** Algorithm 1: the convolution solution of the normalisation function
     (paper Section 5, with the dynamic scaling of Section 6), in
-    class-factored form.
+    class-factored form over a balanced combine tree.
 
     The paper's recurrence acts on [Q(N) = G(N)/(N1! N2!)].  Matching
     coefficients shows [G] factors per class:
@@ -9,35 +9,98 @@
     bandwidth of per-class generating sequences (DESIGN.md,
     "Class-factored convolution").  Each factor is held corner-tilted
     in a flat {!Lattice} profile with its own Section 6 rescale
-    exponent; a full solve left-folds the factors, and
-    {!solve_incremental} reuses the prefix products up to the one
-    changed class — the same operation sequence, hence bit-identical
-    results on every measure and [log G].
+    exponent.  The factors are multiplied along one fixed shape — the
+    balanced binary {!Factor_tree} — which {e is} the solver: a full
+    solve combines bottom-up ([R - 1] combines), a re-solve after
+    changing any subset of classes recombines only the changed leaves'
+    root paths ([O(#changed log R)] combines), and both walk identical
+    operand pairs in identical order, hence bit-identical results on
+    every measure and [log G].
 
     Complexity: [O(cap^2 R)] time for a full solve with
-    [cap = min N1 N2], [O(cap^2)] for an incremental re-solve of the
-    last class, [O(cap R)] space. *)
+    [cap = min N1 N2], [O(cap^2 #changed log R)] for a re-solve via
+    {!solve_delta}, [O(cap R)] space (the tree holds [2R - 1] nodes). *)
+
+(** The balanced combine tree over tilted class factors.  Leaves are the
+    per-class profiles [C_r] in class order; each internal node caches
+    the tilted convolution of its children together with its rescale
+    exponent.  A trailing odd node at any level is carried upward by
+    physical sharing, so a build performs exactly [R - 1] combines. *)
+module Factor_tree : sig
+  type t
+
+  val build : ?map:((int -> Lattice.t) -> int -> Lattice.t array) -> Model.t -> t
+  (** Builds all leaves, then one level at a time bottom-up.  [map]
+      (default: sequential [Array.init]) evaluates the independent node
+      constructions of each level and may run them in parallel — e.g.
+      [Engine.Sweep.parallel_solve] passes a {!Engine.Pool} mapper.  The
+      result is a pure function of the model alone: any [map] that
+      returns element [i] = [f i] yields bit-identical trees.
+      @raise Failure if a single recurrence step overflows even after
+      rescaling (pathological bandwidths); use {!Mva} in that regime. *)
+
+  val update : t -> Model.t -> t
+  (** [update t model] re-solves after {e any} per-class change: leaves
+      whose {!Traffic.equal} comparison against [t]'s model differs are
+      rebuilt and only their ancestor paths recombined —
+      [O(#changed log R)] combines, against unchanged nodes shared
+      physically with [t] (which is never mutated).  Bit-identical to
+      [build model] at every node, for any subset of changed classes,
+      including in the dynamic-rescaling regime.
+      @raise Invalid_argument if the switch dimensions or class count
+      differ (no factor state can be shared).
+      @raise Failure as {!build}. *)
+
+  val leave_one_out : t -> Lattice.t array
+  (** All leave-one-out complements [H_{-r} = prod_{s<>r} C_s] in one
+      top-down prefix x suffix sweep of [2(R-1) - 2] combines (see
+      docs/THEORY.md): the complement of a node is its parent's
+      complement combined with its sibling, and at the leaves the
+      complement is exactly [H_{-r}].  Element [r] feeds class [r]'s
+      marginal distribution and shadow cost. *)
+
+  val root : t -> Lattice.t
+  (** The full product [H] (the unit profile for a zero-class model). *)
+
+  val leaf : t -> int -> Lattice.t
+  (** The tilted factor [C_r].
+      @raise Invalid_argument if the class index is out of range. *)
+
+  val model : t -> Model.t
+  val num_classes : t -> int
+
+  val combines : t -> int
+  (** Number of pairwise combines performed by the {!build} or {!update}
+      that produced this tree ([R - 1] for a build, 0 for an update with
+      no changed class). *)
+
+  val depth : t -> int
+  (** Number of combine levels above the leaves ([ceil log2 R]). *)
+end
 
 type t
-(** A solved model: tilted factors, prefix products, and the measure
-    diagonal. *)
+(** A solved model: the factor tree and the measure diagonal. *)
 
-val solve : Model.t -> t
-(** Builds every class factor and folds them into [H], then derives all
-    measures from one shared diagonal pass.
-    @raise Failure if a single recurrence step overflows even after
-    rescaling (pathological bandwidths); use {!Mva} in that regime. *)
+val solve : ?map:((int -> Lattice.t) -> int -> Lattice.t array) -> Model.t -> t
+(** Builds the factor tree (see {!Factor_tree.build}, including the
+    parallel [map] hook) and derives all measures from one shared
+    diagonal pass.
+    @raise Failure as {!Factor_tree.build}. *)
+
+val solve_delta : previous:t -> Model.t -> t
+(** [solve_delta ~previous model] re-solves [model] through
+    {!Factor_tree.update} on [previous]'s tree: any subset of classes
+    may change, in any order across successive calls.  Bit-identical to
+    [solve model] — same measures, same [log_g] on every lattice point,
+    same {!rescale_count}.
+    @raise Invalid_argument if the switch dimensions or class count
+    differ.
+    @raise Failure as {!solve}. *)
 
 val solve_incremental : previous:t -> class_index:int -> Model.t -> t
-(** [solve_incremental ~previous ~class_index model] re-solves [model],
-    which must differ from [previous]'s model in at most the class
-    [class_index], by rebuilding only that class's factor and refolding
-    from it; prefix products before the changed class are shared with
-    [previous].  The result is bit-identical to [solve model] — same
-    measures, same [log_g] on every lattice point, same
-    {!rescale_count}.  The saving is largest when the changed class is
-    last (one combine instead of [R]), the layout the sweep engine
-    arranges for single-class load sweeps.
+(** [solve_incremental ~previous ~class_index model] is {!solve_delta}
+    restricted to the single changed class [class_index] — kept for
+    callers that want the stricter validation.
     @raise Invalid_argument if the switch dimensions or class count
     differ, [class_index] is out of range, or any {e other} class
     differs from [previous]'s model (exact, bit-level comparison).
@@ -48,6 +111,33 @@ val model : t -> Model.t
 val measures : t -> Measures.t
 (** Measures from Step 3 of Algorithm 1 (with the corrected [E_r]
     prefactor — see DESIGN.md). *)
+
+val tree : t -> Factor_tree.t
+(** The underlying factor tree (shared, never mutated). *)
+
+val combine_count : t -> int
+(** {!Factor_tree.combines} of the solve that produced [t] — the
+    telemetry [tree_combines] counter. *)
+
+val per_class_distributions : t -> Measures.distribution array
+(** The full marginal occupancy distribution [p(k_r = j)] of every
+    class, batched from one {!Factor_tree.leave_one_out} sweep: class
+    [r]'s weights are [C_r(j a_r) . H_{-r}] contracted through the
+    corner weight grids, normalised over [j].  [O(R)] combines total
+    instead of [R] independent solves; agrees with
+    {!Occupancy.class_distribution} to rounding.
+    @raise Failure if dynamic rescaling flushed an entire marginal (the
+    distribution lies too far below the corner to represent). *)
+
+val concurrencies_at_depth : t -> depth:int -> float array
+(** [concurrencies_at_depth t ~depth] evaluates every class's expected
+    concurrency [E_r] on the reduced switch [(N1 - depth) x (N2 - depth)]
+    {e from the already-solved diagonal}: reduced models preserve the
+    per-pair BPP parameters, so [G_reduced(j) = diag.(depth + j)] and no
+    re-solve is needed.  [depth = 0] reproduces the measures of {!solve}
+    bit for bit; positive depths power {!Revenue.shadow_costs}, all [R]
+    of them from this single solve.
+    @raise Invalid_argument if [depth] lies outside [0 .. min N1 N2]. *)
 
 val log_g : t -> inputs:int -> outputs:int -> float
 (** [log G(n1, n2)], evaluated from the factored form in [O(cap)].

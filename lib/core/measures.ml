@@ -76,3 +76,44 @@ let pp ppf t =
     "busy ports %.6g (input util %.4g%%, output util %.4g%%)@]" t.busy_ports
     (100. *. t.input_utilization)
     (100. *. t.output_utilization)
+
+type distribution = {
+  class_index : int;
+  name : string;
+  bandwidth : int;
+  probabilities : float array;
+  mean : float;
+}
+
+let distribution_of_weights ~model ~class_index ~weights =
+  let classes = Model.classes model in
+  if class_index < 0 || class_index >= Array.length classes then
+    invalid_arg "Measures.distribution_of_weights: class index out of range";
+  if Array.length weights = 0 then
+    invalid_arg "Measures.distribution_of_weights: empty weight vector";
+  Array.iter
+    (fun w ->
+      if not (Float.is_finite w) || w < 0. then
+        invalid_arg
+          "Measures.distribution_of_weights: weights must be finite and \
+           non-negative")
+    weights;
+  let total = Array.fold_left ( +. ) 0. weights in
+  if not (total > 0.) then
+    failwith
+      "Measures.distribution_of_weights: the marginal's weights sum to zero \
+       (dynamic rescaling flushed every term); solve a smaller model or use \
+       Occupancy.class_distribution";
+  let probabilities = Array.map (fun w -> w /. total) weights in
+  let mean = ref 0. in
+  Array.iteri
+    (fun m p -> mean := !mean +. (float_of_int m *. p))
+    probabilities;
+  let c = classes.(class_index) in
+  {
+    class_index;
+    name = c.Traffic.name;
+    bandwidth = c.Traffic.bandwidth;
+    probabilities;
+    mean = !mean;
+  }

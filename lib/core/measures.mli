@@ -37,4 +37,25 @@ val of_concurrencies :
 (** Assembles the record from per-class [B_r] and [E_r] (used by every
     solver). *)
 
+type distribution = {
+  class_index : int;
+  name : string;
+  bandwidth : int; (* a_r *)
+  probabilities : float array;
+      (* probabilities.(m) = p(k_r = m), m = 0 .. capacity / a_r *)
+  mean : float; (* E[k_r] = sum_m m p(k_r = m) *)
+}
+(** The full marginal occupancy distribution of one class — what
+    {!Convolution.per_class_distributions} batches for every class from
+    a single leave-one-out sweep. *)
+
+val distribution_of_weights :
+  model:Model.t -> class_index:int -> weights:float array -> distribution
+(** Normalises raw (unscaled) marginal weights [w.(m) ∝ p(k_r = m)] into
+    a {!distribution}; any common scale factor cancels.
+    @raise Invalid_argument on an out-of-range class index, an empty
+    vector, or a negative/non-finite weight.
+    @raise Failure if the weights sum to zero (dynamic rescaling flushed
+    the marginal). *)
+
 val pp : Format.formatter -> t -> unit

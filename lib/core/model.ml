@@ -91,22 +91,22 @@ let map_class t r f =
   in
   create ~inputs:t.inputs ~outputs:t.outputs ~classes
 
-let single_class_delta a b =
+let class_delta a b =
   if
     a.inputs <> b.inputs || a.outputs <> b.outputs
     || Array.length a.classes <> Array.length b.classes
   then None
   else begin
-    let delta = ref None and multiple = ref false in
-    Array.iteri
-      (fun r c ->
-        if not (Traffic.equal c b.classes.(r)) then
-          match !delta with
-          | None -> delta := Some r
-          | Some _ -> multiple := true)
-      a.classes;
-    if !multiple then None else !delta
+    let changed = ref [] in
+    for r = Array.length a.classes - 1 downto 0 do
+      if not (Traffic.equal a.classes.(r) b.classes.(r)) then
+        changed := r :: !changed
+    done;
+    Some !changed
   end
+
+let single_class_delta a b =
+  match class_delta a b with Some [ r ] -> Some r | Some _ | None -> None
 
 let state_space t =
   match t.space with

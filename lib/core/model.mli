@@ -69,13 +69,22 @@ val map_class : t -> int -> (Traffic.t -> Traffic.t) -> t
 (** [map_class t r f] rebuilds the model with class [r] replaced by
     [f (classes t).(r)] — used for numeric gradients and load sweeps. *)
 
+val class_delta : t -> t -> int list option
+(** [class_delta a b] is [Some changed] when the two models share switch
+    dimensions and class count, with [changed] the sorted list of class
+    indices on which they differ ({!Traffic.equal}, i.e. exact bit-level
+    comparison of rates) — [Some []] when they are structurally
+    identical.  [None] when the switch shapes or class counts differ,
+    i.e. when no factor state can be shared at all.  The sweep engine
+    uses this to route {e any} compatible pair of points to
+    {!Convolution.solve_delta}. *)
+
 val single_class_delta : t -> t -> int option
-(** [single_class_delta a b] is [Some r] when the two models share switch
-    dimensions and class count and differ ({!Traffic.equal}, i.e. exact
-    bit-level comparison of rates) in exactly the one class [r]; [None]
-    otherwise — including when the models are structurally identical.
-    The sweep engine uses this to route consecutive points of a
-    single-class load sweep to {!Convolution.solve_incremental}. *)
+(** [single_class_delta a b] is [Some r] when {!class_delta} reports
+    exactly the one changed class [r]; [None] otherwise — including when
+    the models are structurally identical.  Kept for callers that only
+    tolerate one moving class, e.g. {!Convolution.solve_incremental}
+    validation. *)
 
 val state_space : t -> Crossbar_markov.State_space.t
 (** The paper's [Gamma(N)]: all occupancy vectors with

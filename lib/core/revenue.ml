@@ -26,6 +26,65 @@ let shadow_cost ?algorithm model ~weights ~class_index =
   if Model.inputs model - a < 1 || Model.outputs model - a < 1 then here
   else here -. total ?algorithm (reduced_model model ~ports:a) ~weights
 
+(* All R shadow costs out of a single solve: [reduced_model] preserves
+   the per-pair parameters, so the reduced switch's normalisations are
+   deeper entries of the SAME solved diagonal and
+   W(N - dI) = sum_r w_r E_r evaluated at reservation depth d
+   (Convolution.concurrencies_at_depth) — no re-solve per class. *)
+let solved_for ?solved model =
+  match solved with
+  | None -> Convolution.solve model
+  | Some t ->
+      (match Model.class_delta (Convolution.model t) model with
+      | Some [] -> t
+      | Some _ | None ->
+          invalid_arg
+            "Revenue.shadow_costs: ~solved was produced from a different \
+             model")
+
+let shadow_costs ?solved model ~weights =
+  let num = Model.num_classes model in
+  if Array.length weights <> num then
+    invalid_arg "Revenue.shadow_costs: weight count mismatch";
+  let t = solved_for ?solved model in
+  let value_at depth =
+    let e = Convolution.concurrencies_at_depth t ~depth in
+    let w = ref 0. in
+    Array.iteri (fun r er -> w := !w +. (weights.(r) *. er)) e;
+    !w
+  in
+  let w0 = value_at 0 in
+  let memo = Hashtbl.create 8 in
+  Array.init num (fun r ->
+      let a = Model.bandwidth model r in
+      if Model.inputs model - a < 1 || Model.outputs model - a < 1 then w0
+      else
+        let reduced =
+          match Hashtbl.find_opt memo a with
+          | Some v -> v
+          | None ->
+              let v = value_at a in
+              Hashtbl.add memo a v;
+              v
+        in
+        w0 -. reduced)
+
+let gradient ?solved model ~weights =
+  let t = solved_for ?solved model in
+  let deltas = shadow_costs ~solved:t model ~weights in
+  let measures = Convolution.measures t in
+  Array.mapi
+    (fun r (c : Measures.per_class) ->
+      if not (Model.is_poisson model r) then None
+      else
+        let a = Model.bandwidth model r in
+        Some
+          (Special.permutations (Model.inputs model) a
+          *. Special.permutations (Model.outputs model) a
+          *. c.Measures.non_blocking
+          *. (weights.(r) -. deltas.(r))))
+    measures.Measures.per_class
+
 let gradient_rho ?algorithm model ~weights ~class_index =
   if not (Model.is_poisson model class_index) then
     invalid_arg "Revenue.gradient_rho: closed form requires a Poisson class";

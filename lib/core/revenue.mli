@@ -20,7 +20,34 @@ val reduced_model : Model.t -> ports:int -> Model.t
 val shadow_cost :
   ?algorithm:Solver.algorithm -> Model.t -> weights:float array ->
   class_index:int -> float
-(** [Delta W(N) = W(N) - W(N - a_r I)]. *)
+(** [Delta W(N) = W(N) - W(N - a_r I)], the historical two-solve path
+    (per class: one full and one reduced-switch solve).  Prefer
+    {!shadow_costs}, which batches all [R] of them out of one solve. *)
+
+val shadow_costs :
+  ?solved:Convolution.t -> Model.t -> weights:float array -> float array
+(** All [R] shadow costs [Delta_r W(N) = W(N) - W(N - a_r I)] from a
+    {e single} convolution solve: {!reduced_model} preserves the
+    per-pair parameters, so every reduced switch's measures are read off
+    deeper entries of the already-solved diagonal
+    ({!Convolution.concurrencies_at_depth}) — [O(R)] chain walks instead
+    of [R + 1] independent solves.  Classes whose reduction would empty
+    the switch get [Delta_r = W(N)] (the whole return is at stake), where
+    {!shadow_cost} raises.  Pass [?solved] to reuse an existing solve of
+    {e the same} model (e.g. from a sweep point).
+    @raise Invalid_argument on weight-count mismatch, or if [?solved]
+    came from a different model (exact, bit-level comparison). *)
+
+val gradient :
+  ?solved:Convolution.t -> Model.t -> weights:float array ->
+  float option array
+(** Closed-form revenue gradient for every class at once, powered by
+    {!shadow_costs} — one solve for the whole vector instead of the
+    [2R + 1] solves of calling {!gradient_rho} per class.  Element [r] is
+    [Some (P(N1,a_r) P(N2,a_r) B_r(N) (w_r - Delta_r W))] for Poisson
+    classes and [None] for bursty ones (the paper found no closed form;
+    use {!gradient_beta_numeric}).
+    @raise Invalid_argument as {!shadow_costs}. *)
 
 val gradient_rho :
   ?algorithm:Solver.algorithm -> Model.t -> weights:float array ->

@@ -21,6 +21,7 @@ type solution = {
   log_normalization : float;
   lattice_cells : int;
   rescales : int;
+  tree_combines : int;
 }
 
 let solution_of_convolution solved =
@@ -31,6 +32,7 @@ let solution_of_convolution solved =
     log_normalization = Convolution.log_normalization solved;
     lattice_cells = (Model.inputs model + 1) * (Model.outputs model + 1);
     rescales = Convolution.rescale_count solved;
+    tree_combines = Convolution.combine_count solved;
   }
 
 let solve_full ?algorithm model =
@@ -47,6 +49,7 @@ let solve_full ?algorithm model =
         log_normalization = Brute.log_g model ~inputs ~outputs;
         lattice_cells = 0;
         rescales = 0;
+        tree_combines = 0;
       }
   | Convolution -> solution_of_convolution (Convolution.solve model)
   | Mean_value ->
@@ -57,6 +60,7 @@ let solve_full ?algorithm model =
         log_normalization = Mva.log_normalization solved;
         lattice_cells;
         rescales = 0;
+        tree_combines = 0;
       }
 
 let solve ?algorithm model =

@@ -21,6 +21,10 @@ type solution = {
           recurrence algorithms, [0] for enumeration *)
   rescales : int;
       (** {!Convolution} dynamic-rescale events; [0] for the others *)
+  tree_combines : int;
+      (** pairwise factor-tree combines the {!Convolution} solve
+          performed ([R - 1] for a full build, [O(#changed log R)] for a
+          {!Convolution.solve_delta}); [0] for the other algorithms *)
 }
 
 val solution_of_convolution : Convolution.t -> solution

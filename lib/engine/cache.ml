@@ -5,24 +5,58 @@ module Solver = Crossbar.Solver
 type key = string
 
 module Memo = struct
+  type 'a entry = { value : 'a; mutable stamp : int }
+
   type 'a t = {
     mutex : Mutex.t;
-    table : (key, 'a) Hashtbl.t;
+    table : (key, 'a entry) Hashtbl.t;
+    capacity : int option;
+    mutable tick : int;
     mutable hits : int;
     mutable misses : int;
+    mutable evictions : int;
   }
 
-  let create () =
+  let create ?capacity () =
+    (match capacity with
+    | Some c when c < 1 -> invalid_arg "Cache.Memo.create: capacity < 1"
+    | Some _ | None -> ());
     {
       mutex = Mutex.create ();
       table = Hashtbl.create 64;
+      capacity;
+      tick = 0;
       hits = 0;
       misses = 0;
+      evictions = 0;
     }
 
   let locked t f =
     Mutex.lock t.mutex;
     Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+  (* Both called with the lock held. *)
+  let touch t entry =
+    t.tick <- t.tick + 1;
+    entry.stamp <- t.tick
+
+  let evict_lru t =
+    (* O(size) scan for the stalest stamp; the table never exceeds
+       [capacity] entries, so bounded tables pay a bounded scan and
+       unbounded ones never reach here. *)
+    let victim =
+      Hashtbl.fold
+        (fun key entry acc ->
+          match acc with
+          | Some (_, stamp) when stamp <= entry.stamp -> acc
+          | Some _ | None -> Some (key, entry.stamp))
+        t.table None
+    in
+    match victim with
+    | Some (key, _) ->
+        Hashtbl.remove t.table key;
+        t.evictions <- t.evictions + 1
+    | None -> ()
 
   let find_or_compute t key f =
     (* Lookup and hit-count under one lock acquisition so a concurrent
@@ -30,9 +64,10 @@ module Memo = struct
     let cached =
       locked t (fun () ->
           match Hashtbl.find_opt t.table key with
-          | Some value ->
+          | Some entry ->
               t.hits <- t.hits + 1;
-              Some value
+              touch t entry;
+              Some entry.value
           | None -> None)
     in
     match cached with
@@ -44,11 +79,22 @@ module Memo = struct
         let value = f () in
         locked t (fun () ->
             t.misses <- t.misses + 1;
-            if not (Hashtbl.mem t.table key) then Hashtbl.add t.table key value);
+            if not (Hashtbl.mem t.table key) then begin
+              (match t.capacity with
+              | Some c ->
+                  while Hashtbl.length t.table >= c do
+                    evict_lru t
+                  done
+              | None -> ());
+              t.tick <- t.tick + 1;
+              Hashtbl.add t.table key { value; stamp = t.tick }
+            end);
         (value, false)
 
+  let clear t = locked t (fun () -> Hashtbl.reset t.table)
   let hits t = locked t (fun () -> t.hits)
   let misses t = locked t (fun () -> t.misses)
+  let evictions t = locked t (fun () -> t.evictions)
   let size t = locked t (fun () -> Hashtbl.length t.table)
 
   let hit_rate t =
@@ -79,7 +125,7 @@ let key_of_model ?algorithm model =
 
 type t = Solver.solution Memo.t
 
-let create () = Memo.create ()
+let create ?capacity () = Memo.create ?capacity ()
 
 let find_or_compute t ?algorithm model f =
   Memo.find_or_compute t (key_of_model ?algorithm model) f
@@ -90,5 +136,7 @@ let find_or_solve t ?algorithm model =
 
 let hits = Memo.hits
 let misses = Memo.misses
+let evictions = Memo.evictions
 let size = Memo.size
 let hit_rate = Memo.hit_rate
+let clear = Memo.clear

@@ -27,15 +27,30 @@ type key = string
 module Memo : sig
   type 'a t
 
-  val create : unit -> 'a t
+  val create : ?capacity:int -> unit -> 'a t
+  (** Unbounded by default.  With [~capacity:c], the table holds at most
+      [c] entries: inserting into a full table first evicts the
+      least-recently-{e used} entry (hits refresh recency, in insertion
+      order among untouched entries) — sized caches keep the working set
+      of a sweep without growing across long runs.
+      @raise Invalid_argument if [capacity < 1]. *)
 
   val find_or_compute : 'a t -> key -> (unit -> 'a) -> 'a * bool
   (** The cached or freshly computed value, and whether it was a cache
       hit.  Counters update accordingly; the computation runs outside
       the lock. *)
 
+  val clear : 'a t -> unit
+  (** Drops every entry.  Counters ([hits]/[misses]/[evictions]) are
+      cumulative and survive a clear; dropped entries do not count as
+      evictions. *)
+
   val hits : 'a t -> int
   val misses : 'a t -> int
+
+  val evictions : 'a t -> int
+  (** Entries displaced by capacity pressure (0 for unbounded tables). *)
+
   val size : 'a t -> int
 
   val hit_rate : 'a t -> float
@@ -54,7 +69,8 @@ val key_of_model :
 
 type t = Crossbar.Solver.solution Memo.t
 
-val create : unit -> t
+val create : ?capacity:int -> unit -> t
+(** See {!Memo.create}. *)
 
 val find_or_compute :
   t ->
@@ -79,7 +95,14 @@ val find_or_solve :
 
 val hits : t -> int
 val misses : t -> int
+
+val evictions : t -> int
+(** See {!Memo.evictions}. *)
+
 val size : t -> int
 
 val hit_rate : t -> float
 (** [hits / (hits + misses)]; [0.] before any lookup. *)
+
+val clear : t -> unit
+(** See {!Memo.clear}. *)

@@ -48,16 +48,17 @@ let solve_point ?chain cache p =
         let solved =
           match c.lattice with
           | Some previous -> (
-              (* Delta against the last lattice actually computed on this
-                 chain (cache hits in between do not advance it): any
-                 single-class base gives the same bits, so chains survive
-                 warm-cache gaps. *)
+              (* Delta against the last tree actually computed on this
+                 chain (cache hits in between do not advance it): updates
+                 are bit-identical for any base with the same shape, so
+                 chains survive warm-cache gaps, and any number of
+                 classes may move between points. *)
               match
-                Model.single_class_delta (Convolution.model previous) p.model
+                Model.class_delta (Convolution.model previous) p.model
               with
-              | Some class_index ->
+              | Some _ ->
                   from_incremental := true;
-                  Convolution.solve_incremental ~previous ~class_index p.model
+                  Convolution.solve_delta ~previous p.model
               | None -> Convolution.solve p.model)
           | None -> Convolution.solve p.model
         in
@@ -88,6 +89,9 @@ let record_outcome telemetry outcome =
           wall_seconds = outcome.wall_seconds;
           lattice_cells = outcome.solution.Solver.lattice_cells;
           rescales = outcome.solution.Solver.rescales;
+          tree_combines =
+            (if outcome.from_cache then 0
+             else outcome.solution.Solver.tree_combines);
           from_cache = outcome.from_cache;
           from_incremental = outcome.from_incremental;
         }
@@ -100,21 +104,21 @@ let run ?domains ?cache ?telemetry ?(incremental = false) points =
     if not incremental then
       Pool.run ?domains ~tasks:n (fun i -> solve_point cache points.(i))
     else begin
-      (* Group consecutive points whose models differ in exactly one
-         class (and that both resolve to the convolution solver) into
-         chains.  Chains fan out across the pool; within a chain, points
-         run sequentially so each can re-solve incrementally from its
-         predecessor's partial products.  Incremental solves are
-         bit-identical to full solves, so outcomes do not depend on
-         where the chain boundaries fall. *)
+      (* Group consecutive points that share switch dimensions and class
+         count (and that both resolve to the convolution solver) into
+         chains — any subset of classes may differ between neighbours.
+         Chains fan out across the pool; within a chain, points run
+         sequentially so each can re-solve through a factor-tree update
+         from its predecessor.  Updates are bit-identical to full
+         solves, so outcomes do not depend on where the chain boundaries
+         fall. *)
       let chainable =
         Array.init n (fun i ->
             i > 0
             && is_convolution points.(i - 1)
             && is_convolution points.(i)
             && Option.is_some
-                 (Model.single_class_delta points.(i - 1).model
-                    points.(i).model))
+                 (Model.class_delta points.(i - 1).model points.(i).model))
       in
       let starts =
         Array.of_list
@@ -142,3 +146,11 @@ let solve_model ?cache ?telemetry ?algorithm ?label model =
   let outcome = solve_point cache (point ?algorithm ?label model) in
   record_outcome telemetry outcome;
   outcome.solution
+
+let parallel_solve ?domains model =
+  (* The factor-tree build evaluates each level's nodes independently;
+     handing Pool.run in as the mapper parallelises leaf construction
+     and each combine level.  Pool.run returns element i = f i whatever
+     the schedule, so the tree — and hence every measure — is
+     bit-identical to a sequential Convolution.solve. *)
+  Convolution.solve ~map:(fun f n -> Pool.run ?domains ~tasks:n f) model

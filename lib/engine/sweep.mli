@@ -30,9 +30,9 @@ type outcome = {
   wall_seconds : float;
   from_cache : bool;
   from_incremental : bool;
-      (** solved via {!Crossbar.Convolution.solve_incremental}, reusing
-          the previous chain point's partial products (identical bits,
-          less work) *)
+      (** solved via {!Crossbar.Convolution.solve_delta}, reusing the
+          previous chain point's factor tree (identical bits, less
+          work) *)
 }
 
 val measures : outcome -> Crossbar.Measures.t
@@ -53,14 +53,16 @@ val run :
     pool joins, so the record stream is deterministic too.
 
     [incremental] (default [false]) groups consecutive points that
-    differ in exactly one traffic class (and resolve to the convolution
-    solver) into chains; each chain point after the first re-solves via
-    {!Crossbar.Convolution.solve_incremental}, reusing its
-    predecessor's per-class partial products — one combine instead of a
-    full refold on the paper's single-class load sweeps.  Chains run
-    sequentially; distinct chains still fan out across the pool.
-    Results are bit-identical with and without the flag (and for every
-    domain count); only [from_incremental] and wall time change. *)
+    share switch dimensions and class count (and resolve to the
+    convolution solver) into chains — {e any} subset of classes may
+    change between neighbouring points, in any order; each chain point
+    after the first re-solves via {!Crossbar.Convolution.solve_delta},
+    recombining only the changed leaves' root paths of its
+    predecessor's factor tree ([O(#changed log R)] combines instead of
+    [R - 1]).  Chains run sequentially; distinct chains still fan out
+    across the pool.  Results are bit-identical with and without the
+    flag (and for every domain count); only [from_incremental],
+    [tree_combines] and wall time change. *)
 
 val solve_model :
   ?cache:Cache.t ->
@@ -71,3 +73,13 @@ val solve_model :
   Crossbar.Solver.solution
 (** One-point convenience used by callers that interleave solves with
     other work but still want caching and telemetry. *)
+
+val parallel_solve : ?domains:int -> Crossbar.Model.t -> Crossbar.Convolution.t
+(** A single convolution solve whose factor-tree build fans out across a
+    {!Pool}: leaves (one per class) and each combine level are
+    constructed in parallel, which pays off at large class counts [R]
+    where leaf construction dominates.  Bit-identical to
+    {!Crossbar.Convolution.solve} for every domain count (the mapper
+    only changes {e where} each node is computed, never its operands).
+    [domains] defaults to {!Pool.recommended_domains}.  Do not call from
+    inside another pool task (pools do not nest). *)

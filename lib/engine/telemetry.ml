@@ -4,6 +4,7 @@ type solve = {
   wall_seconds : float;
   lattice_cells : int;
   rescales : int;
+  tree_combines : int;
   from_cache : bool;
   from_incremental : bool;
 }
@@ -24,6 +25,27 @@ let total_wall_seconds t =
   locked t (fun () ->
       List.fold_left (fun acc s -> acc +. s.wall_seconds) 0. t.rev_solves)
 
+(* Nearest-rank percentile over ascending [sorted]: the smallest element
+   with at least [p] of the mass at or below it. *)
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else begin
+    let rank = int_of_float (Float.ceil (p *. float_of_int n)) in
+    sorted.(min (n - 1) (max 0 (rank - 1)))
+  end
+
+let wall_percentiles t =
+  let walls =
+    locked t (fun () ->
+        Array.of_list (List.rev_map (fun s -> s.wall_seconds) t.rev_solves))
+  in
+  (* lint: disable=R7 — total order for sorting, not a tolerance test *)
+  Array.sort Float.compare walls;
+  let n = Array.length walls in
+  let maximum = if n = 0 then 0. else walls.(n - 1) in
+  (percentile walls 0.5, percentile walls 0.95, maximum)
+
 let solve_to_json s =
   Json.Assoc
     [
@@ -32,22 +54,30 @@ let solve_to_json s =
       ("wall_seconds", Json.Float s.wall_seconds);
       ("lattice_cells", Json.Int s.lattice_cells);
       ("rescales", Json.Int s.rescales);
+      ("tree_combines", Json.Int s.tree_combines);
       ("from_cache", Json.Bool s.from_cache);
       ("from_incremental", Json.Bool s.from_incremental);
     ]
 
 let to_json ?cache ?domains t =
   let solves = solves t in
+  let p50, p95, wall_max = wall_percentiles t in
   let base =
     [
       ("solves", Json.Int (List.length solves));
       ( "wall_seconds",
         Json.Float
           (List.fold_left (fun acc s -> acc +. s.wall_seconds) 0. solves) );
+      ("wall_seconds_p50", Json.Float p50);
+      ("wall_seconds_p95", Json.Float p95);
+      ("wall_seconds_max", Json.Float wall_max);
       ( "lattice_cells",
         Json.Int (List.fold_left (fun acc s -> acc + s.lattice_cells) 0 solves)
       );
       ("rescales", Json.Int (List.fold_left (fun acc s -> acc + s.rescales) 0 solves));
+      ( "tree_combines",
+        Json.Int (List.fold_left (fun acc s -> acc + s.tree_combines) 0 solves)
+      );
       ( "incremental_solves",
         Json.Int
           (List.length (List.filter (fun s -> s.from_incremental) solves)) );
@@ -66,6 +96,7 @@ let to_json ?cache ?domains t =
               [
                 ("hits", Json.Int (Cache.hits c));
                 ("misses", Json.Int (Cache.misses c));
+                ("evictions", Json.Int (Cache.evictions c));
                 ("entries", Json.Int (Cache.size c));
                 ("hit_rate", Json.Float (Cache.hit_rate c));
               ] );

@@ -14,10 +14,14 @@ type solve = {
       (** wall time of this [find_or_solve] call; near zero on hits *)
   lattice_cells : int;
   rescales : int;
+  tree_combines : int;
+      (** pairwise factor-tree combines the solve performed
+          ({!Crossbar.Solver.solution}[.tree_combines]); [0] on cache
+          hits and for non-convolution algorithms *)
   from_cache : bool;
   from_incremental : bool;
-      (** the solve reused prefix products from the previous sweep point
-          ({!Crossbar.Convolution.solve_incremental}) *)
+      (** the solve reused factor-tree nodes from the previous sweep
+          point ({!Crossbar.Convolution.solve_delta}) *)
 }
 
 type t
@@ -34,6 +38,10 @@ val count : t -> int
 
 val total_wall_seconds : t -> float
 (** Sum of [wall_seconds] over all records. *)
+
+val wall_percentiles : t -> float * float * float
+(** [(p50, p95, max)] of per-solve [wall_seconds], nearest-rank over all
+    records; [(0., 0., 0.)] when empty. *)
 
 val solve_to_json : solve -> Json.t
 

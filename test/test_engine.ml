@@ -118,6 +118,80 @@ let test_cache_algorithm_in_key () =
        (Cache.key_of_model ~algorithm:Solver.Convolution model)
        (Cache.key_of_model ~algorithm:Solver.Mean_value model))
 
+(* ---------- memo capacity / eviction ---------- *)
+
+let memo_get memo key value =
+  fst (Cache.Memo.find_or_compute memo key (fun () -> value))
+
+let test_memo_capacity_bounds_size () =
+  let memo = Cache.Memo.create ~capacity:2 () in
+  check_int "a" 1 (memo_get memo "a" 1);
+  check_int "b" 2 (memo_get memo "b" 2);
+  check_int "c" 3 (memo_get memo "c" 3);
+  check_int "size stays at capacity" 2 (Cache.Memo.size memo);
+  check_int "one eviction" 1 (Cache.Memo.evictions memo);
+  check_int "misses" 3 (Cache.Memo.misses memo);
+  check_int "hits" 0 (Cache.Memo.hits memo)
+
+let test_memo_evicts_least_recently_used () =
+  let memo = Cache.Memo.create ~capacity:2 () in
+  ignore (memo_get memo "a" 1);
+  ignore (memo_get memo "b" 2);
+  (* Touch "a": it becomes the most recently used, so inserting "c"
+     must displace "b", not "a". *)
+  check_int "hit refreshes recency" 1 (memo_get memo "a" 99);
+  ignore (memo_get memo "c" 3);
+  check_int "a survives" 1 (memo_get memo "a" 99);
+  check_int "b was evicted and recomputes" 20 (memo_get memo "b" 20);
+  check_int "evictions" 2 (Cache.Memo.evictions memo)
+
+let test_memo_unbounded_never_evicts () =
+  let memo = Cache.Memo.create () in
+  for i = 0 to 99 do
+    ignore (memo_get memo (string_of_int i) i)
+  done;
+  check_int "all entries retained" 100 (Cache.Memo.size memo);
+  check_int "no evictions" 0 (Cache.Memo.evictions memo)
+
+let test_memo_clear_keeps_counters () =
+  let memo = Cache.Memo.create ~capacity:4 () in
+  ignore (memo_get memo "a" 1);
+  ignore (memo_get memo "a" 1);
+  Cache.Memo.clear memo;
+  check_int "emptied" 0 (Cache.Memo.size memo);
+  check_int "hits survive clear" 1 (Cache.Memo.hits memo);
+  check_int "misses survive clear" 1 (Cache.Memo.misses memo);
+  check_int "clear is not an eviction" 0 (Cache.Memo.evictions memo);
+  check_int "recomputes after clear" 7 (memo_get memo "a" 7)
+
+let test_memo_rejects_bad_capacity () =
+  check_raises_invalid "capacity 0" (fun () ->
+      ignore (Cache.Memo.create ~capacity:0 ()));
+  check_raises_invalid "negative capacity" (fun () ->
+      ignore (Cache.create ~capacity:(-3) ()))
+
+let test_bounded_solver_cache_still_correct () =
+  (* A solver cache squeezed below the working set must recompute, never
+     corrupt: every returned solution stays bit-identical to a direct
+     solve. *)
+  let cache = Cache.create ~capacity:2 () in
+  let models =
+    Array.of_list (List.map snd (Helpers.validation_models ()))
+  in
+  let direct = Array.map Solver.solve_full models in
+  for _pass = 1 to 2 do
+    Array.iteri
+      (fun i model ->
+        let solution, _hit = Cache.find_or_solve cache model in
+        check_bool "bounded cache solution bit-identical" true
+          (Int64.equal
+             (Int64.bits_of_float solution.Solver.log_normalization)
+             (Int64.bits_of_float direct.(i).Solver.log_normalization)))
+      models
+  done;
+  check_int "size bounded" 2 (Cache.size cache);
+  check_bool "evictions happened" true (Cache.evictions cache > 0)
+
 (* ---------- sweep determinism ---------- *)
 
 let bits_equal label a b =
@@ -234,6 +308,48 @@ let test_telemetry_records_in_point_order () =
       check_int "no rescales at these sizes" 0 s.Telemetry.rescales)
     (Telemetry.solves telemetry)
 
+let wall_record wall =
+  {
+    Telemetry.label = "synthetic";
+    algorithm = "convolution";
+    wall_seconds = wall;
+    lattice_cells = 1;
+    rescales = 0;
+    tree_combines = 0;
+    from_cache = false;
+    from_incremental = false;
+  }
+
+let test_telemetry_wall_percentiles () =
+  let empty = Telemetry.create () in
+  let p50, p95, wall_max = Telemetry.wall_percentiles empty in
+  check_close "empty p50" 0. p50;
+  check_close "empty p95" 0. p95;
+  check_close "empty max" 0. wall_max;
+  let single = Telemetry.create () in
+  Telemetry.record single (wall_record 0.5);
+  let p50, p95, wall_max = Telemetry.wall_percentiles single in
+  check_close "single p50" 0.5 p50;
+  check_close "single p95" 0.5 p95;
+  check_close "single max" 0.5 wall_max;
+  (* Nearest rank over {1..4} recorded out of order: p50 is the 2nd
+     smallest, p95 the 4th. *)
+  let four = Telemetry.create () in
+  List.iter (fun w -> Telemetry.record four (wall_record w)) [ 3.; 1.; 4.; 2. ];
+  let p50, p95, wall_max = Telemetry.wall_percentiles four in
+  check_close "p50 nearest rank" 2. p50;
+  check_close "p95 nearest rank" 4. p95;
+  check_close "max" 4. wall_max;
+  (* 20 records: p95 must exclude only the top record. *)
+  let twenty = Telemetry.create () in
+  for i = 20 downto 1 do
+    Telemetry.record twenty (wall_record (float_of_int i))
+  done;
+  let p50, p95, wall_max = Telemetry.wall_percentiles twenty in
+  check_close "p50 of 20" 10. p50;
+  check_close "p95 of 20" 19. p95;
+  check_close "max of 20" 20. wall_max
+
 (* ---------- json ---------- *)
 
 let sample_json =
@@ -299,18 +415,35 @@ let test_telemetry_json_shape () =
   | Ok reparsed -> check_bool "reparses" true (reparsed = json)
   | Error m -> Alcotest.failf "telemetry json malformed: %s" m);
   check_bool "solve count" true (Json.member "solves" json = Some (Json.Int 2));
+  List.iter
+    (fun field ->
+      match Json.member field json with
+      | Some (Json.Float v) ->
+          check_bool (field ^ " non-negative") true (v >= 0.)
+      | _ -> Alcotest.failf "%s missing from telemetry json" field)
+    [ "wall_seconds_p50"; "wall_seconds_p95"; "wall_seconds_max" ];
+  (* One miss solved the two-class model: R - 1 = 1 combine; the hit
+     contributes zero, so the aggregate counter is exactly 1. *)
+  check_bool "tree_combines aggregated" true
+    (Json.member "tree_combines" json = Some (Json.Int 1));
   (match Json.member "cache" json with
   | Some cache_json ->
       check_bool "hits" true (Json.member "hits" cache_json = Some (Json.Int 1));
       check_bool "misses" true
-        (Json.member "misses" cache_json = Some (Json.Int 1))
+        (Json.member "misses" cache_json = Some (Json.Int 1));
+      check_bool "evictions" true
+        (Json.member "evictions" cache_json = Some (Json.Int 0))
   | None -> Alcotest.fail "cache stats missing");
   match Json.member "records" json with
   | Some (Json.List [ first; second ]) ->
       check_bool "first label" true
         (Json.member "label" first = Some (Json.String "a"));
+      check_bool "first records its combines" true
+        (Json.member "tree_combines" first = Some (Json.Int 1));
       check_bool "second from cache" true
-        (Json.member "from_cache" second = Some (Json.Bool true))
+        (Json.member "from_cache" second = Some (Json.Bool true));
+      check_bool "cache hit does no combines" true
+        (Json.member "tree_combines" second = Some (Json.Int 0))
   | _ -> Alcotest.fail "records list missing"
 
 let () =
@@ -330,6 +463,16 @@ let () =
           case "algorithm in key" test_cache_algorithm_in_key;
           qcheck cache_hammer_prop;
         ] );
+      ( "memo capacity",
+        [
+          case "size bounded" test_memo_capacity_bounds_size;
+          case "LRU eviction order" test_memo_evicts_least_recently_used;
+          case "unbounded never evicts" test_memo_unbounded_never_evicts;
+          case "clear keeps counters" test_memo_clear_keeps_counters;
+          case "rejects bad capacity" test_memo_rejects_bad_capacity;
+          case "bounded solver cache stays correct"
+            test_bounded_solver_cache_still_correct;
+        ] );
       ( "sweep",
         [
           case "warm cache identical" test_sweep_warm_cache_identical;
@@ -340,6 +483,7 @@ let () =
       ( "telemetry",
         [
           case "records in point order" test_telemetry_records_in_point_order;
+          case "wall-time percentiles" test_telemetry_wall_percentiles;
           case "json shape" test_telemetry_json_shape;
         ] );
       ( "json",

@@ -257,6 +257,41 @@ let test_sweep_incremental_bit_identical () =
         outcomes)
     [ ("domains=1", inc1); ("domains=3", inc3) ]
 
+(* Chains are no longer restricted to single-class deltas: here every
+   point changes BOTH classes relative to its neighbour, and the whole
+   run must still chain incrementally and stay bit-identical. *)
+let multi_class_sweep_points count =
+  List.init count (fun i ->
+      let load = 0.1 +. (0.05 *. float_of_int i) in
+      Sweep.point ~algorithm:Solver.Convolution
+        ~label:(Printf.sprintf "load=%.2f" load)
+        (Model.square ~size:8
+           ~classes:
+             [
+               Helpers.poisson ~name:"bg" (0.2 +. (load /. 10.));
+               Helpers.pascal ~name:"swept" ~alpha:load ~beta:(load /. 4.) ();
+             ]))
+
+let test_sweep_multi_class_chain () =
+  let points = multi_class_sweep_points 10 in
+  (match points with
+  | first :: second :: _ ->
+      (match Model.class_delta first.Sweep.model second.Sweep.model with
+      | Some [ 0; 1 ] -> ()
+      | _ -> Alcotest.fail "expected both classes to change between points")
+  | _ -> assert false);
+  let baseline = Sweep.run ~domains:1 ~cache:(Cache.create ()) points in
+  let inc =
+    Sweep.run ~domains:1 ~cache:(Cache.create ()) ~incremental:true points
+  in
+  check_outcomes "multi-class chain" baseline inc;
+  Array.iteri
+    (fun i (o : Sweep.outcome) ->
+      Helpers.check_bool
+        (Printf.sprintf "point %d chains incrementally" i)
+        (i > 0) o.Sweep.from_incremental)
+    inc
+
 (* --- simulator: replication results independent of domain count --- *)
 
 let check_estimates label (a : Sim.estimate array) (b : Sim.estimate array) =
@@ -313,6 +348,8 @@ let () =
         [
           Helpers.case "sweep incremental/domains bit-identical"
             test_sweep_incremental_bit_identical;
+          Helpers.case "sweep chains multi-class deltas"
+            test_sweep_multi_class_chain;
           Helpers.case "run_replications domain-independent"
             test_replications_domain_independent;
         ] );
