@@ -91,7 +91,45 @@ module Memo = struct
             end);
         (value, false)
 
-  let clear t = locked t (fun () -> Hashtbl.reset t.table)
+  let find t key =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some entry ->
+            t.hits <- t.hits + 1;
+            touch t entry;
+            Some entry.value
+        | None ->
+            t.misses <- t.misses + 1;
+            None)
+
+  let set t key value =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some entry ->
+            let entry = { entry with value } in
+            Hashtbl.replace t.table key entry;
+            touch t entry
+        | None ->
+            (match t.capacity with
+            | Some c ->
+                while Hashtbl.length t.table >= c do
+                  evict_lru t
+                done
+            | None -> ());
+            t.tick <- t.tick + 1;
+            Hashtbl.add t.table key { value; stamp = t.tick })
+
+  let clear t =
+    (* The table and its statistics reset together: after a clear,
+       [hit_rate] describes only post-clear traffic, and [tick] restarts
+       from 0 — stamps only order the entries currently in the table, so
+       an empty table has nothing to stay monotone against. *)
+    locked t (fun () ->
+        Hashtbl.reset t.table;
+        t.tick <- 0;
+        t.hits <- 0;
+        t.misses <- 0;
+        t.evictions <- 0)
   let hits t = locked t (fun () -> t.hits)
   let misses t = locked t (fun () -> t.misses)
   let evictions t = locked t (fun () -> t.evictions)

@@ -40,10 +40,26 @@ module Memo : sig
       hit.  Counters update accordingly; the computation runs outside
       the lock. *)
 
+  val find : 'a t -> key -> 'a option
+  (** Plain lookup: counts a hit (refreshing recency) or a miss, without
+      computing anything on absence — for callers like the serve
+      registry whose recovery from a miss is an error response, not a
+      recomputation. *)
+
+  val set : 'a t -> key -> 'a -> unit
+  (** Insert-or-replace, marking the entry most recently used.  A fresh
+      insert into a full bounded table first evicts the LRU entry (as
+      {!find_or_compute}); replacing an existing key never evicts.
+      Neither a hit nor a miss is counted — [set] is a write, not a
+      lookup. *)
+
   val clear : 'a t -> unit
-  (** Drops every entry.  Counters ([hits]/[misses]/[evictions]) are
-      cumulative and survive a clear; dropped entries do not count as
-      evictions. *)
+  (** Drops every entry {e and} resets the statistics: [hits], [misses]
+      and [evictions] return to 0 (so [hit_rate] describes only
+      post-clear traffic), and the internal recency tick restarts with
+      the table — stamps only order resident entries, so an emptied
+      table has nothing for it to stay monotone against.  Dropped
+      entries do not count as evictions. *)
 
   val hits : 'a t -> int
   val misses : 'a t -> int

@@ -1,0 +1,4 @@
+external now_ns : unit -> int64 = "crossbar_clock_monotonic_ns"
+
+let now () = Int64.to_float (now_ns ()) /. 1e9
+let elapsed_since start = Float.max 0. (now () -. start)

@@ -1,0 +1,24 @@
+(** Monotonic wall-clock time for telemetry and benchmarks.
+
+    [Unix.gettimeofday] follows the system's civil time: an NTP step or
+    an operator's [date] call mid-solve makes a difference of two
+    readings negative or wildly wrong.  A short sweep rarely notices; a
+    long-running daemon eventually will.  Every wall-time {e delta} in
+    this code base is therefore taken on the OS monotonic clock
+    ([CLOCK_MONOTONIC]), which only ever moves forward.
+
+    Timestamps ({!now}) are seconds since an unspecified origin (boot,
+    typically) — meaningful only for differences, never as civil time.
+    Epoch timestamps for display still come from [Unix.time]. *)
+
+val now : unit -> float
+(** Monotonic seconds since an arbitrary fixed origin.  Successive calls
+    never decrease. *)
+
+val now_ns : unit -> int64
+(** The raw monotonic reading in nanoseconds. *)
+
+val elapsed_since : float -> float
+(** [elapsed_since start] is [now () -. start], clamped at [0.] — with
+    [start] a previous {!now} reading the clamp never fires, but callers
+    feeding telemetry get the non-negativity guarantee unconditionally. *)

@@ -1,0 +1,35 @@
+/* Monotonic clock for wall-time telemetry.
+
+   CLOCK_MONOTONIC is immune to NTP steps and settimeofday, so deltas
+   taken across it are always non-negative — the property the telemetry
+   layer relies on for a long-running daemon.  POSIX guarantees the
+   clock exists; the Windows fallback uses QueryPerformanceCounter. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+#if defined(_WIN32)
+#include <windows.h>
+
+CAMLprim value crossbar_clock_monotonic_ns(value unit)
+{
+  static LARGE_INTEGER frequency;
+  LARGE_INTEGER counter;
+  if (frequency.QuadPart == 0)
+    QueryPerformanceFrequency(&frequency);
+  QueryPerformanceCounter(&counter);
+  return caml_copy_int64(
+      (int64_t)((double)counter.QuadPart * 1e9 / (double)frequency.QuadPart));
+}
+
+#else
+#include <time.h>
+
+CAMLprim value crossbar_clock_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+}
+
+#endif

@@ -1,11 +1,22 @@
 let recommended_domains () =
-  let hardware = min 8 (Domain.recommended_domain_count ()) in
   match Sys.getenv_opt "CROSSBAR_DOMAINS" with
-  | None -> hardware
+  | None -> Domain.recommended_domain_count ()
   | Some text -> (
+      (* A deploy-time override that does not parse, or asks for a
+         nonsensical width, is a misconfiguration: fail loudly rather
+         than silently running at some other width. *)
       match int_of_string_opt (String.trim text) with
-      | Some d -> max 1 d
-      | None -> hardware)
+      | Some d when d >= 1 -> d
+      | Some d ->
+          invalid_arg
+            (Printf.sprintf
+               "Pool.recommended_domains: CROSSBAR_DOMAINS=%d must be >= 1" d)
+      | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Pool.recommended_domains: CROSSBAR_DOMAINS=%S is not an \
+                integer"
+               text))
 
 let run ?domains ~tasks f =
   if tasks < 0 then invalid_arg "Pool.run: negative task count";

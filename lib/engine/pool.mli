@@ -11,9 +11,12 @@
 
 val recommended_domains : unit -> int
 (** Pool width used when [?domains] is omitted:
-    [Domain.recommended_domain_count ()] capped at 8 (solver sweeps are
-    memory-bandwidth-bound well before that), overridable with the
-    [CROSSBAR_DOMAINS] environment variable (values [< 1] mean 1). *)
+    [Domain.recommended_domain_count ()] — the runtime's estimate of
+    usefully parallel domains on this machine — overridable with the
+    [CROSSBAR_DOMAINS] environment variable.
+    @raise Invalid_argument if [CROSSBAR_DOMAINS] is set but is not an
+    integer [>= 1]: a daemon misconfigured at deploy time must fail
+    loudly, not run at a silently substituted width. *)
 
 val run : ?domains:int -> tasks:int -> (int -> 'a) -> 'a array
 (** [run ~tasks f] returns [[| f 0; ...; f (tasks-1) |]].  [f] must be

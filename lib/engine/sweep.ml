@@ -40,7 +40,7 @@ let is_convolution p =
 type chain = { mutable lattice : Convolution.t option }
 
 let solve_point ?chain cache p =
-  let started = Unix.gettimeofday () in
+  let started = Clock.now () in
   let from_incremental = ref false in
   let compute () =
     match chain with
@@ -72,7 +72,7 @@ let solve_point ?chain cache p =
   {
     point = p;
     solution;
-    wall_seconds = Unix.gettimeofday () -. started;
+    wall_seconds = Clock.elapsed_since started;
     from_cache;
     from_incremental = !from_incremental;
   }

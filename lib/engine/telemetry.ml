@@ -17,7 +17,16 @@ let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
-let record t solve = locked t (fun () -> t.rev_solves <- solve :: t.rev_solves)
+let record t solve =
+  (* Wall times come from Engine.Clock (monotonic), so negatives cannot
+     arise from there; clamp anyway so no caller-supplied reading can
+     ever make totals or percentiles go backwards. *)
+  let solve =
+    if solve.wall_seconds < 0. then { solve with wall_seconds = 0. }
+    else solve
+  in
+  locked t (fun () -> t.rev_solves <- solve :: t.rev_solves)
+
 let solves t = locked t (fun () -> List.rev t.rev_solves)
 let count t = locked t (fun () -> List.length t.rev_solves)
 
@@ -35,16 +44,20 @@ let percentile sorted p =
     sorted.(min (n - 1) (max 0 (rank - 1)))
   end
 
-let wall_percentiles t =
-  let walls =
-    locked t (fun () ->
-        Array.of_list (List.rev_map (fun s -> s.wall_seconds) t.rev_solves))
-  in
+(* [(p50, p95, max)] of an unsorted wall-time array (sorted in place). *)
+let percentiles_of_walls walls =
   (* lint: disable=R7 — total order for sorting, not a tolerance test *)
   Array.sort Float.compare walls;
   let n = Array.length walls in
   let maximum = if n = 0 then 0. else walls.(n - 1) in
   (percentile walls 0.5, percentile walls 0.95, maximum)
+
+let wall_percentiles t =
+  let walls =
+    locked t (fun () ->
+        Array.of_list (List.rev_map (fun s -> s.wall_seconds) t.rev_solves))
+  in
+  percentiles_of_walls walls
 
 let solve_to_json s =
   Json.Assoc
@@ -60,14 +73,18 @@ let solve_to_json s =
     ]
 
 let to_json ?cache ?domains t =
-  let solves = solves t in
-  let p50, p95, wall_max = wall_percentiles t in
+  (* One lock acquisition for the whole document: the solve count, the
+     wall-time totals, the percentiles and the record list all come from
+     this single snapshot, so a record landing concurrently can never
+     make the emitted fields disagree with each other. *)
+  let solves = locked t (fun () -> List.rev t.rev_solves) in
+  let walls = Array.of_list (List.map (fun s -> s.wall_seconds) solves) in
+  let total_wall = Array.fold_left ( +. ) 0. walls in
+  let p50, p95, wall_max = percentiles_of_walls walls in
   let base =
     [
       ("solves", Json.Int (List.length solves));
-      ( "wall_seconds",
-        Json.Float
-          (List.fold_left (fun acc s -> acc +. s.wall_seconds) 0. solves) );
+      ("wall_seconds", Json.Float total_wall);
       ("wall_seconds_p50", Json.Float p50);
       ("wall_seconds_p95", Json.Float p95);
       ("wall_seconds_max", Json.Float wall_max);

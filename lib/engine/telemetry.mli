@@ -29,7 +29,10 @@ type t
 val create : unit -> t
 
 val record : t -> solve -> unit
-(** Append a record (domain-safe). *)
+(** Append a record (domain-safe).  A negative [wall_seconds] — which a
+    non-monotonic time source could produce — is clamped to [0.] before
+    it is stored, so totals and percentiles never move backwards; use
+    {!Clock} to take wall-time deltas and the clamp never fires. *)
 
 val solves : t -> solve list
 (** Records in the order they were appended. *)
@@ -48,4 +51,7 @@ val solve_to_json : solve -> Json.t
 val to_json : ?cache:Cache.t -> ?domains:int -> t -> Json.t
 (** The full collector as one JSON object: aggregate counters, optional
     cache hit/miss statistics and pool width, then the per-solve record
-    list. *)
+    list.  All fields derive from a {e single} locked snapshot of the
+    record list, so the emitted [solves] count, totals, percentiles and
+    [records] always describe the same instant even while other domains
+    keep recording. *)

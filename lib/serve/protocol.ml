@@ -1,0 +1,286 @@
+module Json = Crossbar_engine.Json
+module Model = Crossbar.Model
+module Traffic = Crossbar.Traffic
+module Measures = Crossbar.Measures
+
+type change = { class_index : int; alpha : float option; beta : float option }
+
+type query =
+  | Solve of { tree : string; model : Model.t }
+  | Delta of { tree : string; changes : change list }
+  | Blocking of { tree : string }
+  | Shadow_costs of { tree : string; weights : float array }
+  | Admit of { tree : string; class_index : int; weights : float array }
+  | Stats
+  | Shutdown
+
+type request = { id : Json.t; query : query }
+
+let ( let* ) = Result.bind
+
+(* ---------- field accessors ---------- *)
+
+let number_of_json = function
+  | Json.Int i -> Some (float_of_int i)
+  | Json.Float f -> Some f
+  | Json.Null | Json.Bool _ | Json.String _ | Json.List _ | Json.Assoc _ ->
+      None
+
+let float_field json name =
+  match Json.member name json with
+  | None -> Error (Printf.sprintf "missing field %S" name)
+  | Some v -> (
+      match number_of_json v with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "field %S: expected a number" name))
+
+let opt_float_field json name =
+  match Json.member name json with
+  | None -> Ok None
+  | Some v -> (
+      match number_of_json v with
+      | Some f -> Ok (Some f)
+      | None -> Error (Printf.sprintf "field %S: expected a number" name))
+
+let int_field json name =
+  match Json.member name json with
+  | Some (Json.Int i) -> Ok i
+  | Some _ -> Error (Printf.sprintf "field %S: expected an integer" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let string_field json name =
+  match Json.member name json with
+  | Some (Json.String s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "field %S: expected a string" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let list_field json name =
+  match Json.member name json with
+  | Some (Json.List items) -> Ok items
+  | Some _ -> Error (Printf.sprintf "field %S: expected a list" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let weights_field json =
+  let* items = list_field json "weights" in
+  let* weights =
+    List.fold_left
+      (fun acc item ->
+        let* acc = acc in
+        match number_of_json item with
+        | Some f -> Ok (f :: acc)
+        | None -> Error "field \"weights\": expected a list of numbers")
+      (Ok []) items
+  in
+  Ok (Array.of_list (List.rev weights))
+
+(* ---------- model ---------- *)
+
+let class_to_json (c : Traffic.t) =
+  Json.Assoc
+    [
+      ("name", Json.String c.Traffic.name);
+      ("bandwidth", Json.Int c.Traffic.bandwidth);
+      ("alpha", Json.Float c.Traffic.alpha);
+      ("beta", Json.Float c.Traffic.beta);
+      ("mu", Json.Float c.Traffic.service_rate);
+    ]
+
+let class_of_json json =
+  let* name = string_field json "name" in
+  let* bandwidth = int_field json "bandwidth" in
+  let* alpha = float_field json "alpha" in
+  let* beta = opt_float_field json "beta" in
+  let beta = Option.value ~default:0. beta in
+  let* mu = float_field json "mu" in
+  match
+    Traffic.create ~name ~bandwidth ~alpha ~beta ~service_rate:mu ()
+  with
+  | c -> Ok c
+  | exception Invalid_argument message ->
+      Error (Printf.sprintf "class %S: %s" name message)
+
+let model_to_json model =
+  Json.Assoc
+    [
+      ("inputs", Json.Int (Model.inputs model));
+      ("outputs", Json.Int (Model.outputs model));
+      ( "classes",
+        Json.List
+          (Array.to_list (Array.map class_to_json (Model.classes model))) );
+    ]
+
+let model_of_json json =
+  let* inputs = int_field json "inputs" in
+  let* outputs = int_field json "outputs" in
+  let* class_items = list_field json "classes" in
+  let* classes =
+    List.fold_left
+      (fun acc item ->
+        let* acc = acc in
+        let* c = class_of_json item in
+        Ok (c :: acc))
+      (Ok []) class_items
+  in
+  match Model.create ~inputs ~outputs ~classes:(List.rev classes) with
+  | model -> Ok model
+  | exception Invalid_argument message -> Error message
+
+(* ---------- requests ---------- *)
+
+let op_name = function
+  | Solve _ -> "solve"
+  | Delta _ -> "delta"
+  | Blocking _ -> "blocking"
+  | Shadow_costs _ -> "shadow_costs"
+  | Admit _ -> "admit"
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+
+let tree_name = function
+  | Solve { tree; _ }
+  | Delta { tree; _ }
+  | Blocking { tree }
+  | Shadow_costs { tree; _ }
+  | Admit { tree; _ } ->
+      Some tree
+  | Stats | Shutdown -> None
+
+let change_of_json json =
+  let* class_index = int_field json "class" in
+  let* alpha = opt_float_field json "alpha" in
+  let* beta = opt_float_field json "beta" in
+  match (alpha, beta) with
+  | None, None ->
+      Error "change: at least one of \"alpha\"/\"beta\" is required"
+  | _ -> Ok { class_index; alpha; beta }
+
+let change_to_json { class_index; alpha; beta } =
+  Json.Assoc
+    (("class", Json.Int class_index)
+    :: (match alpha with Some a -> [ ("alpha", Json.Float a) ] | None -> [])
+    @ match beta with Some b -> [ ("beta", Json.Float b) ] | None -> [])
+
+let request_of_json json =
+  let* id =
+    match Json.member "id" json with
+    | Some id -> Ok id
+    | None -> Error "missing field \"id\""
+  in
+  let* op = string_field json "op" in
+  let tree () = string_field json "tree" in
+  let* query =
+    match op with
+    | "solve" ->
+        let* tree = tree () in
+        let* model_json =
+          match Json.member "model" json with
+          | Some m -> Ok m
+          | None -> Error "missing field \"model\""
+        in
+        let* model = model_of_json model_json in
+        Ok (Solve { tree; model })
+    | "delta" ->
+        let* tree = tree () in
+        let* items = list_field json "changes" in
+        let* changes =
+          List.fold_left
+            (fun acc item ->
+              let* acc = acc in
+              let* c = change_of_json item in
+              Ok (c :: acc))
+            (Ok []) items
+        in
+        (match changes with
+        | [] -> Error "field \"changes\": must be non-empty"
+        | _ -> Ok (Delta { tree; changes = List.rev changes }))
+    | "blocking" ->
+        let* tree = tree () in
+        Ok (Blocking { tree })
+    | "shadow_costs" ->
+        let* tree = tree () in
+        let* weights = weights_field json in
+        Ok (Shadow_costs { tree; weights })
+    | "admit" ->
+        let* tree = tree () in
+        let* class_index = int_field json "class" in
+        let* weights = weights_field json in
+        Ok (Admit { tree; class_index; weights })
+    | "stats" -> Ok Stats
+    | "shutdown" -> Ok Shutdown
+    | other -> Error (Printf.sprintf "unknown op %S" other)
+  in
+  Ok { id; query }
+
+let request_of_line line =
+  match Json.of_string line with
+  | Error message -> Error (Printf.sprintf "malformed JSON: %s" message)
+  | Ok json -> request_of_json json
+
+let request_to_json { id; query } =
+  let base = [ ("id", id); ("op", Json.String (op_name query)) ] in
+  let fields =
+    match query with
+    | Solve { tree; model } ->
+        [ ("tree", Json.String tree); ("model", model_to_json model) ]
+    | Delta { tree; changes } ->
+        [
+          ("tree", Json.String tree);
+          ("changes", Json.List (List.map change_to_json changes));
+        ]
+    | Blocking { tree } -> [ ("tree", Json.String tree) ]
+    | Shadow_costs { tree; weights } ->
+        [
+          ("tree", Json.String tree);
+          ( "weights",
+            Json.List
+              (Array.to_list (Array.map (fun w -> Json.Float w) weights)) );
+        ]
+    | Admit { tree; class_index; weights } ->
+        [
+          ("tree", Json.String tree);
+          ("class", Json.Int class_index);
+          ( "weights",
+            Json.List
+              (Array.to_list (Array.map (fun w -> Json.Float w) weights)) );
+        ]
+    | Stats | Shutdown -> []
+  in
+  Json.Assoc (base @ fields)
+
+let request_to_line request = Json.to_string (request_to_json request)
+
+(* ---------- responses ---------- *)
+
+let measures_to_json (m : Measures.t) =
+  Json.Assoc
+    [
+      ("busy_ports", Json.Float m.Measures.busy_ports);
+      ("input_utilization", Json.Float m.Measures.input_utilization);
+      ("output_utilization", Json.Float m.Measures.output_utilization);
+      ( "per_class",
+        Json.List
+          (Array.to_list
+             (Array.map
+                (fun (c : Measures.per_class) ->
+                  Json.Assoc
+                    [
+                      ("name", Json.String c.Measures.name);
+                      ("bandwidth", Json.Int c.Measures.bandwidth);
+                      ("offered_load", Json.Float c.Measures.offered_load);
+                      ("non_blocking", Json.Float c.Measures.non_blocking);
+                      ("blocking", Json.Float c.Measures.blocking);
+                      ("concurrency", Json.Float c.Measures.concurrency);
+                      ("throughput", Json.Float c.Measures.throughput);
+                    ])
+                m.Measures.per_class)) );
+    ]
+
+let ok_response ~id ~op fields =
+  Json.Assoc
+    ([ ("id", id); ("ok", Json.Bool true); ("op", Json.String op) ] @ fields)
+
+let error_response ~id message =
+  Json.Assoc
+    [ ("id", id); ("ok", Json.Bool false); ("error", Json.String message) ]
+
+let response_to_line = Json.to_string

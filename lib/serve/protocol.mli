@@ -1,0 +1,79 @@
+(** The crossbar_serve wire protocol: line-delimited JSON.
+
+    Each request is one JSON object on one line; each response is one
+    JSON object on one line, carrying the request's [id] back verbatim.
+    The full reference with examples lives in docs/SERVE.md.
+
+    Requests name a {e tree} — a solved factor tree the daemon holds
+    hot under a client-chosen name — and either install/replace it
+    ([solve]), re-solve it after a class-subset change ([delta], served
+    in [O(#changed log R)] combines via
+    {!Crossbar.Convolution.solve_delta}), or read answers off it
+    ([blocking], [shadow_costs], [admit]) without any solving at all. *)
+
+module Json = Crossbar_engine.Json
+(** Transparent alias: responses are plain {!Crossbar_engine.Json}
+    documents. *)
+
+type change = {
+  class_index : int;
+  alpha : float option;  (** new aggregate alpha, if present *)
+  beta : float option;  (** new aggregate beta, if present *)
+}
+(** One class's parameter change in a [delta] request.  Omitted fields
+    keep their current value; bandwidth/name/service-rate changes
+    require a fresh [solve] (they change the factor shape or the cache
+    identity in ways a delta cannot express). *)
+
+type query =
+  | Solve of { tree : string; model : Crossbar.Model.t }
+      (** Solve [model] and hold it hot as [tree] (replacing any
+          previous tree of that name; if the previous tree is
+          delta-compatible, the solve itself reuses it). *)
+  | Delta of { tree : string; changes : change list }
+      (** Apply [changes] to the named hot tree and re-solve
+          incrementally. *)
+  | Blocking of { tree : string }  (** Per-class blocking read. *)
+  | Shadow_costs of { tree : string; weights : float array }
+      (** All [R] shadow costs and the weighted revenue, from the
+          already-solved diagonal. *)
+  | Admit of { tree : string; class_index : int; weights : float array }
+      (** Revenue-positive admission decision for one class: admit iff
+          the class's weight covers its shadow cost. *)
+  | Stats  (** Telemetry/registry snapshot. *)
+  | Shutdown  (** Answer, flush, stop the daemon. *)
+
+type request = { id : Json.t; query : query }
+(** [id] is echoed back verbatim (any JSON scalar clients choose). *)
+
+val request_of_line : string -> (request, string) result
+(** Parse one wire line.  The error string is suitable for an error
+    response body. *)
+
+val request_of_json : Json.t -> (request, string) result
+val request_to_json : request -> Json.t
+
+val request_to_line : request -> string
+(** Compact one-line rendering (no embedded newline) — what clients and
+    the load generator put on the wire. *)
+
+val model_to_json : Crossbar.Model.t -> Json.t
+val model_of_json : Json.t -> (Crossbar.Model.t, string) result
+
+val measures_to_json : Crossbar.Measures.t -> Json.t
+
+val ok_response : id:Json.t -> op:string -> (string * Json.t) list -> Json.t
+(** [{"id":id,"ok":true,"op":op,...fields}]. *)
+
+val error_response : id:Json.t -> string -> Json.t
+(** [{"id":id,"ok":false,"error":message}].  Parse failures use
+    [Json.Null] as the id. *)
+
+val response_to_line : Json.t -> string
+(** Compact one-line rendering of a response. *)
+
+val op_name : query -> string
+(** The wire [op] tag: ["solve"], ["delta"], ... *)
+
+val tree_name : query -> string option
+(** The tree a query targets; [None] for [Stats]/[Shutdown]. *)

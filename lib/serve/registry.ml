@@ -1,0 +1,43 @@
+module Json = Crossbar_engine.Json
+module Memo = Crossbar_engine.Cache.Memo
+module Model = Crossbar.Model
+module Convolution = Crossbar.Convolution
+
+type entry = { model : Model.t; solved : Convolution.t }
+type t = { memo : entry Memo.t; capacity : int option }
+
+let create ?capacity () = { memo = Memo.create ?capacity (); capacity }
+
+let find t name = Memo.find t.memo name
+let replace t ~name entry = Memo.set t.memo name entry
+
+let install t ~name model =
+  (* The lookup counts toward hit/miss statistics like any other: a
+     warm install that reuses the resident tree is exactly the reuse
+     the counters are meant to expose. *)
+  let previous = Memo.find t.memo name in
+  let solved, from_hot =
+    match previous with
+    | Some { solved = previous; _ }
+      when Option.is_some (Model.class_delta (Convolution.model previous) model)
+      ->
+        (Convolution.solve_delta ~previous model, true)
+    | Some _ | None -> (Convolution.solve model, false)
+  in
+  let entry = { model; solved } in
+  Memo.set t.memo name entry;
+  (entry, from_hot)
+
+let size t = Memo.size t.memo
+let capacity t = t.capacity
+
+let stats_json t =
+  Json.Assoc
+    [
+      ("entries", Json.Int (Memo.size t.memo));
+      ( "capacity",
+        match t.capacity with Some c -> Json.Int c | None -> Json.Null );
+      ("hits", Json.Int (Memo.hits t.memo));
+      ("misses", Json.Int (Memo.misses t.memo));
+      ("evictions", Json.Int (Memo.evictions t.memo));
+    ]

@@ -1,0 +1,235 @@
+module Json = Crossbar_engine.Json
+module Telemetry = Crossbar_engine.Telemetry
+
+type config = {
+  socket_path : string option;
+  capacity : int option;
+  domains : int option;
+  batch_limit : int;
+}
+
+let default_config =
+  { socket_path = None; capacity = None; domains = None; batch_limit = 256 }
+
+(* One input stream: the primary input or an accepted socket client.
+   [carry] holds the partial line between reads. *)
+type conn = {
+  fd : Unix.file_descr;
+  out : Unix.file_descr;
+  mutable carry : string;
+  mutable open_ : bool;
+  primary : bool;  (** the input/output pair given to [run] *)
+}
+
+type item = Request of Protocol.request | Malformed of Json.t * string
+
+(* Write the whole string; false if the peer is gone.  A client that
+   disconnects mid-response is its own problem: the daemon drops the
+   connection and keeps serving everyone else. *)
+let write_all fd text =
+  let bytes = Bytes.of_string text in
+  let total = Bytes.length bytes in
+  let rec loop offset =
+    if offset >= total then true
+    else
+      match Unix.write fd bytes offset (total - offset) with
+      | written -> loop (offset + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop offset
+      | exception
+          Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _)
+        ->
+          false
+  in
+  loop 0
+
+let write_response conn response =
+  if not (write_all conn.out (Protocol.response_to_line response ^ "\n")) then
+    conn.open_ <- false
+
+(* Split [conn.carry ^ chunk] into complete lines, keeping the trailing
+   partial line (if any) as the new carry. *)
+let push_chunk conn chunk =
+  let data = conn.carry ^ chunk in
+  let pieces = String.split_on_char '\n' data in
+  let rec split acc = function
+    | [] -> (List.rev acc, "")
+    | [ last ] -> (List.rev acc, last)
+    | piece :: rest -> split (piece :: acc) rest
+  in
+  let lines, carry = split [] pieces in
+  conn.carry <- carry;
+  List.filter (fun line -> not (String.equal (String.trim line) "")) lines
+
+let parse_line line =
+  match Protocol.request_of_line line with
+  | Ok request -> Request request
+  | Error message ->
+      (* Salvage the id when the line was at least well-formed JSON, so
+         the client can correlate the error with its request. *)
+      let id =
+        match Json.of_string line with
+        | Ok json -> (
+            match Json.member "id" json with Some id -> id | None -> Json.Null)
+        | Error _ -> Json.Null
+      in
+      Malformed (id, message)
+
+(* Read whatever is available; returns parsed items in arrival order.
+   On EOF the remaining carry (a final unterminated line) is parsed
+   too, and the connection is marked closed. *)
+let read_available conn =
+  let chunk = Bytes.create 65536 in
+  match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+  | 0 ->
+      conn.open_ <- false;
+      let leftover = String.trim conn.carry in
+      conn.carry <- "";
+      if String.equal leftover "" then [] else [ parse_line leftover ]
+  | n -> List.map parse_line (push_chunk conn (Bytes.sub_string chunk 0 n))
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      conn.open_ <- false;
+      []
+
+let listen_socket path =
+  (* A stale socket file from a previous run would make bind fail. *)
+  (match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 16;
+  fd
+
+let validate config =
+  if config.batch_limit < 1 then invalid_arg "Server.run: batch_limit < 1";
+  (match config.capacity with
+  | Some c when c < 1 -> invalid_arg "Server.run: capacity < 1"
+  | Some _ | None -> ());
+  match config.domains with
+  | Some d when d < 1 -> invalid_arg "Server.run: domains < 1"
+  | Some _ | None -> ()
+
+let run ?(config = default_config) ~input ~output () =
+  validate config;
+  let registry = Registry.create ?capacity:config.capacity () in
+  let telemetry = Telemetry.create () in
+  let listen =
+    Option.map (fun path -> (listen_socket path, path)) config.socket_path
+  in
+  let primary =
+    { fd = input; out = output; carry = ""; open_ = true; primary = true }
+  in
+  let conns = ref [ primary ] in
+  let pending : (conn * item) Queue.t = Queue.create () in
+  (* Serve the oldest [batch_limit] pending items as one batch. *)
+  let flush_batch () =
+    let batch = ref [] in
+    while
+      List.length !batch < config.batch_limit && not (Queue.is_empty pending)
+    do
+      batch := Queue.pop pending :: !batch
+    done;
+    let batch = Array.of_list (List.rev !batch) in
+    let request_indices =
+      Array.to_list
+        (Array.mapi
+           (fun i (_, item) ->
+             match item with
+             | Request r -> Some (i, r)
+             | Malformed _ -> None)
+           batch)
+    in
+    let request_indices = List.filter_map Fun.id request_indices in
+    let requests = Array.of_list (List.map snd request_indices) in
+    let outcome =
+      Batcher.execute ?domains:config.domains ~registry ~telemetry requests
+    in
+    let by_batch_index = Hashtbl.create 16 in
+    List.iteri
+      (fun k (i, _) -> Hashtbl.replace by_batch_index i outcome.Batcher.responses.(k))
+      request_indices;
+    Array.iteri
+      (fun i (conn, item) ->
+        let response =
+          match item with
+          | Malformed (id, message) -> Protocol.error_response ~id message
+          | Request _ -> Hashtbl.find by_batch_index i
+        in
+        write_response conn response)
+      batch;
+    outcome.Batcher.shutdown
+  in
+  let accept_client fd =
+    match Unix.accept fd with
+    | client, _ ->
+        conns :=
+          !conns
+          @ [ { fd = client; out = client; carry = ""; open_ = true;
+                primary = false } ]
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> ()
+  in
+  let cleanup () =
+    (match listen with
+    | Some (fd, path) ->
+        Unix.close fd;
+        (match Unix.unlink path with
+        | () -> ()
+        | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ())
+    | None -> ());
+    List.iter
+      (fun conn -> if not conn.primary then Unix.close conn.fd)
+      !conns
+  in
+  let rec loop () =
+    (* Drop (and close) dead socket clients; the primary stream is never
+       closed here — the caller owns its descriptors. *)
+    let kept, dead = List.partition (fun c -> c.open_ || c.primary) !conns in
+    List.iter (fun c -> Unix.close c.fd) dead;
+    conns := kept;
+    let live = List.filter (fun c -> c.open_) !conns in
+    let watched =
+      List.map (fun c -> c.fd) live
+      @ match listen with Some (fd, _) -> [ fd ] | None -> []
+    in
+    match watched with
+    | [] ->
+        (* Inputs exhausted, no socket to accept from: drain and stop. *)
+        if Queue.is_empty pending then cleanup ()
+        else if flush_batch () then cleanup ()
+        else loop ()
+    | _ :: _ ->
+        (* Block when idle; poll when a batch is already queued, so every
+           line that arrived while the previous batch was in flight joins
+           the next batch. *)
+        let timeout = if Queue.is_empty pending then -1.0 else 0.0 in
+        let readable, _, _ =
+          match Unix.select watched [] [] timeout with
+          | result -> result
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+        in
+        (match listen with
+        | Some (fd, _) when List.memq fd readable -> accept_client fd
+        | Some _ | None -> ());
+        List.iter
+          (fun conn ->
+            if List.memq conn.fd readable then
+              List.iter
+                (fun item -> Queue.push (conn, item) pending)
+                (read_available conn))
+          live;
+        let nothing_more =
+          match readable with [] -> true | _ :: _ -> false
+        in
+        if Queue.is_empty pending then loop ()
+        else if
+          (* Flush once no more input is immediately available, or the
+             batch cap is reached. *)
+          nothing_more || Queue.length pending >= config.batch_limit
+        then begin
+          if flush_batch () then cleanup () else loop ()
+        end
+        else loop ()
+  in
+  loop ()

@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# Smoke-test the crossbar_serve daemon: one query of every kind over
+# stdin/stdout, then (when python3 is available) the same mixed stream
+# through the Unix-domain socket.  Any ok:false response, missing
+# response, or hung daemon fails the script.
+#
+# Usage: scripts/serve_smoke.sh [path-to-crossbar_serve.exe] [output.jsonl]
+set -euo pipefail
+
+SERVE="${1:-_build/default/bin/crossbar_serve.exe}"
+OUT="${2:-serve-smoke-out.jsonl}"
+
+if [ ! -x "$SERVE" ]; then
+  echo "FATAL: $SERVE not built (run: dune build bin)" >&2
+  exit 1
+fi
+
+MODEL='{"inputs":8,"outputs":8,"classes":[{"name":"voice","bandwidth":1,"alpha":0.5,"mu":1.0},{"name":"video","bandwidth":2,"alpha":0.3,"beta":0.1,"mu":0.5}]}'
+
+# ---- round 1: line protocol over stdin/stdout ----
+printf '%s\n' \
+  "{\"id\":1,\"op\":\"solve\",\"tree\":\"smoke\",\"model\":$MODEL}" \
+  '{"id":2,"op":"blocking","tree":"smoke"}' \
+  '{"id":3,"op":"delta","tree":"smoke","changes":[{"class":0,"alpha":0.6}]}' \
+  '{"id":4,"op":"shadow_costs","tree":"smoke","weights":[1.0,0.2]}' \
+  '{"id":5,"op":"admit","tree":"smoke","class":1,"weights":[1.0,0.2]}' \
+  '{"id":6,"op":"stats"}' \
+  '{"id":7,"op":"shutdown"}' \
+  | timeout 60 "$SERVE" --domains 2 > "$OUT"
+
+lines=$(wc -l < "$OUT")
+if [ "$lines" -ne 7 ]; then
+  echo "FATAL: expected 7 responses over stdin, got $lines" >&2
+  cat "$OUT" >&2
+  exit 1
+fi
+if grep -q '"ok":false' "$OUT"; then
+  echo "FATAL: a smoke query failed:" >&2
+  grep '"ok":false' "$OUT" >&2
+  exit 1
+fi
+echo "stdin round: 7/7 ok"
+
+# ---- round 2: same stream through the Unix-domain socket ----
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "python3 not found; skipping the socket round"
+  exit 0
+fi
+
+SOCK="$(mktemp -u "${TMPDIR:-/tmp}/crossbar-serve-XXXXXX.sock")"
+timeout 60 "$SERVE" --socket "$SOCK" --domains 2 >/dev/null 2>&1 < /dev/null &
+DAEMON=$!
+trap 'kill "$DAEMON" 2>/dev/null || true; rm -f "$SOCK"' EXIT
+
+for _ in $(seq 1 50); do
+  [ -S "$SOCK" ] && break
+  sleep 0.1
+done
+if [ ! -S "$SOCK" ]; then
+  echo "FATAL: daemon never bound $SOCK" >&2
+  exit 1
+fi
+
+python3 - "$SOCK" <<'PYEOF'
+import json, socket, sys
+
+model = {
+    "inputs": 8, "outputs": 8,
+    "classes": [
+        {"name": "voice", "bandwidth": 1, "alpha": 0.5, "mu": 1.0},
+        {"name": "video", "bandwidth": 2, "alpha": 0.3, "beta": 0.1, "mu": 0.5},
+    ],
+}
+requests = [
+    {"id": 1, "op": "solve", "tree": "smoke", "model": model},
+    {"id": 2, "op": "blocking", "tree": "smoke"},
+    {"id": 3, "op": "delta", "tree": "smoke",
+     "changes": [{"class": 0, "alpha": 0.6}]},
+    {"id": 4, "op": "shadow_costs", "tree": "smoke", "weights": [1.0, 0.2]},
+    {"id": 5, "op": "admit", "tree": "smoke", "class": 1,
+     "weights": [1.0, 0.2]},
+    {"id": 6, "op": "stats"},
+    {"id": 7, "op": "shutdown"},
+]
+
+sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+sock.settimeout(30)
+sock.connect(sys.argv[1])
+sock.sendall("".join(json.dumps(r) + "\n" for r in requests).encode())
+
+data = b""
+while data.count(b"\n") < len(requests):
+    chunk = sock.recv(65536)
+    if not chunk:
+        break
+    data += chunk
+
+lines = [line for line in data.decode().split("\n") if line.strip()]
+if len(lines) != len(requests):
+    sys.exit(f"FATAL: expected {len(requests)} socket responses, got {len(lines)}")
+for line in lines:
+    response = json.loads(line)
+    if not response.get("ok"):
+        sys.exit(f"FATAL: socket query failed: {response}")
+print(f"socket round: {len(lines)}/{len(requests)} ok")
+PYEOF
+
+status=0
+wait "$DAEMON" || status=$?
+if [ "$status" -ne 0 ]; then
+  echo "FATAL: daemon exited with status $status after shutdown" >&2
+  exit 1
+fi
+if [ -e "$SOCK" ]; then
+  echo "FATAL: daemon left its socket file behind" >&2
+  exit 1
+fi
+trap - EXIT
+echo "serve smoke: all rounds ok"

@@ -1,6 +1,7 @@
 open Helpers
 module Pool = Crossbar_engine.Pool
 module Cache = Crossbar_engine.Cache
+module Clock = Crossbar_engine.Clock
 module Sweep = Crossbar_engine.Sweep
 module Telemetry = Crossbar_engine.Telemetry
 module Json = Crossbar_engine.Json
@@ -37,6 +38,64 @@ let test_pool_rejects_bad_arguments () =
       ignore (Pool.run ~domains:0 ~tasks:4 Fun.id));
   check_raises_invalid "tasks < 0" (fun () ->
       ignore (Pool.run ~domains:2 ~tasks:(-1) Fun.id))
+
+let test_pool_more_domains_than_tasks () =
+  (* Asking for more workers than tasks must neither deadlock nor spawn
+     idle domains that disturb the results. *)
+  let results = Pool.run ~domains:8 ~tasks:3 (fun i -> i + 100) in
+  check_bool "all tasks served" true (results = [| 100; 101; 102 |])
+
+let test_pool_first_failure_wins () =
+  (* With several failing tasks, exactly one exception is kept and
+     raised after every worker has joined; the pool stays usable. *)
+  (match
+     Pool.run ~domains:4 ~tasks:64 (fun i ->
+         if i mod 2 = 1 then failwith (Printf.sprintf "task %d failed" i)
+         else i)
+   with
+  | _ -> Alcotest.fail "expected a task failure to propagate"
+  | exception Failure message ->
+      check_bool "one of the raised failures" true
+        (String.length message > String.length "task "
+        && String.equal (String.sub message 0 5) "task "));
+  (* The raise happened after join: the next run must work normally. *)
+  let again = Pool.run ~domains:4 ~tasks:10 (fun i -> i * 2) in
+  check_int "pool reusable after failure" 18 again.(9)
+
+(* The CROSSBAR_DOMAINS override: valid values are honoured, malformed
+   or non-positive values are a hard configuration error.  putenv has no
+   inverse, so the original value (or a safe default) is always
+   restored. *)
+let with_crossbar_domains value f =
+  let original = Sys.getenv_opt "CROSSBAR_DOMAINS" in
+  Unix.putenv "CROSSBAR_DOMAINS" value;
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "CROSSBAR_DOMAINS"
+        (match original with Some v -> v | None -> "2"))
+    f
+
+let test_pool_env_override () =
+  with_crossbar_domains "3" (fun () ->
+      check_int "valid override honoured" 3 (Pool.recommended_domains ()));
+  with_crossbar_domains " 5 " (fun () ->
+      check_int "whitespace trimmed" 5 (Pool.recommended_domains ()));
+  with_crossbar_domains "0" (fun () ->
+      check_raises_invalid "zero domains" (fun () ->
+          ignore (Pool.recommended_domains ())));
+  with_crossbar_domains "-2" (fun () ->
+      check_raises_invalid "negative domains" (fun () ->
+          ignore (Pool.recommended_domains ())));
+  with_crossbar_domains "many" (fun () ->
+      check_raises_invalid "non-integer" (fun () ->
+          ignore (Pool.recommended_domains ())));
+  with_crossbar_domains "" (fun () ->
+      check_raises_invalid "empty string" (fun () ->
+          ignore (Pool.recommended_domains ())));
+  (* A malformed override must also stop Pool.run's default width. *)
+  with_crossbar_domains "zero" (fun () ->
+      check_raises_invalid "run with malformed env" (fun () ->
+          ignore (Pool.run ~tasks:2 Fun.id)))
 
 (* ---------- cache keying ---------- *)
 
@@ -153,16 +212,50 @@ let test_memo_unbounded_never_evicts () =
   check_int "all entries retained" 100 (Cache.Memo.size memo);
   check_int "no evictions" 0 (Cache.Memo.evictions memo)
 
-let test_memo_clear_keeps_counters () =
+let test_memo_clear_resets_stats () =
+  (* clear returns the memo to its freshly-created state: entries AND
+     statistics.  Keeping stale hit/miss counts across a clear made
+     post-clear hit rates unreadable (a cleared cache reported the old
+     warm rate while serving nothing but misses). *)
   let memo = Cache.Memo.create ~capacity:4 () in
   ignore (memo_get memo "a" 1);
   ignore (memo_get memo "a" 1);
+  ignore (memo_get memo "b" 2);
+  ignore (memo_get memo "c" 3);
+  ignore (memo_get memo "d" 4);
+  ignore (memo_get memo "e" 5);
+  check_bool "setup saw an eviction" true (Cache.Memo.evictions memo > 0);
   Cache.Memo.clear memo;
   check_int "emptied" 0 (Cache.Memo.size memo);
-  check_int "hits survive clear" 1 (Cache.Memo.hits memo);
-  check_int "misses survive clear" 1 (Cache.Memo.misses memo);
-  check_int "clear is not an eviction" 0 (Cache.Memo.evictions memo);
-  check_int "recomputes after clear" 7 (memo_get memo "a" 7)
+  check_int "hits reset" 0 (Cache.Memo.hits memo);
+  check_int "misses reset" 0 (Cache.Memo.misses memo);
+  check_int "evictions reset" 0 (Cache.Memo.evictions memo);
+  (* Counting restarts from zero, exactly as on a fresh memo. *)
+  check_int "recomputes after clear" 7 (memo_get memo "a" 7);
+  check_int "one miss since clear" 1 (Cache.Memo.misses memo);
+  check_int "hit counts again" 7 (memo_get memo "a" 9);
+  check_int "one hit since clear" 1 (Cache.Memo.hits memo)
+
+let test_memo_find_and_set () =
+  let memo = Cache.Memo.create ~capacity:2 () in
+  check_bool "find on empty misses" true (Cache.Memo.find memo "a" = None);
+  check_int "find counted the miss" 1 (Cache.Memo.misses memo);
+  Cache.Memo.set memo "a" 1;
+  check_bool "set then find" true (Cache.Memo.find memo "a" = Some 1);
+  Cache.Memo.set memo "a" 10;
+  check_bool "set overwrites in place" true
+    (Cache.Memo.find memo "a" = Some 10);
+  check_int "overwrite is not an insert" 1 (Cache.Memo.size memo);
+  (* set participates in LRU: freshly set "b", then touch "a", then set
+     "c" — "b" is the least recently used and must be the one evicted. *)
+  Cache.Memo.set memo "b" 2;
+  ignore (Cache.Memo.find memo "a");
+  Cache.Memo.set memo "c" 3;
+  check_int "capacity held" 2 (Cache.Memo.size memo);
+  check_bool "a survives (recently used)" true
+    (Cache.Memo.find memo "a" = Some 10);
+  check_bool "b evicted" true (Cache.Memo.find memo "b" = None);
+  check_int "eviction counted" 1 (Cache.Memo.evictions memo)
 
 let test_memo_rejects_bad_capacity () =
   check_raises_invalid "capacity 0" (fun () ->
@@ -350,6 +443,99 @@ let test_telemetry_wall_percentiles () =
   check_close "p95 of 20" 19. p95;
   check_close "max of 20" 20. wall_max
 
+let test_telemetry_clamps_negative_wall () =
+  (* A non-monotonic time source could hand record a negative delta;
+     it must be stored as zero so totals and percentiles never move
+     backwards. *)
+  let telemetry = Telemetry.create () in
+  Telemetry.record telemetry (wall_record (-0.25));
+  Telemetry.record telemetry (wall_record 0.5);
+  (match Telemetry.solves telemetry with
+  | [ first; second ] ->
+      check_close "negative clamped to zero" 0. first.Telemetry.wall_seconds;
+      check_close "positive untouched" 0.5 second.Telemetry.wall_seconds
+  | _ -> Alcotest.fail "expected two records");
+  check_close "total never negative" 0.5
+    (Telemetry.total_wall_seconds telemetry);
+  let p50, _, _ = Telemetry.wall_percentiles telemetry in
+  check_bool "percentiles non-negative" true (p50 >= 0.)
+
+let test_telemetry_snapshot_consistent_under_load () =
+  (* to_json must take ONE locked snapshot: while another domain keeps
+     recording, every emitted document must agree with itself — the
+     solve count equals the record list length, and the total equals the
+     sum over exactly those records. *)
+  let telemetry = Telemetry.create () in
+  let outcomes =
+    Pool.run ~domains:2 ~tasks:2 (fun task ->
+        if task = 0 then begin
+          for i = 1 to 500 do
+            Telemetry.record telemetry (wall_record (float_of_int i))
+          done;
+          true
+        end
+        else begin
+          let consistent = ref true in
+          for _ = 1 to 50 do
+            match Telemetry.to_json telemetry with
+            | Json.Assoc _ as json ->
+                let count =
+                  match Json.member "solves" json with
+                  | Some (Json.Int n) -> n
+                  | _ -> -1
+                in
+                let records =
+                  match Json.member "records" json with
+                  | Some (Json.List rs) -> rs
+                  | _ -> []
+                in
+                let total =
+                  match Json.member "wall_seconds" json with
+                  | Some (Json.Float f) -> f
+                  | _ -> -1.
+                in
+                let sum =
+                  List.fold_left
+                    (fun acc r ->
+                      match Json.member "wall_seconds" r with
+                      | Some (Json.Float f) -> acc +. f
+                      | _ -> acc)
+                    0. records
+                in
+                if count <> List.length records then consistent := false;
+                if
+                  not
+                    (Int64.equal (Int64.bits_of_float total)
+                       (Int64.bits_of_float sum))
+                then consistent := false
+            | _ -> consistent := false
+          done;
+          !consistent
+        end)
+  in
+  check_bool "recorder finished" true outcomes.(0);
+  check_bool "every snapshot self-consistent" true outcomes.(1);
+  check_int "all records landed" 500 (Telemetry.count telemetry)
+
+(* ---------- monotonic clock ---------- *)
+
+let test_clock_monotonic () =
+  let previous = ref (Clock.now ()) in
+  for _ = 1 to 1000 do
+    let t = Clock.now () in
+    check_bool "never goes backwards" true (t >= !previous);
+    previous := t
+  done;
+  check_bool "now_ns positive" true (Int64.compare (Clock.now_ns ()) 0L > 0)
+
+let test_clock_elapsed_clamped () =
+  let started = Clock.now () in
+  check_bool "elapsed non-negative" true (Clock.elapsed_since started >= 0.);
+  (* A start stamp from the future (the NTP-step scenario the monotonic
+     clock exists to rule out) still yields zero, never a negative. *)
+  check_close "future start clamps to zero" 0.
+    (Clock.elapsed_since (started +. 3600.))
+
 (* ---------- json ---------- *)
 
 let sample_json =
@@ -453,8 +639,11 @@ let () =
         [
           case "index order" test_pool_orders_results;
           case "empty and single" test_pool_empty_and_single;
+          case "more domains than tasks" test_pool_more_domains_than_tasks;
           case "exception propagation" test_pool_propagates_exception;
+          case "first failure wins" test_pool_first_failure_wins;
           case "bad arguments" test_pool_rejects_bad_arguments;
+          case "CROSSBAR_DOMAINS override" test_pool_env_override;
         ] );
       ( "cache",
         [
@@ -468,7 +657,8 @@ let () =
           case "size bounded" test_memo_capacity_bounds_size;
           case "LRU eviction order" test_memo_evicts_least_recently_used;
           case "unbounded never evicts" test_memo_unbounded_never_evicts;
-          case "clear keeps counters" test_memo_clear_keeps_counters;
+          case "clear resets statistics" test_memo_clear_resets_stats;
+          case "find and set" test_memo_find_and_set;
           case "rejects bad capacity" test_memo_rejects_bad_capacity;
           case "bounded solver cache stays correct"
             test_bounded_solver_cache_still_correct;
@@ -484,7 +674,15 @@ let () =
         [
           case "records in point order" test_telemetry_records_in_point_order;
           case "wall-time percentiles" test_telemetry_wall_percentiles;
+          case "negative wall time clamped" test_telemetry_clamps_negative_wall;
+          case "snapshot consistent under load"
+            test_telemetry_snapshot_consistent_under_load;
           case "json shape" test_telemetry_json_shape;
+        ] );
+      ( "clock",
+        [
+          case "monotonic" test_clock_monotonic;
+          case "elapsed clamped" test_clock_elapsed_clamped;
         ] );
       ( "json",
         [

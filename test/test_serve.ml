@@ -1,0 +1,475 @@
+open Helpers
+module Json = Crossbar_engine.Json
+module Telemetry = Crossbar_engine.Telemetry
+module Protocol = Crossbar_serve.Protocol
+module Registry = Crossbar_serve.Registry
+module Batcher = Crossbar_serve.Batcher
+module Model = Crossbar.Model
+module Traffic = Crossbar.Traffic
+module Convolution = Crossbar.Convolution
+module Solver = Crossbar.Solver
+
+let small_model () =
+  Model.square ~size:8
+    ~classes:
+      [ poisson ~name:"p" 0.4; pascal ~name:"q" ~alpha:0.3 ~beta:0.1 () ]
+
+let serialize request = Protocol.request_to_line request
+
+let roundtrip request =
+  match Protocol.request_of_line (serialize request) with
+  | Ok parsed ->
+      check_bool "request roundtrips" true
+        (String.equal (serialize request) (serialize parsed))
+  | Error message -> Alcotest.failf "roundtrip failed: %s" message
+
+(* ---------- protocol ---------- *)
+
+let test_protocol_roundtrips () =
+  let model = small_model () in
+  List.iter roundtrip
+    [
+      { Protocol.id = Json.Int 1; query = Protocol.Solve { tree = "t"; model } };
+      {
+        Protocol.id = Json.String "req-2";
+        query =
+          Protocol.Delta
+            {
+              tree = "t";
+              changes =
+                [
+                  { Protocol.class_index = 0; alpha = Some 0.5; beta = None };
+                  {
+                    Protocol.class_index = 1;
+                    alpha = Some 0.2;
+                    beta = Some 0.05;
+                  };
+                ];
+            };
+      };
+      { Protocol.id = Json.Int 3; query = Protocol.Blocking { tree = "t" } };
+      {
+        Protocol.id = Json.Int 4;
+        query = Protocol.Shadow_costs { tree = "t"; weights = [| 1.0; 0.25 |] };
+      };
+      {
+        Protocol.id = Json.Int 5;
+        query =
+          Protocol.Admit
+            { tree = "t"; class_index = 1; weights = [| 1.0; 0.25 |] };
+      };
+      { Protocol.id = Json.Int 6; query = Protocol.Stats };
+      { Protocol.id = Json.Null; query = Protocol.Shutdown };
+    ]
+
+let expect_parse_error label line =
+  match Protocol.request_of_line line with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "%s: expected a parse error for %s" label line
+
+let test_protocol_rejects_malformed () =
+  expect_parse_error "not json" "{not json";
+  expect_parse_error "missing id" {|{"op":"stats"}|};
+  expect_parse_error "missing op" {|{"id":1}|};
+  expect_parse_error "unknown op" {|{"id":1,"op":"solve_all"}|};
+  expect_parse_error "solve without model" {|{"id":1,"op":"solve","tree":"t"}|};
+  expect_parse_error "delta without changes"
+    {|{"id":1,"op":"delta","tree":"t"}|};
+  expect_parse_error "empty changes"
+    {|{"id":1,"op":"delta","tree":"t","changes":[]}|};
+  expect_parse_error "change without alpha or beta"
+    {|{"id":1,"op":"delta","tree":"t","changes":[{"class":0}]}|};
+  expect_parse_error "weights not numbers"
+    {|{"id":1,"op":"shadow_costs","tree":"t","weights":["x"]}|};
+  expect_parse_error "invalid model class"
+    {|{"id":1,"op":"solve","tree":"t","model":{"inputs":4,"outputs":4,"classes":[{"name":"p","bandwidth":0,"alpha":0.1,"mu":1.0}]}}|}
+
+let test_protocol_model_roundtrip () =
+  let model = small_model () in
+  match Protocol.model_of_json (Protocol.model_to_json model) with
+  | Error message -> Alcotest.failf "model roundtrip failed: %s" message
+  | Ok parsed ->
+      check_int "inputs" (Model.inputs model) (Model.inputs parsed);
+      check_int "classes" (Model.num_classes model) (Model.num_classes parsed);
+      (* Bit-exact rates survive the JSON float writer. *)
+      Array.iter2
+        (fun (a : Traffic.t) (b : Traffic.t) ->
+          check_bool "alpha bits" true
+            (Int64.equal
+               (Int64.bits_of_float a.Traffic.alpha)
+               (Int64.bits_of_float b.Traffic.alpha)))
+        (Model.classes model) (Model.classes parsed)
+
+(* ---------- registry ---------- *)
+
+let test_registry_install_and_delta_path () =
+  let registry = Registry.create () in
+  let model = small_model () in
+  let entry, from_hot = Registry.install registry ~name:"t" model in
+  check_bool "cold install solves fresh" false from_hot;
+  check_bool "solved for the model" true
+    (Option.is_some (Model.class_delta (Convolution.model entry.Registry.solved) model));
+  (* Rate-only change: reinstall rides the hot tree. *)
+  let warmer =
+    Model.map_class model 0 (fun c -> Traffic.with_alpha c 0.45)
+  in
+  let entry', from_hot' = Registry.install registry ~name:"t" warmer in
+  check_bool "compatible reinstall is hot" true from_hot';
+  (* The incremental result is bit-identical to a fresh solve. *)
+  let fresh = Convolution.solve warmer in
+  check_bool "hot solve bit-identical" true
+    (Int64.equal
+       (Int64.bits_of_float (Convolution.log_normalization entry'.Registry.solved))
+       (Int64.bits_of_float (Convolution.log_normalization fresh)));
+  (* A structurally different model cannot ride the old tree. *)
+  let bigger =
+    Model.square ~size:8
+      ~classes:
+        [
+          poisson ~name:"p" 0.4;
+          pascal ~name:"q" ~alpha:0.3 ~beta:0.1 ();
+          poisson ~name:"r" 0.1;
+        ]
+  in
+  let _, from_hot'' = Registry.install registry ~name:"t" bigger in
+  check_bool "incompatible reinstall re-solves" false from_hot''
+
+let test_registry_lru_eviction () =
+  let registry = Registry.create ~capacity:2 () in
+  let model = small_model () in
+  ignore (Registry.install registry ~name:"a" model);
+  ignore (Registry.install registry ~name:"b" model);
+  check_int "two resident" 2 (Registry.size registry);
+  (* Touch "a", then install "c": "b" is the LRU victim. *)
+  check_bool "a found" true (Option.is_some (Registry.find registry "a"));
+  ignore (Registry.install registry ~name:"c" model);
+  check_int "capacity held" 2 (Registry.size registry);
+  check_bool "b evicted" true (Option.is_none (Registry.find registry "b"));
+  check_bool "a survives" true (Option.is_some (Registry.find registry "a"));
+  match Registry.stats_json registry with
+  | Json.Assoc _ as stats ->
+      check_bool "evictions exposed" true
+        (match Json.member "evictions" stats with
+        | Some (Json.Int n) -> n >= 1
+        | _ -> false)
+  | _ -> Alcotest.fail "stats_json must be an object"
+
+(* ---------- batcher ---------- *)
+
+let execute ?(registry = Registry.create ()) requests =
+  let telemetry = Telemetry.create () in
+  (Batcher.execute ~domains:2 ~registry ~telemetry requests, telemetry)
+
+let request id query = { Protocol.id = Json.Int id; query }
+
+let solve_request ?(tree = "t") id model =
+  request id (Protocol.Solve { tree; model })
+
+let ok response =
+  match Json.member "ok" response with
+  | Some (Json.Bool b) -> b
+  | _ -> Alcotest.fail "response missing \"ok\""
+
+let response_float name response =
+  match Json.member name response with
+  | Some (Json.Float f) -> f
+  | Some (Json.Int i) -> float_of_int i
+  | _ -> Alcotest.failf "response missing float %S" name
+
+let mixed_stream model =
+  let weights = [| 1.0; 0.25 |] in
+  [|
+    solve_request 0 model;
+    request 1
+      (Protocol.Delta
+         {
+           tree = "t";
+           changes = [ { Protocol.class_index = 0; alpha = Some 0.5; beta = None } ];
+         });
+    request 2 (Protocol.Blocking { tree = "t" });
+    request 3 (Protocol.Shadow_costs { tree = "t"; weights });
+    request 4 (Protocol.Admit { tree = "t"; class_index = 0; weights });
+    request 5
+      (Protocol.Delta
+         {
+           tree = "t";
+           changes =
+             [ { Protocol.class_index = 1; alpha = None; beta = Some 0.08 } ];
+         });
+    request 6 (Protocol.Blocking { tree = "t" });
+  |]
+
+let test_batched_equals_one_at_a_time () =
+  let model = small_model () in
+  let requests = mixed_stream model in
+  let batched, _ = execute requests in
+  check_int "one response per request" (Array.length requests)
+    (Array.length batched.Batcher.responses);
+  let replay_registry = Registry.create () in
+  Array.iteri
+    (fun i req ->
+      let single, _ = execute ~registry:replay_registry [| req |] in
+      check_bool
+        (Printf.sprintf "response %d identical to unbatched replay" i)
+        true
+        (String.equal
+           (Json.to_string batched.Batcher.responses.(i))
+           (Json.to_string single.Batcher.responses.(0))))
+    requests
+
+let test_delta_matches_fresh_solve () =
+  let model = small_model () in
+  let changed = Model.map_class model 0 (fun c -> Traffic.with_alpha c 0.5) in
+  let requests =
+    [|
+      solve_request 0 model;
+      request 1
+        (Protocol.Delta
+           {
+             tree = "t";
+             changes =
+               [ { Protocol.class_index = 0; alpha = Some 0.5; beta = None } ];
+           });
+    |]
+  in
+  let outcome, _ = execute requests in
+  let delta_response = outcome.Batcher.responses.(1) in
+  check_bool "delta ok" true (ok delta_response);
+  check_bool "delta served hot" true
+    (Json.member "from_hot" delta_response = Some (Json.Bool true));
+  check_bool "changed classes reported" true
+    (Json.member "changed_classes" delta_response
+    = Some (Json.List [ Json.Int 0 ]));
+  let fresh = Solver.solution_of_convolution (Convolution.solve changed) in
+  check_bool "log G bit-identical to fresh solve" true
+    (Int64.equal
+       (Int64.bits_of_float (response_float "log_g" delta_response))
+       (Int64.bits_of_float fresh.Solver.log_normalization))
+
+let test_unknown_tree_and_bad_change () =
+  let model = small_model () in
+  let outcome, _ =
+    execute
+      [|
+        request 0 (Protocol.Blocking { tree = "ghost" });
+        solve_request 1 model;
+        request 2
+          (Protocol.Delta
+             {
+               tree = "t";
+               changes =
+                 [ { Protocol.class_index = 9; alpha = Some 0.1; beta = None } ];
+             });
+      |]
+  in
+  check_bool "unknown tree fails" false (ok outcome.Batcher.responses.(0));
+  check_bool "solve succeeds" true (ok outcome.Batcher.responses.(1));
+  check_bool "out-of-range change fails" false (ok outcome.Batcher.responses.(2));
+  (* Errors must carry the request id and a message, and never leak as
+     exceptions out of execute. *)
+  check_bool "error id echoed" true
+    (Json.member "id" outcome.Batcher.responses.(0) = Some (Json.Int 0));
+  check_bool "error message present" true
+    (match Json.member "error" outcome.Batcher.responses.(0) with
+    | Some (Json.String _) -> true
+    | _ -> false)
+
+let test_admit_semantics () =
+  let model = small_model () in
+  let weights = [| 1.0; 0.25 |] in
+  let outcome, _ =
+    execute
+      [|
+        solve_request 0 model;
+        request 1 (Protocol.Shadow_costs { tree = "t"; weights });
+        request 2 (Protocol.Admit { tree = "t"; class_index = 1; weights });
+      |]
+  in
+  let shadow_response = outcome.Batcher.responses.(1) in
+  let admit_response = outcome.Batcher.responses.(2) in
+  check_bool "both ok" true (ok shadow_response && ok admit_response);
+  let shadow =
+    match Json.member "shadow_costs" shadow_response with
+    | Some (Json.List costs) -> (
+        match List.nth costs 1 with
+        | Json.Float f -> f
+        | _ -> Alcotest.fail "shadow cost not a float")
+    | _ -> Alcotest.fail "shadow_costs missing"
+  in
+  check_bool "same shadow cost both ways" true
+    (Int64.equal
+       (Int64.bits_of_float (response_float "shadow_cost" admit_response))
+       (Int64.bits_of_float shadow));
+  let weight = response_float "weight" admit_response in
+  let net_gain = response_float "net_gain" admit_response in
+  check_close "net gain is weight - shadow" (weight -. shadow) net_gain;
+  check_bool "admit iff revenue-positive" true
+    (Json.member "admit" admit_response = Some (Json.Bool (weight >= shadow)))
+
+let test_stats_and_shutdown () =
+  let model = small_model () in
+  let outcome, telemetry =
+    execute
+      [|
+        solve_request 0 model;
+        request 1 Protocol.Stats;
+        request 2 Protocol.Shutdown;
+      |]
+  in
+  check_bool "shutdown flagged" true outcome.Batcher.shutdown;
+  let stats = outcome.Batcher.responses.(1) in
+  check_bool "stats ok" true (ok stats);
+  (match Json.member "telemetry" stats with
+  | Some summary ->
+      check_bool "solve counted before stats" true
+        (match Json.member "solves" summary with
+        | Some (Json.Int n) -> n >= 1
+        | _ -> false);
+      check_bool "record list stripped from daemon stats" true
+        (Json.member "records" summary = None)
+  | None -> Alcotest.fail "stats missing telemetry");
+  (match Json.member "registry" stats with
+  | Some registry_stats ->
+      check_bool "one resident tree" true
+        (Json.member "entries" registry_stats = Some (Json.Int 1))
+  | None -> Alcotest.fail "stats missing registry");
+  (* Every request produced a telemetry record, stats and shutdown
+     included. *)
+  check_int "three records" 3 (Telemetry.count telemetry)
+
+let test_multi_tree_batch_isolated () =
+  (* Two trees in one batch: groups run on separate workers yet each
+     response matches the corresponding single-tree run. *)
+  let model_a = small_model () in
+  let model_b =
+    Model.square ~size:6
+      ~classes:[ poisson ~name:"x" 0.2; pascal ~name:"y" ~alpha:0.2 ~beta:0.05 () ]
+  in
+  let batch =
+    [|
+      solve_request ~tree:"a" 0 model_a;
+      solve_request ~tree:"b" 1 model_b;
+      request 2 (Protocol.Blocking { tree = "a" });
+      request 3 (Protocol.Blocking { tree = "b" });
+    |]
+  in
+  let outcome, _ = execute batch in
+  let solo_a, _ =
+    execute [| solve_request ~tree:"a" 0 model_a; request 2 (Protocol.Blocking { tree = "a" }) |]
+  in
+  let solo_b, _ =
+    execute [| solve_request ~tree:"b" 1 model_b; request 3 (Protocol.Blocking { tree = "b" }) |]
+  in
+  check_bool "tree a solve unaffected by batching" true
+    (String.equal
+       (Json.to_string outcome.Batcher.responses.(0))
+       (Json.to_string solo_a.Batcher.responses.(0)));
+  check_bool "tree a read unaffected by batching" true
+    (String.equal
+       (Json.to_string outcome.Batcher.responses.(2))
+       (Json.to_string solo_a.Batcher.responses.(1)));
+  check_bool "tree b solve unaffected by batching" true
+    (String.equal
+       (Json.to_string outcome.Batcher.responses.(1))
+       (Json.to_string solo_b.Batcher.responses.(0)));
+  check_bool "tree b read unaffected by batching" true
+    (String.equal
+       (Json.to_string outcome.Batcher.responses.(3))
+       (Json.to_string solo_b.Batcher.responses.(1)))
+
+(* ---------- end to end through the executable ---------- *)
+
+let serve_exe = "../bin/crossbar_serve.exe"
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec loop acc =
+        match input_line ic with
+        | line -> loop (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      loop [])
+
+let test_end_to_end_stdin () =
+  let input = "serve_input.txt" and output = "serve_output.txt" in
+  let oc = open_out input in
+  output_string oc
+    ({|{"id":1,"op":"solve","tree":"t","model":{"inputs":8,"outputs":8,"classes":[{"name":"p","bandwidth":1,"alpha":0.4,"mu":1.0},{"name":"q","bandwidth":2,"alpha":0.3,"beta":0.1,"mu":1.0}]}}|}
+   ^ "\n" ^ {|{"id":2,"op":"blocking","tree":"t"}|} ^ "\n"
+   ^ {|{"id":3,"op":"delta","tree":"t","changes":[{"class":0,"alpha":0.5}]}|}
+   ^ "\n" ^ {|{"id":4,"op":"oops"}|} ^ "\n" ^ {|{"id":5,"op":"stats"}|} ^ "\n"
+   ^ {|{"id":6,"op":"shutdown"}|} ^ "\n");
+  close_out oc;
+  let command =
+    Printf.sprintf "%s --domains 2 < %s > %s 2>/dev/null" serve_exe input
+      output
+  in
+  check_int "daemon exits cleanly" 0 (Sys.command command);
+  let lines = read_lines output in
+  check_int "one response per request" 6 (List.length lines);
+  List.iteri
+    (fun i line ->
+      match Json.of_string line with
+      | Error m -> Alcotest.failf "response %d is not JSON (%s): %s" i m line
+      | Ok response ->
+          check_bool
+            (Printf.sprintf "response %d id in request order" i)
+            true
+            (Json.member "id" response = Some (Json.Int (i + 1)));
+          let expect_ok = i <> 3 in
+          check_bool
+            (Printf.sprintf "response %d ok=%b" i expect_ok)
+            true
+            (match Json.member "ok" response with
+            | Some (Json.Bool b) -> Bool.equal b expect_ok
+            | _ -> false))
+    lines;
+  Sys.remove input;
+  Sys.remove output
+
+let test_end_to_end_eof_without_shutdown () =
+  (* EOF on stdin with no socket: the daemon drains and exits 0 rather
+     than hanging. *)
+  let input = "serve_eof_input.txt" and output = "serve_eof_output.txt" in
+  let oc = open_out input in
+  output_string oc ({|{"id":1,"op":"stats"}|} ^ "\n");
+  close_out oc;
+  check_int "exits on EOF" 0
+    (Sys.command
+       (Printf.sprintf "%s < %s > %s 2>/dev/null" serve_exe input output));
+  check_int "answered before exiting" 1 (List.length (read_lines output));
+  Sys.remove input;
+  Sys.remove output
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          case "request roundtrips" test_protocol_roundtrips;
+          case "rejects malformed" test_protocol_rejects_malformed;
+          case "model roundtrip" test_protocol_model_roundtrip;
+        ] );
+      ( "registry",
+        [
+          case "install and delta path" test_registry_install_and_delta_path;
+          case "LRU eviction" test_registry_lru_eviction;
+        ] );
+      ( "batcher",
+        [
+          case "batched equals one-at-a-time" test_batched_equals_one_at_a_time;
+          case "delta matches fresh solve" test_delta_matches_fresh_solve;
+          case "unknown tree and bad change" test_unknown_tree_and_bad_change;
+          case "admit semantics" test_admit_semantics;
+          case "stats and shutdown" test_stats_and_shutdown;
+          case "multi-tree batch isolated" test_multi_tree_batch_isolated;
+        ] );
+      ( "daemon",
+        [
+          case "end to end over stdin" test_end_to_end_stdin;
+          case "EOF without shutdown" test_end_to_end_eof_without_shutdown;
+        ] );
+    ]
