@@ -12,10 +12,10 @@ let usage =
    Parses every .ml/.mli under the given paths (default: lib bin bench\n\
    examples) with compiler-libs and enforces the R1-R6 invariants\n\
    documented in docs/LINT.md.  With --typed, additionally reads the\n\
-   .cmt artifacts dune produced and runs the typed rules R7-R9.\n\
+   .cmt artifacts dune produced and runs the typed rules R7-R10.\n\
    \n\
    options:\n\
-   \  --typed         run the Typedtree stage (R7-R9) over .cmt artifacts\n\
+   \  --typed         run the Typedtree stage (R7-R10) over .cmt artifacts\n\
    \  --cmt-root DIR  where to look for .cmt files (default:\n\
    \                  _build/default when it exists, else .)\n\
    \  --cache FILE    persist per-file typed results across runs\n\

@@ -45,7 +45,10 @@ let run ?domains ~tasks f =
       in
       loop ()
     in
-    (* The calling domain is worker zero; spawn the rest. *)
+    (* The calling domain is worker zero; spawn the rest.  Each [results]
+       slot is written by exactly one worker — the Atomic counter hands
+       out disjoint indices — and only read after every domain joins. *)
+    (* lint: guarded=results — disjoint writes, read after join *)
     let spawned = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
     worker ();
     Array.iter Domain.join spawned;

@@ -102,6 +102,7 @@ let run ?domains ?cache ?telemetry ?(incremental = false) points =
   let n = Array.length points in
   let outcomes =
     if not incremental then
+      (* lint: guarded=points — built before the pool starts, never written *)
       Pool.run ?domains ~tasks:n (fun i -> solve_point cache points.(i))
     else begin
       (* Group consecutive points that share switch dimensions and class
@@ -127,6 +128,7 @@ let run ?domains ?cache ?telemetry ?(incremental = false) points =
       let segments = Array.length starts in
       let bound s = if s + 1 < segments then starts.(s + 1) else n in
       let chunks =
+        (* lint: guarded=starts,points — both frozen before the pool starts *)
         Pool.run ?domains ~tasks:segments (fun s ->
             let chain = { lattice = None } in
             Array.init

@@ -18,6 +18,10 @@ type t = {
   r8_mutable_types : string list;
   r9_roots : string list;
   r9_lock_wrappers : string list;
+  r10_sinks : string list;
+  r10_guarded_types : string list;
+  doc_coverage_threshold : float;
+  doc_coverage_paths : string list;
 }
 
 let default =
@@ -72,6 +76,18 @@ let default =
       ];
     r9_roots = [ "lib/engine" ];
     r9_lock_wrappers = [ "Mutex.protect"; "Stdlib.Mutex.protect"; "locked" ];
+    r10_sinks = [ "Pool.run"; "Domain.spawn"; "Domain.spawn_with" ];
+    r10_guarded_types =
+      [
+        "Crossbar_engine.Telemetry.t"; "Crossbar_engine__Telemetry.t";
+        "Telemetry.t";
+        "Crossbar_engine.Cache.Memo.t"; "Crossbar_engine__Cache.Memo.t";
+        "Cache.Memo.t"; "Memo.t";
+        "Crossbar_serve.Registry.t"; "Crossbar_serve__Registry.t";
+        "Registry.t";
+      ];
+    doc_coverage_threshold = 0.9;
+    doc_coverage_paths = [ "lib/lint"; "lib/lint_typed"; "lib/serve" ];
   }
 
 let enabled t rule = rule = Rule.Syntax || List.mem rule t.rules
@@ -129,6 +145,14 @@ let to_json t =
       ("r8_mutable_types", strings t.r8_mutable_types);
       ("r9_roots", strings t.r9_roots);
       ("r9_lock_wrappers", strings t.r9_lock_wrappers);
+      ("r10_sinks", strings t.r10_sinks);
+      ("r10_guarded_types", strings t.r10_guarded_types);
+      ( "doc_coverage",
+        Json.Assoc
+          [
+            ("threshold", Json.Float t.doc_coverage_threshold);
+            ("paths", strings t.doc_coverage_paths);
+          ] );
     ]
 
 let of_json json =
@@ -226,6 +250,31 @@ let of_json json =
   let* r8_mutable_types = string_list "r8_mutable_types" in
   let* r9_roots = string_list "r9_roots" in
   let* r9_lock_wrappers = string_list "r9_lock_wrappers" in
+  let* r10_sinks = string_list "r10_sinks" in
+  let* r10_guarded_types = string_list "r10_guarded_types" in
+  let* doc_coverage_threshold, doc_coverage_paths =
+    let* value = field "doc_coverage" in
+    let* threshold =
+      match Json.member "threshold" value with
+      | Some (Json.Float v) -> Ok v
+      | Some (Json.Int v) -> Ok (float_of_int v)
+      | _ -> Error "config: \"doc_coverage\" needs a number \"threshold\""
+    in
+    let* paths =
+      match Json.member "paths" value with
+      | Some (Json.List items) ->
+          List.fold_left
+            (fun acc item ->
+              let* acc = acc in
+              match item with
+              | Json.String s -> Ok (s :: acc)
+              | _ -> Error "config: \"doc_coverage\" paths must be strings")
+            (Ok []) items
+          |> Result.map List.rev
+      | _ -> Error "config: \"doc_coverage\" needs a \"paths\" list"
+    in
+    Ok (threshold, paths)
+  in
   Ok
     {
       rules;
@@ -243,6 +292,10 @@ let of_json json =
       r8_mutable_types;
       r9_roots;
       r9_lock_wrappers;
+      r10_sinks;
+      r10_guarded_types;
+      doc_coverage_threshold;
+      doc_coverage_paths;
     }
 
 let hash t = Digest.to_hex (Digest.string (Json.to_string (to_json t)))

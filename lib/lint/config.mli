@@ -48,12 +48,29 @@ type t = {
       (** Functions whose function-literal arguments run under a lock
           ([Mutex.protect] and repo-local helpers such as [locked]); a
           bare name matches any path ending in that component. *)
+  r10_sinks : string list;
+      (** Domain-boundary functions: a closure passed to one of these (or
+          to a function that forwards a parameter into one) runs on
+          another domain.  Matched like [r9_lock_wrappers]: ["Pool.run"]
+          covers [Crossbar_engine.Pool.run] and the mangled
+          [Crossbar_engine__Pool.run] spelling alike. *)
+  r10_guarded_types : string list;
+      (** Type-constructor paths R10 treats as safely-shareable in
+          addition to [r8_sanctioned_types]: the repo's mutex-guarded
+          abstractions ([Telemetry.t], [Cache.Memo.t], [Registry.t]).
+          Captures of these types never need a [guarded=] annotation. *)
+  doc_coverage_threshold : float;
+      (** Minimum fraction of documented [val] items scripts/doc_coverage.sh
+          enforces over [doc_coverage_paths]. *)
+  doc_coverage_paths : string list;
+      (** Directories whose [.mli] files the doc-coverage gate scans. *)
 }
 
 val default : t
 (** The repository policy described in docs/LINT.md. *)
 
 val enabled : t -> Rule.id -> bool
+(** Whether the rule is on this config's [rules] list. *)
 
 val normalize : string -> string
 (** Strips ["./"] and duplicate separators. *)
@@ -63,6 +80,8 @@ val matches : string -> string list -> bool
     [prefixes] (component-wise, after {!normalize}). *)
 
 val to_json : t -> Crossbar_engine.Json.t
+(** The checked-in [lint.json] document shape. *)
+
 val of_json : Crossbar_engine.Json.t -> (t, string) result
 (** Inverse of {!to_json}; fails with a message naming the offending field
     on schema or shape mismatch. *)

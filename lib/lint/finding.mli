@@ -11,6 +11,7 @@ type t = {
 }
 
 val make : rule:Rule.id -> file:string -> line:int -> col:int -> string -> t
+(** The positional argument is the message. *)
 
 val compare : t -> t -> int
 (** Orders by file, then line, column, rule, message. *)
@@ -19,7 +20,11 @@ val pp : Format.formatter -> t -> unit
 (** Renders ["file:line:col: [Rn] message"]. *)
 
 val to_json : t -> Crossbar_engine.Json.t
+(** One finding as a flat [{rule; file; line; col; message}] object. *)
+
 val of_json : Crossbar_engine.Json.t -> (t, string) result
+(** Inverse of {!to_json}; the error names the missing or ill-typed
+    field. *)
 
 val schema : string
 (** Identifier embedded in report documents, ["crossbar-lint/1"]. *)

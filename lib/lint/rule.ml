@@ -1,7 +1,7 @@
-type id = Syntax | R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9
+type id = Syntax | R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10
 
-let all = [ R1; R2; R3; R4; R5; R6; R7; R8; R9 ]
-let typed = function R7 | R8 | R9 -> true | _ -> false
+let all = [ R1; R2; R3; R4; R5; R6; R7; R8; R9; R10 ]
+let typed = function R7 | R8 | R9 | R10 -> true | _ -> false
 
 let to_string = function
   | Syntax -> "R0"
@@ -14,6 +14,7 @@ let to_string = function
   | R7 -> "R7"
   | R8 -> "R8"
   | R9 -> "R9"
+  | R10 -> "R10"
 
 let of_string text =
   match String.uppercase_ascii (String.trim text) with
@@ -27,6 +28,7 @@ let of_string text =
   | "R7" -> Some R7
   | "R8" -> Some R8
   | "R9" -> Some R9
+  | "R10" -> Some R10
   | _ -> None
 
 let valid_ids () = String.concat ", " (List.map to_string all)
@@ -69,6 +71,9 @@ let title = function
   | R7 -> "no float equality through Float.equal/compare or polymorphic =/compare (typed)"
   | R8 -> "no top-level value whose inferred type is mutable on pool-reachable code (typed)"
   | R9 -> "no unlocked writes to top-level mutable state reachable from Pool workers (typed)"
+  | R10 ->
+      "closures crossing a domain boundary must not capture unsynchronized \
+       mutable state (typed)"
 
 let rationale = function
   | Syntax -> "a file the compiler cannot parse cannot be audited at all"
@@ -103,5 +108,10 @@ let rationale = function
       "a function reachable from Engine.Pool workers that writes sanctioned \
        top-level mutable state outside a lock-wrapped region races; the \
        typed call graph over-approximates reachability in the safe direction"
+  | R10 ->
+      "a lambda handed to Engine.Pool.run or Domain.spawn runs on another \
+       domain; every array, ref or mutable record it closes over is shared \
+       without synchronisation, so only Atomic/Mutex-guarded (or explicitly \
+       annotated) captures are sound"
 
 let compare = Stdlib.compare

@@ -1,19 +1,23 @@
 (** Identifiers, one-line titles and rationales for the crossbar-lint rule
     set.  [Syntax] (rendered "R0") is the pseudo-rule reported when a file
     does not parse; it cannot be disabled or suppressed.  R1-R6 run on the
-    Parsetree (untyped, fast); R7-R9 need the Typedtree stage driven from
+    Parsetree (untyped, fast); R7-R10 need the Typedtree stage driven from
     dune-produced [.cmt] artifacts. *)
 
-type id = Syntax | R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9
+type id = Syntax | R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10
 
 val all : id list
-(** The real rules R1..R9, in order ([Syntax] excluded). *)
+(** The real rules R1..R10, in order ([Syntax] excluded). *)
 
 val typed : id -> bool
-(** Whether the rule needs the Typedtree stage (R7, R8, R9). *)
+(** Whether the rule needs the Typedtree stage (R7, R8, R9, R10). *)
 
 val to_string : id -> string
+(** ["R0"] for [Syntax], ["R1"].."R10" otherwise. *)
+
 val of_string : string -> id option
+(** Inverse of {!to_string} for the real rules; ["R0"] and unknown ids
+    yield [None]. *)
 
 val parse_list : string -> (id list, string) result
 (** Parses a comma-separated rule list ("R1,R5").  Unlike {!of_string}
@@ -29,3 +33,4 @@ val rationale : id -> string
 (** Why the invariant matters for this codebase. *)
 
 val compare : id -> id -> int
+(** Orders [Syntax] first, then R1..R10. *)

@@ -1,14 +1,26 @@
 type t = {
   file_rules : Rule.id list;
   line_rules : (int, Rule.id list) Hashtbl.t;
+  guard_lines : (int, string list) Hashtbl.t;
 }
 
-let empty () = { file_rules = []; line_rules = Hashtbl.create 4 }
+let empty () =
+  {
+    file_rules = [];
+    line_rules = Hashtbl.create 4;
+    guard_lines = Hashtbl.create 4;
+  }
 
 let marker = "lint:"
 
 let parse_ids text =
   String.split_on_char ',' text |> List.filter_map Rule.of_string
+
+let parse_names text =
+  String.split_on_char ',' text
+  |> List.filter_map (fun name ->
+         let name = String.trim name in
+         if String.equal name "" then None else Some name)
 
 (* A directive is a whitespace-delimited word after the "lint:" marker;
    anything that is not a recognised directive (the free-form reason) is
@@ -45,14 +57,23 @@ let directives_of_line line =
                    (parse_ids (String.sub word 8 (String.length word - 8))))
              else if String.equal word "domain-safe" then
                Some (`Line [ Rule.R3; Rule.R8; Rule.R9 ])
+             else if String.starts_with ~prefix:"guarded=" word then
+               Some
+                 (`Guard
+                   (parse_names (String.sub word 8 (String.length word - 8))))
              else None)
 
 let scan text =
   let file_rules = ref [] in
   let line_rules = Hashtbl.create 4 in
+  let guard_lines = Hashtbl.create 4 in
   let add_line n rules =
     let existing = Option.value ~default:[] (Hashtbl.find_opt line_rules n) in
     Hashtbl.replace line_rules n (rules @ existing)
+  in
+  let add_guard n names =
+    let existing = Option.value ~default:[] (Hashtbl.find_opt guard_lines n) in
+    Hashtbl.replace guard_lines n (names @ existing)
   in
   List.iteri
     (fun i line ->
@@ -63,10 +84,13 @@ let scan text =
           | `Line rules ->
               (* Cover both trailing comments and comment-above style. *)
               add_line n rules;
-              add_line (n + 1) rules)
+              add_line (n + 1) rules
+          | `Guard names ->
+              add_guard n names;
+              add_guard (n + 1) names)
         (directives_of_line line))
     (String.split_on_char '\n' text);
-  { file_rules = !file_rules; line_rules }
+  { file_rules = !file_rules; line_rules; guard_lines }
 
 let active t ~rule ~line =
   rule <> Rule.Syntax
@@ -75,3 +99,6 @@ let active t ~rule ~line =
      match Hashtbl.find_opt t.line_rules line with
      | Some rules -> List.mem rule rules
      | None -> false)
+
+let guarded t ~line =
+  Option.value ~default:[] (Hashtbl.find_opt t.guard_lines line)

@@ -31,7 +31,7 @@ let split_call call =
       in
       (Some modname, value)
 
-let findings ~(config : Lint.Config.t) files =
+let resolver files =
   (* Two resolution tables: (short module name, value) for cross-module
      references and (file path, value) for same-module ones.  First
      definition wins, matching link order for duplicate unit names. *)
@@ -50,11 +50,14 @@ let findings ~(config : Lint.Config.t) files =
           if not (Hashtbl.mem by_file fkey) then Hashtbl.add by_file fkey node)
         file.Summary.funcs)
     files;
-  let resolve (caller : Summary.file) call =
+  fun (caller : Summary.file) call ->
     match split_call call with
     | Some modname, value -> Hashtbl.find_opt by_module (modname, value)
     | None, value -> Hashtbl.find_opt by_file (caller.Summary.path, value)
-  in
+
+let findings ~(config : Lint.Config.t) ?(locked_lambdas = Hashtbl.create 0)
+    files =
+  let resolve = resolver files in
 
   (* BFS over resolved calls from every function defined under an R9 root
      directory.  [via] records one witness path step for the message. *)
@@ -89,6 +92,17 @@ let findings ~(config : Lint.Config.t) files =
       node.func.Summary.calls
   done;
 
+  (* A write is locked either lexically (a literal under a wrapper, seen
+     per-file) or because the capture fixpoint proved the lambda holding
+     it runs under a wrapper reached through an indirect call —
+     [locked_lambdas] carries that second, global fact set. *)
+  let write_locked (file : Summary.file) (m : Summary.mutation) =
+    m.Summary.locked
+    ||
+    match m.Summary.m_lambda with
+    | Some id -> Hashtbl.mem locked_lambdas (file.Summary.path, id)
+    | None -> false
+  in
   let out = ref [] in
   List.iter
     (fun (file : Summary.file) ->
@@ -99,7 +113,7 @@ let findings ~(config : Lint.Config.t) files =
           | Some root ->
               List.iter
                 (fun (m : Summary.mutation) ->
-                  if not m.Summary.locked then
+                  if not (write_locked file m) then
                     out :=
                       Finding.make ~rule:Rule.R9 ~file:file.Summary.path
                         ~line:m.Summary.m_line ~col:m.Summary.m_col

@@ -13,9 +13,28 @@
     edges are reported by R9 firing on the callee's own root instead),
     while lock context travels with each write, not each call site. *)
 
+type node = { file : Summary.file; func : Summary.func }
+
+val short_modname : string -> string
+(** Trailing segment of a mangled unit name: ["Crossbar__Solver"] is
+    addressed from other units as ["Solver"]. *)
+
+val resolver : Summary.file list -> Summary.file -> string -> node option
+(** [resolver files caller call] resolves a referenced value path to the
+    defining function: dotted paths through a (short module name, value)
+    table, bare names within [caller]'s own file.  Shared by the R9
+    reachability walk and the {!Capture} escape fixpoint, so both
+    analyses agree on what an edge means. *)
+
 val findings :
   config:Crossbar_lint.Config.t ->
+  ?locked_lambdas:(string * int, unit) Hashtbl.t ->
   Summary.file list ->
   Crossbar_lint.Finding.t list
 (** Unsuppressed R9 findings for the whole program described by the given
-    summaries, in file/line order of discovery. *)
+    summaries, in file/line order of discovery.  [locked_lambdas] is the
+    {!Capture} fixpoint's set of [(file path, lambda id)] proven to run
+    under a configured lock wrapper through indirect calls — writes
+    inside those lambdas are treated as locked, closing the v2
+    higher-order escape hatch where a callback stored and invoked through
+    [Mutex.protect m cb] was reported as unlocked. *)

@@ -1,0 +1,202 @@
+module Lint = Crossbar_lint
+module Finding = Lint.Finding
+module Rule = Lint.Rule
+
+type result = {
+  r10 : Finding.t list;
+  locked_lambdas : (string * int, unit) Hashtbl.t;
+}
+
+(* Facts propagated to fixpoint over the summary call graph:
+
+   - sink fact (path, func, i): calling [func] with a closure in argument
+     position [i] sends that closure across a domain boundary (the
+     parameter is forwarded, possibly through further functions, into a
+     configured r10_sink).  The chain string is the witness printed in
+     the finding.
+   - wrapper fact (path, func, i): the closure at position [i] runs under
+     a configured lock wrapper — same propagation, opposite polarity:
+     it *clears* R9 findings instead of raising R10 ones.
+
+   Seeds come from call sites whose callee name matches the configured
+   pattern lists directly; each round then lifts facts over one layer of
+   parameter forwarding.  Facts are finite (one per function parameter
+   position), so the loop terminates. *)
+let analyse ~(config : Lint.Config.t) ~guarded files =
+  let resolve = Callgraph.resolver files in
+  let sink_facts : (string * string * int, string) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let wrap_facts : (string * string * int, unit) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let lambda_table : (string * int, Summary.lambda) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter
+    (fun (file : Summary.file) ->
+      List.iter
+        (fun (func : Summary.func) ->
+          List.iter
+            (fun (lam : Summary.lambda) ->
+              Hashtbl.replace lambda_table
+                (file.Summary.path, lam.Summary.lam_id)
+                lam)
+            func.Summary.lambdas)
+        file.Summary.funcs)
+    files;
+
+  (* How the callee of one call site behaves, per argument position.
+     [`Any] covers seed sinks/wrappers (any closure argument crosses);
+     resolved facts are positional. *)
+  let callee_roles (file : Summary.file) (cs : Summary.callsite) =
+    let callee = cs.Summary.callee in
+    let seed_sink = Typed_rules.domain_sink ~config callee in
+    let seed_wrap = Typed_rules.lock_wrapper ~config callee in
+    let resolved = resolve file callee in
+    let sink_at i =
+      if seed_sink then Some callee
+      else
+        match resolved with
+        | Some (node : Callgraph.node) ->
+            Hashtbl.find_opt sink_facts
+              ( node.Callgraph.file.Summary.path,
+                node.Callgraph.func.Summary.f_name,
+                i )
+        | None -> None
+    in
+    let wrap_at i =
+      seed_wrap
+      ||
+      match resolved with
+      | Some (node : Callgraph.node) ->
+          Hashtbl.mem wrap_facts
+            ( node.Callgraph.file.Summary.path,
+              node.Callgraph.func.Summary.f_name,
+              i )
+      | None -> false
+    in
+    (sink_at, wrap_at)
+  in
+
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (file : Summary.file) ->
+        List.iter
+          (fun (func : Summary.func) ->
+            List.iter
+              (fun (cs : Summary.callsite) ->
+                let sink_at, wrap_at = callee_roles file cs in
+                List.iteri
+                  (fun i arg ->
+                    match arg with
+                    | Summary.Arg_param p -> (
+                        let key =
+                          (file.Summary.path, func.Summary.f_name, p)
+                        in
+                        (match sink_at i with
+                        | Some chain ->
+                            if not (Hashtbl.mem sink_facts key) then begin
+                              Hashtbl.replace sink_facts key
+                                (func.Summary.f_name ^ " -> " ^ chain);
+                              changed := true
+                            end
+                        | None -> ());
+                        if wrap_at i && not (Hashtbl.mem wrap_facts key)
+                        then begin
+                          Hashtbl.replace wrap_facts key ();
+                          changed := true
+                        end)
+                    | Summary.Arg_lambda _ | Summary.Arg_other -> ())
+                  cs.Summary.args)
+              func.Summary.callsites)
+          file.Summary.funcs)
+      files
+  done;
+
+  (* Emission pass: now that facts are stable, every lambda argument at a
+     sink position is an escape (an R10 finding if it captures anything
+     unguarded), and every lambda argument at a wrapper position runs
+     locked (clearing the R9 writes it contains). *)
+  let locked_lambdas : (string * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let r10 = ref [] in
+  List.iter
+    (fun (file : Summary.file) ->
+      List.iter
+        (fun (func : Summary.func) ->
+          List.iter
+            (fun (cs : Summary.callsite) ->
+              let sink_at, wrap_at = callee_roles file cs in
+              List.iteri
+                (fun i arg ->
+                  match arg with
+                  | Summary.Arg_lambda id -> (
+                      if wrap_at i then
+                        Hashtbl.replace locked_lambdas
+                          (file.Summary.path, id)
+                          ();
+                      match sink_at i with
+                      | None -> ()
+                      | Some chain -> (
+                          match
+                            Hashtbl.find_opt lambda_table
+                              (file.Summary.path, id)
+                          with
+                          | None -> ()
+                          | Some lam ->
+                              let guarded_names =
+                                guarded ~path:file.Summary.path
+                                  ~line:cs.Summary.cs_line
+                                @ guarded ~path:file.Summary.path
+                                    ~line:lam.Summary.lam_line
+                              in
+                              let captures =
+                                List.filter
+                                  (fun (c : Summary.capture) ->
+                                    not
+                                      (List.mem c.Summary.c_name
+                                         guarded_names))
+                                  lam.Summary.captures
+                              in
+                              if captures <> [] then
+                                let rendered =
+                                  String.concat ", "
+                                    (List.map
+                                       (fun (c : Summary.capture) ->
+                                         match c.Summary.c_via with
+                                         | [] ->
+                                             Printf.sprintf "%s (%s)"
+                                               c.Summary.c_name
+                                               c.Summary.c_reason
+                                         | via ->
+                                             Printf.sprintf
+                                               "%s (%s, via %s)"
+                                               c.Summary.c_name
+                                               c.Summary.c_reason
+                                               (String.concat " -> " via))
+                                       captures)
+                                in
+                                r10 :=
+                                  Finding.make ~rule:Rule.R10
+                                    ~file:file.Summary.path
+                                    ~line:cs.Summary.cs_line
+                                    ~col:cs.Summary.cs_col
+                                    (Printf.sprintf
+                                       "closure (line %d) crosses a domain \
+                                        boundary through %s capturing \
+                                        unsynchronized mutable state: %s; \
+                                        guard each capture with \
+                                        Atomic/Mutex (or a type on the \
+                                        r10_guarded_types list), or \
+                                        annotate the call site with (* \
+                                        lint: guarded=name — reason *)"
+                                       lam.Summary.lam_line chain rendered)
+                                  :: !r10))
+                  | Summary.Arg_param _ | Summary.Arg_other -> ())
+                cs.Summary.args)
+            func.Summary.callsites)
+        file.Summary.funcs)
+    files;
+  { r10 = List.rev !r10; locked_lambdas }

@@ -80,20 +80,46 @@ let run ~(config : Lint.Config.t) ~store ~cmt_index ~cmt_root paths =
       impls
   in
   let summaries = List.map (fun (_, _, summary) -> summary) results in
-  let r9 =
-    if Lint.Config.enabled config Rule.R9 then
-      Callgraph.findings ~config summaries
-    else []
-  in
   (* Suppression directives apply to typed findings exactly as to untyped
-     ones; R9 findings land on the file holding the write, so its own
-     source text is the one scanned. *)
+     ones; R9/R10 findings land on the file holding the write or the
+     call site, so its own source text is the one scanned.  The scan also
+     backs the capture pass's [guarded=] lookups, so it runs first. *)
   let by_path = Hashtbl.create 64 in
   List.iter
     (fun ((s : Lint.Driver.source), _, _) ->
       Hashtbl.replace by_path s.Lint.Driver.path
         (Lint.Suppress.scan s.Lint.Driver.text))
     results;
+  let guarded ~path ~line =
+    match Hashtbl.find_opt by_path path with
+    | Some suppress -> Lint.Suppress.guarded suppress ~line
+    | None -> []
+  in
+  (* The capture fixpoint serves both typed global rules: R10 consumes
+     its escape findings, R9 its locked-lambda facts.  Either rule being
+     enabled pays for the (cheap, in-memory) pass. *)
+  let capture =
+    if
+      Lint.Config.enabled config Rule.R9
+      || Lint.Config.enabled config Rule.R10
+    then Some (Capture.analyse ~config ~guarded summaries)
+    else None
+  in
+  let r10 =
+    match capture with
+    | Some c when Lint.Config.enabled config Rule.R10 -> c.Capture.r10
+    | Some _ | None -> []
+  in
+  let r9 =
+    if Lint.Config.enabled config Rule.R9 then
+      let locked_lambdas =
+        match capture with
+        | Some c -> Some c.Capture.locked_lambdas
+        | None -> None
+      in
+      Callgraph.findings ~config ?locked_lambdas summaries
+    else []
+  in
   let survives (f : Finding.t) =
     match Hashtbl.find_opt by_path f.Finding.file with
     | Some suppress ->
@@ -103,7 +129,7 @@ let run ~(config : Lint.Config.t) ~store ~cmt_index ~cmt_root paths =
     | None -> true
   in
   let findings =
-    List.concat_map (fun (_, findings, _) -> findings) results @ r9
+    List.concat_map (fun (_, findings, _) -> findings) results @ r9 @ r10
     |> List.filter survives
     |> List.sort Finding.compare
   in

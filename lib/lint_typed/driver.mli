@@ -3,9 +3,11 @@
     For every implementation file stage one discovered under the given
     paths, looks up its [.cmt] artifact, consults the persistent
     {!Store} under the file's source and artifact digests, analyses only
-    the misses through {!Typed_rules}, then recomputes the global R9
-    reachability over the full summary set — cached and fresh alike —
-    and filters everything through the shared suppression directives.
+    the misses through {!Typed_rules}, then recomputes the global passes
+    over the full summary set — cached and fresh alike: the {!Capture}
+    escape fixpoint (R10 findings plus locked-lambda facts) and the
+    {!Callgraph} R9 reachability consuming those facts — and filters
+    everything through the shared suppression directives.
 
     The caller owns the store: load it before, save it after, and the
     warm-run property (only modified files re-analysed) follows from the

@@ -1,7 +1,7 @@
 module Json = Crossbar_engine.Json
 module Finding = Crossbar_lint.Finding
 
-let schema = "crossbar-lint-cache/1"
+let schema = "crossbar-lint-cache/2"
 
 type entry = {
   source_digest : string;
@@ -86,10 +86,12 @@ let entry_of_json json =
 
 let of_json ~config_hash json =
   let* s = str "schema" json in
-  let* () =
-    if String.equal s schema then Ok ()
-    else Error (Printf.sprintf "cache: unsupported schema %S" s)
-  in
+  if not (String.equal s schema) then
+    (* A cache written by an older (or newer) linter holds summaries in
+       a shape this one cannot trust; starting empty is the cold-run
+       behaviour, not an error — exactly like a config-hash mismatch. *)
+    Ok (create ~config_hash)
+  else
   let* stored_hash = str "config_hash" json in
   let t = create ~config_hash in
   if not (String.equal stored_hash config_hash) then

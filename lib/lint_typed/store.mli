@@ -1,17 +1,20 @@
 (** Persistent cross-run cache for the typed analysis.
 
     Each entry keys one source file's stage-two results (unsuppressed
-    R7/R8 findings plus its R9 {!Summary.file}) by the digests of the
+    R7/R8 findings plus its R9/R10 {!Summary.file}) by the digests of the
     source text and its [.cmt] artifact; the whole document additionally
     carries the {!Crossbar_lint.Config.hash} it was produced under, so a
     config change silently invalidates everything.  Serialized as the
-    ["crossbar-lint-cache/1"] JSON schema. *)
+    ["crossbar-lint-cache/2"] JSON schema (v2 adds the capture-stage
+    lambda/callsite summary data). *)
 
 type t
 
 val schema : string
+(** ["crossbar-lint-cache/2"], embedded in every saved document. *)
 
 val create : config_hash:string -> t
+(** An empty cache keyed to one config policy. *)
 
 val lookup :
   t ->
@@ -29,17 +32,23 @@ val store :
   findings:Crossbar_lint.Finding.t list ->
   summary:Summary.file ->
   unit
+(** Replaces the file's entry unconditionally. *)
 
 val size : t -> int
+(** Number of file entries held. *)
 
 val to_json : t -> Crossbar_engine.Json.t
+(** The full persistent document, entries sorted by path for stable
+    diffs. *)
 
 val of_json :
   config_hash:string -> Crossbar_engine.Json.t -> (t, string) result
-(** Parses a document; a mismatched [config_hash] yields an empty cache
-    rather than an error.  Malformed documents are errors. *)
+(** Parses a document; a mismatched [config_hash] or an unknown [schema]
+    (an older cache file) yields an empty cache rather than an error.
+    Malformed documents are errors. *)
 
 val load : config_hash:string -> string -> (t, string) result
 (** Reads a cache file; a missing file yields an empty cache. *)
 
 val save : t -> string -> (unit, string) result
+(** Writes the {!to_json} document; the error is the system message. *)

@@ -5,6 +5,31 @@ type mutation = {
   m_col : int;
   target : string;
   locked : bool;
+  m_lambda : int option;
+}
+
+type capture = {
+  c_name : string;
+  c_line : int;
+  c_col : int;
+  c_reason : string;
+  c_via : string list;
+}
+
+type lambda = {
+  lam_id : int;
+  lam_line : int;
+  lam_col : int;
+  captures : capture list;
+}
+
+type arg_kind = Arg_param of int | Arg_lambda of int | Arg_other
+
+type callsite = {
+  cs_line : int;
+  cs_col : int;
+  callee : string;
+  args : arg_kind list;
 }
 
 type func = {
@@ -13,17 +38,55 @@ type func = {
   f_col : int;
   calls : string list;
   mutations : mutation list;
+  lambdas : lambda list;
+  callsites : callsite list;
 }
 
 type file = { path : string; modname : string; funcs : func list }
 
 let mutation_to_json m =
   Json.Assoc
+    ([
+       ("line", Json.Int m.m_line);
+       ("col", Json.Int m.m_col);
+       ("target", Json.String m.target);
+       ("locked", Json.Bool m.locked);
+     ]
+    @ match m.m_lambda with
+      | Some id -> [ ("lambda", Json.Int id) ]
+      | None -> [])
+
+let capture_to_json c =
+  Json.Assoc
     [
-      ("line", Json.Int m.m_line);
-      ("col", Json.Int m.m_col);
-      ("target", Json.String m.target);
-      ("locked", Json.Bool m.locked);
+      ("name", Json.String c.c_name);
+      ("line", Json.Int c.c_line);
+      ("col", Json.Int c.c_col);
+      ("reason", Json.String c.c_reason);
+      ("via", Json.List (List.map (fun v -> Json.String v) c.c_via));
+    ]
+
+let lambda_to_json l =
+  Json.Assoc
+    [
+      ("id", Json.Int l.lam_id);
+      ("line", Json.Int l.lam_line);
+      ("col", Json.Int l.lam_col);
+      ("captures", Json.List (List.map capture_to_json l.captures));
+    ]
+
+let arg_kind_to_json = function
+  | Arg_param i -> Json.Assoc [ ("param", Json.Int i) ]
+  | Arg_lambda id -> Json.Assoc [ ("lambda", Json.Int id) ]
+  | Arg_other -> Json.Assoc []
+
+let callsite_to_json c =
+  Json.Assoc
+    [
+      ("line", Json.Int c.cs_line);
+      ("col", Json.Int c.cs_col);
+      ("callee", Json.String c.callee);
+      ("args", Json.List (List.map arg_kind_to_json c.args));
     ]
 
 let func_to_json f =
@@ -34,6 +97,8 @@ let func_to_json f =
       ("col", Json.Int f.f_col);
       ("calls", Json.List (List.map (fun c -> Json.String c) f.calls));
       ("mutations", Json.List (List.map mutation_to_json f.mutations));
+      ("lambdas", Json.List (List.map lambda_to_json f.lambdas));
+      ("callsites", Json.List (List.map callsite_to_json f.callsites));
     ]
 
 let to_json t =
@@ -79,7 +144,50 @@ let mutation_of_json json =
     | Some (Json.Bool b) -> Ok b
     | _ -> Error "summary: missing bool field \"locked\""
   in
-  Ok { m_line; m_col; target; locked }
+  let* m_lambda =
+    match Json.member "lambda" json with
+    | Some (Json.Int id) -> Ok (Some id)
+    | None -> Ok None
+    | Some _ -> Error "summary: mutation \"lambda\" must be an int"
+  in
+  Ok { m_line; m_col; target; locked; m_lambda }
+
+let capture_of_json json =
+  let* c_name = str "name" json in
+  let* c_line = int "line" json in
+  let* c_col = int "col" json in
+  let* c_reason = str "reason" json in
+  let* via_items = list "via" json in
+  let* c_via =
+    collect
+      (function
+        | Json.String s -> Ok s
+        | _ -> Error "summary: capture via must hold strings")
+      via_items
+  in
+  Ok { c_name; c_line; c_col; c_reason; c_via }
+
+let lambda_of_json json =
+  let* lam_id = int "id" json in
+  let* lam_line = int "line" json in
+  let* lam_col = int "col" json in
+  let* capture_items = list "captures" json in
+  let* captures = collect capture_of_json capture_items in
+  Ok { lam_id; lam_line; lam_col; captures }
+
+let arg_kind_of_json json =
+  match (Json.member "param" json, Json.member "lambda" json) with
+  | Some (Json.Int i), _ -> Ok (Arg_param i)
+  | _, Some (Json.Int id) -> Ok (Arg_lambda id)
+  | _ -> Ok Arg_other
+
+let callsite_of_json json =
+  let* cs_line = int "line" json in
+  let* cs_col = int "col" json in
+  let* callee = str "callee" json in
+  let* arg_items = list "args" json in
+  let* args = collect arg_kind_of_json arg_items in
+  Ok { cs_line; cs_col; callee; args }
 
 let func_of_json json =
   let* f_name = str "name" json in
@@ -95,7 +203,11 @@ let func_of_json json =
   in
   let* mutation_items = list "mutations" json in
   let* mutations = collect mutation_of_json mutation_items in
-  Ok { f_name; f_line; f_col; calls; mutations }
+  let* lambda_items = list "lambdas" json in
+  let* lambdas = collect lambda_of_json lambda_items in
+  let* callsite_items = list "callsites" json in
+  let* callsites = collect callsite_of_json callsite_items in
+  Ok { f_name; f_line; f_col; calls; mutations; lambdas; callsites }
 
 let of_json json =
   let* path = str "path" json in

@@ -1,22 +1,65 @@
-(** Per-file interprocedural summary for R9: the top-level functions a
-    compilation unit defines, the (unresolved) value paths each one
-    references, and every write it performs against top-level mutable
-    state, with the lock context the write happened under.
+(** Per-file interprocedural summary for the R9/R10 global passes: the
+    top-level functions a compilation unit defines, the (unresolved) value
+    paths each one references, every write it performs against top-level
+    mutable state with its lock context, and — new in the v3 capture
+    stage — every lambda the function contains with its mutable captures,
+    plus the call sites that hand lambdas (or the function's own
+    parameters) to other functions.
 
-    Summaries are the cacheable half of the R9 analysis: extracting one
-    means reading and walking the unit's [.cmt], which is the expensive
-    step, while the global reachability fixpoint over all summaries is a
-    cheap graph walk recomputed on every run.  They therefore round-trip
+    Summaries are the cacheable half of the typed analysis: extracting
+    one means reading and walking the unit's [.cmt], which is the
+    expensive step, while the global fixpoints over all summaries
+    ({!Callgraph} reachability, {!Capture} escape propagation) are cheap
+    graph walks recomputed on every run.  They therefore round-trip
     through the engine's JSON tree as part of the persistent
-    ["crossbar-lint-cache/1"] document. *)
+    ["crossbar-lint-cache/2"] document. *)
 
 type mutation = {
   m_line : int;
   m_col : int;
   target : string;  (** printable path of the mutated top-level value *)
   locked : bool;
-      (** whether the write sits inside a function literal passed to a
-          configured lock wrapper ([Mutex.protect], [locked], ...) *)
+      (** whether the write sits inside a function literal passed directly
+          to a configured lock wrapper ([Mutex.protect], [locked], ...) *)
+  m_lambda : int option;
+      (** innermost enclosing lambda ([{!lambda.lam_id}]), if the write
+          happens inside one; lets {!Capture}'s propagated lock facts
+          retroactively mark the write locked when the lambda is proven
+          to run under a wrapper through an indirect call *)
+}
+
+type capture = {
+  c_name : string;  (** source name (locals) or dotted path (globals) *)
+  c_line : int;
+  c_col : int;  (** position of one capturing use inside the lambda *)
+  c_reason : string;  (** mutability classification, e.g. ["an array"] *)
+  c_via : string list;
+      (** names of locally-bound closures stepped through when the capture
+          is inherited (the lambda captures [bound], which captures the
+          array) — the chain printed in the R10 message *)
+}
+
+type lambda = {
+  lam_id : int;  (** unique within the file, stable across cache loads *)
+  lam_line : int;
+  lam_col : int;
+  captures : capture list;
+      (** only unsanctioned mutable captures are recorded; a lambda whose
+          captures are all immutable or Atomic/Mutex-guarded lists none *)
+}
+
+type arg_kind =
+  | Arg_param of int
+      (** the caller forwards its own [i]-th parameter (only recorded for
+          function-typed parameters — the higher-order case) *)
+  | Arg_lambda of int  (** a lambda defined in this file, by [lam_id] *)
+  | Arg_other
+
+type callsite = {
+  cs_line : int;
+  cs_col : int;
+  callee : string;  (** dotted path as resolved by the typechecker *)
+  args : arg_kind list;  (** in application order, labels included *)
 }
 
 type func = {
@@ -28,9 +71,18 @@ type func = {
           typechecker (e.g. ["Solver.solve_full"], ["locked"]); resolution
           to concrete functions happens in {!Callgraph} *)
   mutations : mutation list;
+  lambdas : lambda list;
+  callsites : callsite list;
+      (** only call sites passing at least one [Arg_param]/[Arg_lambda]
+          argument — the edges the {!Capture} fixpoint propagates over *)
 }
 
 type file = { path : string; modname : string; funcs : func list }
 
 val to_json : file -> Crossbar_engine.Json.t
+(** The per-file entry body of the ["crossbar-lint-cache/2"] document. *)
+
 val of_json : Crossbar_engine.Json.t -> (file, string) result
+(** Inverse of {!to_json}; the error names the missing or ill-typed
+    field.  Lossless: a round-tripped summary feeds the global passes
+    identically to a freshly extracted one. *)

@@ -55,6 +55,47 @@ let lock_wrapper ~(config : Lint.Config.t) name =
       String.equal wrapper name || String.equal wrapper (last_component name))
     config.Lint.Config.r9_lock_wrappers
 
+(* A configured pattern like "Pool.run" must match however the
+   typechecker rendered the resolved path: "Pool.run" inside the defining
+   library, "Crossbar_engine.Pool.run" through the alias, or the mangled
+   "Crossbar_engine__Pool.run" from a direct unit reference.  Matching the
+   trailing value component plus the short name of the module right above
+   it covers all three; a bare single-component pattern ("locked") keeps
+   the r9_lock_wrappers semantics of matching any path ending there. *)
+let dotted_match ~pattern name =
+  if String.equal pattern name then true
+  else
+    match String.rindex_opt pattern '.' with
+    | None -> String.equal pattern (last_component name)
+    | Some i -> (
+        let pat_value = String.sub pattern (i + 1) (String.length pattern - i - 1) in
+        let pat_mod = String.sub pattern 0 i in
+        String.equal pat_value (last_component name)
+        &&
+        match String.rindex_opt name '.' with
+        | None -> false
+        | Some j ->
+            let mod_part = String.sub name 0 j in
+            let short =
+              match String.rindex_opt mod_part '.' with
+              | Some k ->
+                  String.sub mod_part (k + 1) (String.length mod_part - k - 1)
+              | None -> mod_part
+            in
+            (* Strip "Lib__" unit mangling off the module segment. *)
+            let short =
+              match String.rindex_opt short '_' with
+              | Some k when k > 0 && short.[k - 1] = '_' ->
+                  String.sub short (k + 1) (String.length short - k - 1)
+              | _ -> short
+            in
+            String.equal short pat_mod)
+
+let domain_sink ~(config : Lint.Config.t) name =
+  List.exists
+    (fun pattern -> dotted_match ~pattern name)
+    config.Lint.Config.r10_sinks
+
 (* ---------- environment reconstruction ---------- *)
 
 (* [.cmt] files store environments as summaries; rebuilding them needs the
@@ -97,7 +138,17 @@ let is_float env ty =
   | Types.Tconstr (p, [], _) -> Path.same p Predef.path_float
   | _ -> false
 
-(* ---------- R8: is this type mutable? ---------- *)
+let is_arrow env ty =
+  match Types.get_desc (expand env ty) with
+  | Types.Tarrow _ -> true
+  | _ -> false
+
+(* ---------- R8/R10: is this type mutable? ---------- *)
+
+let bigarray_name name =
+  String.starts_with ~prefix:"Stdlib.Bigarray." name
+  || String.starts_with ~prefix:"Stdlib__Bigarray." name
+  || String.starts_with ~prefix:"Bigarray." name
 
 let rec mutable_reason ~(config : Lint.Config.t) ~depth env ty =
   if depth > 8 then None
@@ -111,6 +162,7 @@ let rec mutable_reason ~(config : Lint.Config.t) ~depth env ty =
         else if List.mem name config.Lint.Config.r8_sanctioned_types then None
         else if List.mem name config.Lint.Config.r8_mutable_types then
           Some (Printf.sprintf "a mutable %s" name)
+        else if bigarray_name name then Some "a Bigarray"
         else begin
           match Env.find_type p env with
           | decl -> (
@@ -143,6 +195,17 @@ let rec mutable_reason ~(config : Lint.Config.t) ~depth env ty =
     | Types.Ttuple items ->
         List.find_map (mutable_reason ~config ~depth:(depth + 1) env) items
     | _ -> None
+
+(* R10's per-capture classification: the r10_guarded_types list extends
+   the sanctioned set with the repo's own mutex-guarded abstractions, so
+   a [Telemetry.t] capture is clean even inside the library where the
+   type is concrete (and would otherwise read as a mutable record). *)
+let capture_reason ~(config : Lint.Config.t) env ty =
+  match Types.get_desc (expand env ty) with
+  | Types.Tconstr (p, _, _)
+    when List.mem (Path.name p) config.Lint.Config.r10_guarded_types ->
+      None
+  | _ -> mutable_reason ~config ~depth:0 env ty
 
 (* ---------- per-file analysis ---------- *)
 
@@ -178,6 +241,45 @@ let rec global_target ~toplevel e =
         (fun base -> base ^ "." ^ label.Types.lbl_name)
         (global_target ~toplevel inner)
   | _ -> None
+
+(* The curried parameter spine of a top-level binding: the maximal chain
+   of single-case unguarded [fun] nodes.  Spine nodes are the function
+   itself, not closures it builds, so they never become lambda records;
+   their pattern idents are the function's parameters, indexed by level
+   for the Arg_param edges the capture fixpoint propagates over. *)
+let peel_spine expr =
+  let rec peel params nodes exp =
+    match exp.exp_desc with
+    | Texp_function
+        { param; cases = [ { c_lhs; c_guard = None; c_rhs } ]; _ } ->
+        let level = param :: pat_bound_idents c_lhs in
+        peel (level :: params) (exp :: nodes) c_rhs
+    | Texp_function _ -> (List.rev params, exp :: nodes)
+    | _ -> (List.rev params, nodes)
+  in
+  peel [] [] expr
+
+(* Every ident bound anywhere inside [e]: pattern idents (let, match,
+   function cases) plus for-loop indices.  Free-variable computation is
+   "uses minus this set" — over-approximate on shadowing in the harmless
+   direction (a shadowed outer name is not reported as captured). *)
+let bound_idents_within e =
+  let acc = ref [] in
+  let pat :
+      type k. Tast_iterator.iterator -> k general_pattern -> unit =
+   fun sub p ->
+    acc := pat_bound_idents p @ !acc;
+    Tast_iterator.default_iterator.pat sub p
+  in
+  let expr sub (e : expression) =
+    (match e.exp_desc with
+    | Texp_for (id, _, _, _, _, _) -> acc := id :: !acc
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub e
+  in
+  let it = { Tast_iterator.default_iterator with pat; expr } in
+  it.Tast_iterator.expr it e;
+  !acc
 
 let analyse ~(config : Lint.Config.t) ~path ~r8_applies ~session ~cmt_root
     ~cmt_path =
@@ -221,12 +323,48 @@ let analyse ~(config : Lint.Config.t) ~path ~r8_applies ~session ~cmt_root
       in
       collect_names structure.str_items;
 
-      (* One iterator pass per top-level binding body serves both R7 (float
-         comparisons) and the R9 summary (referenced paths + writes to
-         top-level state, with lock context). *)
+      (* One iterator pass per top-level binding body serves R7 (float
+         comparisons), the R9 summary (referenced paths + writes to
+         top-level state, with lock context) and the v3 capture summary
+         (lambdas with their mutable captures, call sites forwarding
+         lambdas or parameters). *)
       let calls = ref [] in
       let mutations = ref [] in
+      let lambdas = ref [] in
       let lock_depth = ref 0 in
+      (* Lambda ids are file-scoped so [(path, lam_id)] is unique even
+         when a file defines two functions of the same name. *)
+      let next_lam = ref 0 in
+      let fresh_lam () =
+        let id = !next_lam in
+        incr next_lam;
+        id
+      in
+      (* Per-binding traversal state. *)
+      let spine_nodes = ref [] in
+      let param_levels = ref [] in
+      let lambda_stack = ref [] in
+      (* Source name (or "record.field") of a locally-bound closure to the
+         location of its [fun] node ... *)
+      let local_lambdas = Hashtbl.create 8 in
+      (* ... resolved through the [fun]-location to lambda-id table once
+         the node has been visited. *)
+      let lambda_at = Hashtbl.create 8 in
+      let captures_of = Hashtbl.create 8 in
+      (* Call sites with lambda-literal args are recorded before their
+         args are traversed (and so before those lambdas have ids); the
+         pending location is resolved at end of binding. *)
+      let pending_callsites = ref [] in
+
+      let param_index id =
+        let rec find level = function
+          | [] -> None
+          | idents :: rest ->
+              if List.exists (Ident.same id) idents then Some level
+              else find (level + 1) rest
+        in
+        find 0 !param_levels
+      in
       let record_mutation loc target =
         let line, col = line_col loc in
         mutations :=
@@ -235,6 +373,8 @@ let analyse ~(config : Lint.Config.t) ~path ~r8_applies ~session ~cmt_root
             m_col = col;
             target;
             locked = !lock_depth > 0;
+            m_lambda =
+              (match !lambda_stack with id :: _ -> Some id | [] -> None);
           }
           :: !mutations
       in
@@ -286,11 +426,224 @@ let analyse ~(config : Lint.Config.t) ~path ~r8_applies ~session ~cmt_root
                     (Printf.sprintf "%s (via %s)" target (last_component name))
               | None -> ())
       in
+
+      (* The local name a closure-valued argument is reached through:
+         a bare ident or one field projection off a local record. *)
+      let local_closure_name e =
+        match e.exp_desc with
+        | Texp_ident (Path.Pident id, _, _) -> Some (Ident.name id)
+        | Texp_field ({ exp_desc = Texp_ident (Path.Pident id, _, _); _ },
+                      _, label) ->
+            Some (Ident.name id ^ "." ^ label.Types.lbl_name)
+        | _ -> None
+      in
+
+      (* Free variables of [lam] classified for mutability.  A free name
+         that is itself a locally-bound closure contributes its own
+         captures with the chain extended — the one-level transitive step
+         that makes [let bound = fun ... in Pool.run (fun i -> bound i)]
+         report the state [bound] closes over. *)
+      let compute_captures lam =
+        let bound = bound_idents_within lam in
+        let is_bound id = List.exists (Ident.same id) bound in
+        let seen = Hashtbl.create 8 in
+        let out = ref [] in
+        let record name line col reason via =
+          if not (Hashtbl.mem seen name) then begin
+            Hashtbl.replace seen name ();
+            out :=
+              {
+                Summary.c_name = name;
+                c_line = line;
+                c_col = col;
+                c_reason = reason;
+                c_via = via;
+              }
+              :: !out
+          end
+        in
+        let inherit_from name loc =
+          match Hashtbl.find_opt local_lambdas name with
+          | None -> false
+          | Some fun_loc -> (
+              match Hashtbl.find_opt lambda_at fun_loc with
+              | None -> false
+              | Some id ->
+                  let line, col = line_col loc in
+                  List.iter
+                    (fun (c : Summary.capture) ->
+                      record c.Summary.c_name line col c.Summary.c_reason
+                        (name :: c.Summary.c_via))
+                    (Option.value ~default:[]
+                       (Hashtbl.find_opt captures_of id));
+                  true)
+        in
+        let expr sub (e : expression) =
+          (match e.exp_desc with
+          | Texp_ident (Path.Pident id, _, _) when not (is_bound id) ->
+              let name = Ident.name id in
+              if not (inherit_from name e.exp_loc) then (
+                match
+                  capture_reason ~config (env_of e.exp_env) e.exp_type
+                with
+                | Some reason ->
+                    let line, col = line_col e.exp_loc in
+                    record name line col reason []
+                | None -> ())
+          | Texp_ident ((Path.Pdot _ as p), _, _) -> (
+              match capture_reason ~config (env_of e.exp_env) e.exp_type with
+              | Some reason ->
+                  let line, col = line_col e.exp_loc in
+                  record (Path.name p) line col reason []
+              | None -> ())
+          | _ -> ());
+          Tast_iterator.default_iterator.expr sub e
+        in
+        let it = { Tast_iterator.default_iterator with expr } in
+        it.Tast_iterator.expr it lam;
+        List.rev !out
+      in
+
+      (* A partial application at an argument position builds a closure
+         with no [fun] node to hang a record on; synthesise one whose
+         captures are the application's own mutable operands, so
+         [Pool.run (add_into buf)] still reports [buf]. *)
+      let pseudo_lambda e inner_args =
+        let id = fresh_lam () in
+        let line, col = line_col e.exp_loc in
+        let seen = Hashtbl.create 4 in
+        let captures = ref [] in
+        List.iter
+          (fun (_, arg) ->
+            match arg with
+            | Some (a : expression) -> (
+                let name =
+                  match a.exp_desc with
+                  | Texp_ident (Path.Pident id, _, _) -> Some (Ident.name id)
+                  | Texp_ident ((Path.Pdot _ as p), _, _) ->
+                      Some (Path.name p)
+                  | _ -> None
+                in
+                match name with
+                | Some name when not (Hashtbl.mem seen name) -> (
+                    match
+                      capture_reason ~config (env_of a.exp_env) a.exp_type
+                    with
+                    | Some reason ->
+                        Hashtbl.replace seen name ();
+                        let c_line, c_col = line_col a.exp_loc in
+                        captures :=
+                          {
+                            Summary.c_name = name;
+                            c_line;
+                            c_col;
+                            c_reason = reason;
+                            c_via = [];
+                          }
+                          :: !captures
+                    | None -> ())
+                | _ -> ())
+            | None -> ())
+          inner_args;
+        let captures = List.rev !captures in
+        Hashtbl.replace captures_of id captures;
+        lambdas :=
+          { Summary.lam_id = id; lam_line = line; lam_col = col; captures }
+          :: !lambdas;
+        id
+      in
+
+      (* [`At loc] args await the lambda id assigned when the literal is
+         visited; everything else is final immediately. *)
+      let classify_arg (a : expression) =
+        match a.exp_desc with
+        | Texp_function _ -> `At (line_col a.exp_loc)
+        | Texp_ident (Path.Pident id, _, _) -> (
+            match param_index id with
+            | Some i when is_arrow (env_of a.exp_env) a.exp_type ->
+                `Known (Summary.Arg_param i)
+            | _ ->
+                if Hashtbl.mem local_lambdas (Ident.name id) then
+                  `At_local (Ident.name id)
+                else `Known Summary.Arg_other)
+        | Texp_field _ -> (
+            match local_closure_name a with
+            | Some name when Hashtbl.mem local_lambdas name -> `At_local name
+            | _ -> `Known Summary.Arg_other)
+        | Texp_apply (_, inner_args)
+          when is_arrow (env_of a.exp_env) a.exp_type ->
+            `Known (Summary.Arg_lambda (pseudo_lambda a inner_args))
+        | _ -> `Known Summary.Arg_other
+      in
+      let note_callsite loc fn args =
+        match ident_path fn with
+        | None -> ()
+        | Some p ->
+            let pending =
+              List.map
+                (fun (_, arg) ->
+                  match arg with
+                  | Some a -> classify_arg a
+                  | None -> `Known Summary.Arg_other)
+                args
+            in
+            let interesting =
+              List.exists
+                (function
+                  | `Known Summary.Arg_other -> false
+                  | `Known _ | `At _ | `At_local _ -> true)
+                pending
+            in
+            if interesting then begin
+              let line, col = line_col loc in
+              pending_callsites :=
+                (line, col, Path.name p, pending) :: !pending_callsites
+            end
+      in
+      let note_local_closures vbs =
+        List.iter
+          (fun vb ->
+            match (vb.vb_pat.pat_desc, vb.vb_expr.exp_desc) with
+            | Tpat_var (id, _), Texp_function _ ->
+                Hashtbl.replace local_lambdas (Ident.name id)
+                  (line_col vb.vb_expr.exp_loc)
+            | Tpat_var (id, _), Texp_record { fields; _ } ->
+                Array.iter
+                  (fun ((label : Types.label_description), definition) ->
+                    match definition with
+                    | Overridden (_, ({ exp_desc = Texp_function _; _ } as f))
+                      ->
+                        Hashtbl.replace local_lambdas
+                          (Ident.name id ^ "." ^ label.Types.lbl_name)
+                          (line_col f.exp_loc)
+                    | _ -> ())
+                  fields
+            | _ -> ())
+          vbs
+      in
+
       let visit iterator e =
         match e.exp_desc with
         | Texp_ident (p, _, _) -> note_ident e.exp_loc p
+        | Texp_function _ when not (List.memq e !spine_nodes) ->
+            let id = fresh_lam () in
+            Hashtbl.replace lambda_at (line_col e.exp_loc) id;
+            let captures = compute_captures e in
+            Hashtbl.replace captures_of id captures;
+            let line, col = line_col e.exp_loc in
+            lambdas :=
+              { Summary.lam_id = id; lam_line = line; lam_col = col; captures }
+              :: !lambdas;
+            lambda_stack := id :: !lambda_stack;
+            Fun.protect
+              ~finally:(fun () -> lambda_stack := List.tl !lambda_stack)
+              (fun () -> Tast_iterator.default_iterator.expr iterator e)
+        | Texp_let (_, vbs, _) ->
+            note_local_closures vbs;
+            Tast_iterator.default_iterator.expr iterator e
         | Texp_apply (fn, args) -> (
             check_apply e.exp_loc fn args;
+            note_callsite e.exp_loc fn args;
             match ident_path fn with
             | Some p when lock_wrapper ~config (Path.name p) ->
                 (* The wrapper's non-function arguments (the mutex, the
@@ -325,9 +678,55 @@ let analyse ~(config : Lint.Config.t) ~path ~r8_applies ~session ~cmt_root
       let analyse_body vb =
         calls := [];
         mutations := [];
+        lambdas := [];
         lock_depth := 0;
+        lambda_stack := [];
+        Hashtbl.reset local_lambdas;
+        Hashtbl.reset lambda_at;
+        Hashtbl.reset captures_of;
+        pending_callsites := [];
+        let params, spine = peel_spine vb.vb_expr in
+        param_levels := params;
+        spine_nodes := spine;
         iterator.Tast_iterator.expr iterator vb.vb_expr;
-        (List.rev !calls, List.rev !mutations)
+        let callsites =
+          List.rev_map
+            (fun (line, col, callee, pending) ->
+              {
+                Summary.cs_line = line;
+                cs_col = col;
+                callee;
+                args =
+                  List.map
+                    (function
+                      | `Known kind -> kind
+                      | `At loc -> (
+                          match Hashtbl.find_opt lambda_at loc with
+                          | Some id -> Summary.Arg_lambda id
+                          | None -> Summary.Arg_other)
+                      | `At_local name -> (
+                          match
+                            Option.bind
+                              (Hashtbl.find_opt local_lambdas name)
+                              (Hashtbl.find_opt lambda_at)
+                          with
+                          | Some id -> Summary.Arg_lambda id
+                          | None -> Summary.Arg_other))
+                    pending;
+              })
+            !pending_callsites
+        in
+        let callsites =
+          List.filter
+            (fun (c : Summary.callsite) ->
+              List.exists
+                (function
+                  | Summary.Arg_other -> false
+                  | Summary.Arg_param _ | Summary.Arg_lambda _ -> true)
+                c.Summary.args)
+            callsites
+        in
+        (List.rev !calls, List.rev !mutations, List.rev !lambdas, callsites)
       in
 
       let rec walk_items items =
@@ -353,7 +752,9 @@ let analyse ~(config : Lint.Config.t) ~path ~r8_applies ~session ~cmt_root
                     match vb.vb_pat.pat_desc with
                     | Tpat_var (id, _) ->
                         let line, col = line_col vb.vb_loc in
-                        let calls, mutations = analyse_body vb in
+                        let calls, mutations, lambdas, callsites =
+                          analyse_body vb
+                        in
                         funcs :=
                           {
                             Summary.f_name = Ident.name id;
@@ -361,6 +762,8 @@ let analyse ~(config : Lint.Config.t) ~path ~r8_applies ~session ~cmt_root
                             f_col = col;
                             calls;
                             mutations;
+                            lambdas;
+                            callsites;
                           }
                           :: !funcs
                     | _ ->

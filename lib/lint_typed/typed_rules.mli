@@ -4,7 +4,10 @@
     these see the typechecker's output: resolved value paths, inferred
     types, and desugared applications.  One pass over a unit's [.cmt]
     yields both the R7/R8 findings for that file and the {!Summary.file}
-    record that feeds the interprocedural R9 analysis in {!Callgraph}. *)
+    record — call edges, writes with lock context, and the v3
+    closure-capture data (lambdas, mutable captures, forwarding call
+    sites) — that feeds the interprocedural R9/R10 analyses in
+    {!Callgraph} and {!Capture}. *)
 
 type session
 (** Mutable compiler-libs state (load path, persistent-structure caches)
@@ -14,6 +17,17 @@ type session
     with a different load path than its predecessor. *)
 
 val session : unit -> session
+
+val lock_wrapper : config:Crossbar_lint.Config.t -> string -> bool
+(** Whether a resolved value path names a configured lock wrapper
+    ([r9_lock_wrappers]); a bare single-component pattern matches any
+    path ending in that component. *)
+
+val domain_sink : config:Crossbar_lint.Config.t -> string -> bool
+(** Whether a resolved value path names a configured domain boundary
+    ([r10_sinks]).  A two-component pattern such as ["Pool.run"] matches
+    the plain, aliased and unit-mangled spellings of the same function
+    ([Pool.run], [Crossbar_engine.Pool.run], [Crossbar_engine__Pool.run]). *)
 
 val analyse :
   config:Crossbar_lint.Config.t ->

@@ -275,6 +275,7 @@ let execute ?domains ~registry ~telemetry (requests : Protocol.request array) =
      scatter back by request index, so responses are index-aligned no
      matter which domain served which tree. *)
   let group_responses =
+    (* lint: guarded=groups,requests — both frozen before the pool starts *)
     Pool.run ~domains:width ~tasks:(Array.length groups) (fun g ->
         let _, indices = groups.(g) in
         List.map

@@ -51,16 +51,24 @@ val request_of_line : string -> (request, string) result
     response body. *)
 
 val request_of_json : Json.t -> (request, string) result
+(** As {!request_of_line}, from an already-parsed document. *)
+
 val request_to_json : request -> Json.t
+(** Inverse of {!request_of_json}. *)
 
 val request_to_line : request -> string
 (** Compact one-line rendering (no embedded newline) — what clients and
     the load generator put on the wire. *)
 
 val model_to_json : Crossbar.Model.t -> Json.t
+(** The [model] object of a [solve] request. *)
+
 val model_of_json : Json.t -> (Crossbar.Model.t, string) result
+(** Inverse of {!model_to_json}; the error names the offending field. *)
 
 val measures_to_json : Crossbar.Measures.t -> Json.t
+(** Per-class measures as the [measures] block of a solve/delta
+    response. *)
 
 val ok_response : id:Json.t -> op:string -> (string * Json.t) list -> Json.t
 (** [{"id":id,"ok":true,"op":op,...fields}]. *)

@@ -39,7 +39,10 @@ val replace : t -> name:string -> entry -> unit
 (** Store a delta-updated entry under an existing (or new) name. *)
 
 val size : t -> int
+(** Resident tree count. *)
+
 val capacity : t -> int option
+(** The bound given at {!create}; [None] when unbounded. *)
 
 val stats_json : t -> Crossbar_engine.Json.t
 (** [{"entries":..,"capacity":..,"hits":..,"misses":..,"evictions":..}]

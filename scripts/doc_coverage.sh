@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Doc-coverage gate over the public interfaces named in lint.json.
+#
+# A `val` in a .mli counts as documented when a (** ... *) block sits
+# directly above its signature or anywhere between the signature and the
+# next top-level item — the trailing-doc idiom used across this repo.
+# The threshold and the directories measured come from lint.json's
+# "doc_coverage" object, so the linter config stays the single source of
+# truth; pass an alternative config path as $1.
+#
+# No odoc required: the check is a line-level scan, which keeps it
+# runnable in the bare dune+ocamlc environment and in CI alike.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+config=${1:-lint.json}
+[ -f "$config" ] || { echo "doc-coverage: $config not found" >&2; exit 2; }
+
+threshold=$(sed -n 's/.*"doc_coverage":{"threshold":\([0-9.][0-9.]*\).*/\1/p' "$config")
+paths=$(grep -o '"doc_coverage":{[^}]*}' "$config" \
+  | grep -o '"paths":\[[^]]*\]' \
+  | sed 's/"paths"://' | tr -d '"[]' | tr ',' ' ')
+[ -n "$threshold" ] || { echo "doc-coverage: no threshold in $config" >&2; exit 2; }
+[ -n "$paths" ] || { echo "doc-coverage: no paths in $config" >&2; exit 2; }
+
+# Per-file val/doc counts.  States: [pending] a doc block immediately
+# above, [open] inside a val awaiting a trailing doc before the next
+# top-level item.
+count_mli() {
+  awk '
+    function flush() { if (open) { total++; if (ok) doc++ }; open = 0; ok = 0 }
+    /^\(\*\*/     { if (open) ok = 1; else pending = 1; next }
+    /^val /       { flush(); open = 1; ok = pending; pending = 0;
+                    if (index($0, "(**") > 0) ok = 1; next }
+    /^(type|module|exception|include|open|class|external)[ \t]/ {
+                    flush(); pending = 0; next }
+    /^\(\*[^*]/   { flush(); pending = 0; next }
+    { if (open && index($0, "(**") > 0) ok = 1 }
+    END { flush(); printf "%d %d\n", total, doc }
+  ' "$1"
+}
+
+total=0
+documented=0
+status=0
+for dir in $paths; do
+  [ -d "$dir" ] || { echo "doc-coverage: skipping missing dir $dir" >&2; continue; }
+  for mli in $(find "$dir" -name '*.mli' | sort); do
+    set -- $(count_mli "$mli")
+    t=$1 d=$2
+    total=$((total + t))
+    documented=$((documented + d))
+    if [ "$t" -gt 0 ]; then
+      printf '  %-44s %3d/%-3d\n' "$mli" "$d" "$t"
+    fi
+  done
+done
+
+if [ "$total" -eq 0 ]; then
+  echo "doc-coverage: no vals found under: $paths" >&2
+  exit 2
+fi
+
+coverage=$(awk -v d="$documented" -v t="$total" 'BEGIN { printf "%.4f", d / t }')
+ok=$(awk -v c="$coverage" -v th="$threshold" 'BEGIN { print (c + 1e-9 >= th) ? 1 : 0 }')
+printf 'doc-coverage: %d/%d vals documented (%.1f%%), threshold %.1f%%\n' \
+  "$documented" "$total" \
+  "$(awk -v c="$coverage" 'BEGIN { print c * 100 }')" \
+  "$(awk -v th="$threshold" 'BEGIN { print th * 100 }')"
+if [ "$ok" -ne 1 ]; then
+  echo "doc-coverage: below threshold — document the undocumented vals or adjust lint.json" >&2
+  status=1
+fi
+exit "$status"

@@ -1,0 +1,7 @@
+(* Fixture: the entry points making the higher-order writes reachable
+   for the R9 call graph. *)
+
+let run () =
+  R9_higher_order.locked_bump ();
+  R9_higher_order.stored_bump ();
+  R9_higher_order.unlocked_bump ()

@@ -1,0 +1,5 @@
+(* Fixture: a stand-in pool whose [run] matches the default r10_sinks
+   pattern "Pool.run".  Sequential on purpose — only the resolved name
+   matters to the capture fixpoint, not what the function does. *)
+
+let run ~tasks f = Array.init tasks f

@@ -1,0 +1,30 @@
+(* Fixture: closures crossing the Pool.run domain boundary.  [direct]
+   captures an array in a literal lambda, [stored] stores the closure in
+   a record field before passing it, and [partial] builds the closure by
+   partial application — three R10 findings.  [atomic] captures only a
+   sanctioned Atomic.t and [pure] captures nothing, so neither is
+   flagged. *)
+
+let totals = Array.make 4 0
+
+let direct () = Pool.run ~tasks:4 (fun i -> totals.(i) <- i)
+
+type handler = { work : int -> unit }
+
+let log = Array.make 4 0.
+
+let stored () =
+  let h = { work = (fun i -> log.(i) <- float_of_int i) } in
+  Pool.run ~tasks:4 h.work
+
+let sink = Buffer.create 64
+
+let emit buf i = Buffer.add_string buf (string_of_int i)
+
+let partial () = Pool.run ~tasks:2 (emit sink)
+
+let counter = Atomic.make 0
+
+let atomic () = Pool.run ~tasks:2 (fun _ -> Atomic.incr counter)
+
+let pure () = Pool.run ~tasks:2 (fun i -> i + 1)

@@ -1,0 +1,9 @@
+(* Fixture: the escape hides behind one layer of forwarding — only the
+   capture fixpoint's sink facts connect [go]'s lambda to the boundary,
+   and the finding's chain must witness the route. *)
+
+let spawn_all f = Pool.run ~tasks:2 f
+
+let slots = Array.make 2 0
+
+let go () = spawn_all (fun i -> slots.(i) <- i)

@@ -1,0 +1,19 @@
+(* Fixture: v2's lexical lock tracking cannot see that the callbacks here
+   run under Mutex.protect — one goes through the [with_lock] wrapper,
+   one is let-bound and passed by name — so both writes to [counter]
+   depend on the capture fixpoint's wrapper facts.  [unlocked_bump] is
+   the control: the only R9 finding. *)
+
+let lock = Mutex.create ()
+let counter = ref 0
+let total = ref 0
+
+let with_lock f = Mutex.protect lock f
+
+let locked_bump () = with_lock (fun () -> incr counter)
+
+let stored_bump () =
+  let work () = incr counter in
+  Mutex.protect lock work
+
+let unlocked_bump () = incr total

@@ -11,8 +11,21 @@ module Json = Crossbar_engine.Json
    test's working directory (paths must stay relative: Config.normalize
    treats them as repo-relative). *)
 
+(* Order is compile order: [pool.ml] first (the r10 fixtures call it),
+   each r9 module before the engine entry that references it. *)
 let fixture_files =
-  [ "r7_float_eq.ml"; "r8_mutable.ml"; "r9_state.ml"; "engine/r9_entry.ml" ]
+  [
+    "pool.ml";
+    "r7_float_eq.ml";
+    "r8_mutable.ml";
+    "r9_state.ml";
+    "r9_higher_order.ml";
+    "r10_capture.ml";
+    "r10_indirect.ml";
+    "r10_guarded.ml";
+    "engine/r9_entry.ml";
+    "engine/r9_ho_entry.ml";
+  ]
 
 let sh cmd =
   if Sys.command cmd <> 0 then Alcotest.failf "command failed: %s" cmd
@@ -61,6 +74,19 @@ let count rule findings =
        (fun (f : Finding.t) -> Rule.compare f.Finding.rule rule = 0)
        findings)
 
+let contains haystack needle =
+  let n = String.length needle in
+  let rec search from =
+    from + n <= String.length haystack
+    && (String.equal (String.sub haystack from n) needle || search (from + 1))
+  in
+  search 0
+
+let mentions findings needle =
+  List.exists
+    (fun (f : Finding.t) -> contains f.Finding.message needle)
+    findings
+
 (* ---------- per-rule fixtures ---------- *)
 
 let test_r7_exact_count () =
@@ -94,21 +120,90 @@ let test_r9_exact_count () =
       check_bool "r9: lands on the file holding the write" true
         (String.equal f.Finding.file (dir ^ "/r9_state.ml")))
     findings;
-  let mentions needle =
-    List.exists
-      (fun (f : Finding.t) ->
-        let message = f.Finding.message in
-        let rec search from =
-          from + String.length needle <= String.length message
-          && (String.equal (String.sub message from (String.length needle))
-                needle
-             || search (from + 1))
-        in
-        search 0)
-      findings
+  check_bool "r9: names the ref write" true (mentions findings "hits");
+  check_bool "r9: names the record field write" true
+    (mentions findings "stats.total")
+
+(* ---------- v3 capture stage: R10 and R9's higher-order closure ---------- *)
+
+let test_r10_exact_count () =
+  let dir = "typed_scratch_rules" in
+  let findings, stats = run ~dir [ Rule.R10 ] [ dir ^ "/r10_capture.ml" ] in
+  check_bool "r10: no missing cmt" true (stats.Typed.Driver.missing_cmt = []);
+  check_bool "r10: no errors" true (stats.Typed.Driver.errors = []);
+  check_int "r10: count" 3 (List.length findings);
+  check_int "r10: all R10" 3 (count Rule.R10 findings);
+  check_bool "r10: literal lambda capture" true (mentions findings "totals");
+  check_bool "r10: record-stored closure capture" true (mentions findings "log");
+  check_bool "r10: partial-application capture" true
+    (mentions findings "sink (a mutable");
+  check_bool "r10: sanctioned Atomic stays clean" true
+    (not (mentions findings "counter"))
+
+let test_r10_indirect_chain () =
+  let dir = "typed_scratch_rules" in
+  let findings, _ = run ~dir [ Rule.R10 ] [ dir ^ "/r10_indirect.ml" ] in
+  check_int "indirect: count" 1 (List.length findings);
+  check_bool "indirect: names the capture" true (mentions findings "slots");
+  check_bool "indirect: witnesses the forwarding chain" true
+    (mentions findings "spawn_all -> Pool.run")
+
+let test_r10_guarded_and_suppressed () =
+  let dir = "typed_scratch_guard" in
+  setup dir;
+  let target = dir ^ "/r10_guarded.ml" in
+  let findings, _ = run ~dir [ Rule.R10 ] [ target ] in
+  check_int "guarded: clean" 0 (List.length findings);
+  (* Reverting the guarded= annotation must bring the escape back with
+     exactly its capture chain — the same regression the annotation in
+     lib/serve/batcher.ml is protected by. *)
+  let text = In_channel.with_open_bin target In_channel.input_all in
+  let stripped =
+    String.split_on_char '\n' text
+    |> List.filter (fun line -> not (contains line "guarded="))
+    |> String.concat "\n"
   in
-  check_bool "r9: names the ref write" true (mentions "hits");
-  check_bool "r9: names the record field write" true (mentions "stats.total")
+  Out_channel.with_open_bin target (fun oc ->
+      Out_channel.output_string oc stripped);
+  compile dir "r10_guarded.ml";
+  let findings, _ = run ~dir [ Rule.R10 ] [ target ] in
+  check_int "stripped: the escape returns" 1 (List.length findings);
+  check_bool "stripped: names groups" true
+    (mentions findings "groups (an array)");
+  check_bool "stripped: names requests" true
+    (mentions findings "requests (an array)");
+  check_bool "stripped: names the boundary" true (mentions findings "Pool.run");
+  check_bool "stripped: disable=R10 still suppresses" true
+    (not (mentions findings "noisy"))
+
+let annotated_sites =
+  [
+    ("../lib/engine/pool.ml", "guarded=results");
+    ("../lib/engine/sweep.ml", "guarded=points");
+    ("../lib/engine/sweep.ml", "guarded=starts,points");
+    ("../lib/serve/batcher.ml", "guarded=groups,requests");
+  ]
+
+let test_tree_annotations_present () =
+  (* The cleaned tree passes R10 through these four directives; losing
+     one would resurface the finding in `dune build @lint` — this pins
+     them so an accidental edit fails fast with a named site. *)
+  List.iter
+    (fun (file, directive) ->
+      let text = In_channel.with_open_bin file In_channel.input_all in
+      check_bool (file ^ " keeps " ^ directive) true (contains text directive))
+    annotated_sites
+
+let test_r9_higher_order () =
+  let dir = "typed_scratch_rules" in
+  let findings, _ =
+    run ~dir [ Rule.R9 ]
+      [ dir ^ "/r9_higher_order.ml"; dir ^ "/engine/r9_ho_entry.ml" ]
+  in
+  check_int "r9 ho: only the control is flagged" 1 (List.length findings);
+  check_bool "r9 ho: names the unlocked write" true (mentions findings "total");
+  check_bool "r9 ho: wrapper-run callbacks stay clean" true
+    (not (mentions findings "counter"))
 
 (* ---------- incremental cache ---------- *)
 
@@ -122,13 +217,13 @@ let test_cache_hits_and_invalidation () =
     Typed.Driver.run ~config ~store ~cmt_index:(index dir) ~cmt_root:"." [ dir ]
   in
   let findings1, stats1 = run_with store in
-  check_int "cold: files" 4 stats1.Typed.Driver.files;
+  check_int "cold: files" 10 stats1.Typed.Driver.files;
   check_int "cold: hits" 0 stats1.Typed.Driver.hits;
-  check_int "cold: misses" 4 stats1.Typed.Driver.misses;
+  check_int "cold: misses" 10 stats1.Typed.Driver.misses;
   check_int "cold: r7 findings" 5 (List.length findings1);
 
   let findings2, stats2 = run_with store in
-  check_int "warm: hits" 4 stats2.Typed.Driver.hits;
+  check_int "warm: hits" 10 stats2.Typed.Driver.hits;
   check_int "warm: misses" 0 stats2.Typed.Driver.misses;
   check_bool "warm: identical findings" true (findings1 = findings2);
 
@@ -142,9 +237,9 @@ let test_cache_hits_and_invalidation () =
     | Ok store -> store
     | Error m -> Alcotest.failf "load failed: %s" m
   in
-  check_int "reloaded: size" 4 (Typed.Store.size reloaded);
+  check_int "reloaded: size" 10 (Typed.Store.size reloaded);
   let _, stats3 = run_with reloaded in
-  check_int "reloaded: hits" 4 stats3.Typed.Driver.hits;
+  check_int "reloaded: hits" 10 stats3.Typed.Driver.hits;
 
   (* Editing one fixture evicts exactly that entry. *)
   let target = dir ^ "/r7_float_eq.ml" in
@@ -153,7 +248,7 @@ let test_cache_hits_and_invalidation () =
   close_out oc;
   compile dir "r7_float_eq.ml";
   let findings4, stats4 = run_with reloaded in
-  check_int "edited: hits" 3 stats4.Typed.Driver.hits;
+  check_int "edited: hits" 9 stats4.Typed.Driver.hits;
   check_int "edited: misses" 1 stats4.Typed.Driver.misses;
   check_int "edited: r7 findings" 6 (List.length findings4);
 
@@ -162,6 +257,53 @@ let test_cache_hits_and_invalidation () =
   (match Typed.Store.load ~config_hash:other_hash cache_file with
   | Ok store -> check_int "other config: empty" 0 (Typed.Store.size store)
   | Error m -> Alcotest.failf "load under other config failed: %s" m);
+  (* The capture-stage knobs feed the hash too: changing the sink list
+     must re-key the document (and so re-run every per-file extraction
+     the fixpoint feeds on). *)
+  let sink_hash =
+    Config.hash
+      { (typed_config ~dir [ Rule.R7 ]) with Config.r10_sinks = [ "Exec.go" ] }
+  in
+  check_bool "r10_sinks feeds the config hash" true
+    (not (String.equal config_hash sink_hash));
+  (match Typed.Store.load ~config_hash:sink_hash cache_file with
+  | Ok store -> check_int "sink config: empty" 0 (Typed.Store.size store)
+  | Error m -> Alcotest.failf "load under sink config failed: %s" m);
+  Sys.remove cache_file
+
+let test_r10_warm_and_persisted () =
+  (* R10 is a global pass recomputed every run from the per-file
+     summaries; a warm run (all files cache hits) must reproduce the same
+     findings, including through the JSON document — this is what proves
+     the v2-to-v2-schema lambda/callsite data round-trips. *)
+  let dir = "typed_scratch_r10cache" in
+  setup dir;
+  let config = typed_config ~dir [ Rule.R10 ] in
+  let config_hash = Config.hash config in
+  let paths = [ dir ^ "/r10_capture.ml"; dir ^ "/r10_indirect.ml" ] in
+  let run_with store =
+    Typed.Driver.run ~config ~store ~cmt_index:(index dir) ~cmt_root:"." paths
+  in
+  let store = Typed.Store.create ~config_hash in
+  let findings1, stats1 = run_with store in
+  check_int "cold: misses" 2 stats1.Typed.Driver.misses;
+  check_int "cold: r10 findings" 4 (count Rule.R10 findings1);
+  let findings2, stats2 = run_with store in
+  check_int "warm: hits" 2 stats2.Typed.Driver.hits;
+  check_int "warm: misses" 0 stats2.Typed.Driver.misses;
+  check_bool "warm: identical findings" true (findings1 = findings2);
+  let cache_file = "typed_scratch_r10cache.json" in
+  (match Typed.Store.save store cache_file with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "save failed: %s" m);
+  let reloaded =
+    match Typed.Store.load ~config_hash cache_file with
+    | Ok store -> store
+    | Error m -> Alcotest.failf "load failed: %s" m
+  in
+  let findings3, stats3 = run_with reloaded in
+  check_int "persisted: hits" 2 stats3.Typed.Driver.hits;
+  check_bool "persisted: identical findings" true (findings1 = findings3);
   Sys.remove cache_file
 
 (* ---------- SARIF ---------- *)
@@ -330,8 +472,20 @@ let () =
           case "R8 top-level mutable state" test_r8_exact_count;
           case "R9 unlocked reachable writes" test_r9_exact_count;
         ] );
+      ( "capture stage",
+        [
+          case "R10 capture shapes" test_r10_exact_count;
+          case "R10 forwarding chain" test_r10_indirect_chain;
+          case "R10 guarded= and disable=" test_r10_guarded_and_suppressed;
+          case "tree annotations present" test_tree_annotations_present;
+          case "R9 higher-order lock wrappers" test_r9_higher_order;
+        ] );
       ( "incremental cache",
-        [ case "hits, persistence, invalidation" test_cache_hits_and_invalidation ] );
+        [
+          case "hits, persistence, invalidation" test_cache_hits_and_invalidation;
+          case "R10 stable across warm and persisted runs"
+            test_r10_warm_and_persisted;
+        ] );
       ( "sarif",
         [
           case "document shape" test_sarif_document_shape;
