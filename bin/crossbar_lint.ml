@@ -12,10 +12,12 @@ let usage =
    Parses every .ml/.mli under the given paths (default: lib bin bench\n\
    examples) with compiler-libs and enforces the R1-R6 invariants\n\
    documented in docs/LINT.md.  With --typed, additionally reads the\n\
-   .cmt artifacts dune produced and runs the typed rules R7-R10.\n\
+   .cmt artifacts dune produced and runs the typed rules R7-R13\n\
+   (R11-R13 close the per-function effect summaries over the call\n\
+   graph: hot-path allocations, escaping raises, float domains).\n\
    \n\
    options:\n\
-   \  --typed         run the Typedtree stage (R7-R10) over .cmt artifacts\n\
+   \  --typed         run the Typedtree stage (R7-R13) over .cmt artifacts\n\
    \  --cmt-root DIR  where to look for .cmt files (default:\n\
    \                  _build/default when it exists, else .)\n\
    \  --cache FILE    persist per-file typed results across runs\n\
@@ -121,6 +123,19 @@ let () =
         parse rest
   in
   parse arguments;
+  (match !rules with
+  | Some ids
+    when (not !typed)
+         && List.exists
+              (fun id ->
+                match id with
+                | Lint.Rule.R11 | Lint.Rule.R12 | Lint.Rule.R13 -> true
+                | _ -> false)
+              ids ->
+      die
+        "crossbar_lint: R11-R13 are effect-stage rules; they need .cmt \
+         artifacts, so pass --typed"
+  | _ -> ());
   let paths =
     match List.rev !paths with [] -> default_paths | paths -> paths
   in
@@ -209,6 +224,16 @@ let () =
       Printf.printf
         "typed stage: %d files, %d cache hits, %d analysed, %d without .cmt\n"
         s.Typed.Driver.files s.Typed.Driver.hits s.Typed.Driver.misses
-        (List.length s.Typed.Driver.missing_cmt)
+        (List.length s.Typed.Driver.missing_cmt);
+      Printf.printf
+        "typed stage timings: extract %.1fms, capture %.1fms (%d \
+         iterations), callgraph %.1fms, effects %.1fms (%d raise + %d \
+         domain iterations)\n"
+        (1000. *. s.Typed.Driver.extract_s)
+        (1000. *. s.Typed.Driver.capture_s)
+        s.Typed.Driver.capture_iterations
+        (1000. *. s.Typed.Driver.graph_s)
+        (1000. *. s.Typed.Driver.effects_s)
+        s.Typed.Driver.raise_iterations s.Typed.Driver.domain_iterations
   | _ -> ());
   exit (if findings = [] then 0 else 1)

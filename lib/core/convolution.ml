@@ -82,6 +82,7 @@ let class_factor ctx model r =
   let theta = Model.beta_over_mu model r in
   let seq = Lattice.create ~stride:a ~capacity:ctx.cap () in
   Lattice.set seq 0 1.;
+  (* lint: alloc=v -- one chain cell per class factor, O(R) per solve *)
   let v = ref 0. in
   for k = 1 to ctx.cap / a do
     let u = k * a in
@@ -108,20 +109,21 @@ let rec gcd a b = if b = 0 then a else gcd b (a mod b)
 
 (* Applies [chunks] rescale chunks one multiplication at a time:
    rescale_factor^2 already underflows to zero, so the chunks cannot be
-   collapsed into a single factor. *)
-let apply_chunks value chunks =
-  let x = ref value in
-  for _ = 1 to chunks do
-    x := !x *. Lattice.rescale_factor
-  done;
-  !x
+   collapsed into a single factor.  Tail recursion keeps the value in a
+   register — same left-to-right multiplication sequence as the old
+   reference cell, so results are bit-identical. *)
+let rec apply_chunks value chunks =
+  if chunks = 0 then value
+  else apply_chunks (value *. Lattice.rescale_factor) (chunks - 1)
 
 (* Virtual pre-scaling shared by [combine] and the marginal sweep: how
    many rescale chunks to borrow from each operand so that the largest
    product of entries stays representable.  The chunks are credited back
    to the result's scale (or cancel in a normalised marginal). *)
 let prechunk a b =
+  (* lint: alloc=ka,kb -- four scratch cells, amortised over the pass *)
   let ka = ref 0 and kb = ref 0 in
+  (* lint: alloc=ma,mb -- see above; ka,kb,ma,mb are one constant-size set *)
   let ma = ref (Lattice.max_abs a) and mb = ref (Lattice.max_abs b) in
   while !ma *. !mb > Lattice.rescale_threshold do
     if !ma >= !mb then begin
@@ -133,6 +135,7 @@ let prechunk a b =
       mb := !mb *. Lattice.rescale_factor
     end
   done;
+  (* lint: alloc=tuple -- the borrowed chunk counts are the result *)
   (!ka, !kb)
 
 (* Tilted convolution (A * B)(u+v) = sum A(u) B(v) w1(u,v) w2(u,v).
@@ -147,9 +150,11 @@ let combine ctx a b =
   let sa = Lattice.stride a and sb = Lattice.stride b in
   let result = Lattice.create ~stride:(gcd sa sb) ~capacity:cap () in
   let ka, kb = prechunk a b in
+  (* lint: alloc=sum,v -- two scratch cells for the whole O(cap^2) pass *)
+  let sum = ref 0. and v = ref 0 in
   for total = 0 to cap do
-    let sum = ref 0. in
-    let v = ref 0 in
+    sum := 0.;
+    v := 0;
     while !v <= total do
       let u = total - !v in
       if u mod sa = 0 then begin
@@ -246,21 +251,27 @@ module Factor_tree = struct
       invalid_arg "Convolution.Factor_tree.update: class count differs";
     match Model.class_delta t.model model with
     | None -> assert false (* dimensions and class count checked above *)
-    | Some [] -> { t with model; combines = 0 }
+    | Some [] ->
+        (* lint: alloc=record -- unchanged classes: one record, no combines *)
+        { t with model; combines = 0 }
     | Some changed ->
+        (* lint: alloc=levels -- spine copy, O(log R); nodes stay shared *)
         let levels = Array.map Array.copy t.levels in
         List.iter
+          (* lint: alloc=closure -- one leaf-refresh closure per update *)
           (fun r -> levels.(0).(r) <- class_factor t.ctx model r)
           changed;
-        let combines = ref 0 in
-        let frontier = ref changed in
+        (* lint: alloc=combines,frontier -- two cells per update *)
+        let combines = ref 0 and frontier = ref changed in
         for k = 0 to Array.length levels - 2 do
           let level = levels.(k) in
           let n = Array.length level in
           let parents =
+            (* lint: alloc=closure -- parent-index map, O(log R) per update *)
             List.sort_uniq compare (List.map (fun i -> i / 2) !frontier)
           in
           List.iter
+            (* lint: alloc=closure -- one recombine closure per level *)
             (fun j ->
               if (2 * j) + 1 < n then begin
                 levels.(k + 1).(j) <-
@@ -271,6 +282,7 @@ module Factor_tree = struct
             parents;
           frontier := parents
         done;
+        (* lint: alloc=record -- the updated tree value itself *)
         { model; ctx = t.ctx; levels; combines = !combines }
 
   (* Prefix x suffix sweep: walking the tree top-down with
@@ -284,14 +296,18 @@ module Factor_tree = struct
   let leave_one_out t =
     let num = num_classes t in
     if num = 0 then [||]
-    else if num = 1 then [| unit_profile t.ctx.cap |]
+    else if num = 1 then
+      (* lint: alloc=array -- the degenerate one-class result *)
+      [| unit_profile t.ctx.cap |]
     else begin
+      (* lint: alloc=comp,array -- the sweep's working row, O(R) words *)
       let comp = ref [| None |] in
       for k = Array.length t.levels - 1 downto 1 do
         let children = t.levels.(k - 1) in
         let n = Array.length children in
         let parent_comp = !comp in
         comp :=
+          (* lint: alloc=array,closure -- next complement row, one per level *)
           Array.init n (fun i ->
               let above = parent_comp.(i / 2) in
               let sibling =
@@ -299,13 +315,15 @@ module Factor_tree = struct
                   if i + 1 < n then Some children.(i + 1) else None
                 else Some children.(i - 1)
               in
+              (* lint: alloc=tuple -- scrutinee pair, erased by flambda *)
               match (above, sibling) with
               | None, None -> None
               | None, Some s -> Some s
               | Some c, None -> Some c
               | Some c, Some s -> Some (combine t.ctx c s))
       done;
-      Array.map
+      (* lint: alloc=array -- the R complements, the sweep's result *)
+      Array.map (* lint: alloc=closure -- unwrap projection, once per sweep *)
         (function Some l -> l | None -> unit_profile t.ctx.cap)
         !comp
     end

@@ -15,6 +15,7 @@ type t = {
 let create ?(stride = 1) ~capacity () =
   if capacity < 0 then invalid_arg "Lattice.create: negative capacity";
   if stride < 1 then invalid_arg "Lattice.create: stride < 1";
+  (* lint: alloc=record -- the result lattice itself, one per combine *)
   { values = Float.Array.make (capacity + 1) 0.; capacity; stride; scale = 0 }
 
 let capacity t = t.capacity
@@ -24,6 +25,7 @@ let get t u = Float.Array.get t.values u
 let set t u x = Float.Array.set t.values u x
 
 let max_abs t =
+  (* lint: alloc=m -- one scratch cell for the whole scan *)
   let m = ref 0. in
   for u = 0 to t.capacity do
     let x = Float.abs (Float.Array.get t.values u) in
@@ -53,6 +55,7 @@ module Grid = struct
 
   let create ~rows ~cols =
     if rows < 1 || cols < 1 then invalid_arg "Lattice.Grid.create: empty";
+    (* lint: alloc=record -- grids are per-context, not per combine *)
     { data = Float.Array.make (rows * cols) 0.; rows; cols }
 
   let rows t = t.rows

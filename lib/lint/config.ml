@@ -20,6 +20,11 @@ type t = {
   r9_lock_wrappers : string list;
   r10_sinks : string list;
   r10_guarded_types : string list;
+  hot_roots : string list;
+  r12_boundaries : string list;
+  r13_log_producers : string list;
+  r13_linear_producers : string list;
+  r13_mantissa_producers : string list;
   doc_coverage_threshold : float;
   doc_coverage_paths : string list;
 }
@@ -86,6 +91,29 @@ let default =
         "Crossbar_serve.Registry.t"; "Crossbar_serve__Registry.t";
         "Registry.t";
       ];
+    hot_roots =
+      [
+        "Convolution.combine"; "Convolution.update";
+        "Convolution.leave_one_out"; "Lattice.get"; "Lattice.set";
+        "Lattice.max_abs"; "Lattice.rescale"; "Lattice.normalize";
+        "Lattice.add_scale"; "Kahan.add"; "Kahan.total"; "Kahan.sum";
+        "Kahan.dot";
+      ];
+    r12_boundaries =
+      [
+        "Mutex.protect"; "Stdlib.Mutex.protect"; "locked"; "Pool.run";
+        "Domain.spawn"; "Domain.spawn_with"; "Batcher.run";
+      ];
+    r13_log_producers =
+      [
+        "Logspace.of_float"; "Logspace.of_log"; "Logspace.to_log";
+        "Logspace.log_checked"; "Logspace.mul"; "Logspace.div";
+        "Logspace.add"; "Logspace.sub"; "Logspace.sum";
+        "Convolution.log_g"; "Convolution.log_normalization";
+      ];
+    r13_linear_producers =
+      [ "Logspace.to_float"; "Logspace.exp_log"; "Logspace.ratio" ];
+    r13_mantissa_producers = [ "Lattice.get" ];
     doc_coverage_threshold = 0.9;
     doc_coverage_paths = [ "lib/lint"; "lib/lint_typed"; "lib/serve" ];
   }
@@ -98,7 +126,11 @@ let normalize path =
       String.sub path 2 (String.length path - 2)
     else path
   in
-  String.concat "/" (String.split_on_char '/' path |> List.filter (( <> ) ""))
+  let absolute = String.length path > 0 && path.[0] = '/' in
+  let body =
+    String.concat "/" (String.split_on_char '/' path |> List.filter (( <> ) ""))
+  in
+  if absolute then "/" ^ body else body
 
 let matches path prefixes =
   let path = normalize path in
@@ -147,6 +179,11 @@ let to_json t =
       ("r9_lock_wrappers", strings t.r9_lock_wrappers);
       ("r10_sinks", strings t.r10_sinks);
       ("r10_guarded_types", strings t.r10_guarded_types);
+      ("hot_roots", strings t.hot_roots);
+      ("r12_boundaries", strings t.r12_boundaries);
+      ("r13_log_producers", strings t.r13_log_producers);
+      ("r13_linear_producers", strings t.r13_linear_producers);
+      ("r13_mantissa_producers", strings t.r13_mantissa_producers);
       ( "doc_coverage",
         Json.Assoc
           [
@@ -252,6 +289,11 @@ let of_json json =
   let* r9_lock_wrappers = string_list "r9_lock_wrappers" in
   let* r10_sinks = string_list "r10_sinks" in
   let* r10_guarded_types = string_list "r10_guarded_types" in
+  let* hot_roots = string_list "hot_roots" in
+  let* r12_boundaries = string_list "r12_boundaries" in
+  let* r13_log_producers = string_list "r13_log_producers" in
+  let* r13_linear_producers = string_list "r13_linear_producers" in
+  let* r13_mantissa_producers = string_list "r13_mantissa_producers" in
   let* doc_coverage_threshold, doc_coverage_paths =
     let* value = field "doc_coverage" in
     let* threshold =
@@ -294,6 +336,11 @@ let of_json json =
       r9_lock_wrappers;
       r10_sinks;
       r10_guarded_types;
+      hot_roots;
+      r12_boundaries;
+      r13_log_producers;
+      r13_linear_producers;
+      r13_mantissa_producers;
       doc_coverage_threshold;
       doc_coverage_paths;
     }

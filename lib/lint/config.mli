@@ -59,6 +59,25 @@ type t = {
           addition to [r8_sanctioned_types]: the repo's mutex-guarded
           abstractions ([Telemetry.t], [Cache.Memo.t], [Registry.t]).
           Captures of these types never need a [guarded=] annotation. *)
+  hot_roots : string list;
+      (** Function patterns ("Convolution.combine", "Kahan.add") whose
+          transitive callees R11 requires to be allocation-free; matched
+          against [Module.func] like [r9_lock_wrappers], so a bare name
+          covers every module. *)
+  r12_boundaries : string list;
+      (** Functions whose function-literal arguments must not let a raise
+          escape (R12): lock wrappers, pool/domain spawners and the serve
+          batcher fan-out.  Matched like [r10_sinks]. *)
+  r13_log_producers : string list;
+      (** Call patterns whose float result is a log-domain magnitude. *)
+  r13_linear_producers : string list;
+      (** Call patterns whose float result is a linear-domain value
+          (probability/ratio after exponentiation). *)
+  r13_mantissa_producers : string list;
+      (** Call patterns whose float result is a rescaled mantissa whose
+          implicit exponent belongs to the first argument (the profile);
+          R13 flags ordering comparisons between mantissas drawn from
+          different sources. *)
   doc_coverage_threshold : float;
       (** Minimum fraction of documented [val] items scripts/doc_coverage.sh
           enforces over [doc_coverage_paths]. *)
@@ -73,7 +92,8 @@ val enabled : t -> Rule.id -> bool
 (** Whether the rule is on this config's [rules] list. *)
 
 val normalize : string -> string
-(** Strips ["./"] and duplicate separators. *)
+(** Strips ["./"] and duplicate separators; a leading ["/"] survives, so
+    absolute paths stay openable. *)
 
 val matches : string -> string list -> bool
 (** [matches path prefixes] is true when [path] lies under one of

@@ -1,7 +1,21 @@
-type id = Syntax | R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10
+type id =
+  | Syntax
+  | R1
+  | R2
+  | R3
+  | R4
+  | R5
+  | R6
+  | R7
+  | R8
+  | R9
+  | R10
+  | R11
+  | R12
+  | R13
 
-let all = [ R1; R2; R3; R4; R5; R6; R7; R8; R9; R10 ]
-let typed = function R7 | R8 | R9 | R10 -> true | _ -> false
+let all = [ R1; R2; R3; R4; R5; R6; R7; R8; R9; R10; R11; R12; R13 ]
+let typed = function R7 | R8 | R9 | R10 | R11 | R12 | R13 -> true | _ -> false
 
 let to_string = function
   | Syntax -> "R0"
@@ -15,6 +29,9 @@ let to_string = function
   | R8 -> "R8"
   | R9 -> "R9"
   | R10 -> "R10"
+  | R11 -> "R11"
+  | R12 -> "R12"
+  | R13 -> "R13"
 
 let of_string text =
   match String.uppercase_ascii (String.trim text) with
@@ -29,6 +46,9 @@ let of_string text =
   | "R8" -> Some R8
   | "R9" -> Some R9
   | "R10" -> Some R10
+  | "R11" -> Some R11
+  | "R12" -> Some R12
+  | "R13" -> Some R13
   | _ -> None
 
 let valid_ids () = String.concat ", " (List.map to_string all)
@@ -74,6 +94,11 @@ let title = function
   | R10 ->
       "closures crossing a domain boundary must not capture unsynchronized \
        mutable state (typed)"
+  | R11 -> "hot_roots call chains must be transitively allocation-free (typed)"
+  | R12 ->
+      "raise effects must not escape through pool, lock or batcher boundaries \
+       (typed)"
+  | R13 -> "no cross-domain float arithmetic: log, linear, mantissa (typed)"
 
 let rationale = function
   | Syntax -> "a file the compiler cannot parse cannot be audited at all"
@@ -113,5 +138,21 @@ let rationale = function
        domain; every array, ref or mutable record it closes over is shared \
        without synchronisation, so only Atomic/Mutex-guarded (or explicitly \
        annotated) captures are sound"
+  | R11 ->
+      "the factor-tree combine path is the inner loop of every solve; one \
+       boxed float, closure or tuple per lattice cell turns the zero-alloc \
+       kernel into a GC benchmark, so every allocation reachable from a \
+       hot root must be sanctioned by name or removed"
+  | R12 ->
+      "an exception thrown inside a lambda handed to Mutex.protect, \
+       Engine.Pool.run or the serve batcher unwinds mid-critical-section: \
+       the lock is released but registry/batch state is half-written, and \
+       every later query sees the poisoned tree"
+  | R13 ->
+      "log-domain magnitudes, linear probabilities and rescaled mantissas \
+       share the float type but not a unit; adding log to linear, \
+       re-exponentiating an exponentiated value or comparing mantissas \
+       under different exponents is silently wrong at exactly the scales \
+       the rescale-exponent machinery exists for"
 
 let compare = Stdlib.compare

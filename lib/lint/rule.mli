@@ -1,19 +1,35 @@
 (** Identifiers, one-line titles and rationales for the crossbar-lint rule
     set.  [Syntax] (rendered "R0") is the pseudo-rule reported when a file
     does not parse; it cannot be disabled or suppressed.  R1-R6 run on the
-    Parsetree (untyped, fast); R7-R10 need the Typedtree stage driven from
-    dune-produced [.cmt] artifacts. *)
+    Parsetree (untyped, fast); R7-R13 need the Typedtree stage driven from
+    dune-produced [.cmt] artifacts.  R11-R13 additionally need the
+    interprocedural effect stage (per-function allocation, raise and
+    float-domain summaries closed over the call graph). *)
 
-type id = Syntax | R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10
+type id =
+  | Syntax
+  | R1
+  | R2
+  | R3
+  | R4
+  | R5
+  | R6
+  | R7
+  | R8
+  | R9
+  | R10
+  | R11
+  | R12
+  | R13
 
 val all : id list
-(** The real rules R1..R10, in order ([Syntax] excluded). *)
+(** The real rules R1..R13, in order ([Syntax] excluded). *)
 
 val typed : id -> bool
-(** Whether the rule needs the Typedtree stage (R7, R8, R9, R10). *)
+(** Whether the rule needs the Typedtree stage (R7..R13). *)
 
 val to_string : id -> string
-(** ["R0"] for [Syntax], ["R1"].."R10" otherwise. *)
+(** ["R0"] for [Syntax], ["R1"].."R13" otherwise. *)
 
 val of_string : string -> id option
 (** Inverse of {!to_string} for the real rules; ["R0"] and unknown ids
@@ -33,4 +49,4 @@ val rationale : id -> string
 (** Why the invariant matters for this codebase. *)
 
 val compare : id -> id -> int
-(** Orders [Syntax] first, then R1..R10. *)
+(** Orders [Syntax] first, then R1..R13. *)

@@ -46,9 +46,13 @@ let result (f : Finding.t) =
     ]
 
 let to_json findings =
+  (* The driver advertises the full rule catalogue, not just the rules
+     with findings: a clean run still documents what was enforced
+     (R11-R13 included), and viewers resolve ruleId against this list.
+     [Syntax] rides along only when a file actually failed to parse. *)
   let rules_present =
     List.sort_uniq Rule.compare
-      (List.map (fun (f : Finding.t) -> f.Finding.rule) findings)
+      (Rule.all @ List.map (fun (f : Finding.t) -> f.Finding.rule) findings)
   in
   Json.Assoc
     [

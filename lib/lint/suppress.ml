@@ -2,6 +2,7 @@ type t = {
   file_rules : Rule.id list;
   line_rules : (int, Rule.id list) Hashtbl.t;
   guard_lines : (int, string list) Hashtbl.t;
+  alloc_lines : (int, string list) Hashtbl.t;
 }
 
 let empty () =
@@ -9,6 +10,7 @@ let empty () =
     file_rules = [];
     line_rules = Hashtbl.create 4;
     guard_lines = Hashtbl.create 4;
+    alloc_lines = Hashtbl.create 4;
   }
 
 let marker = "lint:"
@@ -61,19 +63,20 @@ let directives_of_line line =
                Some
                  (`Guard
                    (parse_names (String.sub word 8 (String.length word - 8))))
+             else if String.starts_with ~prefix:"alloc=" word then
+               Some
+                 (`Alloc
+                   (parse_names (String.sub word 6 (String.length word - 6))))
              else None)
 
 let scan text =
   let file_rules = ref [] in
   let line_rules = Hashtbl.create 4 in
   let guard_lines = Hashtbl.create 4 in
-  let add_line n rules =
-    let existing = Option.value ~default:[] (Hashtbl.find_opt line_rules n) in
-    Hashtbl.replace line_rules n (rules @ existing)
-  in
-  let add_guard n names =
-    let existing = Option.value ~default:[] (Hashtbl.find_opt guard_lines n) in
-    Hashtbl.replace guard_lines n (names @ existing)
+  let alloc_lines = Hashtbl.create 4 in
+  let add table n values =
+    let existing = Option.value ~default:[] (Hashtbl.find_opt table n) in
+    Hashtbl.replace table n (values @ existing)
   in
   List.iteri
     (fun i line ->
@@ -83,14 +86,17 @@ let scan text =
           | `File rules -> file_rules := rules @ !file_rules
           | `Line rules ->
               (* Cover both trailing comments and comment-above style. *)
-              add_line n rules;
-              add_line (n + 1) rules
+              add line_rules n rules;
+              add line_rules (n + 1) rules
           | `Guard names ->
-              add_guard n names;
-              add_guard (n + 1) names)
+              add guard_lines n names;
+              add guard_lines (n + 1) names
+          | `Alloc names ->
+              add alloc_lines n names;
+              add alloc_lines (n + 1) names)
         (directives_of_line line))
     (String.split_on_char '\n' text);
-  { file_rules = !file_rules; line_rules; guard_lines }
+  { file_rules = !file_rules; line_rules; guard_lines; alloc_lines }
 
 let active t ~rule ~line =
   rule <> Rule.Syntax
@@ -102,3 +108,6 @@ let active t ~rule ~line =
 
 let guarded t ~line =
   Option.value ~default:[] (Hashtbl.find_opt t.guard_lines line)
+
+let sanctioned_allocs t ~line =
+  Option.value ~default:[] (Hashtbl.find_opt t.alloc_lines line)

@@ -14,7 +14,12 @@
       captures at a domain-boundary call site to be safely guarded
       (single-writer protocol, read-only sharing, joined before reads);
       R10 skips exactly those names on the directive's own line and the
-      next, leaving every other capture at the site flagged.
+      next, leaving every other capture at the site flagged;
+    - [(* lint: alloc=name1,name2 — reason *)] sanctions the named
+      allocation sites (the let-bound name, or the synthetic kind name
+      such as ["tuple"] when the value is anonymous) for R11 on the
+      directive's own line and the next, leaving every other allocation
+      reachable from a hot root flagged.
 
     The free-form reason is not parsed but is required by convention; the
     [Syntax] pseudo-rule can never be suppressed. *)
@@ -32,4 +37,8 @@ val active : t -> rule:Rule.id -> line:int -> bool
 
 val guarded : t -> line:int -> string list
 (** Capture names declared guarded at [line] via [guarded=] directives
+    (a directive covers its own line and the following one). *)
+
+val sanctioned_allocs : t -> line:int -> string list
+(** Allocation names sanctioned at [line] via [alloc=] directives
     (a directive covers its own line and the following one). *)

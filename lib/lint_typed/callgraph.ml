@@ -19,15 +19,19 @@ let short_modname modname =
 type node = { file : Summary.file; func : Summary.func }
 
 let split_call call =
-  match String.index_opt call '.' with
+  (* The defining unit is the segment next to the value: a library-wrapped
+     reference arrives as "Crossbar.Lattice.create", and "Lattice" — not
+     the wrapper "Crossbar" — is what [short_modname] yields for the
+     defining file.  Plain "Lattice.create" splits identically. *)
+  match String.rindex_opt call '.' with
   | None -> (None, call)
   | Some i ->
-      let modname = String.sub call 0 i in
-      let rest = String.sub call (i + 1) (String.length call - i - 1) in
-      let value =
-        match String.rindex_opt rest '.' with
-        | Some j -> String.sub rest (j + 1) (String.length rest - j - 1)
-        | None -> rest
+      let value = String.sub call (i + 1) (String.length call - i - 1) in
+      let modname =
+        let upto = String.sub call 0 i in
+        match String.rindex_opt upto '.' with
+        | Some j -> String.sub upto (j + 1) (String.length upto - j - 1)
+        | None -> upto
       in
       (Some modname, value)
 

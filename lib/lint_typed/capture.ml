@@ -5,6 +5,7 @@ module Rule = Lint.Rule
 type result = {
   r10 : Finding.t list;
   locked_lambdas : (string * int, unit) Hashtbl.t;
+  iterations : int;
 }
 
 (* Facts propagated to fixpoint over the summary call graph:
@@ -79,9 +80,11 @@ let analyse ~(config : Lint.Config.t) ~guarded files =
     (sink_at, wrap_at)
   in
 
+  let iterations = ref 0 in
   let changed = ref true in
   while !changed do
     changed := false;
+    incr iterations;
     List.iter
       (fun (file : Summary.file) ->
         List.iter
@@ -199,4 +202,4 @@ let analyse ~(config : Lint.Config.t) ~guarded files =
             func.Summary.callsites)
         file.Summary.funcs)
     files;
-  { r10 = List.rev !r10; locked_lambdas }
+  { r10 = List.rev !r10; locked_lambdas; iterations = !iterations }

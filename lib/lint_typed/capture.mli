@@ -32,6 +32,8 @@ type result = {
           the per-line [disable=] suppression filter (the driver's job) *)
   locked_lambdas : (string * int, unit) Hashtbl.t;
       (** [(file path, lambda id)] proven to run under a lock wrapper *)
+  iterations : int;
+      (** passes the escape fixpoint needed to stabilise, for [--stats] *)
 }
 
 val analyse :

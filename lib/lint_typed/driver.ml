@@ -9,7 +9,21 @@ type stats = {
   misses : int;
   missing_cmt : string list;
   errors : (string * string) list;
+  extract_s : float;
+  capture_s : float;
+  graph_s : float;
+  effects_s : float;
+  capture_iterations : int;
+  raise_iterations : int;
+  domain_iterations : int;
 }
+
+(* [Sys.time] (processor time) is enough for coarse per-stage attribution
+   and keeps the library off Unix. *)
+let timed f =
+  let t0 = Sys.time () in
+  let value = f () in
+  (value, Sys.time () -. t0)
 
 let digest_string s = Digest.to_hex (Digest.string s)
 
@@ -36,7 +50,8 @@ let run ~(config : Lint.Config.t) ~store ~cmt_index ~cmt_root paths =
   let hits = ref 0 in
   let missing = ref [] in
   let errors = ref [] in
-  let results =
+  let results, extract_s =
+    timed @@ fun () ->
     List.filter_map
       (fun (s : Lint.Driver.source) ->
         let path = s.Lint.Driver.path in
@@ -98,7 +113,8 @@ let run ~(config : Lint.Config.t) ~store ~cmt_index ~cmt_root paths =
   (* The capture fixpoint serves both typed global rules: R10 consumes
      its escape findings, R9 its locked-lambda facts.  Either rule being
      enabled pays for the (cheap, in-memory) pass. *)
-  let capture =
+  let capture, capture_s =
+    timed @@ fun () ->
     if
       Lint.Config.enabled config Rule.R9
       || Lint.Config.enabled config Rule.R10
@@ -110,7 +126,8 @@ let run ~(config : Lint.Config.t) ~store ~cmt_index ~cmt_root paths =
     | Some c when Lint.Config.enabled config Rule.R10 -> c.Capture.r10
     | Some _ | None -> []
   in
-  let r9 =
+  let r9, graph_s =
+    timed @@ fun () ->
     if Lint.Config.enabled config Rule.R9 then
       let locked_lambdas =
         match capture with
@@ -119,6 +136,27 @@ let run ~(config : Lint.Config.t) ~store ~cmt_index ~cmt_root paths =
       in
       Callgraph.findings ~config ?locked_lambdas summaries
     else []
+  in
+  (* Stage three: the effect/domain closures behind R11-R13, backed by
+     the same suppression scans for [alloc=] sanctions. *)
+  let sanctioned ~path ~line =
+    match Hashtbl.find_opt by_path path with
+    | Some suppress -> Lint.Suppress.sanctioned_allocs suppress ~line
+    | None -> []
+  in
+  let effects, effects_s =
+    timed @@ fun () ->
+    if
+      Lint.Config.enabled config Rule.R11
+      || Lint.Config.enabled config Rule.R12
+      || Lint.Config.enabled config Rule.R13
+    then Some (Effects.analyse ~config ~sanctioned summaries)
+    else None
+  in
+  let effect_findings =
+    match effects with
+    | Some e -> e.Effects.r11 @ e.Effects.r12 @ e.Effects.r13
+    | None -> []
   in
   let survives (f : Finding.t) =
     match Hashtbl.find_opt by_path f.Finding.file with
@@ -129,7 +167,8 @@ let run ~(config : Lint.Config.t) ~store ~cmt_index ~cmt_root paths =
     | None -> true
   in
   let findings =
-    List.concat_map (fun (_, findings, _) -> findings) results @ r9 @ r10
+    List.concat_map (fun (_, findings, _) -> findings) results
+    @ r9 @ r10 @ effect_findings
     |> List.filter survives
     |> List.sort Finding.compare
   in
@@ -140,4 +179,16 @@ let run ~(config : Lint.Config.t) ~store ~cmt_index ~cmt_root paths =
       misses = Memo.misses memo;
       missing_cmt = List.rev !missing;
       errors = List.rev !errors;
+      extract_s;
+      capture_s;
+      graph_s;
+      effects_s;
+      capture_iterations =
+        (match capture with Some c -> c.Capture.iterations | None -> 0);
+      raise_iterations =
+        (match effects with Some e -> e.Effects.raise_iterations | None -> 0);
+      domain_iterations =
+        (match effects with
+        | Some e -> e.Effects.domain_iterations
+        | None -> 0);
     } )

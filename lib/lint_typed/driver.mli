@@ -5,9 +5,11 @@
     {!Store} under the file's source and artifact digests, analyses only
     the misses through {!Typed_rules}, then recomputes the global passes
     over the full summary set — cached and fresh alike: the {!Capture}
-    escape fixpoint (R10 findings plus locked-lambda facts) and the
-    {!Callgraph} R9 reachability consuming those facts — and filters
-    everything through the shared suppression directives.
+    escape fixpoint (R10 findings plus locked-lambda facts), the
+    {!Callgraph} R9 reachability consuming those facts, and the
+    {!Effects} stage (R11 allocation walk, R12 raise fixpoint, R13
+    domain resolution) — and filters everything through the shared
+    suppression directives.
 
     The caller owns the store: load it before, save it after, and the
     warm-run property (only modified files re-analysed) follows from the
@@ -21,6 +23,18 @@ type stats = {
       (** sources with no artifact in the index — stale build tree *)
   errors : (string * string) list;
       (** [(path, reason)] for artifacts that failed to analyse *)
+  extract_s : float;
+      (** processor seconds in the per-file extraction loop (cache
+          lookups included) *)
+  capture_s : float;  (** processor seconds in the {!Capture} fixpoint *)
+  graph_s : float;  (** processor seconds in the {!Callgraph} R9 walk *)
+  effects_s : float;  (** processor seconds in the {!Effects} stage *)
+  capture_iterations : int;
+      (** passes the capture fixpoint took (0 when R9/R10 are off) *)
+  raise_iterations : int;
+      (** passes the R12 raise fixpoint took (0 when R12 is off) *)
+  domain_iterations : int;
+      (** passes the R13 domain fixpoint took (0 when R13 is off) *)
 }
 
 val run :

@@ -1,7 +1,7 @@
 module Json = Crossbar_engine.Json
 module Finding = Crossbar_lint.Finding
 
-let schema = "crossbar-lint-cache/2"
+let schema = "crossbar-lint-cache/3"
 
 type entry = {
   source_digest : string;

@@ -1,17 +1,19 @@
 (** Persistent cross-run cache for the typed analysis.
 
     Each entry keys one source file's stage-two results (unsuppressed
-    R7/R8 findings plus its R9/R10 {!Summary.file}) by the digests of the
+    R7/R8 findings plus its R9–R13 {!Summary.file}) by the digests of the
     source text and its [.cmt] artifact; the whole document additionally
     carries the {!Crossbar_lint.Config.hash} it was produced under, so a
     config change silently invalidates everything.  Serialized as the
-    ["crossbar-lint-cache/2"] JSON schema (v2 adds the capture-stage
-    lambda/callsite summary data). *)
+    ["crossbar-lint-cache/3"] JSON schema (v2 added the capture-stage
+    lambda/callsite summary data; v3 adds the effect-stage allocation,
+    raise and float-domain summaries, so a v2 document is rejected and
+    rebuilt cold like any unknown schema). *)
 
 type t
 
 val schema : string
-(** ["crossbar-lint-cache/2"], embedded in every saved document. *)
+(** ["crossbar-lint-cache/3"], embedded in every saved document. *)
 
 val create : config_hash:string -> t
 (** An empty cache keyed to one config policy. *)

@@ -32,6 +32,42 @@ type callsite = {
   args : arg_kind list;
 }
 
+type alloc_kind =
+  | Alloc_closure
+  | Alloc_tuple
+  | Alloc_record
+  | Alloc_boxed_float
+  | Alloc_array
+  | Alloc_partial
+
+type alloc = { a_line : int; a_col : int; a_kind : alloc_kind; a_name : string }
+
+type raise_site = {
+  r_line : int;
+  r_col : int;
+  r_exn : string;
+  r_lambdas : int list;
+}
+
+type eff_call = {
+  e_name : string;
+  e_line : int;
+  e_col : int;
+  e_lambdas : int list;
+}
+
+type domain = Linear | Log | Mantissa of string | DUnknown
+type domexpr = Known of domain | DCall of string
+type dom_op = Dom_add | Dom_exp | Dom_cmp
+
+type domain_site = {
+  d_line : int;
+  d_col : int;
+  d_op : dom_op;
+  d_left : domexpr;
+  d_right : domexpr;
+}
+
 type func = {
   f_name : string;
   f_line : int;
@@ -40,9 +76,22 @@ type func = {
   mutations : mutation list;
   lambdas : lambda list;
   callsites : callsite list;
+  allocs : alloc list;
+  raises : raise_site list;
+  eff_calls : eff_call list;
+  domain_sites : domain_site list;
+  ret_domain : domexpr;
 }
 
 type file = { path : string; modname : string; funcs : func list }
+
+let alloc_kind_to_string = function
+  | Alloc_closure -> "closure"
+  | Alloc_tuple -> "tuple"
+  | Alloc_record -> "record"
+  | Alloc_boxed_float -> "boxed float"
+  | Alloc_array -> "array"
+  | Alloc_partial -> "partial application"
 
 let mutation_to_json m =
   Json.Assoc
@@ -89,6 +138,68 @@ let callsite_to_json c =
       ("args", Json.List (List.map arg_kind_to_json c.args));
     ]
 
+let alloc_kind_to_json kind =
+  Json.String
+    (match kind with
+    | Alloc_closure -> "closure"
+    | Alloc_tuple -> "tuple"
+    | Alloc_record -> "record"
+    | Alloc_boxed_float -> "boxed_float"
+    | Alloc_array -> "array"
+    | Alloc_partial -> "partial")
+
+let alloc_to_json a =
+  Json.Assoc
+    [
+      ("line", Json.Int a.a_line);
+      ("col", Json.Int a.a_col);
+      ("kind", alloc_kind_to_json a.a_kind);
+      ("name", Json.String a.a_name);
+    ]
+
+let lambda_ids_to_json ids = Json.List (List.map (fun id -> Json.Int id) ids)
+
+let raise_to_json r =
+  Json.Assoc
+    [
+      ("line", Json.Int r.r_line);
+      ("col", Json.Int r.r_col);
+      ("exn", Json.String r.r_exn);
+      ("lambdas", lambda_ids_to_json r.r_lambdas);
+    ]
+
+let eff_call_to_json e =
+  Json.Assoc
+    [
+      ("name", Json.String e.e_name);
+      ("line", Json.Int e.e_line);
+      ("col", Json.Int e.e_col);
+      ("lambdas", lambda_ids_to_json e.e_lambdas);
+    ]
+
+let domexpr_to_json = function
+  | Known Linear -> Json.Assoc [ ("dom", Json.String "linear") ]
+  | Known Log -> Json.Assoc [ ("dom", Json.String "log") ]
+  | Known DUnknown -> Json.Assoc [ ("dom", Json.String "unknown") ]
+  | Known (Mantissa src) ->
+      Json.Assoc
+        [ ("dom", Json.String "mantissa"); ("src", Json.String src) ]
+  | DCall name -> Json.Assoc [ ("call", Json.String name) ]
+
+let dom_op_to_json op =
+  Json.String
+    (match op with Dom_add -> "add" | Dom_exp -> "exp" | Dom_cmp -> "cmp")
+
+let domain_site_to_json d =
+  Json.Assoc
+    [
+      ("line", Json.Int d.d_line);
+      ("col", Json.Int d.d_col);
+      ("op", dom_op_to_json d.d_op);
+      ("left", domexpr_to_json d.d_left);
+      ("right", domexpr_to_json d.d_right);
+    ]
+
 let func_to_json f =
   Json.Assoc
     [
@@ -99,6 +210,11 @@ let func_to_json f =
       ("mutations", Json.List (List.map mutation_to_json f.mutations));
       ("lambdas", Json.List (List.map lambda_to_json f.lambdas));
       ("callsites", Json.List (List.map callsite_to_json f.callsites));
+      ("allocs", Json.List (List.map alloc_to_json f.allocs));
+      ("raises", Json.List (List.map raise_to_json f.raises));
+      ("eff_calls", Json.List (List.map eff_call_to_json f.eff_calls));
+      ("domain_sites", Json.List (List.map domain_site_to_json f.domain_sites));
+      ("ret", domexpr_to_json f.ret_domain);
     ]
 
 let to_json t =
@@ -189,6 +305,88 @@ let callsite_of_json json =
   let* args = collect arg_kind_of_json arg_items in
   Ok { cs_line; cs_col; callee; args }
 
+let alloc_kind_of_json = function
+  | Json.String "closure" -> Ok Alloc_closure
+  | Json.String "tuple" -> Ok Alloc_tuple
+  | Json.String "record" -> Ok Alloc_record
+  | Json.String "boxed_float" -> Ok Alloc_boxed_float
+  | Json.String "array" -> Ok Alloc_array
+  | Json.String "partial" -> Ok Alloc_partial
+  | _ -> Error "summary: unknown alloc kind"
+
+let alloc_of_json json =
+  let* a_line = int "line" json in
+  let* a_col = int "col" json in
+  let* kind_json =
+    match Json.member "kind" json with
+    | Some value -> Ok value
+    | None -> Error "summary: alloc missing \"kind\""
+  in
+  let* a_kind = alloc_kind_of_json kind_json in
+  let* a_name = str "name" json in
+  Ok { a_line; a_col; a_kind; a_name }
+
+let lambda_ids_of_json key json =
+  let* items = list key json in
+  collect
+    (function
+      | Json.Int id -> Ok id
+      | _ -> Error "summary: lambda ids must be ints")
+    items
+
+let raise_of_json json =
+  let* r_line = int "line" json in
+  let* r_col = int "col" json in
+  let* r_exn = str "exn" json in
+  let* r_lambdas = lambda_ids_of_json "lambdas" json in
+  Ok { r_line; r_col; r_exn; r_lambdas }
+
+let eff_call_of_json json =
+  let* e_name = str "name" json in
+  let* e_line = int "line" json in
+  let* e_col = int "col" json in
+  let* e_lambdas = lambda_ids_of_json "lambdas" json in
+  Ok { e_name; e_line; e_col; e_lambdas }
+
+let domexpr_of_json json =
+  match (Json.member "dom" json, Json.member "call" json) with
+  | Some (Json.String "linear"), _ -> Ok (Known Linear)
+  | Some (Json.String "log"), _ -> Ok (Known Log)
+  | Some (Json.String "unknown"), _ -> Ok (Known DUnknown)
+  | Some (Json.String "mantissa"), _ -> (
+      match Json.member "src" json with
+      | Some (Json.String src) -> Ok (Known (Mantissa src))
+      | _ -> Error "summary: mantissa domain needs a \"src\"")
+  | _, Some (Json.String name) -> Ok (DCall name)
+  | _ -> Error "summary: malformed domain expression"
+
+let dom_op_of_json = function
+  | Json.String "add" -> Ok Dom_add
+  | Json.String "exp" -> Ok Dom_exp
+  | Json.String "cmp" -> Ok Dom_cmp
+  | _ -> Error "summary: unknown domain op"
+
+let domain_site_of_json json =
+  let* d_line = int "line" json in
+  let* d_col = int "col" json in
+  let* op_json =
+    match Json.member "op" json with
+    | Some value -> Ok value
+    | None -> Error "summary: domain site missing \"op\""
+  in
+  let* d_op = dom_op_of_json op_json in
+  let* d_left =
+    match Json.member "left" json with
+    | Some value -> domexpr_of_json value
+    | None -> Error "summary: domain site missing \"left\""
+  in
+  let* d_right =
+    match Json.member "right" json with
+    | Some value -> domexpr_of_json value
+    | None -> Error "summary: domain site missing \"right\""
+  in
+  Ok { d_line; d_col; d_op; d_left; d_right }
+
 let func_of_json json =
   let* f_name = str "name" json in
   let* f_line = int "line" json in
@@ -207,7 +405,34 @@ let func_of_json json =
   let* lambdas = collect lambda_of_json lambda_items in
   let* callsite_items = list "callsites" json in
   let* callsites = collect callsite_of_json callsite_items in
-  Ok { f_name; f_line; f_col; calls; mutations; lambdas; callsites }
+  let* alloc_items = list "allocs" json in
+  let* allocs = collect alloc_of_json alloc_items in
+  let* raise_items = list "raises" json in
+  let* raises = collect raise_of_json raise_items in
+  let* eff_call_items = list "eff_calls" json in
+  let* eff_calls = collect eff_call_of_json eff_call_items in
+  let* domain_site_items = list "domain_sites" json in
+  let* domain_sites = collect domain_site_of_json domain_site_items in
+  let* ret_domain =
+    match Json.member "ret" json with
+    | Some value -> domexpr_of_json value
+    | None -> Error "summary: func missing \"ret\""
+  in
+  Ok
+    {
+      f_name;
+      f_line;
+      f_col;
+      calls;
+      mutations;
+      lambdas;
+      callsites;
+      allocs;
+      raises;
+      eff_calls;
+      domain_sites;
+      ret_domain;
+    }
 
 let of_json json =
   let* path = str "path" json in

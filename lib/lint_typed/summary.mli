@@ -9,10 +9,10 @@
     Summaries are the cacheable half of the typed analysis: extracting
     one means reading and walking the unit's [.cmt], which is the
     expensive step, while the global fixpoints over all summaries
-    ({!Callgraph} reachability, {!Capture} escape propagation) are cheap
-    graph walks recomputed on every run.  They therefore round-trip
-    through the engine's JSON tree as part of the persistent
-    ["crossbar-lint-cache/2"] document. *)
+    ({!Callgraph} reachability, {!Capture} escape propagation, {!Effects}
+    allocation/raise/domain closure) are cheap graph walks recomputed on
+    every run.  They therefore round-trip through the engine's JSON tree
+    as part of the persistent ["crossbar-lint-cache/3"] document. *)
 
 type mutation = {
   m_line : int;
@@ -62,6 +62,67 @@ type callsite = {
   args : arg_kind list;  (** in application order, labels included *)
 }
 
+type alloc_kind =
+  | Alloc_closure  (** a [fun]/[function] literal evaluated at runtime *)
+  | Alloc_tuple
+  | Alloc_record  (** includes [ref] creation of non-float contents *)
+  | Alloc_boxed_float
+      (** a float entering a box: [ref 0.], [Some x], a float field of a
+          polymorphic constructor *)
+  | Alloc_array
+      (** [Array.make]/[Array.map]/array literal of a non-flat element
+          type (float arrays and [floatarray] are unboxed and exempt) *)
+  | Alloc_partial  (** an application whose result is still a function *)
+
+type alloc = {
+  a_line : int;
+  a_col : int;
+  a_kind : alloc_kind;
+  a_name : string;
+      (** the let-bound name receiving the value when there is one,
+          otherwise the kind's synthetic name (["tuple"], ["closure"],
+          ...); [alloc=] directives sanction by this name *)
+}
+
+type raise_site = {
+  r_line : int;
+  r_col : int;
+  r_exn : string;  (** constructor path, or ["<dynamic>"] *)
+  r_lambdas : int list;
+      (** the full stack of enclosing lambdas (outermost first); empty
+          for a raise at function-body level.  Only raises outside any
+          lexical [try]/exception-[match] scope are recorded *)
+}
+
+type eff_call = {
+  e_name : string;  (** dotted callee path, unresolved *)
+  e_line : int;
+  e_col : int;
+  e_lambdas : int list;  (** as {!raise_site.r_lambdas} *)
+}
+
+type domain = Linear | Log | Mantissa of string | DUnknown
+(** The float-domain lattice.  [Mantissa src] is a rescaled mantissa whose
+    implicit exponent belongs to the producer's first argument [src] (the
+    profile expression, printed); two mantissas compare meaningfully only
+    when their sources coincide. *)
+
+type domexpr = Known of domain | DCall of string
+(** A domain that may still depend on a callee's return domain: [DCall f]
+    is resolved by the {!Effects} fixpoint once [f]'s summary is known. *)
+
+type dom_op = Dom_add | Dom_exp | Dom_cmp
+
+type domain_site = {
+  d_line : int;
+  d_col : int;
+  d_op : dom_op;
+  d_left : domexpr;
+  d_right : domexpr;  (** [Known DUnknown] for the unary [Dom_exp] *)
+}
+(** A *candidate* cross-domain operation: recorded when the operands'
+    domains could conflict pending call resolution, judged by {!Effects}. *)
+
 type func = {
   f_name : string;
   f_line : int;
@@ -75,12 +136,27 @@ type func = {
   callsites : callsite list;
       (** only call sites passing at least one [Arg_param]/[Arg_lambda]
           argument — the edges the {!Capture} fixpoint propagates over *)
+  allocs : alloc list;
+      (** boxed-allocation sites in the body, in source order *)
+  raises : raise_site list;
+      (** unguarded explicit [raise]/[raise_notrace] sites *)
+  eff_calls : eff_call list;
+      (** unguarded non-Stdlib application sites, deduplicated per
+          (callee, lambda stack) — the edges the R12 raise fixpoint
+          propagates over *)
+  domain_sites : domain_site list;  (** candidate R13 violations *)
+  ret_domain : domexpr;
+      (** domain of the value the function returns, [Known DUnknown]
+          when mixed or undetermined *)
 }
 
 type file = { path : string; modname : string; funcs : func list }
 
+val alloc_kind_to_string : alloc_kind -> string
+(** Human-readable kind for finding messages ("boxed float", ...). *)
+
 val to_json : file -> Crossbar_engine.Json.t
-(** The per-file entry body of the ["crossbar-lint-cache/2"] document. *)
+(** The per-file entry body of the ["crossbar-lint-cache/3"] document. *)
 
 val of_json : Crossbar_engine.Json.t -> (file, string) result
 (** Inverse of {!to_json}; the error names the missing or ill-typed

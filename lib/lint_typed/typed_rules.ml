@@ -44,6 +44,25 @@ let mutator_names =
     "Stdlib.Buffer.add_buffer"; "Stdlib.Buffer.clear"; "Stdlib.Buffer.reset";
   ]
 
+let raise_names = [ "Stdlib.raise"; "Stdlib.raise_notrace" ]
+let ref_names = [ "Stdlib.ref"; "ref" ]
+let addsub_names = [ "Stdlib.+."; "Stdlib.-." ]
+let cmp_op_names = [ "Stdlib.<"; "Stdlib.>"; "Stdlib.<="; "Stdlib.>=" ]
+
+(* Array builders whose result is a fresh heap block.  Float arrays and
+   [floatarray] are flat (unboxed) so they are filtered by element type at
+   the use site, per R11's "non-flat element types" scope. *)
+let array_maker_names =
+  [
+    "Stdlib.Array.make"; "Stdlib.Array.init"; "Stdlib.Array.copy";
+    "Stdlib.Array.map"; "Stdlib.Array.mapi"; "Stdlib.Array.append";
+    "Stdlib.Array.sub"; "Stdlib.Array.of_list"; "Stdlib.Array.concat";
+    "Stdlib.Array.make_matrix"; "Stdlib.Array.split";
+    "Array.make"; "Array.init"; "Array.copy"; "Array.map"; "Array.mapi";
+    "Array.append"; "Array.sub"; "Array.of_list"; "Array.concat";
+    "Array.make_matrix"; "Array.split";
+  ]
+
 let last_component name =
   match String.rindex_opt name '.' with
   | Some i -> String.sub name (i + 1) (String.length name - i - 1)
@@ -141,6 +160,15 @@ let is_float env ty =
 let is_arrow env ty =
   match Types.get_desc (expand env ty) with
   | Types.Tarrow _ -> true
+  | _ -> false
+
+(* Whether [ty] is an array/floatarray whose cells are flat floats, i.e.
+   an unboxed block R11 does not count as a boxed allocation. *)
+let array_elem_is_float env ty =
+  match Types.get_desc (expand env ty) with
+  | Types.Tconstr (p, [ elt ], _) when Path.same p Predef.path_array ->
+      is_float env elt
+  | Types.Tconstr (p, _, _) when Path.same p Predef.path_floatarray -> true
   | _ -> false
 
 (* ---------- R8/R10: is this type mutable? ---------- *)
@@ -248,12 +276,26 @@ let rec global_target ~toplevel e =
    their pattern idents are the function's parameters, indexed by level
    for the Arg_param edges the capture fixpoint propagates over. *)
 let peel_spine expr =
+  (* An optional parameter with a default, [?(stride = 1)], elaborates to
+     a ["*opt*"] parameter whose body immediately lets the visible name to
+     the defaulted match before the next [fun] — peel through that let so
+     the remaining parameters stay on the spine (and are not misread as
+     closures the function allocates). *)
+  let through_default param c_rhs =
+    if String.starts_with ~prefix:"*opt*" (Ident.name param) then
+      match c_rhs.exp_desc with
+      | Texp_let (_, vbs, body) ->
+          (List.concat_map (fun vb -> pat_bound_idents vb.vb_pat) vbs, body)
+      | _ -> ([], c_rhs)
+    else ([], c_rhs)
+  in
   let rec peel params nodes exp =
     match exp.exp_desc with
     | Texp_function
         { param; cases = [ { c_lhs; c_guard = None; c_rhs } ]; _ } ->
-        let level = param :: pat_bound_idents c_lhs in
-        peel (level :: params) (exp :: nodes) c_rhs
+        let defaulted, next = through_default param c_rhs in
+        let level = (param :: pat_bound_idents c_lhs) @ defaulted in
+        peel (level :: params) (exp :: nodes) next
     | Texp_function _ -> (List.rev params, exp :: nodes)
     | _ -> (List.rev params, nodes)
   in
@@ -356,6 +398,24 @@ let analyse ~(config : Lint.Config.t) ~path ~r8_applies ~session ~cmt_root
          pending location is resolved at end of binding. *)
       let pending_callsites = ref [] in
 
+      (* Effect-stage (v4) per-binding state.  Allocation, raise and
+         eff-call sites are extracted unconditionally (they are part of
+         the cached summary); float-domain tracking is skipped inside the
+         numerics libraries, whose internals mix domains by design —
+         exactly the R1/R7 exemption. *)
+      let track_domains = not in_numerics in
+      let allocs = ref [] in
+      let raises = ref [] in
+      let eff_calls = ref [] in
+      let seen_eff = Hashtbl.create 16 in
+      let domain_sites = ref [] in
+      let try_depth = ref 0 in
+      (* [(line, col)] of a let-bound right-hand side to the bound name,
+         so an allocation site is reported as the name it flows into. *)
+      let binding_names = Hashtbl.create 16 in
+      (* Local float-domain environment: ident name to inferred domain. *)
+      let dom_env = Hashtbl.create 16 in
+
       let param_index id =
         let rec find level = function
           | [] -> None
@@ -416,10 +476,20 @@ let analyse ~(config : Lint.Config.t) ~path ~r8_applies ~session ~cmt_root
                        or a named tolerance"
                       (last_component name)));
             if List.mem name mutator_names then
+              (* Only the structure argument can be the mutation target:
+                 for [:=], [incr], [set] and friends that is the first
+                 argument; [blit] also writes its destination, so every
+                 argument stays in play there.  Value operands (the RHS
+                 of [:=]) must not resolve — [phi := neg_infinity] reads
+                 the global, it does not write it. *)
+              let candidates =
+                if String.equal (last_component name) "blit" then args
+                else match args with [] -> [] | first :: _ -> [ first ]
+              in
               match
                 List.find_map
                   (fun (_, arg) -> Option.bind arg (global_target ~toplevel))
-                  args
+                  candidates
               with
               | Some target ->
                   record_mutation loc
@@ -622,10 +692,280 @@ let analyse ~(config : Lint.Config.t) ~path ~r8_applies ~session ~cmt_root
           vbs
       in
 
+      (* ---------- effect extraction (v4) ---------- *)
+      let alloc_default_name = function
+        | Summary.Alloc_closure -> "closure"
+        | Summary.Alloc_tuple -> "tuple"
+        | Summary.Alloc_record -> "record"
+        | Summary.Alloc_boxed_float -> "boxed"
+        | Summary.Alloc_array -> "array"
+        | Summary.Alloc_partial -> "partial"
+      in
+      let record_alloc loc kind =
+        let line, col = line_col loc in
+        let name =
+          match Hashtbl.find_opt binding_names (line_col loc) with
+          | Some n -> n
+          | None -> alloc_default_name kind
+        in
+        allocs :=
+          { Summary.a_line = line; a_col = col; a_kind = kind; a_name = name }
+          :: !allocs
+      in
+      let record_raise loc exn =
+        if !try_depth = 0 && not in_numerics then begin
+          let line, col = line_col loc in
+          raises :=
+            {
+              Summary.r_line = line;
+              r_col = col;
+              r_exn = exn;
+              r_lambdas = List.rev !lambda_stack;
+            }
+            :: !raises
+        end
+      in
+      let record_eff_call loc name =
+        if !try_depth = 0 then begin
+          let stack = List.rev !lambda_stack in
+          let key =
+            name ^ "|" ^ String.concat "," (List.map string_of_int stack)
+          in
+          if not (Hashtbl.mem seen_eff key) then begin
+            Hashtbl.replace seen_eff key ();
+            let line, col = line_col loc in
+            eff_calls :=
+              {
+                Summary.e_name = name;
+                e_line = line;
+                e_col = col;
+                e_lambdas = stack;
+              }
+              :: !eff_calls
+          end
+        end
+      in
+      let matches_producer patterns name =
+        List.exists (fun pattern -> dotted_match ~pattern name) patterns
+      in
+      let printable_src (e : expression) =
+        match e.exp_desc with
+        | Texp_ident (p, _, _) -> Path.name p
+        | Texp_field ({ exp_desc = Texp_ident (p, _, _); _ }, _, label) ->
+            Path.name p ^ "." ^ label.Types.lbl_name
+        | _ -> "<expr>"
+      in
+      (* Addition/subtraction preserve a domain the other operand does not
+         contradict (log_g folds a sum then subtracts a log constant);
+         branch merges are strict — disagreeing arms yield [DUnknown]. *)
+      let join_dom a b =
+        match (a, b) with
+        | Summary.Known Summary.DUnknown, d | d, Summary.Known Summary.DUnknown
+          ->
+            d
+        | a, b when a = b -> a
+        | _ -> Summary.Known Summary.DUnknown
+      in
+      let branch_join a b =
+        if a = b then a else Summary.Known Summary.DUnknown
+      in
+      let rec eval_dom (e : expression) : Summary.domexpr =
+        match e.exp_desc with
+        | Texp_ident (Path.Pident id, _, _) ->
+            Option.value
+              ~default:(Summary.Known Summary.DUnknown)
+              (Hashtbl.find_opt dom_env (Ident.name id))
+        | Texp_apply (fn, args) -> (
+            match ident_path fn with
+            | None -> Summary.Known Summary.DUnknown
+            | Some p ->
+                let name = Path.name p in
+                if matches_producer config.Lint.Config.r13_log_producers name
+                then Summary.Known Summary.Log
+                else if
+                  matches_producer config.Lint.Config.r13_linear_producers name
+                then Summary.Known Summary.Linear
+                else if
+                  matches_producer config.Lint.Config.r13_mantissa_producers
+                    name
+                then
+                  let src =
+                    match args with
+                    | (_, Some a) :: _ -> printable_src a
+                    | _ -> "<expr>"
+                  in
+                  Summary.Known (Summary.Mantissa src)
+                else if List.mem name addsub_names then (
+                  match args with
+                  | [ (_, Some l); (_, Some r) ] ->
+                      join_dom (eval_dom l) (eval_dom r)
+                  | _ -> Summary.Known Summary.DUnknown)
+                else if
+                  String.starts_with ~prefix:"Stdlib" name
+                  || String.starts_with ~prefix:"CamlinternalFormat" name
+                then Summary.Known Summary.DUnknown
+                else if is_float (env_of e.exp_env) e.exp_type then
+                  (* Resolution to the callee's return domain happens in
+                     the Effects fixpoint, once every summary is known. *)
+                  Summary.DCall name
+                else Summary.Known Summary.DUnknown)
+        | Texp_let (_, vbs, body) ->
+            List.iter
+              (fun vb ->
+                match vb.vb_pat.pat_desc with
+                | Tpat_var (id, _) ->
+                    Hashtbl.replace dom_env (Ident.name id)
+                      (eval_dom vb.vb_expr)
+                | _ -> ())
+              vbs;
+            eval_dom body
+        | Texp_sequence (_, body) -> eval_dom body
+        | Texp_ifthenelse (_, t, Some f) ->
+            branch_join (eval_dom t) (eval_dom f)
+        | Texp_match (_, cases, _) -> (
+            match
+              List.map (fun c -> eval_dom c.Typedtree.c_rhs) cases
+            with
+            | [] -> Summary.Known Summary.DUnknown
+            | first :: rest -> List.fold_left branch_join first rest)
+        | _ -> Summary.Known Summary.DUnknown
+      in
+      let potential_log = function
+        | Summary.Known Summary.Log | Summary.DCall _ -> true
+        | _ -> false
+      in
+      let potential_lin = function
+        | Summary.Known Summary.Linear
+        | Summary.Known (Summary.Mantissa _)
+        | Summary.DCall _ ->
+            true
+        | _ -> false
+      in
+      let potential_mantissa = function
+        | Summary.Known (Summary.Mantissa _) | Summary.DCall _ -> true
+        | _ -> false
+      in
+      let record_domain_site loc op l r =
+        let line, col = line_col loc in
+        domain_sites :=
+          {
+            Summary.d_line = line;
+            d_col = col;
+            d_op = op;
+            d_left = l;
+            d_right = r;
+          }
+          :: !domain_sites
+      in
+      (* Candidate R13 sites: an add/sub whose operands could straddle the
+         log/linear divide, a log->linear conversion of a value that may
+         already be linear, and an ordering comparison of mantissas whose
+         rescale exponents may differ.  Sites with [DCall] operands are
+         provisional; {!Effects} resolves them against callee summaries. *)
+      let note_domains (e : expression) fn args =
+        match ident_path fn with
+        | None -> ()
+        | Some p ->
+            let name = Path.name p in
+            if List.mem name addsub_names then (
+              match args with
+              | [ (_, Some le); (_, Some re) ] ->
+                  let l = eval_dom le and r = eval_dom re in
+                  if
+                    (potential_log l && potential_lin r)
+                    || (potential_log r && potential_lin l)
+                  then record_domain_site e.exp_loc Summary.Dom_add l r
+              | _ -> ())
+            else if
+              matches_producer config.Lint.Config.r13_linear_producers name
+            then (
+              match args with
+              | (_, Some a) :: _ -> (
+                  match eval_dom a with
+                  | (Summary.Known Summary.Linear | Summary.DCall _) as d ->
+                      record_domain_site e.exp_loc Summary.Dom_exp d
+                        (Summary.Known Summary.DUnknown)
+                  | _ -> ())
+              | _ -> ())
+            else if List.mem name cmp_op_names then
+              match args with
+              | [ (_, Some le); (_, Some re) ]
+                when is_float (env_of le.exp_env) le.exp_type
+                     && is_float (env_of re.exp_env) re.exp_type -> (
+                  let l = eval_dom le and r = eval_dom re in
+                  match (l, r) with
+                  | ( Summary.Known (Summary.Mantissa a),
+                      Summary.Known (Summary.Mantissa b) ) ->
+                      if not (String.equal a b) then
+                        record_domain_site e.exp_loc Summary.Dom_cmp l r
+                  | _ ->
+                      if potential_mantissa l && potential_mantissa r then
+                        record_domain_site e.exp_loc Summary.Dom_cmp l r)
+              | _ -> ()
+      in
+      let note_effects (e : expression) fn args =
+        match ident_path fn with
+        | None -> ()
+        | Some p ->
+            let name = Path.name p in
+            if List.mem name raise_names then
+              let exn =
+                match args with
+                | (_, Some { exp_desc = Texp_construct (_, cd, _); _ }) :: _ ->
+                    cd.Types.cstr_name
+                | _ -> "<dynamic>"
+              in
+              record_raise e.exp_loc exn
+            else begin
+              (if is_arrow (env_of e.exp_env) e.exp_type then
+                 record_alloc e.exp_loc Summary.Alloc_partial
+               else if List.mem name ref_names then
+                 let boxed =
+                   match args with
+                   | (_, Some (a : expression)) :: _ ->
+                       is_float (env_of a.exp_env) a.exp_type
+                   | _ -> false
+                 in
+                 record_alloc e.exp_loc
+                   (if boxed then Summary.Alloc_boxed_float
+                    else Summary.Alloc_record)
+               else if
+                 List.mem name array_maker_names
+                 && not (array_elem_is_float (env_of e.exp_env) e.exp_type)
+               then record_alloc e.exp_loc Summary.Alloc_array);
+              if
+                (not (String.starts_with ~prefix:"Stdlib" name))
+                && not (String.starts_with ~prefix:"CamlinternalFormat" name)
+              then record_eff_call e.exp_loc name;
+              if track_domains then note_domains e fn args
+            end
+      in
+      let rec spine_body exp =
+        match exp.exp_desc with
+        | Texp_function { cases = [ { c_guard = None; c_rhs; _ } ]; _ } ->
+            spine_body c_rhs
+        | Texp_let (_, _, body)
+          when match body.exp_desc with
+               | Texp_function _ -> true
+               | _ -> false ->
+            (* the defaulted-optional let between two spine nodes *)
+            spine_body body
+        | _ -> exp
+      in
+      let exception_match cases =
+        List.exists
+          (fun c ->
+            match Typedtree.split_pattern c.Typedtree.c_lhs with
+            | _, Some _ -> true
+            | _ -> false)
+          cases
+      in
+
       let visit iterator e =
         match e.exp_desc with
         | Texp_ident (p, _, _) -> note_ident e.exp_loc p
         | Texp_function _ when not (List.memq e !spine_nodes) ->
+            record_alloc e.exp_loc Summary.Alloc_closure;
             let id = fresh_lam () in
             Hashtbl.replace lambda_at (line_col e.exp_loc) id;
             let captures = compute_captures e in
@@ -640,10 +980,61 @@ let analyse ~(config : Lint.Config.t) ~path ~r8_applies ~session ~cmt_root
               (fun () -> Tast_iterator.default_iterator.expr iterator e)
         | Texp_let (_, vbs, _) ->
             note_local_closures vbs;
+            List.iter
+              (fun vb ->
+                match vb.vb_pat.pat_desc with
+                | Tpat_var (id, _) ->
+                    Hashtbl.replace binding_names
+                      (line_col vb.vb_expr.exp_loc)
+                      (Ident.name id);
+                    if track_domains then
+                      Hashtbl.replace dom_env (Ident.name id)
+                        (eval_dom vb.vb_expr)
+                | _ -> ())
+              vbs;
             Tast_iterator.default_iterator.expr iterator e
+        | Texp_tuple _ ->
+            record_alloc e.exp_loc Summary.Alloc_tuple;
+            Tast_iterator.default_iterator.expr iterator e
+        | Texp_record _ ->
+            record_alloc e.exp_loc Summary.Alloc_record;
+            Tast_iterator.default_iterator.expr iterator e
+        | Texp_construct (_, _, cargs) ->
+            if
+              List.exists
+                (fun (a : expression) ->
+                  is_float (env_of a.exp_env) a.exp_type)
+                cargs
+            then record_alloc e.exp_loc Summary.Alloc_boxed_float;
+            Tast_iterator.default_iterator.expr iterator e
+        | Texp_array items ->
+            (* [[||]] is the preallocated empty atom, and float-array
+               literals are flat blocks outside R11's kind scope. *)
+            if
+              items <> []
+              && not (array_elem_is_float (env_of e.exp_env) e.exp_type)
+            then record_alloc e.exp_loc Summary.Alloc_array;
+            Tast_iterator.default_iterator.expr iterator e
+        | Texp_try _ ->
+            (* Lexical raise guard.  The whole node (handler included) is
+               treated as guarded — catching-and-reraising enriched is an
+               intended pattern, not an escaping effect. *)
+            incr try_depth;
+            Fun.protect
+              ~finally:(fun () -> decr try_depth)
+              (fun () -> Tast_iterator.default_iterator.expr iterator e)
+        | Texp_match (_, cases, _) when exception_match cases ->
+            (* [match ... with exception E -> ...] guards its scrutinee
+               like [try]; the value cases ride along (over-suppression,
+               the quiet direction). *)
+            incr try_depth;
+            Fun.protect
+              ~finally:(fun () -> decr try_depth)
+              (fun () -> Tast_iterator.default_iterator.expr iterator e)
         | Texp_apply (fn, args) -> (
             check_apply e.exp_loc fn args;
             note_callsite e.exp_loc fn args;
+            note_effects e fn args;
             match ident_path fn with
             | Some p when lock_wrapper ~config (Path.name p) ->
                 (* The wrapper's non-function arguments (the mutex, the
@@ -685,6 +1076,14 @@ let analyse ~(config : Lint.Config.t) ~path ~r8_applies ~session ~cmt_root
         Hashtbl.reset lambda_at;
         Hashtbl.reset captures_of;
         pending_callsites := [];
+        allocs := [];
+        raises := [];
+        eff_calls := [];
+        Hashtbl.reset seen_eff;
+        domain_sites := [];
+        try_depth := 0;
+        Hashtbl.reset binding_names;
+        Hashtbl.reset dom_env;
         let params, spine = peel_spine vb.vb_expr in
         param_levels := params;
         spine_nodes := spine;
@@ -726,7 +1125,19 @@ let analyse ~(config : Lint.Config.t) ~path ~r8_applies ~session ~cmt_root
                 c.Summary.args)
             callsites
         in
-        (List.rev !calls, List.rev !mutations, List.rev !lambdas, callsites)
+        let ret_domain =
+          if track_domains then eval_dom (spine_body vb.vb_expr)
+          else Summary.Known Summary.DUnknown
+        in
+        ( List.rev !calls,
+          List.rev !mutations,
+          List.rev !lambdas,
+          callsites,
+          List.rev !allocs,
+          List.rev !raises,
+          List.rev !eff_calls,
+          List.rev !domain_sites,
+          ret_domain )
       in
 
       let rec walk_items items =
@@ -752,7 +1163,15 @@ let analyse ~(config : Lint.Config.t) ~path ~r8_applies ~session ~cmt_root
                     match vb.vb_pat.pat_desc with
                     | Tpat_var (id, _) ->
                         let line, col = line_col vb.vb_loc in
-                        let calls, mutations, lambdas, callsites =
+                        let ( calls,
+                              mutations,
+                              lambdas,
+                              callsites,
+                              allocs,
+                              raises,
+                              eff_calls,
+                              domain_sites,
+                              ret_domain ) =
                           analyse_body vb
                         in
                         funcs :=
@@ -764,6 +1183,11 @@ let analyse ~(config : Lint.Config.t) ~path ~r8_applies ~session ~cmt_root
                             mutations;
                             lambdas;
                             callsites;
+                            allocs;
+                            raises;
+                            eff_calls;
+                            domain_sites;
+                            ret_domain;
                           }
                           :: !funcs
                     | _ ->

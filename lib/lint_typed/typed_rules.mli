@@ -4,10 +4,12 @@
     these see the typechecker's output: resolved value paths, inferred
     types, and desugared applications.  One pass over a unit's [.cmt]
     yields both the R7/R8 findings for that file and the {!Summary.file}
-    record — call edges, writes with lock context, and the v3
+    record — call edges, writes with lock context, the v3
     closure-capture data (lambdas, mutable captures, forwarding call
-    sites) — that feeds the interprocedural R9/R10 analyses in
-    {!Callgraph} and {!Capture}. *)
+    sites), and the v4 effect data (boxed-allocation sites, unguarded
+    raise sites, candidate cross-domain float operations, return
+    domains) — that feeds the interprocedural R9-R13 analyses in
+    {!Callgraph}, {!Capture} and {!Effects}. *)
 
 type session
 (** Mutable compiler-libs state (load path, persistent-structure caches)
@@ -28,6 +30,12 @@ val domain_sink : config:Crossbar_lint.Config.t -> string -> bool
     ([r10_sinks]).  A two-component pattern such as ["Pool.run"] matches
     the plain, aliased and unit-mangled spellings of the same function
     ([Pool.run], [Crossbar_engine.Pool.run], [Crossbar_engine__Pool.run]). *)
+
+val dotted_match : pattern:string -> string -> bool
+(** The matcher behind {!domain_sink}, exposed for the effect stage's
+    [hot_roots]/[r12_boundaries]/producer patterns: a bare component
+    matches any path ending there, a dotted pattern additionally requires
+    the short (unmangled) name of the module right above the value. *)
 
 val analyse :
   config:Crossbar_lint.Config.t ->

@@ -1,0 +1,8 @@
+(* Fixture: a stand-in profile store whose [get] matches the default
+   r13_mantissa_producers pattern "Lattice.get" — each read yields a
+   rescaled mantissa tagged with the profile it came from. *)
+
+type t = { values : float array }
+
+let of_array values = { values }
+let get t u = t.values.(u)

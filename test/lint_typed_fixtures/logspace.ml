@@ -1,0 +1,8 @@
+(* Fixture: a stand-in log-domain module whose names match the default
+   r13 producer lists.  Bodies are irrelevant — only the resolved call
+   names seed the domain lattice. *)
+
+let of_float x = log x
+let to_float x = exp x
+let exp_log x = exp x
+let mul a b = a +. b

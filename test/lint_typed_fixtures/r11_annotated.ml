@@ -1,0 +1,13 @@
+(* Fixture: an annotated hot root.  The directive below sanctions the
+   one scratch cell by name, so the configured root lints clean; the
+   regression test strips the directive line and expects the finding
+   back at exactly this site — the same protection the directives in
+   lib/core/convolution.ml rely on. *)
+
+let hot values =
+  (* lint: alloc=acc -- one scratch cell for the whole fold *)
+  let acc = ref 0.0 in
+  for i = 0 to Array.length values - 1 do
+    acc := !acc +. values.(i)
+  done;
+  !acc

@@ -1,0 +1,27 @@
+(* Fixture: [combine] is configured as an R11 hot root.  Its body and the
+   r11_profile callees it reaches cover every boxed-allocation kind the
+   effect stage records: closure, tuple, record, boxed float, non-flat
+   array, partial application.  [off_path] allocates too but is never
+   called from the root, so it must stay unflagged.  Float arrays are
+   flat and must also stay unflagged. *)
+
+let combine n =
+  let box = ref 0.0 in
+  let cell = ref 0 in
+  let bump = fun y -> y + !cell in
+  let t = R11_profile.pair n n in
+  let r = R11_profile.fresh () in
+  let ints = Array.make n 0 in
+  let flat = Array.make n 0.0 in
+  let applied = R11_profile.pair n in
+  ignore (applied n);
+  ignore (bump (fst t));
+  ignore (R11_profile.bump r);
+  ignore ints;
+  ignore flat;
+  !box
+
+let off_path n =
+  let spare = ref n in
+  incr spare;
+  !spare

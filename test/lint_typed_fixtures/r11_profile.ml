@@ -1,0 +1,12 @@
+(* Fixture: callees one hop below the R11 hot root in r11_hot.ml.  Each
+   allocates a distinct boxed shape so the transitive walk — not just the
+   root's own body — is what the exact-count test exercises. *)
+
+type acc = { mutable total : int }
+
+let pair a b = (a, b)
+let fresh () = { total = 0 }
+
+let bump acc =
+  acc.total <- acc.total + 1;
+  acc.total

@@ -1,0 +1,17 @@
+(* Fixture: raise effects against the Pool.run boundary.  [direct] raises
+   inside the lambda itself; [indirect] calls [risky], whose escaping
+   raise the interprocedural fixpoint must carry across the call edge.
+   [guarded] catches inside the lambda and [safe] calls a total function
+   — both must stay clean. *)
+
+exception Overflow
+
+let risky x = if x > 1000 then raise Overflow else x
+let total x = x + 1
+
+let direct () =
+  Pool.run ~tasks:2 (fun g -> if g > 1 then raise Overflow else g)
+
+let indirect () = Pool.run ~tasks:2 (fun g -> risky (g * 100))
+let guarded () = Pool.run ~tasks:2 (fun g -> try risky g with Overflow -> 0)
+let safe () = Pool.run ~tasks:2 (fun g -> total g)

@@ -1,0 +1,21 @@
+(* Fixture: cross-domain float arithmetic.  The first five functions are
+   violations — log+linear addition (both orders), addition through a
+   return-domain resolved across a call edge, re-exponentiation of an
+   already-linear value, and an ordering comparison between mantissas of
+   two different profiles.  The ok_* functions stay within one domain and
+   must lint clean. *)
+
+let bad_add a b = Logspace.of_float a +. Logspace.to_float b
+let bad_sub a b = Logspace.to_float a -. Logspace.of_float b
+
+(* [lifted]'s return domain is log only through the call edge — the
+   fixpoint, not the local pass, has to resolve it. *)
+let lifted a = Logspace.of_float a
+let indirect_add a b = lifted a +. Logspace.to_float b
+let double_exp a = Logspace.exp_log (Logspace.to_float a)
+let cross_cmp g h = Lattice.get g 0 < Lattice.get h 1
+
+let ok_add a b = Logspace.of_float a +. Logspace.of_float b
+let ok_lin a b = Logspace.to_float a +. Logspace.to_float b
+let ok_exp a = Logspace.exp_log (Logspace.of_float a)
+let ok_cmp g = Lattice.get g 0 < Lattice.get g 1

@@ -94,7 +94,9 @@ let test_whole_tree_totals () =
         | Rule.R2 -> 3
         | Rule.R3 | Rule.R4 | Rule.R5 -> 2
         | Rule.R6 -> 1
-        | Rule.R7 | Rule.R8 | Rule.R9 | Rule.R10 | Rule.Syntax -> 0
+        | Rule.R7 | Rule.R8 | Rule.R9 | Rule.R10 | Rule.R11 | Rule.R12
+        | Rule.R13 | Rule.Syntax ->
+            0
       in
       check_int
         (Printf.sprintf "count for %s" (Rule.to_string rule))

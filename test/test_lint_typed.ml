@@ -7,12 +7,16 @@ module Typed = Crossbar_lint_typed
 module Json = Crossbar_engine.Json
 
 (* The typed stage needs real .cmt artifacts, so each suite compiles the
-   fixtures with `ocamlc -bin-annot` into a scratch directory under the
-   test's working directory (paths must stay relative: Config.normalize
-   treats them as repo-relative). *)
+   fixtures with `ocamlc -bin-annot` into a scratch directory obtained
+   from [Filename.temp_dir] — never inside the source tree (the
+   .gitignore typed_scratch_* pattern is belt and braces for older
+   binaries).  [Config.normalize] drops leading slashes consistently on
+   both paths and configured prefixes, so absolute scratch paths match
+   themselves. *)
 
-(* Order is compile order: [pool.ml] first (the r10 fixtures call it),
-   each r9 module before the engine entry that references it. *)
+(* Order is compile order: [pool.ml] first (the r10/r12 fixtures call
+   it), each r9 module before the engine entry that references it, each
+   r11/r13 producer module before its consumer. *)
 let fixture_files =
   [
     "pool.ml";
@@ -23,6 +27,13 @@ let fixture_files =
     "r10_capture.ml";
     "r10_indirect.ml";
     "r10_guarded.ml";
+    "r11_profile.ml";
+    "r11_hot.ml";
+    "r11_annotated.ml";
+    "r12_raise.ml";
+    "logspace.ml";
+    "lattice.ml";
+    "r13_mix.ml";
     "engine/r9_entry.ml";
     "engine/r9_ho_entry.ml";
   ]
@@ -32,6 +43,18 @@ let sh cmd =
 
 let compile dir file =
   sh (Printf.sprintf "ocamlc -bin-annot -I %s -c %s/%s 2>/dev/null" dir dir file)
+
+(* One temp root per logical scratch name, created on first use and
+   shared by the suites that reuse the same compiled fixtures. *)
+let scratch_roots : (string, string) Hashtbl.t = Hashtbl.create 4
+
+let scratch_dir name =
+  match Hashtbl.find_opt scratch_roots name with
+  | Some dir -> dir
+  | None ->
+      let dir = Filename.temp_dir name "" in
+      Hashtbl.add scratch_roots name dir;
+      dir
 
 let setup dir =
   sh (Printf.sprintf "rm -rf %s" dir);
@@ -49,6 +72,7 @@ let typed_config ~dir rules =
     numerics_prefixes = [];
     r3_scope = Config.Paths [ dir ];
     r9_roots = [ dir ^ "/engine" ];
+    hot_roots = [ "R11_hot.combine"; "R11_annotated.hot" ];
   }
 
 let index dir =
@@ -90,7 +114,7 @@ let mentions findings needle =
 (* ---------- per-rule fixtures ---------- *)
 
 let test_r7_exact_count () =
-  let dir = "typed_scratch_rules" in
+  let dir = scratch_dir "typed_scratch_rules" in
   setup dir;
   let findings, stats =
     run ~dir [ Rule.R7 ] [ dir ^ "/r7_float_eq.ml" ]
@@ -102,13 +126,13 @@ let test_r7_exact_count () =
   check_int "r7: all R7" 5 (count Rule.R7 findings)
 
 let test_r8_exact_count () =
-  let dir = "typed_scratch_rules" in
+  let dir = scratch_dir "typed_scratch_rules" in
   let findings, _ = run ~dir [ Rule.R8 ] [ dir ^ "/r8_mutable.ml" ] in
   check_int "r8: count" 6 (List.length findings);
   check_int "r8: all R8" 6 (count Rule.R8 findings)
 
 let test_r9_exact_count () =
-  let dir = "typed_scratch_rules" in
+  let dir = scratch_dir "typed_scratch_rules" in
   let findings, _ =
     run ~dir [ Rule.R9 ]
       [ dir ^ "/r9_state.ml"; dir ^ "/engine/r9_entry.ml" ]
@@ -127,7 +151,7 @@ let test_r9_exact_count () =
 (* ---------- v3 capture stage: R10 and R9's higher-order closure ---------- *)
 
 let test_r10_exact_count () =
-  let dir = "typed_scratch_rules" in
+  let dir = scratch_dir "typed_scratch_rules" in
   let findings, stats = run ~dir [ Rule.R10 ] [ dir ^ "/r10_capture.ml" ] in
   check_bool "r10: no missing cmt" true (stats.Typed.Driver.missing_cmt = []);
   check_bool "r10: no errors" true (stats.Typed.Driver.errors = []);
@@ -141,7 +165,7 @@ let test_r10_exact_count () =
     (not (mentions findings "counter"))
 
 let test_r10_indirect_chain () =
-  let dir = "typed_scratch_rules" in
+  let dir = scratch_dir "typed_scratch_rules" in
   let findings, _ = run ~dir [ Rule.R10 ] [ dir ^ "/r10_indirect.ml" ] in
   check_int "indirect: count" 1 (List.length findings);
   check_bool "indirect: names the capture" true (mentions findings "slots");
@@ -149,7 +173,7 @@ let test_r10_indirect_chain () =
     (mentions findings "spawn_all -> Pool.run")
 
 let test_r10_guarded_and_suppressed () =
-  let dir = "typed_scratch_guard" in
+  let dir = scratch_dir "typed_scratch_guard" in
   setup dir;
   let target = dir ^ "/r10_guarded.ml" in
   let findings, _ = run ~dir [ Rule.R10 ] [ target ] in
@@ -194,8 +218,37 @@ let test_tree_annotations_present () =
       check_bool (file ^ " keeps " ^ directive) true (contains text directive))
     annotated_sites
 
+(* Every [alloc=] directive sanctioning a hot-path allocation in the
+   tree, with the minimum count per file.  The strip regression in
+   [test_r11_annotated_strip] proves the mechanism (remove a directive,
+   the finding returns at its site); this pins the real sites so losing
+   one fails here *and* in `dune build @lint`. *)
+let alloc_annotated_files =
+  [
+    ("../lib/core/convolution.ml", 18);
+    ("../lib/core/lattice.ml", 3);
+    ("../lib/core/model.ml", 1);
+    ("../lib/numerics/kahan.ml", 1);
+    ("../lib/numerics/special.ml", 1);
+  ]
+
+let test_tree_alloc_annotations_present () =
+  List.iter
+    (fun (file, expected) ->
+      let text = In_channel.with_open_bin file In_channel.input_all in
+      let count =
+        List.length
+          (List.filter
+             (fun line -> contains line "alloc=")
+             (String.split_on_char '\n' text))
+      in
+      check_bool
+        (Printf.sprintf "%s keeps >= %d alloc= directives" file expected)
+        true (count >= expected))
+    alloc_annotated_files
+
 let test_r9_higher_order () =
-  let dir = "typed_scratch_rules" in
+  let dir = scratch_dir "typed_scratch_rules" in
   let findings, _ =
     run ~dir [ Rule.R9 ]
       [ dir ^ "/r9_higher_order.ml"; dir ^ "/engine/r9_ho_entry.ml" ]
@@ -205,30 +258,133 @@ let test_r9_higher_order () =
   check_bool "r9 ho: wrapper-run callbacks stay clean" true
     (not (mentions findings "counter"))
 
-(* ---------- incremental cache ---------- *)
+(* ---------- v4 effect stage: R11, R12, R13 ---------- *)
 
-let test_cache_hits_and_invalidation () =
-  let dir = "typed_scratch_cache" in
+let test_r11_exact_count () =
+  let dir = scratch_dir "typed_scratch_rules" in
+  let findings, _ =
+    run ~dir [ Rule.R11 ] [ dir ^ "/r11_profile.ml"; dir ^ "/r11_hot.ml" ]
+  in
+  check_int "r11: count" 7 (List.length findings);
+  check_int "r11: all R11" 7 (count Rule.R11 findings);
+  (* Every boxed-allocation kind appears exactly where planted... *)
+  check_bool "r11: boxed float" true (mentions findings "boxed float (box)");
+  check_bool "r11: int ref is a record" true (mentions findings "record (cell)");
+  check_bool "r11: closure" true (mentions findings "closure (bump)");
+  check_bool "r11: tuple via the call chain" true
+    (mentions findings "R11_hot.combine -> R11_profile.pair allocates a tuple");
+  check_bool "r11: record via the call chain" true
+    (mentions findings "R11_hot.combine -> R11_profile.fresh allocates a record");
+  check_bool "r11: non-flat array" true (mentions findings "array (ints)");
+  check_bool "r11: partial application" true
+    (mentions findings "partial application (applied)");
+  (* ...and nothing else: float arrays are flat, [off_path] is unreached. *)
+  check_bool "r11: float arrays stay clean" true
+    (not (mentions findings "flat"));
+  check_bool "r11: unreached functions stay clean" true
+    (not (mentions findings "spare"))
+
+let test_r11_annotated_strip () =
+  let dir = scratch_dir "typed_scratch_effects" in
   setup dir;
-  let config = typed_config ~dir [ Rule.R7 ] in
+  let target = dir ^ "/r11_annotated.ml" in
+  let findings, _ = run ~dir [ Rule.R11 ] [ target ] in
+  check_int "annotated: clean" 0 (List.length findings);
+  (* Reverting the alloc= directive must bring the allocation back at
+     exactly its site — the regression the directives in
+     lib/core/convolution.ml are protected by. *)
+  let text = In_channel.with_open_bin target In_channel.input_all in
+  let stripped =
+    String.split_on_char '\n' text
+    |> List.filter (fun line -> not (contains line "alloc="))
+    |> String.concat "\n"
+  in
+  Out_channel.with_open_bin target (fun oc ->
+      Out_channel.output_string oc stripped);
+  compile dir "r11_annotated.ml";
+  let findings, _ = run ~dir [ Rule.R11 ] [ target ] in
+  check_int "stripped: the allocation returns" 1 (List.length findings);
+  check_bool "stripped: names the cell" true
+    (mentions findings "boxed float (acc)");
+  check_bool "stripped: names the root" true
+    (mentions findings "R11_annotated.hot")
+
+let test_r12_exact_count () =
+  let dir = scratch_dir "typed_scratch_rules" in
+  let findings, stats =
+    run ~dir [ Rule.R12 ] [ dir ^ "/pool.ml"; dir ^ "/r12_raise.ml" ]
+  in
+  check_int "r12: count" 2 (List.length findings);
+  check_int "r12: all R12" 2 (count Rule.R12 findings);
+  check_bool "r12: direct raise in the lambda" true
+    (mentions findings "raise of Overflow escapes through the lambda direct");
+  check_bool "r12: escaping callee via the fixpoint" true
+    (mentions findings "risky, called from the lambda indirect");
+  check_bool "r12: lambda-local handler stays clean" true
+    (not (mentions findings "guarded"));
+  check_bool "r12: total callees stay clean" true
+    (not (mentions findings "lambda safe"));
+  check_bool "r12: fixpoint iterated" true
+    (stats.Typed.Driver.raise_iterations >= 1)
+
+let test_r13_exact_count () =
+  let dir = scratch_dir "typed_scratch_rules" in
+  let findings, stats =
+    run ~dir [ Rule.R13 ]
+      [ dir ^ "/logspace.ml"; dir ^ "/lattice.ml"; dir ^ "/r13_mix.ml" ]
+  in
+  check_int "r13: count" 5 (List.length findings);
+  check_int "r13: all R13" 5 (count Rule.R13 findings);
+  check_bool "r13: log + linear add" true
+    (mentions findings "bad_add adds/subtracts log-domain and linear-domain");
+  check_bool "r13: linear - log sub" true
+    (mentions findings "bad_sub adds/subtracts linear-domain and log-domain");
+  check_bool "r13: return domain resolved across the call edge" true
+    (mentions findings "indirect_add adds/subtracts log-domain");
+  check_bool "r13: double exp" true (mentions findings "double_exp");
+  check_bool "r13: cross-profile mantissa compare" true
+    (mentions findings "cross_cmp orders rescaled mantissas");
+  check_bool "r13: single-domain functions stay clean" true
+    (not (mentions findings "ok_"));
+  check_bool "r13: fixpoint iterated" true
+    (stats.Typed.Driver.domain_iterations >= 1)
+
+let effect_rules = [ Rule.R11; Rule.R12; Rule.R13 ]
+
+let effect_paths dir =
+  [
+    dir ^ "/pool.ml";
+    dir ^ "/r11_profile.ml";
+    dir ^ "/r11_hot.ml";
+    dir ^ "/r12_raise.ml";
+    dir ^ "/logspace.ml";
+    dir ^ "/lattice.ml";
+    dir ^ "/r13_mix.ml";
+  ]
+
+let test_effects_warm_run () =
+  (* The effect fixpoints are global passes over the cached summaries: a
+     warm run must re-analyse zero files and still reproduce every
+     R11/R12/R13 finding — including through the persisted document,
+     which is what proves the /3 schema round-trips effects. *)
+  let dir = scratch_dir "typed_scratch_rules" in
+  let config = typed_config ~dir effect_rules in
   let config_hash = Config.hash config in
   let store = Typed.Store.create ~config_hash in
   let run_with store =
-    Typed.Driver.run ~config ~store ~cmt_index:(index dir) ~cmt_root:"." [ dir ]
+    Typed.Driver.run ~config ~store ~cmt_index:(index dir) ~cmt_root:"."
+      (effect_paths dir)
   in
   let findings1, stats1 = run_with store in
-  check_int "cold: files" 10 stats1.Typed.Driver.files;
-  check_int "cold: hits" 0 stats1.Typed.Driver.hits;
-  check_int "cold: misses" 10 stats1.Typed.Driver.misses;
-  check_int "cold: r7 findings" 5 (List.length findings1);
-
+  check_int "cold: misses" 7 stats1.Typed.Driver.misses;
+  check_int "cold: r11" 7 (count Rule.R11 findings1);
+  check_int "cold: r12" 2 (count Rule.R12 findings1);
+  check_int "cold: r13" 5 (count Rule.R13 findings1);
   let findings2, stats2 = run_with store in
-  check_int "warm: hits" 10 stats2.Typed.Driver.hits;
+  check_int "warm: hits" 7 stats2.Typed.Driver.hits;
   check_int "warm: misses" 0 stats2.Typed.Driver.misses;
   check_bool "warm: identical findings" true (findings1 = findings2);
-
-  (* Persistence: the store round-trips through its JSON document. *)
-  let cache_file = "typed_scratch_cache.json" in
+  let cache_file = Filename.concat dir "effects_store.json" in
   (match Typed.Store.save store cache_file with
   | Ok () -> ()
   | Error m -> Alcotest.failf "save failed: %s" m);
@@ -237,9 +393,105 @@ let test_cache_hits_and_invalidation () =
     | Ok store -> store
     | Error m -> Alcotest.failf "load failed: %s" m
   in
-  check_int "reloaded: size" 10 (Typed.Store.size reloaded);
+  let findings3, stats3 = run_with reloaded in
+  check_int "persisted: hits" 7 stats3.Typed.Driver.hits;
+  check_int "persisted: misses" 0 stats3.Typed.Driver.misses;
+  check_bool "persisted: identical findings" true (findings1 = findings3);
+  Sys.remove cache_file
+
+let test_schema_v2_rejected_and_rebuilt () =
+  (* A document written under the v3 (/2) schema holds summaries with no
+     effect data; the v4 store must treat it as cold — rebuild everything
+     — and the rebuilt document must then load warm under /3. *)
+  let dir = scratch_dir "typed_scratch_rules" in
+  let config = typed_config ~dir effect_rules in
+  let config_hash = Config.hash config in
+  let store = Typed.Store.create ~config_hash in
+  let run_with store =
+    Typed.Driver.run ~config ~store ~cmt_index:(index dir) ~cmt_root:"."
+      (effect_paths dir)
+  in
+  let findings1, _ = run_with store in
+  let cache_file = Filename.concat dir "schema_store.json" in
+  (match Typed.Store.save store cache_file with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "save failed: %s" m);
+  let text = In_channel.with_open_bin cache_file In_channel.input_all in
+  check_bool "document carries the /3 schema" true
+    (contains text "crossbar-lint-cache/3");
+  (* Forge the previous schema version around otherwise-valid content. *)
+  let forged =
+    let marker = "crossbar-lint-cache/3" in
+    let idx =
+      let rec find i =
+        if i + String.length marker > String.length text then
+          Alcotest.fail "schema marker missing"
+        else if String.equal (String.sub text i (String.length marker)) marker
+        then i
+        else find (i + 1)
+      in
+      find 0
+    in
+    String.sub text 0 idx ^ "crossbar-lint-cache/2"
+    ^ String.sub text
+        (idx + String.length marker)
+        (String.length text - idx - String.length marker)
+  in
+  Out_channel.with_open_bin cache_file (fun oc ->
+      Out_channel.output_string oc forged);
+  let rejected =
+    match Typed.Store.load ~config_hash cache_file with
+    | Ok store -> store
+    | Error m -> Alcotest.failf "a /2 document must not error, got: %s" m
+  in
+  check_int "v2 document loads empty" 0 (Typed.Store.size rejected);
+  let findings2, stats2 = run_with rejected in
+  check_int "rebuild: misses" 7 stats2.Typed.Driver.misses;
+  check_bool "rebuild: identical findings" true (findings1 = findings2);
+  (match Typed.Store.save rejected cache_file with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "re-save failed: %s" m);
+  (match Typed.Store.load ~config_hash cache_file with
+  | Ok reloaded ->
+      check_int "rebuilt document loads warm" 7 (Typed.Store.size reloaded)
+  | Error m -> Alcotest.failf "reload failed: %s" m);
+  Sys.remove cache_file
+
+(* ---------- incremental cache ---------- *)
+
+let test_cache_hits_and_invalidation () =
+  let dir = scratch_dir "typed_scratch_cache" in
+  setup dir;
+  let config = typed_config ~dir [ Rule.R7 ] in
+  let config_hash = Config.hash config in
+  let store = Typed.Store.create ~config_hash in
+  let run_with store =
+    Typed.Driver.run ~config ~store ~cmt_index:(index dir) ~cmt_root:"." [ dir ]
+  in
+  let findings1, stats1 = run_with store in
+  check_int "cold: files" 17 stats1.Typed.Driver.files;
+  check_int "cold: hits" 0 stats1.Typed.Driver.hits;
+  check_int "cold: misses" 17 stats1.Typed.Driver.misses;
+  check_int "cold: r7 findings" 5 (List.length findings1);
+
+  let findings2, stats2 = run_with store in
+  check_int "warm: hits" 17 stats2.Typed.Driver.hits;
+  check_int "warm: misses" 0 stats2.Typed.Driver.misses;
+  check_bool "warm: identical findings" true (findings1 = findings2);
+
+  (* Persistence: the store round-trips through its JSON document. *)
+  let cache_file = Filename.concat dir "store.json" in
+  (match Typed.Store.save store cache_file with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "save failed: %s" m);
+  let reloaded =
+    match Typed.Store.load ~config_hash cache_file with
+    | Ok store -> store
+    | Error m -> Alcotest.failf "load failed: %s" m
+  in
+  check_int "reloaded: size" 17 (Typed.Store.size reloaded);
   let _, stats3 = run_with reloaded in
-  check_int "reloaded: hits" 10 stats3.Typed.Driver.hits;
+  check_int "reloaded: hits" 17 stats3.Typed.Driver.hits;
 
   (* Editing one fixture evicts exactly that entry. *)
   let target = dir ^ "/r7_float_eq.ml" in
@@ -248,7 +500,7 @@ let test_cache_hits_and_invalidation () =
   close_out oc;
   compile dir "r7_float_eq.ml";
   let findings4, stats4 = run_with reloaded in
-  check_int "edited: hits" 9 stats4.Typed.Driver.hits;
+  check_int "edited: hits" 16 stats4.Typed.Driver.hits;
   check_int "edited: misses" 1 stats4.Typed.Driver.misses;
   check_int "edited: r7 findings" 6 (List.length findings4);
 
@@ -276,7 +528,7 @@ let test_r10_warm_and_persisted () =
      summaries; a warm run (all files cache hits) must reproduce the same
      findings, including through the JSON document — this is what proves
      the v2-to-v2-schema lambda/callsite data round-trips. *)
-  let dir = "typed_scratch_r10cache" in
+  let dir = scratch_dir "typed_scratch_r10cache" in
   setup dir;
   let config = typed_config ~dir [ Rule.R10 ] in
   let config_hash = Config.hash config in
@@ -292,7 +544,7 @@ let test_r10_warm_and_persisted () =
   check_int "warm: hits" 2 stats2.Typed.Driver.hits;
   check_int "warm: misses" 0 stats2.Typed.Driver.misses;
   check_bool "warm: identical findings" true (findings1 = findings2);
-  let cache_file = "typed_scratch_r10cache.json" in
+  let cache_file = Filename.concat dir "store.json" in
   (match Typed.Store.save store cache_file with
   | Ok () -> ()
   | Error m -> Alcotest.failf "save failed: %s" m);
@@ -330,7 +582,22 @@ let test_sarif_document_shape () =
               | Some driver ->
                   check_bool "driver name" true
                     (Json.member "name" driver
-                    = Some (Json.String "crossbar-lint"))
+                    = Some (Json.String "crossbar-lint"));
+                  (* The driver carries the whole catalogue, findings or
+                     not — R11-R13 must be advertised to SARIF viewers. *)
+                  let rule_ids =
+                    match Json.member "rules" driver with
+                    | Some (Json.List rules) ->
+                        List.filter_map (Json.member "id") rules
+                    | _ -> []
+                  in
+                  check_int "driver rules: full catalogue" 13
+                    (List.length rule_ids);
+                  List.iter
+                    (fun id ->
+                      check_bool ("driver rules include " ^ id) true
+                        (List.mem (Json.String id) rule_ids))
+                    [ "R11"; "R12"; "R13" ]
               | None -> Alcotest.fail "missing tool.driver")
           | None -> Alcotest.fail "missing tool");
           match Json.member "results" run with
@@ -463,6 +730,18 @@ let test_cli_malformed_rules_exits_2 () =
   check_int "missing argument" 2 (cli_status "--rules");
   Sys.remove "cli_err.txt"
 
+let test_cli_effect_rules_need_typed () =
+  (* R11-R13 are closed over .cmt-derived summaries; asking for them
+     without --typed would silently lint nothing, so the CLI refuses. *)
+  List.iter
+    (fun rules ->
+      check_int (rules ^ " without --typed") 2
+        (cli_status ("--rules " ^ rules)))
+    [ "R11"; "R12"; "R13"; "R1,R12" ];
+  let err = cli_stderr () in
+  check_bool "stderr names --typed" true (contains err "--typed");
+  Sys.remove "cli_err.txt"
+
 let () =
   Alcotest.run "lint_typed"
     [
@@ -480,11 +759,24 @@ let () =
           case "tree annotations present" test_tree_annotations_present;
           case "R9 higher-order lock wrappers" test_r9_higher_order;
         ] );
+      ( "effect stage",
+        [
+          case "R11 hot-path allocations" test_r11_exact_count;
+          case "R11 alloc= directive and strip" test_r11_annotated_strip;
+          case "R12 escaping raises" test_r12_exact_count;
+          case "R13 cross-domain arithmetic" test_r13_exact_count;
+          case "tree alloc= annotations present"
+            test_tree_alloc_annotations_present;
+        ] );
       ( "incremental cache",
         [
           case "hits, persistence, invalidation" test_cache_hits_and_invalidation;
           case "R10 stable across warm and persisted runs"
             test_r10_warm_and_persisted;
+          case "effects stable across warm and persisted runs"
+            test_effects_warm_run;
+          case "v2 schema rejected and rebuilt under v3"
+            test_schema_v2_rejected_and_rebuilt;
         ] );
       ( "sarif",
         [
@@ -502,5 +794,7 @@ let () =
           case "parse_list" test_parse_list;
           case "CLI exits 2 on unknown rule" test_cli_unknown_rule_exits_2;
           case "CLI exits 2 on malformed list" test_cli_malformed_rules_exits_2;
+          case "CLI exits 2 on effect rules without --typed"
+            test_cli_effect_rules_need_typed;
         ] );
     ]
