@@ -34,7 +34,63 @@ module Logspace = Crossbar_numerics.Logspace
    leave-one-out complement H_{-r} = prod_{s<>r} C_s in one top-down
    sweep of O(R) combines (the prefix x suffix identity; see
    docs/THEORY.md), which batches per-class marginal distributions and
-   all R shadow costs out of a single solve. *)
+   all R shadow costs out of a single solve.
+
+   The combine itself runs as a cache-blocked kernel over Bigarray
+   profiles with per-domain scratch arenas (zero major-heap allocation
+   after warm-up) and, above a capacity threshold, splits its output
+   into deterministic row bands computed by parallel domains — see
+   DESIGN.md, "Combine kernels". *)
+
+(* Per-domain scratch for the combine hot path: two chunk-scaled operand
+   copies, the borrowed chunk counts of the current prechunk, and a free
+   list of result-sized lattices recycled by [Factor_tree.update
+   ~recycle] and the leave-one-out sweep.  One arena exists per (context,
+   domain) pair — reached through a [Domain.DLS] key, so combines issued
+   concurrently by a pool mapper never share scratch. *)
+module Arena = struct
+  type t = {
+    left : Lattice.t;
+    right : Lattice.t;
+    mutable ka : int;
+    mutable kb : int;
+    mutable pool : Lattice.t list;
+    mutable created : int;
+    mutable reused : int;
+  }
+
+  let create ~cap =
+    {
+      left = Lattice.create ~capacity:cap ();
+      right = Lattice.create ~capacity:cap ();
+      ka = 0;
+      kb = 0;
+      pool = [];
+      created = 0;
+      reused = 0;
+    }
+
+  let created t = t.created
+  let reused t = t.reused
+  let pooled t = List.length t.pool
+
+  (* Pops a recycled lattice — reset to the all-zero state, so callers
+     cannot tell it from a fresh [create] — or creates one. *)
+  let acquire t ~cap ~stride =
+    match t.pool with
+    | l :: rest ->
+        t.pool <- rest;
+        t.reused <- t.reused + 1;
+        Lattice.reset ~stride l;
+        l
+    | [] ->
+        t.created <- t.created + 1;
+        Lattice.create ~stride ~capacity:cap ()
+
+  (* Hands a lattice back for reuse.  Ownership is never inferred: a
+     caller must guarantee no live structure still references [l]. *)
+  let release t l = t.pool <- l :: t.pool
+end
 
 type context = {
   n1 : int;
@@ -42,22 +98,69 @@ type context = {
   cap : int; (* min n1 n2: used bandwidth never exceeds either side *)
   w1 : Lattice.Grid.t;
   w2 : Lattice.Grid.t;
+  tile : int; (* kernel block edge, in lattice entries *)
+  band_threshold : int; (* cap >= this: parallelise a single combine *)
+  band_domains : int; (* bands (domains) a banded combine splits into *)
+  banded_total : int Atomic.t; (* banded combines through this context *)
+  arenas : Arena.t Domain.DLS.key;
 }
 
 let weight_grid ~ports ~cap =
   let g = Lattice.Grid.create ~rows:(cap + 1) ~cols:(cap + 1) in
   for v = 0 to cap do
-    Lattice.Grid.set g 0 v 1.;
+    Lattice.Grid.unsafe_set g 0 v 1.;
     for u = 1 to cap - v do
       let j = u - 1 in
-      Lattice.Grid.set g u v
-        (Lattice.Grid.get g j v
+      Lattice.Grid.unsafe_set g u v
+        (Lattice.Grid.unsafe_get g j v
         *. (float_of_int (ports - j - v) /. float_of_int (ports - j)))
     done
   done;
   g
 
-let context_of ~inputs ~outputs =
+let default_tile = 64
+let default_band_threshold = 1024
+
+let env_knob name =
+  match Sys.getenv_opt name with
+  | None -> None
+  | Some text -> (
+      (* Same contract as CROSSBAR_DOMAINS (see Domains.recommended): a
+         malformed deploy-time override fails loudly. *)
+      match int_of_string_opt (String.trim text) with
+      | Some v when v >= 1 -> Some v
+      | Some v ->
+          invalid_arg
+            (Printf.sprintf "Convolution.context_of: %s=%d must be >= 1" name
+               v)
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Convolution.context_of: %s=%S is not an integer"
+               name text))
+
+let context_of ?tile ?combine_threshold ?band_domains ~inputs ~outputs () =
+  let tile =
+    match tile with
+    | Some t when t >= 1 -> t
+    | Some _ -> invalid_arg "Convolution.context_of: tile must be >= 1"
+    | None -> default_tile
+  in
+  let band_threshold =
+    match combine_threshold with
+    | Some t when t >= 1 -> t
+    | Some _ ->
+        invalid_arg "Convolution.context_of: combine_threshold must be >= 1"
+    | None -> (
+        match env_knob "CROSSBAR_COMBINE_THRESHOLD" with
+        | Some t -> t
+        | None -> default_band_threshold)
+  in
+  let band_domains =
+    match band_domains with
+    | Some d when d >= 1 -> d
+    | Some _ -> invalid_arg "Convolution.context_of: band_domains must be >= 1"
+    | None -> Domains.recommended ()
+  in
   let cap = min inputs outputs in
   {
     n1 = inputs;
@@ -65,7 +168,16 @@ let context_of ~inputs ~outputs =
     cap;
     w1 = weight_grid ~ports:inputs ~cap;
     w2 = weight_grid ~ports:outputs ~cap;
+    tile;
+    band_threshold;
+    band_domains;
+    banded_total = Atomic.make 0;
+    arenas = Domain.DLS.new_key (fun () -> Arena.create ~cap);
   }
+
+let context_capacity ctx = ctx.cap
+let arena ctx = Domain.DLS.get ctx.arenas
+let banded_total ctx = Atomic.get ctx.banded_total
 
 let unit_profile cap =
   let l = Lattice.create ~capacity:cap () in
@@ -75,12 +187,14 @@ let unit_profile cap =
 (* Tilted per-class sequence via the chain
      v_k = step_k (C(u - a) + theta v_{k-1}),   C(u) = rho v_k / k
    at u = k a, with step_k = P(N1-(k-1)a, a) P(N2-(k-1)a, a) carrying
-   the corner tilt along so magnitudes track G rather than h alone. *)
+   the corner tilt along so magnitudes track G rather than h alone.
+   The profile comes from the current domain's arena, so a steady-state
+   update loop rebuilds leaves into recycled storage. *)
 let class_factor ctx model r =
   let a = Model.bandwidth model r in
   let rho = Model.rho model r in
   let theta = Model.beta_over_mu model r in
-  let seq = Lattice.create ~stride:a ~capacity:ctx.cap () in
+  let seq = Arena.acquire (Domain.DLS.get ctx.arenas) ~cap:ctx.cap ~stride:a in
   Lattice.set seq 0 1.;
   (* lint: alloc=v -- one chain cell per class factor, O(R) per solve *)
   let v = ref 0. in
@@ -107,23 +221,196 @@ let class_factor ctx model r =
 
 let rec gcd a b = if b = 0 then a else gcd b (a mod b)
 
-(* Applies [chunks] rescale chunks one multiplication at a time:
-   rescale_factor^2 already underflows to zero, so the chunks cannot be
-   collapsed into a single factor.  Tail recursion keeps the value in a
-   register — same left-to-right multiplication sequence as the old
-   reference cell, so results are bit-identical. *)
-let rec apply_chunks value chunks =
-  if chunks = 0 then value
-  else apply_chunks (value *. Lattice.rescale_factor) (chunks - 1)
-
 (* Virtual pre-scaling shared by [combine] and the marginal sweep: how
    many rescale chunks to borrow from each operand so that the largest
-   product of entries stays representable.  The chunks are credited back
-   to the result's scale (or cancel in a normalised marginal). *)
-let prechunk a b =
-  (* lint: alloc=ka,kb -- four scratch cells, amortised over the pass *)
+   product of entries stays representable.  The counts land in the
+   arena's [ka]/[kb] fields and are credited back to the result's scale
+   (or cancel in a normalised marginal). *)
+let prechunk (arena : Arena.t) a b =
+  arena.ka <- 0;
+  arena.kb <- 0;
+  (* lint: alloc=ma,mb -- two scratch cells per prechunk *)
+  let ma = ref (Lattice.max_abs a) and mb = ref (Lattice.max_abs b) in
+  while !ma *. !mb > Lattice.rescale_threshold do
+    if !ma >= !mb then begin
+      arena.ka <- arena.ka + 1;
+      ma := !ma *. Lattice.rescale_factor
+    end
+    else begin
+      arena.kb <- arena.kb + 1;
+      mb := !mb *. Lattice.rescale_factor
+    end
+  done
+
+(* Copies [src] into the scratch profile [dst] with [k] rescale chunks
+   applied per entry — the same multiply-one-chunk-at-a-time sequence
+   the reference combine performs per term, done once per operand so the
+   kernel reads plain doubles.  Exact: storing and reloading a double is
+   the identity. *)
+let load_chunked dst src k =
+  for u = 0 to Lattice.capacity src do
+    Lattice.unsafe_set dst u (Lattice.apply_chunks (Lattice.unsafe_get src u) k)
+  done
+
+(* Dense kernel (both strides 1): every (u, v) pair contributes, so the
+   stride test and its integer division disappear from the inner loop.
+   Blocked over (output, v) tiles of edge [ctx.tile] so the grid rows
+   the inner loop touches stay cache-resident; each output [total]
+   still accumulates its terms in strictly increasing [v] order — the
+   v-blocks are visited in ascending order and the partial sum is parked
+   in the output cell between blocks — so the floating-point addition
+   sequence per output is exactly the reference kernel's. *)
+let kernel_dense ctx left right result lo hi =
+  let w1 = ctx.w1 and w2 = ctx.w2 in
+  let tile = ctx.tile in
+  (* lint: alloc=t0,v0,sum -- three scratch cells for the whole kernel *)
+  let t0 = ref lo and v0 = ref 0 and sum = ref 0. in
+  while !t0 <= hi do
+    let t1 = min hi (!t0 + tile - 1) in
+    for total = !t0 to t1 do
+      Lattice.unsafe_set result total 0.
+    done;
+    v0 := 0;
+    while !v0 <= t1 do
+      let v1 = !v0 + tile - 1 in
+      for total = max !t0 !v0 to t1 do
+        sum := Lattice.unsafe_get result total;
+        let vmax = min v1 total in
+        for v = !v0 to vmax do
+          let u = total - v in
+          sum :=
+            !sum
+            +. (Lattice.unsafe_get left u *. Lattice.Grid.unsafe_get w1 u v)
+               *. (Lattice.unsafe_get right v *. Lattice.Grid.unsafe_get w2 u v)
+        done;
+        Lattice.unsafe_set result total !sum
+      done;
+      v0 := !v0 + tile
+    done;
+    t0 := !t0 + tile
+  done
+
+(* Strided kernel: identical iteration to the reference combine ([v]
+   ascending by [sb], [u mod sa] test), with unchecked accessors and
+   pre-chunked operands. *)
+let kernel_strided ctx left right ~sa ~sb result lo hi =
+  let w1 = ctx.w1 and w2 = ctx.w2 in
+  (* lint: alloc=sum,v -- two scratch cells for the whole kernel *)
+  let sum = ref 0. and v = ref 0 in
+  for total = lo to hi do
+    sum := 0.;
+    v := 0;
+    while !v <= total do
+      let u = total - !v in
+      if u mod sa = 0 then
+        sum :=
+          !sum
+          +. (Lattice.unsafe_get left u *. Lattice.Grid.unsafe_get w1 u !v)
+             *. (Lattice.unsafe_get right !v *. Lattice.Grid.unsafe_get w2 u !v);
+      v := !v + sb
+    done;
+    Lattice.unsafe_set result total !sum
+  done
+
+let run_kernel ctx left right ~sa ~sb result lo hi =
+  if sa = 1 && sb = 1 then kernel_dense ctx left right result lo hi
+  else kernel_strided ctx left right ~sa ~sb result lo hi
+
+(* Deterministic band boundaries.  The kernel's cost at output [total]
+   is proportional to [total + 1] (the length of its v-sum), so an
+   even split of output *indices* would give the last band several
+   times the work of the first.  Splitting the cumulative triangular
+   work — boundary [i] at the output where i/bands of the total
+   term count lies below — balances the bands: for 2 bands the split
+   lands near cap/sqrt(2), not cap/2.  Pure arithmetic on (cap, bands)
+   — never on scheduling — so banded results are a function of the
+   operands alone. *)
+let band_lo cap bands i =
+  if i <= 0 then 0
+  else if i >= bands then cap + 1
+  else
+    let n = float_of_int (cap + 1) in
+    let lo =
+      int_of_float (n *. sqrt (float_of_int i /. float_of_int bands))
+    in
+    if lo > cap + 1 then cap + 1 else lo
+
+let spawn_band ctx left right ~sa ~sb result i =
+  (* Each band writes a disjoint output range of [result]'s Bigarray
+     (GC-opaque, so domains share it without tearing the runtime) and
+     only reads the operands and grids. *)
+  (* lint: guarded=ctx,left,right,result — bands write disjoint output rows; operands and grids are read-only during the kernel *)
+  (* lint: alloc=closure -- one band-worker thunk per spawned domain *)
+  Domain.spawn (fun () ->
+      let lo = band_lo ctx.cap ctx.band_domains i in
+      let hi = band_lo ctx.cap ctx.band_domains (i + 1) - 1 in
+      if lo <= hi then run_kernel ctx left right ~sa ~sb result lo hi)
+
+(* Splits one large combine's output lattice into [band_domains] row
+   bands: the calling domain computes band 0 while the spawned domains
+   compute the rest.  Every output index is computed by exactly one
+   band with the same per-output term order as the sequential kernel,
+   so the result is bit-identical however many domains run. *)
+let combine_banded ctx left right ~sa ~sb result =
+  let bands = ctx.band_domains in
+  let spawned =
+    (* lint: alloc=spawned,closure -- the band fan-out, once per banded combine *)
+    Array.init (bands - 1) (fun i ->
+        spawn_band ctx left right ~sa ~sb result (i + 1))
+  in
+  let hi0 = band_lo ctx.cap bands 1 - 1 in
+  if hi0 >= 0 then run_kernel ctx left right ~sa ~sb result 0 hi0;
+  Array.iter Domain.join spawned;
+  Atomic.incr ctx.banded_total
+
+(* Tilted convolution (A * B)(u+v) = sum A(u) B(v) w1(u,v) w2(u,v).
+   Never mutates its operands — tree nodes are shared across re-solves —
+   so any pre-scaling needed to keep products representable is applied
+   to scratch copies in the per-domain arena (or skipped entirely when
+   no chunks are borrowed, the common case); the borrowed chunks are
+   credited back to the result's scale.  The summation order (increasing
+   v) is fixed per output, so recombining the same operands is
+   bit-identical no matter which solve path — sequential, banded, or
+   pool-mapped — runs.  The result lattice comes from the arena's free
+   list when recycled nodes are available, so a warmed-up update loop
+   allocates nothing on the major heap. *)
+let combine ctx a b =
+  let sa = Lattice.stride a and sb = Lattice.stride b in
+  let arena = Domain.DLS.get ctx.arenas in
+  prechunk arena a b;
+  let ka = arena.Arena.ka and kb = arena.Arena.kb in
+  let left =
+    if ka = 0 then a
+    else begin
+      load_chunked arena.Arena.left a ka;
+      arena.Arena.left
+    end
+  in
+  let right =
+    if kb = 0 then b
+    else begin
+      load_chunked arena.Arena.right b kb;
+      arena.Arena.right
+    end
+  in
+  let result = Arena.acquire arena ~cap:ctx.cap ~stride:(gcd sa sb) in
+  if ctx.cap >= ctx.band_threshold && ctx.band_domains > 1 then
+    combine_banded ctx left right ~sa ~sb result
+  else run_kernel ctx left right ~sa ~sb result 0 ctx.cap;
+  Lattice.add_scale result (Lattice.scale a + Lattice.scale b + ka + kb);
+  Lattice.normalize result;
+  result
+
+(* The pre-kernel reference combine, kept verbatim as the bit-identity
+   oracle for the tiled and banded kernels (test_kernel and the bench
+   kernel section): checked accessors, per-term chunk application, no
+   arena, no tiling, no bands.  Unreachable from the hot roots, so the
+   allocation sanctions of the kernel path do not apply here. *)
+let combine_naive ctx a b =
+  let cap = ctx.cap in
+  let sa = Lattice.stride a and sb = Lattice.stride b in
+  let result = Lattice.create ~stride:(gcd sa sb) ~capacity:cap () in
   let ka = ref 0 and kb = ref 0 in
-  (* lint: alloc=ma,mb -- see above; ka,kb,ma,mb are one constant-size set *)
   let ma = ref (Lattice.max_abs a) and mb = ref (Lattice.max_abs b) in
   while !ma *. !mb > Lattice.rescale_threshold do
     if !ma >= !mb then begin
@@ -135,22 +422,6 @@ let prechunk a b =
       mb := !mb *. Lattice.rescale_factor
     end
   done;
-  (* lint: alloc=tuple -- the borrowed chunk counts are the result *)
-  (!ka, !kb)
-
-(* Tilted convolution (A * B)(u+v) = sum A(u) B(v) w1(u,v) w2(u,v).
-   Never mutates its operands — tree nodes are shared across re-solves —
-   so any pre-scaling needed to keep products representable is applied
-   virtually, per side, while the terms are formed; the borrowed chunks
-   are credited back to the result's scale.  The summation order
-   (increasing v) is fixed, so recombining the same operands is
-   bit-identical no matter which solve path runs. *)
-let combine ctx a b =
-  let cap = ctx.cap in
-  let sa = Lattice.stride a and sb = Lattice.stride b in
-  let result = Lattice.create ~stride:(gcd sa sb) ~capacity:cap () in
-  let ka, kb = prechunk a b in
-  (* lint: alloc=sum,v -- two scratch cells for the whole O(cap^2) pass *)
   let sum = ref 0. and v = ref 0 in
   for total = 0 to cap do
     sum := 0.;
@@ -161,8 +432,8 @@ let combine ctx a b =
         (* Group each operand with its own weight: the weights lie in
            (0, 1], so neither partial product can overflow, and their
            product w1*w2 is never formed alone (it can underflow). *)
-        let left = apply_chunks (Lattice.get a u) ka in
-        let right = apply_chunks (Lattice.get b !v) kb in
+        let left = Lattice.apply_chunks (Lattice.get a u) !ka in
+        let right = Lattice.apply_chunks (Lattice.get b !v) !kb in
         sum :=
           !sum
           +. (left *. Lattice.Grid.get ctx.w1 u !v)
@@ -172,9 +443,22 @@ let combine ctx a b =
     done;
     Lattice.set result total !sum
   done;
-  Lattice.add_scale result (Lattice.scale a + Lattice.scale b + ka + kb);
+  Lattice.add_scale result (Lattice.scale a + Lattice.scale b + !ka + !kb);
   Lattice.normalize result;
   result
+
+(* Physical membership of [l] in [arr] from index [i] — the recycling
+   guard of the leave-one-out sweep. *)
+let rec lattice_memq l arr i =
+  if i >= Array.length arr then false
+  else arr.(i) == l || lattice_memq l arr (i + 1)
+
+let rec release_unreturned arena returned fresh =
+  match fresh with
+  | [] -> ()
+  | l :: rest ->
+      if not (lattice_memq l returned 0) then Arena.release arena l;
+      release_unreturned arena returned rest
 
 module Factor_tree = struct
   (* [levels.(0)] holds the tilted leaves C_1 .. C_R in class order;
@@ -188,6 +472,7 @@ module Factor_tree = struct
     ctx : context;
     levels : Lattice.t array array;
     combines : int; (* combines performed by the build/update that made [t] *)
+    banded : int; (* how many of those ran the banded parallel kernel *)
   }
 
   let sequential_map f n = Array.init n f
@@ -214,7 +499,7 @@ module Factor_tree = struct
 
   let build ?(map = sequential_map) model =
     let ctx =
-      context_of ~inputs:(Model.inputs model) ~outputs:(Model.outputs model)
+      context_of ~inputs:(Model.inputs model) ~outputs:(Model.outputs model) ()
     in
     let num = Model.num_classes model in
     let leaves =
@@ -222,11 +507,13 @@ module Factor_tree = struct
       else map (fun r -> class_factor ctx model r) num
     in
     let levels, combines = build_levels ~map ctx leaves in
-    { model; ctx; levels; combines }
+    { model; ctx; levels; combines; banded = Atomic.get ctx.banded_total }
 
   let model t = t.model
   let num_classes t = Model.num_classes t.model
   let combines t = t.combines
+  let banded t = t.banded
+  let context t = t.ctx
   let depth t = Array.length t.levels - 1
 
   let root t =
@@ -238,11 +525,67 @@ module Factor_tree = struct
       invalid_arg "Convolution.Factor_tree.leaf: class index out of range";
     t.levels.(0).(r)
 
+  let parent_index i = i / 2
+
+  (* The leaf, per-parents and per-level walks of [update] are top-level
+     recursions threading their counters as arguments, so the hot update
+     path carries no closures or reference cells of its own. *)
+  let rec refresh_leaves ctx ~recycle arena model leaves changed =
+    match changed with
+    | [] -> ()
+    | r :: rest ->
+        let old = leaves.(r) in
+        leaves.(r) <- class_factor ctx model r;
+        if recycle then Arena.release arena old;
+        refresh_leaves ctx ~recycle arena model leaves rest
+
+  let rec recombine_parents ctx ~recycle arena levels k parents combines =
+    match parents with
+    | [] -> combines
+    | j :: rest ->
+        let level = levels.(k) in
+        let n = Array.length level in
+        let combines =
+          if (2 * j) + 1 < n then begin
+            (* A two-child position always holds a combine result of its
+               own — carries only land on trailing odd positions — so
+               the node replaced here is referenced nowhere else in the
+               new tree and may be recycled. *)
+            let old = levels.(k + 1).(j) in
+            levels.(k + 1).(j) <- combine ctx level.(2 * j) level.((2 * j) + 1);
+            if recycle then Arena.release arena old;
+            combines + 1
+          end
+          else begin
+            (* Trailing carry: share the (new) child upward; the old
+               carried node is the old child, recycled — if at all — at
+               its own position. *)
+            levels.(k + 1).(j) <- level.(2 * j);
+            combines
+          end
+        in
+        recombine_parents ctx ~recycle arena levels k rest combines
+
+  let rec update_levels ctx ~recycle arena levels k frontier combines =
+    if k >= Array.length levels - 1 then combines
+    else begin
+      let parents = List.sort_uniq compare (List.map parent_index frontier) in
+      let combines =
+        recombine_parents ctx ~recycle arena levels k parents combines
+      in
+      update_levels ctx ~recycle arena levels (k + 1) parents combines
+    end
+
   (* Recombines only the root paths of the changed leaves.  Untouched
      nodes are shared physically with [t], and [combine] is a
      deterministic function of its operands, so the updated tree is
-     bit-identical to [build model] at every node. *)
-  let update t model =
+     bit-identical to [build model] at every node.  With [~recycle:true]
+     the caller promises to drop [t] entirely: every node the update
+     replaces — changed leaves and the recombined internal nodes above
+     them — is handed to the arena free list, where the next acquire
+     resets it, corrupting [t] (but never the updated tree, which shares
+     only untouched nodes). *)
+  let update ?(recycle = false) t model =
     if
       Model.inputs model <> Model.inputs t.model
       || Model.outputs model <> Model.outputs t.model
@@ -253,37 +596,22 @@ module Factor_tree = struct
     | None -> assert false (* dimensions and class count checked above *)
     | Some [] ->
         (* lint: alloc=record -- unchanged classes: one record, no combines *)
-        { t with model; combines = 0 }
+        { t with model; combines = 0; banded = 0 }
     | Some changed ->
+        let arena = Domain.DLS.get t.ctx.arenas in
+        let banded_before = Atomic.get t.ctx.banded_total in
         (* lint: alloc=levels -- spine copy, O(log R); nodes stay shared *)
         let levels = Array.map Array.copy t.levels in
-        List.iter
-          (* lint: alloc=closure -- one leaf-refresh closure per update *)
-          (fun r -> levels.(0).(r) <- class_factor t.ctx model r)
-          changed;
-        (* lint: alloc=combines,frontier -- two cells per update *)
-        let combines = ref 0 and frontier = ref changed in
-        for k = 0 to Array.length levels - 2 do
-          let level = levels.(k) in
-          let n = Array.length level in
-          let parents =
-            (* lint: alloc=closure -- parent-index map, O(log R) per update *)
-            List.sort_uniq compare (List.map (fun i -> i / 2) !frontier)
-          in
-          List.iter
-            (* lint: alloc=closure -- one recombine closure per level *)
-            (fun j ->
-              if (2 * j) + 1 < n then begin
-                levels.(k + 1).(j) <-
-                  combine t.ctx level.(2 * j) level.((2 * j) + 1);
-                incr combines
-              end
-              else levels.(k + 1).(j) <- level.(2 * j))
-            parents;
-          frontier := parents
-        done;
+        refresh_leaves t.ctx ~recycle arena model levels.(0) changed;
+        let combines = update_levels t.ctx ~recycle arena levels 0 changed 0 in
         (* lint: alloc=record -- the updated tree value itself *)
-        { model; ctx = t.ctx; levels; combines = !combines }
+        {
+          model;
+          ctx = t.ctx;
+          levels;
+          combines;
+          banded = Atomic.get t.ctx.banded_total - banded_before;
+        }
 
   (* Prefix x suffix sweep: walking the tree top-down with
        comp(root)        = (empty product)
@@ -292,7 +620,9 @@ module Factor_tree = struct
      2(R-1) - 2 combines total.  The empty product is represented as
      [None] (combining with the unit profile is a bitwise no-op but
      costs a full O(cap^2) pass), so the root's children receive their
-     sibling's value directly, shared physically. *)
+     sibling's value directly, shared physically.  Combines performed
+     by the sweep that do not survive into the returned row are
+     unreachable afterwards and go back to the arena free list. *)
   let leave_one_out t =
     let num = num_classes t in
     if num = 0 then [||]
@@ -300,8 +630,8 @@ module Factor_tree = struct
       (* lint: alloc=array -- the degenerate one-class result *)
       [| unit_profile t.ctx.cap |]
     else begin
-      (* lint: alloc=comp,array -- the sweep's working row, O(R) words *)
-      let comp = ref [| None |] in
+      (* lint: alloc=comp,fresh,array -- working row + fresh-node ledger *)
+      let comp = ref [| None |] and fresh = ref [] in
       for k = Array.length t.levels - 1 downto 1 do
         let children = t.levels.(k - 1) in
         let n = Array.length children in
@@ -315,17 +645,24 @@ module Factor_tree = struct
                   if i + 1 < n then Some children.(i + 1) else None
                 else Some children.(i - 1)
               in
-              (* lint: alloc=tuple -- scrutinee pair, erased by flambda *)
-              match (above, sibling) with
-              | None, None -> None
-              | None, Some s -> Some s
-              | Some c, None -> Some c
-              | Some c, Some s -> Some (combine t.ctx c s))
+              match above with
+              | None -> sibling
+              | Some c -> (
+                  match sibling with
+                  | None -> above
+                  | Some s ->
+                      let combined = combine t.ctx c s in
+                      fresh := combined :: !fresh;
+                      Some combined))
       done;
-      (* lint: alloc=array -- the R complements, the sweep's result *)
-      Array.map (* lint: alloc=closure -- unwrap projection, once per sweep *)
-        (function Some l -> l | None -> unit_profile t.ctx.cap)
-        !comp
+      let result =
+        (* lint: alloc=result -- the R complements, the sweep's result *)
+        Array.map (* lint: alloc=closure -- unwrap projection, once per sweep *)
+          (function Some l -> l | None -> unit_profile t.ctx.cap)
+          !comp
+      in
+      release_unreturned (Domain.DLS.get t.ctx.arenas) result !fresh;
+      result
     end
 end
 
@@ -417,7 +754,9 @@ let of_tree (tree : Factor_tree.t) =
   { model; ctx; tree; diag; log_omega = Lattice.log_scale h; measures }
 
 let solve ?map model = of_tree (Factor_tree.build ?map model)
-let solve_delta ~previous model = of_tree (Factor_tree.update previous.tree model)
+
+let solve_delta ?recycle ~previous model =
+  of_tree (Factor_tree.update ?recycle previous.tree model)
 
 let solve_incremental ~previous ~class_index model =
   let num_classes = Model.num_classes model in
@@ -446,6 +785,7 @@ let model t = t.model
 let measures t = t.measures
 let tree t = t.tree
 let combine_count t = t.tree.Factor_tree.combines
+let banded_combine_count t = t.tree.Factor_tree.banded
 
 let concurrencies_at_depth t ~depth =
   if depth < 0 || depth > t.ctx.cap then
@@ -463,14 +803,16 @@ let marginal_weights ctx own comp =
   let cap = ctx.cap in
   let a = Lattice.stride own in
   let sc = Lattice.stride comp in
-  let ka, kb = prechunk own comp in
+  let arena = Domain.DLS.get ctx.arenas in
+  prechunk arena own comp;
+  let ka = arena.Arena.ka and kb = arena.Arena.kb in
   Array.init ((cap / a) + 1) (fun m ->
       let u = m * a in
-      let own_u = apply_chunks (Lattice.get own u) ka in
+      let own_u = Lattice.apply_chunks (Lattice.get own u) ka in
       let sum = ref 0. in
       let v = ref 0 in
       while !v <= cap - u do
-        let other = apply_chunks (Lattice.get comp !v) kb in
+        let other = Lattice.apply_chunks (Lattice.get comp !v) kb in
         sum :=
           !sum
           +. (own_u *. Lattice.Grid.get ctx.w1 u !v)

@@ -17,9 +17,101 @@
     operand pairs in identical order, hence bit-identical results on
     every measure and [log G].
 
+    The pairwise combine runs as a cache-blocked kernel over the
+    {!Lattice} Bigarrays with per-domain scratch arenas ({!Arena}), so a
+    warmed-up re-solve loop performs no major-heap allocation; above a
+    capacity threshold a single combine's output is split into
+    deterministic row bands computed by parallel domains, bit-identical
+    to the sequential kernel (DESIGN.md, "Combine kernels").
+
     Complexity: [O(cap^2 R)] time for a full solve with
     [cap = min N1 N2], [O(cap^2 #changed log R)] for a re-solve via
     {!solve_delta}, [O(cap R)] space (the tree holds [2R - 1] nodes). *)
+
+(** Per-domain scratch for the combine hot path: two operand-sized
+    profiles for chunk-scaled copies, the chunk counts of the current
+    prechunk, and a free list of result-sized profiles recycled by
+    [Factor_tree.update ~recycle] and the leave-one-out sweep.  Arenas
+    are reached through a [Domain.DLS] key held by the context, so
+    combines issued concurrently — by the banded kernel's own domains or
+    an [Engine.Pool] mapper — never share scratch. *)
+module Arena : sig
+  type t
+
+  val create : cap:int -> t
+  (** Fresh arena for profiles of capacity [cap], with an empty free
+      list. *)
+
+  val acquire : t -> cap:int -> stride:int -> Lattice.t
+  (** Pops a recycled profile ({!Lattice.reset} to the all-zero state,
+      indistinguishable from a fresh create) or creates one of capacity
+      [cap]. *)
+
+  val release : t -> Lattice.t -> unit
+  (** Hands a profile back for reuse.  Ownership is never inferred: the
+      caller must guarantee no live structure still references it. *)
+
+  val created : t -> int
+  (** Profiles this arena has created (misses). *)
+
+  val reused : t -> int
+  (** Acquisitions served from the free list (hits).  In a warmed-up
+      [update ~recycle:true] loop this is the only counter that moves. *)
+
+  val pooled : t -> int
+  (** Profiles currently on the free list. *)
+end
+
+type context
+(** Combine environment for one switch size: the precomputed weight
+    grids, kernel tile size, banding threshold and domain count, the
+    per-domain {!Arena} key and the banded-combine counter.  Built once
+    per {!Factor_tree.build} and shared by every re-solve of that
+    tree. *)
+
+val context_of :
+  ?tile:int ->
+  ?combine_threshold:int ->
+  ?band_domains:int ->
+  inputs:int ->
+  outputs:int ->
+  unit ->
+  context
+(** [tile] is the kernel block edge (default 64 entries);
+    [combine_threshold] the capacity at or above which a single combine
+    is banded across domains (default: the [CROSSBAR_COMBINE_THRESHOLD]
+    environment variable, else 1024); [band_domains] the number of bands
+    (default {!Domains.recommended}).  Banding is disabled whenever
+    [band_domains = 1].
+    @raise Invalid_argument if any knob — parameter or environment
+    override — is not [>= 1]. *)
+
+val context_capacity : context -> int
+(** [min inputs outputs]. *)
+
+val arena : context -> Arena.t
+(** The calling domain's arena (created on first use). *)
+
+val banded_total : context -> int
+(** Combines this context has run through the banded parallel kernel,
+    across all solves and domains. *)
+
+val combine : context -> Lattice.t -> Lattice.t -> Lattice.t
+(** The tilted convolution
+    [(A * B)(u+v) = sum A(u) B(v) w1(u,v) w2(u,v)], as the solver runs
+    it: cache-blocked kernel, unchecked accessors, arena scratch and
+    result, banded across domains at or above the context's threshold.
+    Operands are never mutated.  Each output accumulates its terms in
+    strictly increasing [v], so the result is a bit-identical function
+    of the operands regardless of tile size, banding, or which domain
+    runs it — and equal to {!combine_naive} on every operand pair.
+    Operand capacities must equal the context's. *)
+
+val combine_naive : context -> Lattice.t -> Lattice.t -> Lattice.t
+(** The pre-kernel reference combine — checked accessors, per-term chunk
+    application, fresh result, no tiling, no bands — kept as the
+    bit-identity oracle for {!combine} in tests and benchmarks.  Never
+    called by the solver. *)
 
 (** The balanced combine tree over tilted class factors.  Leaves are the
     per-class profiles [C_r] in class order; each internal node caches
@@ -39,7 +131,7 @@ module Factor_tree : sig
       @raise Failure if a single recurrence step overflows even after
       rescaling (pathological bandwidths); use {!Mva} in that regime. *)
 
-  val update : t -> Model.t -> t
+  val update : ?recycle:bool -> t -> Model.t -> t
   (** [update t model] re-solves after {e any} per-class change: leaves
       whose {!Traffic.equal} comparison against [t]'s model differs are
       rebuilt and only their ancestor paths recombined —
@@ -47,6 +139,14 @@ module Factor_tree : sig
       physically with [t] (which is never mutated).  Bit-identical to
       [build model] at every node, for any subset of changed classes,
       including in the dynamic-rescaling regime.
+
+      [~recycle:true] additionally promises that the caller drops [t]:
+      every node the update replaces (changed leaves and the recombined
+      internal nodes above them) returns to the calling domain's arena
+      free list, so a steady-state update loop allocates nothing on the
+      major heap.  The next acquire resets those nodes, corrupting [t] —
+      never the returned tree, which shares only untouched nodes.
+      Default [false].
       @raise Invalid_argument if the switch dimensions or class count
       differ (no factor state can be shared).
       @raise Failure as {!build}. *)
@@ -57,7 +157,9 @@ module Factor_tree : sig
       docs/THEORY.md): the complement of a node is its parent's
       complement combined with its sibling, and at the leaves the
       complement is exactly [H_{-r}].  Element [r] feeds class [r]'s
-      marginal distribution and shadow cost. *)
+      marginal distribution and shadow cost.  Sweep intermediates that
+      do not survive into the returned row are recycled through the
+      arena. *)
 
   val root : t -> Lattice.t
   (** The full product [H] (the unit profile for a zero-class model). *)
@@ -74,6 +176,14 @@ module Factor_tree : sig
       that produced this tree ([R - 1] for a build, 0 for an update with
       no changed class). *)
 
+  val banded : t -> int
+  (** How many of those combines ran the banded parallel kernel (0 below
+      the context threshold — the telemetry [banded_combines]
+      counter). *)
+
+  val context : t -> context
+  (** The combine context shared by every re-solve of this tree. *)
+
   val depth : t -> int
   (** Number of combine levels above the leaves ([ceil log2 R]). *)
 end
@@ -87,12 +197,15 @@ val solve : ?map:((int -> Lattice.t) -> int -> Lattice.t array) -> Model.t -> t
     diagonal pass.
     @raise Failure as {!Factor_tree.build}. *)
 
-val solve_delta : previous:t -> Model.t -> t
+val solve_delta : ?recycle:bool -> previous:t -> Model.t -> t
 (** [solve_delta ~previous model] re-solves [model] through
     {!Factor_tree.update} on [previous]'s tree: any subset of classes
     may change, in any order across successive calls.  Bit-identical to
     [solve model] — same measures, same [log_g] on every lattice point,
-    same {!rescale_count}.
+    same {!rescale_count}.  [~recycle] is {!Factor_tree.update}'s: with
+    [true] the caller promises to drop [previous] (its tree shares the
+    recycled nodes; the solved measures, already extracted as floats,
+    stay valid).
     @raise Invalid_argument if the switch dimensions or class count
     differ.
     @raise Failure as {!solve}. *)
@@ -118,6 +231,10 @@ val tree : t -> Factor_tree.t
 val combine_count : t -> int
 (** {!Factor_tree.combines} of the solve that produced [t] — the
     telemetry [tree_combines] counter. *)
+
+val banded_combine_count : t -> int
+(** {!Factor_tree.banded} of the solve that produced [t] — the telemetry
+    [banded_combines] counter. *)
 
 val per_class_distributions : t -> Measures.distribution array
 (** The full marginal occupancy distribution [p(k_r = j)] of every

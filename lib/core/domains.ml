@@ -1,0 +1,22 @@
+(* Deploy-time domain-count resolution, shared by Engine.Pool (sweep
+   fan-out) and the banded combine kernel in Convolution (intra-combine
+   fan-out), so both honour the same CROSSBAR_DOMAINS override. *)
+
+let recommended () =
+  match Sys.getenv_opt "CROSSBAR_DOMAINS" with
+  | None -> Domain.recommended_domain_count ()
+  | Some text -> (
+      (* A deploy-time override that does not parse, or asks for a
+         nonsensical width, is a misconfiguration: fail loudly rather
+         than silently running at some other width. *)
+      match int_of_string_opt (String.trim text) with
+      | Some d when d >= 1 -> d
+      | Some d ->
+          invalid_arg
+            (Printf.sprintf
+               "Domains.recommended: CROSSBAR_DOMAINS=%d must be >= 1" d)
+      | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Domains.recommended: CROSSBAR_DOMAINS=%S is not an integer"
+               text))

@@ -1,4 +1,4 @@
-(** Flat [floatarray] storage for the convolution solver's scaled
+(** Flat [Bigarray] storage for the convolution solver's scaled
     sequences (paper Section 6 dynamic rescaling, tracked per partial
     product).
 
@@ -7,8 +7,10 @@
     used bandwidth [u = 0 .. capacity] rather than the full
     [(N1+1) x (N2+1)] lattice.  Each profile carries
 
-    - a flat unboxed [floatarray] of values (no per-row indirection,
-      cache-friendly for the combine inner loop);
+    - a flat unboxed [float64] [Bigarray.Array1] of values (no per-row
+      indirection, GC-opaque, and safe for several domains to write
+      disjoint index ranges of — the banded combine kernel relies on
+      both properties);
     - a [stride]: entries are guaranteed zero except at multiples of it
       (a class of bandwidth [a] only populates multiples of [a]), which
       combine loops exploit;
@@ -38,7 +40,25 @@ val scale : t -> int
 (** Number of [rescale_factor] chunks folded into the stored values. *)
 
 val get : t -> int -> float
+(** Bounds-checked read. @raise Invalid_argument out of bounds. *)
+
 val set : t -> int -> float -> unit
+(** Bounds-checked write. @raise Invalid_argument out of bounds. *)
+
+val unsafe_get : t -> int -> float
+(** Unchecked read for kernel inner loops whose index ranges are
+    established once per pass; out-of-range indices are undefined
+    behaviour.  Use {!get} everywhere else. *)
+
+val unsafe_set : t -> int -> float -> unit
+(** Unchecked write; see {!unsafe_get}. *)
+
+val reset : ?stride:int -> t -> unit
+(** Zeroes every entry and resets [scale] to [0] and [stride] to the
+    given value (default 1), making the profile indistinguishable from a
+    fresh {!create} of the same capacity — the recycling primitive
+    behind [Convolution.Arena].
+    @raise Invalid_argument if [stride < 1]. *)
 
 val max_abs : t -> float
 (** Largest absolute entry (0. for the all-zero profile). *)
@@ -48,19 +68,32 @@ val add_scale : t -> int -> unit
     values (used when a combine pre-applied chunks to its operands).
     @raise Invalid_argument if [k < 0]. *)
 
+val apply_chunks : float -> int -> float
+(** [apply_chunks x k] multiplies [x] by {!rescale_factor} [k] times,
+    one multiplication at a time ([rescale_factor]² underflows, so the
+    chunks cannot be collapsed into one factor) — the same left-to-right
+    sequence as [k] successive {!rescale} passes, hence bit-identical
+    per entry. *)
+
 val rescale : t -> unit
 (** Multiplies every entry by {!rescale_factor} once and increments
     [scale]. *)
 
 val normalize : t -> unit
-(** Rescales until [max_abs t <= rescale_threshold]. *)
+(** Rescales until [max_abs t <= rescale_threshold].  The chunk count is
+    computed from one [max_abs] scan and a [frexp] of the maximum (exact
+    — each chunk shifts the binary exponent by exactly 830 while the
+    value stays normal), then applied in a single pass; bit-identical to
+    repeated whole-lattice {!rescale} sweeps.  Non-finite maxima are
+    left untouched: no chunk count can bring them below the
+    threshold. *)
 
 val log_scale : t -> float
 (** [scale * log rescale_factor] — the log of the factor by which stored
     values exceed true values (non-positive). *)
 
-(** Flat two-dimensional float table (row-major [floatarray]); backs the
-    precomputed combine-weight tables. *)
+(** Flat two-dimensional float table (row-major [float64]
+    [Bigarray.Array1]); backs the precomputed combine-weight tables. *)
 module Grid : sig
   type t
 
@@ -76,4 +109,11 @@ module Grid : sig
 
   val set : t -> int -> int -> float -> unit
   (** @raise Invalid_argument out of bounds. *)
+
+  val unsafe_get : t -> int -> int -> float
+  (** Unchecked read for kernel inner loops; out-of-range coordinates
+      are undefined behaviour.  Use {!get} everywhere else. *)
+
+  val unsafe_set : t -> int -> int -> float -> unit
+  (** Unchecked write; see {!unsafe_get}. *)
 end

@@ -22,6 +22,7 @@ type solution = {
   lattice_cells : int;
   rescales : int;
   tree_combines : int;
+  banded_combines : int;
 }
 
 let solution_of_convolution solved =
@@ -33,6 +34,7 @@ let solution_of_convolution solved =
     lattice_cells = (Model.inputs model + 1) * (Model.outputs model + 1);
     rescales = Convolution.rescale_count solved;
     tree_combines = Convolution.combine_count solved;
+    banded_combines = Convolution.banded_combine_count solved;
   }
 
 let solve_full ?algorithm model =
@@ -50,6 +52,7 @@ let solve_full ?algorithm model =
         lattice_cells = 0;
         rescales = 0;
         tree_combines = 0;
+        banded_combines = 0;
       }
   | Convolution -> solution_of_convolution (Convolution.solve model)
   | Mean_value ->
@@ -61,6 +64,7 @@ let solve_full ?algorithm model =
         lattice_cells;
         rescales = 0;
         tree_combines = 0;
+        banded_combines = 0;
       }
 
 let solve ?algorithm model =

@@ -25,6 +25,11 @@ type solution = {
       (** pairwise factor-tree combines the {!Convolution} solve
           performed ([R - 1] for a full build, [O(#changed log R)] for a
           {!Convolution.solve_delta}); [0] for the other algorithms *)
+  banded_combines : int;
+      (** how many of those combines ran the banded parallel kernel
+          (non-zero only at or above the context's capacity threshold —
+          see {!Convolution.context_of}); [0] for the other
+          algorithms *)
 }
 
 val solution_of_convolution : Convolution.t -> solution

@@ -1,22 +1,7 @@
-let recommended_domains () =
-  match Sys.getenv_opt "CROSSBAR_DOMAINS" with
-  | None -> Domain.recommended_domain_count ()
-  | Some text -> (
-      (* A deploy-time override that does not parse, or asks for a
-         nonsensical width, is a misconfiguration: fail loudly rather
-         than silently running at some other width. *)
-      match int_of_string_opt (String.trim text) with
-      | Some d when d >= 1 -> d
-      | Some d ->
-          invalid_arg
-            (Printf.sprintf
-               "Pool.recommended_domains: CROSSBAR_DOMAINS=%d must be >= 1" d)
-      | None ->
-          invalid_arg
-            (Printf.sprintf
-               "Pool.recommended_domains: CROSSBAR_DOMAINS=%S is not an \
-                integer"
-               text))
+(* One CROSSBAR_DOMAINS reading serves the whole tree: the pool and the
+   banded combine kernel inside Crossbar.Convolution resolve their width
+   through the same module, so an override scales both fan-outs. *)
+let recommended_domains () = Crossbar.Domains.recommended ()
 
 let run ?domains ~tasks f =
   if tasks < 0 then invalid_arg "Pool.run: negative task count";

@@ -58,7 +58,14 @@ let solve_point ?chain cache p =
               with
               | Some _ ->
                   from_incremental := true;
-                  Convolution.solve_delta ~previous p.model
+                  (* The chain is the only holder of [previous] and
+                     overwrites it below, so the update may recycle the
+                     replaced tree nodes into the arena: a steady-state
+                     chain walk allocates no fresh profiles.  The cache
+                     stores only the extracted float solution, never the
+                     tree, so cached outcomes cannot alias recycled
+                     storage. *)
+                  Convolution.solve_delta ~recycle:true ~previous p.model
               | None -> Convolution.solve p.model)
           | None -> Convolution.solve p.model
         in
@@ -92,6 +99,9 @@ let record_outcome telemetry outcome =
           tree_combines =
             (if outcome.from_cache then 0
              else outcome.solution.Solver.tree_combines);
+          banded_combines =
+            (if outcome.from_cache then 0
+             else outcome.solution.Solver.banded_combines);
           from_cache = outcome.from_cache;
           from_incremental = outcome.from_incremental;
         }

@@ -5,6 +5,7 @@ type solve = {
   lattice_cells : int;
   rescales : int;
   tree_combines : int;
+  banded_combines : int;
   from_cache : bool;
   from_incremental : bool;
 }
@@ -68,6 +69,7 @@ let solve_to_json s =
       ("lattice_cells", Json.Int s.lattice_cells);
       ("rescales", Json.Int s.rescales);
       ("tree_combines", Json.Int s.tree_combines);
+      ("banded_combines", Json.Int s.banded_combines);
       ("from_cache", Json.Bool s.from_cache);
       ("from_incremental", Json.Bool s.from_incremental);
     ]
@@ -95,6 +97,9 @@ let to_json ?cache ?domains t =
       ( "tree_combines",
         Json.Int (List.fold_left (fun acc s -> acc + s.tree_combines) 0 solves)
       );
+      ( "banded_combines",
+        Json.Int
+          (List.fold_left (fun acc s -> acc + s.banded_combines) 0 solves) );
       ( "incremental_solves",
         Json.Int
           (List.length (List.filter (fun s -> s.from_incremental) solves)) );

@@ -18,6 +18,9 @@ type solve = {
       (** pairwise factor-tree combines the solve performed
           ({!Crossbar.Solver.solution}[.tree_combines]); [0] on cache
           hits and for non-convolution algorithms *)
+  banded_combines : int;
+      (** how many of those combines ran the banded parallel kernel
+          ({!Crossbar.Solver.solution}[.banded_combines]) *)
   from_cache : bool;
   from_incremental : bool;
       (** the solve reused factor-tree nodes from the previous sweep

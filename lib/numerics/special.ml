@@ -26,17 +26,21 @@ let rec lgamma x =
 
 let factorial_table_size = 1024
 
+(* Built eagerly at module init: a [lazy] here is not domain-safe —
+   pool workers and banded combines racing to force it raise
+   CamlinternalLazy.Undefined — and the table costs ~1k flops, far
+   below the price of any synchronisation that would make the lazy
+   safe. *)
 let log_factorial_table =
-  lazy
-    (let table = Array.make factorial_table_size 0. in
-     for n = 1 to factorial_table_size - 1 do
-       table.(n) <- table.(n - 1) +. log (float_of_int n)
-     done;
-     table)
+  let table = Array.make factorial_table_size 0. in
+  for n = 1 to factorial_table_size - 1 do
+    table.(n) <- table.(n - 1) +. log (float_of_int n)
+  done;
+  table
 
 let log_factorial n =
   if n < 0 then invalid_arg "Special.log_factorial: negative"
-  else if n < factorial_table_size then (Lazy.force log_factorial_table).(n)
+  else if n < factorial_table_size then log_factorial_table.(n)
   else lgamma (float_of_int n +. 1.)
 
 let log_permutations n k =

@@ -47,6 +47,7 @@ let solved_fields ~tree ~from_hot (entry : Registry.entry) =
     ("tree", Json.String tree);
     ("from_hot", Json.Bool from_hot);
     ("tree_combines", Json.Int solution.Solver.tree_combines);
+    ("banded_combines", Json.Int solution.Solver.banded_combines);
     ("log_g", Json.Float solution.Solver.log_normalization);
     ("measures", Protocol.measures_to_json solution.Solver.measures);
   ]
@@ -62,7 +63,13 @@ let handle_delta registry ~tree changes =
   | Some { Registry.model; solved } ->
       guard (fun () ->
           let model' = List.fold_left apply_change model changes in
-          let solved' = Convolution.solve_delta ~previous:solved model' in
+          (* [Registry.replace] below drops the previous tree, and
+             requests for one tree are sharded onto a single worker, so
+             the update may recycle the replaced nodes into this
+             domain's arena. *)
+          let solved' =
+            Convolution.solve_delta ~recycle:true ~previous:solved model'
+          in
           let entry = { Registry.model = model'; solved = solved' } in
           Registry.replace registry ~name:tree entry;
           let changed =
@@ -216,6 +223,11 @@ let handle ~registry ~telemetry ~domains (request : Protocol.request) =
             | Protocol.Solve _ | Protocol.Delta _ ->
                 solution.Solver.tree_combines
             | _ -> 0);
+          banded_combines =
+            (match request.Protocol.query with
+            | Protocol.Solve _ | Protocol.Delta _ ->
+                solution.Solver.banded_combines
+            | _ -> 0);
           from_cache =
             (match request.Protocol.query with
             | Protocol.Solve _ | Protocol.Delta _ -> false
@@ -233,6 +245,7 @@ let handle ~registry ~telemetry ~domains (request : Protocol.request) =
           lattice_cells = 0;
           rescales = 0;
           tree_combines = 0;
+          banded_combines = 0;
           from_cache = false;
           from_incremental = false;
         }

@@ -25,3 +25,12 @@ let off_path n =
   let spare = ref n in
   incr spare;
   !spare
+
+(* [unsafe_kernel] mirrors the tree's tiled combine kernels: flat float
+   scratch stays clean (float arrays are unboxed), but the per-call
+   closure over the scratch is flagged. *)
+let unsafe_kernel n =
+  let scratch = Array.make n 0.0 in
+  let read = fun i -> Array.unsafe_get scratch i in
+  ignore (read 0);
+  Array.unsafe_get scratch 0

@@ -409,6 +409,7 @@ let wall_record wall =
     lattice_cells = 1;
     rescales = 0;
     tree_combines = 0;
+    banded_combines = 0;
     from_cache = false;
     from_incremental = false;
   }
