@@ -9,7 +9,7 @@
 
 open Cmdliner
 
-let serve socket capacity domains batch_limit =
+let serve socket capacity domains batch_limit sequential =
   match
     (* A client that disconnects mid-write must not kill the daemon;
        write failures are handled per-connection instead. *)
@@ -22,6 +22,7 @@ let serve socket capacity domains batch_limit =
           capacity;
           domains;
           batch_limit;
+          pipelined = not sequential;
         }
       ~input:Unix.stdin ~output:Unix.stdout ()
   with
@@ -65,6 +66,16 @@ let batch_limit_arg =
     & info [ "batch-limit" ] ~docv:"N"
         ~doc:"Serve at most $(docv) queued requests as one batch.")
 
+let sequential_arg =
+  Arg.(
+    value & flag
+    & info [ "sequential" ]
+        ~doc:
+          "Serve each batch inline instead of pipelining it onto a worker \
+           domain.  Responses are identical either way; pipelining (the \
+           default) overlaps reading the next batch with solving the \
+           current one.")
+
 let cmd =
   let doc = "hot-tree query daemon for the asynchronous multi-rate crossbar" in
   let man =
@@ -86,6 +97,6 @@ let cmd =
     Term.(
       ret
         (const serve $ socket_arg $ capacity_arg $ domains_arg
-       $ batch_limit_arg))
+       $ batch_limit_arg $ sequential_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,40 @@
+(** Persistent band-worker pool for intra-combine row banding.
+
+    A lazily-started, process-wide set of worker domains parked on
+    per-worker mailboxes (mutex + condvar hand-off, atomic completion
+    flag).  Dispatching a band costs one lock/signal per worker —
+    roughly an order of magnitude less than the [Domain.spawn]
+    round-trip the banded combine kernel paid before — which is what
+    lets {!Convolution}'s banding threshold sit near the point where
+    the tiled kernel stops scaling instead of far above it.
+
+    The pool is shared by the whole process and grows on demand to the
+    largest [bands - 1] ever requested.  Dispatch is serialised: a
+    {!run} that finds another fan-out in flight (nested banding, or a
+    concurrent domain) executes its bands inline in band order, which
+    is observationally identical because band functions must write
+    disjoint state. *)
+
+val run : bands:int -> (int -> unit) -> unit
+(** [run ~bands f] evaluates [f 0 .. f (bands - 1)], band 0 on the
+    calling domain and the rest on pool workers, and returns when every
+    band has finished.  [f] must confine its writes per band (bands
+    run concurrently and in any order).
+
+    If any band raises, every remaining band is still awaited before
+    the exception is re-raised — the caller's own exception first,
+    else the lowest-banded worker's.  The pool survives failures and
+    serves subsequent runs normally.
+
+    [bands = 1] runs [f 0] inline without touching the pool.  Raises
+    [Invalid_argument] if [bands < 1]. *)
+
+val size : unit -> int
+(** Number of worker domains currently parked in the pool (0 until the
+    first multi-band {!run}, then the high-water mark of [bands - 1]
+    requested so far, until {!shutdown}). *)
+
+val shutdown : unit -> unit
+(** Quit and join every pool worker.  Subsequent {!run}s re-warm the
+    pool transparently; idle processes (or tests asserting domain
+    hygiene) can call this to drop the parked domains. *)

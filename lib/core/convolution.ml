@@ -119,7 +119,15 @@ let weight_grid ~ports ~cap =
   g
 
 let default_tile = 64
-let default_band_threshold = 1024
+
+(* Measured on the Band_pool dispatch path (see DESIGN.md, "Combine
+   kernels"): a pool fan-out costs ~0.1 ms cold and far less once the
+   completion spin hides the wake latency, against a dense kernel that
+   crosses ~0.14 ms per combine near cap 256.  Banding starts paying
+   around there, so the default sits at 256 — down from 1024, which was
+   calibrated against Domain.spawn's ~0.8-4 ms round-trip. *)
+let default_band_threshold = 256
+let default_combine_threshold = default_band_threshold
 
 let env_knob name =
   match Sys.getenv_opt name with
@@ -142,14 +150,18 @@ let context_of ?tile ?combine_threshold ?band_domains ~inputs ~outputs () =
   let tile =
     match tile with
     | Some t when t >= 1 -> t
-    | Some _ -> invalid_arg "Convolution.context_of: tile must be >= 1"
+    | Some t ->
+        invalid_arg
+          (Printf.sprintf "Convolution.context_of: tile=%d must be >= 1" t)
     | None -> default_tile
   in
   let band_threshold =
     match combine_threshold with
     | Some t when t >= 1 -> t
-    | Some _ ->
-        invalid_arg "Convolution.context_of: combine_threshold must be >= 1"
+    | Some t ->
+        invalid_arg
+          (Printf.sprintf
+             "Convolution.context_of: combine_threshold=%d must be >= 1" t)
     | None -> (
         match env_knob "CROSSBAR_COMBINE_THRESHOLD" with
         | Some t -> t
@@ -158,7 +170,10 @@ let context_of ?tile ?combine_threshold ?band_domains ~inputs ~outputs () =
   let band_domains =
     match band_domains with
     | Some d when d >= 1 -> d
-    | Some _ -> invalid_arg "Convolution.context_of: band_domains must be >= 1"
+    | Some d ->
+        invalid_arg
+          (Printf.sprintf
+             "Convolution.context_of: band_domains=%d must be >= 1" d)
     | None -> Domains.recommended ()
   in
   let cap = min inputs outputs in
@@ -178,6 +193,59 @@ let context_of ?tile ?combine_threshold ?band_domains ~inputs ~outputs () =
 let context_capacity ctx = ctx.cap
 let arena ctx = Domain.DLS.get ctx.arenas
 let banded_total ctx = Atomic.get ctx.banded_total
+
+(* Process-wide bounded MRU cache of contexts, keyed on the switch
+   dimensions and the resolved knobs.  A context owns two
+   (cap+1)x(cap+1) weight grids (~150 MB at cap 3072) plus the
+   per-domain arenas whose free lists hold every recycled node — so
+   repeated default-knob builds of the same switch shape must share one
+   context, both to avoid rebuilding the grids and so that lattices
+   recycled when a serve cache evicts a tree actually reach the next
+   build of that shape.  Env knobs are resolved per call, so changing
+   CROSSBAR_COMBINE_THRESHOLD or CROSSBAR_DOMAINS yields a distinct
+   key (and a fresh context), exactly as before. *)
+let shared_context_limit = 8
+
+let shared_context_lock = Mutex.create ()
+
+let shared_contexts : ((int * int * int * int * int) * context) list Atomic.t =
+  Atomic.make []
+
+let rec cache_take entries n =
+  match entries with
+  | [] -> []
+  | _ when n <= 0 -> []
+  | e :: rest -> e :: cache_take rest (n - 1)
+
+let shared_context ~inputs ~outputs =
+  Mutex.lock shared_context_lock;
+  match
+    let band_threshold =
+      match env_knob "CROSSBAR_COMBINE_THRESHOLD" with
+      | Some t -> t
+      | None -> default_band_threshold
+    in
+    let band_domains = Domains.recommended () in
+    let key = (inputs, outputs, default_tile, band_threshold, band_domains) in
+    let entries = Atomic.get shared_contexts in
+    match List.assoc_opt key entries with
+    | Some ctx ->
+        (* Move to front so the working set stays resident. *)
+        Atomic.set shared_contexts
+          ((key, ctx) :: List.filter (fun (k, _) -> k <> key) entries);
+        ctx
+    | None ->
+        let ctx = context_of ~inputs ~outputs () in
+        Atomic.set shared_contexts
+          ((key, ctx) :: cache_take entries (shared_context_limit - 1));
+        ctx
+  with
+  | ctx ->
+      Mutex.unlock shared_context_lock;
+      ctx
+  | exception e ->
+      Mutex.unlock shared_context_lock;
+      raise e
 
 let unit_profile cap =
   let l = Lattice.create ~capacity:cap () in
@@ -335,33 +403,27 @@ let band_lo cap bands i =
     in
     if lo > cap + 1 then cap + 1 else lo
 
-let spawn_band ctx left right ~sa ~sb result i =
-  (* Each band writes a disjoint output range of [result]'s Bigarray
-     (GC-opaque, so domains share it without tearing the runtime) and
-     only reads the operands and grids. *)
-  (* lint: guarded=ctx,left,right,result — bands write disjoint output rows; operands and grids are read-only during the kernel *)
-  (* lint: alloc=closure -- one band-worker thunk per spawned domain *)
-  Domain.spawn (fun () ->
-      let lo = band_lo ctx.cap ctx.band_domains i in
-      let hi = band_lo ctx.cap ctx.band_domains (i + 1) - 1 in
-      if lo <= hi then run_kernel ctx left right ~sa ~sb result lo hi)
-
 (* Splits one large combine's output lattice into [band_domains] row
-   bands: the calling domain computes band 0 while the spawned domains
-   compute the rest.  Every output index is computed by exactly one
-   band with the same per-output term order as the sequential kernel,
-   so the result is bit-identical however many domains run. *)
-let combine_banded ctx left right ~sa ~sb result =
+   bands dispatched through the persistent {!Band_pool} (band 0 runs on
+   the calling domain).  Each band writes a disjoint output range of
+   [result]'s Bigarray (GC-opaque, so domains share it without tearing
+   the runtime) and only reads the operands and grids; every output
+   index is computed by exactly one band with the same per-output term
+   order as the sequential kernel, so the result is bit-identical
+   however many domains run.  [counter] is the solve-local banded
+   counter of the build/update in flight (contexts are shared
+   process-wide, so the context's own running total cannot attribute
+   banded combines to one solve). *)
+let combine_banded ctx counter left right ~sa ~sb result =
   let bands = ctx.band_domains in
-  let spawned =
-    (* lint: alloc=spawned,closure -- the band fan-out, once per banded combine *)
-    Array.init (bands - 1) (fun i ->
-        spawn_band ctx left right ~sa ~sb result (i + 1))
-  in
-  let hi0 = band_lo ctx.cap bands 1 - 1 in
-  if hi0 >= 0 then run_kernel ctx left right ~sa ~sb result 0 hi0;
-  Array.iter Domain.join spawned;
-  Atomic.incr ctx.banded_total
+  (* lint: guarded=ctx,left,right,result — bands write disjoint output rows; operands and grids are read-only during the kernel *)
+  (* lint: alloc=closure -- one band thunk per banded combine *)
+  Band_pool.run ~bands (fun i ->
+      let lo = band_lo ctx.cap bands i in
+      let hi = band_lo ctx.cap bands (i + 1) - 1 in
+      if lo <= hi then run_kernel ctx left right ~sa ~sb result lo hi);
+  Atomic.incr ctx.banded_total;
+  if counter != ctx.banded_total then Atomic.incr counter
 
 (* Tilted convolution (A * B)(u+v) = sum A(u) B(v) w1(u,v) w2(u,v).
    Never mutates its operands — tree nodes are shared across re-solves —
@@ -373,8 +435,10 @@ let combine_banded ctx left right ~sa ~sb result =
    bit-identical no matter which solve path — sequential, banded, or
    pool-mapped — runs.  The result lattice comes from the arena's free
    list when recycled nodes are available, so a warmed-up update loop
-   allocates nothing on the major heap. *)
-let combine ctx a b =
+   allocates nothing on the major heap.  [combine_into] threads the
+   solve-local banded counter; the public [combine] attributes banded
+   combines to the context's running total only. *)
+let combine_into ctx counter a b =
   let sa = Lattice.stride a and sb = Lattice.stride b in
   let arena = Domain.DLS.get ctx.arenas in
   prechunk arena a b;
@@ -395,11 +459,13 @@ let combine ctx a b =
   in
   let result = Arena.acquire arena ~cap:ctx.cap ~stride:(gcd sa sb) in
   if ctx.cap >= ctx.band_threshold && ctx.band_domains > 1 then
-    combine_banded ctx left right ~sa ~sb result
+    combine_banded ctx counter left right ~sa ~sb result
   else run_kernel ctx left right ~sa ~sb result 0 ctx.cap;
   Lattice.add_scale result (Lattice.scale a + Lattice.scale b + ka + kb);
   Lattice.normalize result;
   result
+
+let combine ctx a b = combine_into ctx ctx.banded_total a b
 
 (* The pre-kernel reference combine, kept verbatim as the bit-identity
    oracle for the tiled and banded kernels (test_kernel and the bench
@@ -447,6 +513,53 @@ let combine_naive ctx a b =
   Lattice.normalize result;
   result
 
+(* The PR 9 banded dispatch, kept as the comparison baseline for the
+   bench band_latency section and the dispatch bit-identity tests: the
+   same arena/prechunk/kernel path as [combine], but the bands fan out
+   over freshly spawned domains instead of the persistent pool.  Always
+   bands when [band_domains > 1] (no threshold test — the caller is
+   measuring dispatch).  Like [combine_naive], unreachable from the hot
+   roots, so the kernel path's allocation sanctions do not apply. *)
+let combine_spawned ctx a b =
+  let sa = Lattice.stride a and sb = Lattice.stride b in
+  let arena = Domain.DLS.get ctx.arenas in
+  prechunk arena a b;
+  let ka = arena.Arena.ka and kb = arena.Arena.kb in
+  let left =
+    if ka = 0 then a
+    else begin
+      load_chunked arena.Arena.left a ka;
+      arena.Arena.left
+    end
+  in
+  let right =
+    if kb = 0 then b
+    else begin
+      load_chunked arena.Arena.right b kb;
+      arena.Arena.right
+    end
+  in
+  let result = Arena.acquire arena ~cap:ctx.cap ~stride:(gcd sa sb) in
+  let bands = ctx.band_domains in
+  if bands > 1 then begin
+    (* lint: guarded=ctx,left,right,result — bands write disjoint output rows; operands and grids are read-only during the kernel *)
+    let spawned =
+      Array.init (bands - 1) (fun i ->
+          let i = i + 1 in
+          Domain.spawn (fun () ->
+              let lo = band_lo ctx.cap bands i in
+              let hi = band_lo ctx.cap bands (i + 1) - 1 in
+              if lo <= hi then run_kernel ctx left right ~sa ~sb result lo hi))
+    in
+    let hi0 = band_lo ctx.cap bands 1 - 1 in
+    if hi0 >= 0 then run_kernel ctx left right ~sa ~sb result 0 hi0;
+    Array.iter Domain.join spawned
+  end
+  else run_kernel ctx left right ~sa ~sb result 0 ctx.cap;
+  Lattice.add_scale result (Lattice.scale a + Lattice.scale b + ka + kb);
+  Lattice.normalize result;
+  result
+
 (* Physical membership of [l] in [arr] from index [i] — the recycling
    guard of the leave-one-out sweep. *)
 let rec lattice_memq l arr i =
@@ -477,7 +590,7 @@ module Factor_tree = struct
 
   let sequential_map f n = Array.init n f
 
-  let build_levels ~map ctx leaves =
+  let build_levels ~map ctx counter leaves =
     let combines = ref 0 in
     let acc = ref [ leaves ] in
     let current = ref leaves in
@@ -487,7 +600,8 @@ module Factor_tree = struct
       let next =
         map
           (fun j ->
-            if (2 * j) + 1 < n then combine ctx level.(2 * j) level.((2 * j) + 1)
+            if (2 * j) + 1 < n then
+              combine_into ctx counter level.(2 * j) level.((2 * j) + 1)
             else level.(2 * j))
           ((n + 1) / 2)
       in
@@ -499,15 +613,20 @@ module Factor_tree = struct
 
   let build ?(map = sequential_map) model =
     let ctx =
-      context_of ~inputs:(Model.inputs model) ~outputs:(Model.outputs model) ()
+      shared_context ~inputs:(Model.inputs model) ~outputs:(Model.outputs model)
     in
+    (* Solve-local banded counter: the shared context's running total
+       spans every build that ever used it, so per-tree attribution —
+       which the serve replay byte-identity gate depends on — needs its
+       own counter. *)
+    let counter = Atomic.make 0 in
     let num = Model.num_classes model in
     let leaves =
       if num = 0 then [| unit_profile ctx.cap |]
       else map (fun r -> class_factor ctx model r) num
     in
-    let levels, combines = build_levels ~map ctx leaves in
-    { model; ctx; levels; combines; banded = Atomic.get ctx.banded_total }
+    let levels, combines = build_levels ~map ctx counter leaves in
+    { model; ctx; levels; combines; banded = Atomic.get counter }
 
   let model t = t.model
   let num_classes t = Model.num_classes t.model
@@ -539,7 +658,8 @@ module Factor_tree = struct
         if recycle then Arena.release arena old;
         refresh_leaves ctx ~recycle arena model leaves rest
 
-  let rec recombine_parents ctx ~recycle arena levels k parents combines =
+  let rec recombine_parents ctx counter ~recycle arena levels k parents
+      combines =
     match parents with
     | [] -> combines
     | j :: rest ->
@@ -552,7 +672,8 @@ module Factor_tree = struct
                the node replaced here is referenced nowhere else in the
                new tree and may be recycled. *)
             let old = levels.(k + 1).(j) in
-            levels.(k + 1).(j) <- combine ctx level.(2 * j) level.((2 * j) + 1);
+            levels.(k + 1).(j) <-
+              combine_into ctx counter level.(2 * j) level.((2 * j) + 1);
             if recycle then Arena.release arena old;
             combines + 1
           end
@@ -564,16 +685,16 @@ module Factor_tree = struct
             combines
           end
         in
-        recombine_parents ctx ~recycle arena levels k rest combines
+        recombine_parents ctx counter ~recycle arena levels k rest combines
 
-  let rec update_levels ctx ~recycle arena levels k frontier combines =
+  let rec update_levels ctx counter ~recycle arena levels k frontier combines =
     if k >= Array.length levels - 1 then combines
     else begin
       let parents = List.sort_uniq compare (List.map parent_index frontier) in
       let combines =
-        recombine_parents ctx ~recycle arena levels k parents combines
+        recombine_parents ctx counter ~recycle arena levels k parents combines
       in
-      update_levels ctx ~recycle arena levels (k + 1) parents combines
+      update_levels ctx counter ~recycle arena levels (k + 1) parents combines
     end
 
   (* Recombines only the root paths of the changed leaves.  Untouched
@@ -599,18 +720,21 @@ module Factor_tree = struct
         { t with model; combines = 0; banded = 0 }
     | Some changed ->
         let arena = Domain.DLS.get t.ctx.arenas in
-        let banded_before = Atomic.get t.ctx.banded_total in
+        (* lint: alloc=counter -- solve-local banded counter, one per update *)
+        let counter = Atomic.make 0 in
         (* lint: alloc=levels -- spine copy, O(log R); nodes stay shared *)
         let levels = Array.map Array.copy t.levels in
         refresh_leaves t.ctx ~recycle arena model levels.(0) changed;
-        let combines = update_levels t.ctx ~recycle arena levels 0 changed 0 in
+        let combines =
+          update_levels t.ctx counter ~recycle arena levels 0 changed 0
+        in
         (* lint: alloc=record -- the updated tree value itself *)
         {
           model;
           ctx = t.ctx;
           levels;
           combines;
-          banded = Atomic.get t.ctx.banded_total - banded_before;
+          banded = Atomic.get counter;
         }
 
   (* Prefix x suffix sweep: walking the tree top-down with
@@ -679,7 +803,11 @@ type t = {
      diag.(j) = scaled G(N1-j, N2-j) = sum_u H(u) ratio_j(u),
      ratio_j(u) = prod_{i<u} ((N1-j-i)(N2-j-i)) / ((N1-i)(N2-i)). *)
 let diagonal ctx h =
-  let diag = Lattice.create ~capacity:ctx.cap () in
+  (* From the arena free list: a recycled tree's diagonal is re-acquired
+     by the next solve of the same shape. *)
+  let diag =
+    Arena.acquire (Domain.DLS.get ctx.arenas) ~cap:ctx.cap ~stride:1
+  in
   Lattice.add_scale diag (Lattice.scale h);
   for j = 0 to ctx.cap do
     let sum = ref (Lattice.get h 0) in
@@ -755,8 +883,37 @@ let of_tree (tree : Factor_tree.t) =
 
 let solve ?map model = of_tree (Factor_tree.build ?map model)
 
-let solve_delta ?recycle ~previous model =
-  of_tree (Factor_tree.update ?recycle previous.tree model)
+let solve_delta ?(recycle = false) ~previous model =
+  let tree = Factor_tree.update ~recycle previous.tree model in
+  (* The caller promised to drop [previous] entirely, and the fresh
+     diagonal below is computed from the updated tree, so the previous
+     solve's diagonal can seed the free list first. *)
+  if recycle then
+    Arena.release (Domain.DLS.get previous.ctx.arenas) previous.diag;
+  of_tree tree
+
+(* Returns every lattice a dropped solve owns to the current domain's
+   free list for this context: all leaves, every internal node that is a
+   combine result of its own (a trailing odd node is a physical alias of
+   its child, carried upward, so releasing it once at its home position
+   is both necessary and sufficient), and the diagonal.  The caller must
+   guarantee nothing else references [t] — e.g. a serve registry entry
+   evicted once the batch that evicted it has fully drained. *)
+let recycle t =
+  let arena = Domain.DLS.get t.ctx.arenas in
+  let levels = t.tree.Factor_tree.levels in
+  let leaves = levels.(0) in
+  for i = 0 to Array.length leaves - 1 do
+    Arena.release arena leaves.(i)
+  done;
+  for k = 1 to Array.length levels - 1 do
+    let children = Array.length levels.(k - 1) in
+    let level = levels.(k) in
+    for j = 0 to Array.length level - 1 do
+      if (2 * j) + 1 <= children - 1 then Arena.release arena level.(j)
+    done
+  done;
+  Arena.release arena t.diag
 
 let solve_incremental ~previous ~class_index model =
   let num_classes = Model.num_classes model in

@@ -65,9 +65,18 @@ end
 type context
 (** Combine environment for one switch size: the precomputed weight
     grids, kernel tile size, banding threshold and domain count, the
-    per-domain {!Arena} key and the banded-combine counter.  Built once
-    per {!Factor_tree.build} and shared by every re-solve of that
-    tree. *)
+    per-domain {!Arena} key and the banded-combine counter.
+    {!Factor_tree.build} resolves its context through a bounded
+    process-wide cache keyed on the dimensions and resolved knobs, so
+    repeated solves of one switch shape share the grids and — through
+    the shared arenas — each other's recycled profiles.  {!context_of}
+    always builds a fresh, unshared context. *)
+
+val default_combine_threshold : int
+(** The built-in banding threshold (256) used when neither the
+    [combine_threshold] parameter nor [CROSSBAR_COMBINE_THRESHOLD] is
+    given — the capacity where a dense combine's cost overtakes a
+    {!Band_pool} dispatch on the calibration hardware (DESIGN.md). *)
 
 val context_of :
   ?tile:int ->
@@ -80,11 +89,13 @@ val context_of :
 (** [tile] is the kernel block edge (default 64 entries);
     [combine_threshold] the capacity at or above which a single combine
     is banded across domains (default: the [CROSSBAR_COMBINE_THRESHOLD]
-    environment variable, else 1024); [band_domains] the number of bands
-    (default {!Domains.recommended}).  Banding is disabled whenever
-    [band_domains = 1].
+    environment variable, else 256 — calibrated against the persistent
+    {!Band_pool} dispatch cost, see DESIGN.md); [band_domains] the
+    number of bands (default {!Domains.recommended}).  Banding is
+    disabled whenever [band_domains = 1].
     @raise Invalid_argument if any knob — parameter or environment
-    override — is not [>= 1]. *)
+    override — is not [>= 1]; the message names the offending knob and
+    its value. *)
 
 val context_capacity : context -> int
 (** [min inputs outputs]. *)
@@ -112,6 +123,15 @@ val combine_naive : context -> Lattice.t -> Lattice.t -> Lattice.t
     application, fresh result, no tiling, no bands — kept as the
     bit-identity oracle for {!combine} in tests and benchmarks.  Never
     called by the solver. *)
+
+val combine_spawned : context -> Lattice.t -> Lattice.t -> Lattice.t
+(** The spawn-dispatch banded combine (one fresh domain per band, as
+    before the persistent {!Band_pool}): the same arena, prechunk and
+    kernel path as {!combine}, but every combine is banded (no
+    threshold test) over [Domain.spawn] whenever the context has
+    [band_domains > 1].  Bit-identical to {!combine}; kept only as the
+    dispatch-latency baseline for the bench [band_latency] section and
+    the dispatch bit-identity tests.  Never called by the solver. *)
 
 (** The balanced combine tree over tilted class factors.  Leaves are the
     per-class profiles [C_r] in class order; each internal node caches
@@ -203,12 +223,24 @@ val solve_delta : ?recycle:bool -> previous:t -> Model.t -> t
     may change, in any order across successive calls.  Bit-identical to
     [solve model] — same measures, same [log_g] on every lattice point,
     same {!rescale_count}.  [~recycle] is {!Factor_tree.update}'s: with
-    [true] the caller promises to drop [previous] (its tree shares the
-    recycled nodes; the solved measures, already extracted as floats,
+    [true] the caller promises to drop [previous] entirely — its
+    replaced tree nodes {e and its measure diagonal} go back to the
+    arena free list (the solved measures, already extracted as floats,
     stay valid).
     @raise Invalid_argument if the switch dimensions or class count
     differ.
     @raise Failure as {!solve}. *)
+
+val recycle : t -> unit
+(** Returns every lattice a dropped solve owns — all leaves, every
+    internal combine result (trailing-carry aliases are released once,
+    at their home position), and the measure diagonal — to the calling
+    domain's arena free list for its context.  Contexts are shared
+    process-wide per switch shape, so the next build of that shape
+    acquires the recycled profiles instead of allocating.  The caller
+    must guarantee nothing else references [t]: e.g. the serve registry
+    recycles an evicted tree only after the batch that evicted it has
+    fully drained. *)
 
 val solve_incremental : previous:t -> class_index:int -> Model.t -> t
 (** [solve_incremental ~previous ~class_index model] is {!solve_delta}

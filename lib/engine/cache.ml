@@ -11,20 +11,24 @@ module Memo = struct
     mutex : Mutex.t;
     table : (key, 'a entry) Hashtbl.t;
     capacity : int option;
+    on_evict : (key -> 'a -> unit) option;
     mutable tick : int;
     mutable hits : int;
     mutable misses : int;
     mutable evictions : int;
   }
 
-  let create ?capacity () =
+  let create ?capacity ?on_evict () =
     (match capacity with
-    | Some c when c < 1 -> invalid_arg "Cache.Memo.create: capacity < 1"
+    | Some c when c < 1 ->
+        invalid_arg
+          (Printf.sprintf "Cache.Memo.create: capacity=%d < 1" c)
     | Some _ | None -> ());
     {
       mutex = Mutex.create ();
       table = Hashtbl.create 64;
       capacity;
+      on_evict;
       tick = 0;
       hits = 0;
       misses = 0;
@@ -43,20 +47,39 @@ module Memo = struct
   let evict_lru t =
     (* O(size) scan for the stalest stamp; the table never exceeds
        [capacity] entries, so bounded tables pay a bounded scan and
-       unbounded ones never reach here. *)
+       unbounded ones never reach here.  Returns the victim so callers
+       can notify [on_evict] after the lock is released. *)
     let victim =
       Hashtbl.fold
         (fun key entry acc ->
           match acc with
-          | Some (_, stamp) when stamp <= entry.stamp -> acc
-          | Some _ | None -> Some (key, entry.stamp))
+          | Some (_, held) when held.stamp <= entry.stamp -> acc
+          | Some _ | None -> Some (key, entry))
         t.table None
     in
     match victim with
-    | Some (key, _) ->
+    | Some (key, entry) ->
         Hashtbl.remove t.table key;
-        t.evictions <- t.evictions + 1
+        t.evictions <- t.evictions + 1;
+        Some (key, entry.value)
+    | None -> None
+
+  (* Called with the lock held; accumulates victims (oldest first once
+     reversed by [notify_evicted]). *)
+  let rec evict_over_capacity t acc =
+    match t.capacity with
+    | Some c when Hashtbl.length t.table >= c -> (
+        match evict_lru t with
+        | Some victim -> evict_over_capacity t (victim :: acc)
+        | None -> acc)
+    | Some _ | None -> acc
+
+  (* Called after the lock is released: a callback that re-enters the
+     memo (or takes its own locks) cannot deadlock against [t.mutex]. *)
+  let notify_evicted t victims =
+    match t.on_evict with
     | None -> ()
+    | Some f -> List.iter (fun (key, value) -> f key value) (List.rev victims)
 
   let find_or_compute t key f =
     (* Lookup and hit-count under one lock acquisition so a concurrent
@@ -77,18 +100,18 @@ module Memo = struct
            Two domains racing on the same key both compute (callers supply
            deterministic functions) and the first insert wins. *)
         let value = f () in
-        locked t (fun () ->
-            t.misses <- t.misses + 1;
-            if not (Hashtbl.mem t.table key) then begin
-              (match t.capacity with
-              | Some c ->
-                  while Hashtbl.length t.table >= c do
-                    evict_lru t
-                  done
-              | None -> ());
-              t.tick <- t.tick + 1;
-              Hashtbl.add t.table key { value; stamp = t.tick }
-            end);
+        let victims =
+          locked t (fun () ->
+              t.misses <- t.misses + 1;
+              if not (Hashtbl.mem t.table key) then begin
+                let victims = evict_over_capacity t [] in
+                t.tick <- t.tick + 1;
+                Hashtbl.add t.table key { value; stamp = t.tick };
+                victims
+              end
+              else [])
+        in
+        notify_evicted t victims;
         (value, false)
 
   let find t key =
@@ -103,27 +126,31 @@ module Memo = struct
             None)
 
   let set t key value =
-    locked t (fun () ->
-        match Hashtbl.find_opt t.table key with
-        | Some entry ->
-            let entry = { entry with value } in
-            Hashtbl.replace t.table key entry;
-            touch t entry
-        | None ->
-            (match t.capacity with
-            | Some c ->
-                while Hashtbl.length t.table >= c do
-                  evict_lru t
-                done
-            | None -> ());
-            t.tick <- t.tick + 1;
-            Hashtbl.add t.table key { value; stamp = t.tick })
+    let victims =
+      locked t (fun () ->
+          match Hashtbl.find_opt t.table key with
+          | Some entry ->
+              (* Replacing in place never evicts (and never notifies:
+                 the caller handed over the new value knowingly). *)
+              let entry = { entry with value } in
+              Hashtbl.replace t.table key entry;
+              touch t entry;
+              []
+          | None ->
+              let victims = evict_over_capacity t [] in
+              t.tick <- t.tick + 1;
+              Hashtbl.add t.table key { value; stamp = t.tick };
+              victims)
+    in
+    notify_evicted t victims
 
   let clear t =
     (* The table and its statistics reset together: after a clear,
        [hit_rate] describes only post-clear traffic, and [tick] restarts
        from 0 — stamps only order the entries currently in the table, so
-       an empty table has nothing to stay monotone against. *)
+       an empty table has nothing to stay monotone against.  [on_evict]
+       does not fire: cleared entries are dropped by the owner's
+       explicit request, not displaced by capacity pressure. *)
     locked t (fun () ->
         Hashtbl.reset t.table;
         t.tick <- 0;

@@ -27,13 +27,23 @@ type key = string
 module Memo : sig
   type 'a t
 
-  val create : ?capacity:int -> unit -> 'a t
+  val create : ?capacity:int -> ?on_evict:(key -> 'a -> unit) -> unit -> 'a t
   (** Unbounded by default.  With [~capacity:c], the table holds at most
       [c] entries: inserting into a full table first evicts the
       least-recently-{e used} entry (hits refresh recency, in insertion
       order among untouched entries) — sized caches keep the working set
       of a sweep without growing across long runs.
-      @raise Invalid_argument if [capacity < 1]. *)
+
+      [on_evict] fires once per entry displaced by capacity pressure —
+      after the internal lock is released, so the callback may re-enter
+      the memo — with the evicted key and value.  It does {e not} fire
+      for in-place replacement by {!set} (the caller supplied the new
+      value knowingly) or for {!clear} (an explicit drop, not
+      displacement): exactly the occasions counted by {!evictions}.
+      The serve registry uses it to route evicted factor trees back to
+      the convolution arenas.
+      @raise Invalid_argument if [capacity < 1]; the message carries the
+      offending value. *)
 
   val find_or_compute : 'a t -> key -> (unit -> 'a) -> 'a * bool
   (** The cached or freshly computed value, and whether it was a cache

@@ -4,11 +4,13 @@
 let recommended_domains () = Crossbar.Domains.recommended ()
 
 let run ?domains ~tasks f =
-  if tasks < 0 then invalid_arg "Pool.run: negative task count";
+  if tasks < 0 then
+    invalid_arg (Printf.sprintf "Pool.run: tasks=%d is negative" tasks);
   let domains =
     match domains with
     | None -> recommended_domains ()
-    | Some d when d < 1 -> invalid_arg "Pool.run: domains < 1"
+    | Some d when d < 1 ->
+        invalid_arg (Printf.sprintf "Pool.run: domains=%d < 1" d)
     | Some d -> d
   in
   let workers = min domains tasks in

@@ -31,6 +31,7 @@ let factorial_table_size = 1024
    CamlinternalLazy.Undefined — and the table costs ~1k flops, far
    below the price of any synchronisation that would make the lazy
    safe. *)
+(* lint: domain-safe — written only during module init, read-only after *)
 let log_factorial_table =
   let table = Array.make factorial_table_size 0. in
   for n = 1 to factorial_table_size - 1 do

@@ -33,4 +33,50 @@ val execute :
     ([Invalid_argument], [Failure]) and unknown trees become [ok:false]
     responses, never exceptions: a malformed query must not take the
     daemon down.  [domains] bounds the pool
-    (default {!Crossbar_engine.Pool.recommended_domains}). *)
+    (default {!Crossbar_engine.Pool.recommended_domains}).
+
+    After the pool joins, the registry's capacity-evicted trees are
+    drained via {!Registry.recycle_evicted} — the end of a batch is the
+    daemon's quiescent point. *)
+
+(** One-batch-in-flight pipelining: a dedicated worker domain runs
+    {!execute} while the caller returns to its [select] loop to read and
+    group the next batch.  Because [execute] is deterministic given the
+    registry state and its request array, pipelined and sequential
+    serving produce byte-identical responses — only the overlap of
+    socket I/O with solving changes. *)
+module Pipeline : sig
+  type t
+
+  val start :
+    ?domains:int ->
+    registry:Registry.t ->
+    telemetry:Crossbar_engine.Telemetry.t ->
+    unit ->
+    t
+  (** Spawn the worker domain, idle until the first {!submit}.  The
+      [domains]/[registry]/[telemetry] triple is fixed for the worker's
+      lifetime and passed to every {!execute} it runs. *)
+
+  val submit : t -> Protocol.request array -> unit
+  (** Hand a batch to the worker and return immediately.  Strictly one
+      batch in flight: callers must {!collect} before submitting again.
+      @raise Invalid_argument if a batch is already in flight. *)
+
+  val descriptor : t -> Unix.file_descr
+  (** The readiness pipe: becomes readable exactly when a submitted
+      batch has finished and {!collect} will not block.  Watch it in the
+      same [select] as the client socket. *)
+
+  val collect : t -> outcome
+  (** Drain the readiness byte and take the finished batch's outcome.
+      Re-raises whatever {!execute} raised on the worker, on the calling
+      domain.
+      @raise Invalid_argument if no finished batch is pending (call only
+      after {!descriptor} polls readable). *)
+
+  val shutdown : t -> unit
+  (** Stop the worker, join it, and close the pipe.  Only between
+      batches: any in-flight batch must be collected first.
+      @raise Invalid_argument if a batch is still in flight. *)
+end

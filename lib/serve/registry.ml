@@ -4,9 +4,38 @@ module Model = Crossbar.Model
 module Convolution = Crossbar.Convolution
 
 type entry = { model : Model.t; solved : Convolution.t }
-type t = { memo : entry Memo.t; capacity : int option }
 
-let create ?capacity () = { memo = Memo.create ?capacity (); capacity }
+type t = {
+  memo : entry Memo.t;
+  capacity : int option;
+  (* Capacity evictions are parked here rather than recycled inline:
+     the Memo callback fires on whichever domain triggered the
+     displacement, possibly while batch workers still read the evicted
+     tree.  [recycle_evicted] drains the list at a quiescent point. *)
+  evicted_lock : Mutex.t;
+  evicted : entry list ref;
+}
+
+let create ?capacity () =
+  let evicted_lock = Mutex.create () in
+  let evicted = ref [] in
+  let on_evict _name entry =
+    Mutex.lock evicted_lock;
+    evicted := entry :: !evicted;
+    Mutex.unlock evicted_lock
+  in
+  { memo = Memo.create ?capacity ~on_evict (); capacity; evicted_lock; evicted }
+
+let recycle_evicted t =
+  let drained =
+    Mutex.lock t.evicted_lock;
+    let drained = !(t.evicted) in
+    t.evicted := [];
+    Mutex.unlock t.evicted_lock;
+    drained
+  in
+  List.iter (fun { solved; _ } -> Convolution.recycle solved) drained;
+  List.length drained
 
 let find t name = Memo.find t.memo name
 let replace t ~name entry = Memo.set t.memo name entry
@@ -21,8 +50,17 @@ let install t ~name model =
     | Some { solved = previous; _ }
       when Option.is_some (Model.class_delta (Convolution.model previous) model)
       ->
-        (Convolution.solve_delta ~previous model, true)
-    | Some _ | None -> (Convolution.solve model, false)
+        (* [solve_delta ~recycle:true] returns the previous tree's
+           superseded lattices to the arenas as it rebuilds; the old
+           entry is dropped by [Memo.set] below, so nothing reads it
+           again (names shard trees — no cross-name sharing). *)
+        (Convolution.solve_delta ~recycle:true ~previous model, true)
+    | Some { solved = previous; _ } ->
+        (* Shape-changed reinstall: the resident tree is unreachable
+           once replaced, so its lattices can seed the fresh solve. *)
+        Convolution.recycle previous;
+        (Convolution.solve model, false)
+    | None -> (Convolution.solve model, false)
   in
   let entry = { model; solved } in
   Memo.set t.memo name entry;

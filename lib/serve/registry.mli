@@ -6,7 +6,12 @@
     registry keeps the hot working set and silently evicts cold trees —
     a [delta]/read query naming an evicted tree gets an error and the
     client re-installs with [solve] (the registry cannot re-derive a
-    model from a name). *)
+    model from a name).
+
+    Evicted trees are not discarded: their lattices are parked and
+    returned to the convolution arenas by {!recycle_evicted}, which the
+    batcher calls between batches — so a capacity-bounded daemon under
+    install churn recycles storage instead of growing the heap. *)
 
 type entry = {
   model : Crossbar.Model.t;
@@ -27,7 +32,10 @@ val install : t -> name:string -> Crossbar.Model.t -> entry * bool
     runs through {!Crossbar.Convolution.solve_delta} against it —
     bit-identical, [O(#changed log R)] combines — and the returned flag
     is [true]; a cold or shape-changing install performs a full build
-    and returns [false].
+    and returns [false].  Either warm path recycles the superseded
+    tree's lattices into the convolution arenas (safe because the
+    batcher shards requests per tree: nothing else reads the entry
+    being replaced).
     @raise Failure as {!Crossbar.Convolution.solve}. *)
 
 val find : t -> string -> entry option
@@ -37,6 +45,13 @@ val find : t -> string -> entry option
 
 val replace : t -> name:string -> entry -> unit
 (** Store a delta-updated entry under an existing (or new) name. *)
+
+val recycle_evicted : t -> int
+(** Drain the trees displaced by capacity pressure since the last call,
+    returning each one's lattices to the convolution arenas via
+    {!Crossbar.Convolution.recycle}; yields the number drained.  Call
+    only at a quiescent point — after batch workers have joined — since
+    an in-flight query may still be reading a just-evicted tree. *)
 
 val size : t -> int
 (** Resident tree count. *)

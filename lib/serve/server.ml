@@ -6,10 +6,17 @@ type config = {
   capacity : int option;
   domains : int option;
   batch_limit : int;
+  pipelined : bool;
 }
 
 let default_config =
-  { socket_path = None; capacity = None; domains = None; batch_limit = 256 }
+  {
+    socket_path = None;
+    capacity = None;
+    domains = None;
+    batch_limit = 256;
+    pipelined = true;
+  }
 
 (* One input stream: the primary input or an accepted socket client.
    [carry] holds the partial line between reads. *)
@@ -103,18 +110,36 @@ let listen_socket path =
   fd
 
 let validate config =
-  if config.batch_limit < 1 then invalid_arg "Server.run: batch_limit < 1";
+  if config.batch_limit < 1 then
+    invalid_arg
+      (Printf.sprintf "Server.run: batch_limit=%d < 1" config.batch_limit);
   (match config.capacity with
-  | Some c when c < 1 -> invalid_arg "Server.run: capacity < 1"
+  | Some c when c < 1 ->
+      invalid_arg (Printf.sprintf "Server.run: capacity=%d < 1" c)
   | Some _ | None -> ());
   match config.domains with
-  | Some d when d < 1 -> invalid_arg "Server.run: domains < 1"
+  | Some d when d < 1 ->
+      invalid_arg (Printf.sprintf "Server.run: domains=%d < 1" d)
   | Some _ | None -> ()
 
 let run ?(config = default_config) ~input ~output () =
   validate config;
   let registry = Registry.create ?capacity:config.capacity () in
   let telemetry = Telemetry.create () in
+  let executor =
+    if config.pipelined then
+      Some (Batcher.Pipeline.start ?domains:config.domains ~registry ~telemetry ())
+    else None
+  in
+  let pipeline_descriptor =
+    Option.map Batcher.Pipeline.descriptor executor
+  in
+  let is_pipeline fd =
+    match pipeline_descriptor with Some p -> p = fd | None -> false
+  in
+  (* The batch the pipeline worker is currently executing, kept so its
+     responses can be routed back to each request's connection. *)
+  let inflight : (conn * item) array option ref = ref None in
   let listen =
     Option.map (fun path -> (listen_socket path, path)) config.socket_path
   in
@@ -123,15 +148,20 @@ let run ?(config = default_config) ~input ~output () =
   in
   let conns = ref [ primary ] in
   let pending : (conn * item) Queue.t = Queue.create () in
-  (* Serve the oldest [batch_limit] pending items as one batch. *)
-  let flush_batch () =
+  (* Pop the oldest [batch_limit] pending items as one batch. *)
+  let take_batch () =
     let batch = ref [] in
     while
       List.length !batch < config.batch_limit && not (Queue.is_empty pending)
     do
       batch := Queue.pop pending :: !batch
     done;
-    let batch = Array.of_list (List.rev !batch) in
+    Array.of_list (List.rev !batch)
+  in
+  (* The well-formed requests of a batch, each with its batch index —
+     deterministic in the batch, so dispatch and respond can both
+     derive it. *)
+  let requests_of batch =
     let request_indices =
       Array.to_list
         (Array.mapi
@@ -141,15 +171,14 @@ let run ?(config = default_config) ~input ~output () =
              | Malformed _ -> None)
            batch)
     in
-    let request_indices = List.filter_map Fun.id request_indices in
-    let requests = Array.of_list (List.map snd request_indices) in
-    let outcome =
-      Batcher.execute ?domains:config.domains ~registry ~telemetry requests
-    in
+    List.filter_map Fun.id request_indices
+  in
+  let respond batch (outcome : Batcher.outcome) =
     let by_batch_index = Hashtbl.create 16 in
     List.iteri
-      (fun k (i, _) -> Hashtbl.replace by_batch_index i outcome.Batcher.responses.(k))
-      request_indices;
+      (fun k (i, _) ->
+        Hashtbl.replace by_batch_index i outcome.Batcher.responses.(k))
+      (requests_of batch);
     Array.iteri
       (fun i (conn, item) ->
         let response =
@@ -161,6 +190,22 @@ let run ?(config = default_config) ~input ~output () =
       batch;
     outcome.Batcher.shutdown
   in
+  (* Serve a batch synchronously on this domain (the sequential mode,
+     and the drain path once every input has closed). *)
+  let flush_batch () =
+    let batch = take_batch () in
+    let requests = Array.of_list (List.map snd (requests_of batch)) in
+    let outcome =
+      Batcher.execute ?domains:config.domains ~registry ~telemetry requests
+    in
+    respond batch outcome
+  in
+  let dispatch pipeline =
+    let batch = take_batch () in
+    let requests = Array.of_list (List.map snd (requests_of batch)) in
+    Batcher.Pipeline.submit pipeline requests;
+    inflight := Some batch
+  in
   let accept_client fd =
     match Unix.accept fd with
     | client, _ ->
@@ -170,7 +215,13 @@ let run ?(config = default_config) ~input ~output () =
                 primary = false } ]
     | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> ()
   in
+  (* Only reached with no batch in flight: every exit path collects the
+     pipeline's outcome first, so [Pipeline.shutdown] cannot race an
+     executing batch. *)
   let cleanup () =
+    (match executor with
+    | Some pipeline -> Batcher.Pipeline.shutdown pipeline
+    | None -> ());
     (match listen with
     | Some (fd, path) ->
         Unix.close fd;
@@ -191,19 +242,29 @@ let run ?(config = default_config) ~input ~output () =
     let live = List.filter (fun c -> c.open_) !conns in
     let watched =
       List.map (fun c -> c.fd) live
-      @ match listen with Some (fd, _) -> [ fd ] | None -> []
+      @ (match listen with Some (fd, _) -> [ fd ] | None -> [])
+      @
+      match (pipeline_descriptor, !inflight) with
+      | Some fd, Some _ -> [ fd ]
+      | _ -> []
     in
     match watched with
     | [] ->
-        (* Inputs exhausted, no socket to accept from: drain and stop. *)
+        (* Inputs exhausted, no socket to accept from, nothing in flight
+           (the pipeline pipe is watched while a batch runs): drain
+           synchronously and stop. *)
         if Queue.is_empty pending then cleanup ()
         else if flush_batch () then cleanup ()
         else loop ()
     | _ :: _ ->
-        (* Block when idle; poll when a batch is already queued, so every
-           line that arrived while the previous batch was in flight joins
-           the next batch. *)
-        let timeout = if Queue.is_empty pending then -1.0 else 0.0 in
+        (* Block when idle or when a batch is in flight (nothing to do
+           until input or the pipeline pipe wakes us); poll when a batch
+           is queued and dispatchable, so every line that arrived while
+           the previous batch was being read joins it. *)
+        let timeout =
+          if Queue.is_empty pending || Option.is_some !inflight then -1.0
+          else 0.0
+        in
         let readable, _, _ =
           match Unix.select watched [] [] timeout with
           | result -> result
@@ -220,15 +281,39 @@ let run ?(config = default_config) ~input ~output () =
                 (read_available conn))
           live;
         let nothing_more =
-          match readable with [] -> true | _ :: _ -> false
+          not (List.exists (fun fd -> not (is_pipeline fd)) readable)
         in
-        if Queue.is_empty pending then loop ()
+        (* Collect a finished batch, hand the worker the next one, and
+           only then serialize and write the finished batch's responses
+           — so response writing overlaps the next batch's solves.  The
+           single loop domain still writes batch N's responses before it
+           can collect batch N+1, so each connection sees its responses
+           in arrival order regardless. *)
+        let shutdown_now =
+          match (executor, !inflight) with
+          | Some pipeline, Some batch when List.exists is_pipeline readable ->
+              inflight := None;
+              let outcome = Batcher.Pipeline.collect pipeline in
+              if
+                (not outcome.Batcher.shutdown)
+                && (not (Queue.is_empty pending))
+                && (nothing_more || Queue.length pending >= config.batch_limit)
+              then dispatch pipeline;
+              respond batch outcome
+          | _ -> false
+        in
+        if shutdown_now then cleanup ()
+        else if Queue.is_empty pending || Option.is_some !inflight then loop ()
         else if
           (* Flush once no more input is immediately available, or the
              batch cap is reached. *)
           nothing_more || Queue.length pending >= config.batch_limit
         then begin
-          if flush_batch () then cleanup () else loop ()
+          match executor with
+          | Some pipeline ->
+              dispatch pipeline;
+              loop ()
+          | None -> if flush_batch () then cleanup () else loop ()
         end
         else loop ()
   in

@@ -11,7 +11,17 @@
     {!Batcher.execute}.  Under load, queries pile up behind the batch in
     flight and are served together off shared hot trees; an idle daemon
     answers single requests immediately.  Responses are written back to
-    each request's own connection, in arrival order per connection. *)
+    each request's own connection, in arrival order per connection.
+
+    Pipelining (default): the batch executes on a {!Batcher.Pipeline}
+    worker domain while this loop keeps reading and grouping the next
+    batch, so socket I/O — reading and parsing requests, serializing
+    and writing responses — overlaps solving.  Strictly one batch is
+    in flight, and the loop writes a finished batch's responses before
+    it can collect the next batch's — so the byte stream each
+    connection sees is identical to sequential mode
+    ([pipelined = false]), which serves each batch inline before
+    reading again. *)
 
 type config = {
   socket_path : string option;
@@ -23,11 +33,16 @@ type config = {
       (** batcher pool width (default
           {!Crossbar_engine.Pool.recommended_domains}) *)
   batch_limit : int;  (** max requests served as one batch *)
+  pipelined : bool;
+      (** execute batches on a {!Batcher.Pipeline} worker domain,
+          overlapping the next batch's reads with the current batch's
+          solves; [false] serves each batch inline (same responses,
+          no overlap) *)
 }
 
 val default_config : config
 (** No socket, unbounded registry, default pool width,
-    [batch_limit = 256]. *)
+    [batch_limit = 256], pipelined. *)
 
 val run :
   ?config:config ->

@@ -5,10 +5,27 @@
 # response, or hung daemon fails the script.
 #
 # Usage: scripts/serve_smoke.sh [path-to-crossbar_serve.exe] [output.jsonl]
+#
+# The output file defaults to a temp path removed on exit, so a smoke
+# run never leaves artifacts in the working tree (CI asserts this).
 set -euo pipefail
 
 SERVE="${1:-_build/default/bin/crossbar_serve.exe}"
-OUT="${2:-serve-smoke-out.jsonl}"
+if [ $# -ge 2 ]; then
+  OUT="$2"
+  CLEAN_OUT=""
+else
+  OUT="$(mktemp "${TMPDIR:-/tmp}/crossbar-serve-smoke-XXXXXX.jsonl")"
+  CLEAN_OUT="$OUT"
+fi
+DAEMON=""
+SOCK=""
+cleanup() {
+  if [ -n "$DAEMON" ]; then kill "$DAEMON" 2>/dev/null || true; fi
+  if [ -n "$SOCK" ]; then rm -f "$SOCK"; fi
+  if [ -n "$CLEAN_OUT" ]; then rm -f "$CLEAN_OUT"; fi
+}
+trap cleanup EXIT
 
 if [ ! -x "$SERVE" ]; then
   echo "FATAL: $SERVE not built (run: dune build bin)" >&2
@@ -50,7 +67,6 @@ fi
 SOCK="$(mktemp -u "${TMPDIR:-/tmp}/crossbar-serve-XXXXXX.sock")"
 timeout 60 "$SERVE" --socket "$SOCK" --domains 2 >/dev/null 2>&1 < /dev/null &
 DAEMON=$!
-trap 'kill "$DAEMON" 2>/dev/null || true; rm -f "$SOCK"' EXIT
 
 for _ in $(seq 1 50); do
   [ -S "$SOCK" ] && break
@@ -107,6 +123,7 @@ PYEOF
 
 status=0
 wait "$DAEMON" || status=$?
+DAEMON=""
 if [ "$status" -ne 0 ]; then
   echo "FATAL: daemon exited with status $status after shutdown" >&2
   exit 1
@@ -115,5 +132,4 @@ if [ -e "$SOCK" ]; then
   echo "FATAL: daemon left its socket file behind" >&2
   exit 1
 fi
-trap - EXIT
 echo "serve smoke: all rounds ok"

@@ -30,6 +30,26 @@ let check_raises_invalid label f =
         (Printexc.to_string e)
   | _ -> Alcotest.failf "%s: expected Invalid_argument, got success" label
 
+(* Like [check_raises_invalid], but also requires the message to carry
+   [substring] — validation errors must name the offending value. *)
+let check_invalid_contains label ~substring f =
+  match f () with
+  | exception Invalid_argument message ->
+      let contained =
+        let n = String.length substring and m = String.length message in
+        let rec scan i =
+          i + n <= m && (String.sub message i n = substring || scan (i + 1))
+        in
+        scan 0
+      in
+      if not contained then
+        Alcotest.failf "%s: Invalid_argument %S does not mention %S" label
+          message substring
+  | exception e ->
+      Alcotest.failf "%s: expected Invalid_argument, got %s" label
+        (Printexc.to_string e)
+  | _ -> Alcotest.failf "%s: expected Invalid_argument, got success" label
+
 let check_raises_failure label f =
   match f () with
   | exception Failure _ -> ()

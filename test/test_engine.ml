@@ -34,9 +34,9 @@ let test_pool_propagates_exception () =
         (String.equal message "task 25 exploded")
 
 let test_pool_rejects_bad_arguments () =
-  check_raises_invalid "domains < 1" (fun () ->
-      ignore (Pool.run ~domains:0 ~tasks:4 Fun.id));
-  check_raises_invalid "tasks < 0" (fun () ->
+  Helpers.check_invalid_contains "domains < 1" ~substring:"domains=0"
+    (fun () -> ignore (Pool.run ~domains:0 ~tasks:4 Fun.id));
+  Helpers.check_invalid_contains "tasks < 0" ~substring:"tasks=-1" (fun () ->
       ignore (Pool.run ~domains:2 ~tasks:(-1) Fun.id))
 
 let test_pool_more_domains_than_tasks () =
@@ -258,10 +258,69 @@ let test_memo_find_and_set () =
   check_int "eviction counted" 1 (Cache.Memo.evictions memo)
 
 let test_memo_rejects_bad_capacity () =
-  check_raises_invalid "capacity 0" (fun () ->
-      ignore (Cache.Memo.create ~capacity:0 ()));
+  Helpers.check_invalid_contains "capacity 0" ~substring:"capacity=0"
+    (fun () -> ignore (Cache.Memo.create ~capacity:0 ()));
   check_raises_invalid "negative capacity" (fun () ->
       ignore (Cache.create ~capacity:(-3) ()))
+
+let test_memo_on_evict_fires_on_capacity () =
+  let seen = ref [] in
+  let memo =
+    Cache.Memo.create ~capacity:2
+      ~on_evict:(fun key value -> seen := (key, value) :: !seen)
+      ()
+  in
+  check_int "a" 1 (memo_get memo "a" 1);
+  check_int "b" 2 (memo_get memo "b" 2);
+  check_bool "no eviction below capacity" true (!seen = []);
+  (* "a" is LRU; inserting "c" displaces it — key and value both reach
+     the callback. *)
+  check_int "c" 3 (memo_get memo "c" 3);
+  check_bool "victim delivered with its value" true (!seen = [ ("a", 1) ]);
+  check_int "counter agrees with the callback" 1 (Cache.Memo.evictions memo);
+  (* A fresh insert via [set] displaces the same way. *)
+  Cache.Memo.set memo "d" 4;
+  check_bool "set-displaced victim delivered" true
+    (List.mem_assoc "b" !seen);
+  check_int "two capacity evictions" 2 (Cache.Memo.evictions memo)
+
+let test_memo_on_evict_quiet_on_replace_and_clear () =
+  let fired = ref 0 in
+  let memo =
+    Cache.Memo.create ~capacity:2 ~on_evict:(fun _ _ -> incr fired) ()
+  in
+  Cache.Memo.set memo "a" 1;
+  Cache.Memo.set memo "b" 2;
+  (* In-place replacement is the caller handing over a new value — not
+     displacement; clear is an explicit drop.  Neither notifies, exactly
+     mirroring what [evictions] counts. *)
+  Cache.Memo.set memo "a" 10;
+  check_int "replace does not notify" 0 !fired;
+  Cache.Memo.clear memo;
+  check_int "clear does not notify" 0 !fired;
+  check_int "nothing counted either" 0 (Cache.Memo.evictions memo)
+
+let test_memo_on_evict_may_reenter () =
+  (* The callback runs after the lock is released, so an on_evict that
+     re-enters the memo (as the serve registry's bookkeeping may) must
+     not deadlock. *)
+  let memo_holder = ref None in
+  let reentered = ref 0 in
+  let memo =
+    Cache.Memo.create ~capacity:1
+      ~on_evict:(fun _ _ ->
+        match !memo_holder with
+        | Some memo ->
+            incr reentered;
+            ignore (Cache.Memo.size memo);
+            ignore (Cache.Memo.find memo "probe")
+        | None -> ())
+      ()
+  in
+  memo_holder := Some memo;
+  check_int "a" 1 (memo_get memo "a" 1);
+  check_int "b displaces a" 2 (memo_get memo "b" 2);
+  check_bool "callback re-entered the memo" true (!reentered > 0)
 
 let test_bounded_solver_cache_still_correct () =
   (* A solver cache squeezed below the working set must recompute, never
@@ -661,6 +720,12 @@ let () =
           case "clear resets statistics" test_memo_clear_resets_stats;
           case "find and set" test_memo_find_and_set;
           case "rejects bad capacity" test_memo_rejects_bad_capacity;
+          case "on_evict fires on capacity displacement"
+            test_memo_on_evict_fires_on_capacity;
+          case "on_evict quiet on replace and clear"
+            test_memo_on_evict_quiet_on_replace_and_clear;
+          case "on_evict may re-enter the memo"
+            test_memo_on_evict_may_reenter;
           case "bounded solver cache stays correct"
             test_bounded_solver_cache_still_correct;
         ] );

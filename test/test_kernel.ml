@@ -173,6 +173,100 @@ let test_more_bands_than_outputs () =
     (Conv.combine_naive ctx a b)
     (Conv.combine ctx a b)
 
+(* ---------- persistent band-worker pool ---------- *)
+
+module Band_pool = Crossbar.Band_pool
+
+let test_pool_runs_every_band () =
+  let bands = 4 in
+  let hit = Array.make bands 0 in
+  Band_pool.run ~bands (fun i -> hit.(i) <- hit.(i) + 1);
+  Array.iteri
+    (fun i n -> Helpers.check_int (Printf.sprintf "band %d ran once" i) 1 n)
+    hit;
+  Helpers.check_bool "workers stay resident between dispatches" true
+    (Band_pool.size () >= bands - 1)
+
+let test_pool_shutdown_and_rewarm () =
+  Band_pool.run ~bands:3 (fun _ -> ());
+  Helpers.check_bool "warm before shutdown" true (Band_pool.size () >= 2);
+  Band_pool.shutdown ();
+  Helpers.check_int "shutdown empties the pool" 0 (Band_pool.size ());
+  (* The next dispatch re-warms transparently: same API, fresh workers. *)
+  let hit = Array.make 3 false in
+  Band_pool.run ~bands:3 (fun i -> hit.(i) <- true);
+  Helpers.check_bool "re-warmed dispatch covers every band" true
+    (Array.for_all Fun.id hit);
+  Helpers.check_bool "workers respawned" true (Band_pool.size () >= 2)
+
+let test_pool_worker_exception () =
+  (match Band_pool.run ~bands:2 (fun i -> if i = 1 then failwith "band boom")
+   with
+  | () -> Alcotest.fail "worker exception was swallowed"
+  | exception Failure message ->
+      Helpers.check_bool "message survives the domain hop" true
+        (String.equal message "band boom"));
+  (* A failed dispatch must leave the pool serviceable. *)
+  let hit = Array.make 2 false in
+  Band_pool.run ~bands:2 (fun i -> hit.(i) <- true);
+  Helpers.check_bool "pool usable after a failure" true
+    (Array.for_all Fun.id hit)
+
+let test_pool_caller_band_wins () =
+  match
+    Band_pool.run ~bands:2 (fun i ->
+        if i = 0 then failwith "caller band" else failwith "worker band")
+  with
+  | () -> Alcotest.fail "exceptions were swallowed"
+  | exception Failure message ->
+      Helpers.check_bool "band 0 (the caller) outranks worker bands" true
+        (String.equal message "caller band")
+
+let test_pool_degenerate () =
+  Band_pool.shutdown ();
+  let ran = ref false in
+  Band_pool.run ~bands:1 (fun i ->
+      Helpers.check_int "inline band index" 0 i;
+      ran := true);
+  Helpers.check_bool "bands=1 runs inline" true !ran;
+  Helpers.check_int "bands=1 spawns no workers" 0 (Band_pool.size ());
+  Helpers.check_raises_invalid "bands=0 rejected" (fun () ->
+      Band_pool.run ~bands:0 (fun _ -> ()))
+
+(* Operand capacities straddling the new default threshold: below it the
+   combine stays sequential, at or above it the pool dispatch runs — and
+   either way the result must match the reference kernel and the
+   spawn-per-band oracle bit for bit. *)
+let threshold_crossover_gen =
+  let open QCheck2.Gen in
+  let* cap = int_range 250 266 in
+  let* domains = int_range 2 4 in
+  let* mag = oneofl [ 0; 123 ] in
+  let* seed = int_range 1 1_000_000 in
+  return (cap, domains, mag, seed)
+
+let banded_bit_identity_at_threshold =
+  QCheck2.Test.make
+    ~name:"pool-banded combine is bit-identical around threshold 256"
+    ~count:12 threshold_crossover_gen (fun (cap, domains, mag, seed) ->
+      let threshold = Conv.default_combine_threshold in
+      let ctx = context ~threshold ~domains cap in
+      let a = make_profile ~cap ~stride:1 ~mag seed in
+      let b = make_profile ~cap ~stride:1 ~mag (seed + 1) in
+      let label =
+        Printf.sprintf "cap=%d domains=%d mag=%d" cap domains mag
+      in
+      let banded = Conv.combine ctx a b in
+      let naive = Conv.combine_naive ctx a b in
+      let spawned = Conv.combine_spawned ctx a b in
+      check_same_lattice (label ^ " vs naive") naive banded;
+      check_same_lattice (label ^ " vs spawned") naive spawned;
+      Helpers.check_int
+        (label ^ ": banded exactly when cap crosses the threshold")
+        (if cap >= threshold then 1 else 0)
+        (Conv.banded_total ctx);
+      true)
+
 (* ---------- solver-level bit identity with recycling ---------- *)
 
 let check_solved_identical label reference candidate =
@@ -312,19 +406,24 @@ let test_normalize_non_finite () =
 (* ---------- knob validation ---------- *)
 
 let test_knob_validation () =
-  Helpers.check_raises_invalid "tile 0" (fun () ->
+  (* Every rejection names the offending knob and its value — a deploy
+     log must say what was wrong, not just that something was. *)
+  Helpers.check_invalid_contains "tile 0" ~substring:"tile=0" (fun () ->
       Conv.context_of ~tile:0 ~inputs:4 ~outputs:4 ());
-  Helpers.check_raises_invalid "threshold 0" (fun () ->
+  Helpers.check_invalid_contains "threshold 0"
+    ~substring:"combine_threshold=0" (fun () ->
       Conv.context_of ~combine_threshold:0 ~inputs:4 ~outputs:4 ());
-  Helpers.check_raises_invalid "band domains 0" (fun () ->
-      Conv.context_of ~band_domains:0 ~inputs:4 ~outputs:4 ());
+  Helpers.check_invalid_contains "band domains 0" ~substring:"band_domains=0"
+    (fun () -> Conv.context_of ~band_domains:0 ~inputs:4 ~outputs:4 ());
   (* The environment override obeys the same contract as
      CROSSBAR_DOMAINS: a malformed deploy-time value fails loudly. *)
   Unix.putenv "CROSSBAR_COMBINE_THRESHOLD" "not-a-number";
-  Helpers.check_raises_invalid "malformed env threshold" (fun () ->
+  Helpers.check_invalid_contains "malformed env threshold"
+    ~substring:"CROSSBAR_COMBINE_THRESHOLD=\"not-a-number\"" (fun () ->
       Conv.context_of ~inputs:4 ~outputs:4 ());
   Unix.putenv "CROSSBAR_COMBINE_THRESHOLD" "0";
-  Helpers.check_raises_invalid "non-positive env threshold" (fun () ->
+  Helpers.check_invalid_contains "non-positive env threshold"
+    ~substring:"CROSSBAR_COMBINE_THRESHOLD=0" (fun () ->
       Conv.context_of ~inputs:4 ~outputs:4 ());
   (* An explicit knob bypasses the environment entirely. *)
   ignore (Conv.context_of ~combine_threshold:7 ~inputs:4 ~outputs:4 ());
@@ -337,7 +436,24 @@ let test_knob_validation () =
     (Conv.banded_total ctx);
   (* Restore the default so later suites in this binary see a clean
      environment (putenv cannot unset). *)
-  Unix.putenv "CROSSBAR_COMBINE_THRESHOLD" "1024"
+  Unix.putenv "CROSSBAR_COMBINE_THRESHOLD"
+    (string_of_int Conv.default_combine_threshold)
+
+let test_domains_knob_validation () =
+  (* CROSSBAR_DOMAINS reports its offending value the same way; the
+     override feeds both the engine pool and the banded kernel. *)
+  let restore =
+    match Sys.getenv_opt "CROSSBAR_DOMAINS" with Some v -> v | None -> "2"
+  in
+  Unix.putenv "CROSSBAR_DOMAINS" "three";
+  Helpers.check_invalid_contains "malformed CROSSBAR_DOMAINS"
+    ~substring:"CROSSBAR_DOMAINS=\"three\"" (fun () ->
+      Crossbar.Domains.recommended ());
+  Unix.putenv "CROSSBAR_DOMAINS" "-4";
+  Helpers.check_invalid_contains "non-positive CROSSBAR_DOMAINS"
+    ~substring:"CROSSBAR_DOMAINS=-4" (fun () ->
+      Crossbar.Domains.recommended ());
+  Unix.putenv "CROSSBAR_DOMAINS" restore
 
 let () =
   Alcotest.run "kernel"
@@ -354,6 +470,17 @@ let () =
             test_banded_determinism;
           Helpers.case "strided operands" test_banded_strided;
           Helpers.case "more bands than outputs" test_more_bands_than_outputs;
+          Helpers.qcheck banded_bit_identity_at_threshold;
+        ] );
+      ( "band pool",
+        [
+          Helpers.case "every band runs exactly once" test_pool_runs_every_band;
+          Helpers.case "shutdown then transparent re-warm"
+            test_pool_shutdown_and_rewarm;
+          Helpers.case "worker exceptions propagate" test_pool_worker_exception;
+          Helpers.case "caller band outranks worker failures"
+            test_pool_caller_band_wins;
+          Helpers.case "degenerate band counts" test_pool_degenerate;
         ] );
       ( "arena recycling",
         [
@@ -370,5 +497,10 @@ let () =
           Helpers.case "non-finite maxima left untouched"
             test_normalize_non_finite;
         ] );
-      ("knobs", [ Helpers.case "validation and env override" test_knob_validation ]);
+      ( "knobs",
+        [
+          Helpers.case "validation and env override" test_knob_validation;
+          Helpers.case "CROSSBAR_DOMAINS names its offending value"
+            test_domains_knob_validation;
+        ] );
     ]

@@ -207,12 +207,15 @@ let annotated_sites =
     ("../lib/engine/sweep.ml", "guarded=points");
     ("../lib/engine/sweep.ml", "guarded=starts,points");
     ("../lib/serve/batcher.ml", "guarded=groups,requests");
+    ("../lib/serve/batcher.ml", "guarded=shared");
+    ("../lib/core/band_pool.ml", "guarded=mb");
+    ("../lib/core/convolution.ml", "guarded=ctx,left,right,result");
   ]
 
 let test_tree_annotations_present () =
-  (* The cleaned tree passes R10 through these four directives; losing
-     one would resurface the finding in `dune build @lint` — this pins
-     them so an accidental edit fails fast with a named site. *)
+  (* The cleaned tree passes R10 through these directives; losing one
+     would resurface the finding in `dune build @lint` — this pins them
+     so an accidental edit fails fast with a named site. *)
   List.iter
     (fun (file, directive) ->
       let text = In_channel.with_open_bin file In_channel.input_all in
@@ -227,6 +230,7 @@ let test_tree_annotations_present () =
 let alloc_annotated_files =
   [
     ("../lib/core/convolution.ml", 14);
+    ("../lib/core/band_pool.ml", 3);
     ("../lib/core/lattice.ml", 3);
     ("../lib/core/model.ml", 1);
     ("../lib/numerics/kahan.ml", 1);

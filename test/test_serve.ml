@@ -4,6 +4,7 @@ module Telemetry = Crossbar_engine.Telemetry
 module Protocol = Crossbar_serve.Protocol
 module Registry = Crossbar_serve.Registry
 module Batcher = Crossbar_serve.Batcher
+module Server = Crossbar_serve.Server
 module Model = Crossbar.Model
 module Traffic = Crossbar.Traffic
 module Convolution = Crossbar.Convolution
@@ -153,6 +154,53 @@ let test_registry_lru_eviction () =
         | Some (Json.Int n) -> n >= 1
         | _ -> false)
   | _ -> Alcotest.fail "stats_json must be an object"
+
+let test_registry_eviction_recycles () =
+  let registry = Registry.create ~capacity:2 () in
+  let model = small_model () in
+  ignore (Registry.install registry ~name:"a" model);
+  ignore (Registry.install registry ~name:"b" model);
+  check_int "nothing parked below capacity" 0
+    (Registry.recycle_evicted registry);
+  ignore (Registry.install registry ~name:"c" model);
+  check_int "the displaced tree is parked and drained" 1
+    (Registry.recycle_evicted registry);
+  check_int "draining empties the list" 0 (Registry.recycle_evicted registry);
+  match Registry.find registry "c" with
+  | None -> Alcotest.fail "c must be resident"
+  | Some { Registry.solved; _ } ->
+      (* Same-shape installs share a context (and so this domain's
+         arena): once eviction recycling primes the free list, churning
+         installs stop creating lattices — the whole loop runs in
+         recycled storage. *)
+      let arena =
+        Convolution.arena
+          (Convolution.Factor_tree.context (Convolution.tree solved))
+      in
+      (* Snapshot before the churn: "c" itself will be evicted and its
+         lattices recycled, so the entry must not be read afterwards. *)
+      let reference_log_g = Convolution.log_normalization solved in
+      let drained = ref 0 in
+      let created_after_warmup = ref 0 in
+      let warm = 2 in
+      for i = 0 to 9 do
+        ignore (Registry.install registry ~name:(Printf.sprintf "n%d" i) model);
+        drained := !drained + Registry.recycle_evicted registry;
+        if i = warm then created_after_warmup := Convolution.Arena.created arena
+      done;
+      check_int "every churn install displaced one tree" 10 !drained;
+      check_int "arena creations plateau under churn" !created_after_warmup
+        (Convolution.Arena.created arena);
+      check_bool "recycled lattices are reused" true
+        (Convolution.Arena.reused arena > 0);
+      (* Recycling is bit-invisible: a solve drawing on the recycled
+         free list matches the solve that ran before any eviction. *)
+      let last, _ = Registry.install registry ~name:"last" model in
+      check_bool "post-churn solve bit-identical" true
+        (Int64.equal
+           (Int64.bits_of_float
+              (Convolution.log_normalization last.Registry.solved))
+           (Int64.bits_of_float reference_log_g))
 
 (* ---------- batcher ---------- *)
 
@@ -377,6 +425,91 @@ let test_multi_tree_batch_isolated () =
        (Json.to_string outcome.Batcher.responses.(3))
        (Json.to_string solo_b.Batcher.responses.(1)))
 
+(* ---------- pipelined vs sequential serving ---------- *)
+
+(* Run [Server.run] in-process over pipes, write [lines], read exactly
+   one response line per request, and return the raw response bytes.
+   The stream ends with a shutdown so the server exits and joins. *)
+let run_server_over_pipes ~pipelined lines =
+  let in_r, in_w = Unix.pipe ~cloexec:false () in
+  let out_r, out_w = Unix.pipe ~cloexec:false () in
+  let server =
+    Domain.spawn (fun () ->
+        let config =
+          (* One batcher domain: the pipeline worker plus band workers
+             already oversubscribe a small CI machine. *)
+          { Server.default_config with domains = Some 1; pipelined }
+        in
+        Server.run ~config ~input:in_r ~output:out_w ())
+  in
+  let payload =
+    Bytes.of_string (String.concat "" (List.map (fun l -> l ^ "\n") lines))
+  in
+  let rec write_all offset =
+    if offset < Bytes.length payload then
+      match Unix.write in_w payload offset (Bytes.length payload - offset) with
+      | written -> write_all (offset + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all offset
+  in
+  write_all 0;
+  Unix.close in_w;
+  let expected = List.length lines in
+  let buffer = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let newlines () =
+    String.fold_left
+      (fun acc c -> if c = '\n' then acc + 1 else acc)
+      0 (Buffer.contents buffer)
+  in
+  let rec read_responses () =
+    if newlines () < expected then
+      match Unix.read out_r chunk 0 (Bytes.length chunk) with
+      | 0 -> ()
+      | n ->
+          Buffer.add_subbytes buffer chunk 0 n;
+          read_responses ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_responses ()
+  in
+  read_responses ();
+  Domain.join server;
+  Unix.close in_r;
+  Unix.close out_r;
+  Unix.close out_w;
+  Buffer.contents buffer
+
+let test_pipelined_matches_sequential_bytes () =
+  let model = small_model () in
+  (* The mixed stream is deterministic (no stats: telemetry timings
+     differ run to run); pipelining may group it into different batches
+     than sequential serving, and the response bytes must not care. *)
+  let lines =
+    Array.to_list (Array.map serialize (mixed_stream model))
+    @ [ serialize (request 9 Protocol.Shutdown) ]
+  in
+  let pipelined = run_server_over_pipes ~pipelined:true lines in
+  let sequential = run_server_over_pipes ~pipelined:false lines in
+  check_int "pipelined answers every request"
+    (List.length lines)
+    (String.fold_left
+       (fun acc c -> if c = '\n' then acc + 1 else acc)
+       0 pipelined);
+  check_bool "pipelined byte stream identical to sequential" true
+    (String.equal pipelined sequential)
+
+let test_server_config_validation () =
+  let config batch_limit capacity domains =
+    { Server.default_config with batch_limit; capacity; domains }
+  in
+  let input = Unix.stdin and output = Unix.stdout in
+  check_invalid_contains "batch_limit names its value"
+    ~substring:"batch_limit=0" (fun () ->
+      Server.run ~config:(config 0 None None) ~input ~output ());
+  check_invalid_contains "capacity names its value" ~substring:"capacity=-2"
+    (fun () ->
+      Server.run ~config:(config 16 (Some (-2)) None) ~input ~output ());
+  check_invalid_contains "domains names its value" ~substring:"domains=0"
+    (fun () -> Server.run ~config:(config 16 None (Some 0)) ~input ~output ())
+
 (* ---------- end to end through the executable ---------- *)
 
 let serve_exe = "../bin/crossbar_serve.exe"
@@ -457,6 +590,8 @@ let () =
         [
           case "install and delta path" test_registry_install_and_delta_path;
           case "LRU eviction" test_registry_lru_eviction;
+          case "eviction recycles into the arenas"
+            test_registry_eviction_recycles;
         ] );
       ( "batcher",
         [
@@ -469,6 +604,10 @@ let () =
         ] );
       ( "daemon",
         [
+          case "pipelined equals sequential byte-for-byte"
+            test_pipelined_matches_sequential_bytes;
+          case "config validation names offending values"
+            test_server_config_validation;
           case "end to end over stdin" test_end_to_end_stdin;
           case "EOF without shutdown" test_end_to_end_eof_without_shutdown;
         ] );
