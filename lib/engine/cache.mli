@@ -56,6 +56,14 @@ module Memo : sig
       registry whose recovery from a miss is an error response, not a
       recomputation. *)
 
+  val mem : 'a t -> key -> bool
+  (** Residency probe: whether [key] is currently in the table, without
+      counting a hit or a miss and without refreshing recency — unlike
+      {!find}, it leaves both the statistics and the LRU order exactly
+      as they were.  For callers that need to ask "is this name resident
+      {e now}?" as a pure observation (the serve registry uses it to
+      detect a tree reinstalled after a capacity eviction). *)
+
   val set : 'a t -> key -> 'a -> unit
   (** Insert-or-replace, marking the entry most recently used.  A fresh
       insert into a full bounded table first evicts the LRU entry (as

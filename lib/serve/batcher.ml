@@ -372,6 +372,9 @@ module Pipeline = struct
           in
           Mutex.lock shared.lock;
           shared.slot <- finished;
+          (* Wake a [shutdown] waiting out this batch; the worker itself
+             never waits while a slot it published is pending. *)
+          Condition.signal shared.cond;
           Mutex.unlock shared.lock;
           (* Ping after the slot is published: the mutex hand-off above
              happens-before the select loop's read of the byte. *)
@@ -437,14 +440,27 @@ module Pipeline = struct
   let shutdown t =
     let shared = t.shared in
     Mutex.lock shared.lock;
+    (* An executing batch cannot be interrupted — wait for the worker to
+       publish its slot, then quit.  An unconsumed Batch/Result/Failed is
+       discarded: shutdown is also the crash-cleanup path, where the
+       server loop abandoned whatever was in flight, and a worker that
+       never takes the batch (or a result nobody collects) must not keep
+       the domain alive or leak the pipe. *)
+    let rec settle () =
+      match shared.slot with
+      | Running ->
+          Condition.wait shared.cond shared.lock;
+          settle ()
+      | Empty | Batch _ | Result _ | Failed _ | Quit -> ()
+    in
+    settle ();
     (match shared.slot with
-    | Empty ->
+    | Quit -> ()
+    | Running -> assert false (* [settle] waited it out *)
+    | Empty | Batch _ | Result _ | Failed _ ->
         shared.slot <- Quit;
-        Condition.signal shared.cond;
-        Mutex.unlock shared.lock
-    | Batch _ | Running | Result _ | Failed _ | Quit ->
-        Mutex.unlock shared.lock;
-        invalid_arg "Batcher.Pipeline.shutdown: batch still in flight");
+        Condition.signal shared.cond);
+    Mutex.unlock shared.lock;
     Domain.join t.worker;
     Unix.close t.notify_read;
     Unix.close shared.notify_write

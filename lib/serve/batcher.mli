@@ -76,7 +76,11 @@ module Pipeline : sig
       after {!descriptor} polls readable). *)
 
   val shutdown : t -> unit
-  (** Stop the worker, join it, and close the pipe.  Only between
-      batches: any in-flight batch must be collected first.
-      @raise Invalid_argument if a batch is still in flight. *)
+  (** Stop the worker, join it, and close the pipe.  An executing batch
+      is waited out first; a submitted-but-untaken batch, or a finished
+      outcome nobody collected, is silently discarded — so cleanup on an
+      error path (the server loop unwinding past an in-flight batch)
+      still joins the domain and closes every descriptor.  On the normal
+      path callers {!collect} before shutting down, so nothing is ever
+      discarded.  Call at most once. *)
 end

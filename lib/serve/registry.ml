@@ -8,20 +8,22 @@ type entry = { model : Model.t; solved : Convolution.t }
 type t = {
   memo : entry Memo.t;
   capacity : int option;
-  (* Capacity evictions are parked here rather than recycled inline:
-     the Memo callback fires on whichever domain triggered the
-     displacement, possibly while batch workers still read the evicted
-     tree.  [recycle_evicted] drains the list at a quiescent point. *)
+  (* Capacity evictions are parked here (with their name) rather than
+     recycled inline: the Memo callback fires on whichever domain
+     triggered the displacement, possibly while batch workers still
+     read the evicted tree.  [recycle_evicted] drains the list at a
+     quiescent point, where the name decides whether the parked tree is
+     actually dead (see below). *)
   evicted_lock : Mutex.t;
-  evicted : entry list ref;
+  evicted : (string * entry) list ref;
 }
 
 let create ?capacity () =
   let evicted_lock = Mutex.create () in
   let evicted = ref [] in
-  let on_evict _name entry =
+  let on_evict name entry =
     Mutex.lock evicted_lock;
-    evicted := entry :: !evicted;
+    evicted := (name, entry) :: !evicted;
     Mutex.unlock evicted_lock
   in
   { memo = Memo.create ?capacity ~on_evict (); capacity; evicted_lock; evicted }
@@ -34,8 +36,31 @@ let recycle_evicted t =
     Mutex.unlock t.evicted_lock;
     drained
   in
-  List.iter (fun { solved; _ } -> Convolution.recycle solved) drained;
-  List.length drained
+  (* An eviction can race a concurrent install/delta of the same name:
+     the Memo displaces tree Y between another group's [find Y] and its
+     [replace], so by drain time Y is resident again and the parked
+     pre-delta tree shares unchanged nodes with the live one (and
+     [solve_delta ~recycle:true] already released its superseded
+     nodes).  Recycling it would push live and duplicate lattices into
+     the arena free lists, corrupting later solves — so a parked entry
+     is only recycled when its name is dead at drain time.  Same logic
+     keeps only the newest parked entry per name ([drained] is
+     newest-first): an older parked generation shares nodes with every
+     newer one built from it by delta.  Dropped entries leak at worst
+     (names shard trees — no cross-name sharing), never corrupt. *)
+  let seen = Hashtbl.create 8 in
+  List.fold_left
+    (fun recycled (name, { solved; _ }) ->
+      if Hashtbl.mem seen name then recycled
+      else begin
+        Hashtbl.add seen name ();
+        if Memo.mem t.memo name then recycled
+        else begin
+          Convolution.recycle solved;
+          recycled + 1
+        end
+      end)
+    0 drained
 
 let find t name = Memo.find t.memo name
 let replace t ~name entry = Memo.set t.memo name entry

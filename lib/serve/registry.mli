@@ -49,9 +49,18 @@ val replace : t -> name:string -> entry -> unit
 val recycle_evicted : t -> int
 (** Drain the trees displaced by capacity pressure since the last call,
     returning each one's lattices to the convolution arenas via
-    {!Crossbar.Convolution.recycle}; yields the number drained.  Call
+    {!Crossbar.Convolution.recycle}; yields the number recycled.  Call
     only at a quiescent point — after batch workers have joined — since
-    an in-flight query may still be reading a just-evicted tree. *)
+    an in-flight query may still be reading a just-evicted tree.
+
+    A parked tree whose name is resident again at drain time is dropped
+    instead of recycled: an eviction that raced a concurrent
+    install/delta of the same name leaves the parked pre-delta tree
+    sharing nodes with the live reinstalled one, so recycling it would
+    release live lattices.  Likewise only the newest parked generation
+    of a name is recycled when the same name was displaced more than
+    once between drains.  Dropped entries may leak a few lattices;
+    they never corrupt the arenas. *)
 
 val size : t -> int
 (** Resident tree count. *)

@@ -215,9 +215,12 @@ let run ?(config = default_config) ~input ~output () =
                 primary = false } ]
     | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> ()
   in
-  (* Only reached with no batch in flight: every exit path collects the
-     pipeline's outcome first, so [Pipeline.shutdown] cannot race an
-     executing batch. *)
+  (* Runs exactly once, as the [Fun.protect] finalizer around the loop:
+     on the normal path every exit collects the pipeline's outcome
+     first, and on an exception path [Pipeline.shutdown] itself waits
+     out (and discards) whatever was in flight — either way the worker
+     domain is joined and the pipe, listen socket and client fds are
+     closed. *)
   let cleanup () =
     (match executor with
     | Some pipeline -> Batcher.Pipeline.shutdown pipeline
@@ -253,8 +256,8 @@ let run ?(config = default_config) ~input ~output () =
         (* Inputs exhausted, no socket to accept from, nothing in flight
            (the pipeline pipe is watched while a batch runs): drain
            synchronously and stop. *)
-        if Queue.is_empty pending then cleanup ()
-        else if flush_batch () then cleanup ()
+        if Queue.is_empty pending then ()
+        else if flush_batch () then ()
         else loop ()
     | _ :: _ ->
         (* Block when idle or when a batch is in flight (nothing to do
@@ -302,7 +305,7 @@ let run ?(config = default_config) ~input ~output () =
               respond batch outcome
           | _ -> false
         in
-        if shutdown_now then cleanup ()
+        if shutdown_now then ()
         else if Queue.is_empty pending || Option.is_some !inflight then loop ()
         else if
           (* Flush once no more input is immediately available, or the
@@ -313,8 +316,8 @@ let run ?(config = default_config) ~input ~output () =
           | Some pipeline ->
               dispatch pipeline;
               loop ()
-          | None -> if flush_batch () then cleanup () else loop ()
+          | None -> if flush_batch () then () else loop ()
         end
         else loop ()
   in
-  loop ()
+  Fun.protect ~finally:cleanup loop

@@ -9,6 +9,7 @@ module Model = Crossbar.Model
 module Traffic = Crossbar.Traffic
 module Convolution = Crossbar.Convolution
 module Solver = Crossbar.Solver
+module Measures = Crossbar.Measures
 
 let small_model () =
   Model.square ~size:8
@@ -201,6 +202,74 @@ let test_registry_eviction_recycles () =
            (Int64.bits_of_float
               (Convolution.log_normalization last.Registry.solved))
            (Int64.bits_of_float reference_log_g))
+
+let blocking_bits solved =
+  Array.map
+    (fun (c : Measures.per_class) -> Int64.bits_of_float c.Measures.blocking)
+    (Convolution.measures solved).Measures.per_class
+
+let test_registry_eviction_race_with_replace () =
+  (* The batcher race: a capacity eviction of tree "a" lands between a
+     group's [find "a"] and its [replace], so by drain time "a" is
+     resident again and the parked pre-delta tree shares unchanged
+     nodes with the live one (its superseded nodes already released by
+     [solve_delta ~recycle:true]).  The drain must drop it, not recycle
+     it — recycling would push live lattices into the free lists. *)
+  let registry = Registry.create ~capacity:2 () in
+  let model = small_model () in
+  ignore (Registry.install registry ~name:"a" model);
+  (* The delta group's [find], before the displacement. *)
+  let held =
+    match Registry.find registry "a" with
+    | Some entry -> entry
+    | None -> Alcotest.fail "a must be resident"
+  in
+  ignore (Registry.install registry ~name:"b" model);
+  (* Capacity displacement parks the stalest tree: "a". *)
+  ignore (Registry.install registry ~name:"c" model);
+  (* The group, still holding the entry it found, updates and
+     reinstalls under the same name (this displaces "b" too). *)
+  let model' = Model.map_class model 0 (fun t -> Traffic.with_alpha t 0.45) in
+  let solved' =
+    Convolution.solve_delta ~recycle:true ~previous:held.Registry.solved model'
+  in
+  Registry.replace registry ~name:"a"
+    { Registry.model = model'; solved = solved' };
+  let expected = blocking_bits solved' in
+  check_int "only the dead tree is recycled" 1
+    (Registry.recycle_evicted registry);
+  (* Churn installs draw on the recycled free lists; had the parked
+     pre-delta "a" been recycled too, these solves would overwrite
+     lattices the live "a" still reads. *)
+  for i = 0 to 5 do
+    check_bool "a stays resident" true
+      (Option.is_some (Registry.find registry "a"));
+    ignore (Registry.install registry ~name:(Printf.sprintf "r%d" i) model);
+    ignore (Registry.recycle_evicted registry : int)
+  done;
+  match Registry.find registry "a" with
+  | None -> Alcotest.fail "a must still be resident"
+  | Some { Registry.solved; _ } ->
+      check_bool "live tree unharmed by the drain" true
+        (blocking_bits solved = expected)
+
+let test_registry_drain_keeps_newest_generation () =
+  (* The same name displaced twice between drains: only the newest
+     parked generation is recycled — an older generation may share
+     nodes with every newer tree built from it. *)
+  let registry = Registry.create ~capacity:2 () in
+  let model = small_model () in
+  ignore (Registry.install registry ~name:"a" model);
+  ignore (Registry.install registry ~name:"b" model);
+  ignore (Registry.install registry ~name:"c" model) (* parks "a" *);
+  ignore (Registry.install registry ~name:"a" model) (* parks "b" *);
+  ignore (Registry.install registry ~name:"d" model) (* parks "c" *);
+  ignore (Registry.install registry ~name:"e" model) (* parks "a" again *);
+  (* Parked newest-first: a (2nd gen), c, b, a (1st gen).  "a" is dead
+     at drain time, so its newest generation recycles and the older
+     one is dropped. *)
+  check_int "one generation per dead name" 3
+    (Registry.recycle_evicted registry)
 
 (* ---------- batcher ---------- *)
 
@@ -425,6 +494,23 @@ let test_multi_tree_batch_isolated () =
        (Json.to_string outcome.Batcher.responses.(3))
        (Json.to_string solo_b.Batcher.responses.(1)))
 
+let test_pipeline_shutdown_discards_inflight () =
+  let registry = Registry.create () in
+  let telemetry = Telemetry.create () in
+  let pipeline = Batcher.Pipeline.start ~domains:1 ~registry ~telemetry () in
+  Batcher.Pipeline.submit pipeline [| solve_request 0 (small_model ()) |];
+  (* No [collect]: shutdown waits out the executing batch, discards its
+     outcome, joins the worker and closes the pipe — the crash-cleanup
+     path [Server.run]'s finalizer relies on when an exception unwinds
+     past an in-flight batch. *)
+  Batcher.Pipeline.shutdown pipeline;
+  check_bool "notify pipe closed" true
+    (match
+       Unix.read (Batcher.Pipeline.descriptor pipeline) (Bytes.create 1) 0 1
+     with
+    | exception Unix.Unix_error (Unix.EBADF, _, _) -> true
+    | _ -> false)
+
 (* ---------- pipelined vs sequential serving ---------- *)
 
 (* Run [Server.run] in-process over pipes, write [lines], read exactly
@@ -592,6 +678,10 @@ let () =
           case "LRU eviction" test_registry_lru_eviction;
           case "eviction recycles into the arenas"
             test_registry_eviction_recycles;
+          case "eviction racing a replace is dropped at drain"
+            test_registry_eviction_race_with_replace;
+          case "drain recycles only the newest generation per name"
+            test_registry_drain_keeps_newest_generation;
         ] );
       ( "batcher",
         [
@@ -601,6 +691,8 @@ let () =
           case "admit semantics" test_admit_semantics;
           case "stats and shutdown" test_stats_and_shutdown;
           case "multi-tree batch isolated" test_multi_tree_batch_isolated;
+          case "pipeline shutdown discards an uncollected batch"
+            test_pipeline_shutdown_discards_inflight;
         ] );
       ( "daemon",
         [
